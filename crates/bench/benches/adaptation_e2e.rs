@@ -1,0 +1,22 @@
+//! E5 — Fig. 2c: the cost of a remote-service call before vs after the
+//! node is fully adapted (session extraction + access control +
+//! monitoring interpose on every call).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmp_bench::{adapted_call, adapted_robot};
+
+fn bench_adapted_call(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptation_e2e");
+    let (mut plain, plain_robot) = adapted_robot(false);
+    group.bench_function("unadapted-call", |b| {
+        b.iter(|| adapted_call(&mut plain, plain_robot, 3, 3));
+    });
+    let (mut full, full_robot) = adapted_robot(true);
+    group.bench_function("fully-adapted-call", |b| {
+        b.iter(|| adapted_call(&mut full, full_robot, 3, 3));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adapted_call);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E6/E7 — the MIDAS management plane: wall-clock cost of simulating
+//! extension distribution to N newcomers, and of a full
+//! departure-revocation cycle. (The *simulated-time* results — the
+//! paper-relevant shape — are printed by the harness binary; this
+//! bench tracks the simulator's own efficiency.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmp_bench::{distribution_run, revocation_run};
+
+fn bench_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distribution");
+    group.sample_size(10);
+    for n in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("adapt-n-nodes", n), &n, |b, &n| {
+            b.iter(|| distribution_run(n));
+        });
+    }
+    group.bench_function("revocation-cycle-2s-lease", |b| {
+        b.iter(|| revocation_run(2_000_000_000));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distribution);
+criterion_main!(benches);

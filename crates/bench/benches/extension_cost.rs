@@ -1,0 +1,24 @@
+//! E3 — the paper's §4.6 extension-cost measurement: security,
+//! transactions, and orthogonal persistence extensions, showing that
+//! interception cost ≪ functionality cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmp_bench::{service_call, service_vm, ServiceExt};
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extension_cost");
+    for (label, ext) in [
+        ("baseline", ServiceExt::None),
+        ("interception-only", ServiceExt::Nop),
+        ("security", ServiceExt::Security),
+        ("transactions", ServiceExt::Transactions),
+        ("persistence", ServiceExt::Persistence),
+    ] {
+        let (mut vm, obj) = service_vm(ext);
+        group.bench_function(label, |b| b.iter(|| service_call(&mut vm, &obj, 20)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E2 — the paper's §4.6 micro-costs: a void non-intercepted interface
+//! call (paper: ≈700 ns) vs a performed interception (paper: +≈900 ns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmp_bench::{ping_once, ping_vm, PingMode};
+
+fn bench_interception(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interception");
+    for (label, mode) in [
+        ("no-stubs", PingMode::NoStubs),
+        ("inactive-hook", PingMode::InactiveHook),
+        ("native-advice", PingMode::NativeAdvice),
+        ("script-advice", PingMode::ScriptAdvice),
+    ] {
+        let (mut vm, obj) = ping_vm(mode);
+        group.bench_function(label, |b| b.iter(|| ping_once(&mut vm, &obj)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interception);
+criterion_main!(benches);

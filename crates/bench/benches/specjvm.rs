@@ -1,0 +1,31 @@
+//! E1 — the paper's §4.6 SPECjvm measurement: platform active (stubs
+//! planted, no extensions) vs unmodified runtime. Paper: ≈7 % overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmp_bench::{run_suite, suite_vm, PROGRAM_NAMES};
+use pmp_spec::Size;
+
+fn bench_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("specjvm");
+    for hooks in [false, true] {
+        let label = if hooks { "stubs-on" } else { "stubs-off" };
+        for name in PROGRAM_NAMES {
+            let (mut vm, suite) = suite_vm(hooks);
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &name,
+                |b, name| {
+                    b.iter(|| suite.run_one(&mut vm, name, Size::Small).unwrap());
+                },
+            );
+        }
+        let (mut vm, suite) = suite_vm(hooks);
+        group.bench_function(BenchmarkId::new(label, "suite-total"), |b| {
+            b.iter(|| run_suite(&mut vm, &suite, Size::Small));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

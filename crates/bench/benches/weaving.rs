@@ -1,0 +1,26 @@
+//! E4 — Fig. 1's run-time adaptation process: weave/unweave latency vs
+//! the number of join points the crosscut matches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmp_bench::{weave_target_vm, weave_unweave_once};
+use pmp_prose::Prose;
+
+fn bench_weaving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weaving");
+    for (classes, methods) in [(1usize, 10usize), (4, 25), (10, 100)] {
+        let mut vm = weave_target_vm(classes, methods);
+        let prose = Prose::attach(&mut vm);
+        let n = classes * methods;
+        group.bench_with_input(
+            BenchmarkId::new("weave-unweave", n),
+            &n,
+            |b, _| {
+                b.iter(|| weave_unweave_once(&mut vm, &prose));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weaving);
+criterion_main!(benches);

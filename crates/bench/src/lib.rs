@@ -1,0 +1,534 @@
+//! # pmp-bench — fixtures for reproducing the paper's measurements
+//!
+//! Shared setups used by both the criterion benches (`benches/`) and
+//! the printable harness (`src/bin/harness.rs`). Each experiment Eⁿ is
+//! indexed in `DESIGN.md` and recorded against the paper's numbers in
+//! `EXPERIMENTS.md`.
+
+use pmp_core::{MobId, Platform};
+use pmp_net::Position;
+use pmp_prose::{Aspect, Crosscut, PortableClass, PortableMethod, Prose, WeaveOptions};
+use pmp_spec::{Size, Suite};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::class::ClassDef;
+use pmp_vm::op::Op;
+use pmp_vm::prelude::*;
+use std::sync::Arc;
+
+pub use pmp_spec::PROGRAM_NAMES;
+
+const SEC: u64 = 1_000_000_000;
+
+// ---------------------------------------------------------------------
+// E1 — SPECjvm-style baseline overhead
+// ---------------------------------------------------------------------
+
+/// A VM with the spec suite registered, stubs on or off.
+pub fn suite_vm(hooks: bool) -> (Vm, Suite) {
+    let mut vm = Vm::new(if hooks {
+        VmConfig::default()
+    } else {
+        VmConfig::without_hooks()
+    });
+    if hooks {
+        // A dispatcher is installed (as on any PROSE-enabled node) but
+        // no aspects are woven — the paper's "no extensions" setup.
+        let _prose = Prose::attach(&mut vm);
+    }
+    let suite = Suite::register_all(&mut vm).expect("suite registers");
+    (vm, suite)
+}
+
+/// Runs the whole suite once; returns total bytecode ops executed.
+pub fn run_suite(vm: &mut Vm, suite: &Suite, size: Size) -> u64 {
+    let before = vm.stats().bytecode_ops;
+    suite.run_all(vm, size).expect("suite runs");
+    vm.stats().bytecode_ops - before
+}
+
+// ---------------------------------------------------------------------
+// E2 — interception micro-costs
+// ---------------------------------------------------------------------
+
+/// How the `Ping.ping` call is instrumented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PingMode {
+    /// Stubs compiled out (unmodified runtime).
+    NoStubs,
+    /// Stubs in, hook inactive (the ~7 % configuration).
+    InactiveHook,
+    /// A do-nothing native advice fires per call (~900 ns config).
+    NativeAdvice,
+    /// A do-nothing *script* advice fires per call (shipped-extension
+    /// config: includes the VM-level advice invocation).
+    ScriptAdvice,
+}
+
+/// A VM with a `Ping` class (`void ping()`), set up per `mode`.
+/// Returns the receiver object to call on.
+pub fn ping_vm(mode: PingMode) -> (Vm, Value) {
+    let mut vm = Vm::new(match mode {
+        PingMode::NoStubs => VmConfig::without_hooks(),
+        _ => VmConfig::default(),
+    });
+    vm.register_class(
+        ClassDef::build("Ping")
+            .method("ping", [], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .done(),
+    )
+    .expect("register");
+    if mode != PingMode::NoStubs {
+        let prose = Prose::attach(&mut vm);
+        match mode {
+            PingMode::NativeAdvice => {
+                let aspect = Aspect::build("nop")
+                    .before("* Ping.*(..)", |_| Ok(()))
+                    .done()
+                    .expect("aspect");
+                prose
+                    .weave(&mut vm, aspect, WeaveOptions::default())
+                    .expect("weave");
+            }
+            PingMode::ScriptAdvice => {
+                let mut body = MethodBuilder::new();
+                body.op(Op::Ret);
+                let class = PortableClass {
+                    name: "NopAspect".into(),
+                    fields: vec![],
+                    methods: vec![PortableMethod {
+                        name: "nop".into(),
+                        params: vec![
+                            "any".into(),
+                            "str".into(),
+                            "any".into(),
+                            "any".into(),
+                            "any".into(),
+                        ],
+                        ret: "any".into(),
+                        body: body.build(),
+                    }],
+                };
+                let aspect = Aspect::script(
+                    "nop-script",
+                    class,
+                    vec![(
+                        Crosscut::parse("before * Ping.*(..)").expect("pattern"),
+                        "nop".into(),
+                        0,
+                    )],
+                );
+                prose
+                    .weave(&mut vm, aspect, WeaveOptions::sandboxed(Permissions::none()))
+                    .expect("weave");
+            }
+            _ => {}
+        }
+    }
+    let obj = vm.new_object("Ping").expect("object");
+    (vm, obj)
+}
+
+/// One intercepted (or not) void interface call.
+pub fn ping_once(vm: &mut Vm, obj: &Value) {
+    vm.call("Ping", "ping", obj.clone(), vec![])
+        .expect("ping");
+}
+
+// ---------------------------------------------------------------------
+// E3 — cost of real extensions vs their interception
+// ---------------------------------------------------------------------
+
+/// Which real extension is woven over the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceExt {
+    /// No extension (baseline).
+    None,
+    /// Do-nothing advice (pure interception cost).
+    Nop,
+    /// Session + access control (security).
+    Security,
+    /// Ad-hoc transactions over two fields.
+    Transactions,
+    /// Orthogonal persistence of field writes.
+    Persistence,
+}
+
+/// A VM with a `Service` class whose `txWork(n)` loops `n` times
+/// updating two fields, instrumented per `ext`.
+pub fn service_vm(ext: ServiceExt) -> (Vm, Value) {
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("Service")
+            .field("state", TypeSig::Int)
+            .field("ops", TypeSig::Int)
+            .method("txWork", [TypeSig::Int], TypeSig::Int, |b| {
+                b.locals(1); // 2: i
+                let top = b.label();
+                let done = b.label();
+                b.konst(0i64).op(Op::Store(2));
+                b.bind(top);
+                b.op(Op::Load(2)).op(Op::Load(1)).op(Op::Lt);
+                b.jump_if_not(done);
+                b.op(Op::Load(0));
+                b.op(Op::Load(0)).op(Op::GetField {
+                    class: "Service".into(),
+                    field: "state".into(),
+                });
+                b.op(Op::Load(2)).op(Op::Add);
+                b.op(Op::PutField {
+                    class: "Service".into(),
+                    field: "state".into(),
+                });
+                b.op(Op::Load(0));
+                b.op(Op::Load(0)).op(Op::GetField {
+                    class: "Service".into(),
+                    field: "ops".into(),
+                });
+                b.konst(1i64).op(Op::Add);
+                b.op(Op::PutField {
+                    class: "Service".into(),
+                    field: "ops".into(),
+                });
+                b.op(Op::Load(2)).konst(1i64).op(Op::Add).op(Op::Store(2));
+                b.jump(top);
+                b.bind(done);
+                b.op(Op::Load(0))
+                    .op(Op::GetField {
+                        class: "Service".into(),
+                        field: "state".into(),
+                    })
+                    .op(Op::RetVal);
+            })
+            .done(),
+    )
+    .expect("register");
+    // Host-side stubs for extension system calls.
+    pmp_extensions::support::register_session_blackboard(&mut vm);
+    vm.register_sys(
+        "session.caller",
+        None,
+        Arc::new(|_vm, _| Ok(Value::str("operator:1"))),
+    );
+    vm.register_sys("persist.put", None, Arc::new(|_vm, _| Ok(Value::Null)));
+
+    let prose = Prose::attach(&mut vm);
+    let sandbox = WeaveOptions::sandboxed(Permissions::all());
+    match ext {
+        ServiceExt::None => {}
+        ServiceExt::Nop => {
+            let aspect = Aspect::build("nop")
+                .before("* Service.tx*(..)", |_| Ok(()))
+                .after("* Service.tx*(..)", |_| Ok(()))
+                .done()
+                .expect("aspect");
+            prose
+                .weave(&mut vm, aspect, WeaveOptions::default())
+                .expect("weave");
+        }
+        ServiceExt::Security => {
+            for pkg in [
+                pmp_extensions::session::package("* Service.*(..)", 1),
+                pmp_extensions::access_control::package(
+                    "* Service.*(..)",
+                    &["operator:1"],
+                    1,
+                ),
+            ] {
+                prose
+                    .weave(&mut vm, pkg.aspect.into(), sandbox)
+                    .expect("weave");
+            }
+        }
+        ServiceExt::Transactions => {
+            let pkg = pmp_extensions::transactions::package(
+                "* Service.tx*(..)",
+                "Service",
+                &["state", "ops"],
+                1,
+            );
+            prose
+                .weave(&mut vm, pkg.aspect.into(), sandbox)
+                .expect("weave");
+        }
+        ServiceExt::Persistence => {
+            let pkg = pmp_extensions::persistence::package("Service.*", 1);
+            prose
+                .weave(&mut vm, pkg.aspect.into(), sandbox)
+                .expect("weave");
+        }
+    }
+    let obj = vm.new_object("Service").expect("object");
+    (vm, obj)
+}
+
+/// One service call of loop size `n`.
+pub fn service_call(vm: &mut Vm, obj: &Value, n: i64) {
+    vm.call("Service", "txWork", obj.clone(), vec![Value::Int(n)])
+        .expect("txWork");
+}
+
+// ---------------------------------------------------------------------
+// E4 — weaving latency vs matched join points
+// ---------------------------------------------------------------------
+
+/// A VM with `classes × methods` void methods to match against.
+pub fn weave_target_vm(classes: usize, methods: usize) -> Vm {
+    let mut vm = Vm::new(VmConfig::default());
+    for c in 0..classes {
+        let mut def = ClassDef::build(format!("Target{c}"));
+        for m in 0..methods {
+            def = def.method(format!("m{m}"), [], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            });
+        }
+        vm.register_class(def.done()).expect("register");
+    }
+    let _ = Prose::attach(&mut vm);
+    vm
+}
+
+/// Weaves + unweaves a match-everything aspect once; returns how many
+/// join points matched.
+pub fn weave_unweave_once(vm: &mut Vm, prose: &Prose) -> usize {
+    let aspect = Aspect::build("wide")
+        .before("* Target*.*(..)", |_| Ok(()))
+        .done()
+        .expect("aspect");
+    let id = prose
+        .weave(vm, aspect, WeaveOptions::default())
+        .expect("weave");
+    let n = prose.info(id).expect("info").join_points;
+    prose.unweave(vm, id, "bench").expect("unweave");
+    n
+}
+
+// ---------------------------------------------------------------------
+// E5 — end-to-end adapted-call cost (Fig. 2c)
+// ---------------------------------------------------------------------
+
+/// Builds an adapted robot (hall A world) and returns the pieces needed
+/// to invoke its drawing service directly, with the full extension
+/// stack woven. `with_extensions = false` gives the unadapted baseline.
+pub fn adapted_robot(with_extensions: bool) -> (Platform, MobId) {
+    let mut w = pmp_core::scenario::ProductionHalls::build(97);
+    if !with_extensions {
+        // Empty the hall's catalog before the robot is adapted.
+        for id in ["ext/session", "ext/access-control", "ext/monitoring"] {
+            w.platform.base_mut(w.base_a).base.catalog.remove(id);
+        }
+    }
+    w.platform.pump(6 * SEC);
+    (w.platform, w.robot)
+}
+
+/// One local `DrawingService.moveTo` call on the adapted robot.
+pub fn adapted_call(platform: &mut Platform, robot: MobId, x: i64, y: i64) {
+    let node = platform.node_mut(robot);
+    let svc = node.services["DrawingService"].clone();
+    *node.wiring.caller.lock() = "operator:1".into();
+    node.vm
+        .call(
+            "DrawingService",
+            "moveTo",
+            svc,
+            vec![Value::Int(x), Value::Int(y)],
+        )
+        .expect("moveTo");
+}
+
+// ---------------------------------------------------------------------
+// E6 — distribution scalability (sim time, deterministic)
+// ---------------------------------------------------------------------
+
+/// Result of a distribution-scaling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionResult {
+    /// Number of receiver nodes.
+    pub nodes: usize,
+    /// Simulated seconds from start until every node is adapted.
+    pub time_to_all_adapted_s: f64,
+    /// Total network messages submitted.
+    pub messages: u64,
+}
+
+/// Measures time-to-adapted for `n` devices joining one hall at once.
+pub fn distribution_run(n: usize) -> DistributionResult {
+    let mut p = Platform::new(1000 + n as u64);
+    p.add_area("hall", Position::new(0.0, 0.0), Position::new(100.0, 100.0));
+    let base = p.add_base("hall", Position::new(50.0, 50.0), 150.0);
+    let pkg = pmp_extensions::billing::package("* Motor.*(..)", 1, 1);
+    let sealed = p.base(base).seal(&pkg);
+    p.base_mut(base).base.catalog.put(sealed);
+
+    let cap = Permissions::none().with(Permission::Net);
+    let policy = p.trusting_policy(&[base], cap);
+    let mut ids: Vec<MobId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let angle = (i as f64) * std::f64::consts::TAU / (n as f64);
+        let pos = Position::new(50.0 + 30.0 * angle.cos(), 50.0 + 30.0 * angle.sin());
+        ids.push(
+            p.add_device(&format!("pda:{i}"), pos, 150.0, policy.clone())
+                .expect("device"),
+        );
+    }
+    let mut elapsed = 0u64;
+    let step = SEC / 10;
+    while elapsed < 120 * SEC {
+        p.pump(step);
+        elapsed += step;
+        if ids
+            .iter()
+            .all(|id| p.node(*id).receiver.is_installed("ext/billing"))
+        {
+            break;
+        }
+    }
+    DistributionResult {
+        nodes: n,
+        time_to_all_adapted_s: p.now().as_secs_f64(),
+        messages: p.sim.trace.stats.sent,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E7 — revocation latency vs lease period (sim time, deterministic)
+// ---------------------------------------------------------------------
+
+/// Result of a revocation-latency run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RevocationResult {
+    /// The extension lease period (seconds).
+    pub lease_s: f64,
+    /// Simulated seconds from departure to autonomous withdrawal.
+    pub revocation_latency_s: f64,
+}
+
+/// Measures how long after leaving the hall the extension survives.
+pub fn revocation_run(lease_ns: u64) -> RevocationResult {
+    let mut p = Platform::new(7_000 + lease_ns % 97);
+    p.add_area("hall", Position::new(0.0, 0.0), Position::new(60.0, 60.0));
+    let base = p.add_base("hall", Position::new(30.0, 30.0), 80.0);
+    p.base_mut(base).base.set_lease(lease_ns);
+    // Renew well within the lease period (the base's keep-alive cadence
+    // follows its scan interval).
+    p.base_mut(base).base.set_scan_interval((lease_ns / 4).max(SEC / 10));
+    let pkg = pmp_extensions::billing::package("* Motor.*(..)", 1, 1);
+    let sealed = p.base(base).seal(&pkg);
+    p.base_mut(base).base.catalog.put(sealed);
+    let policy = p.trusting_policy(&[base], Permissions::none().with(Permission::Net));
+    let dev = p
+        .add_device("pda:0", Position::new(35.0, 30.0), 80.0, policy)
+        .expect("device");
+    let mut waited = 0u64;
+    while !p.node(dev).receiver.is_installed("ext/billing") {
+        p.pump(SEC / 4);
+        waited += SEC / 4;
+        assert!(waited < 60 * SEC, "device never adapted");
+    }
+    // Let the adaptation settle into steady renewals.
+    p.pump(2 * lease_ns);
+    assert!(p.node(dev).receiver.is_installed("ext/billing"));
+
+    let departure = p.now();
+    p.move_node(dev, Position::new(500.0, 500.0));
+    let step = SEC / 20;
+    while p.node(dev).receiver.is_installed("ext/billing") {
+        p.pump(step);
+        if p.now().since(departure) > 300 * SEC {
+            panic!("extension never revoked");
+        }
+    }
+    RevocationResult {
+        lease_s: lease_ns as f64 / 1e9,
+        revocation_latency_s: p.now().since(departure) as f64 / 1e9,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E6b — per-node message cost (derived from distribution runs)
+// ---------------------------------------------------------------------
+
+/// Crude timer: median wall-clock nanoseconds per iteration of `f`.
+pub fn measure_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    // Warm-up.
+    for _ in 0..iters.min(16) {
+        f();
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(16);
+    for _ in 0..16 {
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_modes_all_work() {
+        for mode in [
+            PingMode::NoStubs,
+            PingMode::InactiveHook,
+            PingMode::NativeAdvice,
+            PingMode::ScriptAdvice,
+        ] {
+            let (mut vm, obj) = ping_vm(mode);
+            ping_once(&mut vm, &obj);
+            let expect_dispatch = matches!(mode, PingMode::NativeAdvice | PingMode::ScriptAdvice);
+            assert_eq!(
+                vm.stats().advice_dispatches > 0,
+                expect_dispatch,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn service_exts_all_work() {
+        for ext in [
+            ServiceExt::None,
+            ServiceExt::Nop,
+            ServiceExt::Security,
+            ServiceExt::Transactions,
+            ServiceExt::Persistence,
+        ] {
+            let (mut vm, obj) = service_vm(ext);
+            service_call(&mut vm, &obj, 10);
+        }
+    }
+
+    #[test]
+    fn weave_counts_join_points() {
+        let mut vm = weave_target_vm(4, 25);
+        let prose = Prose::attach(&mut vm);
+        assert_eq!(weave_unweave_once(&mut vm, &prose), 100);
+    }
+
+    #[test]
+    fn adapted_robot_call_paths() {
+        let (mut p, robot) = adapted_robot(true);
+        assert_eq!(p.node(robot).receiver.installed_ids().len(), 3);
+        adapted_call(&mut p, robot, 3, 3);
+        let (mut p, robot) = adapted_robot(false);
+        assert!(p.node(robot).receiver.installed_ids().is_empty());
+        adapted_call(&mut p, robot, 3, 3);
+    }
+
+    #[test]
+    fn distribution_and_revocation_runs() {
+        let d = distribution_run(3);
+        assert_eq!(d.nodes, 3);
+        assert!(d.time_to_all_adapted_s < 30.0);
+        let r = revocation_run(2 * SEC);
+        assert!(r.revocation_latency_s > 0.0);
+        assert!(r.revocation_latency_s < 30.0);
+    }
+}

@@ -1,0 +1,467 @@
+//! The platform: owns the simulated world and drives every node's
+//! protocol stacks — the glue that turns the substrate crates into the
+//! paper's running system.
+
+use crate::node::{BaseStation, MobileNode};
+use crate::wiring::{AppMsg, RpcMsg, APP_CHANNEL, MIRROR_CHANNEL, RPC_CHANNEL};
+use pmp_midas::{ReceiverEvent, ReceiverPolicy};
+use pmp_net::{AreaId, Incoming, Position, SimTime, Simulator};
+use pmp_store::MovementRecord;
+use pmp_vm::perm::Permissions;
+use pmp_vm::prelude::{Value, VmError};
+use std::sync::Arc;
+
+/// Index of a base station within a [`Platform`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaseId(pub usize);
+
+/// Index of a mobile node within a [`Platform`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MobId(pub usize);
+
+/// A completed remote call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcOutcome {
+    /// The request id returned by [`Platform::rpc`].
+    pub req: u64,
+    /// Whether the call completed normally.
+    pub ok: bool,
+    /// Display form of the result (or the error text).
+    pub value: String,
+}
+
+/// The proactive middleware platform over one simulated world.
+///
+/// # Examples
+///
+/// ```
+/// use pmp_core::{Platform};
+/// use pmp_net::Position;
+/// use pmp_vm::perm::Permissions;
+///
+/// # fn main() -> Result<(), pmp_vm::VmError> {
+/// let mut p = Platform::new(7);
+/// p.add_area("hall-a", Position::new(0.0, 0.0), Position::new(60.0, 60.0));
+/// let base = p.add_base("hall-a", Position::new(30.0, 30.0), 80.0);
+/// let policy = p.trusting_policy(&[base], Permissions::all());
+/// let robot = p.add_robot("robot:1:1", Position::new(40.0, 30.0), 80.0, policy)?;
+/// p.pump_millis(3_000);
+/// assert!(p.node(robot).name == "robot:1:1");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Platform {
+    /// The simulated world.
+    pub sim: Simulator,
+    bases: Vec<BaseStation>,
+    nodes: Vec<MobileNode>,
+    next_req: u64,
+    rpc_outcomes: Vec<RpcOutcome>,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("bases", &self.bases.len())
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl Platform {
+    /// Creates a platform over a fresh deterministic world.
+    pub fn new(seed: u64) -> Platform {
+        Self::with_link(seed, pmp_net::LinkModel::default())
+    }
+
+    /// Creates a platform with an explicit radio link model (lossy
+    /// worlds for failure testing).
+    pub fn with_link(seed: u64, link: pmp_net::LinkModel) -> Platform {
+        Platform {
+            sim: Simulator::with_link(seed, link),
+            bases: Vec::new(),
+            nodes: Vec::new(),
+            next_req: 1,
+            rpc_outcomes: Vec::new(),
+        }
+    }
+
+    /// Adds a rectangular area (production hall).
+    pub fn add_area(&mut self, name: &str, min: Position, max: Position) -> AreaId {
+        self.sim.add_area(name, min, max)
+    }
+
+    /// Adds a base station for `hall` at `pos`; its registrar and
+    /// extension base start immediately.
+    pub fn add_base(&mut self, hall: &str, pos: Position, range: f64) -> BaseId {
+        let node = self.sim.add_node(format!("base:{hall}"), pos, range);
+        let mut station = BaseStation::build(node, hall, format!("seed:{hall}").as_bytes());
+        station.registrar.start(&mut self.sim);
+        station.base.start(&mut self.sim);
+        self.bases.push(station);
+        BaseId(self.bases.len() - 1)
+    }
+
+    /// A receiver policy trusting the given bases' authorities, each
+    /// capped at `cap`.
+    pub fn trusting_policy(&self, bases: &[BaseId], cap: Permissions) -> ReceiverPolicy {
+        let mut policy = ReceiverPolicy::new();
+        for b in bases {
+            let principal = self.bases[b.0].principal();
+            policy.set_signer_cap(principal.name.clone(), cap);
+            policy.trust.add(principal);
+        }
+        policy
+    }
+
+    fn add_mobile(
+        &mut self,
+        name: &str,
+        pos: Position,
+        range: f64,
+        policy: ReceiverPolicy,
+        with_robot: bool,
+    ) -> Result<MobId, VmError> {
+        let node = self.sim.add_node(name, pos, range);
+        let clock = self.sim.clock();
+        let clock_fn: Arc<dyn Fn() -> u64 + Send + Sync> = Arc::new(move || clock.now().0);
+        let mut mobile = MobileNode::build(node, name, policy, clock_fn, with_robot)?;
+        mobile.receiver.start(&mut self.sim);
+        self.nodes.push(mobile);
+        Ok(MobId(self.nodes.len() - 1))
+    }
+
+    /// Adds a robot node (plotter hardware + drawing service).
+    ///
+    /// # Errors
+    ///
+    /// VM registration failures.
+    pub fn add_robot(
+        &mut self,
+        name: &str,
+        pos: Position,
+        range: f64,
+        policy: ReceiverPolicy,
+    ) -> Result<MobId, VmError> {
+        self.add_mobile(name, pos, range, policy, true)
+    }
+
+    /// Adds a bare mobile node (e.g. a PDA) without robot hardware.
+    ///
+    /// # Errors
+    ///
+    /// VM registration failures.
+    pub fn add_device(
+        &mut self,
+        name: &str,
+        pos: Position,
+        range: f64,
+        policy: ReceiverPolicy,
+    ) -> Result<MobId, VmError> {
+        self.add_mobile(name, pos, range, policy, false)
+    }
+
+    /// Immutable base access.
+    pub fn base(&self, id: BaseId) -> &BaseStation {
+        &self.bases[id.0]
+    }
+
+    /// Mutable base access.
+    pub fn base_mut(&mut self, id: BaseId) -> &mut BaseStation {
+        &mut self.bases[id.0]
+    }
+
+    /// Immutable mobile-node access.
+    pub fn node(&self, id: MobId) -> &MobileNode {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable mobile-node access.
+    pub fn node_mut(&mut self, id: MobId) -> &mut MobileNode {
+        &mut self.nodes[id.0]
+    }
+
+    /// Moves a mobile node.
+    pub fn move_node(&mut self, id: MobId, pos: Position) {
+        let node = self.nodes[id.0].node;
+        self.sim.move_node(node, pos);
+    }
+
+    /// Seals `pkg` with `base`'s authority and adds it to the catalog;
+    /// nodes already adapted receive a live replacement
+    /// ([`pmp_midas::base::ExtensionBase::update_extension`]).
+    pub fn publish_extension(&mut self, base: BaseId, pkg: &pmp_midas::ExtensionPackage) {
+        let sealed = self.bases[base.0].seal(pkg);
+        self.bases[base.0]
+            .base
+            .update_extension(&mut self.sim, sealed);
+    }
+
+    /// Revokes an extension hall-wide: removed from the catalog and
+    /// withdrawn from every adapted node.
+    pub fn revoke_extension(&mut self, base: BaseId, ext_id: &str, reason: &str) {
+        self.bases[base.0]
+            .base
+            .revoke_extension(&mut self.sim, ext_id, reason);
+    }
+
+    /// Makes two bases roaming neighbours (both directions): when a node
+    /// departs one, the other receives a handoff record (paper §3.2's
+    /// "simple roaming algorithm").
+    pub fn link_bases(&mut self, a: BaseId, b: BaseId) {
+        let (na, nb) = (self.bases[a.0].node, self.bases[b.0].node);
+        self.bases[a.0].base.add_neighbor(nb);
+        self.bases[b.0].base.add_neighbor(na);
+    }
+
+    /// Routes movements of `source_robot` (as observed by `base`) to a
+    /// replica robot, scaled by `num/den` (paper §4.5 remote
+    /// replication).
+    pub fn mirror(&mut self, base: BaseId, source_robot: &str, replica: MobId, num: i64, den: i64) {
+        assert!(den != 0, "scale denominator must be nonzero");
+        let replica_node = self.nodes[replica.0].node;
+        self.bases[base.0]
+            .mirrors
+            .entry(source_robot.to_string())
+            .or_default()
+            .push((replica_node, num, den));
+    }
+
+    /// Issues a remote service call to `target` from `base`'s node
+    /// (Fig. 2: the remote invocation of `m_R`). The outcome arrives in
+    /// [`Platform::take_rpc_outcomes`] after pumping.
+    pub fn rpc(
+        &mut self,
+        base: BaseId,
+        target: MobId,
+        caller: &str,
+        class: &str,
+        method: &str,
+        args: Vec<i64>,
+    ) -> u64 {
+        let req = self.next_req;
+        self.next_req += 1;
+        let msg = RpcMsg::Call {
+            caller: caller.to_string(),
+            class: class.to_string(),
+            method: method.to_string(),
+            args,
+            req,
+        };
+        let from = self.bases[base.0].node;
+        let to = self.nodes[target.0].node;
+        self.sim.send(from, to, RPC_CHANNEL, pmp_wire::to_bytes(&msg));
+        req
+    }
+
+    /// Drains completed remote calls.
+    pub fn take_rpc_outcomes(&mut self) -> Vec<RpcOutcome> {
+        std::mem::take(&mut self.rpc_outcomes)
+    }
+
+    /// Pumps the world for `ns` of simulated time, dispatching every
+    /// node's inbox and flushing outboxes.
+    pub fn pump(&mut self, ns: u64) {
+        let until = self.sim.now().plus(ns);
+        loop {
+            match self.sim.peek_next() {
+                Some(t) if t <= until => {
+                    self.sim.step();
+                }
+                _ => break,
+            }
+            self.dispatch_all();
+        }
+        if self.sim.now() < until {
+            self.sim.run_until(until);
+        }
+    }
+
+    /// Pumps for `ms` milliseconds of simulated time.
+    pub fn pump_millis(&mut self, ms: u64) {
+        self.pump(ms * 1_000_000);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    fn dispatch_all(&mut self) {
+        // Base stations.
+        for i in 0..self.bases.len() {
+            let node = self.bases[i].node;
+            let inbox = self.sim.drain_inbox(node);
+            for inc in inbox {
+                self.bases[i].registrar.handle(&mut self.sim, &inc);
+                let evs = self.bases[i].base.handle(&mut self.sim, &inc);
+                self.bases[i].events.extend(evs);
+                self.handle_base_app(i, &inc);
+            }
+        }
+        // Mobile nodes.
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i].node;
+            let inbox = self.sim.drain_inbox(node);
+            for inc in inbox {
+                {
+                    let n = &mut self.nodes[i];
+                    let evs = n.receiver.handle(&mut self.sim, &mut n.vm, &n.prose, &inc);
+                    for e in &evs {
+                        if let ReceiverEvent::Installed { base, .. } = e {
+                            n.home_base = Some(*base);
+                        }
+                    }
+                    n.events.extend(evs);
+                }
+                self.handle_node_channels(i, &inc);
+            }
+            self.flush_outbox(i);
+        }
+    }
+
+    fn handle_base_app(&mut self, i: usize, inc: &Incoming) {
+        let Incoming::Message {
+            channel, payload, ..
+        } = inc
+        else {
+            return;
+        };
+        if &**channel == RPC_CHANNEL {
+            if let Ok(RpcMsg::Reply { req, ok, value }) = pmp_wire::from_bytes::<RpcMsg>(payload) {
+                self.rpc_outcomes.push(RpcOutcome { req, ok, value });
+            }
+            return;
+        }
+        if &**channel != APP_CHANNEL {
+            return;
+        }
+        let Ok(msg) = pmp_wire::from_bytes::<AppMsg>(payload) else {
+            return;
+        };
+        match msg {
+            AppMsg::Monitor { record } => {
+                self.bases[i].store.append(record);
+            }
+            AppMsg::Replicate { record } => {
+                self.bases[i].store.append(record.clone());
+                let routes = self.bases[i]
+                    .mirrors
+                    .get(&record.robot)
+                    .cloned()
+                    .unwrap_or_default();
+                let from = self.bases[i].node;
+                for (replica, num, den) in routes {
+                    let mut scaled = record.clone();
+                    for a in &mut scaled.args {
+                        *a = *a * num / den;
+                    }
+                    self.sim
+                        .send(from, replica, MIRROR_CHANNEL, pmp_wire::to_bytes(&scaled));
+                }
+            }
+            AppMsg::Charge {
+                robot,
+                reason,
+                amount,
+            } => {
+                self.bases[i].charges.push((robot, reason, amount));
+            }
+            AppMsg::Persist { robot, key, value } => {
+                self.bases[i].persisted.push((robot, key, value));
+            }
+        }
+    }
+
+    fn handle_node_channels(&mut self, i: usize, inc: &Incoming) {
+        let Incoming::Message {
+            from,
+            channel,
+            payload,
+            ..
+        } = inc
+        else {
+            return;
+        };
+        if &**channel == MIRROR_CHANNEL {
+            if let Ok(record) = pmp_wire::from_bytes::<MovementRecord>(payload) {
+                let n = &mut self.nodes[i];
+                // Mirror application errors (frozen hardware etc.) are
+                // isolated: a broken replica must not wedge the pump.
+                let _ = pmp_extensions::replication::mirror_record(
+                    &mut n.vm, &n.motors, &record, 1, 1,
+                );
+            }
+            return;
+        }
+        if &**channel != RPC_CHANNEL {
+            return;
+        }
+        let Ok(msg) = pmp_wire::from_bytes::<RpcMsg>(payload) else {
+            return;
+        };
+        match msg {
+            RpcMsg::Call {
+                caller,
+                class,
+                method,
+                args,
+                req,
+            } => {
+                let reply = {
+                    let n = &mut self.nodes[i];
+                    *n.wiring.caller.lock() = caller;
+                    let result = match n.services.get(&class).cloned() {
+                        Some(svc) => n.vm.call(
+                            &class,
+                            &method,
+                            svc,
+                            args.into_iter().map(Value::Int).collect(),
+                        ),
+                        None => Err(VmError::link(format!("no service {class:?}"))),
+                    };
+                    *n.wiring.caller.lock() = String::new();
+                    match result {
+                        Ok(v) => RpcMsg::Reply {
+                            req,
+                            ok: true,
+                            value: v.to_string(),
+                        },
+                        Err(e) => RpcMsg::Reply {
+                            req,
+                            ok: false,
+                            value: e.to_string(),
+                        },
+                    }
+                };
+                let node = self.nodes[i].node;
+                self.sim.send(node, *from, RPC_CHANNEL, pmp_wire::to_bytes(&reply));
+            }
+            RpcMsg::Reply { req, ok, value } => {
+                self.rpc_outcomes.push(RpcOutcome { req, ok, value });
+            }
+        }
+    }
+
+    fn flush_outbox(&mut self, i: usize) {
+        let msgs: Vec<AppMsg> = {
+            let n = &self.nodes[i];
+            let mut outbox = n.wiring.outbox.lock();
+            if outbox.is_empty() {
+                return;
+            }
+            // Without a home base the data stays queued locally
+            // ("first locally stored", §4.4).
+            if n.home_base.is_none() {
+                return;
+            }
+            outbox.drain(..).collect()
+        };
+        let node = self.nodes[i].node;
+        let home = self.nodes[i].home_base.expect("checked above");
+        for m in msgs {
+            self.sim.send(node, home, APP_CHANNEL, pmp_wire::to_bytes(&m));
+        }
+    }
+}

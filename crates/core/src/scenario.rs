@@ -1,0 +1,117 @@
+//! The canonical production-hall world (paper §1's motivating example
+//! and §4's prototype): two halls with different policies, a plotter
+//! robot roaming between them.
+
+use crate::platform::{BaseId, MobId, Platform};
+use pmp_net::{AreaId, Position};
+use pmp_vm::perm::{Permission, Permissions};
+
+/// The canned world used by examples, integration tests, and benches.
+#[derive(Debug)]
+pub struct ProductionHalls {
+    /// The platform.
+    pub platform: Platform,
+    /// Hall A (monitoring + access control + session).
+    pub hall_a: AreaId,
+    /// Hall B (geofence + billing).
+    pub hall_b: AreaId,
+    /// Hall A's base station.
+    pub base_a: BaseId,
+    /// Hall B's base station.
+    pub base_b: BaseId,
+    /// The plotter robot.
+    pub robot: MobId,
+}
+
+/// Position inside hall A.
+pub const IN_HALL_A: Position = Position { x: 30.0, y: 30.0 };
+/// Position inside hall B.
+pub const IN_HALL_B: Position = Position { x: 180.0, y: 30.0 };
+/// The corridor between halls — out of both bases' radio range.
+pub const CORRIDOR: Position = Position { x: 500.0, y: 500.0 };
+
+impl ProductionHalls {
+    /// Builds the world: hall A `[0,60]²` with its base at the centre,
+    /// hall B `[150,210]×[0,60]` likewise, and the robot starting in
+    /// hall A. Catalogs:
+    ///
+    /// * hall A: session management (implicit), access control allowing
+    ///   `operator:1`/`operator:2`, hardware monitoring;
+    /// * hall B: geofence `[0,30]²`, billing at 2 units per motor call.
+    pub fn build(seed: u64) -> ProductionHalls {
+        let mut p = Platform::new(seed);
+        let hall_a = p.add_area("hall-a", Position::new(0.0, 0.0), Position::new(60.0, 60.0));
+        let hall_b = p.add_area(
+            "hall-b",
+            Position::new(150.0, 0.0),
+            Position::new(210.0, 60.0),
+        );
+        let base_a = p.add_base("hall-a", Position::new(30.0, 30.0), 80.0);
+        let base_b = p.add_base("hall-b", Position::new(180.0, 30.0), 80.0);
+        // The halls are 150 m apart but the bases have 80 m radios; give
+        // them a wired backhaul for roaming handoffs by linking them as
+        // neighbours (handoff messages ride the same channel; out-of-
+        // range sends are simply lost, as between real bases without
+        // backhaul).
+        p.link_bases(base_a, base_b);
+
+        // Hall A catalog.
+        let seal_a = |p: &Platform, pkg| p.base(base_a).seal(&pkg);
+        let session = pmp_extensions::session::package("* DrawingService.*(..)", 1);
+        let access = pmp_extensions::access_control::package(
+            "* DrawingService.*(..)",
+            &["operator:1", "operator:2"],
+            1,
+        );
+        let monitoring = pmp_extensions::monitoring::package(1);
+        for pkg in [session, access, monitoring] {
+            let sealed = seal_a(&p, pkg);
+            p.base_mut(base_a).base.catalog.put(sealed);
+        }
+
+        // Hall B catalog.
+        let geofence = pmp_extensions::geofence::package(0, 0, 30, 30, 1);
+        let billing = pmp_extensions::billing::package("* Motor.*(..)", 2, 1);
+        for pkg in [geofence, billing] {
+            let sealed = p.base(base_b).seal(&pkg);
+            p.base_mut(base_b).base.catalog.put(sealed);
+        }
+
+        // The robot trusts both halls, capped sensibly.
+        let cap = Permissions::none()
+            .with(Permission::Print)
+            .with(Permission::Net)
+            .with(Permission::Time)
+            .with(Permission::Store);
+        let policy = p.trusting_policy(&[base_a, base_b], cap);
+        let robot = p
+            .add_robot("robot:1:1", IN_HALL_A, 80.0, policy)
+            .expect("robot construction");
+
+        ProductionHalls {
+            platform: p,
+            hall_a,
+            hall_b,
+            base_a,
+            base_b,
+            robot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds_with_catalogs() {
+        let w = ProductionHalls::build(1);
+        assert_eq!(w.platform.base(w.base_a).base.catalog.len(), 3);
+        assert_eq!(w.platform.base(w.base_b).base.catalog.len(), 2);
+        assert_eq!(w.platform.node(w.robot).name, "robot:1:1");
+        assert_eq!(
+            w.platform.sim.node_area(w.platform.node(w.robot).node),
+            Some(w.hall_a)
+        );
+    }
+}

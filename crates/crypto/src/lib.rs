@@ -1,0 +1,45 @@
+//! Cryptographic substrate for the pmp platform, written from scratch.
+//!
+//! MIDAS requires every extension instance to be **signed** so that a
+//! mobile node only accepts extensions "instantiated and configured by a
+//! trusted entity" (paper §3.2). The paper used the stock Java security
+//! model; this crate provides the equivalent building blocks:
+//!
+//! * [`sha256()`] — FIPS-180-4 SHA-256 (one-shot and incremental),
+//! * [`hmac`] — HMAC-SHA256,
+//! * [`group`] — modular arithmetic in a Schnorr group over a 62-bit
+//!   safe prime,
+//! * [`keys`] / [`sign`] — key pairs and deterministic Schnorr
+//!   signatures,
+//! * [`principal`] — named principals, trust stores and the signed-blob
+//!   envelope used by the MIDAS delivery protocol.
+//!
+//! **Security note:** the group modulus is 62 bits, so signatures here are
+//! *simulation-grade*: they faithfully reproduce the sign → verify →
+//! trust-decision protocol shape of the paper, not its cryptographic
+//! strength. The hash and HMAC implementations, by contrast, are the real
+//! algorithms and are tested against published vectors.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmp_crypto::KeyPair;
+//!
+//! let pair = KeyPair::from_seed(b"hall-a authority");
+//! let sig = pair.sign(b"extension bytes");
+//! assert!(pair.public_key().verify(b"extension bytes", &sig));
+//! assert!(!pair.public_key().verify(b"tampered bytes", &sig));
+//! ```
+
+pub mod group;
+pub mod hmac;
+pub mod keys;
+pub mod principal;
+pub mod sha256;
+pub mod sign;
+
+pub use hmac::hmac_sha256;
+pub use keys::{KeyPair, PublicKey, SecretKey};
+pub use principal::{Principal, SignedBlob, TrustStore};
+pub use sha256::{sha256, sha256_parts, Digest, Sha256};
+pub use sign::Signature;

@@ -1,0 +1,277 @@
+//! Principals, trust stores, and the signed-blob envelope.
+//!
+//! A *principal* is a named identity (a production hall's authority, a
+//! device vendor, a base station). Each extension receiver keeps a
+//! [`TrustStore`] of principals it accepts extensions from — the paper's
+//! "each extension receiver node may define its preferences and trusted
+//! entities" (§3.2).
+
+use crate::keys::PublicKey;
+use crate::sign::Signature;
+use pmp_wire::wire_struct;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named identity with a verification key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Principal {
+    /// Human-readable unique name, e.g. `"authority:hall-a"`.
+    pub name: String,
+    /// The principal's public verification key.
+    pub key: PublicKey,
+}
+
+wire_struct!(Principal {
+    name: String,
+    key: PublicKey,
+});
+
+impl Principal {
+    /// Creates a principal.
+    pub fn new(name: impl Into<String>, key: PublicKey) -> Self {
+        Self {
+            name: name.into(),
+            key,
+        }
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.key)
+    }
+}
+
+/// The set of principals a node trusts, and how to verify against it.
+///
+/// # Examples
+///
+/// ```
+/// use pmp_crypto::{KeyPair, Principal, TrustStore, SignedBlob};
+///
+/// let authority = KeyPair::from_seed(b"hall-a");
+/// let mut store = TrustStore::new();
+/// store.add(Principal::new("hall-a", authority.public_key()));
+///
+/// let blob = SignedBlob::seal("hall-a", &authority, b"payload".to_vec());
+/// assert!(store.verify(&blob).is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrustStore {
+    trusted: BTreeMap<String, PublicKey>,
+}
+
+/// Why a signed blob was rejected by a [`TrustStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrustError {
+    /// The signer's name is not present in the trust store.
+    UnknownSigner {
+        /// The claimed signer name.
+        signer: String,
+    },
+    /// The signature does not verify under the trusted key of that name.
+    BadSignature {
+        /// The claimed signer name.
+        signer: String,
+    },
+}
+
+impl fmt::Display for TrustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrustError::UnknownSigner { signer } => {
+                write!(f, "signer {signer:?} is not trusted")
+            }
+            TrustError::BadSignature { signer } => {
+                write!(f, "signature verification failed for signer {signer:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrustError {}
+
+impl TrustStore {
+    /// Creates an empty trust store (trusts no one).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a trusted principal.
+    pub fn add(&mut self, principal: Principal) {
+        self.trusted.insert(principal.name, principal.key);
+    }
+
+    /// Removes a principal by name; returns whether it was present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.trusted.remove(name).is_some()
+    }
+
+    /// Looks up the trusted key for `name`.
+    pub fn key_of(&self, name: &str) -> Option<PublicKey> {
+        self.trusted.get(name).copied()
+    }
+
+    /// Returns `true` if `name` is trusted.
+    pub fn is_trusted(&self, name: &str) -> bool {
+        self.trusted.contains_key(name)
+    }
+
+    /// Number of trusted principals.
+    pub fn len(&self) -> usize {
+        self.trusted.len()
+    }
+
+    /// Returns `true` if no principal is trusted.
+    pub fn is_empty(&self) -> bool {
+        self.trusted.is_empty()
+    }
+
+    /// Iterates over trusted principals in name order.
+    pub fn iter(&self) -> impl Iterator<Item = Principal> + '_ {
+        self.trusted
+            .iter()
+            .map(|(n, k)| Principal::new(n.clone(), *k))
+    }
+
+    /// Verifies a signed blob: the signer must be trusted *and* the
+    /// signature must verify under that signer's stored key.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::UnknownSigner`] or [`TrustError::BadSignature`].
+    pub fn verify(&self, blob: &SignedBlob) -> Result<(), TrustError> {
+        let key = self
+            .trusted
+            .get(&blob.signer)
+            .ok_or_else(|| TrustError::UnknownSigner {
+                signer: blob.signer.clone(),
+            })?;
+        if key.verify(&blob.payload, &blob.signature) {
+            Ok(())
+        } else {
+            Err(TrustError::BadSignature {
+                signer: blob.signer.clone(),
+            })
+        }
+    }
+}
+
+/// A payload together with the name of its signer and a signature over
+/// the payload bytes. This is the envelope MIDAS ships extensions in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedBlob {
+    /// Claimed signer name (must match a trust-store entry to verify).
+    pub signer: String,
+    /// The signed payload bytes (canonical wire encoding of the value).
+    pub payload: Vec<u8>,
+    /// Schnorr signature over `payload`.
+    pub signature: Signature,
+}
+
+wire_struct!(SignedBlob {
+    signer: String,
+    payload: Vec<u8>,
+    signature: Signature,
+});
+
+impl SignedBlob {
+    /// Signs `payload` as `signer` using `pair`.
+    pub fn seal(signer: impl Into<String>, pair: &crate::keys::KeyPair, payload: Vec<u8>) -> Self {
+        let signature = pair.sign(&payload);
+        Self {
+            signer: signer.into(),
+            payload,
+            signature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+
+    fn setup() -> (KeyPair, TrustStore) {
+        let pair = KeyPair::from_seed(b"authority");
+        let mut store = TrustStore::new();
+        store.add(Principal::new("authority", pair.public_key()));
+        (pair, store)
+    }
+
+    #[test]
+    fn trusted_blob_verifies() {
+        let (pair, store) = setup();
+        let blob = SignedBlob::seal("authority", &pair, b"data".to_vec());
+        assert_eq!(store.verify(&blob), Ok(()));
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let (pair, store) = setup();
+        let blob = SignedBlob::seal("impostor", &pair, b"data".to_vec());
+        assert_eq!(
+            store.verify(&blob),
+            Err(TrustError::UnknownSigner {
+                signer: "impostor".into()
+            })
+        );
+    }
+
+    #[test]
+    fn signer_with_wrong_key_rejected() {
+        let (_, store) = setup();
+        let mallory = KeyPair::from_seed(b"mallory");
+        // Mallory claims to be "authority" but signs with her own key.
+        let blob = SignedBlob::seal("authority", &mallory, b"data".to_vec());
+        assert_eq!(
+            store.verify(&blob),
+            Err(TrustError::BadSignature {
+                signer: "authority".into()
+            })
+        );
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (pair, store) = setup();
+        let mut blob = SignedBlob::seal("authority", &pair, b"data".to_vec());
+        blob.payload[0] ^= 1;
+        assert!(matches!(
+            store.verify(&blob),
+            Err(TrustError::BadSignature { .. })
+        ));
+    }
+
+    #[test]
+    fn revoking_trust_takes_effect() {
+        let (pair, mut store) = setup();
+        let blob = SignedBlob::seal("authority", &pair, b"data".to_vec());
+        assert!(store.verify(&blob).is_ok());
+        assert!(store.remove("authority"));
+        assert!(matches!(
+            store.verify(&blob),
+            Err(TrustError::UnknownSigner { .. })
+        ));
+    }
+
+    #[test]
+    fn blob_wire_roundtrip() {
+        let (pair, _) = setup();
+        let blob = SignedBlob::seal("authority", &pair, vec![1, 2, 3]);
+        let bytes = pmp_wire::to_bytes(&blob);
+        assert_eq!(pmp_wire::from_bytes::<SignedBlob>(&bytes).unwrap(), blob);
+    }
+
+    #[test]
+    fn store_iteration_and_queries() {
+        let (pair, mut store) = setup();
+        store.add(Principal::new("vendor", KeyPair::from_seed(b"v").public_key()));
+        assert_eq!(store.len(), 2);
+        assert!(store.is_trusted("vendor"));
+        assert!(!store.is_trusted("nobody"));
+        assert_eq!(store.key_of("authority"), Some(pair.public_key()));
+        let names: Vec<String> = store.iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["authority".to_string(), "vendor".to_string()]);
+    }
+}

@@ -1,0 +1,351 @@
+//! The client side of discovery: registrar tracking, registration with
+//! auto-renewal, and lookups.
+
+use crate::proto::{DiscoveryMsg, CHANNEL};
+use crate::service::{ServiceId, ServiceItem, ServiceQuery};
+use pmp_net::{Incoming, NodeId, SimTime, Simulator};
+use std::collections::HashMap;
+
+const RENEW_TAG: &str = "disc.renew";
+const REGCHECK_TAG: &str = "disc.regcheck";
+
+/// Events surfaced to the client's host component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveryEvent {
+    /// A registrar announced itself for the first time (or after being
+    /// lost).
+    RegistrarDiscovered {
+        /// The registrar's host node.
+        node: NodeId,
+        /// Its advertised name.
+        name: String,
+    },
+    /// A known registrar has not announced within the timeout.
+    RegistrarLost {
+        /// The registrar's host node.
+        node: NodeId,
+    },
+    /// A registration completed.
+    Registered {
+        /// The request id returned by [`DiscoveryClient::register`].
+        req: u64,
+        /// The assigned service id.
+        service: ServiceId,
+        /// The registrar holding it.
+        registrar: NodeId,
+    },
+    /// A lease renewal was refused (the registrar dropped us) or the
+    /// registrar is unreachable; the registration is gone.
+    RegistrationLost {
+        /// The lost service.
+        service: ServiceId,
+        /// The registrar that held it.
+        registrar: NodeId,
+    },
+    /// A lookup completed.
+    LookupDone {
+        /// The request id returned by [`DiscoveryClient::lookup`].
+        req: u64,
+        /// Matching services.
+        items: Vec<ServiceItem>,
+    },
+}
+
+#[derive(Debug)]
+struct Registration {
+    registrar: NodeId,
+    service: Option<ServiceId>,
+    lease_ns: u64,
+    req: u64,
+    /// The item, kept for re-sending unconfirmed registrations.
+    item: ServiceItem,
+    /// Renewals sent without an ack yet.
+    outstanding: u32,
+}
+
+#[derive(Debug)]
+struct KnownRegistrar {
+    name: String,
+    last_seen: SimTime,
+    announced: bool,
+}
+
+/// The discovery client state machine for one node. Drive it by passing
+/// every [`Incoming`] to [`DiscoveryClient::handle`] and collecting the
+/// returned events.
+#[derive(Debug)]
+pub struct DiscoveryClient {
+    node: NodeId,
+    registrars: HashMap<NodeId, KnownRegistrar>,
+    registrations: Vec<Registration>,
+    next_req: u64,
+    /// A registrar is lost after this long without an announcement.
+    pub registrar_timeout_ns: u64,
+    started: bool,
+    /// Token of the outstanding renewal timer (exactly one is kept
+    /// regardless of how many registrations exist). Timers are matched
+    /// by token so co-located components never react to each other's
+    /// firings.
+    renew_token: Option<u64>,
+    /// Token of the outstanding registrar-liveness timer.
+    regcheck_token: Option<u64>,
+}
+
+impl DiscoveryClient {
+    /// Creates a client for `node`.
+    pub fn new(node: NodeId) -> Self {
+        Self {
+            node,
+            registrars: HashMap::new(),
+            registrations: Vec::new(),
+            next_req: 1,
+            registrar_timeout_ns: 1_600_000_000, // ≈3 announce periods
+            started: false,
+            renew_token: None,
+            regcheck_token: None,
+        }
+    }
+
+    /// Schedules the single renewal timer if none is outstanding.
+    fn ensure_renew_timer(&mut self, sim: &mut Simulator) {
+        if self.renew_token.is_some() {
+            return;
+        }
+        let Some(min_half) = self
+            .registrations
+            .iter()
+            .map(|r| r.lease_ns / 2)
+            .min()
+        else {
+            return;
+        };
+        self.renew_token = Some(sim.set_timer(self.node, min_half.max(1), RENEW_TAG));
+    }
+
+    /// Starts the periodic registrar-liveness check. Idempotent.
+    pub fn start(&mut self, sim: &mut Simulator) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.regcheck_token =
+            Some(sim.set_timer(self.node, self.registrar_timeout_ns / 2, REGCHECK_TAG));
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    /// Registrars currently believed alive, as `(node, name)`.
+    pub fn known_registrars(&self) -> Vec<(NodeId, String)> {
+        self.registrars
+            .iter()
+            .map(|(n, k)| (*n, k.name.clone()))
+            .collect()
+    }
+
+    /// Registers `item` with `registrar` under a lease of `lease_ns`;
+    /// the client renews it automatically at half-lease until
+    /// [`DiscoveryClient::cancel`] or loss, and re-sends the
+    /// registration itself while unconfirmed (lossy radios drop
+    /// messages). Returns the request id that correlates with
+    /// [`DiscoveryEvent::Registered`].
+    pub fn register(
+        &mut self,
+        sim: &mut Simulator,
+        registrar: NodeId,
+        item: ServiceItem,
+        lease_ns: u64,
+    ) -> u64 {
+        let req = self.fresh_req();
+        self.registrations.push(Registration {
+            registrar,
+            service: None,
+            lease_ns,
+            req,
+            item: item.clone(),
+            outstanding: 0,
+        });
+        let msg = DiscoveryMsg::Register {
+            item,
+            lease_ns,
+            req,
+        };
+        sim.send(self.node, registrar, CHANNEL, pmp_wire::to_bytes(&msg));
+        self.ensure_renew_timer(sim);
+        req
+    }
+
+    /// Cancels an active registration.
+    pub fn cancel(&mut self, sim: &mut Simulator, service: ServiceId) {
+        if let Some(idx) = self
+            .registrations
+            .iter()
+            .position(|r| r.service == Some(service))
+        {
+            let reg = self.registrations.remove(idx);
+            let msg = DiscoveryMsg::Cancel { service };
+            sim.send(self.node, reg.registrar, CHANNEL, pmp_wire::to_bytes(&msg));
+        }
+    }
+
+    /// Sends a lookup to `registrar`; the result arrives as
+    /// [`DiscoveryEvent::LookupDone`] with the returned request id.
+    pub fn lookup(&mut self, sim: &mut Simulator, registrar: NodeId, query: ServiceQuery) -> u64 {
+        let req = self.fresh_req();
+        let msg = DiscoveryMsg::Lookup { query, req };
+        sim.send(self.node, registrar, CHANNEL, pmp_wire::to_bytes(&msg));
+        req
+    }
+
+    /// Processes one inbox entry; returns surfaced events.
+    pub fn handle(&mut self, sim: &mut Simulator, incoming: &Incoming) -> Vec<DiscoveryEvent> {
+        let mut events = Vec::new();
+        match incoming {
+            Incoming::Timer { token, .. } if Some(*token) == self.renew_token => {
+                self.renew_token = None;
+                self.renew_all(sim, &mut events);
+                self.ensure_renew_timer(sim);
+            }
+            Incoming::Timer { token, .. } if Some(*token) == self.regcheck_token => {
+                self.check_registrars(sim, &mut events);
+                self.regcheck_token =
+                    Some(sim.set_timer(self.node, self.registrar_timeout_ns / 2, REGCHECK_TAG));
+            }
+            Incoming::Message {
+                from,
+                channel,
+                payload,
+                ..
+            } if &**channel == CHANNEL => {
+                if let Ok(msg) = pmp_wire::from_bytes::<DiscoveryMsg>(payload) {
+                    self.handle_msg(sim, *from, msg, &mut events);
+                }
+            }
+            _ => {}
+        }
+        events
+    }
+
+    fn handle_msg(
+        &mut self,
+        sim: &mut Simulator,
+        from: NodeId,
+        msg: DiscoveryMsg,
+        events: &mut Vec<DiscoveryEvent>,
+    ) {
+        match msg {
+            DiscoveryMsg::Announce { name } => {
+                let now = sim.now();
+                let entry = self.registrars.entry(from).or_insert(KnownRegistrar {
+                    name: name.clone(),
+                    last_seen: now,
+                    announced: false,
+                });
+                entry.last_seen = now;
+                entry.name = name.clone();
+                if !entry.announced {
+                    entry.announced = true;
+                    events.push(DiscoveryEvent::RegistrarDiscovered { node: from, name });
+                }
+            }
+            DiscoveryMsg::Registered {
+                service,
+                lease_ns,
+                req,
+            } => {
+                if let Some(reg) = self.registrations.iter_mut().find(|r| r.req == req) {
+                    reg.service = Some(service);
+                    reg.lease_ns = lease_ns;
+                    events.push(DiscoveryEvent::Registered {
+                        req,
+                        service,
+                        registrar: from,
+                    });
+                    // Schedule the first renewal at half-lease.
+                    self.ensure_renew_timer(sim);
+                }
+            }
+            DiscoveryMsg::RenewAck { service, ok, .. } => {
+                if let Some(idx) = self
+                    .registrations
+                    .iter()
+                    .position(|r| r.service == Some(service))
+                {
+                    if ok {
+                        self.registrations[idx].outstanding = 0;
+                    } else {
+                        let reg = self.registrations.remove(idx);
+                        events.push(DiscoveryEvent::RegistrationLost {
+                            service,
+                            registrar: reg.registrar,
+                        });
+                    }
+                }
+            }
+            DiscoveryMsg::LookupResult { items, req } => {
+                events.push(DiscoveryEvent::LookupDone { req, items });
+            }
+            // Registrar-bound messages are ignored by the client.
+            DiscoveryMsg::Register { .. }
+            | DiscoveryMsg::Renew { .. }
+            | DiscoveryMsg::Cancel { .. }
+            | DiscoveryMsg::Lookup { .. } => {}
+        }
+    }
+
+    fn renew_all(&mut self, sim: &mut Simulator, events: &mut Vec<DiscoveryEvent>) {
+        let mut lost: Vec<usize> = Vec::new();
+        for (idx, reg) in self.registrations.iter_mut().enumerate() {
+            let Some(service) = reg.service else {
+                // Unconfirmed: the Register (or its reply) may have been
+                // lost — re-send it with the same correlation id.
+                let msg = DiscoveryMsg::Register {
+                    item: reg.item.clone(),
+                    lease_ns: reg.lease_ns,
+                    req: reg.req,
+                };
+                sim.send(self.node, reg.registrar, CHANNEL, pmp_wire::to_bytes(&msg));
+                continue;
+            };
+            // Two unanswered renewals ⇒ the registrar is unreachable and
+            // the lease will lapse: declare the registration lost.
+            if reg.outstanding >= 2 {
+                lost.push(idx);
+                continue;
+            }
+            reg.outstanding += 1;
+            let req = 0; // renewals correlate by service id
+            let msg = DiscoveryMsg::Renew { service, req };
+            sim.send(self.node, reg.registrar, CHANNEL, pmp_wire::to_bytes(&msg));
+        }
+        for idx in lost.into_iter().rev() {
+            let reg = self.registrations.remove(idx);
+            if let Some(service) = reg.service {
+                events.push(DiscoveryEvent::RegistrationLost {
+                    service,
+                    registrar: reg.registrar,
+                });
+            }
+        }
+    }
+
+    fn check_registrars(&mut self, sim: &Simulator, events: &mut Vec<DiscoveryEvent>) {
+        let now = sim.now();
+        let timeout = self.registrar_timeout_ns;
+        let lost: Vec<NodeId> = self
+            .registrars
+            .iter()
+            .filter(|(_, k)| k.announced && now.since(k.last_seen) > timeout)
+            .map(|(n, _)| *n)
+            .collect();
+        for node in lost {
+            if let Some(k) = self.registrars.get_mut(&node) {
+                k.announced = false;
+            }
+            events.push(DiscoveryEvent::RegistrarLost { node });
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Leases: time-bounded grants that must be renewed to stay alive
+//! (the Jini model the paper relies on for locality of adaptations).
+
+use pmp_net::SimTime;
+
+/// A lease on a resource, valid until `expires`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Grant duration for each renewal, in nanoseconds.
+    pub duration_ns: u64,
+    /// Current expiry instant.
+    pub expires: SimTime,
+}
+
+impl Lease {
+    /// Grants a fresh lease of `duration_ns` starting at `now`.
+    pub fn grant(now: SimTime, duration_ns: u64) -> Self {
+        Self {
+            duration_ns,
+            expires: now.plus(duration_ns),
+        }
+    }
+
+    /// Has the lease lapsed at `now`?
+    pub fn expired(&self, now: SimTime) -> bool {
+        now >= self.expires
+    }
+
+    /// Extends the lease from `now` by the original duration.
+    /// Returns `false` (and leaves the lease unchanged) if it had
+    /// already expired — lapsed leases cannot be revived.
+    pub fn renew(&mut self, now: SimTime) -> bool {
+        if self.expired(now) {
+            return false;
+        }
+        self.expires = now.plus(self.duration_ns);
+        true
+    }
+
+    /// Nanoseconds of validity remaining at `now`.
+    pub fn remaining(&self, now: SimTime) -> u64 {
+        self.expires.since(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_expiry() {
+        let l = Lease::grant(SimTime::ZERO, 1_000);
+        assert!(!l.expired(SimTime(999)));
+        assert!(l.expired(SimTime(1_000)));
+        assert_eq!(l.remaining(SimTime(400)), 600);
+    }
+
+    #[test]
+    fn renewal_extends_monotonically() {
+        let mut l = Lease::grant(SimTime::ZERO, 1_000);
+        assert!(l.renew(SimTime(500)));
+        assert_eq!(l.expires, SimTime(1_500));
+        assert!(l.renew(SimTime(1_499)));
+        assert_eq!(l.expires, SimTime(2_499));
+    }
+
+    #[test]
+    fn lapsed_lease_cannot_be_revived() {
+        let mut l = Lease::grant(SimTime::ZERO, 1_000);
+        assert!(!l.renew(SimTime(1_000)));
+        assert_eq!(l.expires, SimTime(1_000));
+    }
+}

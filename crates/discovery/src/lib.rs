@@ -1,0 +1,30 @@
+//! # pmp-discovery — Jini-like spontaneous networking
+//!
+//! The paper uses Jini for "service detection and brokerage": mobile
+//! nodes advertise their adaptation service, base stations discover
+//! newcomers, and everything is leased so state evaporates when nodes
+//! leave. This crate reimplements those pieces over the
+//! [`pmp_net::Simulator`]:
+//!
+//! * [`registrar::Registrar`] — the lookup service a base station
+//!   hosts: registration under leases, lookup by type/attributes,
+//!   multicast announcements, lease expiry sweeps;
+//! * [`client::DiscoveryClient`] — the node-side library: registrar
+//!   tracking with loss detection, registration with automatic renewal,
+//!   and lookups;
+//! * [`lease::Lease`] — the lease primitive shared with MIDAS.
+//!
+//! Both sides are message-driven state machines: a host drains its
+//! node's inbox each simulation step and feeds entries to `handle`.
+
+pub mod client;
+pub mod lease;
+pub mod proto;
+pub mod registrar;
+pub mod service;
+
+pub use client::{DiscoveryClient, DiscoveryEvent};
+pub use lease::Lease;
+pub use proto::{DiscoveryMsg, CHANNEL};
+pub use registrar::{Registrar, RegistrarEvent};
+pub use service::{ServiceId, ServiceItem, ServiceQuery};

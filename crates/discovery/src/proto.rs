@@ -1,0 +1,221 @@
+//! The discovery wire protocol, carried on the `"discovery"` channel.
+
+use crate::service::{ServiceId, ServiceItem, ServiceQuery};
+use pmp_wire::{Reader, Wire, WireError, Writer};
+
+/// Channel name used for all discovery traffic.
+pub const CHANNEL: &str = "discovery";
+
+/// A discovery protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscoveryMsg {
+    /// Registrar broadcast: "I am here" (multicast announcement).
+    Announce {
+        /// Registrar's human-readable name (e.g. `"lookup:hall-a"`).
+        name: String,
+    },
+    /// Client → registrar: register a service under a lease.
+    Register {
+        /// The item (id ignored; assigned by the registrar).
+        item: ServiceItem,
+        /// Requested lease duration (ns).
+        lease_ns: u64,
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Registrar → client: registration accepted.
+    Registered {
+        /// Assigned id.
+        service: ServiceId,
+        /// Granted lease duration (ns).
+        lease_ns: u64,
+        /// Echoed correlation id.
+        req: u64,
+    },
+    /// Client → registrar: renew a service lease.
+    Renew {
+        /// The service.
+        service: ServiceId,
+        /// Correlation id.
+        req: u64,
+    },
+    /// Registrar → client: renewal result.
+    RenewAck {
+        /// The service.
+        service: ServiceId,
+        /// Whether the lease was still alive and got extended.
+        ok: bool,
+        /// Correlation id.
+        req: u64,
+    },
+    /// Client → registrar: cancel a registration.
+    Cancel {
+        /// The service.
+        service: ServiceId,
+    },
+    /// Client → registrar: look up services.
+    Lookup {
+        /// The query.
+        query: ServiceQuery,
+        /// Correlation id.
+        req: u64,
+    },
+    /// Registrar → client: lookup results.
+    LookupResult {
+        /// Matching items (with assigned ids).
+        items: Vec<ServiceItem>,
+        /// Echoed correlation id.
+        req: u64,
+    },
+}
+
+impl Wire for DiscoveryMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            DiscoveryMsg::Announce { name } => {
+                w.put_u8(0);
+                w.put_str(name);
+            }
+            DiscoveryMsg::Register {
+                item,
+                lease_ns,
+                req,
+            } => {
+                w.put_u8(1);
+                item.encode(w);
+                w.put_u64(*lease_ns);
+                w.put_u64(*req);
+            }
+            DiscoveryMsg::Registered {
+                service,
+                lease_ns,
+                req,
+            } => {
+                w.put_u8(2);
+                service.encode(w);
+                w.put_u64(*lease_ns);
+                w.put_u64(*req);
+            }
+            DiscoveryMsg::Renew { service, req } => {
+                w.put_u8(3);
+                service.encode(w);
+                w.put_u64(*req);
+            }
+            DiscoveryMsg::RenewAck { service, ok, req } => {
+                w.put_u8(4);
+                service.encode(w);
+                w.put_bool(*ok);
+                w.put_u64(*req);
+            }
+            DiscoveryMsg::Cancel { service } => {
+                w.put_u8(5);
+                service.encode(w);
+            }
+            DiscoveryMsg::Lookup { query, req } => {
+                w.put_u8(6);
+                query.encode(w);
+                w.put_u64(*req);
+            }
+            DiscoveryMsg::LookupResult { items, req } => {
+                w.put_u8(7);
+                items.encode(w);
+                w.put_u64(*req);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => DiscoveryMsg::Announce { name: r.get_str()? },
+            1 => DiscoveryMsg::Register {
+                item: ServiceItem::decode(r)?,
+                lease_ns: r.get_u64()?,
+                req: r.get_u64()?,
+            },
+            2 => DiscoveryMsg::Registered {
+                service: ServiceId::decode(r)?,
+                lease_ns: r.get_u64()?,
+                req: r.get_u64()?,
+            },
+            3 => DiscoveryMsg::Renew {
+                service: ServiceId::decode(r)?,
+                req: r.get_u64()?,
+            },
+            4 => DiscoveryMsg::RenewAck {
+                service: ServiceId::decode(r)?,
+                ok: r.get_bool()?,
+                req: r.get_u64()?,
+            },
+            5 => DiscoveryMsg::Cancel {
+                service: ServiceId::decode(r)?,
+            },
+            6 => DiscoveryMsg::Lookup {
+                query: ServiceQuery::decode(r)?,
+                req: r.get_u64()?,
+            },
+            7 => DiscoveryMsg::LookupResult {
+                items: Vec::<ServiceItem>::decode(r)?,
+                req: r.get_u64()?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    type_name: "DiscoveryMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = vec![
+            DiscoveryMsg::Announce {
+                name: "lookup:hall-a".into(),
+            },
+            DiscoveryMsg::Register {
+                item: ServiceItem::new("midas.adaptation", "robot", 1),
+                lease_ns: 5_000_000,
+                req: 9,
+            },
+            DiscoveryMsg::Registered {
+                service: ServiceId::compose(1, 2),
+                lease_ns: 5_000_000,
+                req: 9,
+            },
+            DiscoveryMsg::Renew {
+                service: ServiceId::compose(1, 2),
+                req: 10,
+            },
+            DiscoveryMsg::RenewAck {
+                service: ServiceId::compose(1, 2),
+                ok: true,
+                req: 10,
+            },
+            DiscoveryMsg::Cancel {
+                service: ServiceId::compose(1, 2),
+            },
+            DiscoveryMsg::Lookup {
+                query: ServiceQuery::of_type("midas.adaptation"),
+                req: 11,
+            },
+            DiscoveryMsg::LookupResult {
+                items: vec![ServiceItem::new("midas.adaptation", "robot", 1)],
+                req: 11,
+            },
+        ];
+        for m in msgs {
+            let bytes = pmp_wire::to_bytes(&m);
+            assert_eq!(pmp_wire::from_bytes::<DiscoveryMsg>(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(pmp_wire::from_bytes::<DiscoveryMsg>(&[99]).is_err());
+    }
+}

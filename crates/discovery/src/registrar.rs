@@ -1,0 +1,196 @@
+//! The lookup service (Jini registrar) hosted by a base station.
+
+use crate::lease::Lease;
+use crate::proto::{DiscoveryMsg, CHANNEL};
+use crate::service::{ServiceId, ServiceItem};
+use pmp_net::{Incoming, NodeId, SimTime, Simulator};
+use std::collections::HashMap;
+
+const ANNOUNCE_TAG: &str = "disc.announce";
+const SWEEP_TAG: &str = "disc.sweep";
+
+/// An event surfaced by the registrar to its host (the base station).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistrarEvent {
+    /// A new service registered.
+    Registered(ServiceItem),
+    /// A service's lease lapsed and it was dropped.
+    Expired(ServiceItem),
+    /// A service was cancelled by its provider.
+    Cancelled(ServiceItem),
+}
+
+/// The registrar state machine. Drive it by passing every [`Incoming`]
+/// of its host node to [`Registrar::handle`].
+#[derive(Debug)]
+pub struct Registrar {
+    node: NodeId,
+    name: String,
+    announce_interval_ns: u64,
+    services: HashMap<ServiceId, (ServiceItem, Lease)>,
+    counter: u32,
+    started: bool,
+    announce_token: Option<u64>,
+    sweep_token: Option<u64>,
+    events: Vec<RegistrarEvent>,
+}
+
+impl Registrar {
+    /// Creates a registrar hosted on `node`.
+    pub fn new(node: NodeId, name: impl Into<String>) -> Self {
+        Self {
+            node,
+            name: name.into(),
+            announce_interval_ns: 500_000_000, // 0.5 s
+            services: HashMap::new(),
+            counter: 0,
+            started: false,
+            announce_token: None,
+            sweep_token: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Overrides the multicast announce interval.
+    pub fn set_announce_interval(&mut self, ns: u64) {
+        self.announce_interval_ns = ns;
+    }
+
+    /// Starts announcing and lease sweeping. Idempotent.
+    pub fn start(&mut self, sim: &mut Simulator) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.announce(sim);
+        self.announce_token =
+            Some(sim.set_timer(self.node, self.announce_interval_ns, ANNOUNCE_TAG));
+        self.sweep_token =
+            Some(sim.set_timer(self.node, self.announce_interval_ns / 2, SWEEP_TAG));
+    }
+
+    fn announce(&self, sim: &mut Simulator) {
+        let msg = DiscoveryMsg::Announce {
+            name: self.name.clone(),
+        };
+        sim.broadcast(self.node, CHANNEL, pmp_wire::to_bytes(&msg));
+    }
+
+    /// Number of live registrations.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Snapshot of live items.
+    pub fn services(&self) -> Vec<ServiceItem> {
+        self.services.values().map(|(i, _)| i.clone()).collect()
+    }
+
+    /// Drains accumulated events.
+    pub fn take_events(&mut self) -> Vec<RegistrarEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn sweep(&mut self, now: SimTime) {
+        let expired: Vec<ServiceId> = self
+            .services
+            .iter()
+            .filter(|(_, (_, lease))| lease.expired(now))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            if let Some((item, _)) = self.services.remove(&id) {
+                self.events.push(RegistrarEvent::Expired(item));
+            }
+        }
+    }
+
+    /// Processes one inbox entry of the host node. Entries not addressed
+    /// to the registrar (other channels, other timer tags) are ignored.
+    pub fn handle(&mut self, sim: &mut Simulator, incoming: &Incoming) {
+        match incoming {
+            Incoming::Timer { token, .. } if Some(*token) == self.announce_token => {
+                self.announce(sim);
+                self.announce_token =
+                    Some(sim.set_timer(self.node, self.announce_interval_ns, ANNOUNCE_TAG));
+            }
+            Incoming::Timer { token, .. } if Some(*token) == self.sweep_token => {
+                self.sweep(sim.now());
+                self.sweep_token =
+                    Some(sim.set_timer(self.node, self.announce_interval_ns / 2, SWEEP_TAG));
+            }
+            Incoming::Message {
+                from,
+                channel,
+                payload,
+                ..
+            } if &**channel == CHANNEL => {
+                let Ok(msg) = pmp_wire::from_bytes::<DiscoveryMsg>(payload) else {
+                    return; // malformed traffic is dropped
+                };
+                self.handle_msg(sim, *from, msg);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_msg(&mut self, sim: &mut Simulator, from: NodeId, msg: DiscoveryMsg) {
+        let now = sim.now();
+        match msg {
+            DiscoveryMsg::Register {
+                mut item,
+                lease_ns,
+                req,
+            } => {
+                self.counter += 1;
+                let id = ServiceId::compose(self.node.0, self.counter);
+                item.id = id;
+                item.provider = from.0;
+                let lease = Lease::grant(now, lease_ns);
+                self.services.insert(id, (item.clone(), lease));
+                self.events.push(RegistrarEvent::Registered(item));
+                let reply = DiscoveryMsg::Registered {
+                    service: id,
+                    lease_ns,
+                    req,
+                };
+                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&reply));
+            }
+            DiscoveryMsg::Renew { service, req } => {
+                let ok = match self.services.get_mut(&service) {
+                    Some((_, lease)) => lease.renew(now),
+                    None => false,
+                };
+                if !ok {
+                    // Lapsed entries are removed eagerly on failed renew.
+                    if let Some((item, _)) = self.services.remove(&service) {
+                        self.events.push(RegistrarEvent::Expired(item));
+                    }
+                }
+                let reply = DiscoveryMsg::RenewAck { service, ok, req };
+                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&reply));
+            }
+            DiscoveryMsg::Cancel { service } => {
+                if let Some((item, _)) = self.services.remove(&service) {
+                    self.events.push(RegistrarEvent::Cancelled(item));
+                }
+            }
+            DiscoveryMsg::Lookup { query, req } => {
+                self.sweep(now);
+                let items: Vec<ServiceItem> = self
+                    .services
+                    .values()
+                    .filter(|(item, _)| query.matches(item))
+                    .map(|(item, _)| item.clone())
+                    .collect();
+                let reply = DiscoveryMsg::LookupResult { items, req };
+                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&reply));
+            }
+            // Client-bound messages are ignored by the registrar.
+            DiscoveryMsg::Announce { .. }
+            | DiscoveryMsg::Registered { .. }
+            | DiscoveryMsg::RenewAck { .. }
+            | DiscoveryMsg::LookupResult { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Service items and queries (Jini's `ServiceItem`/`ServiceTemplate`).
+
+use pmp_wire::{wire_struct, Reader, Wire, WireError, Writer};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Globally unique service id: registrar node in the high bits, a
+/// per-registrar counter in the low bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(pub u64);
+
+impl ServiceId {
+    /// Composes an id from the issuing registrar's node id and counter.
+    pub fn compose(registrar_node: u32, counter: u32) -> Self {
+        ServiceId((u64::from(registrar_node) << 32) | u64::from(counter))
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc#{:x}", self.0)
+    }
+}
+
+impl Wire for ServiceId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(ServiceId(r.get_u64()?))
+    }
+}
+
+/// A registered service: its type, provider, and free-form attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceItem {
+    /// Registrar-assigned id (0 until registered).
+    pub id: ServiceId,
+    /// Service type, e.g. `"midas.adaptation"` or `"drawing"`.
+    pub service_type: String,
+    /// Human-readable instance name, e.g. `"robot:1:1"`.
+    pub name: String,
+    /// Provider node id (as raw u32).
+    pub provider: u32,
+    /// Attribute map (matched exactly by queries).
+    pub attrs: BTreeMap<String, String>,
+}
+
+wire_struct!(ServiceItem {
+    id: ServiceId,
+    service_type: String,
+    name: String,
+    provider: u32,
+    attrs: BTreeMap<String, String>,
+});
+
+impl ServiceItem {
+    /// Creates an unregistered item.
+    pub fn new(service_type: impl Into<String>, name: impl Into<String>, provider: u32) -> Self {
+        Self {
+            id: ServiceId(0),
+            service_type: service_type.into(),
+            name: name.into(),
+            provider,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an attribute (builder-style).
+    #[must_use]
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// A lookup query: optional type plus attributes that must all match.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceQuery {
+    /// Required service type (`None` matches any).
+    pub service_type: Option<String>,
+    /// Attributes the item must carry with equal values.
+    pub attrs: BTreeMap<String, String>,
+}
+
+wire_struct!(ServiceQuery {
+    service_type: Option<String>,
+    attrs: BTreeMap<String, String>,
+});
+
+impl ServiceQuery {
+    /// Query by service type only.
+    pub fn of_type(service_type: impl Into<String>) -> Self {
+        Self {
+            service_type: Some(service_type.into()),
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a required attribute (builder-style).
+    #[must_use]
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// Does `item` satisfy this query?
+    pub fn matches(&self, item: &ServiceItem) -> bool {
+        if let Some(t) = &self.service_type {
+            if t != &item.service_type {
+                return false;
+            }
+        }
+        self.attrs
+            .iter()
+            .all(|(k, v)| item.attrs.get(k) == Some(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_composition() {
+        let id = ServiceId::compose(3, 7);
+        assert_eq!(id.0, (3u64 << 32) | 7);
+    }
+
+    #[test]
+    fn query_matching() {
+        let item = ServiceItem::new("midas.adaptation", "robot:1:1", 4)
+            .with_attr("vm", "pmp")
+            .with_attr("hall", "a");
+        assert!(ServiceQuery::default().matches(&item));
+        assert!(ServiceQuery::of_type("midas.adaptation").matches(&item));
+        assert!(!ServiceQuery::of_type("drawing").matches(&item));
+        assert!(ServiceQuery::of_type("midas.adaptation")
+            .with_attr("hall", "a")
+            .matches(&item));
+        assert!(!ServiceQuery::of_type("midas.adaptation")
+            .with_attr("hall", "b")
+            .matches(&item));
+        assert!(!ServiceQuery::default().with_attr("missing", "x").matches(&item));
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        let item = ServiceItem::new("drawing", "plotter", 2).with_attr("axes", "3");
+        let bytes = pmp_wire::to_bytes(&item);
+        assert_eq!(pmp_wire::from_bytes::<ServiceItem>(&bytes).unwrap(), item);
+        let q = ServiceQuery::of_type("drawing").with_attr("axes", "3");
+        let bytes = pmp_wire::to_bytes(&q);
+        assert_eq!(pmp_wire::from_bytes::<ServiceQuery>(&bytes).unwrap(), q);
+    }
+}

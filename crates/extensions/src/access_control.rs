@@ -1,0 +1,216 @@
+//! The access-control extension (paper §3.3, Fig. 2c step 3): uses the
+//! session information to decide whether a service call may proceed;
+//! "if the access is denied, the execution is ended with an exception"
+//! (§4.6).
+//!
+//! Requires the implicit session-management extension
+//! ([`crate::session`]), which MIDAS auto-installs first.
+
+use crate::session;
+use crate::support::{advice_params, versioned_class};
+use pmp_midas::{ExtensionMeta, ExtensionPackage};
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::op::Op;
+
+/// Extension id.
+pub const ID: &str = "ext/access-control";
+
+/// Builds the access-control package: only the `allowed` callers may
+/// invoke methods matching `service_pattern`. The allow-list is baked
+/// into the shipped bytecode — the policy *is* the code, configured by
+/// the base station (paper: extensions are "instantiated and configured
+/// by a trusted entity").
+pub fn package(service_pattern: &str, allowed: &[&str], version: u32) -> ExtensionPackage {
+    let mut b = MethodBuilder::new();
+    b.locals(1); // 6: caller
+    let deny = b.label();
+    let ok = b.label();
+    // caller = session.get("caller")
+    b.konst(session::CALLER_KEY);
+    b.op(Op::Sys {
+        name: "session.get".into(),
+        argc: 1,
+    });
+    b.op(Op::Store(6));
+    // unrolled allow-list comparison
+    for name in allowed {
+        b.op(Op::Load(6)).konst(*name).op(Op::Eq);
+        b.jump_if(ok);
+    }
+    b.jump(deny);
+    b.bind(deny);
+    b.konst("caller not authorized: ").op(Op::Load(6)).op(Op::Concat);
+    b.op(Op::Throw("AccessDeniedException".into()));
+    b.bind(ok);
+    b.op(Op::Ret);
+
+    let class = PortableClass {
+        name: versioned_class("AccessControl", version),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "check".into(),
+            params: advice_params(),
+            ret: "any".into(),
+            body: b.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        "access-control",
+        class,
+        vec![(
+            Crosscut::parse(&format!("before {service_pattern}")).expect("valid pattern"),
+            "check".into(),
+            -50, // after session capture (-100), before ordinary advice
+        )],
+    );
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: ID.into(),
+            version,
+            description: "denies service calls from unauthorized callers".into(),
+            requires: vec![session::ID.into()],
+            permissions: vec![],
+            implicit: false,
+        },
+        aspect: PortableAspect::try_from(&aspect).expect("portable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::register_session_blackboard;
+    use pmp_prose::{Prose, WeaveOptions};
+    use pmp_vm::perm::Permissions;
+    use pmp_vm::prelude::*;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn service_vm() -> (Vm, Prose, Arc<Mutex<String>>) {
+        let mut vm = Vm::new(VmConfig::default());
+        vm.register_class(
+            ClassDef::build("DrawingService")
+                .method("draw", [], TypeSig::Str, |b| {
+                    b.konst("drawn").op(Op::RetVal);
+                })
+                .done(),
+        )
+        .unwrap();
+        register_session_blackboard(&mut vm);
+        let caller: Arc<Mutex<String>> = Arc::new(Mutex::new("nobody".into()));
+        let c = caller.clone();
+        vm.register_sys(
+            "session.caller",
+            None,
+            Arc::new(move |_vm, _args| Ok(Value::str(c.lock().clone()))),
+        );
+        let prose = Prose::attach(&mut vm);
+        (vm, prose, caller)
+    }
+
+    fn weave_both(vm: &mut Vm, prose: &Prose) {
+        let none = Permissions::none();
+        prose
+            .weave(
+                vm,
+                session::package("* DrawingService.*(..)", 1).aspect.into(),
+                WeaveOptions::sandboxed(none),
+            )
+            .unwrap();
+        prose
+            .weave(
+                vm,
+                package("* DrawingService.*(..)", &["operator:1", "operator:2"], 1)
+                    .aspect
+                    .into(),
+                WeaveOptions::sandboxed(none),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn authorized_caller_proceeds() {
+        let (mut vm, prose, caller) = service_vm();
+        weave_both(&mut vm, &prose);
+        *caller.lock() = "operator:2".into();
+        let svc = vm.new_object("DrawingService").unwrap();
+        let out = vm.call("DrawingService", "draw", svc, vec![]).unwrap();
+        assert_eq!(out, Value::str("drawn"));
+    }
+
+    #[test]
+    fn unauthorized_caller_denied_with_exception() {
+        let (mut vm, prose, caller) = service_vm();
+        weave_both(&mut vm, &prose);
+        *caller.lock() = "intruder".into();
+        let svc = vm.new_object("DrawingService").unwrap();
+        let err = vm
+            .call("DrawingService", "draw", svc, vec![])
+            .unwrap_err();
+        let exc = err.as_exception().unwrap();
+        assert_eq!(exc.class.as_ref(), "AccessDeniedException");
+        assert!(exc.message.contains("intruder"));
+    }
+
+    #[test]
+    fn declares_session_dependency() {
+        let pkg = package("* X.*(..)", &["a"], 1);
+        assert_eq!(pkg.meta.requires, vec![session::ID.to_string()]);
+    }
+}
+
+#[cfg(test)]
+mod sensor_security_tests {
+    //! The paper's §4.6 student project: "a security extension that
+    //! intercepts readings of all sensors ... decides, before the
+    //! execution of the application logic, whether the remote caller
+    //! has the right to execute the intercepted method" — it is the
+    //! access-control extension pointed at the sensor proxies.
+
+    use super::*;
+    use crate::support::register_session_blackboard;
+    use pmp_prose::{Prose, WeaveOptions};
+    use pmp_robot::{new_handle, register_robot_classes, spawn_sensor, Port};
+    use pmp_vm::perm::Permissions;
+    use pmp_vm::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sensor_readings_are_gated_by_caller_identity() {
+        let mut vm = Vm::new(VmConfig::default());
+        let handle = new_handle();
+        register_robot_classes(&mut vm, &handle).unwrap();
+        handle.lock().rcx.sensor_mut(Port::S2).set_value(55);
+        register_session_blackboard(&mut vm);
+        let caller = Arc::new(parking_lot::Mutex::new(String::from("inspector:1")));
+        let c = caller.clone();
+        vm.register_sys(
+            "session.caller",
+            None,
+            Arc::new(move |_vm, _| Ok(Value::str(c.lock().clone()))),
+        );
+        let prose = Prose::attach(&mut vm);
+        let none = Permissions::none();
+        for pkg in [
+            crate::session::package("* Sensor.*(..)", 1),
+            package("* Sensor.*(..)", &["inspector:1"], 1),
+        ] {
+            prose
+                .weave(&mut vm, pkg.aspect.into(), WeaveOptions::sandboxed(none))
+                .unwrap();
+        }
+
+        let sensor = spawn_sensor(&mut vm, Port::S2).unwrap();
+        // The authorized inspector reads the sensor.
+        let v = vm.call("Sensor", "read", sensor.clone(), vec![]).unwrap();
+        assert_eq!(v, Value::Int(55));
+        // Anyone else is denied before the hardware is touched.
+        *caller.lock() = "random:9".into();
+        let err = vm.call("Sensor", "read", sensor, vec![]).unwrap_err();
+        assert_eq!(
+            err.as_exception().unwrap().class.as_ref(),
+            "AccessDeniedException"
+        );
+    }
+}

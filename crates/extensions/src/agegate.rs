@@ -1,0 +1,138 @@
+//! The device-age trust extension (paper §4.6): "a proactive context
+//! can add an extension that records the 'birth date' of a device. The
+//! very same extension may intercept all service invocations ... and
+//! decide how to proceed depending on the device's age."
+
+use crate::support::{advice_params, versioned_class};
+use pmp_midas::{ExtensionMeta, ExtensionPackage};
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::op::Op;
+
+/// Extension id.
+pub const ID: &str = "ext/age-gate";
+
+/// Builds the age-gate package: service calls matching
+/// `service_pattern` are denied until the device has been adapted for
+/// at least `min_age_ns`.
+pub fn package(service_pattern: &str, min_age_ns: i64, version: u32) -> ExtensionPackage {
+    let class_name = versioned_class("AgeGate", version);
+
+    // init(): this.birth = time.now()
+    let mut init = MethodBuilder::new();
+    init.op(Op::Load(0));
+    init.op(Op::Sys {
+        name: "time.now".into(),
+        argc: 0,
+    });
+    init.op(Op::PutField {
+        class: class_name.clone(),
+        field: "birth".into(),
+    });
+    init.op(Op::Ret);
+
+    // gate(): if time.now() - birth < min_age → deny
+    let mut gate = MethodBuilder::new();
+    let ok = gate.label();
+    gate.op(Op::Sys {
+        name: "time.now".into(),
+        argc: 0,
+    });
+    gate.op(Op::Load(0)).op(Op::GetField {
+        class: class_name.clone(),
+        field: "birth".into(),
+    });
+    gate.op(Op::Sub);
+    gate.konst(min_age_ns).op(Op::Ge);
+    gate.jump_if(ok);
+    gate.konst("device too young to be trusted");
+    gate.op(Op::Throw("AccessDeniedException".into()));
+    gate.bind(ok);
+    gate.op(Op::Ret);
+
+    let class = PortableClass {
+        name: class_name,
+        fields: vec![("birth".into(), "int".into())],
+        methods: vec![
+            PortableMethod {
+                name: "init".into(),
+                params: vec![],
+                ret: "any".into(),
+                body: init.build(),
+            },
+            PortableMethod {
+                name: "gate".into(),
+                params: advice_params(),
+                ret: "any".into(),
+                body: gate.build(),
+            },
+        ],
+    };
+    let aspect = Aspect::script(
+        "age-gate",
+        class,
+        vec![(
+            Crosscut::parse(&format!("before {service_pattern}")).expect("valid"),
+            "gate".into(),
+            -60,
+        )],
+    );
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: ID.into(),
+            version,
+            description: "trust grows with device age; young devices are denied".into(),
+            requires: vec![],
+            permissions: vec!["time".into()],
+            implicit: false,
+        },
+        aspect: PortableAspect::try_from(&aspect).expect("portable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_prose::{Prose, WeaveOptions};
+    use pmp_vm::perm::{Permission, Permissions};
+    use pmp_vm::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn young_devices_denied_then_trusted_with_age() {
+        let mut vm = Vm::new(VmConfig::default());
+        let now = Arc::new(AtomicU64::new(1_000));
+        let n = now.clone();
+        vm.set_clock(Arc::new(move || n.load(Ordering::Relaxed)));
+        vm.register_class(
+            ClassDef::build("DrawingService")
+                .method("draw", [], TypeSig::Void, |b| {
+                    b.op(Op::Ret);
+                })
+                .done(),
+        )
+        .unwrap();
+        let prose = Prose::attach(&mut vm);
+        prose
+            .weave(
+                &mut vm,
+                package("* DrawingService.*(..)", 10_000, 1).aspect.into(),
+                WeaveOptions::sandboxed(Permissions::none().with(Permission::Time)),
+            )
+            .unwrap();
+
+        let svc = vm.new_object("DrawingService").unwrap();
+        // Too young: birth = 1_000, now = 1_000 → age 0.
+        let err = vm
+            .call("DrawingService", "draw", svc.clone(), vec![])
+            .unwrap_err();
+        assert_eq!(
+            err.as_exception().unwrap().class.as_ref(),
+            "AccessDeniedException"
+        );
+        // Age the device past the threshold.
+        now.store(20_000, Ordering::Relaxed);
+        vm.call("DrawingService", "draw", svc, vec![]).unwrap();
+    }
+}

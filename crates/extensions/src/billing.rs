@@ -1,0 +1,129 @@
+//! The accounting extension (paper §1: "accounting modules being added
+//! to mobile devices to bill them for the use of services in a given
+//! location"). Counts service calls in aspect state and settles the
+//! total through `billing.charge` when the extension is withdrawn.
+
+use crate::support::{advice_params, versioned_class};
+use pmp_midas::{ExtensionMeta, ExtensionPackage};
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::op::Op;
+
+/// Extension id.
+pub const ID: &str = "ext/billing";
+
+/// Builds the billing package: every call matching `service_pattern`
+/// costs `rate` units; the total is settled on shutdown.
+pub fn package(service_pattern: &str, rate: i64, version: u32) -> ExtensionPackage {
+    let class_name = versioned_class("Billing", version);
+
+    // count advice: this.count = this.count + 1
+    let mut count = MethodBuilder::new();
+    count.op(Op::Load(0));
+    count.op(Op::Load(0)).op(Op::GetField {
+        class: class_name.clone(),
+        field: "count".into(),
+    });
+    count.konst(1i64).op(Op::Add);
+    count.op(Op::PutField {
+        class: class_name.clone(),
+        field: "count".into(),
+    });
+    count.op(Op::Ret);
+
+    // shutdown: billing.charge(reason, count * rate)
+    let mut settle = MethodBuilder::new();
+    settle.op(Op::Load(3)); // reason
+    settle.op(Op::Load(0)).op(Op::GetField {
+        class: class_name.clone(),
+        field: "count".into(),
+    });
+    settle.konst(rate).op(Op::Mul);
+    settle.op(Op::Sys {
+        name: "billing.charge".into(),
+        argc: 2,
+    });
+    settle.op(Op::Pop).op(Op::Ret);
+
+    let class = PortableClass {
+        name: class_name,
+        fields: vec![("count".into(), "int".into())],
+        methods: vec![
+            PortableMethod {
+                name: "tick".into(),
+                params: advice_params(),
+                ret: "any".into(),
+                body: count.build(),
+            },
+            PortableMethod {
+                name: Aspect::SHUTDOWN_METHOD.into(),
+                params: advice_params(),
+                ret: "any".into(),
+                body: settle.build(),
+            },
+        ],
+    };
+    let aspect = Aspect::script(
+        "billing",
+        class,
+        vec![(
+            Crosscut::parse(&format!("before {service_pattern}")).expect("valid"),
+            "tick".into(),
+            50,
+        )],
+    );
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: ID.into(),
+            version,
+            description: "bills service usage; settles on departure".into(),
+            requires: vec![],
+            permissions: vec!["net".into()],
+            implicit: false,
+        },
+        aspect: PortableAspect::try_from(&aspect).expect("portable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::register_sink;
+    use pmp_prose::{Prose, WeaveOptions};
+    use pmp_vm::perm::{Permission, Permissions};
+    use pmp_vm::prelude::*;
+
+    #[test]
+    fn calls_are_counted_and_settled_on_shutdown() {
+        let mut vm = Vm::new(VmConfig::default());
+        vm.register_class(
+            ClassDef::build("DrawingService")
+                .method("draw", [], TypeSig::Void, |b| {
+                    b.op(Op::Ret);
+                })
+                .done(),
+        )
+        .unwrap();
+        let charges = register_sink(&mut vm, "billing.charge", Some(Permission::Net));
+        let prose = Prose::attach(&mut vm);
+        let id = prose
+            .weave(
+                &mut vm,
+                package("* DrawingService.*(..)", 5, 1).aspect.into(),
+                WeaveOptions::sandboxed(Permissions::none().with(Permission::Net)),
+            )
+            .unwrap();
+
+        let svc = vm.new_object("DrawingService").unwrap();
+        for _ in 0..3 {
+            vm.call("DrawingService", "draw", svc.clone(), vec![]).unwrap();
+        }
+        assert!(charges.lock().is_empty(), "nothing settled yet");
+
+        prose.unweave(&mut vm, id, "leaving hall").unwrap();
+        let posts = charges.lock();
+        assert_eq!(posts.len(), 1);
+        assert_eq!(posts[0].args[0], Value::str("leaving hall"));
+        assert_eq!(posts[0].args[1], Value::Int(15), "3 calls × rate 5");
+    }
+}

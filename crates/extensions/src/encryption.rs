@@ -1,0 +1,189 @@
+//! The encryption extension (paper §2.3 / §3.3): "encrypt every
+//! outgoing call from an application and decrypt every incoming call" —
+//! the canonical example that needs neither source code nor interface
+//! knowledge.
+//!
+//! Implements the paper's aspect
+//! `before methods-with-signature 'void *.send*(byte[], ..)' do encrypt(x)`
+//! with a byte-wise XOR stream (simulation-grade cipher; the mechanism —
+//! in-place mutation of the `byte[]` argument before the body runs — is
+//! the point).
+
+use crate::support::{advice_params, versioned_class};
+use pmp_midas::{ExtensionMeta, ExtensionPackage};
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::op::Op;
+
+/// Extension id.
+pub const ID: &str = "ext/encryption";
+
+/// Builds the XOR transform body: mutates the buffer in `args[0]`.
+fn xor_body(key: u8) -> pmp_vm::op::BytecodeBody {
+    let mut b = MethodBuilder::new();
+    b.locals(3); // 6: buf, 7: i, 8: len
+    let top = b.label();
+    let done = b.label();
+    // buf = args[0]; len = buf.len(); i = 0
+    b.op(Op::Load(3)).konst(0i64).op(Op::ArrGet).op(Op::Store(6));
+    b.op(Op::Load(6)).op(Op::BufLen).op(Op::Store(8));
+    b.konst(0i64).op(Op::Store(7));
+    b.bind(top);
+    b.op(Op::Load(7)).op(Op::Load(8)).op(Op::Lt);
+    b.jump_if_not(done);
+    // buf[i] = buf[i] ^ key
+    b.op(Op::Load(6)).op(Op::Load(7));
+    b.op(Op::Load(6)).op(Op::Load(7)).op(Op::BufGet);
+    b.konst(i64::from(key)).op(Op::BitXor);
+    b.op(Op::BufSet);
+    b.op(Op::Load(7)).konst(1i64).op(Op::Add).op(Op::Store(7));
+    b.jump(top);
+    b.bind(done);
+    b.op(Op::Ret);
+    b.build()
+}
+
+/// Builds the encryption package with the given key byte: encrypts
+/// `send*` byte-array arguments and decrypts `recv*` ones (XOR is its
+/// own inverse).
+pub fn package(key: u8, version: u32) -> ExtensionPackage {
+    let class = PortableClass {
+        name: versioned_class("LinkEncryption", version),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "transform".into(),
+            params: advice_params(),
+            ret: "any".into(),
+            body: xor_body(key),
+        }],
+    };
+    let aspect = Aspect::script(
+        "encryption",
+        class,
+        vec![
+            (
+                Crosscut::parse("before void *.send*(byte[], ..)").expect("valid"),
+                "transform".into(),
+                100, // outermost: encrypt after all other advice saw plaintext
+            ),
+            (
+                Crosscut::parse("before void *.recv*(byte[], ..)").expect("valid"),
+                "transform".into(),
+                -100, // innermost on receive: decrypt before others look
+            ),
+        ],
+    );
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: ID.into(),
+            version,
+            description: "XOR link cipher on send*/recv* byte[] arguments".into(),
+            requires: vec![],
+            permissions: vec![],
+            implicit: false,
+        },
+        aspect: PortableAspect::try_from(&aspect).expect("portable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use pmp_prose::{Prose, WeaveOptions};
+    use pmp_vm::class::NativeCall;
+    use pmp_vm::perm::Permissions;
+    use pmp_vm::prelude::*;
+    use std::sync::Arc;
+
+    fn radio_vm() -> (Vm, Prose, Arc<Mutex<Vec<u8>>>) {
+        let mut vm = Vm::new(VmConfig::default());
+        let sent: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let s = sent.clone();
+        vm.register_class(
+            ClassDef::build("Radio")
+                .native(
+                    "sendPacket",
+                    [TypeSig::Bytes],
+                    TypeSig::Void,
+                    move |vm, call: NativeCall| {
+                        let id = call.arg(0).as_ref_id().unwrap();
+                        *s.lock() = vm.heap().buffer_bytes(id)?.to_vec();
+                        Ok(Value::Null)
+                    },
+                )
+                .native(
+                    "recvPacket",
+                    [TypeSig::Bytes],
+                    TypeSig::Void,
+                    |_vm, _call| Ok(Value::Null),
+                )
+                .done(),
+        )
+        .unwrap();
+        let prose = Prose::attach(&mut vm);
+        (vm, prose, sent)
+    }
+
+    #[test]
+    fn outgoing_packets_are_encrypted_in_flight() {
+        let (mut vm, prose, sent) = radio_vm();
+        prose
+            .weave(
+                &mut vm,
+                package(0x5A, 1).aspect.into(),
+                WeaveOptions::sandboxed(Permissions::none()),
+            )
+            .unwrap();
+        let radio = vm.new_object("Radio").unwrap();
+        let buf = vm.new_buffer(vec![1, 2, 3]);
+        vm.call("Radio", "sendPacket", radio, vec![buf]).unwrap();
+        assert_eq!(*sent.lock(), vec![1 ^ 0x5A, 2 ^ 0x5A, 3 ^ 0x5A]);
+    }
+
+    #[test]
+    fn recv_decrypts_back_to_plaintext() {
+        let (mut vm, prose, _) = radio_vm();
+        prose
+            .weave(
+                &mut vm,
+                package(0x5A, 1).aspect.into(),
+                WeaveOptions::sandboxed(Permissions::none()),
+            )
+            .unwrap();
+        let radio = vm.new_object("Radio").unwrap();
+        let buf = vm.new_buffer(vec![1 ^ 0x5A, 2 ^ 0x5A]);
+        let id = buf.as_ref_id().unwrap();
+        vm.call("Radio", "recvPacket", radio, vec![buf]).unwrap();
+        // The decrypting advice ran before the body: buffer is plaintext.
+        assert_eq!(vm.heap().buffer_bytes(id).unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn unrelated_methods_untouched() {
+        let (mut vm, prose, sent) = radio_vm();
+        prose
+            .weave(
+                &mut vm,
+                package(0x5A, 1).aspect.into(),
+                WeaveOptions::sandboxed(Permissions::none()),
+            )
+            .unwrap();
+        // A method that doesn't match send*/recv* keeps its bytes.
+        vm.register_class(
+            ClassDef::build("Disk")
+                .method("write", [TypeSig::Bytes], TypeSig::Void, |b| {
+                    b.op(Op::Ret);
+                })
+                .done(),
+        )
+        .unwrap();
+        prose.refresh(&mut vm);
+        let disk = vm.new_object("Disk").unwrap();
+        let buf = vm.new_buffer(vec![9, 9]);
+        let id = buf.as_ref_id().unwrap();
+        vm.call("Disk", "write", disk, vec![buf]).unwrap();
+        assert_eq!(vm.heap().buffer_bytes(id).unwrap(), &[9, 9]);
+        assert!(sent.lock().is_empty());
+    }
+}

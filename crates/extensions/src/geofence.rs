@@ -1,0 +1,143 @@
+//! The control extension (paper §4.5, "Control"): "one may forbid
+//! movements beyond certain coordinates so that certain parts of the
+//! paper remain untouched" — a geofence on `Plotter.moveTo`.
+
+use crate::support::{advice_params, versioned_class};
+use pmp_midas::{ExtensionMeta, ExtensionPackage};
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::op::Op;
+
+/// Extension id.
+pub const ID: &str = "ext/geofence";
+
+/// Builds the geofence package: `moveTo(x, y)` calls with a target
+/// outside `[min_x, max_x] × [min_y, max_y]` are denied.
+pub fn package(min_x: i64, min_y: i64, max_x: i64, max_y: i64, version: u32) -> ExtensionPackage {
+    let mut b = MethodBuilder::new();
+    b.locals(2); // 6: x, 7: y
+    let deny = b.label();
+    let ok = b.label();
+    b.op(Op::Load(3)).konst(0i64).op(Op::ArrGet).op(Op::ToInt).op(Op::Store(6));
+    b.op(Op::Load(3)).konst(1i64).op(Op::ArrGet).op(Op::ToInt).op(Op::Store(7));
+    // x < min_x || x > max_x || y < min_y || y > max_y → deny
+    b.op(Op::Load(6)).konst(min_x).op(Op::Lt);
+    b.jump_if(deny);
+    b.op(Op::Load(6)).konst(max_x).op(Op::Gt);
+    b.jump_if(deny);
+    b.op(Op::Load(7)).konst(min_y).op(Op::Lt);
+    b.jump_if(deny);
+    b.op(Op::Load(7)).konst(max_y).op(Op::Gt);
+    b.jump_if(deny);
+    b.jump(ok);
+    b.bind(deny);
+    b.konst("movement outside permitted area");
+    b.op(Op::Throw("AccessDeniedException".into()));
+    b.bind(ok);
+    b.op(Op::Ret);
+
+    let class = PortableClass {
+        name: versioned_class("Geofence", version),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "check".into(),
+            params: advice_params(),
+            ret: "any".into(),
+            body: b.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        "geofence",
+        class,
+        vec![(
+            Crosscut::parse("before void Plotter.moveTo(int, int)").expect("valid"),
+            "check".into(),
+            -10,
+        )],
+    );
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: ID.into(),
+            version,
+            description: "forbids plotter movements outside a bounding box".into(),
+            requires: vec![],
+            permissions: vec![],
+            implicit: false,
+        },
+        aspect: PortableAspect::try_from(&aspect).expect("portable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_prose::{Prose, WeaveOptions};
+    use pmp_robot::{new_handle, register_robot_classes, spawn_plotter};
+    use pmp_vm::perm::Permissions;
+    use pmp_vm::prelude::*;
+
+    fn fenced_vm() -> (Vm, pmp_robot::RobotHandle, Value) {
+        let mut vm = Vm::new(VmConfig::default());
+        let handle = new_handle();
+        register_robot_classes(&mut vm, &handle).unwrap();
+        let prose = Prose::attach(&mut vm);
+        prose
+            .weave(
+                &mut vm,
+                package(0, 0, 20, 20, 1).aspect.into(),
+                WeaveOptions::sandboxed(Permissions::none()),
+            )
+            .unwrap();
+        let plotter = spawn_plotter(&mut vm).unwrap();
+        (vm, handle, plotter)
+    }
+
+    #[test]
+    fn movements_inside_fence_proceed() {
+        let (mut vm, handle, plotter) = fenced_vm();
+        vm.call(
+            "Plotter",
+            "moveTo",
+            plotter,
+            vec![Value::Int(10), Value::Int(10)],
+        )
+        .unwrap();
+        assert_eq!(handle.lock().position(), (10, 10));
+    }
+
+    #[test]
+    fn movements_outside_fence_are_denied_before_hardware_acts() {
+        let (mut vm, handle, plotter) = fenced_vm();
+        let err = vm
+            .call(
+                "Plotter",
+                "moveTo",
+                plotter,
+                vec![Value::Int(50), Value::Int(5)],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err.as_exception().unwrap().class.as_ref(),
+            "AccessDeniedException"
+        );
+        assert_eq!(
+            handle.lock().position(),
+            (0, 0),
+            "the hardware never moved"
+        );
+        assert!(handle.lock().rcx.log().is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_denied() {
+        let (mut vm, _, plotter) = fenced_vm();
+        assert!(vm
+            .call(
+                "Plotter",
+                "moveTo",
+                plotter,
+                vec![Value::Int(-1), Value::Int(0)],
+            )
+            .is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # pmp-extensions — the paper's extension library
+//!
+//! Ready-made, signed-and-shippable extension packages implementing
+//! every adaptation the paper describes:
+//!
+//! | module | paper reference |
+//! |---|---|
+//! | [`monitoring`] | Fig. 5 — hardware monitoring & logging to the base DB |
+//! | [`session`] | §3.3 — implicit session management (caller extraction) |
+//! | [`access_control`] | §3.3 / §4.6 — deny unauthorized service calls |
+//! | [`encryption`] | §2.3 / §3.3 — encrypt `send*`/decrypt `recv*` byte arrays |
+//! | [`persistence`] | §4.6 — orthogonal persistence of field writes |
+//! | [`transactions`] | §4.6 — ad-hoc all-or-nothing method execution |
+//! | [`billing`] | §1 — accounting for service use in a location |
+//! | [`geofence`] | §4.5 "Control" — forbid movements beyond coordinates |
+//! | [`replication`] | §4.5 — mirror movements to a remote identical robot |
+//! | [`replay`] | §4.5 "Simulation" — replay recorded movement sequences |
+//! | [`agegate`] | §4.6 — trust grows with device age |
+//!
+//! Every extension is a **script aspect**: its advice is portable VM
+//! bytecode, so MIDAS can sign it, ship it over the simulated radio,
+//! and the receiver runs it inside the PROSE sandbox with exactly the
+//! permissions its signer is allowed to grant. Side effects go through
+//! named system operations (`monitor.post`, `session.get`, ...) that the
+//! hosting platform provides — see [`support`].
+
+pub mod access_control;
+pub mod agegate;
+pub mod billing;
+pub mod encryption;
+pub mod geofence;
+pub mod monitoring;
+pub mod persistence;
+pub mod replay;
+pub mod replication;
+pub mod session;
+pub mod support;
+pub mod transactions;

@@ -1,0 +1,188 @@
+//! The hardware monitoring and logging extension (paper Fig. 5).
+//!
+//! Intercepts every `Motor.*` invocation and posts `(device, command,
+//! argument, duration)` to the host's `monitor.post` system operation;
+//! the platform forwards it — asynchronously, over the simulated radio —
+//! to the base-station movement store (Fig. 3b steps 1–3).
+
+use crate::support::{advice_params, versioned_class};
+use pmp_midas::{ExtensionMeta, ExtensionPackage};
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::op::{Const, Op};
+
+/// Builds the monitoring advice body: exit advice on `* Motor.*(..)`.
+fn on_motor_exit_body(sink_op: &str) -> pmp_vm::op::BytecodeBody {
+    let mut b = MethodBuilder::new();
+    b.locals(3); // 6: device, 7: arg0, 8: duration
+    let no_arg = b.label();
+    let have_arg = b.label();
+    let null_ret = b.label();
+    let have_dur = b.label();
+
+    // device = this.id()
+    b.op(Op::Load(1))
+        .op(Op::CallV {
+            method: "id".into(),
+            argc: 0,
+        })
+        .op(Op::Store(6));
+    // arg0 = args.len() > 0 ? int(args[0]) : 0
+    b.op(Op::Load(3)).op(Op::ArrLen).konst(0i64).op(Op::Gt);
+    b.jump_if_not(no_arg);
+    b.op(Op::Load(3)).konst(0i64).op(Op::ArrGet).op(Op::ToInt).op(Op::Store(7));
+    b.jump(have_arg);
+    b.bind(no_arg);
+    b.konst(0i64).op(Op::Store(7));
+    b.bind(have_arg);
+    // duration = retval == null ? 0 : int(retval)
+    b.op(Op::Load(4)).op(Op::Const(Const::Null)).op(Op::Eq);
+    b.jump_if(null_ret);
+    b.op(Op::Load(4)).op(Op::ToInt).op(Op::Store(8));
+    b.jump(have_dur);
+    b.bind(null_ret);
+    b.konst(0i64).op(Op::Store(8));
+    b.bind(have_dur);
+    // monitor.post(device, command-desc, arg0, duration)
+    b.op(Op::Load(6))
+        .op(Op::Load(2))
+        .op(Op::Load(7))
+        .op(Op::Load(8))
+        .op(Op::Sys {
+            name: sink_op.into(),
+            argc: 4,
+        })
+        .op(Op::Pop)
+        .op(Op::Ret);
+    b.build()
+}
+
+/// Builds the monitoring extension package (version `version`, posting
+/// to the `monitor.post` system operation).
+pub fn package(version: u32) -> ExtensionPackage {
+    package_with_sink("monitoring", "monitor.post", version)
+}
+
+/// Variant with explicit ids — the remote-replication extension (§4.5)
+/// is the same aspect posting to a different sink.
+pub fn package_with_sink(id_suffix: &str, sink_op: &str, version: u32) -> ExtensionPackage {
+    let class_name = versioned_class(
+        &format!("HwMonitoring_{}", id_suffix.replace(['-', '.'], "_")),
+        version,
+    );
+    let class = PortableClass {
+        name: class_name,
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "ANYMETHOD".into(),
+            params: advice_params(),
+            ret: "any".into(),
+            body: on_motor_exit_body(sink_op),
+        }],
+    };
+    let aspect = Aspect::script(
+        id_suffix.to_string(),
+        class,
+        vec![(
+            Crosscut::parse("after * Motor.*(..)").expect("static pattern"),
+            "ANYMETHOD".into(),
+            0,
+        )],
+    );
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: format!("ext/{id_suffix}"),
+            version,
+            description: "logs every motor command to the base station".into(),
+            requires: vec![],
+            permissions: vec!["net".into()],
+            implicit: false,
+        },
+        aspect: PortableAspect::try_from(&aspect).expect("script aspect is portable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::register_sink;
+    use pmp_prose::{Prose, WeaveOptions};
+    use pmp_robot::{new_handle, register_robot_classes, spawn_plotter};
+    use pmp_vm::perm::Permission;
+    use pmp_vm::prelude::*;
+
+    #[test]
+    fn motor_calls_are_posted_with_device_and_duration() {
+        let mut vm = Vm::new(VmConfig::default());
+        let handle = new_handle();
+        register_robot_classes(&mut vm, &handle).unwrap();
+        let prose = Prose::attach(&mut vm);
+        let log = register_sink(&mut vm, "monitor.post", Some(Permission::Net));
+
+        let pkg = package(1);
+        let aspect: pmp_prose::Aspect = pkg.aspect.into();
+        let perms = Permissions::none().with(Permission::Net);
+        prose
+            .weave(&mut vm, aspect, WeaveOptions::sandboxed(perms))
+            .unwrap();
+
+        let plotter = spawn_plotter(&mut vm).unwrap();
+        vm.call("Plotter", "penDown", plotter.clone(), vec![]).unwrap();
+        vm.call(
+            "Plotter",
+            "moveTo",
+            plotter,
+            vec![Value::Int(10), Value::Int(0)],
+        )
+        .unwrap();
+
+        let posts = log.lock();
+        // penDown: position() + rotate on motor C; moveTo: position()+rotate
+        // on A, position() on B (dy == 0). All Motor.* calls are logged.
+        assert!(posts.len() >= 4, "posts: {posts:?}");
+        let rotated: Vec<&crate::support::Posted> = posts
+            .iter()
+            .filter(|p| p.args[1] == Value::str("Motor.rotate"))
+            .collect();
+        assert_eq!(rotated.len(), 2);
+        assert_eq!(rotated[0].args[0], Value::str("motor:C"));
+        assert_eq!(rotated[0].args[2], Value::Int(90)); // pen swing
+        assert!(rotated[0].args[3].as_int().unwrap() > 0, "duration");
+        assert_eq!(rotated[1].args[0], Value::str("motor:A"));
+        assert_eq!(rotated[1].args[2], Value::Int(10));
+    }
+
+    #[test]
+    fn without_net_permission_monitoring_is_blocked() {
+        let mut vm = Vm::new(VmConfig::default());
+        let handle = new_handle();
+        register_robot_classes(&mut vm, &handle).unwrap();
+        let prose = Prose::attach(&mut vm);
+        register_sink(&mut vm, "monitor.post", Some(Permission::Net));
+
+        let pkg = package(1);
+        let aspect: pmp_prose::Aspect = pkg.aspect.into();
+        prose
+            .weave(&mut vm, aspect, WeaveOptions::sandboxed(Permissions::none()))
+            .unwrap();
+        let plotter = spawn_plotter(&mut vm).unwrap();
+        let err = vm
+            .call("Plotter", "penDown", plotter, vec![])
+            .unwrap_err();
+        assert_eq!(
+            err.as_exception().unwrap().class.as_ref(),
+            exception_class::SECURITY
+        );
+    }
+
+    #[test]
+    fn package_metadata() {
+        let pkg = package(2);
+        assert_eq!(pkg.meta.id, "ext/monitoring");
+        assert_eq!(pkg.meta.version, 2);
+        assert!(pkg.meta.permissions.contains(&"net".to_string()));
+        assert!(!pkg.meta.implicit);
+        // Versioned class names keep replacements distinct.
+        assert_ne!(pkg.aspect.class.name, package(3).aspect.class.name);
+    }
+}

@@ -1,0 +1,112 @@
+//! The orthogonal persistence extension (paper §4.6 measures its cost):
+//! every write to matching fields is streamed to stable storage via the
+//! `persist.put` system operation, transparently to the application
+//! (Fig. 2c step 4: state changes "intercepted and propagated ... to a
+//! database at the base station").
+
+use crate::support::{advice_params, versioned_class};
+use pmp_midas::{ExtensionMeta, ExtensionPackage};
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::op::Op;
+
+/// Extension id.
+pub const ID: &str = "ext/persistence";
+
+/// Builds the persistence package for fields matching `field_pattern`
+/// (e.g. `"Robot.*"` or `"*.state"`).
+pub fn package(field_pattern: &str, version: u32) -> ExtensionPackage {
+    let mut b = MethodBuilder::new();
+    // persist.put("Class.field", new_value)
+    b.op(Op::Load(2)); // descriptor
+    b.op(Op::Load(3)); // the value being written
+    b.op(Op::Sys {
+        name: "persist.put".into(),
+        argc: 2,
+    });
+    b.op(Op::Pop).op(Op::Ret);
+
+    let class = PortableClass {
+        name: versioned_class("OrthogonalPersistence", version),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "onWrite".into(),
+            params: advice_params(),
+            ret: "any".into(),
+            body: b.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        "persistence",
+        class,
+        vec![(
+            Crosscut::parse(&format!("set {field_pattern}")).expect("valid"),
+            "onWrite".into(),
+            0,
+        )],
+    );
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: ID.into(),
+            version,
+            description: "streams matching field writes to stable storage".into(),
+            requires: vec![],
+            permissions: vec!["store".into()],
+            implicit: false,
+        },
+        aspect: PortableAspect::try_from(&aspect).expect("portable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::register_sink;
+    use pmp_prose::{Prose, WeaveOptions};
+    use pmp_vm::perm::{Permission, Permissions};
+    use pmp_vm::prelude::*;
+
+    #[test]
+    fn field_writes_are_streamed() {
+        let mut vm = Vm::new(VmConfig::default());
+        vm.register_class(
+            ClassDef::build("Robot")
+                .field("state", TypeSig::Int)
+                .field("scratch", TypeSig::Int)
+                .method("work", [TypeSig::Int], TypeSig::Void, |b| {
+                    b.op(Op::Load(0)).op(Op::Load(1)).op(Op::PutField {
+                        class: "Robot".into(),
+                        field: "state".into(),
+                    });
+                    b.op(Op::Load(0)).konst(0i64).op(Op::PutField {
+                        class: "Robot".into(),
+                        field: "scratch".into(),
+                    });
+                    b.op(Op::Ret);
+                })
+                .done(),
+        )
+        .unwrap();
+        let store = register_sink(&mut vm, "persist.put", Some(Permission::Store));
+        let prose = Prose::attach(&mut vm);
+        prose
+            .weave(
+                &mut vm,
+                package("Robot.state", 1).aspect.into(),
+                WeaveOptions::sandboxed(Permissions::none().with(Permission::Store)),
+            )
+            .unwrap();
+
+        let robot = vm.new_object("Robot").unwrap();
+        vm.call("Robot", "work", robot.clone(), vec![Value::Int(7)])
+            .unwrap();
+        vm.call("Robot", "work", robot, vec![Value::Int(8)]).unwrap();
+
+        let posts = store.lock();
+        // Only Robot.state matches, not Robot.scratch.
+        assert_eq!(posts.len(), 2);
+        assert_eq!(posts[0].args[0], Value::str("Robot.state"));
+        assert_eq!(posts[0].args[1], Value::Int(7));
+        assert_eq!(posts[1].args[1], Value::Int(8));
+    }
+}

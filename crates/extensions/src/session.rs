@@ -1,0 +1,115 @@
+//! The implicit session-management extension (paper §3.3, Fig. 2c
+//! step 2): the first interception on a service call extracts session
+//! information — the caller's identity — and publishes it for other
+//! extensions (access control) to consume.
+
+use crate::support::{advice_params, versioned_class};
+use pmp_midas::{ExtensionMeta, ExtensionPackage};
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::op::Op;
+
+/// The blackboard key under which the caller identity is published.
+pub const CALLER_KEY: &str = "caller";
+
+/// Extension id (what dependents put in `requires`).
+pub const ID: &str = "ext/session";
+
+/// Builds the session-management package. `service_pattern` selects the
+/// service methods whose calls carry sessions, e.g.
+/// `"* DrawingService.*(..)"`.
+///
+/// The advice runs at priority `-100` so it precedes access control and
+/// other consumers.
+pub fn package(service_pattern: &str, version: u32) -> ExtensionPackage {
+    let mut b = MethodBuilder::new();
+    // session.set("caller", session.caller())
+    b.konst(CALLER_KEY);
+    b.op(Op::Sys {
+        name: "session.caller".into(),
+        argc: 0,
+    });
+    b.op(Op::Sys {
+        name: "session.set".into(),
+        argc: 2,
+    });
+    b.op(Op::Pop).op(Op::Ret);
+
+    let class = PortableClass {
+        name: versioned_class("SessionMgmt", version),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "capture".into(),
+            params: advice_params(),
+            ret: "any".into(),
+            body: b.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        "session",
+        class,
+        vec![(
+            Crosscut::parse(&format!("before {service_pattern}")).expect("valid pattern"),
+            "capture".into(),
+            -100,
+        )],
+    );
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: ID.into(),
+            version,
+            description: "extracts caller identity into the session blackboard".into(),
+            requires: vec![],
+            permissions: vec![],
+            implicit: true,
+        },
+        aspect: PortableAspect::try_from(&aspect).expect("portable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::register_session_blackboard;
+    use pmp_prose::{Prose, WeaveOptions};
+    use pmp_vm::perm::Permissions;
+    use pmp_vm::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn captures_caller_on_service_entry() {
+        let mut vm = Vm::new(VmConfig::default());
+        vm.register_class(
+            ClassDef::build("DrawingService")
+                .method("draw", [], TypeSig::Void, |b| {
+                    b.op(Op::Ret);
+                })
+                .done(),
+        )
+        .unwrap();
+        let board = register_session_blackboard(&mut vm);
+        // The platform sets the transport-level caller identity.
+        vm.register_sys(
+            "session.caller",
+            None,
+            Arc::new(|_vm, _args| Ok(Value::str("operator:9"))),
+        );
+        let prose = Prose::attach(&mut vm);
+        let pkg = package("* DrawingService.*(..)", 1);
+        assert!(pkg.meta.implicit);
+        prose
+            .weave(
+                &mut vm,
+                pkg.aspect.into(),
+                WeaveOptions::sandboxed(Permissions::none()),
+            )
+            .unwrap();
+
+        let svc = vm.new_object("DrawingService").unwrap();
+        vm.call("DrawingService", "draw", svc, vec![]).unwrap();
+        assert_eq!(
+            board.lock().get(CALLER_KEY),
+            Some(&Value::str("operator:9"))
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! The ad-hoc transaction extension (paper §4.6 measures its cost;
+//! see also the authors' *Ad-Hoc Transactions for Mobile Services*):
+//! methods matching the transactional pattern get all-or-nothing
+//! semantics over a declared set of fields — entry advice snapshots
+//! them into aspect state, exceptional exit restores them.
+
+use crate::support::{advice_params, versioned_class};
+use pmp_midas::{ExtensionMeta, ExtensionPackage};
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::op::{Const, Op};
+
+/// Extension id.
+pub const ID: &str = "ext/transactions";
+
+/// Builds the transaction package: methods matching `tx_pattern` run
+/// transactionally over `class`'s `fields`.
+pub fn package(tx_pattern: &str, class: &str, fields: &[&str], version: u32) -> ExtensionPackage {
+    let aspect_class = versioned_class("AdHocTx", version);
+
+    // Entry: snapshot each target field into this.snap_<field>.
+    let mut begin = MethodBuilder::new();
+    for f in fields {
+        begin.op(Op::Load(0)); // aspect instance
+        begin.op(Op::Load(1)); // target object
+        begin.op(Op::GetField {
+            class: class.to_string(),
+            field: (*f).to_string(),
+        });
+        begin.op(Op::PutField {
+            class: aspect_class.clone(),
+            field: format!("snap_{f}"),
+        });
+    }
+    begin.op(Op::Ret);
+
+    // Exit: if an exception escaped (slot 5 non-null), restore.
+    let mut end = MethodBuilder::new();
+    let commit = end.label();
+    end.op(Op::Load(5)).op(Op::Const(Const::Null)).op(Op::Eq);
+    end.jump_if(commit);
+    for f in fields {
+        end.op(Op::Load(1)); // target object
+        end.op(Op::Load(0)); // aspect instance
+        end.op(Op::GetField {
+            class: aspect_class.clone(),
+            field: format!("snap_{f}"),
+        });
+        end.op(Op::PutField {
+            class: class.to_string(),
+            field: (*f).to_string(),
+        });
+    }
+    end.bind(commit);
+    end.op(Op::Ret);
+
+    let class_def = PortableClass {
+        name: aspect_class,
+        fields: fields
+            .iter()
+            .map(|f| (format!("snap_{f}"), "any".to_string()))
+            .collect(),
+        methods: vec![
+            PortableMethod {
+                name: "begin".into(),
+                params: advice_params(),
+                ret: "any".into(),
+                body: begin.build(),
+            },
+            PortableMethod {
+                name: "end".into(),
+                params: advice_params(),
+                ret: "any".into(),
+                body: end.build(),
+            },
+        ],
+    };
+    let aspect = Aspect::script(
+        "transactions",
+        class_def,
+        vec![
+            (
+                Crosscut::parse(&format!("before {tx_pattern}")).expect("valid"),
+                "begin".into(),
+                -90,
+            ),
+            (
+                Crosscut::parse(&format!("after {tx_pattern}")).expect("valid"),
+                "end".into(),
+                -90,
+            ),
+        ],
+    );
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: ID.into(),
+            version,
+            description: "all-or-nothing field updates for transactional methods".into(),
+            requires: vec![],
+            permissions: vec![],
+            implicit: false,
+        },
+        aspect: PortableAspect::try_from(&aspect).expect("portable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_prose::{Prose, WeaveOptions};
+    use pmp_vm::perm::Permissions;
+    use pmp_vm::prelude::*;
+
+    fn account_vm() -> (Vm, Prose) {
+        let mut vm = Vm::new(VmConfig::default());
+        // txTransfer(amount, fail): balance += amount; if fail: throw.
+        vm.register_class(
+            ClassDef::build("Account")
+                .field("balance", TypeSig::Int)
+                .field("ops", TypeSig::Int)
+                .method(
+                    "txTransfer",
+                    [TypeSig::Int, TypeSig::Bool],
+                    TypeSig::Void,
+                    |b| {
+                        let ok = b.label();
+                        // balance += amount; ops += 1
+                        b.op(Op::Load(0));
+                        b.op(Op::Load(0)).op(Op::GetField {
+                            class: "Account".into(),
+                            field: "balance".into(),
+                        });
+                        b.op(Op::Load(1)).op(Op::Add);
+                        b.op(Op::PutField {
+                            class: "Account".into(),
+                            field: "balance".into(),
+                        });
+                        b.op(Op::Load(0));
+                        b.op(Op::Load(0)).op(Op::GetField {
+                            class: "Account".into(),
+                            field: "ops".into(),
+                        });
+                        b.konst(1i64).op(Op::Add);
+                        b.op(Op::PutField {
+                            class: "Account".into(),
+                            field: "ops".into(),
+                        });
+                        b.op(Op::Load(2));
+                        b.jump_if_not(ok);
+                        b.konst("transfer failed mid-way");
+                        b.op(Op::Throw("TransferError".into()));
+                        b.bind(ok);
+                        b.op(Op::Ret);
+                    },
+                )
+                .done(),
+        )
+        .unwrap();
+        let prose = Prose::attach(&mut vm);
+        prose
+            .weave(
+                &mut vm,
+                package("* Account.tx*(..)", "Account", &["balance", "ops"], 1)
+                    .aspect
+                    .into(),
+                WeaveOptions::sandboxed(Permissions::none()),
+            )
+            .unwrap();
+        (vm, prose)
+    }
+
+    fn balance(vm: &Vm, acc: &Value) -> i64 {
+        let id = acc.as_ref_id().unwrap();
+        vm.get_field(id, "Account", "balance")
+            .unwrap()
+            .as_int()
+            .unwrap()
+    }
+
+    #[test]
+    fn successful_tx_commits() {
+        let (mut vm, _) = account_vm();
+        let acc = vm.new_object("Account").unwrap();
+        vm.call(
+            "Account",
+            "txTransfer",
+            acc.clone(),
+            vec![Value::Int(100), Value::Bool(false)],
+        )
+        .unwrap();
+        assert_eq!(balance(&vm, &acc), 100);
+    }
+
+    #[test]
+    fn failing_tx_rolls_back_all_fields() {
+        let (mut vm, _) = account_vm();
+        let acc = vm.new_object("Account").unwrap();
+        vm.call(
+            "Account",
+            "txTransfer",
+            acc.clone(),
+            vec![Value::Int(100), Value::Bool(false)],
+        )
+        .unwrap();
+        let err = vm
+            .call(
+                "Account",
+                "txTransfer",
+                acc.clone(),
+                vec![Value::Int(50), Value::Bool(true)],
+            )
+            .unwrap_err();
+        assert_eq!(err.as_exception().unwrap().class.as_ref(), "TransferError");
+        // The partial update (balance += 50, ops += 1) was rolled back.
+        assert_eq!(balance(&vm, &acc), 100);
+        let id = acc.as_ref_id().unwrap();
+        assert_eq!(
+            vm.get_field(id, "Account", "ops").unwrap(),
+            Value::Int(1),
+            "ops counter rolled back too"
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! The extension base: discovers adaptation services, distributes
+//! signed extensions, keeps their leases alive, revokes and replaces
+//! them, and hands roaming nodes off to neighbour bases (paper §3.2).
+
+use crate::catalog::Catalog;
+use crate::package::SignedExtension;
+use crate::proto::{MidasMsg, CHANNEL};
+use pmp_discovery::{DiscoveryClient, DiscoveryEvent, ServiceQuery};
+use pmp_net::{Incoming, NodeId, Simulator};
+use std::collections::HashMap;
+
+const SCAN_TAG: &str = "midas.scan";
+
+/// Events surfaced by the base to its host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseEvent {
+    /// A new adaptation service appeared; the catalog was delivered.
+    NodeDiscovered {
+        /// The node's advertised name.
+        node_name: String,
+        /// Number of extensions sent.
+        delivered: usize,
+    },
+    /// A receiver acknowledged an installation.
+    InstallAck {
+        /// The node's name (if known).
+        node_name: String,
+        /// The extension.
+        ext_id: String,
+        /// Success flag.
+        ok: bool,
+        /// Failure reason when `ok` is false.
+        reason: String,
+    },
+    /// An adapted node stopped appearing in lookups (left the area).
+    NodeDeparted {
+        /// The node's name.
+        node_name: String,
+    },
+    /// A neighbour base told us one of its nodes roamed away.
+    HandoffReceived {
+        /// The roaming node's name.
+        node_name: String,
+        /// Extensions it held at the neighbour.
+        ext_ids: Vec<String>,
+    },
+}
+
+#[derive(Debug)]
+struct AdaptedNode {
+    node: NodeId,
+    grants: HashMap<String, u64>,
+    present: bool,
+}
+
+/// The extension-base state machine. Drive it by passing every
+/// [`Incoming`] of its host node to [`ExtensionBase::handle`].
+#[derive(Debug)]
+pub struct ExtensionBase {
+    node: NodeId,
+    registrar: NodeId,
+    discovery: DiscoveryClient,
+    /// The catalog of extensions this base distributes.
+    pub catalog: Catalog,
+    lease_ns: u64,
+    scan_interval_ns: u64,
+    adapted: HashMap<String, AdaptedNode>,
+    neighbors: Vec<NodeId>,
+    next_grant: u64,
+    pending_scan: Option<u64>,
+    scan_token: Option<u64>,
+    started: bool,
+    events: Vec<BaseEvent>,
+    /// Roaming records received from neighbours (node name → ext ids).
+    pub roaming_cache: HashMap<String, Vec<String>>,
+}
+
+impl ExtensionBase {
+    /// Creates a base on `node` that polls the registrar at
+    /// `registrar` (usually the same node).
+    pub fn new(node: NodeId, registrar: NodeId) -> Self {
+        Self {
+            node,
+            registrar,
+            discovery: DiscoveryClient::new(node),
+            catalog: Catalog::new(),
+            lease_ns: 4_000_000_000,      // 4 s extension leases
+            scan_interval_ns: 1_000_000_000, // 1 s scan
+            adapted: HashMap::new(),
+            neighbors: Vec::new(),
+            next_grant: 1,
+            pending_scan: None,
+            scan_token: None,
+            started: false,
+            events: Vec::new(),
+            roaming_cache: HashMap::new(),
+        }
+    }
+
+    /// Overrides the extension lease duration (ns).
+    pub fn set_lease(&mut self, lease_ns: u64) {
+        self.lease_ns = lease_ns;
+    }
+
+    /// Overrides the scan interval (ns).
+    pub fn set_scan_interval(&mut self, ns: u64) {
+        self.scan_interval_ns = ns;
+    }
+
+    /// Registers a neighbour base for roaming handoffs.
+    pub fn add_neighbor(&mut self, base: NodeId) {
+        self.neighbors.push(base);
+    }
+
+    /// Starts scanning. Idempotent.
+    pub fn start(&mut self, sim: &mut Simulator) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.discovery.start(sim);
+        self.scan(sim);
+        self.scan_token = Some(sim.set_timer(self.node, self.scan_interval_ns, SCAN_TAG));
+    }
+
+    /// Names of currently adapted (present) nodes, sorted.
+    pub fn adapted_nodes(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .adapted
+            .iter()
+            .filter(|(_, a)| a.present)
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Drains accumulated events.
+    pub fn take_events(&mut self) -> Vec<BaseEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn fresh_grant(&mut self) -> u64 {
+        let g = self.next_grant;
+        self.next_grant += 1;
+        g
+    }
+
+    fn scan(&mut self, sim: &mut Simulator) {
+        let req = self.discovery.lookup(
+            sim,
+            self.registrar,
+            ServiceQuery::of_type("midas.adaptation"),
+        );
+        self.pending_scan = Some(req);
+    }
+
+    fn send(&self, sim: &mut Simulator, to: NodeId, msg: &MidasMsg) {
+        sim.send(self.node, to, CHANNEL, pmp_wire::to_bytes(msg));
+    }
+
+    fn deliver_catalog(&mut self, sim: &mut Simulator, node: NodeId, node_name: &str) -> usize {
+        let order = self.catalog.delivery_order();
+        let mut grants = HashMap::new();
+        let mut count = 0;
+        for id in order {
+            if let Some(ext) = self.catalog.get(&id).cloned() {
+                let grant = self.fresh_grant();
+                grants.insert(id.clone(), grant);
+                let msg = MidasMsg::Deliver {
+                    ext,
+                    lease_ns: self.lease_ns,
+                    grant,
+                };
+                self.send(sim, node, &msg);
+                count += 1;
+            }
+        }
+        self.adapted.insert(
+            node_name.to_string(),
+            AdaptedNode {
+                node,
+                grants,
+                present: true,
+            },
+        );
+        count
+    }
+
+    /// Installs (or upgrades) an extension in the catalog and pushes a
+    /// [`MidasMsg::Replace`] to every adapted node that already holds an
+    /// older instance — this is how "the local policy evolves" reaches
+    /// robots already in the hall.
+    pub fn update_extension(&mut self, sim: &mut Simulator, ext: SignedExtension) {
+        let Ok(pkg) = ext.open() else { return };
+        let id = pkg.meta.id.clone();
+        self.catalog.put(ext.clone());
+        let targets: Vec<(String, NodeId)> = self
+            .adapted
+            .iter()
+            .filter(|(_, a)| a.present && a.grants.contains_key(&id))
+            .map(|(name, a)| (name.clone(), a.node))
+            .collect();
+        for (name, node) in targets {
+            let grant = self.fresh_grant();
+            let msg = MidasMsg::Replace {
+                old_id: id.clone(),
+                ext: ext.clone(),
+                lease_ns: self.lease_ns,
+                grant,
+            };
+            self.send(sim, node, &msg);
+            if let Some(a) = self.adapted.get_mut(&name) {
+                a.grants.insert(id.clone(), grant);
+            }
+        }
+    }
+
+    /// Removes an extension from the catalog and revokes it everywhere.
+    pub fn revoke_extension(&mut self, sim: &mut Simulator, ext_id: &str, reason: &str) {
+        self.catalog.remove(ext_id);
+        let targets: Vec<NodeId> = self
+            .adapted
+            .values()
+            .filter(|a| a.present && a.grants.contains_key(ext_id))
+            .map(|a| a.node)
+            .collect();
+        for node in targets {
+            let msg = MidasMsg::Revoke {
+                ext_id: ext_id.to_string(),
+                reason: reason.to_string(),
+            };
+            self.send(sim, node, &msg);
+        }
+        for a in self.adapted.values_mut() {
+            a.grants.remove(ext_id);
+        }
+    }
+
+    /// Processes one inbox entry of the host node.
+    pub fn handle(&mut self, sim: &mut Simulator, incoming: &Incoming) -> Vec<BaseEvent> {
+        match incoming {
+            Incoming::Timer { token, .. } if Some(*token) == self.scan_token => {
+                self.scan(sim);
+                self.scan_token =
+                    Some(sim.set_timer(self.node, self.scan_interval_ns, SCAN_TAG));
+            }
+            Incoming::Message {
+                from,
+                channel,
+                payload,
+                ..
+            } if &**channel == CHANNEL => {
+                if let Ok(msg) = pmp_wire::from_bytes::<MidasMsg>(payload) {
+                    self.handle_midas(sim, *from, msg);
+                }
+            }
+            other => {
+                // Everything else may belong to the discovery client.
+                for ev in self.discovery.handle(sim, other) {
+                    self.handle_discovery(sim, ev);
+                }
+            }
+        }
+        std::mem::take(&mut self.events)
+    }
+
+    fn handle_discovery(&mut self, sim: &mut Simulator, ev: DiscoveryEvent) {
+        if let DiscoveryEvent::LookupDone { req, items } = ev {
+            if self.pending_scan != Some(req) {
+                return;
+            }
+            self.pending_scan = None;
+            let now = sim.now();
+            let _ = now;
+            // Mark presence.
+            let mut present: HashMap<String, NodeId> = HashMap::new();
+            for item in &items {
+                present.insert(item.name.clone(), NodeId(item.provider));
+            }
+            // New nodes: deliver the catalog.
+            let new_nodes: Vec<(String, NodeId)> = present
+                .iter()
+                .filter(|(name, _)| {
+                    self.adapted.get(*name).is_none_or(|a| !a.present)
+                })
+                .map(|(n, id)| (n.clone(), *id))
+                .collect();
+            for (name, node) in new_nodes {
+                let delivered = self.deliver_catalog(sim, node, &name);
+                self.events.push(BaseEvent::NodeDiscovered {
+                    node_name: name,
+                    delivered,
+                });
+            }
+            // Known nodes still present: keep their leases alive.
+            let renewals: Vec<(NodeId, Vec<u64>)> = self
+                .adapted
+                .iter()
+                .filter(|(name, a)| a.present && present.contains_key(*name))
+                .map(|(_, a)| (a.node, a.grants.values().copied().collect()))
+                .collect();
+            for (node, grants) in renewals {
+                for grant in grants {
+                    let msg = MidasMsg::LeaseRenew { grant };
+                    self.send(sim, node, &msg);
+                }
+            }
+            // Departed nodes: mark, event, and roam.
+            let departed: Vec<String> = self
+                .adapted
+                .iter()
+                .filter(|(name, a)| a.present && !present.contains_key(*name))
+                .map(|(name, _)| name.clone())
+                .collect();
+            for name in departed {
+                if let Some(a) = self.adapted.get_mut(&name) {
+                    a.present = false;
+                    let ext_ids: Vec<String> = a.grants.keys().cloned().collect();
+                    let neighbors = self.neighbors.clone();
+                    for nb in neighbors {
+                        let msg = MidasMsg::RoamingHandoff {
+                            node_name: name.clone(),
+                            ext_ids: ext_ids.clone(),
+                        };
+                        self.send(sim, nb, &msg);
+                    }
+                }
+                self.events.push(BaseEvent::NodeDeparted { node_name: name });
+            }
+        }
+    }
+
+    fn handle_midas(&mut self, sim: &mut Simulator, from: NodeId, msg: MidasMsg) {
+        match msg {
+            MidasMsg::Ack {
+                ext_id,
+                grant,
+                ok,
+                reason,
+            } => {
+                if !ok && reason == "released" {
+                    // The receiver dropped this grant on purpose
+                    // (implicit dep released, upgrade, revocation):
+                    // stop renewing it.
+                    if let Some(a) = self.adapted.values_mut().find(|a| a.node == from) {
+                        a.grants.retain(|_, g| *g != grant);
+                    }
+                    return;
+                }
+                if !ok && reason == "unknown grant" {
+                    // The receiver no longer holds this grant (lost
+                    // delivery, or our outage outlived its leases):
+                    // redeliver that extension with a fresh grant.
+                    let stale: Option<(String, String)> = self
+                        .adapted
+                        .iter()
+                        .find(|(_, a)| a.node == from)
+                        .and_then(|(name, a)| {
+                            a.grants
+                                .iter()
+                                .find(|(_, g)| **g == grant)
+                                .map(|(id, _)| (name.clone(), id.clone()))
+                        });
+                    if let Some((name, id)) = stale {
+                        if let Some(ext) = self.catalog.get(&id).cloned() {
+                            let fresh = self.fresh_grant();
+                            if let Some(a) = self.adapted.get_mut(&name) {
+                                a.grants.insert(id, fresh);
+                            }
+                            let msg = MidasMsg::Deliver {
+                                ext,
+                                lease_ns: self.lease_ns,
+                                grant: fresh,
+                            };
+                            self.send(sim, from, &msg);
+                        }
+                    }
+                    return;
+                }
+                let node_name = self
+                    .adapted
+                    .iter()
+                    .find(|(_, a)| a.node == from)
+                    .map(|(n, _)| n.clone())
+                    .unwrap_or_else(|| from.to_string());
+                self.events.push(BaseEvent::InstallAck {
+                    node_name,
+                    ext_id,
+                    ok,
+                    reason,
+                });
+            }
+            MidasMsg::RequestDep { ext_id } => {
+                // Deliver the dependency closure of the requested id.
+                for id in self.catalog.closure_of(&ext_id) {
+                    if let Some(ext) = self.catalog.get(&id).cloned() {
+                        let grant = self.fresh_grant();
+                        if let Some(a) = self.adapted.values_mut().find(|a| a.node == from) {
+                            a.grants.insert(id.clone(), grant);
+                        }
+                        let msg = MidasMsg::Deliver {
+                            ext,
+                            lease_ns: self.lease_ns,
+                            grant,
+                        };
+                        self.send(sim, from, &msg);
+                    }
+                }
+            }
+            MidasMsg::RoamingHandoff { node_name, ext_ids } => {
+                self.roaming_cache
+                    .insert(node_name.clone(), ext_ids.clone());
+                self.events
+                    .push(BaseEvent::HandoffReceived { node_name, ext_ids });
+            }
+            // Receiver-bound messages are ignored by the base.
+            MidasMsg::Deliver { .. }
+            | MidasMsg::LeaseRenew { .. }
+            | MidasMsg::Revoke { .. }
+            | MidasMsg::Replace { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Extension packages: the unit MIDAS distributes, leases, and revokes.
+
+use pmp_crypto::{KeyPair, SignedBlob, TrustStore};
+use pmp_prose::PortableAspect;
+use pmp_wire::{wire_struct, WireError};
+use std::fmt;
+
+/// Metadata describing an extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtensionMeta {
+    /// Globally unique id, e.g. `"hall-a/monitoring"`.
+    pub id: String,
+    /// Monotonic version; receivers refuse downgrades.
+    pub version: u32,
+    /// Human-readable description.
+    pub description: String,
+    /// Ids of *implicit* extensions this one needs (the paper's session
+    /// management, automatically added alongside access control).
+    pub requires: Vec<String>,
+    /// Requested permission names (`"print"`, `"net"`, ...); capped by
+    /// the receiver's policy for the signer.
+    pub permissions: Vec<String>,
+    /// `true` for implicit extensions: they are installed only as
+    /// dependencies and removed automatically when the last dependent
+    /// extension goes away.
+    pub implicit: bool,
+}
+
+wire_struct!(ExtensionMeta {
+    id: String,
+    version: u32,
+    description: String,
+    requires: Vec<String>,
+    permissions: Vec<String>,
+    implicit: bool,
+});
+
+impl fmt::Display for ExtensionMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} v{}", self.id, self.version)
+    }
+}
+
+/// A complete extension: metadata plus the portable aspect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtensionPackage {
+    /// Descriptive metadata.
+    pub meta: ExtensionMeta,
+    /// The code (a shippable aspect).
+    pub aspect: PortableAspect,
+}
+
+wire_struct!(ExtensionPackage {
+    meta: ExtensionMeta,
+    aspect: PortableAspect,
+});
+
+/// A signed, wire-ready extension. The signature covers the canonical
+/// encoding of the whole package, so neither metadata (permissions!)
+/// nor code can be altered in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedExtension {
+    /// The signed envelope.
+    pub blob: SignedBlob,
+}
+
+wire_struct!(SignedExtension { blob: SignedBlob });
+
+impl SignedExtension {
+    /// Signs `package` as `signer`.
+    pub fn seal(signer: impl Into<String>, pair: &KeyPair, package: &ExtensionPackage) -> Self {
+        let payload = pmp_wire::to_bytes(package);
+        Self {
+            blob: SignedBlob::seal(signer, pair, payload),
+        }
+    }
+
+    /// The claimed signer name.
+    pub fn signer(&self) -> &str {
+        &self.blob.signer
+    }
+
+    /// Decodes the package (does **not** verify the signature).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed payloads.
+    pub fn open(&self) -> Result<ExtensionPackage, WireError> {
+        pmp_wire::from_bytes(&self.blob.payload)
+    }
+
+    /// Verifies the signature against a trust store and decodes.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason: untrusted signer, bad signature, or
+    /// malformed payload.
+    pub fn verify_and_open(&self, trust: &TrustStore) -> Result<ExtensionPackage, String> {
+        trust.verify(&self.blob).map_err(|e| e.to_string())?;
+        self.open().map_err(|e| format!("malformed package: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_crypto::Principal;
+    use pmp_prose::{Aspect, PortableClass};
+
+    fn package(id: &str, version: u32) -> ExtensionPackage {
+        let aspect = Aspect::script(
+            id.to_string(),
+            PortableClass {
+                name: format!("Ext_{}", id.replace(['/', '-'], "_")),
+                fields: vec![],
+                methods: vec![],
+            },
+            vec![],
+        );
+        ExtensionPackage {
+            meta: ExtensionMeta {
+                id: id.into(),
+                version,
+                description: "test".into(),
+                requires: vec![],
+                permissions: vec!["print".into()],
+                implicit: false,
+            },
+            aspect: PortableAspect::try_from(&aspect).unwrap(),
+        }
+    }
+
+    #[test]
+    fn seal_verify_open() {
+        let pair = KeyPair::from_seed(b"authority");
+        let mut trust = TrustStore::new();
+        trust.add(Principal::new("authority", pair.public_key()));
+        let pkg = package("hall-a/mon", 1);
+        let signed = SignedExtension::seal("authority", &pair, &pkg);
+        assert_eq!(signed.signer(), "authority");
+        let opened = signed.verify_and_open(&trust).unwrap();
+        assert_eq!(opened, pkg);
+    }
+
+    #[test]
+    fn untrusted_signer_rejected() {
+        let pair = KeyPair::from_seed(b"stranger");
+        let trust = TrustStore::new();
+        let signed = SignedExtension::seal("stranger", &pair, &package("x", 1));
+        let err = signed.verify_and_open(&trust).unwrap_err();
+        assert!(err.contains("not trusted"));
+    }
+
+    #[test]
+    fn tampered_package_rejected() {
+        let pair = KeyPair::from_seed(b"authority");
+        let mut trust = TrustStore::new();
+        trust.add(Principal::new("authority", pair.public_key()));
+        let mut signed = SignedExtension::seal("authority", &pair, &package("x", 1));
+        // Flip a byte: e.g. escalate permissions in the payload.
+        let mid = signed.blob.payload.len() / 2;
+        signed.blob.payload[mid] ^= 1;
+        assert!(signed.verify_and_open(&trust).is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let pair = KeyPair::from_seed(b"a");
+        let signed = SignedExtension::seal("a", &pair, &package("x", 3));
+        let bytes = pmp_wire::to_bytes(&signed);
+        assert_eq!(
+            pmp_wire::from_bytes::<SignedExtension>(&bytes).unwrap(),
+            signed
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! The MIDAS wire protocol, carried on the `"midas"` channel.
+
+use crate::package::SignedExtension;
+use pmp_wire::{Reader, Wire, WireError, Writer};
+
+/// Channel name for all MIDAS traffic.
+pub const CHANNEL: &str = "midas";
+
+/// A MIDAS protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MidasMsg {
+    /// Base → receiver: install this extension under a lease.
+    Deliver {
+        /// The signed extension.
+        ext: SignedExtension,
+        /// Lease duration (ns); the base keeps it alive with
+        /// [`MidasMsg::LeaseRenew`].
+        lease_ns: u64,
+        /// Grant id, unique per base; names this lease.
+        grant: u64,
+    },
+    /// Receiver → base: installation result.
+    Ack {
+        /// The extension id.
+        ext_id: String,
+        /// The grant being answered.
+        grant: u64,
+        /// Whether installation succeeded.
+        ok: bool,
+        /// Failure reason when `ok` is false.
+        reason: String,
+    },
+    /// Base → receiver: keep the grant alive (the paper: "it is the
+    /// responsibility of each extension base to keep alive the
+    /// functionality it has distributed").
+    LeaseRenew {
+        /// The grant to refresh.
+        grant: u64,
+    },
+    /// Base → receiver: withdraw an extension now.
+    Revoke {
+        /// The extension id.
+        ext_id: String,
+        /// Why (surfaced to the extension's shutdown procedure).
+        reason: String,
+    },
+    /// Base → receiver: atomically replace `old_id` with a new
+    /// extension (local policy evolved).
+    Replace {
+        /// The id being replaced.
+        old_id: String,
+        /// The replacement.
+        ext: SignedExtension,
+        /// Lease duration for the replacement (ns).
+        lease_ns: u64,
+        /// Grant id for the replacement.
+        grant: u64,
+    },
+    /// Receiver → base: a delivered extension requires `ext_id` but it
+    /// is not installed; please deliver it.
+    RequestDep {
+        /// The missing dependency id.
+        ext_id: String,
+    },
+    /// Base → base: a node this base had adapted left towards your
+    /// area (the paper's "simple roaming algorithm").
+    RoamingHandoff {
+        /// The roaming node's advertised name.
+        node_name: String,
+        /// Extensions it held here.
+        ext_ids: Vec<String>,
+    },
+}
+
+impl Wire for MidasMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MidasMsg::Deliver {
+                ext,
+                lease_ns,
+                grant,
+            } => {
+                w.put_u8(0);
+                ext.encode(w);
+                w.put_u64(*lease_ns);
+                w.put_u64(*grant);
+            }
+            MidasMsg::Ack {
+                ext_id,
+                grant,
+                ok,
+                reason,
+            } => {
+                w.put_u8(1);
+                w.put_str(ext_id);
+                w.put_u64(*grant);
+                w.put_bool(*ok);
+                w.put_str(reason);
+            }
+            MidasMsg::LeaseRenew { grant } => {
+                w.put_u8(2);
+                w.put_u64(*grant);
+            }
+            MidasMsg::Revoke { ext_id, reason } => {
+                w.put_u8(3);
+                w.put_str(ext_id);
+                w.put_str(reason);
+            }
+            MidasMsg::Replace {
+                old_id,
+                ext,
+                lease_ns,
+                grant,
+            } => {
+                w.put_u8(4);
+                w.put_str(old_id);
+                ext.encode(w);
+                w.put_u64(*lease_ns);
+                w.put_u64(*grant);
+            }
+            MidasMsg::RequestDep { ext_id } => {
+                w.put_u8(5);
+                w.put_str(ext_id);
+            }
+            MidasMsg::RoamingHandoff { node_name, ext_ids } => {
+                w.put_u8(6);
+                w.put_str(node_name);
+                ext_ids.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => MidasMsg::Deliver {
+                ext: SignedExtension::decode(r)?,
+                lease_ns: r.get_u64()?,
+                grant: r.get_u64()?,
+            },
+            1 => MidasMsg::Ack {
+                ext_id: r.get_str()?,
+                grant: r.get_u64()?,
+                ok: r.get_bool()?,
+                reason: r.get_str()?,
+            },
+            2 => MidasMsg::LeaseRenew {
+                grant: r.get_u64()?,
+            },
+            3 => MidasMsg::Revoke {
+                ext_id: r.get_str()?,
+                reason: r.get_str()?,
+            },
+            4 => MidasMsg::Replace {
+                old_id: r.get_str()?,
+                ext: SignedExtension::decode(r)?,
+                lease_ns: r.get_u64()?,
+                grant: r.get_u64()?,
+            },
+            5 => MidasMsg::RequestDep {
+                ext_id: r.get_str()?,
+            },
+            6 => MidasMsg::RoamingHandoff {
+                node_name: r.get_str()?,
+                ext_ids: Vec::<String>::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    type_name: "MidasMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::{ExtensionMeta, ExtensionPackage};
+    use pmp_crypto::KeyPair;
+    use pmp_prose::{Aspect, PortableAspect, PortableClass};
+
+    fn signed() -> SignedExtension {
+        let aspect = Aspect::script(
+            "m",
+            PortableClass {
+                name: "M".into(),
+                fields: vec![],
+                methods: vec![],
+            },
+            vec![],
+        );
+        let pkg = ExtensionPackage {
+            meta: ExtensionMeta {
+                id: "m".into(),
+                version: 1,
+                description: String::new(),
+                requires: vec![],
+                permissions: vec![],
+                implicit: false,
+            },
+            aspect: PortableAspect::try_from(&aspect).unwrap(),
+        };
+        SignedExtension::seal("a", &KeyPair::from_seed(b"a"), &pkg)
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = vec![
+            MidasMsg::Deliver {
+                ext: signed(),
+                lease_ns: 9,
+                grant: 2,
+            },
+            MidasMsg::Ack {
+                ext_id: "m".into(),
+                grant: 2,
+                ok: false,
+                reason: "untrusted".into(),
+            },
+            MidasMsg::LeaseRenew { grant: 2 },
+            MidasMsg::Revoke {
+                ext_id: "m".into(),
+                reason: "policy change".into(),
+            },
+            MidasMsg::Replace {
+                old_id: "m".into(),
+                ext: signed(),
+                lease_ns: 9,
+                grant: 3,
+            },
+            MidasMsg::RequestDep {
+                ext_id: "session".into(),
+            },
+            MidasMsg::RoamingHandoff {
+                node_name: "robot:1:1".into(),
+                ext_ids: vec!["m".into()],
+            },
+        ];
+        for m in msgs {
+            let bytes = pmp_wire::to_bytes(&m);
+            assert_eq!(pmp_wire::from_bytes::<MidasMsg>(&bytes).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! The adaptation service each mobile node carries (paper Fig. 2b):
+//! advertises the node, accepts signed extensions, weaves them with
+//! PROSE, tracks their leases, and withdraws them autonomously.
+
+use crate::package::SignedExtension;
+use crate::policy::ReceiverPolicy;
+use crate::proto::{MidasMsg, CHANNEL};
+use pmp_discovery::{DiscoveryClient, DiscoveryEvent, Lease, ServiceItem};
+use pmp_net::{Incoming, NodeId, Simulator};
+use pmp_prose::{Aspect, AspectId, Prose, WeaveOptions};
+use pmp_vm::Vm;
+use std::collections::{HashMap, HashSet};
+
+const EXPIRY_TAG: &str = "midas.expiry";
+
+/// Events surfaced by the adaptation service to its host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiverEvent {
+    /// An extension was verified, woven, and is now active.
+    Installed {
+        /// Extension id.
+        ext_id: String,
+        /// Version.
+        version: u32,
+        /// The delivering base's node.
+        base: NodeId,
+    },
+    /// A delivered extension was refused.
+    Rejected {
+        /// Extension id (or `"?"` if unreadable).
+        ext_id: String,
+        /// Why.
+        reason: String,
+    },
+    /// An extension was withdrawn (lease expiry, revocation,
+    /// replacement, or cascade).
+    Removed {
+        /// Extension id.
+        ext_id: String,
+        /// Why.
+        reason: String,
+    },
+    /// A dependency was requested from the delivering base.
+    DependencyRequested {
+        /// The missing dependency id.
+        ext_id: String,
+    },
+}
+
+#[derive(Debug)]
+struct Installed {
+    version: u32,
+    aspect_id: AspectId,
+    grant: u64,
+    base: NodeId,
+    lease: Lease,
+    implicit: bool,
+    requires: Vec<String>,
+    dependents: HashSet<String>,
+}
+
+#[derive(Debug)]
+struct PendingInstall {
+    ext: SignedExtension,
+    lease_ns: u64,
+    grant: u64,
+    from: NodeId,
+}
+
+/// The adaptation-service state machine. Drive it by passing every
+/// [`Incoming`] of its node — along with the node's VM and PROSE — to
+/// [`AdaptationService::handle`].
+#[derive(Debug)]
+pub struct AdaptationService {
+    node: NodeId,
+    name: String,
+    /// Trust store and permission caps.
+    pub policy: ReceiverPolicy,
+    discovery: DiscoveryClient,
+    installed: HashMap<String, Installed>,
+    pending: Vec<PendingInstall>,
+    advertise_lease_ns: u64,
+    expiry_check_ns: u64,
+    expiry_token: Option<u64>,
+    started: bool,
+    events: Vec<ReceiverEvent>,
+}
+
+impl AdaptationService {
+    /// Creates the adaptation service for `node`, advertising under
+    /// `name` (the paper's `robot:1:1`).
+    pub fn new(node: NodeId, name: impl Into<String>, policy: ReceiverPolicy) -> Self {
+        Self {
+            node,
+            name: name.into(),
+            policy,
+            discovery: DiscoveryClient::new(node),
+            installed: HashMap::new(),
+            pending: Vec::new(),
+            advertise_lease_ns: 2_000_000_000, // 2 s presence lease
+            expiry_check_ns: 500_000_000,      // 0.5 s sweep
+            expiry_token: None,
+            started: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Overrides the presence (discovery) lease duration.
+    pub fn set_advertise_lease(&mut self, ns: u64) {
+        self.advertise_lease_ns = ns;
+    }
+
+    /// Starts advertising and lease sweeping. Idempotent.
+    pub fn start(&mut self, sim: &mut Simulator) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.discovery.start(sim);
+        self.expiry_token = Some(sim.set_timer(self.node, self.expiry_check_ns, EXPIRY_TAG));
+    }
+
+    fn advertise(&mut self, sim: &mut Simulator, registrar: NodeId) {
+        let item = ServiceItem::new("midas.adaptation", self.name.clone(), self.node.0)
+            .with_attr("vm", "pmp");
+        self.discovery
+            .register(sim, registrar, item, self.advertise_lease_ns);
+    }
+
+    /// Ids of currently installed extensions, sorted.
+    pub fn installed_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.installed.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Is the extension installed?
+    pub fn is_installed(&self, ext_id: &str) -> bool {
+        self.installed.contains_key(ext_id)
+    }
+
+    /// The node's advertised name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Processes one inbox entry.
+    pub fn handle(
+        &mut self,
+        sim: &mut Simulator,
+        vm: &mut Vm,
+        prose: &Prose,
+        incoming: &Incoming,
+    ) -> Vec<ReceiverEvent> {
+        match incoming {
+            Incoming::Timer { token, .. } if Some(*token) == self.expiry_token => {
+                self.sweep(sim, vm, prose);
+                self.expiry_token =
+                    Some(sim.set_timer(self.node, self.expiry_check_ns, EXPIRY_TAG));
+            }
+            Incoming::Message {
+                from,
+                channel,
+                payload,
+                ..
+            } if &**channel == CHANNEL => {
+                if let Ok(msg) = pmp_wire::from_bytes::<MidasMsg>(payload) {
+                    self.handle_midas(sim, vm, prose, *from, msg);
+                }
+            }
+            other => {
+                for ev in self.discovery.handle(sim, other) {
+                    match ev {
+                        // Advertise the adaptation service (Fig. 2b):
+                        // announce that this node can be adapted.
+                        DiscoveryEvent::RegistrarDiscovered { node, .. } => {
+                            self.advertise(sim, node);
+                        }
+                        // A lossy radio killed our presence lease while
+                        // the registrar is still around: re-advertise
+                        // immediately.
+                        DiscoveryEvent::RegistrationLost { registrar, .. }
+                            if self
+                                .discovery
+                                .known_registrars()
+                                .iter()
+                                .any(|(n, _)| *n == registrar)
+                            => {
+                                self.advertise(sim, registrar);
+                            }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        std::mem::take(&mut self.events)
+    }
+
+    fn handle_midas(
+        &mut self,
+        sim: &mut Simulator,
+        vm: &mut Vm,
+        prose: &Prose,
+        from: NodeId,
+        msg: MidasMsg,
+    ) {
+        match msg {
+            MidasMsg::Deliver {
+                ext,
+                lease_ns,
+                grant,
+            } => {
+                self.try_install(sim, vm, prose, from, ext, lease_ns, grant);
+                self.retry_pending(sim, vm, prose);
+            }
+            MidasMsg::LeaseRenew { grant } => {
+                let now = sim.now();
+                let mut known = false;
+                for inst in self.installed.values_mut() {
+                    if inst.grant == grant {
+                        inst.lease.renew(now);
+                        known = true;
+                    }
+                }
+                if !known {
+                    // The base believes we hold this grant but we do not
+                    // (its outage outlived our leases, or the delivery
+                    // was lost). Tell it so it redelivers.
+                    let msg = MidasMsg::Ack {
+                        ext_id: String::new(),
+                        grant,
+                        ok: false,
+                        reason: "unknown grant".into(),
+                    };
+                    sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&msg));
+                }
+            }
+            MidasMsg::Revoke { ext_id, reason } => {
+                if self.installed.contains_key(&ext_id) {
+                    self.uninstall(sim, vm, prose, &ext_id, &format!("revoked: {reason}"), true);
+                }
+            }
+            MidasMsg::Replace {
+                old_id,
+                ext,
+                lease_ns,
+                grant,
+            } => {
+                if self.installed.contains_key(&old_id) {
+                    self.uninstall(sim, vm, prose, &old_id, "replaced by newer policy", true);
+                }
+                self.try_install(sim, vm, prose, from, ext, lease_ns, grant);
+                self.retry_pending(sim, vm, prose);
+            }
+            // Base-bound messages are ignored by the receiver.
+            MidasMsg::Ack { .. }
+            | MidasMsg::RequestDep { .. }
+            | MidasMsg::RoamingHandoff { .. } => {}
+        }
+    }
+
+    fn nack(&mut self, sim: &mut Simulator, to: NodeId, ext_id: &str, grant: u64, reason: String) {
+        self.events.push(ReceiverEvent::Rejected {
+            ext_id: ext_id.to_string(),
+            reason: reason.clone(),
+        });
+        let msg = MidasMsg::Ack {
+            ext_id: ext_id.to_string(),
+            grant,
+            ok: false,
+            reason,
+        };
+        sim.send(self.node, to, CHANNEL, pmp_wire::to_bytes(&msg));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_install(
+        &mut self,
+        sim: &mut Simulator,
+        vm: &mut Vm,
+        prose: &Prose,
+        from: NodeId,
+        ext: SignedExtension,
+        lease_ns: u64,
+        grant: u64,
+    ) {
+        // 1. Trust and integrity (paper §3.2: verification of the
+        //    originator before insertion).
+        let signer = ext.signer().to_string();
+        let pkg = match ext.verify_and_open(&self.policy.trust) {
+            Ok(pkg) => pkg,
+            Err(reason) => {
+                let id = ext.open().map(|p| p.meta.id).unwrap_or_else(|_| "?".into());
+                self.nack(sim, from, &id, grant, reason);
+                return;
+            }
+        };
+        let id = pkg.meta.id.clone();
+
+        // 2. Version check: same or newer only.
+        if let Some(existing) = self.installed.get_mut(&id) {
+            if existing.version > pkg.meta.version {
+                self.nack(sim, from, &id, grant, "version downgrade refused".into());
+                return;
+            }
+            if existing.version == pkg.meta.version {
+                // Duplicate delivery: adopt the new grant and lease.
+                existing.grant = grant;
+                existing.lease = Lease::grant(sim.now(), lease_ns);
+                existing.base = from;
+                let msg = MidasMsg::Ack {
+                    ext_id: id,
+                    grant,
+                    ok: true,
+                    reason: String::new(),
+                };
+                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&msg));
+                return;
+            }
+            // Newer version: replace in place.
+            self.uninstall(sim, vm, prose, &id, "upgraded", true);
+        }
+
+        // 3. Implicit dependencies must be present (paper: the session
+        //    management extension is automatically added first).
+        let missing: Vec<String> = pkg
+            .meta
+            .requires
+            .iter()
+            .filter(|d| !self.installed.contains_key(*d))
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            for dep in &missing {
+                self.events.push(ReceiverEvent::DependencyRequested {
+                    ext_id: dep.clone(),
+                });
+                let msg = MidasMsg::RequestDep {
+                    ext_id: dep.clone(),
+                };
+                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&msg));
+            }
+            self.pending.push(PendingInstall {
+                ext,
+                lease_ns,
+                grant,
+                from,
+            });
+            return;
+        }
+
+        // 4. Weave under the sandbox: requested ∩ policy cap.
+        let perms = self.policy.effective(&signer, &pkg.meta.permissions);
+        let aspect: Aspect = pkg.aspect.clone().into();
+        match prose.weave(vm, aspect, WeaveOptions::sandboxed(perms)) {
+            Ok(aspect_id) => {
+                for dep in &pkg.meta.requires {
+                    if let Some(d) = self.installed.get_mut(dep) {
+                        d.dependents.insert(id.clone());
+                    }
+                }
+                self.installed.insert(
+                    id.clone(),
+                    Installed {
+                        version: pkg.meta.version,
+                        aspect_id,
+                        grant,
+                        base: from,
+                        lease: Lease::grant(sim.now(), lease_ns),
+                        implicit: pkg.meta.implicit,
+                        requires: pkg.meta.requires.clone(),
+                        dependents: HashSet::new(),
+                    },
+                );
+                self.events.push(ReceiverEvent::Installed {
+                    ext_id: id.clone(),
+                    version: pkg.meta.version,
+                    base: from,
+                });
+                let msg = MidasMsg::Ack {
+                    ext_id: id,
+                    grant,
+                    ok: true,
+                    reason: String::new(),
+                };
+                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&msg));
+            }
+            Err(e) => {
+                self.nack(sim, from, &id, grant, format!("weave failed: {e}"));
+            }
+        }
+    }
+
+    fn retry_pending(&mut self, sim: &mut Simulator, vm: &mut Vm, prose: &Prose) {
+        // Retry queued installs whose dependencies may now be present;
+        // loop until a fixpoint so chains resolve in one pass.
+        loop {
+            let ready: Vec<usize> = self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    p.ext.open().map_or(true, |pkg| {
+                        pkg.meta
+                            .requires
+                            .iter()
+                            .all(|d| self.installed.contains_key(d))
+                    })
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if ready.is_empty() {
+                return;
+            }
+            for idx in ready.into_iter().rev() {
+                let p = self.pending.remove(idx);
+                self.try_install(sim, vm, prose, p.from, p.ext, p.lease_ns, p.grant);
+            }
+        }
+    }
+
+    /// Withdraws an extension: dependents are cascaded first, PROSE
+    /// unweaves with a shutdown notification, implicit dependencies
+    /// with no remaining dependents are removed too, and the granting
+    /// base is told the grant was released (so it stops renewing and
+    /// does not redeliver).
+    #[allow(clippy::too_many_arguments)]
+    fn uninstall(
+        &mut self,
+        sim: &mut Simulator,
+        vm: &mut Vm,
+        prose: &Prose,
+        ext_id: &str,
+        reason: &str,
+        notify_base: bool,
+    ) {
+        let Some(inst) = self.installed.get(ext_id) else {
+            return;
+        };
+        // Cascade to dependents first (they rely on this extension).
+        let dependents: Vec<String> = inst.dependents.iter().cloned().collect();
+        for d in dependents {
+            self.uninstall(
+                sim,
+                vm,
+                prose,
+                &d,
+                &format!("dependency {ext_id} removed"),
+                notify_base,
+            );
+        }
+        let Some(inst) = self.installed.remove(ext_id) else {
+            return;
+        };
+        let _ = prose.unweave(vm, inst.aspect_id, reason);
+        if notify_base {
+            // Deliberate removal: tell the base to stop renewing this
+            // grant (best-effort; silently lost if out of range). Lease
+            // expiries do NOT notify — if the base is in fact alive, its
+            // next renewal triggers redelivery instead.
+            let msg = MidasMsg::Ack {
+                ext_id: ext_id.to_string(),
+                grant: inst.grant,
+                ok: false,
+                reason: "released".into(),
+            };
+            sim.send(self.node, inst.base, CHANNEL, pmp_wire::to_bytes(&msg));
+        }
+        self.events.push(ReceiverEvent::Removed {
+            ext_id: ext_id.to_string(),
+            reason: reason.to_string(),
+        });
+        // Release implicit dependencies.
+        for dep in &inst.requires {
+            let remove_dep = match self.installed.get_mut(dep) {
+                Some(d) => {
+                    d.dependents.remove(ext_id);
+                    d.implicit && d.dependents.is_empty()
+                }
+                None => false,
+            };
+            if remove_dep {
+                self.uninstall(sim, vm, prose, dep, "no longer required", true);
+            }
+        }
+    }
+
+    /// Lease sweep: extensions whose base failed to renew are
+    /// "immediately withdrawn from the system" (paper §3.2).
+    fn sweep(&mut self, sim: &mut Simulator, vm: &mut Vm, prose: &Prose) {
+        let now = sim.now();
+        let expired: Vec<String> = self
+            .installed
+            .iter()
+            .filter(|(_, i)| i.lease.expired(now))
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in expired {
+            self.uninstall(sim, vm, prose, &id, "lease expired", false);
+        }
+    }
+}

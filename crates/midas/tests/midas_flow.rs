@@ -1,0 +1,573 @@
+//! End-to-end MIDAS tests: a base station (registrar + extension base)
+//! and a robot (VM + PROSE + adaptation service) over the simulated
+//! wireless network — the paper's Fig. 2 lifecycle.
+
+use pmp_crypto::{KeyPair, Principal};
+use pmp_discovery::Registrar;
+use pmp_midas::{
+    AdaptationService, BaseEvent, ExtensionBase, ExtensionMeta, ExtensionPackage, ReceiverEvent,
+    ReceiverPolicy, SignedExtension,
+};
+use pmp_net::prelude::*;
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod, Prose};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::prelude::*;
+
+// ---------------------------------------------------------------------
+// Extension fixtures
+// ---------------------------------------------------------------------
+
+fn any5() -> Vec<String> {
+    vec!["any".into(), "str".into(), "any".into(), "any".into(), "any".into()]
+}
+
+/// A monitoring script aspect counting Motor calls and printing them.
+fn monitoring_aspect(class_name: &str) -> PortableAspect {
+    let mut body = MethodBuilder::new();
+    body.op(Op::Load(2));
+    body.op(Op::Sys {
+        name: "print".into(),
+        argc: 1,
+    });
+    body.op(Op::Pop).op(Op::Ret);
+    let class = PortableClass {
+        name: class_name.into(),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "onCall".into(),
+            params: any5(),
+            ret: "any".into(),
+            body: body.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        "monitoring",
+        class,
+        vec![(
+            Crosscut::parse("before * Motor.*(..)").unwrap(),
+            "onCall".into(),
+            0,
+        )],
+    );
+    PortableAspect::try_from(&aspect).unwrap()
+}
+
+fn package(
+    id: &str,
+    version: u32,
+    requires: Vec<String>,
+    implicit: bool,
+    aspect: PortableAspect,
+) -> ExtensionPackage {
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: id.into(),
+            version,
+            description: format!("{id} extension"),
+            requires,
+            permissions: vec!["print".into()],
+            implicit,
+        },
+        aspect,
+    }
+}
+
+fn noop_aspect(aspect_name: &str, class_name: &str) -> PortableAspect {
+    let mut body = MethodBuilder::new();
+    body.op(Op::Ret);
+    let class = PortableClass {
+        name: class_name.into(),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "onCall".into(),
+            params: any5(),
+            ret: "any".into(),
+            body: body.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        aspect_name,
+        class,
+        vec![(
+            Crosscut::parse("before * Motor.*(..)").unwrap(),
+            "onCall".into(),
+            0,
+        )],
+    );
+    PortableAspect::try_from(&aspect).unwrap()
+}
+
+// ---------------------------------------------------------------------
+// World driver
+// ---------------------------------------------------------------------
+
+struct World {
+    sim: Simulator,
+    // base station
+    base_node: NodeId,
+    registrar: Registrar,
+    base: ExtensionBase,
+    base_events: Vec<BaseEvent>,
+    // robot
+    robot_node: NodeId,
+    vm: Vm,
+    prose: Prose,
+    receiver: AdaptationService,
+    receiver_events: Vec<ReceiverEvent>,
+    // credentials
+    authority: KeyPair,
+}
+
+fn robot_vm() -> (Vm, Prose) {
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("Motor")
+            .field("position", TypeSig::Int)
+            .method("rotate", [TypeSig::Int], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .method("stop", [], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .done(),
+    )
+    .unwrap();
+    let prose = Prose::attach(&mut vm);
+    (vm, prose)
+}
+
+fn world() -> World {
+    let mut sim = Simulator::new(77);
+    sim.add_area("hall-a", Position::new(0.0, 0.0), Position::new(50.0, 50.0));
+    let base_node = sim.add_node("base:hall-a", Position::new(25.0, 25.0), 60.0);
+    let robot_node = sim.add_node("robot:1:1", Position::new(30.0, 25.0), 60.0);
+
+    let mut registrar = Registrar::new(base_node, "lookup:hall-a");
+    registrar.start(&mut sim);
+    let mut base = ExtensionBase::new(base_node, base_node);
+    base.start(&mut sim);
+
+    let authority = KeyPair::from_seed(b"authority:hall-a");
+    let mut policy = ReceiverPolicy::new();
+    policy
+        .trust
+        .add(Principal::new("authority:hall-a", authority.public_key()));
+    policy.set_signer_cap(
+        "authority:hall-a",
+        Permissions::none().with(Permission::Print).with(Permission::Net),
+    );
+
+    let (vm, prose) = robot_vm();
+    let mut receiver = AdaptationService::new(robot_node, "robot:1:1", policy);
+    receiver.start(&mut sim);
+
+    World {
+        sim,
+        base_node,
+        registrar,
+        base,
+        base_events: Vec::new(),
+        robot_node,
+        vm,
+        prose,
+        receiver,
+        receiver_events: Vec::new(),
+        authority,
+    }
+}
+
+impl World {
+    fn seal(&self, pkg: &ExtensionPackage) -> SignedExtension {
+        SignedExtension::seal("authority:hall-a", &self.authority, pkg)
+    }
+
+    /// Pumps the simulation for `ns`, dispatching all inboxes.
+    fn pump(&mut self, ns: u64) {
+        let until = self.sim.now().plus(ns);
+        loop {
+            match self.sim.peek_next() {
+                Some(t) if t <= until => {
+                    self.sim.step();
+                }
+                _ => break,
+            }
+            for inc in self.sim.drain_inbox(self.base_node) {
+                self.registrar.handle(&mut self.sim, &inc);
+                self.base_events
+                    .extend(self.base.handle(&mut self.sim, &inc));
+            }
+            for inc in self.sim.drain_inbox(self.robot_node) {
+                self.receiver_events.extend(self.receiver.handle(
+                    &mut self.sim,
+                    &mut self.vm,
+                    &self.prose,
+                    &inc,
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+#[test]
+fn robot_entering_hall_gets_adapted() {
+    let mut w = world();
+    let pkg = package("hall-a/monitoring", 1, vec![], false, monitoring_aspect("Mon1"));
+    let sealed = w.seal(&pkg);
+    w.base.catalog.put(sealed);
+
+    w.pump(5_000_000_000);
+
+    assert!(w.receiver.is_installed("hall-a/monitoring"));
+    assert!(w
+        .receiver_events
+        .iter()
+        .any(|e| matches!(e, ReceiverEvent::Installed { ext_id, .. } if ext_id == "hall-a/monitoring")));
+    assert!(w
+        .base_events
+        .iter()
+        .any(|e| matches!(e, BaseEvent::NodeDiscovered { node_name, delivered }
+            if node_name == "robot:1:1" && *delivered == 1)));
+    assert!(w
+        .base_events
+        .iter()
+        .any(|e| matches!(e, BaseEvent::InstallAck { ok: true, .. })));
+
+    // The woven extension actually intercepts the application.
+    let motor = w.vm.new_object("Motor").unwrap();
+    w.vm
+        .call("Motor", "rotate", motor, vec![Value::Int(30)])
+        .unwrap();
+    assert_eq!(w.vm.take_output(), vec!["Motor.rotate".to_string()]);
+}
+
+#[test]
+fn extensions_revoked_when_robot_leaves() {
+    let mut w = world();
+    w.base.set_lease(2_000_000_000);
+    let pkg = package("hall-a/monitoring", 1, vec![], false, monitoring_aspect("Mon1"));
+    let sealed = w.seal(&pkg);
+    w.base.catalog.put(sealed);
+    w.pump(5_000_000_000);
+    assert!(w.receiver.is_installed("hall-a/monitoring"));
+
+    // The robot drives away; renewals stop; the lease lapses.
+    w.sim.move_node(w.robot_node, Position::new(500.0, 500.0));
+    w.pump(10_000_000_000);
+
+    assert!(!w.receiver.is_installed("hall-a/monitoring"));
+    assert!(w.receiver_events.iter().any(|e| matches!(
+        e,
+        ReceiverEvent::Removed { reason, .. } if reason.contains("lease expired")
+    )));
+    assert!(w
+        .base_events
+        .iter()
+        .any(|e| matches!(e, BaseEvent::NodeDeparted { node_name } if node_name == "robot:1:1")));
+    // Interception is gone.
+    let motor = w.vm.new_object("Motor").unwrap();
+    w.vm
+        .call("Motor", "rotate", motor, vec![Value::Int(5)])
+        .unwrap();
+    assert!(w.vm.take_output().is_empty());
+}
+
+#[test]
+fn untrusted_base_is_rejected() {
+    let mut w = world();
+    let pkg = package("evil/monitoring", 1, vec![], false, monitoring_aspect("Evil1"));
+    // Signed by an unknown key claiming an untrusted name.
+    let mallory = KeyPair::from_seed(b"mallory");
+    let sealed = SignedExtension::seal("mallory", &mallory, &pkg);
+    w.base.catalog.put(sealed);
+
+    w.pump(5_000_000_000);
+
+    assert!(!w.receiver.is_installed("evil/monitoring"));
+    assert!(w.receiver_events.iter().any(|e| matches!(
+        e,
+        ReceiverEvent::Rejected { reason, .. } if reason.contains("not trusted")
+    )));
+    assert!(w
+        .base_events
+        .iter()
+        .any(|e| matches!(e, BaseEvent::InstallAck { ok: false, .. })));
+}
+
+#[test]
+fn forged_signature_is_rejected() {
+    let mut w = world();
+    let pkg = package("hall-a/monitoring", 1, vec![], false, monitoring_aspect("Mon1"));
+    // Mallory claims the trusted name but signs with her own key.
+    let mallory = KeyPair::from_seed(b"mallory");
+    let sealed = SignedExtension::seal("authority:hall-a", &mallory, &pkg);
+    w.base.catalog.put(sealed);
+
+    w.pump(5_000_000_000);
+
+    assert!(!w.receiver.is_installed("hall-a/monitoring"));
+    assert!(w.receiver_events.iter().any(|e| matches!(
+        e,
+        ReceiverEvent::Rejected { reason, .. } if reason.contains("signature")
+    )));
+}
+
+#[test]
+fn implicit_dependencies_install_first_and_cascade_out() {
+    let mut w = world();
+    let session = package(
+        "hall-a/session",
+        1,
+        vec![],
+        true, // implicit
+        noop_aspect("session", "Session1"),
+    );
+    let access = package(
+        "hall-a/access-control",
+        1,
+        vec!["hall-a/session".into()],
+        false,
+        noop_aspect("access-control", "Access1"),
+    );
+    let s1 = w.seal(&session);
+    let s2 = w.seal(&access);
+    w.base.catalog.put(s1);
+    w.base.catalog.put(s2);
+
+    w.pump(5_000_000_000);
+
+    assert!(w.receiver.is_installed("hall-a/session"));
+    assert!(w.receiver.is_installed("hall-a/access-control"));
+
+    // Installation order: session (dependency) before access control.
+    let installs: Vec<&String> = w
+        .receiver_events
+        .iter()
+        .filter_map(|e| match e {
+            ReceiverEvent::Installed { ext_id, .. } => Some(ext_id),
+            _ => None,
+        })
+        .collect();
+    let pos = |id: &str| installs.iter().position(|x| *x == id).unwrap();
+    assert!(pos("hall-a/session") < pos("hall-a/access-control"));
+
+    // Revoking the dependent also removes the now-unused implicit dep.
+    w.base
+        .revoke_extension(&mut w.sim, "hall-a/access-control", "policy change");
+    w.pump(2_000_000_000);
+    assert!(!w.receiver.is_installed("hall-a/access-control"));
+    assert!(
+        !w.receiver.is_installed("hall-a/session"),
+        "implicit dependency removed with its last dependent"
+    );
+}
+
+#[test]
+fn policy_update_replaces_extension_on_live_nodes() {
+    let mut w = world();
+    let v1 = package("hall-a/policy", 1, vec![], false, monitoring_aspect("Policy_v1"));
+    let s1 = w.seal(&v1);
+    w.base.catalog.put(s1);
+    w.pump(5_000_000_000);
+    assert!(w.receiver.is_installed("hall-a/policy"));
+
+    // The hall's policy evolves: v2 replaces v1 on the live robot.
+    let v2 = package("hall-a/policy", 2, vec![], false, noop_aspect("policy", "Policy_v2"));
+    let s2 = w.seal(&v2);
+    w.base.update_extension(&mut w.sim, s2);
+    w.pump(3_000_000_000);
+
+    assert!(w.receiver.is_installed("hall-a/policy"));
+    assert!(w.receiver_events.iter().any(|e| matches!(
+        e,
+        ReceiverEvent::Removed { reason, .. } if reason.contains("replaced")
+    )));
+    assert!(w.receiver_events.iter().any(|e| matches!(
+        e,
+        ReceiverEvent::Installed { ext_id, version, .. }
+            if ext_id == "hall-a/policy" && *version == 2
+    )));
+    // v2 is a no-op monitor: no more prints.
+    let motor = w.vm.new_object("Motor").unwrap();
+    w.vm
+        .call("Motor", "rotate", motor, vec![Value::Int(1)])
+        .unwrap();
+    assert!(w.vm.take_output().is_empty());
+}
+
+#[test]
+fn version_downgrade_refused() {
+    let mut w = world();
+    let v2 = package("hall-a/policy", 2, vec![], false, noop_aspect("policy", "PolicyB_v2"));
+    let s2 = w.seal(&v2);
+    w.base.catalog.put(s2);
+    w.pump(5_000_000_000);
+    assert!(w.receiver.is_installed("hall-a/policy"));
+
+    // A stale v1 delivery must be refused (delivered directly, bypassing
+    // the catalog's own downgrade check).
+    let v1 = package("hall-a/policy", 1, vec![], false, noop_aspect("policy", "PolicyB_v1"));
+    let s1 = w.seal(&v1);
+    let msg = pmp_midas::MidasMsg::Deliver {
+        ext: s1,
+        lease_ns: 4_000_000_000,
+        grant: 999,
+    };
+    w.sim.send(
+        w.base_node,
+        w.robot_node,
+        pmp_midas::CHANNEL,
+        pmp_wire::to_bytes(&msg),
+    );
+    w.pump(2_000_000_000);
+    assert!(w.receiver_events.iter().any(|e| matches!(
+        e,
+        ReceiverEvent::Rejected { reason, .. } if reason.contains("downgrade")
+    )));
+}
+
+#[test]
+fn leases_keep_extensions_alive_while_present() {
+    let mut w = world();
+    w.base.set_lease(1_500_000_000); // 1.5 s lease, run 12 s
+    let pkg = package("hall-a/monitoring", 1, vec![], false, monitoring_aspect("MonL"));
+    let sealed = w.seal(&pkg);
+    w.base.catalog.put(sealed);
+    w.pump(12_000_000_000);
+    assert!(
+        w.receiver.is_installed("hall-a/monitoring"),
+        "base renewals kept the extension alive across 8 lease periods"
+    );
+}
+
+#[test]
+fn roaming_handoff_reaches_neighbour_base() {
+    let mut w = world();
+    // A second base in range (simplified: same radio neighbourhood).
+    let base_b = w.sim.add_node("base:hall-b", Position::new(45.0, 25.0), 60.0);
+    let mut nb_base = ExtensionBase::new(base_b, base_b);
+    w.base.add_neighbor(base_b);
+
+    let pkg = package("hall-a/monitoring", 1, vec![], false, monitoring_aspect("MonR"));
+    let sealed = w.seal(&pkg);
+    w.base.catalog.put(sealed);
+    w.pump(5_000_000_000);
+    assert!(w.receiver.is_installed("hall-a/monitoring"));
+
+    // Robot leaves hall A.
+    w.sim.move_node(w.robot_node, Position::new(500.0, 500.0));
+    // Pump and let the neighbour base drain its inbox.
+    let mut handoffs = Vec::new();
+    let until = w.sim.now().plus(10_000_000_000);
+    loop {
+        match w.sim.peek_next() {
+            Some(t) if t <= until => {
+                w.sim.step();
+            }
+            _ => break,
+        }
+        for inc in w.sim.drain_inbox(w.base_node) {
+            w.registrar.handle(&mut w.sim, &inc);
+            w.base_events.extend(w.base.handle(&mut w.sim, &inc));
+        }
+        for inc in w.sim.drain_inbox(base_b) {
+            handoffs.extend(nb_base.handle(&mut w.sim, &inc));
+        }
+        for inc in w.sim.drain_inbox(w.robot_node) {
+            w.receiver_events.extend(w.receiver.handle(
+                &mut w.sim,
+                &mut w.vm,
+                &w.prose,
+                &inc,
+            ));
+        }
+    }
+    assert!(handoffs.iter().any(|e| matches!(
+        e,
+        BaseEvent::HandoffReceived { node_name, ext_ids }
+            if node_name == "robot:1:1" && ext_ids.contains(&"hall-a/monitoring".to_string())
+    )));
+    assert!(nb_base.roaming_cache.contains_key("robot:1:1"));
+}
+
+#[test]
+fn reentering_hall_readapts() {
+    let mut w = world();
+    let pkg = package("hall-a/monitoring", 1, vec![], false, monitoring_aspect("MonRe"));
+    let sealed = w.seal(&pkg);
+    w.base.catalog.put(sealed);
+    w.pump(5_000_000_000);
+    assert!(w.receiver.is_installed("hall-a/monitoring"));
+
+    w.sim.move_node(w.robot_node, Position::new(500.0, 500.0));
+    w.pump(10_000_000_000);
+    assert!(!w.receiver.is_installed("hall-a/monitoring"));
+
+    w.sim.move_node(w.robot_node, Position::new(30.0, 25.0));
+    w.pump(8_000_000_000);
+    assert!(
+        w.receiver.is_installed("hall-a/monitoring"),
+        "re-entry re-adapts the robot"
+    );
+}
+
+#[test]
+fn missing_dependency_is_requested_and_resolved() {
+    let mut w = world();
+    let session = package(
+        "hall-a/session",
+        1,
+        vec![],
+        true,
+        noop_aspect("session", "SessionD1"),
+    );
+    let access = package(
+        "hall-a/access-control",
+        1,
+        vec!["hall-a/session".into()],
+        false,
+        noop_aspect("access-control", "AccessD1"),
+    );
+    let s_session = w.seal(&session);
+    let s_access = w.seal(&access);
+    // Catalog the dependency so the base can serve RequestDep...
+    w.base.catalog.put(s_session);
+    w.pump(3_000_000_000);
+
+    // ...but deliver ONLY the dependent directly, out of order.
+    let msg = pmp_midas::MidasMsg::Deliver {
+        ext: s_access,
+        lease_ns: 8_000_000_000,
+        grant: 777,
+    };
+    w.sim.send(
+        w.base_node,
+        w.robot_node,
+        pmp_midas::CHANNEL,
+        pmp_wire::to_bytes(&msg),
+    );
+    w.pump(4_000_000_000);
+
+    // The receiver requested the dependency, the base served it, and
+    // both ended up installed — dependency first.
+    assert!(w
+        .receiver_events
+        .iter()
+        .any(|e| matches!(e, ReceiverEvent::DependencyRequested { ext_id }
+            if ext_id == "hall-a/session")));
+    assert!(w.receiver.is_installed("hall-a/session"));
+    assert!(w.receiver.is_installed("hall-a/access-control"));
+    let installs: Vec<&String> = w
+        .receiver_events
+        .iter()
+        .filter_map(|e| match e {
+            ReceiverEvent::Installed { ext_id, .. } => Some(ext_id),
+            _ => None,
+        })
+        .collect();
+    let pos = |id: &str| installs.iter().position(|x| *x == id).unwrap();
+    assert!(pos("hall-a/session") < pos("hall-a/access-control"));
+}

@@ -1,0 +1,105 @@
+//! Virtual time.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From milliseconds.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Whole milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition of a duration in nanoseconds.
+    #[must_use]
+    pub fn plus(self, nanos: u64) -> SimTime {
+        SimTime(self.0.saturating_add(nanos))
+    }
+
+    /// Saturating difference in nanoseconds.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A shareable read handle on the simulation clock; the simulator holds
+/// the writing side. Handed to VMs so `time.now` reads virtual time.
+#[derive(Debug, Clone, Default)]
+pub struct ClockHandle(Arc<AtomicU64>);
+
+impl ClockHandle {
+    /// Creates a handle at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.0.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn set(&self, t: SimTime) {
+        self.0.store(t.0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_millis(1500).as_millis(), 1500);
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2000));
+        assert_eq!(SimTime::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(SimTime(5).since(SimTime(10)), 0);
+        assert_eq!(SimTime(10).since(SimTime(4)), 6);
+        assert_eq!(SimTime(u64::MAX).plus(10), SimTime(u64::MAX));
+    }
+
+    #[test]
+    fn clock_handle_tracks_sets() {
+        let h = ClockHandle::new();
+        assert_eq!(h.now(), SimTime::ZERO);
+        let h2 = h.clone();
+        h.set(SimTime::from_secs(3));
+        assert_eq!(h2.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "t+1.500s");
+    }
+}

@@ -1,0 +1,93 @@
+//! Positions and physical areas (the paper's production halls).
+
+use std::fmt;
+
+/// A 2-D position in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// Identifier of an area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AreaId(pub u32);
+
+impl fmt::Display for AreaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "area#{}", self.0)
+    }
+}
+
+/// An axis-aligned rectangular area, e.g. one production hall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Area {
+    /// The area's id.
+    pub id: AreaId,
+    /// Human-readable name (`"hall-a"`).
+    pub name: String,
+    /// Minimum corner.
+    pub min: Position,
+    /// Maximum corner.
+    pub max: Position,
+}
+
+impl Area {
+    /// Does the area contain `p` (inclusive bounds)?
+    pub fn contains(&self, p: Position) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The centre of the area.
+    pub fn center(&self) -> Position {
+        Position::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+    }
+
+    #[test]
+    fn containment() {
+        let hall = Area {
+            id: AreaId(0),
+            name: "hall-a".into(),
+            min: Position::new(0.0, 0.0),
+            max: Position::new(10.0, 10.0),
+        };
+        assert!(hall.contains(Position::new(5.0, 5.0)));
+        assert!(hall.contains(Position::new(0.0, 0.0)));
+        assert!(hall.contains(Position::new(10.0, 10.0)));
+        assert!(!hall.contains(Position::new(10.1, 5.0)));
+        assert_eq!(hall.center(), Position::new(5.0, 5.0));
+    }
+}

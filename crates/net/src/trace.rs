@@ -1,0 +1,102 @@
+//! Delivery statistics and an optional event log.
+
+use crate::clock::SimTime;
+use crate::node::NodeId;
+
+/// Aggregate counters over a simulation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Unicast messages submitted.
+    pub sent: u64,
+    /// Message copies delivered into inboxes.
+    pub delivered: u64,
+    /// Copies dropped because sender/receiver were out of range or
+    /// offline at send or delivery time.
+    pub dropped_range: u64,
+    /// Copies dropped by the link loss model.
+    pub dropped_loss: u64,
+    /// Broadcast operations submitted.
+    pub broadcasts: u64,
+    /// Timers fired.
+    pub timers: u64,
+}
+
+/// One recorded delivery event (only kept when logging is enabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Channel name.
+    pub channel: String,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// Collects statistics and (optionally) per-delivery entries.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Aggregate counters.
+    pub stats: NetStats,
+    log_enabled: bool,
+    log: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Enables/disables the per-delivery log.
+    pub fn set_logging(&mut self, enabled: bool) {
+        self.log_enabled = enabled;
+    }
+
+    pub(crate) fn record_delivery(&mut self, entry: TraceEntry) {
+        self.stats.delivered += 1;
+        if self.log_enabled {
+            self.log.push(entry);
+        }
+    }
+
+    /// The recorded deliveries (empty unless logging was enabled).
+    pub fn log(&self) -> &[TraceEntry] {
+        &self.log
+    }
+
+    /// Clears the log and zeroes the counters.
+    pub fn reset(&mut self) {
+        self.stats = NetStats::default();
+        self.log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logging_toggle() {
+        let mut t = Trace::default();
+        t.record_delivery(TraceEntry {
+            at: SimTime::ZERO,
+            from: NodeId(0),
+            to: NodeId(1),
+            channel: "x".into(),
+            bytes: 3,
+        });
+        assert_eq!(t.stats.delivered, 1);
+        assert!(t.log().is_empty());
+        t.set_logging(true);
+        t.record_delivery(TraceEntry {
+            at: SimTime::ZERO,
+            from: NodeId(0),
+            to: NodeId(1),
+            channel: "x".into(),
+            bytes: 3,
+        });
+        assert_eq!(t.log().len(), 1);
+        t.reset();
+        assert_eq!(t.stats.delivered, 0);
+        assert!(t.log().is_empty());
+    }
+}

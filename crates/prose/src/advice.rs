@@ -1,0 +1,165 @@
+//! Advice: the code an aspect runs at matched join points, and the
+//! context it sees when it runs.
+
+use pmp_vm::hooks::Outcome;
+use pmp_vm::types::MethodSig;
+use pmp_vm::value::{ObjId, Value};
+use pmp_vm::vm::Vm;
+use pmp_vm::{VmError, VmException};
+use std::fmt;
+use std::sync::Arc;
+
+/// The join point an advice is currently observing.
+///
+/// Mutable references let advice transform the program: replace
+/// arguments before the body runs (e.g. encrypt a byte buffer), replace
+/// a return value, or veto a field write.
+#[derive(Debug)]
+pub enum JoinPoint<'a> {
+    /// Before a method body.
+    MethodEntry {
+        /// Signature of the intercepted method.
+        sig: MethodSig,
+        /// The receiver.
+        this: &'a Value,
+        /// The arguments; mutations are seen by the body.
+        args: &'a mut Vec<Value>,
+    },
+    /// After a method body.
+    MethodExit {
+        /// Signature of the intercepted method.
+        sig: MethodSig,
+        /// The receiver.
+        this: &'a Value,
+        /// The (entry-time) arguments, read-only at exit.
+        args: &'a [Value],
+        /// The outcome; a returned value may be replaced.
+        outcome: &'a mut Outcome,
+    },
+    /// After a field read.
+    FieldGet {
+        /// Declaring class name.
+        class: Arc<str>,
+        /// Field name.
+        field: Arc<str>,
+        /// The object read from.
+        obj: ObjId,
+        /// The observed value; may be replaced.
+        value: &'a mut Value,
+    },
+    /// Before a field write.
+    FieldSet {
+        /// Declaring class name.
+        class: Arc<str>,
+        /// Field name.
+        field: Arc<str>,
+        /// The object written to.
+        obj: ObjId,
+        /// The value to be written; may be replaced.
+        value: &'a mut Value,
+    },
+    /// An explicit `throw` fired.
+    ExceptionThrow {
+        /// Signature of the throwing method.
+        site: MethodSig,
+        /// The exception.
+        exc: VmException,
+    },
+    /// A handler caught an exception.
+    ExceptionCatch {
+        /// Signature of the catching method.
+        site: MethodSig,
+        /// The exception.
+        exc: VmException,
+    },
+    /// The aspect is being withdrawn (lease expiry, revocation, node
+    /// leaving the area). Paper §3.2: "each extension is notified before
+    /// leaving a proactive space so that it can execute a shut-down
+    /// procedure".
+    Shutdown {
+        /// Why the aspect is being removed.
+        reason: String,
+    },
+}
+
+impl JoinPoint<'_> {
+    /// Short label of the join-point kind (used in audit logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JoinPoint::MethodEntry { .. } => "method-entry",
+            JoinPoint::MethodExit { .. } => "method-exit",
+            JoinPoint::FieldGet { .. } => "field-get",
+            JoinPoint::FieldSet { .. } => "field-set",
+            JoinPoint::ExceptionThrow { .. } => "exception-throw",
+            JoinPoint::ExceptionCatch { .. } => "exception-catch",
+            JoinPoint::Shutdown { .. } => "shutdown",
+        }
+    }
+}
+
+/// Everything a native advice can see and do: the VM (heap access,
+/// nested calls, system ops under the aspect's permissions) and the join
+/// point.
+pub struct AdviceCtx<'a, 'b> {
+    /// The VM, already inside the aspect's sandbox scope.
+    pub vm: &'a mut Vm,
+    /// The join point being observed.
+    pub jp: JoinPoint<'b>,
+}
+
+impl fmt::Debug for AdviceCtx<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdviceCtx").field("jp", &self.jp).finish()
+    }
+}
+
+/// A native (Rust) advice body.
+///
+/// Returning `Err` aborts the intercepted operation — this is how
+/// access-control advice denies calls ("the execution is ended with an
+/// exception", paper §4.6).
+pub type NativeAdviceFn =
+    Arc<dyn for<'a, 'b> Fn(&mut AdviceCtx<'a, 'b>) -> Result<(), VmError> + Send + Sync>;
+
+/// How an advice body is implemented.
+#[derive(Clone)]
+pub enum AdviceBody {
+    /// A Rust closure, for locally-constructed aspects (and benches).
+    Native(NativeAdviceFn),
+    /// A method on the aspect's shipped class, executed in the VM — this
+    /// is the form MIDAS distributes over the network.
+    Script {
+        /// Name of the advice method on the aspect class.
+        method: Arc<str>,
+    },
+}
+
+impl fmt::Debug for AdviceBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdviceBody::Native(_) => write!(f, "Native(..)"),
+            AdviceBody::Script { method } => write!(f, "Script({method})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joinpoint_kinds() {
+        let mut v = Value::Null;
+        let jp = JoinPoint::FieldGet {
+            class: Arc::from("Motor"),
+            field: Arc::from("pos"),
+            obj: ObjId(0),
+            value: &mut v,
+        };
+        assert_eq!(jp.kind(), "field-get");
+        let jp = JoinPoint::Shutdown {
+            reason: "lease expired".into(),
+        };
+        assert_eq!(jp.kind(), "shutdown");
+    }
+}

@@ -1,0 +1,157 @@
+//! Crosscuts: which join points an advice applies to.
+
+use crate::parser::{parse_field_pattern, parse_method_pattern, ParsePatternError};
+use crate::pattern::{FieldPattern, MethodPattern, NamePat};
+use pmp_wire::{Reader, Wire, WireError, Writer};
+use std::fmt;
+
+/// A crosscut selects a set of join points in the running application
+/// (paper §3.1: "the crosscut of this aspect is the collection of method
+/// entries ... that matches the specified signature patterns").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Crosscut {
+    /// Before the bodies of methods matching the pattern.
+    MethodEntry(MethodPattern),
+    /// After the bodies of methods matching the pattern (normal or
+    /// exceptional completion).
+    MethodExit(MethodPattern),
+    /// After reads of matching fields.
+    FieldGet(FieldPattern),
+    /// Before writes of matching fields.
+    FieldSet(FieldPattern),
+    /// When exceptions with matching class names are thrown.
+    ExceptionThrow(NamePat),
+    /// When exceptions with matching class names are caught.
+    ExceptionCatch(NamePat),
+}
+
+impl Crosscut {
+    /// Parses `before <sig>` / `after <sig>` / `get <field>` /
+    /// `set <field>` / `throw <class>` / `catch <class>`.
+    ///
+    /// # Errors
+    ///
+    /// [`ParsePatternError`] when the keyword or pattern is malformed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pmp_prose::crosscut::Crosscut;
+    ///
+    /// let c = Crosscut::parse("before void *.send*(byte[], ..)").unwrap();
+    /// assert!(matches!(c, Crosscut::MethodEntry(_)));
+    /// ```
+    pub fn parse(input: &str) -> Result<Crosscut, ParsePatternError> {
+        let s = input.trim();
+        let (kw, rest) = s
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| ParsePatternError {
+                input: input.to_string(),
+                reason: "expected '<keyword> <pattern>'".to_string(),
+            })?;
+        let rest = rest.trim();
+        Ok(match kw {
+            "before" => Crosscut::MethodEntry(parse_method_pattern(rest)?),
+            "after" => Crosscut::MethodExit(parse_method_pattern(rest)?),
+            "get" => Crosscut::FieldGet(parse_field_pattern(rest)?),
+            "set" => Crosscut::FieldSet(parse_field_pattern(rest)?),
+            "throw" => Crosscut::ExceptionThrow(NamePat::new(rest)),
+            "catch" => Crosscut::ExceptionCatch(NamePat::new(rest)),
+            other => {
+                return Err(ParsePatternError {
+                    input: input.to_string(),
+                    reason: format!("unknown crosscut keyword {other:?}"),
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for Crosscut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Crosscut::MethodEntry(p) => write!(f, "before {p}"),
+            Crosscut::MethodExit(p) => write!(f, "after {p}"),
+            Crosscut::FieldGet(p) => write!(f, "get {p}"),
+            Crosscut::FieldSet(p) => write!(f, "set {p}"),
+            Crosscut::ExceptionThrow(p) => write!(f, "throw {p}"),
+            Crosscut::ExceptionCatch(p) => write!(f, "catch {p}"),
+        }
+    }
+}
+
+// Crosscuts travel over the wire in their textual form — compact and
+// self-describing; decode re-parses and validates.
+impl Wire for Crosscut {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.to_string());
+    }
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        let s = r.get_str()?;
+        Crosscut::parse(&s).map_err(|_| WireError::Invalid {
+            type_name: "Crosscut",
+            reason: "unparseable crosscut text",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_keywords() {
+        assert!(matches!(
+            Crosscut::parse("before * Motor.*(..)").unwrap(),
+            Crosscut::MethodEntry(_)
+        ));
+        assert!(matches!(
+            Crosscut::parse("after * Motor.*(..)").unwrap(),
+            Crosscut::MethodExit(_)
+        ));
+        assert!(matches!(
+            Crosscut::parse("get Motor.position").unwrap(),
+            Crosscut::FieldGet(_)
+        ));
+        assert!(matches!(
+            Crosscut::parse("set *.state").unwrap(),
+            Crosscut::FieldSet(_)
+        ));
+        assert!(matches!(
+            Crosscut::parse("throw Security*").unwrap(),
+            Crosscut::ExceptionThrow(_)
+        ));
+        assert!(matches!(
+            Crosscut::parse("catch *").unwrap(),
+            Crosscut::ExceptionCatch(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_keyword() {
+        assert!(Crosscut::parse("around * A.f(..)").is_err());
+        assert!(Crosscut::parse("before").is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for src in [
+            "before void *.send*(byte[], ..)",
+            "after * Motor.*(..)",
+            "get Motor.pos*",
+            "set *.state",
+            "throw Err*",
+            "catch *",
+        ] {
+            let c = Crosscut::parse(src).unwrap();
+            let bytes = pmp_wire::to_bytes(&c);
+            assert_eq!(pmp_wire::from_bytes::<Crosscut>(&bytes).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn malformed_wire_text_rejected() {
+        let bytes = pmp_wire::to_bytes(&"nonsense".to_string());
+        assert!(pmp_wire::from_bytes::<Crosscut>(&bytes).is_err());
+    }
+}

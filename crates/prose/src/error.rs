@@ -1,0 +1,83 @@
+//! Errors produced by the PROSE engine.
+
+use crate::handle::AspectId;
+use crate::parser::ParsePatternError;
+use pmp_vm::VmError;
+use std::fmt;
+
+/// Any failure while weaving, unweaving, or (de)serialising aspects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProseError {
+    /// A crosscut pattern string was malformed.
+    Pattern(ParsePatternError),
+    /// A shipped aspect's class name collides with an application class.
+    ClassCollision(String),
+    /// The shipped aspect class is malformed (bad types, etc.).
+    BadAspectClass(String),
+    /// A binding refers to an advice method the class does not declare
+    /// (or it does not follow the 4-parameter advice convention).
+    MissingAdviceMethod {
+        /// The aspect class name.
+        class: String,
+        /// The missing/invalid method name.
+        method: String,
+    },
+    /// The aspect id is not currently woven.
+    UnknownAspect(AspectId),
+    /// A native aspect cannot be serialised for distribution.
+    NotPortable(String),
+    /// The underlying VM rejected an operation.
+    Vm(VmError),
+}
+
+impl fmt::Display for ProseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProseError::Pattern(e) => write!(f, "{e}"),
+            ProseError::ClassCollision(name) => {
+                write!(f, "aspect class {name:?} collides with an existing class")
+            }
+            ProseError::BadAspectClass(msg) => write!(f, "malformed aspect class: {msg}"),
+            ProseError::MissingAdviceMethod { class, method } => {
+                write!(f, "aspect class {class:?} has no valid advice method {method:?}")
+            }
+            ProseError::UnknownAspect(id) => write!(f, "aspect {id} is not woven"),
+            ProseError::NotPortable(name) => {
+                write!(f, "aspect {name:?} uses native advice and cannot be shipped")
+            }
+            ProseError::Vm(e) => write!(f, "vm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProseError {}
+
+impl From<ParsePatternError> for ProseError {
+    fn from(e: ParsePatternError) -> Self {
+        ProseError::Pattern(e)
+    }
+}
+
+impl From<VmError> for ProseError {
+    fn from(e: VmError) -> Self {
+        ProseError::Vm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = ProseError::ClassCollision("Mon".into());
+        assert!(e.to_string().contains("Mon"));
+        let e = ProseError::MissingAdviceMethod {
+            class: "Mon".into(),
+            method: "onEntry".into(),
+        };
+        assert!(e.to_string().contains("onEntry"));
+        let e = ProseError::NotPortable("local".into());
+        assert!(e.to_string().contains("native advice"));
+    }
+}

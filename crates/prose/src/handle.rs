@@ -1,0 +1,34 @@
+//! Identifiers and descriptions of woven aspects.
+
+use std::fmt;
+
+/// Identifies an aspect woven into a particular VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AspectId(pub u64);
+
+impl fmt::Display for AspectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aspect#{}", self.0)
+    }
+}
+
+/// A snapshot description of a woven aspect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AspectInfo {
+    /// The aspect's id.
+    pub id: AspectId,
+    /// The aspect's name.
+    pub name: String,
+    /// Number of join points currently matched.
+    pub join_points: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(AspectId(3).to_string(), "aspect#3");
+    }
+}

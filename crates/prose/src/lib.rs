@@ -1,0 +1,98 @@
+//! # pmp-prose — dynamic aspect-oriented programming with run-time weaving
+//!
+//! A Rust reproduction of PROSE (*PROgrammable extensions of sErvices*),
+//! the dynamic AOP engine of *A Proactive Middleware Platform for Mobile
+//! Computing* (Middleware 2003, §3.1). Aspects are first-class values:
+//! a set of *(crosscut, advice)* bindings plus state. They are woven
+//! into a running [`pmp_vm::Vm`] **without stopping the application** —
+//! the simulated JIT has already planted minimal stubs at every join
+//! point, and weaving merely activates the ones the crosscuts match.
+//!
+//! Two kinds of aspects:
+//!
+//! * **native** — advice bodies are Rust closures; used by local code
+//!   and benchmarks ([`aspect::Aspect::build`]);
+//! * **script** — advice bodies are methods of a shipped VM class;
+//!   serialisable ([`portable::PortableAspect`]) and therefore exactly
+//!   what MIDAS distributes to mobile nodes. Script advice runs in the
+//!   PROSE sandbox: explicit permissions and a fuel budget.
+//!
+//! The crosscut language follows the paper:
+//!
+//! ```text
+//! before void *.send*(byte[], ..)
+//! after  * Motor.*(..)
+//! set    Robot.state
+//! throw  Security*
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use pmp_vm::prelude::*;
+//! use pmp_prose::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut vm = Vm::new(VmConfig::default());
+//! vm.register_class(
+//!     ClassDef::build("Port")
+//!         .method("send", [TypeSig::Bytes], TypeSig::Void, |b| { b.op(Op::Ret); })
+//!         .done(),
+//! )?;
+//! let prose = Prose::attach(&mut vm);
+//!
+//! // The paper's example: encrypt byte[] arguments of send* methods.
+//! let aspect = Aspect::build("encrypt")
+//!     .before("void *.send*(byte[], ..)", |ctx| {
+//!         if let JoinPoint::MethodEntry { args, .. } = &mut ctx.jp {
+//!             if let Some(id) = args.first().and_then(|v| v.as_ref_id()) {
+//!                 for b in ctx.vm.heap_mut().buffer_bytes_mut(id)? {
+//!                     *b ^= 0xAA; // stand-in cipher
+//!                 }
+//!             }
+//!         }
+//!         Ok(())
+//!     })
+//!     .done()?;
+//! prose.weave(&mut vm, aspect, WeaveOptions::default())?;
+//!
+//! let port = vm.new_object("Port")?;
+//! let buf = vm.new_buffer(vec![0, 0]);
+//! let id = buf.as_ref_id().unwrap();
+//! vm.call("Port", "send", port, vec![buf])?;
+//! assert_eq!(vm.heap().buffer_bytes(id)?, &[0xAA, 0xAA]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod advice;
+pub mod aspect;
+pub mod crosscut;
+pub mod error;
+pub mod handle;
+pub mod parser;
+pub mod pattern;
+pub mod portable;
+pub mod runtime;
+pub mod weaver;
+
+pub use advice::{AdviceBody, AdviceCtx, JoinPoint};
+pub use aspect::{Aspect, AspectImpl, Binding, PortableClass, PortableMethod};
+pub use crosscut::Crosscut;
+pub use error::ProseError;
+pub use handle::{AspectId, AspectInfo};
+pub use portable::PortableAspect;
+pub use runtime::{ErrorPolicy, ProseRuntime};
+pub use weaver::{Prose, WeaveOptions, DEFAULT_SCRIPT_FUEL};
+
+/// Common imports for working with PROSE.
+pub mod prelude {
+    pub use crate::advice::{AdviceCtx, JoinPoint};
+    pub use crate::aspect::{Aspect, PortableClass, PortableMethod};
+    pub use crate::crosscut::Crosscut;
+    pub use crate::error::ProseError;
+    pub use crate::handle::{AspectId, AspectInfo};
+    pub use crate::portable::PortableAspect;
+    pub use crate::runtime::ErrorPolicy;
+    pub use crate::weaver::{Prose, WeaveOptions};
+}

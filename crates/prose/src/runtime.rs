@@ -1,0 +1,551 @@
+//! The AOP runtime: dispatch tables consulted by the VM's hooks, and
+//! the machinery that executes advice inside the aspect sandbox.
+
+use crate::advice::{AdviceCtx, JoinPoint, NativeAdviceFn};
+use crate::aspect::Aspect;
+use crate::crosscut::Crosscut;
+use crate::handle::AspectId;
+use crate::pattern::NamePat;
+use parking_lot::Mutex;
+use pmp_vm::hooks::{
+    Dispatcher, FieldId, MethodId, Outcome, HOOK_CATCH, HOOK_ENTRY, HOOK_EXIT, HOOK_GET, HOOK_SET,
+    HOOK_THROW,
+};
+use pmp_vm::perm::Permissions;
+use pmp_vm::types::MethodSig;
+use pmp_vm::value::{ObjId, Value};
+use pmp_vm::vm::Vm;
+use pmp_vm::{VmError, VmException};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// What happens when advice itself fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// The failure aborts the intercepted operation (access-control
+    /// semantics: "the execution is ended with an exception").
+    #[default]
+    Propagate,
+    /// The failure is recorded in the fault log and the intercepted
+    /// operation proceeds (monitoring semantics: a broken extension must
+    /// not take the application down).
+    Isolate,
+}
+
+/// Per-woven-aspect runtime configuration.
+#[derive(Debug)]
+pub(crate) struct AspectRt {
+    pub(crate) id: AspectId,
+    pub(crate) name: String,
+    pub(crate) perms: Permissions,
+    pub(crate) fuel: Option<u64>,
+    pub(crate) policy: ErrorPolicy,
+    /// Script aspects: the instance holding aspect state.
+    pub(crate) instance: Value,
+    /// Script aspects: the registered class name.
+    pub(crate) class: Option<Arc<str>>,
+}
+
+#[derive(Clone)]
+pub(crate) enum AdviceExec {
+    Native(NativeAdviceFn),
+    Script { method: Arc<str> },
+}
+
+#[derive(Clone)]
+pub(crate) struct AdviceRef {
+    pub(crate) aspect: Arc<AspectRt>,
+    pub(crate) exec: AdviceExec,
+    pub(crate) priority: i32,
+}
+
+pub(crate) struct Woven {
+    pub(crate) rt: Arc<AspectRt>,
+    pub(crate) aspect: Aspect,
+    pub(crate) join_points: usize,
+}
+
+#[derive(Default)]
+pub(crate) struct State {
+    pub(crate) next_id: u64,
+    pub(crate) woven: BTreeMap<u64, Woven>,
+    pub(crate) entry: HashMap<MethodId, Vec<AdviceRef>>,
+    pub(crate) exit: HashMap<MethodId, Vec<AdviceRef>>,
+    pub(crate) field_get: HashMap<FieldId, Vec<AdviceRef>>,
+    pub(crate) field_set: HashMap<FieldId, Vec<AdviceRef>>,
+    pub(crate) throw: Vec<(NamePat, AdviceRef)>,
+    pub(crate) catch: Vec<(NamePat, AdviceRef)>,
+    /// Aspect classes this runtime registered in the VM.
+    pub(crate) registered_classes: HashSet<String>,
+    /// Faults recorded under [`ErrorPolicy::Isolate`].
+    pub(crate) faults: Vec<String>,
+}
+
+/// The PROSE runtime — installed into a [`Vm`] as its hook
+/// [`Dispatcher`].
+#[derive(Default)]
+pub struct ProseRuntime {
+    pub(crate) state: Mutex<State>,
+}
+
+impl std::fmt::Debug for ProseRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("ProseRuntime")
+            .field("woven", &s.woven.len())
+            .field("entry_sites", &s.entry.len())
+            .field("exit_sites", &s.exit.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProseRuntime {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the dispatch tables and hook flags from the currently
+    /// woven aspects. Called after weave/unweave/refresh; also activates
+    /// the right hook flags in `vm`.
+    pub(crate) fn rebuild(&self, vm: &Vm) {
+        let mut s = self.state.lock();
+        s.entry.clear();
+        s.exit.clear();
+        s.field_get.clear();
+        s.field_set.clear();
+        s.throw.clear();
+        s.catch.clear();
+
+        // Collect matches per woven aspect in id order (deterministic).
+        let ids: Vec<u64> = s.woven.keys().copied().collect();
+        for id in ids {
+            let (bindings, rt) = {
+                let w = &s.woven[&id];
+                (w.aspect.bindings.clone(), w.rt.clone())
+            };
+            let mut join_points = 0usize;
+            for b in &bindings {
+                let exec = match &b.advice {
+                    crate::advice::AdviceBody::Native(f) => AdviceExec::Native(f.clone()),
+                    crate::advice::AdviceBody::Script { method } => AdviceExec::Script {
+                        method: method.clone(),
+                    },
+                };
+                let aref = AdviceRef {
+                    aspect: rt.clone(),
+                    exec,
+                    priority: b.priority,
+                };
+                match &b.crosscut {
+                    Crosscut::MethodEntry(p) => {
+                        for (mid, sig) in vm.methods() {
+                            if p.matches(sig) {
+                                s.entry.entry(mid).or_default().push(aref.clone());
+                                join_points += 1;
+                            }
+                        }
+                    }
+                    Crosscut::MethodExit(p) => {
+                        for (mid, sig) in vm.methods() {
+                            if p.matches(sig) {
+                                s.exit.entry(mid).or_default().push(aref.clone());
+                                join_points += 1;
+                            }
+                        }
+                    }
+                    Crosscut::FieldGet(p) => {
+                        for (fid, class, field, _ty) in vm.fields() {
+                            if p.matches(class, field) {
+                                s.field_get.entry(fid).or_default().push(aref.clone());
+                                join_points += 1;
+                            }
+                        }
+                    }
+                    Crosscut::FieldSet(p) => {
+                        for (fid, class, field, _ty) in vm.fields() {
+                            if p.matches(class, field) {
+                                s.field_set.entry(fid).or_default().push(aref.clone());
+                                join_points += 1;
+                            }
+                        }
+                    }
+                    Crosscut::ExceptionThrow(p) => {
+                        s.throw.push((p.clone(), aref.clone()));
+                        join_points += 1;
+                    }
+                    Crosscut::ExceptionCatch(p) => {
+                        s.catch.push((p.clone(), aref.clone()));
+                        join_points += 1;
+                    }
+                }
+            }
+            if let Some(w) = s.woven.get_mut(&id) {
+                w.join_points = join_points;
+            }
+        }
+
+        // Sort advice lists by priority (dispatch iterates ascending for
+        // entry-like events and descending for exit-like ones).
+        for list in s.entry.values_mut() {
+            list.sort_by_key(|r| r.priority);
+        }
+        for list in s.exit.values_mut() {
+            list.sort_by_key(|r| r.priority);
+        }
+        for list in s.field_get.values_mut() {
+            list.sort_by_key(|r| r.priority);
+        }
+        for list in s.field_set.values_mut() {
+            list.sort_by_key(|r| r.priority);
+        }
+        s.throw.sort_by_key(|(_, r)| r.priority);
+        s.catch.sort_by_key(|(_, r)| r.priority);
+
+        // Re-derive hook flags from the tables.
+        vm.hooks().clear_all();
+        for mid in s.entry.keys() {
+            vm.hooks().activate_method(*mid, HOOK_ENTRY);
+        }
+        for mid in s.exit.keys() {
+            vm.hooks().activate_method(*mid, HOOK_EXIT);
+        }
+        for fid in s.field_get.keys() {
+            vm.hooks().activate_field(*fid, HOOK_GET);
+        }
+        for fid in s.field_set.keys() {
+            vm.hooks().activate_field(*fid, HOOK_SET);
+        }
+        if !s.throw.is_empty() {
+            vm.hooks().activate_exception(HOOK_THROW);
+        }
+        if !s.catch.is_empty() {
+            vm.hooks().activate_exception(HOOK_CATCH);
+        }
+    }
+
+    /// Runs one advice inside the aspect sandbox, applying its error
+    /// policy.
+    pub(crate) fn run_advice(
+        &self,
+        vm: &mut Vm,
+        aref: &AdviceRef,
+        jp: JoinPoint<'_>,
+    ) -> Result<(), VmError> {
+        let scope = vm.begin_advice(aref.aspect.perms, aref.aspect.fuel);
+        let result = match &aref.exec {
+            AdviceExec::Native(f) => {
+                let mut ctx = AdviceCtx { vm, jp };
+                f(&mut ctx)
+            }
+            AdviceExec::Script { method } => run_script_advice(vm, &aref.aspect, method, jp),
+        };
+        vm.end_advice(scope);
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) => match aref.aspect.policy {
+                ErrorPolicy::Propagate => Err(e),
+                ErrorPolicy::Isolate => {
+                    self.state
+                        .lock()
+                        .faults
+                        .push(format!("aspect {}: {e}", aref.aspect.name));
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    fn advice_for_method(
+        &self,
+        table: fn(&State) -> &HashMap<MethodId, Vec<AdviceRef>>,
+        mid: MethodId,
+    ) -> Vec<AdviceRef> {
+        let s = self.state.lock();
+        table(&s).get(&mid).cloned().unwrap_or_default()
+    }
+
+    fn advice_for_field(
+        &self,
+        table: fn(&State) -> &HashMap<FieldId, Vec<AdviceRef>>,
+        fid: FieldId,
+    ) -> Vec<AdviceRef> {
+        let s = self.state.lock();
+        table(&s).get(&fid).cloned().unwrap_or_default()
+    }
+
+    fn advice_for_exception(&self, catching: bool, class: &str) -> Vec<AdviceRef> {
+        let s = self.state.lock();
+        let list = if catching { &s.catch } else { &s.throw };
+        list.iter()
+            .filter(|(p, _)| p.matches(class))
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+}
+
+/// Executes a script advice method with the fixed 5-argument calling
+/// convention (local 0 is the aspect instance):
+///
+/// | slot | method entry     | method exit      | field get/set   | throw/catch      | shutdown     |
+/// |------|------------------|------------------|-----------------|------------------|--------------|
+/// | 1    | target `this`    | target `this`    | target object   | `null`           | `null`       |
+/// | 2    | `"Class.method"` | `"Class.method"` | `"Class.field"` | `"Class.method"` | `"shutdown"` |
+/// | 3    | args array       | args array       | value           | message          | reason       |
+/// | 4    | `null`           | return value     | `null`          | exception class  | `null`       |
+/// | 5    | `null`           | exception class or `null` | `null` | `null`           | `null`       |
+///
+/// Mutations of the args array propagate back into the call only at
+/// entry; a non-null return value replaces the method return value
+/// (exit) or the field value (get/set).
+fn run_script_advice(
+    vm: &mut Vm,
+    aspect: &AspectRt,
+    method: &str,
+    jp: JoinPoint<'_>,
+) -> Result<(), VmError> {
+    let class = aspect
+        .class
+        .as_deref()
+        .ok_or_else(|| VmError::link("script advice without aspect class"))?;
+    let mid = vm
+        .method_id(class, method)
+        .ok_or_else(|| VmError::link(format!("missing advice method {class}.{method}")))?;
+    let instance = aspect.instance.clone();
+    match jp {
+        JoinPoint::MethodEntry { sig, this, args } => {
+            let arr = vm.new_array(args.clone());
+            let desc = Value::str(format!("{}.{}", sig.class, sig.name));
+            vm.invoke(
+                mid,
+                instance,
+                vec![this.clone(), desc, arr.clone(), Value::Null, Value::Null],
+            )?;
+            if let Some(id) = arr.as_ref_id() {
+                let n = vm.heap().array_len(id)?.min(args.len());
+                for (i, slot) in args.iter_mut().enumerate().take(n) {
+                    *slot = vm.heap().array_get(id, i as i64)?;
+                }
+            }
+            Ok(())
+        }
+        JoinPoint::MethodExit {
+            sig,
+            this,
+            args,
+            outcome,
+        } => {
+            let arr = vm.new_array(args.to_vec());
+            let desc = Value::str(format!("{}.{}", sig.class, sig.name));
+            let (retv, exc) = match &*outcome {
+                Outcome::Returned(v) => (v.clone(), Value::Null),
+                Outcome::Threw(e) => (Value::Null, Value::str(&*e.class)),
+            };
+            let ret = vm.invoke(mid, instance, vec![this.clone(), desc, arr, retv, exc])?;
+            if !ret.is_null() {
+                if let Outcome::Returned(v) = outcome {
+                    *v = ret;
+                }
+            }
+            Ok(())
+        }
+        JoinPoint::FieldGet {
+            class: c,
+            field,
+            obj,
+            value,
+        }
+        | JoinPoint::FieldSet {
+            class: c,
+            field,
+            obj,
+            value,
+        } => {
+            let desc = Value::str(format!("{c}.{field}"));
+            let ret = vm.invoke(
+                mid,
+                instance,
+                vec![Value::Ref(obj), desc, value.clone(), Value::Null, Value::Null],
+            )?;
+            if !ret.is_null() {
+                *value = ret;
+            }
+            Ok(())
+        }
+        JoinPoint::ExceptionThrow { site, exc } | JoinPoint::ExceptionCatch { site, exc } => {
+            let desc = Value::str(format!("{}.{}", site.class, site.name));
+            vm.invoke(
+                mid,
+                instance,
+                vec![
+                    Value::Null,
+                    desc,
+                    Value::str(&exc.message),
+                    Value::str(&*exc.class),
+                    Value::Null,
+                ],
+            )?;
+            Ok(())
+        }
+        JoinPoint::Shutdown { reason } => {
+            vm.invoke(
+                mid,
+                instance,
+                vec![
+                    Value::Null,
+                    Value::str("shutdown"),
+                    Value::str(reason),
+                    Value::Null,
+                    Value::Null,
+                ],
+            )?;
+            Ok(())
+        }
+    }
+}
+
+impl Dispatcher for ProseRuntime {
+    fn method_entry(
+        &self,
+        vm: &mut Vm,
+        mid: MethodId,
+        this: &Value,
+        args: &mut Vec<Value>,
+    ) -> Result<(), VmError> {
+        let refs = self.advice_for_method(|s| &s.entry, mid);
+        if refs.is_empty() {
+            return Ok(());
+        }
+        let sig: MethodSig = vm.method_sig(mid).clone();
+        for r in &refs {
+            let jp = JoinPoint::MethodEntry {
+                sig: sig.clone(),
+                this,
+                args: &mut *args,
+            };
+            self.run_advice(vm, r, jp)?;
+        }
+        Ok(())
+    }
+
+    fn method_exit(
+        &self,
+        vm: &mut Vm,
+        mid: MethodId,
+        this: &Value,
+        args: &[Value],
+        outcome: &mut Outcome,
+    ) -> Result<(), VmError> {
+        let refs = self.advice_for_method(|s| &s.exit, mid);
+        if refs.is_empty() {
+            return Ok(());
+        }
+        let sig: MethodSig = vm.method_sig(mid).clone();
+        // After advice unwinds in reverse priority order.
+        for r in refs.iter().rev() {
+            let jp = JoinPoint::MethodExit {
+                sig: sig.clone(),
+                this,
+                args,
+                outcome: &mut *outcome,
+            };
+            self.run_advice(vm, r, jp)?;
+        }
+        Ok(())
+    }
+
+    fn field_get(
+        &self,
+        vm: &mut Vm,
+        fid: FieldId,
+        obj: ObjId,
+        value: &mut Value,
+    ) -> Result<(), VmError> {
+        let refs = self.advice_for_field(|s| &s.field_get, fid);
+        if refs.is_empty() {
+            return Ok(());
+        }
+        let (class, field) = vm
+            .field_info(fid)
+            .map(|(c, f)| (Arc::<str>::from(c), Arc::<str>::from(f)))
+            .unwrap_or_else(|| (Arc::from("?"), Arc::from("?")));
+        for r in &refs {
+            let jp = JoinPoint::FieldGet {
+                class: class.clone(),
+                field: field.clone(),
+                obj,
+                value: &mut *value,
+            };
+            self.run_advice(vm, r, jp)?;
+        }
+        Ok(())
+    }
+
+    fn field_set(
+        &self,
+        vm: &mut Vm,
+        fid: FieldId,
+        obj: ObjId,
+        value: &mut Value,
+    ) -> Result<(), VmError> {
+        let refs = self.advice_for_field(|s| &s.field_set, fid);
+        if refs.is_empty() {
+            return Ok(());
+        }
+        let (class, field) = vm
+            .field_info(fid)
+            .map(|(c, f)| (Arc::<str>::from(c), Arc::<str>::from(f)))
+            .unwrap_or_else(|| (Arc::from("?"), Arc::from("?")));
+        for r in &refs {
+            let jp = JoinPoint::FieldSet {
+                class: class.clone(),
+                field: field.clone(),
+                obj,
+                value: &mut *value,
+            };
+            self.run_advice(vm, r, jp)?;
+        }
+        Ok(())
+    }
+
+    fn exception_throw(
+        &self,
+        vm: &mut Vm,
+        site: MethodId,
+        exc: &VmException,
+    ) -> Result<(), VmError> {
+        let refs = self.advice_for_exception(false, &exc.class);
+        if refs.is_empty() {
+            return Ok(());
+        }
+        let sig = vm.method_sig(site).clone();
+        for r in &refs {
+            let jp = JoinPoint::ExceptionThrow {
+                site: sig.clone(),
+                exc: exc.clone(),
+            };
+            self.run_advice(vm, r, jp)?;
+        }
+        Ok(())
+    }
+
+    fn exception_catch(
+        &self,
+        vm: &mut Vm,
+        site: MethodId,
+        exc: &VmException,
+    ) -> Result<(), VmError> {
+        let refs = self.advice_for_exception(true, &exc.class);
+        if refs.is_empty() {
+            return Ok(());
+        }
+        let sig = vm.method_sig(site).clone();
+        for r in &refs {
+            let jp = JoinPoint::ExceptionCatch {
+                site: sig.clone(),
+                exc: exc.clone(),
+            };
+            self.run_advice(vm, r, jp)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,304 @@
+//! The weaver: the public PROSE API for attaching the AOP runtime to a
+//! VM and weaving/unweaving aspects at run time.
+
+use crate::advice::{AdviceBody, JoinPoint};
+use crate::aspect::{Aspect, AspectImpl};
+use crate::error::ProseError;
+use crate::handle::{AspectId, AspectInfo};
+use crate::runtime::{AdviceExec, AdviceRef, AspectRt, ErrorPolicy, ProseRuntime, Woven};
+use pmp_vm::perm::Permissions;
+use pmp_vm::value::Value;
+use pmp_vm::vm::Vm;
+use std::sync::Arc;
+
+/// Default fuel budget for script advice: generous for real extensions,
+/// finite so hostile loops cannot wedge the node.
+pub const DEFAULT_SCRIPT_FUEL: u64 = 1_000_000;
+
+/// Options controlling how an aspect is woven.
+#[derive(Debug, Clone, Copy)]
+pub struct WeaveOptions {
+    /// Permissions advice runs with (the sandbox).
+    pub perms: Permissions,
+    /// Fuel budget per advice execution (`None` = unlimited; script
+    /// aspects received from the network should always be limited).
+    pub fuel: Option<u64>,
+    /// What happens when advice fails.
+    pub policy: ErrorPolicy,
+}
+
+impl Default for WeaveOptions {
+    fn default() -> Self {
+        Self {
+            perms: Permissions::all(),
+            fuel: None,
+            policy: ErrorPolicy::Propagate,
+        }
+    }
+}
+
+impl WeaveOptions {
+    /// Options appropriate for a foreign (network-received) extension:
+    /// explicit permissions, finite fuel, propagate errors.
+    pub fn sandboxed(perms: Permissions) -> Self {
+        Self {
+            perms,
+            fuel: Some(DEFAULT_SCRIPT_FUEL),
+            policy: ErrorPolicy::Propagate,
+        }
+    }
+}
+
+/// The PROSE weaver attached to one VM.
+///
+/// # Examples
+///
+/// ```
+/// use pmp_prose::prelude::*;
+/// use pmp_vm::prelude::*;
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut vm = Vm::new(VmConfig::default());
+/// vm.register_class(
+///     ClassDef::build("Motor")
+///         .method("rotate", [TypeSig::Int], TypeSig::Void, |b| { b.op(Op::Ret); })
+///         .done(),
+/// )?;
+/// let prose = Prose::attach(&mut vm);
+///
+/// let hits = Arc::new(AtomicU32::new(0));
+/// let h = hits.clone();
+/// let aspect = Aspect::build("count")
+///     .before("* Motor.*(..)", move |_ctx| {
+///         h.fetch_add(1, Ordering::SeqCst);
+///         Ok(())
+///     })
+///     .done()?;
+/// let id = prose.weave(&mut vm, aspect, WeaveOptions::default())?;
+///
+/// let motor = vm.new_object("Motor")?;
+/// vm.call("Motor", "rotate", motor, vec![Value::Int(30)])?;
+/// assert_eq!(hits.load(Ordering::SeqCst), 1);
+///
+/// prose.unweave(&mut vm, id, "done")?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prose {
+    rt: Arc<ProseRuntime>,
+}
+
+impl Prose {
+    /// Creates a runtime and installs it as `vm`'s dispatcher.
+    pub fn attach(vm: &mut Vm) -> Prose {
+        let rt = Arc::new(ProseRuntime::new());
+        vm.set_dispatcher(rt.clone());
+        Prose { rt }
+    }
+
+    /// Weaves `aspect` into `vm`, returning its id.
+    ///
+    /// For script aspects this registers the shipped class (rejecting
+    /// collisions with application classes), validates the advice
+    /// methods (4-parameter convention), instantiates the aspect
+    /// object, and runs its `init` method if present — all under the
+    /// aspect's sandbox.
+    ///
+    /// # Errors
+    ///
+    /// [`ProseError`] on malformed aspects or VM failures.
+    pub fn weave(
+        &self,
+        vm: &mut Vm,
+        aspect: Aspect,
+        opts: WeaveOptions,
+    ) -> Result<AspectId, ProseError> {
+        let (instance, class_name) = match &aspect.implementation {
+            AspectImpl::Native => (Value::Null, None),
+            AspectImpl::Script(class) => {
+                let def = class
+                    .to_class_def()
+                    .map_err(ProseError::BadAspectClass)?;
+                // Validate advice methods (including shutdown).
+                let mut required: Vec<String> = crate::aspect::script_advice_methods(&aspect)
+                    .keys()
+                    .map(ToString::to_string)
+                    .collect();
+                if let Some(AdviceBody::Script { method }) = &aspect.shutdown {
+                    required.push(method.to_string());
+                }
+                for name in required {
+                    let ok = def
+                        .methods
+                        .iter()
+                        .any(|m| m.name == name && m.params.len() == 5);
+                    if !ok {
+                        return Err(ProseError::MissingAdviceMethod {
+                            class: class.name.clone(),
+                            method: name,
+                        });
+                    }
+                }
+                // Register the class (reuse if we registered it before).
+                let already_ours = self
+                    .rt
+                    .state
+                    .lock()
+                    .registered_classes
+                    .contains(&class.name);
+                if vm.class_id(&class.name).is_some() {
+                    if !already_ours {
+                        return Err(ProseError::ClassCollision(class.name.clone()));
+                    }
+                } else {
+                    vm.register_class(def)?;
+                    self.rt
+                        .state
+                        .lock()
+                        .registered_classes
+                        .insert(class.name.clone());
+                }
+                let instance = vm.new_object(&class.name)?;
+                (instance, Some(Arc::<str>::from(class.name.as_str())))
+            }
+        };
+
+        let id = {
+            let mut s = self.rt.state.lock();
+            let id = AspectId(s.next_id);
+            s.next_id += 1;
+            let rt = Arc::new(AspectRt {
+                id,
+                name: aspect.name.clone(),
+                perms: opts.perms,
+                fuel: opts.fuel,
+                policy: opts.policy,
+                instance: instance.clone(),
+                class: class_name.clone(),
+            });
+            s.woven.insert(
+                id.0,
+                Woven {
+                    rt,
+                    aspect,
+                    join_points: 0,
+                },
+            );
+            id
+        };
+
+        // Run the optional init method under the sandbox.
+        if let Some(class) = &class_name {
+            if let Some(init_mid) = vm.method_id(class, "init") {
+                if vm.method_sig(init_mid).params.is_empty() {
+                    let scope = vm.begin_advice(opts.perms, opts.fuel);
+                    let r = vm.invoke(init_mid, instance, vec![]);
+                    vm.end_advice(scope);
+                    if let Err(e) = r {
+                        // Failed init: roll the weave back.
+                        self.rt.state.lock().woven.remove(&id.0);
+                        self.rt.rebuild(vm);
+                        return Err(ProseError::Vm(e));
+                    }
+                }
+            }
+        }
+
+        self.rt.rebuild(vm);
+        Ok(id)
+    }
+
+    /// Unweaves an aspect: notifies its shutdown advice with `reason`,
+    /// removes its advice from all tables, and deactivates hooks no
+    /// longer needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ProseError::UnknownAspect`] if the id is not woven.
+    pub fn unweave(&self, vm: &mut Vm, id: AspectId, reason: &str) -> Result<(), ProseError> {
+        let woven = self
+            .rt
+            .state
+            .lock()
+            .woven
+            .remove(&id.0)
+            .ok_or(ProseError::UnknownAspect(id))?;
+        // Shutdown notification (paper §3.2) — best-effort: a failing
+        // shutdown handler cannot block revocation.
+        if let Some(body) = &woven.aspect.shutdown {
+            let exec = match body {
+                AdviceBody::Native(f) => AdviceExec::Native(f.clone()),
+                AdviceBody::Script { method } => AdviceExec::Script {
+                    method: method.clone(),
+                },
+            };
+            let aref = AdviceRef {
+                aspect: woven.rt.clone(),
+                exec,
+                priority: 0,
+            };
+            let jp = JoinPoint::Shutdown {
+                reason: reason.to_string(),
+            };
+            if let Err(e) = self.rt.run_advice(vm, &aref, jp) {
+                self.rt
+                    .state
+                    .lock()
+                    .faults
+                    .push(format!("aspect {} shutdown: {e}", woven.rt.name));
+            }
+        }
+        self.rt.rebuild(vm);
+        Ok(())
+    }
+
+    /// Unweaves every aspect (e.g. when a node leaves all proactive
+    /// spaces).
+    pub fn unweave_all(&self, vm: &mut Vm, reason: &str) {
+        let ids: Vec<AspectId> = {
+            let s = self.rt.state.lock();
+            s.woven.keys().map(|k| AspectId(*k)).collect()
+        };
+        for id in ids {
+            let _ = self.unweave(vm, id, reason);
+        }
+    }
+
+    /// Re-matches every woven aspect against the VM's current classes.
+    /// Call after registering new application classes so existing
+    /// aspects extend them too (class-load-time weaving).
+    pub fn refresh(&self, vm: &mut Vm) {
+        self.rt.rebuild(vm);
+    }
+
+    /// Snapshot of the woven aspects.
+    pub fn woven(&self) -> Vec<AspectInfo> {
+        let s = self.rt.state.lock();
+        s.woven
+            .values()
+            .map(|w| AspectInfo {
+                id: w.rt.id,
+                name: w.rt.name.clone(),
+                join_points: w.join_points,
+            })
+            .collect()
+    }
+
+    /// Info for one woven aspect.
+    pub fn info(&self, id: AspectId) -> Option<AspectInfo> {
+        let s = self.rt.state.lock();
+        s.woven.get(&id.0).map(|w| AspectInfo {
+            id: w.rt.id,
+            name: w.rt.name.clone(),
+            join_points: w.join_points,
+        })
+    }
+
+    /// Drains the fault log recorded under [`ErrorPolicy::Isolate`].
+    pub fn take_faults(&self) -> Vec<String> {
+        std::mem::take(&mut self.rt.state.lock().faults)
+    }
+}

@@ -1,0 +1,641 @@
+//! End-to-end weaving tests: native and script aspects, the sandbox,
+//! priorities, refresh, and shutdown notification.
+
+use pmp_prose::prelude::*;
+use pmp_prose::runtime::ErrorPolicy;
+use pmp_vm::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A simple application: a Motor with rotate/stop and a state field.
+fn app_vm() -> Vm {
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("Motor")
+            .field("position", TypeSig::Int)
+            .method("rotate", [TypeSig::Int], TypeSig::Void, |b| {
+                // position += angle
+                b.op(Op::Load(0));
+                b.op(Op::Load(0))
+                    .op(Op::GetField {
+                        class: "Motor".into(),
+                        field: "position".into(),
+                    })
+                    .op(Op::Load(1))
+                    .op(Op::Add);
+                b.op(Op::PutField {
+                    class: "Motor".into(),
+                    field: "position".into(),
+                });
+                b.op(Op::Ret);
+            })
+            .method("position", [], TypeSig::Int, |b| {
+                b.op(Op::Load(0))
+                    .op(Op::GetField {
+                        class: "Motor".into(),
+                        field: "position".into(),
+                    })
+                    .op(Op::RetVal);
+            })
+            .method("stop", [], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .done(),
+    )
+    .unwrap();
+    vm
+}
+
+#[test]
+fn native_aspect_intercepts_matching_methods_only() {
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    let hits = Arc::new(Mutex::new(Vec::<String>::new()));
+    let h = hits.clone();
+    let aspect = Aspect::build("trace")
+        .before("void Motor.rotate(int)", move |ctx| {
+            if let JoinPoint::MethodEntry { sig, args, .. } = &ctx.jp {
+                h.lock().unwrap().push(format!("{} {:?}", sig, args));
+            }
+            Ok(())
+        })
+        .done()
+        .unwrap();
+    let id = prose.weave(&mut vm, aspect, WeaveOptions::default()).unwrap();
+    assert_eq!(prose.info(id).unwrap().join_points, 1);
+
+    let motor = vm.new_object("Motor").unwrap();
+    vm.call("Motor", "rotate", motor.clone(), vec![Value::Int(30)])
+        .unwrap();
+    vm.call("Motor", "stop", motor.clone(), vec![]).unwrap();
+    vm.call("Motor", "position", motor, vec![]).unwrap();
+    let hits = hits.lock().unwrap();
+    assert_eq!(hits.len(), 1, "only rotate is matched");
+    assert!(hits[0].contains("Motor.rotate"));
+}
+
+#[test]
+fn advice_priorities_order_execution() {
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+    let (o1, o2, o3) = (order.clone(), order.clone(), order.clone());
+    let aspect = Aspect::build("ordered")
+        .on("before * Motor.rotate(..)", 10, move |_| {
+            o1.lock().unwrap().push("late-before");
+            Ok(())
+        })
+        .on("before * Motor.rotate(..)", -10, move |_| {
+            o2.lock().unwrap().push("early-before");
+            Ok(())
+        })
+        .on("after * Motor.rotate(..)", -10, move |_| {
+            o3.lock().unwrap().push("early-after");
+            Ok(())
+        })
+        .done()
+        .unwrap();
+    prose.weave(&mut vm, aspect, WeaveOptions::default()).unwrap();
+    let aspect2 = Aspect::build("ordered2")
+        .on("after * Motor.rotate(..)", 10, {
+            let o = order.clone();
+            move |_| {
+                o.lock().unwrap().push("late-after");
+                Ok(())
+            }
+        })
+        .done()
+        .unwrap();
+    prose.weave(&mut vm, aspect2, WeaveOptions::default()).unwrap();
+
+    let motor = vm.new_object("Motor").unwrap();
+    vm.call("Motor", "rotate", motor, vec![Value::Int(1)]).unwrap();
+    // before: ascending priority; after: descending priority.
+    assert_eq!(
+        order.lock().unwrap().as_slice(),
+        ["early-before", "late-before", "late-after", "early-after"]
+    );
+}
+
+#[test]
+fn field_set_advice_observes_state_changes() {
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    let writes = Arc::new(Mutex::new(Vec::<i64>::new()));
+    let w = writes.clone();
+    let aspect = Aspect::build("state-watch")
+        .on("set Motor.position", 0, move |ctx| {
+            if let JoinPoint::FieldSet {
+                value: Value::Int(i),
+                ..
+            } = &ctx.jp
+            {
+                w.lock().unwrap().push(*i);
+            }
+            Ok(())
+        })
+        .done()
+        .unwrap();
+    prose.weave(&mut vm, aspect, WeaveOptions::default()).unwrap();
+    let motor = vm.new_object("Motor").unwrap();
+    vm.call("Motor", "rotate", motor.clone(), vec![Value::Int(30)])
+        .unwrap();
+    vm.call("Motor", "rotate", motor, vec![Value::Int(15)])
+        .unwrap();
+    assert_eq!(writes.lock().unwrap().as_slice(), [30, 45]);
+}
+
+#[test]
+fn unweave_restores_original_behaviour() {
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    let hits = Arc::new(AtomicU32::new(0));
+    let h = hits.clone();
+    let aspect = Aspect::build("count")
+        .before("* Motor.*(..)", move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        })
+        .done()
+        .unwrap();
+    let id = prose.weave(&mut vm, aspect, WeaveOptions::default()).unwrap();
+    let motor = vm.new_object("Motor").unwrap();
+    vm.call("Motor", "stop", motor.clone(), vec![]).unwrap();
+    prose.unweave(&mut vm, id, "test done").unwrap();
+    vm.call("Motor", "stop", motor, vec![]).unwrap();
+    assert_eq!(hits.load(Ordering::SeqCst), 1);
+    assert!(prose.woven().is_empty());
+    // Unweaving twice is an error.
+    assert!(matches!(
+        prose.unweave(&mut vm, id, "again"),
+        Err(ProseError::UnknownAspect(_))
+    ));
+}
+
+#[test]
+fn shutdown_advice_runs_on_unweave() {
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    let reasons = Arc::new(Mutex::new(Vec::<String>::new()));
+    let r = reasons.clone();
+    let aspect = Aspect::build("mon")
+        .before("* Motor.*(..)", |_| Ok(()))
+        .on_shutdown(move |ctx| {
+            if let JoinPoint::Shutdown { reason } = &ctx.jp {
+                r.lock().unwrap().push(reason.clone());
+            }
+            Ok(())
+        })
+        .done()
+        .unwrap();
+    let id = prose.weave(&mut vm, aspect, WeaveOptions::default()).unwrap();
+    prose.unweave(&mut vm, id, "lease expired").unwrap();
+    assert_eq!(reasons.lock().unwrap().as_slice(), ["lease expired"]);
+}
+
+#[test]
+fn refresh_extends_aspects_to_new_classes() {
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    let hits = Arc::new(AtomicU32::new(0));
+    let h = hits.clone();
+    let aspect = Aspect::build("all-devices")
+        .before("* *.actuate(..)", move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        })
+        .done()
+        .unwrap();
+    let id = prose.weave(&mut vm, aspect, WeaveOptions::default()).unwrap();
+    assert_eq!(prose.info(id).unwrap().join_points, 0);
+
+    // A class registered after weaving.
+    vm.register_class(
+        ClassDef::build("Gripper")
+            .method("actuate", [], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .done(),
+    )
+    .unwrap();
+    prose.refresh(&mut vm);
+    assert_eq!(prose.info(id).unwrap().join_points, 1);
+
+    let g = vm.new_object("Gripper").unwrap();
+    vm.call("Gripper", "actuate", g, vec![]).unwrap();
+    assert_eq!(hits.load(Ordering::SeqCst), 1);
+}
+
+/// Builds the paper's Fig. 5 monitoring aspect as a *script* aspect:
+/// a class with a counter field whose advice method increments it and
+/// logs via the `print` system op.
+fn monitoring_script_aspect() -> Aspect {
+    let mut count_body = MethodBuilder::new();
+    // this.count = this.count + 1; print(desc)
+    count_body.op(Op::Load(0));
+    count_body.op(Op::Load(0)).op(Op::GetField {
+        class: "HwMonitoring".into(),
+        field: "count".into(),
+    });
+    count_body.konst(1i64).op(Op::Add);
+    count_body.op(Op::PutField {
+        class: "HwMonitoring".into(),
+        field: "count".into(),
+    });
+    count_body.op(Op::Load(2)); // descriptor "Class.method"
+    count_body.op(Op::Sys {
+        name: "print".into(),
+        argc: 1,
+    });
+    count_body.op(Op::Pop).op(Op::Ret);
+
+    let mut shutdown_body = MethodBuilder::new();
+    shutdown_body.konst("monitor shutting down: ");
+    shutdown_body.op(Op::Load(3)).op(Op::Concat);
+    shutdown_body.op(Op::Sys {
+        name: "print".into(),
+        argc: 1,
+    });
+    shutdown_body.op(Op::Pop).op(Op::Ret);
+
+    let any5 = || {
+        vec![
+            "any".to_string(),
+            "str".to_string(),
+            "any".to_string(),
+            "any".to_string(),
+            "any".to_string(),
+        ]
+    };
+    let class = PortableClass {
+        name: "HwMonitoring".into(),
+        fields: vec![("count".into(), "int".into())],
+        methods: vec![
+            PortableMethod {
+                name: "ANYMETHOD".into(),
+                params: any5(),
+                ret: "any".into(),
+                body: count_body.build(),
+            },
+            PortableMethod {
+                name: Aspect::SHUTDOWN_METHOD.into(),
+                params: any5(),
+                ret: "any".into(),
+                body: shutdown_body.build(),
+            },
+        ],
+    };
+    Aspect::script(
+        "hw-monitoring",
+        class,
+        vec![(
+            Crosscut::parse("before * Motor.*(..)").unwrap(),
+            "ANYMETHOD".into(),
+            0,
+        )],
+    )
+}
+
+#[test]
+fn script_aspect_roundtrips_the_wire_and_runs() {
+    // Serialise the aspect (as MIDAS would) and weave the decoded copy.
+    let portable = PortableAspect::try_from(&monitoring_script_aspect()).unwrap();
+    let bytes = pmp_wire::to_bytes(&portable);
+    let received: PortableAspect = pmp_wire::from_bytes(&bytes).unwrap();
+    let aspect: Aspect = received.into();
+
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    let perms = Permissions::none().with(Permission::Print);
+    let id = prose
+        .weave(&mut vm, aspect, WeaveOptions::sandboxed(perms))
+        .unwrap();
+
+    let motor = vm.new_object("Motor").unwrap();
+    vm.call("Motor", "rotate", motor.clone(), vec![Value::Int(5)])
+        .unwrap();
+    vm.call("Motor", "stop", motor, vec![]).unwrap();
+
+    let out = vm.take_output();
+    assert_eq!(out, vec!["Motor.rotate".to_string(), "Motor.stop".to_string()]);
+
+    prose.unweave(&mut vm, id, "node left").unwrap();
+    let out = vm.take_output();
+    assert_eq!(out, vec!["monitor shutting down: node left".to_string()]);
+}
+
+#[test]
+fn script_aspect_without_permission_is_blocked() {
+    let aspect = monitoring_script_aspect();
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    // No Print permission: the advice's `print` must raise
+    // SecurityException, which aborts the intercepted call.
+    let id = prose
+        .weave(&mut vm, aspect, WeaveOptions::sandboxed(Permissions::none()))
+        .unwrap();
+    let motor = vm.new_object("Motor").unwrap();
+    let err = vm
+        .call("Motor", "rotate", motor, vec![Value::Int(5)])
+        .unwrap_err();
+    assert_eq!(
+        err.as_exception().unwrap().class.as_ref(),
+        exception_class::SECURITY
+    );
+    prose.unweave(&mut vm, id, "test").unwrap();
+}
+
+#[test]
+fn isolate_policy_contains_faulty_extensions() {
+    let aspect = monitoring_script_aspect();
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    let opts = WeaveOptions {
+        perms: Permissions::none(), // advice will fail on `print`
+        fuel: Some(100_000),
+        policy: ErrorPolicy::Isolate,
+    };
+    prose.weave(&mut vm, aspect, opts).unwrap();
+    let motor = vm.new_object("Motor").unwrap();
+    // The application call still succeeds.
+    vm.call("Motor", "rotate", motor, vec![Value::Int(5)])
+        .unwrap();
+    let faults = prose.take_faults();
+    assert_eq!(faults.len(), 1);
+    assert!(faults[0].contains("hw-monitoring"));
+}
+
+#[test]
+fn runaway_script_advice_is_stopped_by_fuel() {
+    let mut spin = MethodBuilder::new();
+    let top = spin.label();
+    spin.bind(top);
+    spin.jump(top);
+    let class = PortableClass {
+        name: "Spinner".into(),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "spin".into(),
+            params: vec!["any".into(), "str".into(), "any".into(), "any".into(), "any".into()],
+            ret: "any".into(),
+            body: spin.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        "hostile",
+        class,
+        vec![(
+            Crosscut::parse("before * Motor.*(..)").unwrap(),
+            "spin".into(),
+            0,
+        )],
+    );
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    let opts = WeaveOptions {
+        perms: Permissions::none(),
+        fuel: Some(10_000),
+        policy: ErrorPolicy::Isolate,
+    };
+    prose.weave(&mut vm, aspect, opts).unwrap();
+    let motor = vm.new_object("Motor").unwrap();
+    // Fuel exhaustion is isolated; the application survives.
+    vm.call("Motor", "stop", motor, vec![]).unwrap();
+    let faults = prose.take_faults();
+    assert_eq!(faults.len(), 1);
+    assert!(faults[0].contains("fuel"));
+}
+
+#[test]
+fn aspect_class_collision_with_application_class_rejected() {
+    let class = PortableClass {
+        name: "Motor".into(), // collides with the app class
+        fields: vec![],
+        methods: vec![],
+    };
+    let aspect = Aspect::script("evil", class, vec![]);
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    assert!(matches!(
+        prose.weave(&mut vm, aspect, WeaveOptions::default()),
+        Err(ProseError::ClassCollision(_))
+    ));
+}
+
+#[test]
+fn missing_advice_method_rejected() {
+    let class = PortableClass {
+        name: "Empty".into(),
+        fields: vec![],
+        methods: vec![],
+    };
+    let aspect = Aspect::script(
+        "broken",
+        class,
+        vec![(
+            Crosscut::parse("before * Motor.*(..)").unwrap(),
+            "nothere".into(),
+            0,
+        )],
+    );
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    assert!(matches!(
+        prose.weave(&mut vm, aspect, WeaveOptions::default()),
+        Err(ProseError::MissingAdviceMethod { .. })
+    ));
+}
+
+#[test]
+fn entry_advice_mutates_arguments_via_script() {
+    // Script advice that doubles args[0] using the args-array convention.
+    let mut body = MethodBuilder::new();
+    body.op(Op::Load(3)); // args array
+    body.konst(0i64);
+    body.op(Op::Load(3)).konst(0i64).op(Op::ArrGet);
+    body.konst(2i64).op(Op::Mul);
+    body.op(Op::ArrSet);
+    body.op(Op::Ret);
+    let class = PortableClass {
+        name: "Doubler".into(),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "double".into(),
+            params: vec!["any".into(), "str".into(), "any".into(), "any".into(), "any".into()],
+            ret: "any".into(),
+            body: body.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        "doubler",
+        class,
+        vec![(
+            Crosscut::parse("before void Motor.rotate(int)").unwrap(),
+            "double".into(),
+            0,
+        )],
+    );
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    prose
+        .weave(&mut vm, aspect, WeaveOptions::sandboxed(Permissions::none()))
+        .unwrap();
+    let motor = vm.new_object("Motor").unwrap();
+    vm.call("Motor", "rotate", motor.clone(), vec![Value::Int(7)])
+        .unwrap();
+    let pos = vm.call("Motor", "position", motor, vec![]).unwrap();
+    assert_eq!(pos, Value::Int(14), "advice doubled the rotation angle");
+}
+
+#[test]
+fn exit_advice_replaces_return_value_via_script() {
+    let mut body = MethodBuilder::new();
+    body.op(Op::Load(4)).konst(100i64).op(Op::Add).op(Op::RetVal);
+    let class = PortableClass {
+        name: "Adjust".into(),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "adjust".into(),
+            params: vec!["any".into(), "str".into(), "any".into(), "any".into(), "any".into()],
+            ret: "any".into(),
+            body: body.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        "adjust",
+        class,
+        vec![(
+            Crosscut::parse("after int Motor.position()").unwrap(),
+            "adjust".into(),
+            0,
+        )],
+    );
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    prose
+        .weave(&mut vm, aspect, WeaveOptions::sandboxed(Permissions::none()))
+        .unwrap();
+    let motor = vm.new_object("Motor").unwrap();
+    let pos = vm.call("Motor", "position", motor, vec![]).unwrap();
+    assert_eq!(pos, Value::Int(100));
+}
+
+#[test]
+fn two_aspects_same_joinpoint_both_run_and_unweave_independently() {
+    let mut vm = app_vm();
+    let prose = Prose::attach(&mut vm);
+    let a_hits = Arc::new(AtomicU32::new(0));
+    let b_hits = Arc::new(AtomicU32::new(0));
+    let (ah, bh) = (a_hits.clone(), b_hits.clone());
+    let a = Aspect::build("a")
+        .before("* Motor.stop(..)", move |_| {
+            ah.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        })
+        .done()
+        .unwrap();
+    let b = Aspect::build("b")
+        .before("* Motor.stop(..)", move |_| {
+            bh.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        })
+        .done()
+        .unwrap();
+    let ida = prose.weave(&mut vm, a, WeaveOptions::default()).unwrap();
+    let _idb = prose.weave(&mut vm, b, WeaveOptions::default()).unwrap();
+    let motor = vm.new_object("Motor").unwrap();
+    vm.call("Motor", "stop", motor.clone(), vec![]).unwrap();
+    assert_eq!((a_hits.load(Ordering::SeqCst), b_hits.load(Ordering::SeqCst)), (1, 1));
+
+    prose.unweave(&mut vm, ida, "done").unwrap();
+    vm.call("Motor", "stop", motor, vec![]).unwrap();
+    assert_eq!((a_hits.load(Ordering::SeqCst), b_hits.load(Ordering::SeqCst)), (1, 2));
+}
+
+#[test]
+fn script_advice_observes_exception_joinpoints() {
+    // A shipped aspect that logs every thrown exception — the script
+    // analogue of the Recorder's throw/catch hooks.
+    let mut body = MethodBuilder::new();
+    // print(desc + ": " + payload(message) + " [" + extra(class) + "]")
+    body.op(Op::Load(2)).konst(": ").op(Op::Concat);
+    body.op(Op::Load(3)).op(Op::Concat);
+    body.konst(" [").op(Op::Concat).op(Op::Load(4)).op(Op::Concat);
+    body.konst("]").op(Op::Concat);
+    body.op(Op::Sys {
+        name: "print".into(),
+        argc: 1,
+    });
+    body.op(Op::Pop).op(Op::Ret);
+    let class = PortableClass {
+        name: "ThrowWatch".into(),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "onThrow".into(),
+            params: vec![
+                "any".into(),
+                "str".into(),
+                "any".into(),
+                "any".into(),
+                "any".into(),
+            ],
+            ret: "any".into(),
+            body: body.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        "throw-watch",
+        class,
+        vec![(
+            Crosscut::parse("throw Kaboom*").unwrap(),
+            "onThrow".into(),
+            0,
+        )],
+    );
+
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("T")
+            .method("boom", [], TypeSig::Void, |b| {
+                let s = b.label();
+                let e = b.label();
+                let h = b.label();
+                b.bind(s);
+                b.konst("overload").op(Op::Throw("KaboomError".into()));
+                b.bind(e);
+                b.bind(h);
+                b.op(Op::Pop).op(Op::Ret);
+                b.guard(s, e, "*", h);
+            })
+            .method("quiet", [], TypeSig::Void, |b| {
+                let s = b.label();
+                let e = b.label();
+                let h = b.label();
+                b.bind(s);
+                b.konst("x").op(Op::Throw("OtherError".into()));
+                b.bind(e);
+                b.bind(h);
+                b.op(Op::Pop).op(Op::Ret);
+                b.guard(s, e, "*", h);
+            })
+            .done(),
+    )
+    .unwrap();
+    let prose = Prose::attach(&mut vm);
+    prose
+        .weave(
+            &mut vm,
+            aspect,
+            WeaveOptions::sandboxed(Permissions::none().with(Permission::Print)),
+        )
+        .unwrap();
+
+    let t = vm.new_object("T").unwrap();
+    vm.call("T", "boom", t.clone(), vec![]).unwrap();
+    vm.call("T", "quiet", t, vec![]).unwrap(); // class doesn't match Kaboom*
+    assert_eq!(
+        vm.take_output(),
+        vec!["T.boom: overload [KaboomError]".to_string()],
+        "only matching exception classes observed"
+    );
+}

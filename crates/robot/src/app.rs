@@ -1,0 +1,110 @@
+//! The drawing program (paper §4.3): "the overall movement is
+//! determined by a drawing program ... The program and the robot do not
+//! contain any code beyond that related to drawing."
+
+use pmp_vm::prelude::{Value, Vm, VmError};
+
+/// Draws a polyline on a VM `Plotter` proxy: pen up, move to the first
+/// point, pen down, trace, pen up. Everything goes through VM calls, so
+/// woven extensions observe each motor action.
+///
+/// # Errors
+///
+/// Any [`VmError`] raised by the plotter (including extension vetoes).
+pub fn draw_polyline(vm: &mut Vm, plotter: &Value, points: &[(i64, i64)]) -> Result<(), VmError> {
+    let Some((first, rest)) = points.split_first() else {
+        return Ok(());
+    };
+    vm.call("Plotter", "penUp", plotter.clone(), vec![])?;
+    vm.call(
+        "Plotter",
+        "moveTo",
+        plotter.clone(),
+        vec![Value::Int(first.0), Value::Int(first.1)],
+    )?;
+    vm.call("Plotter", "penDown", plotter.clone(), vec![])?;
+    for p in rest {
+        vm.call(
+            "Plotter",
+            "moveTo",
+            plotter.clone(),
+            vec![Value::Int(p.0), Value::Int(p.1)],
+        )?;
+    }
+    vm.call("Plotter", "penUp", plotter.clone(), vec![])?;
+    Ok(())
+}
+
+/// Draws a whole figure (list of polylines).
+///
+/// # Errors
+///
+/// Any [`VmError`] raised while drawing.
+pub fn draw_figure(vm: &mut Vm, plotter: &Value, figure: &[Vec<(i64, i64)>]) -> Result<(), VmError> {
+    for line in figure {
+        draw_polyline(vm, plotter, line)?;
+    }
+    Ok(())
+}
+
+/// A small test figure: a house (square + roof) and a door.
+pub fn house_figure() -> Vec<Vec<(i64, i64)>> {
+    vec![
+        // walls
+        vec![(0, 0), (40, 0), (40, 30), (0, 30), (0, 0)],
+        // roof
+        vec![(0, 30), (20, 45), (40, 30)],
+        // door
+        vec![(16, 0), (16, 12), (24, 12), (24, 0)],
+    ]
+}
+
+/// A star-shaped stress figure with `spikes` spokes of length `r`.
+pub fn star_figure(spikes: usize, r: i64) -> Vec<Vec<(i64, i64)>> {
+    let mut lines = Vec::with_capacity(spikes);
+    for i in 0..spikes {
+        let angle = (i as f64) * std::f64::consts::TAU / (spikes as f64);
+        let x = (angle.cos() * r as f64).round() as i64;
+        let y = (angle.sin() * r as f64).round() as i64;
+        lines.push(vec![(0, 0), (x, y)]);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::{new_handle, register_robot_classes, spawn_plotter};
+    use pmp_vm::prelude::*;
+
+    #[test]
+    fn drawing_the_house_produces_strokes() {
+        let mut vm = Vm::new(VmConfig::default());
+        let handle = new_handle();
+        register_robot_classes(&mut vm, &handle).unwrap();
+        let plotter = spawn_plotter(&mut vm).unwrap();
+        draw_figure(&mut vm, &plotter, &house_figure()).unwrap();
+        let canvas = handle.lock().canvas().clone();
+        assert!(canvas.len() >= 10, "house has many strokes: {}", canvas.len());
+        assert!(canvas.bounds().is_some());
+    }
+
+    #[test]
+    fn star_figure_shape() {
+        let star = star_figure(8, 100);
+        assert_eq!(star.len(), 8);
+        for line in &star {
+            assert_eq!(line[0], (0, 0));
+        }
+    }
+
+    #[test]
+    fn empty_polyline_is_noop() {
+        let mut vm = Vm::new(VmConfig::default());
+        let handle = new_handle();
+        register_robot_classes(&mut vm, &handle).unwrap();
+        let plotter = spawn_plotter(&mut vm).unwrap();
+        draw_polyline(&mut vm, &plotter, &[]).unwrap();
+        assert!(handle.lock().canvas().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! The plotter's paper: records pen strokes for verification.
+
+/// One pen stroke from `from` to `to` (plotter step coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stroke {
+    /// Start point.
+    pub from: (i64, i64),
+    /// End point.
+    pub to: (i64, i64),
+}
+
+/// The recorded drawing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Canvas {
+    strokes: Vec<Stroke>,
+}
+
+impl Canvas {
+    /// Creates a blank canvas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a stroke.
+    pub fn stroke(&mut self, from: (i64, i64), to: (i64, i64)) {
+        self.strokes.push(Stroke { from, to });
+    }
+
+    /// The strokes, in drawing order.
+    pub fn strokes(&self) -> &[Stroke] {
+        &self.strokes
+    }
+
+    /// Number of strokes.
+    pub fn len(&self) -> usize {
+        self.strokes.len()
+    }
+
+    /// Returns `true` if nothing was drawn.
+    pub fn is_empty(&self) -> bool {
+        self.strokes.is_empty()
+    }
+
+    /// Bounding box `((min_x, min_y), (max_x, max_y))`, if non-empty.
+    pub fn bounds(&self) -> Option<((i64, i64), (i64, i64))> {
+        let mut points = self
+            .strokes
+            .iter()
+            .flat_map(|s| [s.from, s.to]);
+        let first = points.next()?;
+        let mut min = first;
+        let mut max = first;
+        for (x, y) in points {
+            min.0 = min.0.min(x);
+            min.1 = min.1.min(y);
+            max.0 = max.0.max(x);
+            max.1 = max.1.max(y);
+        }
+        Some((min, max))
+    }
+
+    /// Returns a copy with every coordinate multiplied by `num/den` —
+    /// for comparing scaled replicas (paper §4.5, remote replication at
+    /// a different scale).
+    pub fn scaled(&self, num: i64, den: i64) -> Canvas {
+        assert!(den != 0, "scale denominator must be nonzero");
+        let scale = |(x, y): (i64, i64)| (x * num / den, y * num / den);
+        Canvas {
+            strokes: self
+                .strokes
+                .iter()
+                .map(|s| Stroke {
+                    from: scale(s.from),
+                    to: scale(s.to),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total drawn length (Euclidean, floating).
+    pub fn total_length(&self) -> f64 {
+        self.strokes
+            .iter()
+            .map(|s| {
+                let dx = (s.to.0 - s.from.0) as f64;
+                let dy = (s.to.1 - s.from.1) as f64;
+                (dx * dx + dy * dy).sqrt()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strokes_and_bounds() {
+        let mut c = Canvas::new();
+        assert!(c.bounds().is_none());
+        c.stroke((0, 0), (10, 0));
+        c.stroke((10, 0), (10, 5));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.bounds(), Some(((0, 0), (10, 5))));
+        assert_eq!(c.total_length(), 15.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let mut c = Canvas::new();
+        c.stroke((0, 0), (10, 4));
+        let doubled = c.scaled(2, 1);
+        assert_eq!(doubled.strokes()[0].to, (20, 8));
+        let halved = c.scaled(1, 2);
+        assert_eq!(halved.strokes()[0].to, (5, 2));
+    }
+
+    #[test]
+    fn equality_for_replication_checks() {
+        let mut a = Canvas::new();
+        a.stroke((0, 0), (5, 5));
+        let mut b = Canvas::new();
+        b.stroke((0, 0), (5, 5));
+        assert_eq!(a, b);
+        b.stroke((5, 5), (6, 6));
+        assert_ne!(a, b);
+    }
+}

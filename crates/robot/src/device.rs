@@ -1,0 +1,147 @@
+//! Device-layer basics: ports and the hardware command log.
+
+use pmp_wire::wire_struct;
+use std::fmt;
+
+/// An RCX port. The controller has three motor ports (A, B, C) and
+/// three sensor ports (S1, S2, S3), like LEGO's RCX brick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Port {
+    /// Motor port A.
+    A,
+    /// Motor port B.
+    B,
+    /// Motor port C.
+    C,
+    /// Sensor port 1.
+    S1,
+    /// Sensor port 2.
+    S2,
+    /// Sensor port 3.
+    S3,
+}
+
+impl Port {
+    /// The three motor ports.
+    pub const MOTORS: [Port; 3] = [Port::A, Port::B, Port::C];
+    /// The three sensor ports.
+    pub const SENSORS: [Port; 3] = [Port::S1, Port::S2, Port::S3];
+
+    /// Index of a motor port (0..3).
+    ///
+    /// # Panics
+    ///
+    /// Panics on sensor ports.
+    pub fn motor_index(self) -> usize {
+        match self {
+            Port::A => 0,
+            Port::B => 1,
+            Port::C => 2,
+            _ => panic!("{self} is not a motor port"),
+        }
+    }
+
+    /// Index of a sensor port (0..3).
+    ///
+    /// # Panics
+    ///
+    /// Panics on motor ports.
+    pub fn sensor_index(self) -> usize {
+        match self {
+            Port::S1 => 0,
+            Port::S2 => 1,
+            Port::S3 => 2,
+            _ => panic!("{self} is not a sensor port"),
+        }
+    }
+
+    /// Parses `"A"`, `"B"`, `"C"`, `"S1"`, `"S2"`, `"S3"`.
+    pub fn parse(s: &str) -> Option<Port> {
+        Some(match s {
+            "A" => Port::A,
+            "B" => Port::B,
+            "C" => Port::C,
+            "S1" => Port::S1,
+            "S2" => Port::S2,
+            "S3" => Port::S3,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Port::A => "A",
+            Port::B => "B",
+            Port::C => "C",
+            Port::S1 => "S1",
+            Port::S2 => "S2",
+            Port::S3 => "S3",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One executed hardware command, as recorded by the controller log
+/// (this is what the monitoring extension ships to the base station).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwCommand {
+    /// Device name, e.g. `"motor:A"`.
+    pub device: String,
+    /// Command name, e.g. `"rotate"`.
+    pub command: String,
+    /// Arguments.
+    pub args: Vec<i64>,
+    /// Issue time (ns, from the controller's clock).
+    pub issued_at: u64,
+    /// Simulated execution duration (ns).
+    pub duration_ns: u64,
+}
+
+wire_struct!(HwCommand {
+    device: String,
+    command: String,
+    args: Vec<i64>,
+    issued_at: u64,
+    duration_ns: u64,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_parse_display_roundtrip() {
+        for p in Port::MOTORS.iter().chain(Port::SENSORS.iter()) {
+            assert_eq!(Port::parse(&p.to_string()), Some(*p));
+        }
+        assert_eq!(Port::parse("Z"), None);
+    }
+
+    #[test]
+    fn indices() {
+        assert_eq!(Port::A.motor_index(), 0);
+        assert_eq!(Port::C.motor_index(), 2);
+        assert_eq!(Port::S2.sensor_index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a motor port")]
+    fn sensor_port_is_not_motor() {
+        Port::S1.motor_index();
+    }
+
+    #[test]
+    fn hw_command_wire_roundtrip() {
+        let c = HwCommand {
+            device: "motor:A".into(),
+            command: "rotate".into(),
+            args: vec![30],
+            issued_at: 10,
+            duration_ns: 20,
+        };
+        let bytes = pmp_wire::to_bytes(&c);
+        assert_eq!(pmp_wire::from_bytes::<HwCommand>(&bytes).unwrap(), c);
+    }
+}

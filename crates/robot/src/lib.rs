@@ -1,0 +1,39 @@
+//! # pmp-robot — the simulated robot hardware and its VM proxies
+//!
+//! The paper's evaluation vehicle is a LEGO RCX robot (a plotter
+//! prototype, Fig. 4) whose software stack has three layers (Fig. 3a):
+//! inter-operation (Jini + MIDAS, in `pmp-midas`), the robot
+//! application (tasks and hardware macros), and the device layer
+//! (LeJOS motors and sensors). This crate provides the lower two plus
+//! the VM proxy classes:
+//!
+//! * [`motor`], [`sensor`], [`rcx`] — the device layer with a command
+//!   log and freeze-on-sensor-event semantics;
+//! * [`task`] — tasks, hardware macros, the overriding layer, and
+//!   direct mode;
+//! * [`plotter`], [`canvas`] — the 3-axis plotter and its recorded
+//!   drawing;
+//! * [`proxy`] — `Motor`/`Plotter` classes inside the VM. The plotter
+//!   class is bytecode calling the motor proxies, so **every movement
+//!   is an interceptable `Motor.*` join point** — exactly where the
+//!   paper's monitoring extension attaches (Fig. 3b);
+//! * [`app`] — the drawing program.
+
+pub mod app;
+pub mod canvas;
+pub mod device;
+pub mod motor;
+pub mod plotter;
+pub mod proxy;
+pub mod rcx;
+pub mod sensor;
+pub mod task;
+
+pub use canvas::{Canvas, Stroke};
+pub use device::{HwCommand, Port};
+pub use motor::Motor;
+pub use plotter::Plotter;
+pub use proxy::{new_handle, register_robot_classes, spawn_motor, spawn_plotter, spawn_sensor, RobotHandle};
+pub use rcx::Rcx;
+pub use sensor::{Sensor, SensorEvent, SensorKind};
+pub use task::{HwMacro, SequenceTask, Task, TaskDecision, TaskRunner, TaskStatus};

@@ -1,0 +1,109 @@
+//! Motors: position-tracked rotary actuators.
+
+use crate::device::Port;
+
+/// Nanoseconds per degree of rotation at full power (a leisurely
+/// LEGO-ish 90°/s at power 7).
+pub const NS_PER_DEGREE_FULL: u64 = 11_111_111;
+
+/// A simulated motor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Motor {
+    /// The motor's port.
+    pub port: Port,
+    power: i64,
+    position: i64,
+    total_travel: u64,
+}
+
+impl Motor {
+    /// Creates a motor on `port` at power 7 (full), position 0.
+    pub fn new(port: Port) -> Self {
+        Self {
+            port,
+            power: 7,
+            position: 0,
+            total_travel: 0,
+        }
+    }
+
+    /// Device name used in logs, e.g. `"motor:A"`.
+    pub fn device_name(&self) -> String {
+        format!("motor:{}", self.port)
+    }
+
+    /// Current power setting (1..=7; affects rotation duration).
+    pub fn power(&self) -> i64 {
+        self.power
+    }
+
+    /// Sets the power (clamped to 1..=7).
+    pub fn set_power(&mut self, power: i64) {
+        self.power = power.clamp(1, 7);
+    }
+
+    /// Current cumulative position in degrees.
+    pub fn position(&self) -> i64 {
+        self.position
+    }
+
+    /// Total degrees travelled (absolute), for wear accounting.
+    pub fn total_travel(&self) -> u64 {
+        self.total_travel
+    }
+
+    /// Rotates by `degrees` (may be negative); returns the simulated
+    /// duration in nanoseconds.
+    pub fn rotate(&mut self, degrees: i64) -> u64 {
+        self.position += degrees;
+        self.total_travel += degrees.unsigned_abs();
+        let per_degree = NS_PER_DEGREE_FULL * 7 / self.power.max(1) as u64;
+        degrees.unsigned_abs().saturating_mul(per_degree)
+    }
+
+    /// Stops the motor (a no-op for position; returns a small fixed
+    /// actuation delay).
+    pub fn stop(&mut self) -> u64 {
+        1_000_000 // 1 ms brake actuation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_tracks_position_and_travel() {
+        let mut m = Motor::new(Port::A);
+        m.rotate(90);
+        m.rotate(-30);
+        assert_eq!(m.position(), 60);
+        assert_eq!(m.total_travel(), 120);
+    }
+
+    #[test]
+    fn duration_scales_with_power() {
+        let mut fast = Motor::new(Port::A);
+        fast.set_power(7);
+        let mut slow = Motor::new(Port::B);
+        slow.set_power(1);
+        let d_fast = fast.rotate(90);
+        let d_slow = slow.rotate(90);
+        assert!(d_slow > d_fast);
+        assert_eq!(d_slow, d_fast * 7);
+    }
+
+    #[test]
+    fn power_clamped() {
+        let mut m = Motor::new(Port::A);
+        m.set_power(99);
+        assert_eq!(m.power(), 7);
+        m.set_power(-5);
+        assert_eq!(m.power(), 1);
+    }
+
+    #[test]
+    fn device_name() {
+        assert_eq!(Motor::new(Port::B).device_name(), "motor:B");
+    }
+}

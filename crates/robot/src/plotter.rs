@@ -1,0 +1,202 @@
+//! The plotter prototype (paper Fig. 4): a robot acting as a printer
+//! head, moving a pen across dimensions driven by motors.
+//!
+//! Motor A drives the X axis, motor B the Y axis, and motor C raises or
+//! lowers the pen. **All geometry flows through per-motor rotations**
+//! ([`Plotter::motor_rotate`]): the VM proxy classes call exactly that,
+//! so a `Motor.*` interception sees every plotter movement — the join
+//! points the monitoring extension taps (Fig. 3b).
+
+use crate::canvas::Canvas;
+use crate::device::Port;
+use crate::rcx::Rcx;
+
+/// Degrees of motor rotation per plotter step.
+pub const DEGREES_PER_STEP: i64 = 1;
+
+/// Pen-lift rotation in degrees.
+pub const PEN_SWING: i64 = 90;
+
+/// A 3-axis plotter over an [`Rcx`] controller.
+#[derive(Debug)]
+pub struct Plotter {
+    /// The underlying controller (motors, sensors, command log).
+    pub rcx: Rcx,
+    canvas: Canvas,
+}
+
+impl Default for Plotter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Plotter {
+    /// Creates a plotter at the origin with the pen up.
+    pub fn new() -> Self {
+        Self {
+            rcx: Rcx::new(),
+            canvas: Canvas::new(),
+        }
+    }
+
+    /// Current head position in steps, derived from motor positions.
+    pub fn position(&self) -> (i64, i64) {
+        (
+            self.rcx.motor(Port::A).position() / DEGREES_PER_STEP,
+            self.rcx.motor(Port::B).position() / DEGREES_PER_STEP,
+        )
+    }
+
+    /// Is the pen down? (Derived from the pen motor's position.)
+    pub fn is_pen_down(&self) -> bool {
+        self.rcx.motor(Port::C).position() > 0
+    }
+
+    /// The recorded drawing.
+    pub fn canvas(&self) -> &Canvas {
+        &self.canvas
+    }
+
+    /// Rotates one motor and applies the plotter semantics: X/Y motor
+    /// rotations with the pen down record strokes; pen-motor rotations
+    /// change the pen state. Returns the simulated duration, or `None`
+    /// while the hardware is frozen. This is the single funnel every
+    /// higher layer (including the VM proxies) uses.
+    pub fn motor_rotate(&mut self, port: Port, degrees: i64) -> Option<u64> {
+        let from = self.position();
+        let pen_was_down = self.is_pen_down();
+        let duration = self.rcx.rotate(port, degrees)?;
+        if matches!(port, Port::A | Port::B) && pen_was_down {
+            let to = self.position();
+            if from != to {
+                self.canvas.stroke(from, to);
+            }
+        }
+        Some(duration)
+    }
+
+    /// Lowers the pen; returns the simulated duration.
+    pub fn pen_down(&mut self) -> Option<u64> {
+        if self.is_pen_down() {
+            return Some(0);
+        }
+        self.motor_rotate(Port::C, PEN_SWING)
+    }
+
+    /// Raises the pen.
+    pub fn pen_up(&mut self) -> Option<u64> {
+        if !self.is_pen_down() {
+            return Some(0);
+        }
+        self.motor_rotate(Port::C, -PEN_SWING)
+    }
+
+    /// Moves the head to `(x, y)` steps (X axis then Y axis; with the
+    /// pen down this draws an axis-aligned L, like the real hardware
+    /// moving one motor at a time). Returns the simulated duration.
+    pub fn move_to(&mut self, x: i64, y: i64) -> Option<u64> {
+        let (cx, cy) = self.position();
+        let mut total = 0u64;
+        let dx = (x - cx) * DEGREES_PER_STEP;
+        if dx != 0 {
+            total = total.max(self.motor_rotate(Port::A, dx)?);
+        }
+        let dy = (y - cy) * DEGREES_PER_STEP;
+        if dy != 0 {
+            total = total.max(self.motor_rotate(Port::B, dy)?);
+        }
+        Some(total)
+    }
+
+    /// Draws a polyline: pen up, move to the first point, pen down,
+    /// trace the rest, pen up. Returns total simulated duration.
+    pub fn draw_polyline(&mut self, points: &[(i64, i64)]) -> Option<u64> {
+        let mut total = 0u64;
+        let Some((first, rest)) = points.split_first() else {
+            return Some(0);
+        };
+        total += self.pen_up()?;
+        total += self.move_to(first.0, first.1)?;
+        total += self.pen_down()?;
+        for p in rest {
+            total += self.move_to(p.0, p.1)?;
+        }
+        total += self.pen_up()?;
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moves_without_pen_leave_no_marks() {
+        let mut p = Plotter::new();
+        p.move_to(10, 10).unwrap();
+        assert!(p.canvas().is_empty());
+        assert_eq!(p.position(), (10, 10));
+    }
+
+    #[test]
+    fn pen_down_draws_strokes() {
+        let mut p = Plotter::new();
+        p.pen_down().unwrap();
+        p.move_to(5, 0).unwrap();
+        p.move_to(5, 5).unwrap();
+        assert_eq!(p.canvas().len(), 2);
+        assert_eq!(p.canvas().strokes()[0].from, (0, 0));
+        assert_eq!(p.canvas().strokes()[0].to, (5, 0));
+        assert_eq!(p.canvas().strokes()[1].to, (5, 5));
+    }
+
+    #[test]
+    fn polyline_draws_a_square() {
+        let mut p = Plotter::new();
+        p.draw_polyline(&[(0, 0), (10, 0), (10, 10), (0, 10), (0, 0)])
+            .unwrap();
+        assert_eq!(p.canvas().len(), 4);
+        assert_eq!(p.canvas().bounds(), Some(((0, 0), (10, 10))));
+        assert!(!p.is_pen_down());
+    }
+
+    #[test]
+    fn every_movement_hits_the_motor_log() {
+        let mut p = Plotter::new();
+        p.draw_polyline(&[(0, 0), (3, 0)]).unwrap();
+        let commands: Vec<&str> = p.rcx.log().iter().map(|c| c.command.as_str()).collect();
+        assert_eq!(commands, ["rotate", "rotate", "rotate"]);
+        let devices: Vec<&str> = p.rcx.log().iter().map(|c| c.device.as_str()).collect();
+        assert_eq!(devices, ["motor:C", "motor:A", "motor:C"]);
+    }
+
+    #[test]
+    fn diagonal_moves_draw_axis_aligned_legs() {
+        let mut p = Plotter::new();
+        p.pen_down().unwrap();
+        p.move_to(3, 4).unwrap();
+        assert_eq!(p.canvas().len(), 2);
+        assert_eq!(p.canvas().strokes()[0].to, (3, 0));
+        assert_eq!(p.canvas().strokes()[1].to, (3, 4));
+    }
+
+    #[test]
+    fn idempotent_pen_ops() {
+        let mut p = Plotter::new();
+        assert_eq!(p.pen_up(), Some(0));
+        p.pen_down().unwrap();
+        assert_eq!(p.pen_down(), Some(0));
+        assert_eq!(p.rcx.log().len(), 1);
+    }
+
+    #[test]
+    fn frozen_hardware_blocks_plotting() {
+        let mut p = Plotter::new();
+        p.rcx.sensor_mut(Port::S1).set_value(1);
+        p.rcx.poll_sensors().unwrap();
+        assert_eq!(p.move_to(5, 5), None);
+        p.rcx.unfreeze();
+        assert!(p.move_to(5, 5).is_some());
+    }
+}

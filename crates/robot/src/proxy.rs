@@ -1,0 +1,389 @@
+//! VM proxy classes for the robot hardware (paper Fig. 3a, bottom
+//! layer): `Motor` natives drive the simulated plotter, and `Plotter`
+//! is *bytecode* that calls the motor proxies — so every movement is a
+//! VM-level `Motor.*` call that PROSE can intercept.
+
+use crate::device::Port;
+use crate::plotter::{Plotter, PEN_SWING};
+use parking_lot::Mutex;
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::class::ClassDef;
+use pmp_vm::op::Op;
+use pmp_vm::prelude::{TypeSig, Value, Vm, VmError};
+use std::sync::Arc;
+
+/// Shared handle on the robot hardware, captured by the proxy natives.
+pub type RobotHandle = Arc<Mutex<Plotter>>;
+
+/// Creates a fresh hardware handle.
+pub fn new_handle() -> RobotHandle {
+    Arc::new(Mutex::new(Plotter::new()))
+}
+
+fn port_of(vm: &Vm, this: &Value) -> Result<Port, VmError> {
+    let obj = this.as_ref_id().ok_or_else(|| {
+        VmError::exception("NullPointerException", "motor proxy without instance")
+    })?;
+    let v = vm.get_field(obj, "Motor", "port")?;
+    let s = v
+        .as_str()
+        .ok_or_else(|| VmError::link("Motor.port is not a string"))?
+        .to_string();
+    Port::parse(&s).ok_or_else(|| VmError::link(format!("bad motor port {s:?}")))
+}
+
+fn frozen_error() -> VmError {
+    VmError::exception("HardwareFrozenException", "hardware frozen by sensor event")
+}
+
+/// Registers the `Motor` and `Plotter` classes in `vm`, wiring natives
+/// to `handle`.
+///
+/// # Errors
+///
+/// [`VmError::Link`] if the classes already exist.
+pub fn register_robot_classes(vm: &mut Vm, handle: &RobotHandle) -> Result<(), VmError> {
+    register_motor_class(vm, handle)?;
+    register_sensor_class(vm, handle)?;
+    register_plotter_class(vm)?;
+    Ok(())
+}
+
+fn sensor_port_of(vm: &Vm, this: &Value) -> Result<Port, VmError> {
+    let obj = this.as_ref_id().ok_or_else(|| {
+        VmError::exception("NullPointerException", "sensor proxy without instance")
+    })?;
+    let v = vm.get_field(obj, "Sensor", "port")?;
+    let s = v
+        .as_str()
+        .ok_or_else(|| VmError::link("Sensor.port is not a string"))?
+        .to_string();
+    Port::parse(&s).ok_or_else(|| VmError::link(format!("bad sensor port {s:?}")))
+}
+
+fn register_sensor_class(vm: &mut Vm, handle: &RobotHandle) -> Result<(), VmError> {
+    let h_read = handle.clone();
+    let class = ClassDef::build("Sensor")
+        .field("port", TypeSig::Str)
+        // read() -> current reading (the paper's §4.6 security aspect
+        // "intercepts readings of all sensors" — this is its join point)
+        .native("read", [], TypeSig::Int, move |vm, call| {
+            let port = sensor_port_of(vm, &call.this)?;
+            Ok(Value::Int(h_read.lock().rcx.sensor(port).value()))
+        })
+        .native("id", [], TypeSig::Str, |vm, call| {
+            let port = sensor_port_of(vm, &call.this)?;
+            Ok(Value::str(format!("sensor:{port}")))
+        })
+        .done();
+    vm.register_class(class)?;
+    Ok(())
+}
+
+/// Instantiates a `Sensor` proxy bound to `port`.
+///
+/// # Errors
+///
+/// [`VmError::Link`] if the class is not registered.
+pub fn spawn_sensor(vm: &mut Vm, port: Port) -> Result<Value, VmError> {
+    let sensor = vm.new_object("Sensor")?;
+    let obj = sensor.as_ref_id().expect("fresh object");
+    vm.set_field(obj, "Sensor", "port", Value::str(port.to_string()))?;
+    Ok(sensor)
+}
+
+fn register_motor_class(vm: &mut Vm, handle: &RobotHandle) -> Result<(), VmError> {
+    let h_rotate = handle.clone();
+    let h_stop = handle.clone();
+    let h_pos = handle.clone();
+    let h_power = handle.clone();
+    let class = ClassDef::build("Motor")
+        .field("port", TypeSig::Str)
+        // rotate(degrees) -> duration in ns
+        .native("rotate", [TypeSig::Int], TypeSig::Int, move |vm, call| {
+            let port = port_of(vm, &call.this)?;
+            let degrees = call.int_arg(0)?;
+            let d = h_rotate
+                .lock()
+                .motor_rotate(port, degrees)
+                .ok_or_else(frozen_error)?;
+            Ok(Value::Int(d as i64))
+        })
+        .native("setPower", [TypeSig::Int], TypeSig::Void, move |vm, call| {
+            let port = port_of(vm, &call.this)?;
+            let power = call.int_arg(0)?;
+            h_power
+                .lock()
+                .rcx
+                .set_power(port, power)
+                .ok_or_else(frozen_error)?;
+            Ok(Value::Null)
+        })
+        .native("stop", [], TypeSig::Int, move |vm, call| {
+            let port = port_of(vm, &call.this)?;
+            let d = h_stop.lock().rcx.stop(port).ok_or_else(frozen_error)?;
+            Ok(Value::Int(d as i64))
+        })
+        .native("position", [], TypeSig::Int, move |vm, call| {
+            let port = port_of(vm, &call.this)?;
+            let pos = h_pos.lock().rcx.motor(port).position();
+            Ok(Value::Int(pos))
+        })
+        .native("id", [], TypeSig::Str, |vm, call| {
+            let port = port_of(vm, &call.this)?;
+            Ok(Value::str(format!("motor:{port}")))
+        })
+        .done();
+    vm.register_class(class)?;
+    Ok(())
+}
+
+/// Assembles `Plotter.moveTo(x, y)`: per-axis deltas dispatched through
+/// the motor proxies (virtual calls → interceptable join points).
+fn move_to_body() -> pmp_vm::op::BytecodeBody {
+    let mut b = MethodBuilder::new();
+    b.locals(2); // 3: current motor, 4: delta
+    for (field, arg_slot) in [("mx", 1u16), ("my", 2u16)] {
+        let skip = b.label();
+        b.op(Op::Load(0)).op(Op::GetField {
+            class: "Plotter".into(),
+            field: field.into(),
+        });
+        b.op(Op::Store(3));
+        b.op(Op::Load(arg_slot));
+        b.op(Op::Load(3)).op(Op::CallV {
+            method: "position".into(),
+            argc: 0,
+        });
+        b.op(Op::Sub).op(Op::Store(4));
+        b.op(Op::Load(4)).konst(0i64).op(Op::Eq);
+        b.jump_if(skip);
+        b.op(Op::Load(3)).op(Op::Load(4)).op(Op::CallV {
+            method: "rotate".into(),
+            argc: 1,
+        });
+        b.op(Op::Pop);
+        b.bind(skip);
+    }
+    b.op(Op::Ret);
+    b.build()
+}
+
+/// Assembles `penDown`/`penUp`: conditional pen-motor swing.
+fn pen_body(down: bool) -> pmp_vm::op::BytecodeBody {
+    let mut b = MethodBuilder::new();
+    b.locals(1); // 1: pen motor
+    let skip = b.label();
+    b.op(Op::Load(0)).op(Op::GetField {
+        class: "Plotter".into(),
+        field: "mpen".into(),
+    });
+    b.op(Op::Store(1));
+    b.op(Op::Load(1)).op(Op::CallV {
+        method: "position".into(),
+        argc: 0,
+    });
+    b.konst(0i64).op(Op::Gt);
+    if down {
+        // already down → skip
+        b.jump_if(skip);
+    } else {
+        // already up → skip
+        b.jump_if_not(skip);
+    }
+    b.op(Op::Load(1))
+        .konst(if down { PEN_SWING } else { -PEN_SWING })
+        .op(Op::CallV {
+            method: "rotate".into(),
+            argc: 1,
+        })
+        .op(Op::Pop);
+    b.bind(skip);
+    b.op(Op::Ret);
+    b.build()
+}
+
+fn register_plotter_class(vm: &mut Vm) -> Result<(), VmError> {
+    let class = ClassDef::build("Plotter")
+        .field("mx", TypeSig::object("Motor"))
+        .field("my", TypeSig::object("Motor"))
+        .field("mpen", TypeSig::object("Motor"))
+        .method_body(
+            "moveTo",
+            [TypeSig::Int, TypeSig::Int],
+            TypeSig::Void,
+            move_to_body(),
+        )
+        .method_body("penDown", [], TypeSig::Void, pen_body(true))
+        .method_body("penUp", [], TypeSig::Void, pen_body(false))
+        .method("x", [], TypeSig::Int, |b| {
+            b.op(Op::Load(0))
+                .op(Op::GetField {
+                    class: "Plotter".into(),
+                    field: "mx".into(),
+                })
+                .op(Op::CallV {
+                    method: "position".into(),
+                    argc: 0,
+                })
+                .op(Op::RetVal);
+        })
+        .method("y", [], TypeSig::Int, |b| {
+            b.op(Op::Load(0))
+                .op(Op::GetField {
+                    class: "Plotter".into(),
+                    field: "my".into(),
+                })
+                .op(Op::CallV {
+                    method: "position".into(),
+                    argc: 0,
+                })
+                .op(Op::RetVal);
+        })
+        .done();
+    vm.register_class(class)?;
+    Ok(())
+}
+
+/// Instantiates a `Motor` proxy bound to `port`.
+///
+/// # Errors
+///
+/// [`VmError::Link`] if the class is not registered.
+pub fn spawn_motor(vm: &mut Vm, port: Port) -> Result<Value, VmError> {
+    let motor = vm.new_object("Motor")?;
+    let obj = motor.as_ref_id().expect("fresh object");
+    vm.set_field(obj, "Motor", "port", Value::str(port.to_string()))?;
+    Ok(motor)
+}
+
+/// Instantiates a `Plotter` proxy wired to three motor proxies
+/// (A = X, B = Y, C = pen).
+///
+/// # Errors
+///
+/// [`VmError::Link`] if the classes are not registered.
+pub fn spawn_plotter(vm: &mut Vm) -> Result<Value, VmError> {
+    let plotter = vm.new_object("Plotter")?;
+    let obj = plotter.as_ref_id().expect("fresh object");
+    for (field, port) in [("mx", Port::A), ("my", Port::B), ("mpen", Port::C)] {
+        let motor = spawn_motor(vm, port)?;
+        vm.set_field(obj, "Plotter", field, motor)?;
+    }
+    Ok(plotter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_vm::prelude::*;
+
+    fn setup() -> (Vm, RobotHandle, Value) {
+        let mut vm = Vm::new(VmConfig::default());
+        let handle = new_handle();
+        register_robot_classes(&mut vm, &handle).unwrap();
+        let plotter = spawn_plotter(&mut vm).unwrap();
+        (vm, handle, plotter)
+    }
+
+    #[test]
+    fn sensor_proxy_reads_hardware() {
+        let (mut vm, handle, _) = setup();
+        let sensor = spawn_sensor(&mut vm, Port::S2).unwrap();
+        handle.lock().rcx.sensor_mut(Port::S2).set_value(42);
+        let v = vm.call("Sensor", "read", sensor.clone(), vec![]).unwrap();
+        assert_eq!(v, Value::Int(42));
+        let id = vm.call("Sensor", "id", sensor, vec![]).unwrap();
+        assert_eq!(id, Value::str("sensor:S2"));
+    }
+
+    #[test]
+    fn motor_proxy_drives_hardware() {
+        let (mut vm, handle, _) = setup();
+        let motor = spawn_motor(&mut vm, Port::A).unwrap();
+        let d = vm
+            .call("Motor", "rotate", motor.clone(), vec![Value::Int(90)])
+            .unwrap();
+        assert!(d.as_int().unwrap() > 0);
+        assert_eq!(handle.lock().rcx.motor(Port::A).position(), 90);
+        let pos = vm.call("Motor", "position", motor, vec![]).unwrap();
+        assert_eq!(pos, Value::Int(90));
+    }
+
+    #[test]
+    fn plotter_bytecode_moves_via_motor_proxies() {
+        let (mut vm, handle, plotter) = setup();
+        vm.call(
+            "Plotter",
+            "moveTo",
+            plotter.clone(),
+            vec![Value::Int(10), Value::Int(5)],
+        )
+        .unwrap();
+        assert_eq!(handle.lock().position(), (10, 5));
+        let x = vm.call("Plotter", "x", plotter.clone(), vec![]).unwrap();
+        assert_eq!(x, Value::Int(10));
+        // No pen: no strokes.
+        assert!(handle.lock().canvas().is_empty());
+    }
+
+    #[test]
+    fn plotter_pen_and_drawing() {
+        let (mut vm, handle, plotter) = setup();
+        vm.call("Plotter", "penDown", plotter.clone(), vec![]).unwrap();
+        assert!(handle.lock().is_pen_down());
+        vm.call(
+            "Plotter",
+            "moveTo",
+            plotter.clone(),
+            vec![Value::Int(5), Value::Int(0)],
+        )
+        .unwrap();
+        vm.call("Plotter", "penUp", plotter.clone(), vec![]).unwrap();
+        assert!(!handle.lock().is_pen_down());
+        let c = handle.lock().canvas().clone();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.strokes()[0].to, (5, 0));
+        // Idempotent pen ops through the VM too.
+        vm.call("Plotter", "penUp", plotter, vec![]).unwrap();
+        assert_eq!(handle.lock().rcx.motor(Port::C).position(), 0);
+    }
+
+    #[test]
+    fn frozen_hardware_raises_catchable_exception() {
+        let (mut vm, handle, plotter) = setup();
+        {
+            let mut hw = handle.lock();
+            hw.rcx.sensor_mut(Port::S1).set_value(1);
+            hw.rcx.poll_sensors();
+        }
+        let err = vm
+            .call(
+                "Plotter",
+                "moveTo",
+                plotter,
+                vec![Value::Int(1), Value::Int(0)],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err.as_exception().unwrap().class.as_ref(),
+            "HardwareFrozenException"
+        );
+    }
+
+    #[test]
+    fn motor_calls_are_logged_for_monitoring() {
+        let (mut vm, handle, plotter) = setup();
+        vm.call("Plotter", "penDown", plotter.clone(), vec![]).unwrap();
+        vm.call(
+            "Plotter",
+            "moveTo",
+            plotter,
+            vec![Value::Int(3), Value::Int(0)],
+        )
+        .unwrap();
+        let log = handle.lock().rcx.take_log();
+        let devices: Vec<String> = log.iter().map(|c| c.device.clone()).collect();
+        assert_eq!(devices, ["motor:C", "motor:A"]);
+    }
+}

@@ -1,0 +1,214 @@
+//! The RCX controller: three motors, three sensors, a command log, and
+//! the freeze-on-event semantics of the paper's task model.
+
+use crate::device::{HwCommand, Port};
+use crate::motor::Motor;
+use crate::sensor::{Sensor, SensorEvent, SensorKind};
+use std::sync::Arc;
+
+/// The LeJOS-like device controller. All hardware activity funnels
+/// through [`Rcx::rotate`]/[`Rcx::stop`]/[`Rcx::set_power`] so a single
+/// command log captures everything (what the monitoring extension taps).
+pub struct Rcx {
+    motors: [Motor; 3],
+    sensors: [Sensor; 3],
+    log: Vec<HwCommand>,
+    frozen: bool,
+    clock: Arc<dyn Fn() -> u64 + Send + Sync>,
+}
+
+impl std::fmt::Debug for Rcx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rcx")
+            .field("motors", &self.motors)
+            .field("log_len", &self.log.len())
+            .field("frozen", &self.frozen)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Rcx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Rcx {
+    /// Creates a controller with light sensors on every sensor port and
+    /// a zeroed clock.
+    pub fn new() -> Self {
+        Self {
+            motors: [Motor::new(Port::A), Motor::new(Port::B), Motor::new(Port::C)],
+            sensors: [
+                Sensor::new(Port::S1, SensorKind::Touch),
+                Sensor::new(Port::S2, SensorKind::Light),
+                Sensor::new(Port::S3, SensorKind::Rotation),
+            ],
+            log: Vec::new(),
+            frozen: false,
+            clock: Arc::new(|| 0),
+        }
+    }
+
+    /// Installs the clock used to timestamp log entries (the platform
+    /// wires the simulated clock here).
+    pub fn set_clock(&mut self, clock: Arc<dyn Fn() -> u64 + Send + Sync>) {
+        self.clock = clock;
+    }
+
+    /// A motor by port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on sensor ports.
+    pub fn motor(&self, port: Port) -> &Motor {
+        &self.motors[port.motor_index()]
+    }
+
+    /// A sensor by port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on motor ports.
+    pub fn sensor(&self, port: Port) -> &Sensor {
+        &self.sensors[port.sensor_index()]
+    }
+
+    /// Mutable sensor access (environment hooks).
+    ///
+    /// # Panics
+    ///
+    /// Panics on motor ports.
+    pub fn sensor_mut(&mut self, port: Port) -> &mut Sensor {
+        &mut self.sensors[port.sensor_index()]
+    }
+
+    /// Whether hardware is frozen awaiting a task decision.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Unfreezes the hardware (a task decided to continue or abort).
+    pub fn unfreeze(&mut self) {
+        self.frozen = false;
+    }
+
+    fn record(&mut self, device: String, command: &str, args: Vec<i64>, duration_ns: u64) {
+        let issued_at = (self.clock)();
+        self.log.push(HwCommand {
+            device,
+            command: command.to_string(),
+            args,
+            issued_at,
+            duration_ns,
+        });
+    }
+
+    /// Rotates a motor; returns the simulated duration, or `None` while
+    /// frozen (commands are refused until the task layer reacts —
+    /// paper §4.1: "the hardware completely freezes its activity").
+    pub fn rotate(&mut self, port: Port, degrees: i64) -> Option<u64> {
+        if self.frozen {
+            return None;
+        }
+        let motor = &mut self.motors[port.motor_index()];
+        let duration = motor.rotate(degrees);
+        let device = motor.device_name();
+        self.record(device, "rotate", vec![degrees], duration);
+        Some(duration)
+    }
+
+    /// Sets a motor's power.
+    pub fn set_power(&mut self, port: Port, power: i64) -> Option<u64> {
+        if self.frozen {
+            return None;
+        }
+        let motor = &mut self.motors[port.motor_index()];
+        motor.set_power(power);
+        let device = motor.device_name();
+        self.record(device, "setPower", vec![power], 0);
+        Some(0)
+    }
+
+    /// Stops a motor.
+    pub fn stop(&mut self, port: Port) -> Option<u64> {
+        if self.frozen {
+            return None;
+        }
+        let motor = &mut self.motors[port.motor_index()];
+        let duration = motor.stop();
+        let device = motor.device_name();
+        self.record(device, "stop", vec![], duration);
+        Some(duration)
+    }
+
+    /// Polls all sensors; the first event freezes the hardware and is
+    /// returned for the task layer to decide on.
+    pub fn poll_sensors(&mut self) -> Option<SensorEvent> {
+        for s in &mut self.sensors {
+            if let Some(ev) = s.poll() {
+                self.frozen = true;
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    /// The command log.
+    pub fn log(&self) -> &[HwCommand] {
+        &self.log
+    }
+
+    /// Drains the command log (the monitoring extension consumes it).
+    pub fn take_log(&mut self) -> Vec<HwCommand> {
+        std::mem::take(&mut self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_are_logged_with_durations() {
+        let mut rcx = Rcx::new();
+        rcx.rotate(Port::A, 90).unwrap();
+        rcx.set_power(Port::A, 3).unwrap();
+        rcx.stop(Port::A).unwrap();
+        let log = rcx.log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].command, "rotate");
+        assert_eq!(log[0].args, vec![90]);
+        assert!(log[0].duration_ns > 0);
+        assert_eq!(log[1].command, "setPower");
+        assert_eq!(log[2].command, "stop");
+    }
+
+    #[test]
+    fn sensor_event_freezes_hardware() {
+        let mut rcx = Rcx::new();
+        rcx.sensor_mut(Port::S1).set_value(1);
+        let ev = rcx.poll_sensors().unwrap();
+        assert_eq!(ev.port, Port::S1);
+        assert!(rcx.is_frozen());
+        assert_eq!(rcx.rotate(Port::A, 10), None, "frozen hardware refuses");
+        rcx.unfreeze();
+        assert!(rcx.rotate(Port::A, 10).is_some());
+    }
+
+    #[test]
+    fn take_log_drains() {
+        let mut rcx = Rcx::new();
+        rcx.rotate(Port::A, 10).unwrap();
+        assert_eq!(rcx.take_log().len(), 1);
+        assert!(rcx.log().is_empty());
+    }
+
+    #[test]
+    fn clock_stamps_entries() {
+        let mut rcx = Rcx::new();
+        rcx.set_clock(Arc::new(|| 42));
+        rcx.rotate(Port::B, 5).unwrap();
+        assert_eq!(rcx.log()[0].issued_at, 42);
+    }
+}

@@ -1,0 +1,109 @@
+//! Sensors with edge-triggered events.
+
+use crate::device::Port;
+
+/// Kind of sensor attached to a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorKind {
+    /// Binary touch sensor (pressed when value > 0).
+    Touch,
+    /// Analog light sensor (0..100).
+    Light,
+    /// Rotation counter.
+    Rotation,
+}
+
+/// An event produced when a sensor's reading changes significantly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensorEvent {
+    /// The sensor's port.
+    pub port: Port,
+    /// The sensor kind.
+    pub kind: SensorKind,
+    /// The new reading.
+    pub value: i64,
+}
+
+/// A simulated sensor. The environment sets readings via
+/// [`Sensor::set_value`]; [`Sensor::poll`] returns an event when the
+/// reading changed since the last poll (touch: on press edges only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sensor {
+    /// The sensor's port.
+    pub port: Port,
+    /// The sensor kind.
+    pub kind: SensorKind,
+    value: i64,
+    last_polled: i64,
+}
+
+impl Sensor {
+    /// Creates a sensor.
+    pub fn new(port: Port, kind: SensorKind) -> Self {
+        Self {
+            port,
+            kind,
+            value: 0,
+            last_polled: 0,
+        }
+    }
+
+    /// Device name used in logs, e.g. `"sensor:S1"`.
+    pub fn device_name(&self) -> String {
+        format!("sensor:{}", self.port)
+    }
+
+    /// Current reading.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Environment hook: sets the reading.
+    pub fn set_value(&mut self, value: i64) {
+        self.value = value;
+    }
+
+    /// Returns an event if the reading changed since the last poll.
+    /// Touch sensors only report press edges (0 → nonzero).
+    pub fn poll(&mut self) -> Option<SensorEvent> {
+        if self.value == self.last_polled {
+            return None;
+        }
+        let prev = self.last_polled;
+        self.last_polled = self.value;
+        if self.kind == SensorKind::Touch && !(prev == 0 && self.value != 0) {
+            return None;
+        }
+        Some(SensorEvent {
+            port: self.port,
+            kind: self.kind,
+            value: self.value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_sensor_reports_changes_once() {
+        let mut s = Sensor::new(Port::S1, SensorKind::Light);
+        assert!(s.poll().is_none());
+        s.set_value(42);
+        let ev = s.poll().unwrap();
+        assert_eq!(ev.value, 42);
+        assert!(s.poll().is_none(), "no duplicate events");
+    }
+
+    #[test]
+    fn touch_sensor_reports_press_edges_only() {
+        let mut s = Sensor::new(Port::S2, SensorKind::Touch);
+        s.set_value(1);
+        assert!(s.poll().is_some(), "press");
+        s.set_value(0);
+        assert!(s.poll().is_none(), "release is silent");
+        s.set_value(1);
+        assert!(s.poll().is_some(), "second press");
+    }
+}

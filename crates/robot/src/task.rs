@@ -1,0 +1,309 @@
+//! The robot application layer (paper Fig. 3a): tasks broken into
+//! hardware macros, sensor-interrupt decisions, an overriding layer,
+//! and direct mode.
+
+use crate::device::Port;
+use crate::rcx::Rcx;
+use crate::sensor::SensorEvent;
+use std::collections::VecDeque;
+
+/// A hardware macro: one activity request sent to the device layer
+/// (the paper's example: "turn left 30 degrees").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwMacro {
+    /// Rotate one motor.
+    Rotate {
+        /// Motor port.
+        port: Port,
+        /// Degrees (signed).
+        degrees: i64,
+    },
+    /// Set a motor's power.
+    SetPower {
+        /// Motor port.
+        port: Port,
+        /// Power 1..=7.
+        power: i64,
+    },
+    /// Stop a motor.
+    Stop {
+        /// Motor port.
+        port: Port,
+    },
+    /// Turn the robot left by rotating A forward and B backward.
+    TurnLeft {
+        /// Degrees of turn.
+        degrees: i64,
+    },
+    /// Drive forward by rotating A and B together.
+    Forward {
+        /// Degrees of wheel rotation.
+        degrees: i64,
+    },
+}
+
+impl HwMacro {
+    /// Executes the macro on the controller; returns total simulated
+    /// duration, or `None` if the hardware is frozen.
+    pub fn execute(&self, rcx: &mut Rcx) -> Option<u64> {
+        match self {
+            HwMacro::Rotate { port, degrees } => rcx.rotate(*port, *degrees),
+            HwMacro::SetPower { port, power } => rcx.set_power(*port, *power),
+            HwMacro::Stop { port } => rcx.stop(*port),
+            HwMacro::TurnLeft { degrees } => {
+                let a = rcx.rotate(Port::A, *degrees)?;
+                let b = rcx.rotate(Port::B, -*degrees)?;
+                Some(a.max(b))
+            }
+            HwMacro::Forward { degrees } => {
+                let a = rcx.rotate(Port::A, *degrees)?;
+                let b = rcx.rotate(Port::B, *degrees)?;
+                Some(a.max(b))
+            }
+        }
+    }
+}
+
+/// What a task wants next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Execute this macro and call again.
+    Do(HwMacro),
+    /// Nothing right now (waiting).
+    Idle,
+    /// The task's objective is met.
+    Finished,
+}
+
+/// A task's reaction to a sensor event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskDecision {
+    /// Resume the interrupted activity.
+    Continue,
+    /// Abort the current task.
+    Abort,
+}
+
+/// A basic program deciding what the robot does (paper §4.1).
+pub trait Task {
+    /// The task's name.
+    fn name(&self) -> &str;
+    /// Produces the next activity request.
+    fn step(&mut self, rcx: &Rcx) -> TaskStatus;
+    /// Reacts to a sensor event that froze the hardware.
+    fn on_event(&mut self, event: &SensorEvent) -> TaskDecision;
+}
+
+/// The layered runner: direct mode overrides the overriding layer,
+/// which overrides the current task (paper Fig. 3a, middle layer).
+#[derive(Default)]
+pub struct TaskRunner {
+    task: Option<Box<dyn Task + Send>>,
+    override_task: Option<Box<dyn Task + Send>>,
+    direct_queue: VecDeque<HwMacro>,
+    /// Names of tasks that finished or were aborted, in order.
+    pub completed: Vec<String>,
+}
+
+impl std::fmt::Debug for TaskRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskRunner")
+            .field("has_task", &self.task.is_some())
+            .field("has_override", &self.override_task.is_some())
+            .field("direct_queue", &self.direct_queue.len())
+            .finish()
+    }
+}
+
+impl TaskRunner {
+    /// Creates an idle runner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs the base task.
+    pub fn set_task(&mut self, task: Box<dyn Task + Send>) {
+        self.task = Some(task);
+    }
+
+    /// Installs an overriding task (takes precedence until finished).
+    pub fn set_override(&mut self, task: Box<dyn Task + Send>) {
+        self.override_task = Some(task);
+    }
+
+    /// Queues a direct-mode macro (highest precedence; the human
+    /// operator's channel).
+    pub fn direct(&mut self, m: HwMacro) {
+        self.direct_queue.push_back(m);
+    }
+
+    /// Is any work pending?
+    pub fn is_active(&self) -> bool {
+        self.task.is_some() || self.override_task.is_some() || !self.direct_queue.is_empty()
+    }
+
+    /// Runs one scheduling step: poll sensors (events freeze hardware
+    /// and are routed to the active task), then execute the next macro
+    /// from the highest-precedence source. Returns the simulated
+    /// duration consumed.
+    pub fn run_step(&mut self, rcx: &mut Rcx) -> u64 {
+        // Sensor events interrupt whatever is running.
+        if let Some(ev) = rcx.poll_sensors() {
+            let decision = if let Some(t) = self.override_task.as_mut() {
+                t.on_event(&ev)
+            } else if let Some(t) = self.task.as_mut() {
+                t.on_event(&ev)
+            } else {
+                TaskDecision::Continue
+            };
+            rcx.unfreeze();
+            if decision == TaskDecision::Abort {
+                if let Some(t) = self.override_task.take() {
+                    self.completed.push(format!("{} (aborted)", t.name()));
+                } else if let Some(t) = self.task.take() {
+                    self.completed.push(format!("{} (aborted)", t.name()));
+                }
+            }
+            return 0;
+        }
+        // Direct mode first.
+        if let Some(m) = self.direct_queue.pop_front() {
+            return m.execute(rcx).unwrap_or(0);
+        }
+        // Then the overriding layer, then the base task.
+        let use_override = self.override_task.is_some();
+        let slot = if use_override {
+            &mut self.override_task
+        } else {
+            &mut self.task
+        };
+        let Some(t) = slot.as_mut() else { return 0 };
+        match t.step(rcx) {
+            TaskStatus::Do(m) => m.execute(rcx).unwrap_or(0),
+            TaskStatus::Idle => 0,
+            TaskStatus::Finished => {
+                let t = slot.take().expect("checked above");
+                self.completed.push(t.name().to_string());
+                0
+            }
+        }
+    }
+}
+
+/// A ready-made task: execute a fixed sequence of macros, aborting on
+/// touch events.
+#[derive(Debug)]
+pub struct SequenceTask {
+    name: String,
+    macros: VecDeque<HwMacro>,
+}
+
+impl SequenceTask {
+    /// Creates a sequence task.
+    pub fn new(name: impl Into<String>, macros: impl IntoIterator<Item = HwMacro>) -> Self {
+        Self {
+            name: name.into(),
+            macros: macros.into_iter().collect(),
+        }
+    }
+}
+
+impl Task for SequenceTask {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, _rcx: &Rcx) -> TaskStatus {
+        match self.macros.pop_front() {
+            Some(m) => TaskStatus::Do(m),
+            None => TaskStatus::Finished,
+        }
+    }
+
+    fn on_event(&mut self, event: &SensorEvent) -> TaskDecision {
+        // A touch means an obstacle: abort (the paper's example).
+        if event.kind == crate::sensor::SensorKind::Touch {
+            TaskDecision::Abort
+        } else {
+            TaskDecision::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_task_runs_to_completion() {
+        let mut rcx = Rcx::new();
+        let mut runner = TaskRunner::new();
+        runner.set_task(Box::new(SequenceTask::new(
+            "square",
+            vec![
+                HwMacro::Forward { degrees: 90 },
+                HwMacro::TurnLeft { degrees: 90 },
+                HwMacro::Forward { degrees: 90 },
+            ],
+        )));
+        let mut total = 0u64;
+        while runner.is_active() {
+            total += runner.run_step(&mut rcx);
+        }
+        assert!(total > 0);
+        assert_eq!(runner.completed, vec!["square".to_string()]);
+        // Forward+TurnLeft+Forward = 6 motor rotations logged.
+        assert_eq!(rcx.log().len(), 6);
+    }
+
+    #[test]
+    fn touch_event_aborts_task() {
+        let mut rcx = Rcx::new();
+        let mut runner = TaskRunner::new();
+        runner.set_task(Box::new(SequenceTask::new(
+            "walk",
+            vec![HwMacro::Forward { degrees: 360 }; 10],
+        )));
+        runner.run_step(&mut rcx); // first step executes
+        rcx.sensor_mut(Port::S1).set_value(1); // obstacle!
+        runner.run_step(&mut rcx); // event → abort
+        assert!(!runner.is_active());
+        assert_eq!(runner.completed, vec!["walk (aborted)".to_string()]);
+    }
+
+    #[test]
+    fn override_layer_takes_precedence() {
+        let mut rcx = Rcx::new();
+        let mut runner = TaskRunner::new();
+        runner.set_task(Box::new(SequenceTask::new(
+            "base",
+            vec![HwMacro::Forward { degrees: 10 }; 3],
+        )));
+        runner.set_override(Box::new(SequenceTask::new(
+            "rescue",
+            vec![HwMacro::TurnLeft { degrees: 180 }],
+        )));
+        // First steps run the override.
+        runner.run_step(&mut rcx);
+        runner.run_step(&mut rcx); // finishes override
+        assert_eq!(runner.completed, vec!["rescue".to_string()]);
+        // Then the base task resumes.
+        while runner.is_active() {
+            runner.run_step(&mut rcx);
+        }
+        assert!(runner.completed.contains(&"base".to_string()));
+    }
+
+    #[test]
+    fn direct_mode_preempts_everything() {
+        let mut rcx = Rcx::new();
+        let mut runner = TaskRunner::new();
+        runner.set_task(Box::new(SequenceTask::new(
+            "base",
+            vec![HwMacro::Forward { degrees: 10 }],
+        )));
+        runner.direct(HwMacro::Stop { port: Port::A });
+        runner.run_step(&mut rcx);
+        assert_eq!(rcx.log()[0].command, "stop", "direct command ran first");
+    }
+}

@@ -1,0 +1,172 @@
+//! # pmp-spec — SPECjvm-flavoured macro benchmarks for the pmp VM
+//!
+//! The paper reports "an overhead of about 7% (measured using a SPECjvm
+//! benchmark)" for a PROSE-enabled JVM with no extensions woven (§4.6).
+//! This crate plays SPECjvm98's role for our VM: five macro workloads
+//! with realistic method-call and field-access densities, so the cost
+//! of the JIT-planted stubs shows up the way it did in the paper.
+//!
+//! | program | flavour of | stresses |
+//! |---|---|---|
+//! | [`programs::compress`] | `_201_compress` | buffer ops, tight loops, static calls |
+//! | [`programs::crypto`] | mixing rounds | integer ops, call-heavy inner loop |
+//! | [`programs::db`] | `_209_db` | objects, virtual calls, field access |
+//! | [`programs::sor`] | SciMark SOR | float arrays, nested loops |
+//! | [`programs::montecarlo`] | SciMark MonteCarlo | float math, static calls |
+//!
+//! # Examples
+//!
+//! ```
+//! use pmp_vm::prelude::*;
+//! use pmp_spec::Suite;
+//!
+//! # fn main() -> Result<(), VmError> {
+//! let mut vm = Vm::new(VmConfig::default());
+//! let suite = Suite::register_all(&mut vm)?;
+//! let results = suite.run_all(&mut vm, pmp_spec::Size::Small)?;
+//! assert_eq!(results.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod programs;
+
+use pmp_vm::prelude::{Value, Vm, VmError};
+
+/// Workload size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Size {
+    /// Quick, for tests (~10⁴–10⁵ ops per program).
+    Small,
+    /// Benchmark size (~10⁶ ops per program).
+    Large,
+}
+
+/// One program's run outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Program name.
+    pub name: &'static str,
+    /// The checked result value (validates correctness).
+    pub value: Value,
+    /// Bytecode ops executed during the run.
+    pub ops: u64,
+    /// Method invocations during the run.
+    pub invocations: u64,
+}
+
+/// The registered suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Suite {
+    _priv: (),
+}
+
+/// Names of the suite programs, in run order.
+pub const PROGRAM_NAMES: [&str; 5] = ["compress", "crypto", "db", "sor", "montecarlo"];
+
+impl Suite {
+    /// Registers every program's classes into `vm`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Link`] on duplicate registration.
+    pub fn register_all(vm: &mut Vm) -> Result<Suite, VmError> {
+        programs::compress::register(vm)?;
+        programs::crypto::register(vm)?;
+        programs::db::register(vm)?;
+        programs::sor::register(vm)?;
+        programs::montecarlo::register(vm)?;
+        Ok(Suite { _priv: () })
+    }
+
+    /// Runs one program by name.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names are link errors; programs propagate their own
+    /// failures.
+    pub fn run_one(&self, vm: &mut Vm, name: &str, size: Size) -> Result<RunResult, VmError> {
+        let before_ops = vm.stats().bytecode_ops;
+        let before_inv = vm.stats().invocations;
+        let value = match name {
+            "compress" => programs::compress::run(vm, size)?,
+            "crypto" => programs::crypto::run(vm, size)?,
+            "db" => programs::db::run(vm, size)?,
+            "sor" => programs::sor::run(vm, size)?,
+            "montecarlo" => programs::montecarlo::run(vm, size)?,
+            other => return Err(VmError::link(format!("unknown spec program {other:?}"))),
+        };
+        let stats = vm.stats();
+        let name: &'static str = PROGRAM_NAMES
+            .iter()
+            .find(|n| **n == name)
+            .expect("validated above");
+        Ok(RunResult {
+            name,
+            value,
+            ops: stats.bytecode_ops - before_ops,
+            invocations: stats.invocations - before_inv,
+        })
+    }
+
+    /// Runs the whole suite.
+    ///
+    /// # Errors
+    ///
+    /// First failing program's error.
+    pub fn run_all(&self, vm: &mut Vm, size: Size) -> Result<Vec<RunResult>, VmError> {
+        PROGRAM_NAMES
+            .iter()
+            .map(|name| self.run_one(vm, name, size))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_vm::prelude::VmConfig;
+
+    #[test]
+    fn suite_runs_and_counts() {
+        let mut vm = Vm::new(VmConfig::default());
+        let suite = Suite::register_all(&mut vm).unwrap();
+        let results = suite.run_all(&mut vm, Size::Small).unwrap();
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.ops > 1_000, "{} ran {} ops", r.name, r.ops);
+            assert!(r.invocations >= 1, "{} ran", r.name);
+        }
+        // The suite as a whole is call-dense (compress/crypto/db/mc all
+        // make nested calls); SOR alone is a loop kernel.
+        let total_calls: u64 = results.iter().map(|r| r.invocations).sum();
+        assert!(total_calls > 1_000, "suite call density: {total_calls}");
+    }
+
+    #[test]
+    fn unknown_program_rejected() {
+        let mut vm = Vm::new(VmConfig::default());
+        let suite = Suite::register_all(&mut vm).unwrap();
+        assert!(suite.run_one(&mut vm, "nope", Size::Small).is_err());
+    }
+
+    #[test]
+    fn results_identical_with_and_without_stubs() {
+        // The stubs must be semantically invisible.
+        let run = |hooks: bool| {
+            let mut vm = Vm::new(if hooks {
+                VmConfig::default()
+            } else {
+                VmConfig::without_hooks()
+            });
+            let suite = Suite::register_all(&mut vm).unwrap();
+            suite
+                .run_all(&mut vm, Size::Small)
+                .unwrap()
+                .into_iter()
+                .map(|r| r.value)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+}

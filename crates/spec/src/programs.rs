@@ -1,0 +1,706 @@
+//! The five suite programs, each a VM application assembled from
+//! bytecode (so the JIT-stub overhead applies to them exactly as to any
+//! hosted application).
+
+use crate::Size;
+use pmp_vm::prelude::{Value, Vm, VmError};
+
+/// `_201_compress`-flavoured run-length encoder.
+pub mod compress {
+    use super::*;
+    use pmp_vm::class::ClassDef;
+    use pmp_vm::op::Op;
+    use pmp_vm::types::TypeSig;
+
+    /// Registers the `Compress` class.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Link`] on duplicate registration.
+    pub fn register(vm: &mut Vm) -> Result<(), VmError> {
+        let class = ClassDef::build("Compress")
+            // fill(buf): buf[i] = (i / 13) % 7
+            .method("fill", [TypeSig::Bytes], TypeSig::Void, |b| {
+                b.locals(2); // 2: i, 3: len
+                let top = b.label();
+                let done = b.label();
+                b.op(Op::Load(1)).op(Op::BufLen).op(Op::Store(3));
+                b.konst(0i64).op(Op::Store(2));
+                b.bind(top);
+                b.op(Op::Load(2)).op(Op::Load(3)).op(Op::Lt);
+                b.jump_if_not(done);
+                b.op(Op::Load(1)).op(Op::Load(2));
+                b.op(Op::Load(2)).konst(13i64).op(Op::Div).konst(7i64).op(Op::Rem);
+                b.op(Op::BufSet);
+                b.op(Op::Load(2)).konst(1i64).op(Op::Add).op(Op::Store(2));
+                b.jump(top);
+                b.bind(done);
+                b.op(Op::Ret);
+            })
+            // runLength(buf, start) -> length of the run at start
+            .method(
+                "runLength",
+                [TypeSig::Bytes, TypeSig::Int],
+                TypeSig::Int,
+                |b| {
+                    b.locals(3); // 3: len, 4: i, 5: v
+                    let top = b.label();
+                    let done = b.label();
+                    b.op(Op::Load(1)).op(Op::BufLen).op(Op::Store(3));
+                    b.op(Op::Load(1)).op(Op::Load(2)).op(Op::BufGet).op(Op::Store(5));
+                    b.op(Op::Load(2)).konst(1i64).op(Op::Add).op(Op::Store(4));
+                    b.bind(top);
+                    b.op(Op::Load(4)).op(Op::Load(3)).op(Op::Lt);
+                    b.jump_if_not(done);
+                    b.op(Op::Load(1)).op(Op::Load(4)).op(Op::BufGet);
+                    b.op(Op::Load(5)).op(Op::Eq);
+                    b.jump_if_not(done);
+                    b.op(Op::Load(4)).konst(1i64).op(Op::Add).op(Op::Store(4));
+                    b.jump(top);
+                    b.bind(done);
+                    b.op(Op::Load(4)).op(Op::Load(2)).op(Op::Sub).op(Op::RetVal);
+                },
+            )
+            // encode(in, out) -> encoded length (pairs of [run, byte])
+            .method(
+                "encode",
+                [TypeSig::Bytes, TypeSig::Bytes],
+                TypeSig::Int,
+                |b| {
+                    b.locals(4); // 3: i, 4: len, 5: run, 6: o
+                    let top = b.label();
+                    let done = b.label();
+                    let capped = b.label();
+                    b.op(Op::Load(1)).op(Op::BufLen).op(Op::Store(4));
+                    b.konst(0i64).op(Op::Store(3));
+                    b.konst(0i64).op(Op::Store(6));
+                    b.bind(top);
+                    b.op(Op::Load(3)).op(Op::Load(4)).op(Op::Lt);
+                    b.jump_if_not(done);
+                    // run = min(runLength(in, i), 255)
+                    b.op(Op::Load(1)).op(Op::Load(3));
+                    b.op(Op::CallStatic {
+                        class: "Compress".into(),
+                        method: "runLength".into(),
+                        argc: 2,
+                    });
+                    b.op(Op::Store(5));
+                    b.op(Op::Load(5)).konst(255i64).op(Op::Le);
+                    b.jump_if(capped);
+                    b.konst(255i64).op(Op::Store(5));
+                    b.bind(capped);
+                    // out[o] = run; out[o+1] = in[i]; o += 2; i += run
+                    b.op(Op::Load(2)).op(Op::Load(6)).op(Op::Load(5)).op(Op::BufSet);
+                    b.op(Op::Load(2));
+                    b.op(Op::Load(6)).konst(1i64).op(Op::Add);
+                    b.op(Op::Load(1)).op(Op::Load(3)).op(Op::BufGet);
+                    b.op(Op::BufSet);
+                    b.op(Op::Load(6)).konst(2i64).op(Op::Add).op(Op::Store(6));
+                    b.op(Op::Load(3)).op(Op::Load(5)).op(Op::Add).op(Op::Store(3));
+                    b.jump(top);
+                    b.bind(done);
+                    b.op(Op::Load(6)).op(Op::RetVal);
+                },
+            )
+            // checksum(buf, n) -> rolling hash
+            .method(
+                "checksum",
+                [TypeSig::Bytes, TypeSig::Int],
+                TypeSig::Int,
+                |b| {
+                    b.locals(2); // 3: s, 4: i
+                    let top = b.label();
+                    let done = b.label();
+                    b.konst(0i64).op(Op::Store(3));
+                    b.konst(0i64).op(Op::Store(4));
+                    b.bind(top);
+                    b.op(Op::Load(4)).op(Op::Load(2)).op(Op::Lt);
+                    b.jump_if_not(done);
+                    b.op(Op::Load(3)).konst(31i64).op(Op::Mul);
+                    b.op(Op::Load(1)).op(Op::Load(4)).op(Op::BufGet);
+                    b.op(Op::Add).konst(0xFF_FFFFi64).op(Op::BitAnd).op(Op::Store(3));
+                    b.op(Op::Load(4)).konst(1i64).op(Op::Add).op(Op::Store(4));
+                    b.jump(top);
+                    b.bind(done);
+                    b.op(Op::Load(3)).op(Op::RetVal);
+                },
+            )
+            // main(n) -> checksum(encoded) + encoded length
+            .method("main", [TypeSig::Int], TypeSig::Int, |b| {
+                b.locals(3); // 2: in, 3: out, 4: m
+                b.op(Op::Load(1)).op(Op::NewBuffer).op(Op::Store(2));
+                b.op(Op::Load(1)).konst(2i64).op(Op::Mul).op(Op::NewBuffer).op(Op::Store(3));
+                b.op(Op::Load(2));
+                b.op(Op::CallStatic {
+                    class: "Compress".into(),
+                    method: "fill".into(),
+                    argc: 1,
+                });
+                b.op(Op::Pop);
+                b.op(Op::Load(2)).op(Op::Load(3));
+                b.op(Op::CallStatic {
+                    class: "Compress".into(),
+                    method: "encode".into(),
+                    argc: 2,
+                });
+                b.op(Op::Store(4));
+                b.op(Op::Load(3)).op(Op::Load(4));
+                b.op(Op::CallStatic {
+                    class: "Compress".into(),
+                    method: "checksum".into(),
+                    argc: 2,
+                });
+                b.op(Op::Load(4)).op(Op::Add).op(Op::RetVal);
+            })
+            .done();
+        vm.register_class(class)?;
+        Ok(())
+    }
+
+    /// Runs the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM errors.
+    pub fn run(vm: &mut Vm, size: Size) -> Result<Value, VmError> {
+        let n = match size {
+            Size::Small => 2_000,
+            Size::Large => 60_000,
+        };
+        vm.call("Compress", "main", Value::Null, vec![Value::Int(n)])
+    }
+}
+
+/// Integer-mixing rounds with one static call per round (xorshift64).
+pub mod crypto {
+    use super::*;
+    use pmp_vm::class::ClassDef;
+    use pmp_vm::op::Op;
+    use pmp_vm::types::TypeSig;
+
+    /// Reference implementation used by tests.
+    pub fn mix_reference(mut x: i64, rounds: u64) -> i64 {
+        for _ in 0..rounds {
+            x ^= x.wrapping_shl(13);
+            x ^= x.wrapping_shr(7);
+            x ^= x.wrapping_shl(17);
+        }
+        x
+    }
+
+    /// Registers the `Crypto` class.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Link`] on duplicate registration.
+    pub fn register(vm: &mut Vm) -> Result<(), VmError> {
+        let class = ClassDef::build("Crypto")
+            .method("mixOne", [TypeSig::Int], TypeSig::Int, |b| {
+                b.locals(1); // 2: x
+                b.op(Op::Load(1)).op(Op::Store(2));
+                b.op(Op::Load(2)).op(Op::Load(2)).konst(13i64).op(Op::Shl).op(Op::BitXor).op(Op::Store(2));
+                b.op(Op::Load(2)).op(Op::Load(2)).konst(7i64).op(Op::Shr).op(Op::BitXor).op(Op::Store(2));
+                b.op(Op::Load(2)).op(Op::Load(2)).konst(17i64).op(Op::Shl).op(Op::BitXor).op(Op::Store(2));
+                b.op(Op::Load(2)).op(Op::RetVal);
+            })
+            .method("main", [TypeSig::Int], TypeSig::Int, |b| {
+                b.locals(2); // 2: s, 3: i
+                let top = b.label();
+                let done = b.label();
+                b.konst(0x2545F491i64).op(Op::Store(2));
+                b.konst(0i64).op(Op::Store(3));
+                b.bind(top);
+                b.op(Op::Load(3)).op(Op::Load(1)).op(Op::Lt);
+                b.jump_if_not(done);
+                b.op(Op::Load(2));
+                b.op(Op::CallStatic {
+                    class: "Crypto".into(),
+                    method: "mixOne".into(),
+                    argc: 1,
+                });
+                b.op(Op::Store(2));
+                b.op(Op::Load(3)).konst(1i64).op(Op::Add).op(Op::Store(3));
+                b.jump(top);
+                b.bind(done);
+                b.op(Op::Load(2)).op(Op::RetVal);
+            })
+            .done();
+        vm.register_class(class)?;
+        Ok(())
+    }
+
+    /// Runs the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM errors.
+    pub fn run(vm: &mut Vm, size: Size) -> Result<Value, VmError> {
+        let rounds = match size {
+            Size::Small => 2_000,
+            Size::Large => 100_000,
+        };
+        vm.call("Crypto", "main", Value::Null, vec![Value::Int(rounds)])
+    }
+}
+
+/// `_209_db`-flavoured object workload: records, virtual calls, field
+/// traffic.
+pub mod db {
+    use super::*;
+    use pmp_vm::class::ClassDef;
+    use pmp_vm::op::Op;
+    use pmp_vm::types::TypeSig;
+
+    /// Reference result used by tests.
+    pub fn reference(n: i64, passes: i64) -> i64 {
+        let mut vals: Vec<i64> = (0..n).map(|i| i * 3).collect();
+        let mut total = 0;
+        for _ in 0..passes {
+            for (i, v) in vals.iter_mut().enumerate() {
+                total += *v;
+                if (i as i64) & 1 == 1 {
+                    *v += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Registers the `Rec` and `Db` classes.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Link`] on duplicate registration.
+    pub fn register(vm: &mut Vm) -> Result<(), VmError> {
+        vm.register_class(
+            ClassDef::build("Rec")
+                .field("key", TypeSig::Int)
+                .field("val", TypeSig::Int)
+                .method("get", [], TypeSig::Int, |b| {
+                    b.op(Op::Load(0))
+                        .op(Op::GetField {
+                            class: "Rec".into(),
+                            field: "val".into(),
+                        })
+                        .op(Op::RetVal);
+                })
+                .method("bump", [], TypeSig::Void, |b| {
+                    b.op(Op::Load(0));
+                    b.op(Op::Load(0)).op(Op::GetField {
+                        class: "Rec".into(),
+                        field: "val".into(),
+                    });
+                    b.konst(1i64).op(Op::Add);
+                    b.op(Op::PutField {
+                        class: "Rec".into(),
+                        field: "val".into(),
+                    });
+                    b.op(Op::Ret);
+                })
+                .done(),
+        )?;
+        vm.register_class(
+            ClassDef::build("Db")
+                // main(n, passes) -> total
+                .method("main", [TypeSig::Int, TypeSig::Int], TypeSig::Int, |b| {
+                    b.locals(5); // 3: arr, 4: i, 5: total, 6: rec, 7: pass
+                    let fill_top = b.label();
+                    let fill_done = b.label();
+                    let pass_top = b.label();
+                    let pass_done = b.label();
+                    let scan_top = b.label();
+                    let scan_done = b.label();
+                    let no_bump = b.label();
+                    // arr = new Rec[n], fill
+                    b.op(Op::Load(1)).op(Op::NewArray).op(Op::Store(3));
+                    b.konst(0i64).op(Op::Store(4));
+                    b.bind(fill_top);
+                    b.op(Op::Load(4)).op(Op::Load(1)).op(Op::Lt);
+                    b.jump_if_not(fill_done);
+                    b.op(Op::New("Rec".into())).op(Op::Store(6));
+                    b.op(Op::Load(6)).op(Op::Load(4)).op(Op::PutField {
+                        class: "Rec".into(),
+                        field: "key".into(),
+                    });
+                    b.op(Op::Load(6));
+                    b.op(Op::Load(4)).konst(3i64).op(Op::Mul);
+                    b.op(Op::PutField {
+                        class: "Rec".into(),
+                        field: "val".into(),
+                    });
+                    b.op(Op::Load(3)).op(Op::Load(4)).op(Op::Load(6)).op(Op::ArrSet);
+                    b.op(Op::Load(4)).konst(1i64).op(Op::Add).op(Op::Store(4));
+                    b.jump(fill_top);
+                    b.bind(fill_done);
+                    // passes
+                    b.konst(0i64).op(Op::Store(5)); // total
+                    b.konst(0i64).op(Op::Store(7)); // pass
+                    b.bind(pass_top);
+                    b.op(Op::Load(7)).op(Op::Load(2)).op(Op::Lt);
+                    b.jump_if_not(pass_done);
+                    b.konst(0i64).op(Op::Store(4));
+                    b.bind(scan_top);
+                    b.op(Op::Load(4)).op(Op::Load(1)).op(Op::Lt);
+                    b.jump_if_not(scan_done);
+                    b.op(Op::Load(3)).op(Op::Load(4)).op(Op::ArrGet).op(Op::Store(6));
+                    // total += rec.get()
+                    b.op(Op::Load(5));
+                    b.op(Op::Load(6)).op(Op::CallV {
+                        method: "get".into(),
+                        argc: 0,
+                    });
+                    b.op(Op::Add).op(Op::Store(5));
+                    // if (key & 1) == 1 → rec.bump()
+                    b.op(Op::Load(6)).op(Op::GetField {
+                        class: "Rec".into(),
+                        field: "key".into(),
+                    });
+                    b.konst(1i64).op(Op::BitAnd).konst(1i64).op(Op::Eq);
+                    b.jump_if_not(no_bump);
+                    b.op(Op::Load(6)).op(Op::CallV {
+                        method: "bump".into(),
+                        argc: 0,
+                    });
+                    b.op(Op::Pop);
+                    b.bind(no_bump);
+                    b.op(Op::Load(4)).konst(1i64).op(Op::Add).op(Op::Store(4));
+                    b.jump(scan_top);
+                    b.bind(scan_done);
+                    b.op(Op::Load(7)).konst(1i64).op(Op::Add).op(Op::Store(7));
+                    b.jump(pass_top);
+                    b.bind(pass_done);
+                    b.op(Op::Load(5)).op(Op::RetVal);
+                })
+                .done(),
+        )?;
+        Ok(())
+    }
+
+    /// Runs the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM errors.
+    pub fn run(vm: &mut Vm, size: Size) -> Result<Value, VmError> {
+        let (n, passes) = match size {
+            Size::Small => (200, 3),
+            Size::Large => (3_000, 10),
+        };
+        vm.call(
+            "Db",
+            "main",
+            Value::Null,
+            vec![Value::Int(n), Value::Int(passes)],
+        )
+    }
+}
+
+/// SciMark-SOR-flavoured float stencil over a flattened grid.
+pub mod sor {
+    use super::*;
+    use pmp_vm::class::ClassDef;
+    use pmp_vm::op::Op;
+    use pmp_vm::types::TypeSig;
+
+    /// Reference result used by tests (identical operation order).
+    pub fn reference(k: usize, sweeps: usize) -> f64 {
+        let mut g: Vec<f64> = (0..k * k).map(|i| (i % 10) as f64).collect();
+        for _ in 0..sweeps {
+            for i in 1..k - 1 {
+                for j in 1..k - 1 {
+                    let idx = i * k + j;
+                    g[idx] = 0.25 * (g[idx - 1] + g[idx + 1] + g[idx - k] + g[idx + k]);
+                }
+            }
+        }
+        g[(k / 2) * k + k / 2]
+    }
+
+    /// Registers the `Sor` class.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Link`] on duplicate registration.
+    pub fn register(vm: &mut Vm) -> Result<(), VmError> {
+        let class = ClassDef::build("Sor")
+            // main(k, sweeps) -> center value
+            .method("main", [TypeSig::Int, TypeSig::Int], TypeSig::Float, |b| {
+                b.locals(6); // 3: g, 4: i, 5: j, 6: s, 7: idx, 8: n
+                let fill_top = b.label();
+                let fill_done = b.label();
+                let sweep_top = b.label();
+                let sweep_done = b.label();
+                let i_top = b.label();
+                let i_done = b.label();
+                let j_top = b.label();
+                let j_done = b.label();
+                // n = k*k; g = new [n]; g[i] = float(i % 10)
+                b.op(Op::Load(1)).op(Op::Load(1)).op(Op::Mul).op(Op::Store(8));
+                b.op(Op::Load(8)).op(Op::NewArray).op(Op::Store(3));
+                b.konst(0i64).op(Op::Store(4));
+                b.bind(fill_top);
+                b.op(Op::Load(4)).op(Op::Load(8)).op(Op::Lt);
+                b.jump_if_not(fill_done);
+                b.op(Op::Load(3)).op(Op::Load(4));
+                b.op(Op::Load(4)).konst(10i64).op(Op::Rem).op(Op::ToFloat);
+                b.op(Op::ArrSet);
+                b.op(Op::Load(4)).konst(1i64).op(Op::Add).op(Op::Store(4));
+                b.jump(fill_top);
+                b.bind(fill_done);
+                // sweeps
+                b.konst(0i64).op(Op::Store(6));
+                b.bind(sweep_top);
+                b.op(Op::Load(6)).op(Op::Load(2)).op(Op::Lt);
+                b.jump_if_not(sweep_done);
+                b.konst(1i64).op(Op::Store(4));
+                b.bind(i_top);
+                b.op(Op::Load(4)).op(Op::Load(1)).konst(1i64).op(Op::Sub).op(Op::Lt);
+                b.jump_if_not(i_done);
+                b.konst(1i64).op(Op::Store(5));
+                b.bind(j_top);
+                b.op(Op::Load(5)).op(Op::Load(1)).konst(1i64).op(Op::Sub).op(Op::Lt);
+                b.jump_if_not(j_done);
+                // idx = i*k + j
+                b.op(Op::Load(4)).op(Op::Load(1)).op(Op::Mul).op(Op::Load(5)).op(Op::Add).op(Op::Store(7));
+                // g[idx] = 0.25*(g[idx-1]+g[idx+1]+g[idx-k]+g[idx+k])
+                b.op(Op::Load(3)).op(Op::Load(7));
+                b.konst(0.25f64);
+                b.op(Op::Load(3)).op(Op::Load(7)).konst(1i64).op(Op::Sub).op(Op::ArrGet);
+                b.op(Op::Load(3)).op(Op::Load(7)).konst(1i64).op(Op::Add).op(Op::ArrGet);
+                b.op(Op::Add);
+                b.op(Op::Load(3)).op(Op::Load(7)).op(Op::Load(1)).op(Op::Sub).op(Op::ArrGet);
+                b.op(Op::Add);
+                b.op(Op::Load(3)).op(Op::Load(7)).op(Op::Load(1)).op(Op::Add).op(Op::ArrGet);
+                b.op(Op::Add);
+                b.op(Op::Mul);
+                b.op(Op::ArrSet);
+                b.op(Op::Load(5)).konst(1i64).op(Op::Add).op(Op::Store(5));
+                b.jump(j_top);
+                b.bind(j_done);
+                b.op(Op::Load(4)).konst(1i64).op(Op::Add).op(Op::Store(4));
+                b.jump(i_top);
+                b.bind(i_done);
+                b.op(Op::Load(6)).konst(1i64).op(Op::Add).op(Op::Store(6));
+                b.jump(sweep_top);
+                b.bind(sweep_done);
+                // center
+                b.op(Op::Load(3));
+                b.op(Op::Load(1)).konst(2i64).op(Op::Div).op(Op::Load(1)).op(Op::Mul);
+                b.op(Op::Load(1)).konst(2i64).op(Op::Div).op(Op::Add);
+                b.op(Op::ArrGet).op(Op::RetVal);
+            })
+            .done();
+        vm.register_class(class)?;
+        Ok(())
+    }
+
+    /// Runs the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM errors.
+    pub fn run(vm: &mut Vm, size: Size) -> Result<Value, VmError> {
+        let (k, sweeps) = match size {
+            Size::Small => (16, 4),
+            Size::Large => (64, 16),
+        };
+        vm.call(
+            "Sor",
+            "main",
+            Value::Null,
+            vec![Value::Int(k), Value::Int(sweeps)],
+        )
+    }
+}
+
+/// SciMark-MonteCarlo-flavoured π estimation with an LCG.
+pub mod montecarlo {
+    use super::*;
+    use pmp_vm::class::ClassDef;
+    use pmp_vm::op::Op;
+    use pmp_vm::types::TypeSig;
+
+    const LCG_MUL: i64 = 6364136223846793005;
+    const LCG_INC: i64 = 1442695040888963407;
+
+    /// Reference hit count used by tests.
+    pub fn reference(n: i64) -> i64 {
+        let mut seed: i64 = 12345;
+        let mut next = || {
+            seed = seed.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+            seed
+        };
+        let mut hits = 0;
+        for _ in 0..n {
+            let x = ((next().wrapping_shr(11)) & 0xF_FFFF) as f64 / 1_048_576.0;
+            let y = ((next().wrapping_shr(11)) & 0xF_FFFF) as f64 / 1_048_576.0;
+            if x * x + y * y <= 1.0 {
+                hits += 1;
+            }
+        }
+        hits
+    }
+
+    /// Registers the `Mc` class.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Link`] on duplicate registration.
+    pub fn register(vm: &mut Vm) -> Result<(), VmError> {
+        let class = ClassDef::build("Mc")
+            .method("next", [TypeSig::Int], TypeSig::Int, |b| {
+                b.op(Op::Load(1)).konst(LCG_MUL).op(Op::Mul).konst(LCG_INC).op(Op::Add);
+                b.op(Op::RetVal);
+            })
+            // unit(seed) -> float in [0, 1) from the seed's high bits
+            .method("unit", [TypeSig::Int], TypeSig::Float, |b| {
+                b.op(Op::Load(1)).konst(11i64).op(Op::Shr).konst(0xF_FFFFi64).op(Op::BitAnd);
+                b.op(Op::ToFloat).konst(1_048_576.0f64).op(Op::Div);
+                b.op(Op::RetVal);
+            })
+            // main(n) -> hits inside the quarter circle
+            .method("main", [TypeSig::Int], TypeSig::Int, |b| {
+                b.locals(5); // 2: seed, 3: i, 4: hits, 5: x, 6: y
+                let top = b.label();
+                let done = b.label();
+                let miss = b.label();
+                b.konst(12345i64).op(Op::Store(2));
+                b.konst(0i64).op(Op::Store(3));
+                b.konst(0i64).op(Op::Store(4));
+                b.bind(top);
+                b.op(Op::Load(3)).op(Op::Load(1)).op(Op::Lt);
+                b.jump_if_not(done);
+                // seed = next(seed); x = unit(seed)
+                b.op(Op::Load(2));
+                b.op(Op::CallStatic {
+                    class: "Mc".into(),
+                    method: "next".into(),
+                    argc: 1,
+                });
+                b.op(Op::Store(2));
+                b.op(Op::Load(2));
+                b.op(Op::CallStatic {
+                    class: "Mc".into(),
+                    method: "unit".into(),
+                    argc: 1,
+                });
+                b.op(Op::Store(5));
+                // seed = next(seed); y = unit(seed)
+                b.op(Op::Load(2));
+                b.op(Op::CallStatic {
+                    class: "Mc".into(),
+                    method: "next".into(),
+                    argc: 1,
+                });
+                b.op(Op::Store(2));
+                b.op(Op::Load(2));
+                b.op(Op::CallStatic {
+                    class: "Mc".into(),
+                    method: "unit".into(),
+                    argc: 1,
+                });
+                b.op(Op::Store(6));
+                // if x*x + y*y <= 1.0 → hits++
+                b.op(Op::Load(5)).op(Op::Load(5)).op(Op::Mul);
+                b.op(Op::Load(6)).op(Op::Load(6)).op(Op::Mul);
+                b.op(Op::Add).konst(1.0f64).op(Op::Le);
+                b.jump_if_not(miss);
+                b.op(Op::Load(4)).konst(1i64).op(Op::Add).op(Op::Store(4));
+                b.bind(miss);
+                b.op(Op::Load(3)).konst(1i64).op(Op::Add).op(Op::Store(3));
+                b.jump(top);
+                b.bind(done);
+                b.op(Op::Load(4)).op(Op::RetVal);
+            })
+            .done();
+        vm.register_class(class)?;
+        Ok(())
+    }
+
+    /// Runs the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM errors.
+    pub fn run(vm: &mut Vm, size: Size) -> Result<Value, VmError> {
+        let n = match size {
+            Size::Small => 1_000,
+            Size::Large => 50_000,
+        };
+        vm.call("Mc", "main", Value::Null, vec![Value::Int(n)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_vm::prelude::VmConfig;
+
+    fn fresh() -> Vm {
+        Vm::new(VmConfig::default())
+    }
+
+    #[test]
+    fn compress_encodes_known_input_correctly() {
+        let mut vm = fresh();
+        compress::register(&mut vm).unwrap();
+        let input = vm.new_buffer(vec![5, 5, 5, 2]);
+        let out = vm.new_buffer(vec![0; 8]);
+        let len = vm
+            .call(
+                "Compress",
+                "encode",
+                Value::Null,
+                vec![input, out.clone()],
+            )
+            .unwrap();
+        assert_eq!(len, Value::Int(4));
+        let id = out.as_ref_id().unwrap();
+        assert_eq!(&vm.heap().buffer_bytes(id).unwrap()[..4], &[3, 5, 1, 2]);
+    }
+
+    #[test]
+    fn compress_run_is_deterministic() {
+        let mut vm = fresh();
+        compress::register(&mut vm).unwrap();
+        let a = compress::run(&mut vm, Size::Small).unwrap();
+        let b = compress::run(&mut vm, Size::Small).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, Value::Int(0));
+    }
+
+    #[test]
+    fn crypto_matches_reference() {
+        let mut vm = fresh();
+        crypto::register(&mut vm).unwrap();
+        let got = crypto::run(&mut vm, Size::Small).unwrap();
+        assert_eq!(got, Value::Int(crypto::mix_reference(0x2545F491, 2_000)));
+    }
+
+    #[test]
+    fn db_matches_reference() {
+        let mut vm = fresh();
+        db::register(&mut vm).unwrap();
+        let got = db::run(&mut vm, Size::Small).unwrap();
+        assert_eq!(got, Value::Int(db::reference(200, 3)));
+    }
+
+    #[test]
+    fn sor_matches_reference_bit_for_bit() {
+        let mut vm = fresh();
+        sor::register(&mut vm).unwrap();
+        let got = sor::run(&mut vm, Size::Small).unwrap();
+        assert_eq!(got, Value::Float(sor::reference(16, 4)));
+    }
+
+    #[test]
+    fn montecarlo_estimates_pi() {
+        let mut vm = fresh();
+        montecarlo::register(&mut vm).unwrap();
+        let got = montecarlo::run(&mut vm, Size::Small).unwrap();
+        let hits = got.as_int().unwrap();
+        assert_eq!(hits, montecarlo::reference(1_000));
+        let pi = 4.0 * hits as f64 / 1_000.0;
+        assert!((2.9..3.4).contains(&pi), "π estimate {pi}");
+    }
+}

@@ -1,0 +1,13 @@
+//! # pmp-store — the base-station database
+//!
+//! The paper's monitoring extension streams every robot movement to a
+//! database at the base station (Fig. 3b step 3); client tools then
+//! query it for replay, remote replication, and simulation (§4.5,
+//! Fig. 6). This crate is that database: a small in-memory append-only
+//! store with time/robot-indexed queries and replay cursors.
+
+pub mod movement;
+pub mod table;
+
+pub use movement::{MovementRecord, MovementStore};
+pub use table::{RecordId, Table};

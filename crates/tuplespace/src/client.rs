@@ -1,0 +1,244 @@
+//! The client side: `out`/`rd`/`in`/`subscribe` against a remote space.
+
+use crate::proto::{SpaceMsg, CHANNEL};
+use crate::tuple::{Pattern, Tuple};
+use pmp_net::{Incoming, NodeId, Simulator};
+
+/// Events surfaced by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceEvent {
+    /// A `rd`/`in` completed.
+    Result {
+        /// The request id.
+        req: u64,
+        /// The matched tuple, if any.
+        tuple: Option<Tuple>,
+    },
+    /// A subscription fired.
+    Notified {
+        /// The subscription id.
+        sub: u64,
+        /// The matching tuple.
+        tuple: Tuple,
+    },
+}
+
+/// A tuple-space client bound to one space node.
+#[derive(Debug)]
+pub struct SpaceClient {
+    node: NodeId,
+    space: NodeId,
+    next_req: u64,
+    next_sub: u64,
+}
+
+impl SpaceClient {
+    /// Creates a client on `node` speaking to the space at `space`.
+    pub fn new(node: NodeId, space: NodeId) -> Self {
+        Self {
+            node,
+            space,
+            next_req: 1,
+            next_sub: 1,
+        }
+    }
+
+    fn send(&self, sim: &mut Simulator, msg: &SpaceMsg) {
+        sim.send(self.node, self.space, CHANNEL, pmp_wire::to_bytes(msg));
+    }
+
+    /// Linda `out`: deposits a tuple.
+    pub fn out(&self, sim: &mut Simulator, tuple: Tuple) {
+        self.send(sim, &SpaceMsg::Out { tuple });
+    }
+
+    /// Linda `rd` (non-blocking): the result arrives as
+    /// [`SpaceEvent::Result`] with the returned id.
+    pub fn rd(&mut self, sim: &mut Simulator, pattern: Pattern) -> u64 {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.send(sim, &SpaceMsg::Rd { pattern, req });
+        req
+    }
+
+    /// Linda `in` (non-blocking, destructive).
+    pub fn take(&mut self, sim: &mut Simulator, pattern: Pattern) -> u64 {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.send(sim, &SpaceMsg::In { pattern, req });
+        req
+    }
+
+    /// Subscribes to present and future matches; returns the
+    /// subscription id carried by [`SpaceEvent::Notified`].
+    pub fn subscribe(&mut self, sim: &mut Simulator, pattern: Pattern) -> u64 {
+        let sub = self.next_sub;
+        self.next_sub += 1;
+        self.send(sim, &SpaceMsg::Subscribe { pattern, sub });
+        sub
+    }
+
+    /// Cancels a subscription.
+    pub fn unsubscribe(&self, sim: &mut Simulator, sub: u64) {
+        self.send(sim, &SpaceMsg::Unsubscribe { sub });
+    }
+
+    /// Processes one inbox entry; returns surfaced events.
+    pub fn handle(&mut self, incoming: &Incoming) -> Vec<SpaceEvent> {
+        let Incoming::Message {
+            channel, payload, ..
+        } = incoming
+        else {
+            return Vec::new();
+        };
+        if &**channel != CHANNEL {
+            return Vec::new();
+        }
+        let Ok(msg) = pmp_wire::from_bytes::<SpaceMsg>(payload) else {
+            return Vec::new();
+        };
+        match msg {
+            SpaceMsg::Result { req, tuple } => vec![SpaceEvent::Result { req, tuple }],
+            SpaceMsg::Notify { sub, tuple } => vec![SpaceEvent::Notified { sub, tuple }],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::TupleSpace;
+    use crate::tuple::{Field, PatternField};
+    use pmp_net::{LinkModel, Position};
+
+    struct World {
+        sim: Simulator,
+        space_node: NodeId,
+        space: TupleSpace,
+        client_node: NodeId,
+        client: SpaceClient,
+        events: Vec<SpaceEvent>,
+    }
+
+    fn world() -> World {
+        let mut sim = Simulator::with_link(5, LinkModel::ideal());
+        let space_node = sim.add_node("space", Position::new(0.0, 0.0), 50.0);
+        let client_node = sim.add_node("client", Position::new(5.0, 0.0), 50.0);
+        World {
+            space: TupleSpace::new(space_node),
+            client: SpaceClient::new(client_node, space_node),
+            sim,
+            space_node,
+            client_node,
+            events: Vec::new(),
+        }
+    }
+
+    fn pump(w: &mut World) {
+        while w.sim.has_events() {
+            w.sim.step();
+            for inc in w.sim.drain_inbox(w.space_node) {
+                w.space.handle(&mut w.sim, &inc);
+            }
+            for inc in w.sim.drain_inbox(w.client_node) {
+                w.events.extend(w.client.handle(&inc));
+            }
+        }
+    }
+
+    fn t(fields: Vec<Field>) -> Tuple {
+        Tuple::new(fields)
+    }
+
+    #[test]
+    fn out_rd_in_lifecycle() {
+        let mut w = world();
+        w.client.out(&mut w.sim, t(vec!["job".into(), 1i64.into()]));
+        pump(&mut w);
+        assert_eq!(w.space.len(), 1);
+
+        // rd: non-destructive.
+        let p = Pattern::new(vec![PatternField::Exact("job".into()), PatternField::AnyInt]);
+        let r1 = w.client.rd(&mut w.sim, p.clone());
+        pump(&mut w);
+        assert!(matches!(
+            &w.events[..],
+            [SpaceEvent::Result { req, tuple: Some(_) }] if *req == r1
+        ));
+        assert_eq!(w.space.len(), 1, "rd leaves the tuple");
+        w.events.clear();
+
+        // in: destructive.
+        let r2 = w.client.take(&mut w.sim, p.clone());
+        pump(&mut w);
+        assert!(matches!(
+            &w.events[..],
+            [SpaceEvent::Result { req, tuple: Some(_) }] if *req == r2
+        ));
+        assert_eq!(w.space.len(), 0, "in removed it");
+        w.events.clear();
+
+        // now empty: None.
+        let r3 = w.client.rd(&mut w.sim, p);
+        pump(&mut w);
+        assert!(matches!(
+            &w.events[..],
+            [SpaceEvent::Result { req, tuple: None }] if *req == r3
+        ));
+    }
+
+    #[test]
+    fn subscription_replays_and_pushes() {
+        let mut w = world();
+        // A tuple already present...
+        w.client.out(&mut w.sim, t(vec!["ext".into(), 1i64.into()]));
+        pump(&mut w);
+        // ... is replayed on subscribe.
+        let sub = w.client.subscribe(
+            &mut w.sim,
+            Pattern::new(vec![PatternField::Exact("ext".into()), PatternField::AnyInt]),
+        );
+        pump(&mut w);
+        assert_eq!(w.events.len(), 1);
+        assert!(matches!(&w.events[0], SpaceEvent::Notified { sub: s, .. } if *s == sub));
+        w.events.clear();
+        // Future matching tuples are pushed...
+        w.client.out(&mut w.sim, t(vec!["ext".into(), 2i64.into()]));
+        // ... and non-matching ones are not.
+        w.client.out(&mut w.sim, t(vec!["other".into(), 3i64.into()]));
+        pump(&mut w);
+        assert_eq!(w.events.len(), 1);
+        // Unsubscribe stops the flow.
+        w.client.unsubscribe(&mut w.sim, sub);
+        pump(&mut w);
+        w.events.clear();
+        w.client.out(&mut w.sim, t(vec!["ext".into(), 4i64.into()]));
+        pump(&mut w);
+        assert!(w.events.is_empty());
+    }
+
+    #[test]
+    fn in_consumes_each_tuple_once() {
+        let mut w = world();
+        w.client.out(&mut w.sim, t(vec!["job".into(), 1i64.into()]));
+        w.client.out(&mut w.sim, t(vec!["job".into(), 2i64.into()]));
+        pump(&mut w);
+        let p = Pattern::new(vec![PatternField::Exact("job".into()), PatternField::AnyInt]);
+        w.client.take(&mut w.sim, p.clone());
+        w.client.take(&mut w.sim, p.clone());
+        w.client.take(&mut w.sim, p);
+        pump(&mut w);
+        let got: Vec<Option<&Tuple>> = w
+            .events
+            .iter()
+            .map(|e| match e {
+                SpaceEvent::Result { tuple, .. } => tuple.as_ref(),
+                SpaceEvent::Notified { .. } => panic!("no subs"),
+            })
+            .collect();
+        assert_eq!(got.len(), 3);
+        assert!(got[0].is_some() && got[1].is_some());
+        assert!(got[2].is_none(), "third take finds the space empty");
+    }
+}

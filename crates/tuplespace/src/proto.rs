@@ -1,0 +1,171 @@
+//! The tuple-space wire protocol, on the `"tuplespace"` channel.
+
+use crate::tuple::{Pattern, Tuple};
+use pmp_wire::{Reader, Wire, WireError, Writer};
+
+/// Channel name for tuple-space traffic.
+pub const CHANNEL: &str = "tuplespace";
+
+/// A tuple-space protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceMsg {
+    /// Client → space: deposit a tuple (Linda `out`).
+    Out {
+        /// The tuple.
+        tuple: Tuple,
+    },
+    /// Client → space: non-destructive read (Linda `rd`, non-blocking
+    /// variant — replies immediately with a match or none).
+    Rd {
+        /// The template.
+        pattern: Pattern,
+        /// Correlation id.
+        req: u64,
+    },
+    /// Client → space: destructive take (Linda `in`, non-blocking).
+    In {
+        /// The template.
+        pattern: Pattern,
+        /// Correlation id.
+        req: u64,
+    },
+    /// Space → client: result of `Rd`/`In`.
+    Result {
+        /// Echoed correlation id.
+        req: u64,
+        /// The matched tuple, if any.
+        tuple: Option<Tuple>,
+    },
+    /// Client → space: subscribe; every current *and future* matching
+    /// tuple is pushed as [`SpaceMsg::Notify`]. This is the reactive
+    /// primitive that makes distribution proactive.
+    Subscribe {
+        /// The template.
+        pattern: Pattern,
+        /// Subscription id (client-chosen).
+        sub: u64,
+    },
+    /// Client → space: cancel a subscription.
+    Unsubscribe {
+        /// The subscription id.
+        sub: u64,
+    },
+    /// Space → client: a tuple matching subscription `sub`.
+    Notify {
+        /// The subscription id.
+        sub: u64,
+        /// The matching tuple (a copy; the tuple stays in the space).
+        tuple: Tuple,
+    },
+}
+
+impl Wire for SpaceMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SpaceMsg::Out { tuple } => {
+                w.put_u8(0);
+                tuple.encode(w);
+            }
+            SpaceMsg::Rd { pattern, req } => {
+                w.put_u8(1);
+                pattern.encode(w);
+                w.put_u64(*req);
+            }
+            SpaceMsg::In { pattern, req } => {
+                w.put_u8(2);
+                pattern.encode(w);
+                w.put_u64(*req);
+            }
+            SpaceMsg::Result { req, tuple } => {
+                w.put_u8(3);
+                w.put_u64(*req);
+                tuple.encode(w);
+            }
+            SpaceMsg::Subscribe { pattern, sub } => {
+                w.put_u8(4);
+                pattern.encode(w);
+                w.put_u64(*sub);
+            }
+            SpaceMsg::Unsubscribe { sub } => {
+                w.put_u8(5);
+                w.put_u64(*sub);
+            }
+            SpaceMsg::Notify { sub, tuple } => {
+                w.put_u8(6);
+                w.put_u64(*sub);
+                tuple.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => SpaceMsg::Out {
+                tuple: Tuple::decode(r)?,
+            },
+            1 => SpaceMsg::Rd {
+                pattern: Pattern::decode(r)?,
+                req: r.get_u64()?,
+            },
+            2 => SpaceMsg::In {
+                pattern: Pattern::decode(r)?,
+                req: r.get_u64()?,
+            },
+            3 => SpaceMsg::Result {
+                req: r.get_u64()?,
+                tuple: Option::<Tuple>::decode(r)?,
+            },
+            4 => SpaceMsg::Subscribe {
+                pattern: Pattern::decode(r)?,
+                sub: r.get_u64()?,
+            },
+            5 => SpaceMsg::Unsubscribe { sub: r.get_u64()? },
+            6 => SpaceMsg::Notify {
+                sub: r.get_u64()?,
+                tuple: Tuple::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    type_name: "SpaceMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::PatternField;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let tuple = Tuple::new(vec!["ext".into(), 1i64.into()]);
+        let pattern = Pattern::new(vec![PatternField::Any, PatternField::AnyInt]);
+        let msgs = vec![
+            SpaceMsg::Out {
+                tuple: tuple.clone(),
+            },
+            SpaceMsg::Rd {
+                pattern: pattern.clone(),
+                req: 1,
+            },
+            SpaceMsg::In {
+                pattern: pattern.clone(),
+                req: 2,
+            },
+            SpaceMsg::Result {
+                req: 1,
+                tuple: Some(tuple.clone()),
+            },
+            SpaceMsg::Result { req: 2, tuple: None },
+            SpaceMsg::Subscribe { pattern, sub: 7 },
+            SpaceMsg::Unsubscribe { sub: 7 },
+            SpaceMsg::Notify { sub: 7, tuple },
+        ];
+        for m in msgs {
+            let bytes = pmp_wire::to_bytes(&m);
+            assert_eq!(pmp_wire::from_bytes::<SpaceMsg>(&bytes).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A small assembler for bytecode bodies: forward labels, structured
+//! jump fixups, and exception-handler registration.
+
+use crate::op::{BytecodeBody, Const, HandlerDef, Op};
+
+/// A label that can be bound to a pc and referenced by jumps before or
+/// after binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Assembles a [`BytecodeBody`].
+///
+/// # Examples
+///
+/// A loop that sums `0..n` (argument in local 1, accumulator in local 2):
+///
+/// ```
+/// use pmp_vm::builder::MethodBuilder;
+/// use pmp_vm::op::{Op, Const};
+///
+/// let mut b = MethodBuilder::new();
+/// b.locals(2); // locals 2,3 extra
+/// let top = b.label();
+/// let done = b.label();
+/// b.op(Op::Const(Const::Int(0))).op(Op::Store(2));   // acc = 0
+/// b.op(Op::Const(Const::Int(0))).op(Op::Store(3));   // i = 0
+/// b.bind(top);
+/// b.op(Op::Load(3)).op(Op::Load(1)).op(Op::Lt);
+/// b.jump_if_not(done);
+/// b.op(Op::Load(2)).op(Op::Load(3)).op(Op::Add).op(Op::Store(2));
+/// b.op(Op::Load(3)).op(Op::Const(Const::Int(1))).op(Op::Add).op(Op::Store(3));
+/// b.jump(top);
+/// b.bind(done);
+/// b.op(Op::Load(2)).op(Op::RetVal);
+/// let body = b.build();
+/// assert!(body.ops.len() > 10);
+/// ```
+#[derive(Debug, Default)]
+pub struct MethodBuilder {
+    ops: Vec<Op>,
+    labels: Vec<Option<u32>>,
+    // (op index, label) pairs whose jump target needs patching.
+    fixups: Vec<(usize, Label)>,
+    handlers: Vec<(Label, Label, String, Label)>,
+    extra_locals: u16,
+}
+
+impl MethodBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `n` extra local slots beyond `this` + parameters.
+    pub fn locals(&mut self, n: u16) -> &mut Self {
+        self.extra_locals = n;
+        self
+    }
+
+    /// Current pc (index of the next op to be emitted).
+    pub fn pc(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    /// Emits an op.
+    pub fn op(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Emits a constant push.
+    pub fn konst(&mut self, c: impl Into<Const>) -> &mut Self {
+        self.ops.push(Op::Const(c.into()));
+        self
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current pc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound — each label binds once.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice"
+        );
+        self.labels[label.0] = Some(self.pc());
+        self
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.ops.len(), label));
+        self.ops.push(Op::Jump(u32::MAX));
+        self
+    }
+
+    /// Emits a jump-if-true to `label`.
+    pub fn jump_if(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.ops.len(), label));
+        self.ops.push(Op::JumpIf(u32::MAX));
+        self
+    }
+
+    /// Emits a jump-if-false to `label`.
+    pub fn jump_if_not(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.ops.len(), label));
+        self.ops.push(Op::JumpIfNot(u32::MAX));
+        self
+    }
+
+    /// Registers an exception handler: exceptions of class `class`
+    /// (or any, for `"*"`) raised in `[start, end)` transfer control to
+    /// `target` with the exception message on the stack.
+    pub fn guard(
+        &mut self,
+        start: Label,
+        end: Label,
+        class: impl Into<String>,
+        target: Label,
+    ) -> &mut Self {
+        self.handlers.push((start, end, class.into(), target));
+        self
+    }
+
+    /// Resolves labels and produces the body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn build(mut self) -> BytecodeBody {
+        let resolve = |labels: &[Option<u32>], l: Label| -> u32 {
+            labels[l.0].expect("jump to unbound label")
+        };
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let pc = resolve(&self.labels, label);
+            match &mut self.ops[idx] {
+                Op::Jump(t) | Op::JumpIf(t) | Op::JumpIfNot(t) => *t = pc,
+                other => unreachable!("fixup on non-jump op {other:?}"),
+            }
+        }
+        let handlers = self
+            .handlers
+            .iter()
+            .map(|(s, e, c, t)| HandlerDef {
+                start: resolve(&self.labels, *s),
+                end: resolve(&self.labels, *e),
+                class: c.clone(),
+                target: resolve(&self.labels, *t),
+            })
+            .collect();
+        BytecodeBody {
+            extra_locals: self.extra_locals,
+            ops: self.ops,
+            handlers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_jumps_resolve() {
+        let mut b = MethodBuilder::new();
+        let fwd = b.label();
+        b.jump(fwd);
+        b.op(Op::Nop);
+        b.bind(fwd);
+        b.op(Op::Ret);
+        let body = b.build();
+        assert_eq!(body.ops[0], Op::Jump(2));
+    }
+
+    #[test]
+    fn guard_ranges_resolve() {
+        let mut b = MethodBuilder::new();
+        let start = b.label();
+        let end = b.label();
+        let handler = b.label();
+        b.bind(start);
+        b.op(Op::Nop);
+        b.bind(end);
+        b.op(Op::Ret);
+        b.bind(handler);
+        b.op(Op::Pop).op(Op::Ret);
+        b.guard(start, end, "*", handler);
+        let body = b.build();
+        assert_eq!(body.handlers.len(), 1);
+        assert_eq!(body.handlers[0].start, 0);
+        assert_eq!(body.handlers[0].end, 1);
+        assert_eq!(body.handlers[0].target, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = MethodBuilder::new();
+        let l = b.label();
+        b.jump(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = MethodBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn konst_shorthand() {
+        let mut b = MethodBuilder::new();
+        b.konst(5i64).konst("x").konst(true);
+        let body = b.build();
+        assert_eq!(body.ops.len(), 3);
+    }
+}

@@ -1,0 +1,284 @@
+//! Class, field, and method definitions, plus the fluent builders used
+//! by applications and the robot substrate to register code.
+
+use crate::error::VmError;
+use crate::op::BytecodeBody;
+use crate::types::{MethodSig, TypeSig};
+use crate::value::Value;
+use crate::vm::Vm;
+use std::fmt;
+use std::sync::Arc;
+
+/// Arguments to a native method invocation.
+#[derive(Debug, Clone)]
+pub struct NativeCall {
+    /// Receiver (`Value::Null` for static methods).
+    pub this: Value,
+    /// Positional arguments.
+    pub args: Vec<Value>,
+}
+
+impl NativeCall {
+    /// The `i`-th argument, or `Null` if missing.
+    pub fn arg(&self, i: usize) -> Value {
+        self.args.get(i).cloned().unwrap_or(Value::Null)
+    }
+
+    /// The `i`-th argument as an int.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` exception if absent or not an int.
+    pub fn int_arg(&self, i: usize) -> Result<i64, VmError> {
+        self.arg(i).as_int().ok_or_else(|| {
+            VmError::exception(
+                crate::error::exception_class::TYPE,
+                format!("argument {i} must be int"),
+            )
+        })
+    }
+
+    /// The `i`-th argument as a string.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` exception if absent or not a string.
+    pub fn str_arg(&self, i: usize) -> Result<Arc<str>, VmError> {
+        match self.arg(i) {
+            Value::Str(s) => Ok(s),
+            _ => Err(VmError::exception(
+                crate::error::exception_class::TYPE,
+                format!("argument {i} must be str"),
+            )),
+        }
+    }
+}
+
+/// A native method implementation. Receives the VM (for heap access and
+/// nested calls) and the call arguments.
+pub type NativeFn = Arc<dyn Fn(&mut Vm, NativeCall) -> Result<Value, VmError> + Send + Sync>;
+
+/// How a method's behaviour is defined.
+#[derive(Clone)]
+pub enum MethodBody {
+    /// Portable bytecode, interpretable and shippable.
+    Bytecode(BytecodeBody),
+    /// A Rust closure (device proxies, built-in libraries, test probes).
+    Native(NativeFn),
+}
+
+impl fmt::Debug for MethodBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodBody::Bytecode(b) => write!(f, "Bytecode({} ops)", b.ops.len()),
+            MethodBody::Native(_) => write!(f, "Native(..)"),
+        }
+    }
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name, unique within the class.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeSig,
+}
+
+/// A method declaration.
+#[derive(Debug, Clone)]
+pub struct MethodDef {
+    /// Method name, unique within the class (no overloading).
+    pub name: String,
+    /// Parameter types (excluding the receiver).
+    pub params: Vec<TypeSig>,
+    /// Return type.
+    pub ret: TypeSig,
+    /// The implementation.
+    pub body: MethodBody,
+}
+
+/// A class declaration, registered with [`Vm::register_class`].
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// Class name, unique within the VM.
+    pub name: String,
+    /// Optional superclass (must be registered first).
+    pub superclass: Option<String>,
+    /// Declared fields (inherited fields are prepended by the VM).
+    pub fields: Vec<FieldDef>,
+    /// Declared methods (override inherited ones by name).
+    pub methods: Vec<MethodDef>,
+}
+
+impl ClassDef {
+    /// Starts a fluent builder for a class named `name`.
+    pub fn build(name: impl Into<String>) -> ClassBuilder {
+        ClassBuilder {
+            def: ClassDef {
+                name: name.into(),
+                superclass: None,
+                fields: Vec::new(),
+                methods: Vec::new(),
+            },
+        }
+    }
+
+    /// Computes the signature of the method named `name`, if declared.
+    pub fn sig_of(&self, name: &str) -> Option<MethodSig> {
+        self.methods.iter().find(|m| m.name == name).map(|m| MethodSig {
+            class: Arc::from(self.name.as_str()),
+            name: Arc::from(m.name.as_str()),
+            params: m.params.clone(),
+            ret: m.ret.clone(),
+        })
+    }
+}
+
+/// Fluent builder for [`ClassDef`].
+///
+/// # Examples
+///
+/// ```
+/// use pmp_vm::class::ClassDef;
+/// use pmp_vm::types::TypeSig;
+/// use pmp_vm::builder::MethodBuilder;
+/// use pmp_vm::op::{Op, Const};
+///
+/// let class = ClassDef::build("Counter")
+///     .field("count", TypeSig::Int)
+///     .method("get", [], TypeSig::Int, |b: &mut MethodBuilder| {
+///         b.op(Op::Load(0))
+///          .op(Op::GetField { class: "Counter".into(), field: "count".into() })
+///          .op(Op::RetVal);
+///     })
+///     .done();
+/// assert_eq!(class.fields.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ClassBuilder {
+    def: ClassDef,
+}
+
+impl ClassBuilder {
+    /// Sets the superclass.
+    pub fn extends(mut self, superclass: impl Into<String>) -> Self {
+        self.def.superclass = Some(superclass.into());
+        self
+    }
+
+    /// Declares a field.
+    pub fn field(mut self, name: impl Into<String>, ty: TypeSig) -> Self {
+        self.def.fields.push(FieldDef {
+            name: name.into(),
+            ty,
+        });
+        self
+    }
+
+    /// Declares a bytecode method assembled by `f`.
+    pub fn method(
+        mut self,
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = TypeSig>,
+        ret: TypeSig,
+        f: impl FnOnce(&mut crate::builder::MethodBuilder),
+    ) -> Self {
+        let mut b = crate::builder::MethodBuilder::new();
+        f(&mut b);
+        self.def.methods.push(MethodDef {
+            name: name.into(),
+            params: params.into_iter().collect(),
+            ret,
+            body: MethodBody::Bytecode(b.build()),
+        });
+        self
+    }
+
+    /// Declares a bytecode method from a pre-built body.
+    pub fn method_body(
+        mut self,
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = TypeSig>,
+        ret: TypeSig,
+        body: BytecodeBody,
+    ) -> Self {
+        self.def.methods.push(MethodDef {
+            name: name.into(),
+            params: params.into_iter().collect(),
+            ret,
+            body: MethodBody::Bytecode(body),
+        });
+        self
+    }
+
+    /// Declares a native method.
+    pub fn native(
+        mut self,
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = TypeSig>,
+        ret: TypeSig,
+        f: impl Fn(&mut Vm, NativeCall) -> Result<Value, VmError> + Send + Sync + 'static,
+    ) -> Self {
+        self.def.methods.push(MethodDef {
+            name: name.into(),
+            params: params.into_iter().collect(),
+            ret,
+            body: MethodBody::Native(Arc::new(f)),
+        });
+        self
+    }
+
+    /// Finishes the builder, returning the class definition.
+    pub fn done(self) -> ClassDef {
+        self.def
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    #[test]
+    fn builder_assembles_class() {
+        let class = ClassDef::build("Motor")
+            .extends("Device")
+            .field("position", TypeSig::Int)
+            .field("power", TypeSig::Int)
+            .method("stop", [], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .native("id", [], TypeSig::Int, |_vm, _call| Ok(Value::Int(1)))
+            .done();
+        assert_eq!(class.name, "Motor");
+        assert_eq!(class.superclass.as_deref(), Some("Device"));
+        assert_eq!(class.fields.len(), 2);
+        assert_eq!(class.methods.len(), 2);
+    }
+
+    #[test]
+    fn sig_of_declared_method() {
+        let class = ClassDef::build("A")
+            .method("f", [TypeSig::Int], TypeSig::Str, |b| {
+                b.op(Op::Ret);
+            })
+            .done();
+        let sig = class.sig_of("f").unwrap();
+        assert_eq!(sig.to_string(), "str A.f(int)");
+        assert!(class.sig_of("g").is_none());
+    }
+
+    #[test]
+    fn native_call_arg_helpers() {
+        let call = NativeCall {
+            this: Value::Null,
+            args: vec![Value::Int(5), Value::str("x")],
+        };
+        assert_eq!(call.int_arg(0).unwrap(), 5);
+        assert_eq!(&*call.str_arg(1).unwrap(), "x");
+        assert!(call.int_arg(1).is_err());
+        assert!(call.str_arg(5).is_err());
+        assert_eq!(call.arg(9), Value::Null);
+    }
+}

@@ -1,0 +1,144 @@
+//! Error model of the VM.
+//!
+//! Faults that Java would surface as exceptions are catchable
+//! [`VmException`]s (with well-known class names); engine limits and API
+//! misuse are separate, uncatchable variants.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Well-known exception class names raised by the engine itself.
+pub mod exception_class {
+    /// Division or remainder by zero.
+    pub const ARITHMETIC: &str = "ArithmeticException";
+    /// Operation on a null reference.
+    pub const NULL_POINTER: &str = "NullPointerException";
+    /// Array or buffer index out of range.
+    pub const INDEX_OUT_OF_BOUNDS: &str = "IndexOutOfBoundsException";
+    /// A value had the wrong runtime kind for an operation.
+    pub const TYPE: &str = "TypeError";
+    /// A sandboxed caller lacked a required permission.
+    pub const SECURITY: &str = "SecurityException";
+    /// An extension denied the call (paper §4.6: "the execution is ended
+    /// with an exception" when access is denied).
+    pub const ACCESS_DENIED: &str = "AccessDeniedException";
+}
+
+/// A catchable exception value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmException {
+    /// Exception class name (matched by handlers and crosscuts).
+    pub class: Arc<str>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl VmException {
+    /// Creates an exception.
+    pub fn new(class: impl AsRef<str>, message: impl Into<String>) -> Self {
+        Self {
+            class: Arc::from(class.as_ref()),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for VmException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.class, self.message)
+    }
+}
+
+/// A hard engine limit was hit; not catchable by VM code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limit {
+    /// Call stack exceeded the configured depth.
+    CallDepth,
+    /// The fuel budget for sandboxed execution ran out.
+    Fuel,
+}
+
+impl fmt::Display for Limit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Limit::CallDepth => write!(f, "call depth limit exceeded"),
+            Limit::Fuel => write!(f, "fuel budget exhausted"),
+        }
+    }
+}
+
+/// Any failure produced while running or preparing VM code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// A catchable exception propagating out of the entry call.
+    Exception(VmException),
+    /// An engine limit; terminates the entry call unconditionally.
+    Limit(Limit),
+    /// API misuse or link error: unknown class/method/field, bad
+    /// operands, malformed bytecode. Produced at registration, JIT, or
+    /// dispatch time.
+    Link(String),
+}
+
+impl VmError {
+    /// Shorthand for a catchable exception error.
+    pub fn exception(class: impl AsRef<str>, message: impl Into<String>) -> Self {
+        VmError::Exception(VmException::new(class, message))
+    }
+
+    /// Shorthand for a link error.
+    pub fn link(msg: impl Into<String>) -> Self {
+        VmError::Link(msg.into())
+    }
+
+    /// Returns the exception if this is a catchable fault.
+    pub fn as_exception(&self) -> Option<&VmException> {
+        match self {
+            VmError::Exception(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Exception(e) => write!(f, "uncaught exception: {e}"),
+            VmError::Limit(l) => write!(f, "limit: {l}"),
+            VmError::Link(m) => write!(f, "link error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<VmException> for VmError {
+    fn from(e: VmException) -> Self {
+        VmError::Exception(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = VmError::exception(exception_class::SECURITY, "no NET permission");
+        assert_eq!(
+            e.to_string(),
+            "uncaught exception: SecurityException: no NET permission"
+        );
+        assert_eq!(
+            VmError::Limit(Limit::Fuel).to_string(),
+            "limit: fuel budget exhausted"
+        );
+        assert_eq!(VmError::link("x").to_string(), "link error: x");
+    }
+
+    #[test]
+    fn as_exception_filters() {
+        assert!(VmError::exception("E", "m").as_exception().is_some());
+        assert!(VmError::Limit(Limit::CallDepth).as_exception().is_none());
+    }
+}

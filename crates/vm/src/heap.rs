@@ -1,0 +1,378 @@
+//! The VM heap: objects, arrays, and byte buffers.
+//!
+//! Entries live for the lifetime of the VM (arena semantics, no GC) —
+//! the platform's workloads are bounded, and determinism matters more
+//! than reclamation here.
+
+use crate::error::{exception_class, VmError};
+use crate::hooks::ClassId;
+use crate::value::{ObjId, Value};
+
+/// One allocated heap entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeapEntry {
+    /// A class instance with field slots.
+    Object {
+        /// Runtime class.
+        class: ClassId,
+        /// Field values, indexed by slot.
+        fields: Vec<Value>,
+    },
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A mutable byte buffer (the paper's `byte[]`).
+    Buffer(Vec<u8>),
+}
+
+/// The heap.
+#[derive(Debug, Default)]
+pub struct Heap {
+    entries: Vec<HeapEntry>,
+}
+
+fn oob(index: i64, len: usize) -> VmError {
+    VmError::exception(
+        exception_class::INDEX_OUT_OF_BOUNDS,
+        format!("index {index} out of bounds for length {len}"),
+    )
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn alloc(&mut self, entry: HeapEntry) -> ObjId {
+        self.entries.push(entry);
+        ObjId((self.entries.len() - 1) as u32)
+    }
+
+    /// Allocates an object with `fields` initial slot values.
+    pub fn alloc_object(&mut self, class: ClassId, fields: Vec<Value>) -> ObjId {
+        self.alloc(HeapEntry::Object { class, fields })
+    }
+
+    /// Allocates an array of `len` nulls.
+    pub fn alloc_array(&mut self, len: usize) -> ObjId {
+        self.alloc(HeapEntry::Array(vec![Value::Null; len]))
+    }
+
+    /// Allocates an array from existing values.
+    pub fn alloc_array_from(&mut self, values: Vec<Value>) -> ObjId {
+        self.alloc(HeapEntry::Array(values))
+    }
+
+    /// Allocates a zeroed byte buffer of `len`.
+    pub fn alloc_buffer(&mut self, len: usize) -> ObjId {
+        self.alloc(HeapEntry::Buffer(vec![0; len]))
+    }
+
+    /// Allocates a buffer from existing bytes.
+    pub fn alloc_buffer_from(&mut self, bytes: Vec<u8>) -> ObjId {
+        self.alloc(HeapEntry::Buffer(bytes))
+    }
+
+    /// Borrows an entry.
+    ///
+    /// # Errors
+    ///
+    /// `NullPointerException` if the id is stale/invalid.
+    pub fn get(&self, id: ObjId) -> Result<&HeapEntry, VmError> {
+        self.entries.get(id.0 as usize).ok_or_else(|| {
+            VmError::exception(exception_class::NULL_POINTER, format!("dangling ref {id}"))
+        })
+    }
+
+    /// Mutably borrows an entry.
+    ///
+    /// # Errors
+    ///
+    /// `NullPointerException` if the id is stale/invalid.
+    pub fn get_mut(&mut self, id: ObjId) -> Result<&mut HeapEntry, VmError> {
+        self.entries.get_mut(id.0 as usize).ok_or_else(|| {
+            VmError::exception(exception_class::NULL_POINTER, format!("dangling ref {id}"))
+        })
+    }
+
+    /// The runtime class of an object entry.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` if the entry is not an object.
+    pub fn object_class(&self, id: ObjId) -> Result<ClassId, VmError> {
+        match self.get(id)? {
+            HeapEntry::Object { class, .. } => Ok(*class),
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("expected object, found {}", entry_kind(other)),
+            )),
+        }
+    }
+
+    /// Reads an object field slot.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` for non-objects, `IndexOutOfBoundsException` for bad
+    /// slots.
+    pub fn field(&self, id: ObjId, slot: u16) -> Result<Value, VmError> {
+        match self.get(id)? {
+            HeapEntry::Object { fields, .. } => fields
+                .get(slot as usize)
+                .cloned()
+                .ok_or_else(|| oob(i64::from(slot), fields.len())),
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("field access on {}", entry_kind(other)),
+            )),
+        }
+    }
+
+    /// Writes an object field slot.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Heap::field`].
+    pub fn set_field(&mut self, id: ObjId, slot: u16, value: Value) -> Result<(), VmError> {
+        match self.get_mut(id)? {
+            HeapEntry::Object { fields, .. } => {
+                let len = fields.len();
+                let cell = fields
+                    .get_mut(slot as usize)
+                    .ok_or_else(|| oob(i64::from(slot), len))?;
+                *cell = value;
+                Ok(())
+            }
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("field write on {}", entry_kind(other)),
+            )),
+        }
+    }
+
+    /// Reads an array element.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` for non-arrays, `IndexOutOfBoundsException` for bad or
+    /// negative indices.
+    pub fn array_get(&self, id: ObjId, index: i64) -> Result<Value, VmError> {
+        match self.get(id)? {
+            HeapEntry::Array(v) => {
+                let len = v.len();
+                usize::try_from(index)
+                    .ok()
+                    .and_then(|i| v.get(i).cloned())
+                    .ok_or_else(|| oob(index, len))
+            }
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("array read on {}", entry_kind(other)),
+            )),
+        }
+    }
+
+    /// Writes an array element.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Heap::array_get`].
+    pub fn array_set(&mut self, id: ObjId, index: i64, value: Value) -> Result<(), VmError> {
+        match self.get_mut(id)? {
+            HeapEntry::Array(v) => {
+                let len = v.len();
+                let cell = usize::try_from(index)
+                    .ok()
+                    .and_then(|i| v.get_mut(i))
+                    .ok_or_else(|| oob(index, len))?;
+                *cell = value;
+                Ok(())
+            }
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("array write on {}", entry_kind(other)),
+            )),
+        }
+    }
+
+    /// Length of an array entry.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` for non-arrays.
+    pub fn array_len(&self, id: ObjId) -> Result<usize, VmError> {
+        match self.get(id)? {
+            HeapEntry::Array(v) => Ok(v.len()),
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("array length on {}", entry_kind(other)),
+            )),
+        }
+    }
+
+    /// Reads a buffer byte.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` for non-buffers, `IndexOutOfBoundsException` for bad
+    /// indices.
+    pub fn buffer_get(&self, id: ObjId, index: i64) -> Result<u8, VmError> {
+        match self.get(id)? {
+            HeapEntry::Buffer(v) => {
+                let len = v.len();
+                usize::try_from(index)
+                    .ok()
+                    .and_then(|i| v.get(i).copied())
+                    .ok_or_else(|| oob(index, len))
+            }
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("buffer read on {}", entry_kind(other)),
+            )),
+        }
+    }
+
+    /// Writes a buffer byte (truncating the int operand).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Heap::buffer_get`].
+    pub fn buffer_set(&mut self, id: ObjId, index: i64, byte: i64) -> Result<(), VmError> {
+        match self.get_mut(id)? {
+            HeapEntry::Buffer(v) => {
+                let len = v.len();
+                let cell = usize::try_from(index)
+                    .ok()
+                    .and_then(|i| v.get_mut(i))
+                    .ok_or_else(|| oob(index, len))?;
+                *cell = byte as u8;
+                Ok(())
+            }
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("buffer write on {}", entry_kind(other)),
+            )),
+        }
+    }
+
+    /// Length of a buffer entry.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` for non-buffers.
+    pub fn buffer_len(&self, id: ObjId) -> Result<usize, VmError> {
+        match self.get(id)? {
+            HeapEntry::Buffer(v) => Ok(v.len()),
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("buffer length on {}", entry_kind(other)),
+            )),
+        }
+    }
+
+    /// Borrows a buffer's bytes.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` for non-buffers.
+    pub fn buffer_bytes(&self, id: ObjId) -> Result<&[u8], VmError> {
+        match self.get(id)? {
+            HeapEntry::Buffer(v) => Ok(v),
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("buffer access on {}", entry_kind(other)),
+            )),
+        }
+    }
+
+    /// Mutably borrows a buffer's bytes.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` for non-buffers.
+    pub fn buffer_bytes_mut(&mut self, id: ObjId) -> Result<&mut Vec<u8>, VmError> {
+        match self.get_mut(id)? {
+            HeapEntry::Buffer(v) => Ok(v),
+            other => Err(VmError::exception(
+                exception_class::TYPE,
+                format!("buffer access on {}", entry_kind(other)),
+            )),
+        }
+    }
+}
+
+fn entry_kind(e: &HeapEntry) -> &'static str {
+    match e {
+        HeapEntry::Object { .. } => "object",
+        HeapEntry::Array(_) => "array",
+        HeapEntry::Buffer(_) => "buffer",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_field_roundtrip() {
+        let mut h = Heap::new();
+        let id = h.alloc_object(ClassId(0), vec![Value::Int(1), Value::Null]);
+        assert_eq!(h.field(id, 0).unwrap(), Value::Int(1));
+        h.set_field(id, 1, Value::str("x")).unwrap();
+        assert_eq!(h.field(id, 1).unwrap(), Value::str("x"));
+        assert!(h.field(id, 9).is_err());
+    }
+
+    #[test]
+    fn array_roundtrip_and_bounds() {
+        let mut h = Heap::new();
+        let id = h.alloc_array(3);
+        assert_eq!(h.array_len(id).unwrap(), 3);
+        h.array_set(id, 2, Value::Int(9)).unwrap();
+        assert_eq!(h.array_get(id, 2).unwrap(), Value::Int(9));
+        assert!(h.array_get(id, 3).is_err());
+        assert!(h.array_get(id, -1).is_err());
+    }
+
+    #[test]
+    fn buffer_roundtrip() {
+        let mut h = Heap::new();
+        let id = h.alloc_buffer_from(vec![1, 2, 3]);
+        assert_eq!(h.buffer_len(id).unwrap(), 3);
+        h.buffer_set(id, 0, 0x1ff).unwrap(); // truncates
+        assert_eq!(h.buffer_get(id, 0).unwrap(), 0xff);
+        assert_eq!(h.buffer_bytes(id).unwrap(), &[0xff, 2, 3]);
+    }
+
+    #[test]
+    fn kind_mismatches_are_type_errors() {
+        let mut h = Heap::new();
+        let arr = h.alloc_array(1);
+        let buf = h.alloc_buffer(1);
+        assert!(h.field(arr, 0).is_err());
+        assert!(h.array_get(buf, 0).is_err());
+        assert!(h.buffer_get(arr, 0).is_err());
+        assert!(h.object_class(arr).is_err());
+    }
+
+    #[test]
+    fn dangling_ref_is_npe() {
+        let h = Heap::new();
+        let err = h.get(ObjId(99)).unwrap_err();
+        assert_eq!(
+            err.as_exception().unwrap().class.as_ref(),
+            exception_class::NULL_POINTER
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! The bytecode interpreter ("native execution" of JIT output).
+
+use crate::error::{exception_class, Limit, VmError, VmException};
+use crate::hooks::{HOOK_CATCH, HOOK_GET, HOOK_SET, HOOK_THROW};
+use crate::op::CompiledOp;
+use crate::value::Value;
+use crate::vm::{CompiledMethod, Vm};
+
+fn type_error(msg: impl Into<String>) -> VmError {
+    VmError::exception(exception_class::TYPE, msg)
+}
+
+fn pop(stack: &mut Vec<Value>) -> Result<Value, VmError> {
+    stack
+        .pop()
+        .ok_or_else(|| VmError::link("operand stack underflow"))
+}
+
+fn pop_int(stack: &mut Vec<Value>) -> Result<i64, VmError> {
+    match pop(stack)? {
+        Value::Int(i) => Ok(i),
+        other => Err(type_error(format!("expected int, found {}", other.kind()))),
+    }
+}
+
+fn pop_bool(stack: &mut Vec<Value>) -> Result<bool, VmError> {
+    match pop(stack)? {
+        Value::Bool(b) => Ok(b),
+        other => Err(type_error(format!("expected bool, found {}", other.kind()))),
+    }
+}
+
+fn pop_obj(stack: &mut Vec<Value>) -> Result<crate::value::ObjId, VmError> {
+    match pop(stack)? {
+        Value::Ref(id) => Ok(id),
+        Value::Null => Err(VmError::exception(
+            exception_class::NULL_POINTER,
+            "null reference",
+        )),
+        other => Err(type_error(format!("expected ref, found {}", other.kind()))),
+    }
+}
+
+fn binary_num(
+    stack: &mut Vec<Value>,
+    int_op: impl Fn(i64, i64) -> Result<i64, VmError>,
+    float_op: impl Fn(f64, f64) -> f64,
+) -> Result<(), VmError> {
+    let b = pop(stack)?;
+    let a = pop(stack)?;
+    let v = match (a, b) {
+        (Value::Int(a), Value::Int(b)) => Value::Int(int_op(a, b)?),
+        (Value::Float(a), Value::Float(b)) => Value::Float(float_op(a, b)),
+        (a, b) => {
+            return Err(type_error(format!(
+                "numeric op on {} and {}",
+                a.kind(),
+                b.kind()
+            )))
+        }
+    };
+    stack.push(v);
+    Ok(())
+}
+
+fn binary_int(stack: &mut Vec<Value>, op: impl Fn(i64, i64) -> i64) -> Result<(), VmError> {
+    let b = pop_int(stack)?;
+    let a = pop_int(stack)?;
+    stack.push(Value::Int(op(a, b)));
+    Ok(())
+}
+
+fn compare(
+    stack: &mut Vec<Value>,
+    op: impl Fn(std::cmp::Ordering) -> bool,
+) -> Result<(), VmError> {
+    let b = pop(stack)?;
+    let a = pop(stack)?;
+    let ord = match (&a, &b) {
+        (Value::Int(a), Value::Int(b)) => a.cmp(b),
+        (Value::Float(a), Value::Float(b)) => a
+            .partial_cmp(b)
+            .ok_or_else(|| type_error("NaN comparison"))?,
+        (Value::Str(a), Value::Str(b)) => a.cmp(b),
+        _ => {
+            return Err(type_error(format!(
+                "ordering comparison on {} and {}",
+                a.kind(),
+                b.kind()
+            )))
+        }
+    };
+    stack.push(Value::Bool(op(ord)));
+    Ok(())
+}
+
+/// Control-flow outcome of executing one instruction.
+enum Step {
+    /// Fall through to `pc + 1`.
+    Next,
+    /// Transfer control to this pc.
+    Jump(usize),
+    /// Return from the method.
+    Return(Value),
+}
+
+/// Runs a compiled bytecode body to completion.
+pub(crate) fn run(
+    vm: &mut Vm,
+    compiled: &CompiledMethod,
+    this: Value,
+    args: Vec<Value>,
+) -> Result<Value, VmError> {
+    let mut locals = vec![Value::Null; compiled.nlocals as usize];
+    if args.len() + 1 > locals.len() {
+        return Err(VmError::link("argument count exceeds local slots"));
+    }
+    locals[0] = this;
+    for (i, a) in args.into_iter().enumerate() {
+        locals[i + 1] = a;
+    }
+    let mut stack: Vec<Value> = Vec::with_capacity(8);
+    let mut pc: usize = 0;
+    // Whether this method was compiled with stubs and advice may fire.
+    let hooks_live = compiled.stub && vm.hooks_live();
+
+    loop {
+        if let Some(fuel) = vm.fuel() {
+            if fuel == 0 {
+                return Err(VmError::Limit(Limit::Fuel));
+            }
+            vm.set_fuel(Some(fuel - 1));
+        }
+        vm.stats_mut().bytecode_ops += 1;
+        let op = match compiled.ops.get(pc) {
+            Some(op) => op.clone(),
+            // Falling off the end returns null, like an implicit `Ret`.
+            None => return Ok(Value::Null),
+        };
+
+        let step = exec_op(vm, compiled, &mut stack, &mut locals, op, pc, hooks_live);
+        match step {
+            Ok(Step::Next) => pc += 1,
+            Ok(Step::Jump(target)) => pc = target,
+            Ok(Step::Return(v)) => return Ok(v),
+            Err(VmError::Exception(exc)) => {
+                // Search this method's handler table for the faulting pc.
+                let handler = compiled.handlers.iter().find(|h| {
+                    (h.start as usize) <= pc
+                        && pc < (h.end as usize)
+                        && (&*h.class == "*" || *h.class == *exc.class)
+                });
+                match handler {
+                    Some(h) => {
+                        if hooks_live && vm.hooks().exception_flags() & HOOK_CATCH != 0 {
+                            vm.dispatch_exception_catch(compiled.mid, &exc)?;
+                        }
+                        stack.clear();
+                        stack.push(Value::str(&exc.message));
+                        pc = h.target as usize;
+                    }
+                    None => return Err(VmError::Exception(exc)),
+                }
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec_op(
+    vm: &mut Vm,
+    compiled: &CompiledMethod,
+    stack: &mut Vec<Value>,
+    locals: &mut [Value],
+    op: CompiledOp,
+    _pc: usize,
+    hooks_live: bool,
+) -> Result<Step, VmError> {
+    match op {
+        CompiledOp::Const(v) => stack.push(v),
+        CompiledOp::Load(i) => {
+            let v = locals
+                .get(i as usize)
+                .cloned()
+                .ok_or_else(|| VmError::link(format!("bad local {i}")))?;
+            stack.push(v);
+        }
+        CompiledOp::Store(i) => {
+            let v = pop(stack)?;
+            let slot = locals
+                .get_mut(i as usize)
+                .ok_or_else(|| VmError::link(format!("bad local {i}")))?;
+            *slot = v;
+        }
+        CompiledOp::Dup => {
+            let v = stack
+                .last()
+                .cloned()
+                .ok_or_else(|| VmError::link("operand stack underflow"))?;
+            stack.push(v);
+        }
+        CompiledOp::Pop => {
+            pop(stack)?;
+        }
+        CompiledOp::Swap => {
+            let b = pop(stack)?;
+            let a = pop(stack)?;
+            stack.push(b);
+            stack.push(a);
+        }
+        CompiledOp::Add => binary_num(stack, |a, b| Ok(a.wrapping_add(b)), |a, b| a + b)?,
+        CompiledOp::Sub => binary_num(stack, |a, b| Ok(a.wrapping_sub(b)), |a, b| a - b)?,
+        CompiledOp::Mul => binary_num(stack, |a, b| Ok(a.wrapping_mul(b)), |a, b| a * b)?,
+        CompiledOp::Div => binary_num(
+            stack,
+            |a, b| {
+                if b == 0 {
+                    Err(VmError::exception(
+                        exception_class::ARITHMETIC,
+                        "division by zero",
+                    ))
+                } else {
+                    Ok(a.wrapping_div(b))
+                }
+            },
+            |a, b| a / b,
+        )?,
+        CompiledOp::Rem => binary_num(
+            stack,
+            |a, b| {
+                if b == 0 {
+                    Err(VmError::exception(
+                        exception_class::ARITHMETIC,
+                        "remainder by zero",
+                    ))
+                } else {
+                    Ok(a.wrapping_rem(b))
+                }
+            },
+            |a, b| a % b,
+        )?,
+        CompiledOp::Neg => {
+            let v = match pop(stack)? {
+                Value::Int(i) => Value::Int(i.wrapping_neg()),
+                Value::Float(f) => Value::Float(-f),
+                other => return Err(type_error(format!("negate {}", other.kind()))),
+            };
+            stack.push(v);
+        }
+        CompiledOp::Shl => binary_int(stack, |a, b| a.wrapping_shl(b as u32 & 63))?,
+        CompiledOp::Shr => binary_int(stack, |a, b| a.wrapping_shr(b as u32 & 63))?,
+        CompiledOp::BitAnd => binary_int(stack, |a, b| a & b)?,
+        CompiledOp::BitOr => binary_int(stack, |a, b| a | b)?,
+        CompiledOp::BitXor => binary_int(stack, |a, b| a ^ b)?,
+        CompiledOp::Eq => {
+            let b = pop(stack)?;
+            let a = pop(stack)?;
+            stack.push(Value::Bool(a == b));
+        }
+        CompiledOp::Ne => {
+            let b = pop(stack)?;
+            let a = pop(stack)?;
+            stack.push(Value::Bool(a != b));
+        }
+        CompiledOp::Lt => compare(stack, |o| o.is_lt())?,
+        CompiledOp::Le => compare(stack, |o| o.is_le())?,
+        CompiledOp::Gt => compare(stack, |o| o.is_gt())?,
+        CompiledOp::Ge => compare(stack, |o| o.is_ge())?,
+        CompiledOp::Not => {
+            let b = pop_bool(stack)?;
+            stack.push(Value::Bool(!b));
+        }
+        CompiledOp::Jump(t) => return Ok(Step::Jump(t as usize)),
+        CompiledOp::JumpIf(t) => {
+            if pop_bool(stack)? {
+                return Ok(Step::Jump(t as usize));
+            }
+        }
+        CompiledOp::JumpIfNot(t) => {
+            if !pop_bool(stack)? {
+                return Ok(Step::Jump(t as usize));
+            }
+        }
+        CompiledOp::Ret => return Ok(Step::Return(Value::Null)),
+        CompiledOp::RetVal => return Ok(Step::Return(pop(stack)?)),
+        CompiledOp::New(cid) => {
+            let v = vm.alloc_instance(cid)?;
+            stack.push(v);
+        }
+        CompiledOp::GetField { slot, fid } => {
+            let obj = pop_obj(stack)?;
+            let mut value = vm.heap().field(obj, slot)?;
+            if hooks_live && vm.hooks().field_flags(fid) & HOOK_GET != 0 {
+                vm.dispatch_field_get(fid, obj, &mut value)?;
+            }
+            stack.push(value);
+        }
+        CompiledOp::PutField { slot, fid } => {
+            let mut value = pop(stack)?;
+            let obj = pop_obj(stack)?;
+            if hooks_live && vm.hooks().field_flags(fid) & HOOK_SET != 0 {
+                vm.dispatch_field_set(fid, obj, &mut value)?;
+            }
+            vm.heap_mut().set_field(obj, slot, value)?;
+        }
+        CompiledOp::CallV { method, argc } => {
+            let n = argc as usize;
+            if stack.len() < n + 1 {
+                return Err(VmError::link("operand stack underflow"));
+            }
+            let args = stack.split_off(stack.len() - n);
+            let recv = pop(stack)?;
+            let ret = vm.call_virtual(&method, recv, args)?;
+            stack.push(ret);
+        }
+        CompiledOp::CallStatic { mid, argc } => {
+            let n = argc as usize;
+            if stack.len() < n {
+                return Err(VmError::link("operand stack underflow"));
+            }
+            let args = stack.split_off(stack.len() - n);
+            let ret = vm.invoke(mid, Value::Null, args)?;
+            stack.push(ret);
+        }
+        CompiledOp::NewArray => {
+            let len = pop_int(stack)?;
+            let len = usize::try_from(len).map_err(|_| {
+                VmError::exception(
+                    exception_class::INDEX_OUT_OF_BOUNDS,
+                    format!("negative array length {len}"),
+                )
+            })?;
+            let id = vm.heap_mut().alloc_array(len);
+            stack.push(Value::Ref(id));
+        }
+        CompiledOp::ArrGet => {
+            let idx = pop_int(stack)?;
+            let arr = pop_obj(stack)?;
+            stack.push(vm.heap().array_get(arr, idx)?);
+        }
+        CompiledOp::ArrSet => {
+            let v = pop(stack)?;
+            let idx = pop_int(stack)?;
+            let arr = pop_obj(stack)?;
+            vm.heap_mut().array_set(arr, idx, v)?;
+        }
+        CompiledOp::ArrLen => {
+            let arr = pop_obj(stack)?;
+            stack.push(Value::Int(vm.heap().array_len(arr)? as i64));
+        }
+        CompiledOp::NewBuffer => {
+            let len = pop_int(stack)?;
+            let len = usize::try_from(len).map_err(|_| {
+                VmError::exception(
+                    exception_class::INDEX_OUT_OF_BOUNDS,
+                    format!("negative buffer length {len}"),
+                )
+            })?;
+            let id = vm.heap_mut().alloc_buffer(len);
+            stack.push(Value::Ref(id));
+        }
+        CompiledOp::BufGet => {
+            let idx = pop_int(stack)?;
+            let buf = pop_obj(stack)?;
+            stack.push(Value::Int(i64::from(vm.heap().buffer_get(buf, idx)?)));
+        }
+        CompiledOp::BufSet => {
+            let byte = pop_int(stack)?;
+            let idx = pop_int(stack)?;
+            let buf = pop_obj(stack)?;
+            vm.heap_mut().buffer_set(buf, idx, byte)?;
+        }
+        CompiledOp::BufLen => {
+            let buf = pop_obj(stack)?;
+            stack.push(Value::Int(vm.heap().buffer_len(buf)? as i64));
+        }
+        CompiledOp::Throw(class) => {
+            let msg = pop(stack)?;
+            let exc = VmException::new(&*class, msg.to_string());
+            if hooks_live && vm.hooks().exception_flags() & HOOK_THROW != 0 {
+                vm.dispatch_exception_throw(compiled.mid, &exc)?;
+            }
+            return Err(exc.into());
+        }
+        CompiledOp::Concat => {
+            let b = pop(stack)?;
+            let a = pop(stack)?;
+            stack.push(Value::str(format!("{a}{b}")));
+        }
+        CompiledOp::ToStr => {
+            let v = pop(stack)?;
+            stack.push(Value::str(v.to_string()));
+        }
+        CompiledOp::ToInt => {
+            let v = pop(stack)?;
+            let i = match &v {
+                Value::Int(i) => *i,
+                Value::Float(f) => *f as i64,
+                Value::Bool(b) => i64::from(*b),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map_err(|_| type_error(format!("cannot parse {s:?} as int")))?,
+                other => return Err(type_error(format!("to-int on {}", other.kind()))),
+            };
+            stack.push(Value::Int(i));
+        }
+        CompiledOp::ToFloat => {
+            let v = pop(stack)?;
+            let f = match &v {
+                Value::Int(i) => *i as f64,
+                Value::Float(f) => *f,
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|_| type_error(format!("cannot parse {s:?} as float")))?,
+                other => return Err(type_error(format!("to-float on {}", other.kind()))),
+            };
+            stack.push(Value::Float(f));
+        }
+        CompiledOp::Sys { sys, argc } => {
+            let n = argc as usize;
+            if stack.len() < n {
+                return Err(VmError::link("operand stack underflow"));
+            }
+            let args = stack.split_off(stack.len() - n);
+            let ret = vm.call_sys(sys, args)?;
+            stack.push(ret);
+        }
+        CompiledOp::Nop => {}
+    }
+    Ok(Step::Next)
+}

@@ -1,0 +1,76 @@
+//! # pmp-vm — a managed runtime with simulated JIT and PROSE hooks
+//!
+//! The paper's PROSE system modifies a JVM's JIT compiler so that every
+//! potential *join point* (method entry/exit, field access, exception
+//! throw/catch) carries a minimal stub; aspects woven at run time
+//! activate those stubs without stopping the application. Rust cannot
+//! inject code into a running process, so this crate supplies the
+//! substrate the same mechanism needs: a small class-based runtime whose
+//! "JIT" (simulated) compiles portable bytecode and optionally
+//! plants the stubs ([`hooks`]).
+//!
+//! The crate deliberately mirrors the cost structure the paper measures:
+//!
+//! * **stubs off** — no adaptation support, the baseline;
+//! * **stubs on, no advice** — one atomic flag check per join point
+//!   (the paper's ≈7 % SPECjvm overhead);
+//! * **advice active** — a dispatch into the AOP runtime per event (the
+//!   paper's ≈900 ns per interception).
+//!
+//! Applications define classes ([`class::ClassDef`]) whose methods are
+//! either portable bytecode ([`op::Op`], assembled with
+//! [`builder::MethodBuilder`]) or native Rust closures. Side effects go
+//! through the permission-checked system interface ([`sys`]), which is
+//! the sandbox boundary for foreign advice.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmp_vm::prelude::*;
+//!
+//! # fn main() -> Result<(), VmError> {
+//! let mut vm = Vm::new(VmConfig::default());
+//! vm.register_class(
+//!     ClassDef::build("Adder")
+//!         .method("add", [TypeSig::Int, TypeSig::Int], TypeSig::Int, |b| {
+//!             b.op(Op::Load(1)).op(Op::Load(2)).op(Op::Add).op(Op::RetVal);
+//!         })
+//!         .done(),
+//! )?;
+//! let sum = vm.call("Adder", "add", Value::Null, vec![2.into(), 3.into()])?;
+//! assert_eq!(sum, Value::Int(5));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builder;
+pub mod class;
+pub mod error;
+pub mod heap;
+pub mod hooks;
+mod interp;
+mod jit;
+pub mod op;
+pub mod perm;
+pub mod sys;
+pub mod types;
+pub mod value;
+pub mod vm;
+
+pub use error::{Limit, VmError, VmException};
+pub use hooks::{ClassId, Dispatcher, FieldId, MethodId, Outcome};
+pub use value::{ObjId, Value};
+pub use vm::{Vm, VmConfig, VmStats};
+
+/// Common imports for working with the VM.
+pub mod prelude {
+    pub use crate::builder::MethodBuilder;
+    pub use crate::class::{ClassDef, NativeCall};
+    pub use crate::error::{exception_class, VmError, VmException};
+    pub use crate::hooks::{ClassId, FieldId, MethodId};
+    pub use crate::op::{Const, Op};
+    pub use crate::perm::{Permission, Permissions};
+    pub use crate::types::{MethodSig, TypeSig};
+    pub use crate::value::{ObjId, Value};
+    pub use crate::vm::{Vm, VmConfig, VmStats};
+}

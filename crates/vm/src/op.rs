@@ -1,0 +1,692 @@
+//! Portable bytecode.
+//!
+//! [`Op`] is the *portable* instruction form: names are symbolic strings,
+//! so method bodies can be shipped across the network (this is how MIDAS
+//! extensions carry advice code). The simulated JIT
+//! resolves names into direct indices before execution.
+
+use pmp_wire::{Reader, Wire, WireError, Writer};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// A constant operand — the subset of [`Value`] with no heap identity,
+/// hence safely serialisable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// `null`
+    Null,
+    /// Boolean constant.
+    Bool(bool),
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+    /// String constant.
+    Str(String),
+}
+
+impl Const {
+    /// Materialises the constant as a runtime value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Const::Null => Value::Null,
+            Const::Bool(b) => Value::Bool(*b),
+            Const::Int(i) => Value::Int(*i),
+            Const::Float(f) => Value::Float(*f),
+            Const::Str(s) => Value::str(s),
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(v: i64) -> Self {
+        Const::Int(v)
+    }
+}
+impl From<f64> for Const {
+    fn from(v: f64) -> Self {
+        Const::Float(v)
+    }
+}
+impl From<bool> for Const {
+    fn from(v: bool) -> Self {
+        Const::Bool(v)
+    }
+}
+impl From<&str> for Const {
+    fn from(v: &str) -> Self {
+        Const::Str(v.to_string())
+    }
+}
+
+impl Wire for Const {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Const::Null => w.put_u8(0),
+            Const::Bool(b) => {
+                w.put_u8(1);
+                w.put_bool(*b);
+            }
+            Const::Int(i) => {
+                w.put_u8(2);
+                w.put_vari64(*i);
+            }
+            Const::Float(f) => {
+                w.put_u8(3);
+                w.put_f64(*f);
+            }
+            Const::Str(s) => {
+                w.put_u8(4);
+                w.put_str(s);
+            }
+        }
+    }
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => Const::Null,
+            1 => Const::Bool(r.get_bool()?),
+            2 => Const::Int(r.get_vari64()?),
+            3 => Const::Float(r.get_f64()?),
+            4 => Const::Str(r.get_str()?),
+            tag => {
+                return Err(WireError::InvalidTag {
+                    type_name: "Const",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// One portable instruction of the stack machine.
+///
+/// Stack effects are noted as `before -> after` (top of stack rightmost).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// ` -> c` push a constant.
+    Const(Const),
+    /// ` -> v` push local slot (0 = `this` for instance methods).
+    Load(u16),
+    /// `v -> ` pop into local slot.
+    Store(u16),
+    /// `v -> v v` duplicate top.
+    Dup,
+    /// `v -> ` discard top.
+    Pop,
+    /// `a b -> b a` swap top two.
+    Swap,
+    /// `a b -> a+b` (int+int, float+float).
+    Add,
+    /// `a b -> a-b`
+    Sub,
+    /// `a b -> a*b`
+    Mul,
+    /// `a b -> a/b` — throws `ArithmeticException` on int division by 0.
+    Div,
+    /// `a b -> a%b` — throws `ArithmeticException` on int remainder by 0.
+    Rem,
+    /// `a -> -a`
+    Neg,
+    /// `a b -> a<<b` (ints).
+    Shl,
+    /// `a b -> a>>b` (arithmetic, ints).
+    Shr,
+    /// `a b -> a&b` (ints).
+    BitAnd,
+    /// `a b -> a|b` (ints).
+    BitOr,
+    /// `a b -> a^b` (ints).
+    BitXor,
+    /// `a b -> a==b` (structural on primitives, identity on refs).
+    Eq,
+    /// `a b -> a!=b`
+    Ne,
+    /// `a b -> a<b` (int/float/str).
+    Lt,
+    /// `a b -> a<=b`
+    Le,
+    /// `a b -> a>b`
+    Gt,
+    /// `a b -> a>=b`
+    Ge,
+    /// `b -> !b`
+    Not,
+    /// ` -> ` unconditional jump to pc.
+    Jump(u32),
+    /// `b -> ` jump if true.
+    JumpIf(u32),
+    /// `b -> ` jump if false.
+    JumpIfNot(u32),
+    /// ` -> ` return `null` from the method.
+    Ret,
+    /// `v -> ` return top of stack from the method.
+    RetVal,
+    /// ` -> ref` allocate an instance with default field values.
+    New(String),
+    /// `obj -> value` read a field (join point: field get).
+    GetField {
+        /// Declaring class name.
+        class: String,
+        /// Field name.
+        field: String,
+    },
+    /// `obj value -> ` write a field (join point: field set).
+    PutField {
+        /// Declaring class name.
+        class: String,
+        /// Field name.
+        field: String,
+    },
+    /// `obj a1..aN -> ret` virtual call by name on the receiver's class
+    /// (join points: method entry/exit).
+    CallV {
+        /// Method name, resolved against the receiver's runtime class.
+        method: String,
+        /// Number of arguments (excluding receiver).
+        argc: u8,
+    },
+    /// `a1..aN -> ret` static call to `class.method`.
+    CallStatic {
+        /// Declaring class name.
+        class: String,
+        /// Method name.
+        method: String,
+        /// Number of arguments.
+        argc: u8,
+    },
+    /// `len -> ref` allocate an array of nulls.
+    NewArray,
+    /// `arr idx -> v`
+    ArrGet,
+    /// `arr idx v -> `
+    ArrSet,
+    /// `arr -> len`
+    ArrLen,
+    /// `len -> ref` allocate a zeroed byte buffer (the paper's `byte[]`).
+    NewBuffer,
+    /// `buf idx -> int`
+    BufGet,
+    /// `buf idx int -> `
+    BufSet,
+    /// `buf -> len`
+    BufLen,
+    /// `msg -> !` throw an exception of the operand class with the popped
+    /// message (join point: exception throw).
+    Throw(String),
+    /// `a b -> str` string concatenation via `Display`.
+    Concat,
+    /// `v -> str`
+    ToStr,
+    /// `v -> int` (parses strings, truncates floats) — throws `TypeError`
+    /// if not convertible.
+    ToInt,
+    /// `v -> float`
+    ToFloat,
+    /// `a1..aN -> ret` call a named, permission-checked system operation.
+    Sys {
+        /// Registered system-operation name, e.g. `"print"`.
+        name: String,
+        /// Number of arguments.
+        argc: u8,
+    },
+    /// ` -> ` no operation.
+    Nop,
+}
+
+impl Wire for Op {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Op::Const(c) => {
+                w.put_u8(0);
+                c.encode(w);
+            }
+            Op::Load(i) => {
+                w.put_u8(1);
+                w.put_u16(*i);
+            }
+            Op::Store(i) => {
+                w.put_u8(2);
+                w.put_u16(*i);
+            }
+            Op::Dup => w.put_u8(3),
+            Op::Pop => w.put_u8(4),
+            Op::Swap => w.put_u8(5),
+            Op::Add => w.put_u8(6),
+            Op::Sub => w.put_u8(7),
+            Op::Mul => w.put_u8(8),
+            Op::Div => w.put_u8(9),
+            Op::Rem => w.put_u8(10),
+            Op::Neg => w.put_u8(11),
+            Op::Shl => w.put_u8(12),
+            Op::Shr => w.put_u8(13),
+            Op::BitAnd => w.put_u8(14),
+            Op::BitOr => w.put_u8(15),
+            Op::BitXor => w.put_u8(16),
+            Op::Eq => w.put_u8(17),
+            Op::Ne => w.put_u8(18),
+            Op::Lt => w.put_u8(19),
+            Op::Le => w.put_u8(20),
+            Op::Gt => w.put_u8(21),
+            Op::Ge => w.put_u8(22),
+            Op::Not => w.put_u8(23),
+            Op::Jump(pc) => {
+                w.put_u8(24);
+                w.put_u32(*pc);
+            }
+            Op::JumpIf(pc) => {
+                w.put_u8(25);
+                w.put_u32(*pc);
+            }
+            Op::JumpIfNot(pc) => {
+                w.put_u8(26);
+                w.put_u32(*pc);
+            }
+            Op::Ret => w.put_u8(27),
+            Op::RetVal => w.put_u8(28),
+            Op::New(c) => {
+                w.put_u8(29);
+                w.put_str(c);
+            }
+            Op::GetField { class, field } => {
+                w.put_u8(30);
+                w.put_str(class);
+                w.put_str(field);
+            }
+            Op::PutField { class, field } => {
+                w.put_u8(31);
+                w.put_str(class);
+                w.put_str(field);
+            }
+            Op::CallV { method, argc } => {
+                w.put_u8(32);
+                w.put_str(method);
+                w.put_u8(*argc);
+            }
+            Op::CallStatic {
+                class,
+                method,
+                argc,
+            } => {
+                w.put_u8(33);
+                w.put_str(class);
+                w.put_str(method);
+                w.put_u8(*argc);
+            }
+            Op::NewArray => w.put_u8(34),
+            Op::ArrGet => w.put_u8(35),
+            Op::ArrSet => w.put_u8(36),
+            Op::ArrLen => w.put_u8(37),
+            Op::NewBuffer => w.put_u8(38),
+            Op::BufGet => w.put_u8(39),
+            Op::BufSet => w.put_u8(40),
+            Op::BufLen => w.put_u8(41),
+            Op::Throw(c) => {
+                w.put_u8(42);
+                w.put_str(c);
+            }
+            Op::Concat => w.put_u8(43),
+            Op::ToStr => w.put_u8(44),
+            Op::ToInt => w.put_u8(45),
+            Op::ToFloat => w.put_u8(46),
+            Op::Sys { name, argc } => {
+                w.put_u8(47);
+                w.put_str(name);
+                w.put_u8(*argc);
+            }
+            Op::Nop => w.put_u8(48),
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => Op::Const(Const::decode(r)?),
+            1 => Op::Load(r.get_u16()?),
+            2 => Op::Store(r.get_u16()?),
+            3 => Op::Dup,
+            4 => Op::Pop,
+            5 => Op::Swap,
+            6 => Op::Add,
+            7 => Op::Sub,
+            8 => Op::Mul,
+            9 => Op::Div,
+            10 => Op::Rem,
+            11 => Op::Neg,
+            12 => Op::Shl,
+            13 => Op::Shr,
+            14 => Op::BitAnd,
+            15 => Op::BitOr,
+            16 => Op::BitXor,
+            17 => Op::Eq,
+            18 => Op::Ne,
+            19 => Op::Lt,
+            20 => Op::Le,
+            21 => Op::Gt,
+            22 => Op::Ge,
+            23 => Op::Not,
+            24 => Op::Jump(r.get_u32()?),
+            25 => Op::JumpIf(r.get_u32()?),
+            26 => Op::JumpIfNot(r.get_u32()?),
+            27 => Op::Ret,
+            28 => Op::RetVal,
+            29 => Op::New(r.get_str()?),
+            30 => Op::GetField {
+                class: r.get_str()?,
+                field: r.get_str()?,
+            },
+            31 => Op::PutField {
+                class: r.get_str()?,
+                field: r.get_str()?,
+            },
+            32 => Op::CallV {
+                method: r.get_str()?,
+                argc: r.get_u8()?,
+            },
+            33 => Op::CallStatic {
+                class: r.get_str()?,
+                method: r.get_str()?,
+                argc: r.get_u8()?,
+            },
+            34 => Op::NewArray,
+            35 => Op::ArrGet,
+            36 => Op::ArrSet,
+            37 => Op::ArrLen,
+            38 => Op::NewBuffer,
+            39 => Op::BufGet,
+            40 => Op::BufSet,
+            41 => Op::BufLen,
+            42 => Op::Throw(r.get_str()?),
+            43 => Op::Concat,
+            44 => Op::ToStr,
+            45 => Op::ToInt,
+            46 => Op::ToFloat,
+            47 => Op::Sys {
+                name: r.get_str()?,
+                argc: r.get_u8()?,
+            },
+            48 => Op::Nop,
+            tag => {
+                return Err(WireError::InvalidTag {
+                    type_name: "Op",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// An exception-handler range for a bytecode body: if an exception of a
+/// matching class escapes an op in `[start, end)`, control transfers to
+/// `target` with the exception message pushed on the (cleared) stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandlerDef {
+    /// First covered pc (inclusive).
+    pub start: u32,
+    /// One past the last covered pc.
+    pub end: u32,
+    /// Exception class to catch; `"*"` catches any class.
+    pub class: String,
+    /// Handler entry pc.
+    pub target: u32,
+}
+
+pmp_wire::wire_struct!(HandlerDef {
+    start: u32,
+    end: u32,
+    class: String,
+    target: u32,
+});
+
+/// A portable bytecode method body: shippable over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BytecodeBody {
+    /// Extra local slots beyond `this` + parameters.
+    pub extra_locals: u16,
+    /// The instructions.
+    pub ops: Vec<Op>,
+    /// Exception handler table.
+    pub handlers: Vec<HandlerDef>,
+}
+
+pmp_wire::wire_struct!(BytecodeBody {
+    extra_locals: u16,
+    ops: Vec<Op>,
+    handlers: Vec<HandlerDef>,
+});
+
+/// Compiled ("native") instruction with names resolved to indices.
+///
+/// Produced by the simulated JIT; mirrors [`Op`] one-to-one so pc values
+/// are stable across compilation.
+#[derive(Debug, Clone)]
+pub enum CompiledOp {
+    /// See [`Op::Const`].
+    Const(Value),
+    /// See [`Op::Load`].
+    Load(u16),
+    /// See [`Op::Store`].
+    Store(u16),
+    /// See [`Op::Dup`].
+    Dup,
+    /// See [`Op::Pop`].
+    Pop,
+    /// See [`Op::Swap`].
+    Swap,
+    /// See [`Op::Add`].
+    Add,
+    /// See [`Op::Sub`].
+    Sub,
+    /// See [`Op::Mul`].
+    Mul,
+    /// See [`Op::Div`].
+    Div,
+    /// See [`Op::Rem`].
+    Rem,
+    /// See [`Op::Neg`].
+    Neg,
+    /// See [`Op::Shl`].
+    Shl,
+    /// See [`Op::Shr`].
+    Shr,
+    /// See [`Op::BitAnd`].
+    BitAnd,
+    /// See [`Op::BitOr`].
+    BitOr,
+    /// See [`Op::BitXor`].
+    BitXor,
+    /// See [`Op::Eq`].
+    Eq,
+    /// See [`Op::Ne`].
+    Ne,
+    /// See [`Op::Lt`].
+    Lt,
+    /// See [`Op::Le`].
+    Le,
+    /// See [`Op::Gt`].
+    Gt,
+    /// See [`Op::Ge`].
+    Ge,
+    /// See [`Op::Not`].
+    Not,
+    /// See [`Op::Jump`].
+    Jump(u32),
+    /// See [`Op::JumpIf`].
+    JumpIf(u32),
+    /// See [`Op::JumpIfNot`].
+    JumpIfNot(u32),
+    /// See [`Op::Ret`].
+    Ret,
+    /// See [`Op::RetVal`].
+    RetVal,
+    /// See [`Op::New`] — class resolved.
+    New(crate::hooks::ClassId),
+    /// See [`Op::GetField`] — slot and hook id resolved.
+    GetField {
+        /// Field slot in the object layout.
+        slot: u16,
+        /// Global field id (hook key).
+        fid: crate::hooks::FieldId,
+    },
+    /// See [`Op::PutField`].
+    PutField {
+        /// Field slot in the object layout.
+        slot: u16,
+        /// Global field id (hook key).
+        fid: crate::hooks::FieldId,
+    },
+    /// See [`Op::CallV`] — method name interned; receiver class resolved
+    /// at run time (virtual dispatch).
+    CallV {
+        /// Interned method name.
+        method: Arc<str>,
+        /// Number of arguments.
+        argc: u8,
+    },
+    /// See [`Op::CallStatic`] — resolved to a direct method id.
+    CallStatic {
+        /// Target method.
+        mid: crate::hooks::MethodId,
+        /// Number of arguments.
+        argc: u8,
+    },
+    /// See [`Op::NewArray`].
+    NewArray,
+    /// See [`Op::ArrGet`].
+    ArrGet,
+    /// See [`Op::ArrSet`].
+    ArrSet,
+    /// See [`Op::ArrLen`].
+    ArrLen,
+    /// See [`Op::NewBuffer`].
+    NewBuffer,
+    /// See [`Op::BufGet`].
+    BufGet,
+    /// See [`Op::BufSet`].
+    BufSet,
+    /// See [`Op::BufLen`].
+    BufLen,
+    /// See [`Op::Throw`] — class name interned.
+    Throw(Arc<str>),
+    /// See [`Op::Concat`].
+    Concat,
+    /// See [`Op::ToStr`].
+    ToStr,
+    /// See [`Op::ToInt`].
+    ToInt,
+    /// See [`Op::ToFloat`].
+    ToFloat,
+    /// See [`Op::Sys`] — resolved to a system-op index.
+    Sys {
+        /// Index into the system-op registry.
+        sys: u32,
+        /// Number of arguments.
+        argc: u8,
+    },
+    /// See [`Op::Nop`].
+    Nop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_to_value() {
+        assert_eq!(Const::Int(4).to_value(), Value::Int(4));
+        assert_eq!(Const::Null.to_value(), Value::Null);
+        assert_eq!(Const::from("x").to_value(), Value::str("x"));
+    }
+
+    #[test]
+    fn op_wire_roundtrip_all_variants() {
+        let ops = vec![
+            Op::Const(Const::Int(1)),
+            Op::Const(Const::Str("s".into())),
+            Op::Const(Const::Float(2.5)),
+            Op::Const(Const::Bool(true)),
+            Op::Const(Const::Null),
+            Op::Load(3),
+            Op::Store(4),
+            Op::Dup,
+            Op::Pop,
+            Op::Swap,
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Rem,
+            Op::Neg,
+            Op::Shl,
+            Op::Shr,
+            Op::BitAnd,
+            Op::BitOr,
+            Op::BitXor,
+            Op::Eq,
+            Op::Ne,
+            Op::Lt,
+            Op::Le,
+            Op::Gt,
+            Op::Ge,
+            Op::Not,
+            Op::Jump(9),
+            Op::JumpIf(10),
+            Op::JumpIfNot(11),
+            Op::Ret,
+            Op::RetVal,
+            Op::New("Motor".into()),
+            Op::GetField {
+                class: "Motor".into(),
+                field: "pos".into(),
+            },
+            Op::PutField {
+                class: "Motor".into(),
+                field: "pos".into(),
+            },
+            Op::CallV {
+                method: "rotate".into(),
+                argc: 2,
+            },
+            Op::CallStatic {
+                class: "Math".into(),
+                method: "abs".into(),
+                argc: 1,
+            },
+            Op::NewArray,
+            Op::ArrGet,
+            Op::ArrSet,
+            Op::ArrLen,
+            Op::NewBuffer,
+            Op::BufGet,
+            Op::BufSet,
+            Op::BufLen,
+            Op::Throw("E".into()),
+            Op::Concat,
+            Op::ToStr,
+            Op::ToInt,
+            Op::ToFloat,
+            Op::Sys {
+                name: "print".into(),
+                argc: 1,
+            },
+            Op::Nop,
+        ];
+        let bytes = pmp_wire::to_bytes(&ops);
+        let back: Vec<Op> = pmp_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn body_wire_roundtrip() {
+        let body = BytecodeBody {
+            extra_locals: 2,
+            ops: vec![Op::Const(Const::Int(1)), Op::RetVal],
+            handlers: vec![HandlerDef {
+                start: 0,
+                end: 2,
+                class: "*".into(),
+                target: 1,
+            }],
+        };
+        let bytes = pmp_wire::to_bytes(&body);
+        assert_eq!(pmp_wire::from_bytes::<BytecodeBody>(&bytes).unwrap(), body);
+    }
+}

@@ -1,0 +1,166 @@
+//! Static type signatures for method parameters and return values.
+//!
+//! Signatures exist so PROSE crosscut patterns like
+//! `void *.send*(byte[], ..)` have something to match against; the VM
+//! itself checks them only loosely (arity plus coarse kinds).
+
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A parameter or return type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TypeSig {
+    /// No value (return type only).
+    Void,
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Immutable string.
+    Str,
+    /// Mutable byte buffer on the heap (the paper's `byte[]`).
+    Bytes,
+    /// Array of values on the heap.
+    Array,
+    /// Instance of the named class (or a subclass).
+    Object(Arc<str>),
+    /// Matches any value; used by reflective/native methods.
+    Any,
+}
+
+impl TypeSig {
+    /// Object type constructor.
+    pub fn object(name: impl AsRef<str>) -> TypeSig {
+        TypeSig::Object(Arc::from(name.as_ref()))
+    }
+
+    /// Parses the textual form produced by `Display` (`"void"`, `"int"`,
+    /// `"byte[]"`, class names, ...). Returns `None` for empty input.
+    pub fn parse(s: &str) -> Option<TypeSig> {
+        let s = s.trim();
+        Some(match s {
+            "" => return None,
+            "void" => TypeSig::Void,
+            "bool" => TypeSig::Bool,
+            "int" => TypeSig::Int,
+            "float" => TypeSig::Float,
+            "str" => TypeSig::Str,
+            "byte[]" => TypeSig::Bytes,
+            "arr" => TypeSig::Array,
+            "any" => TypeSig::Any,
+            name => TypeSig::Object(Arc::from(name)),
+        })
+    }
+
+    /// Loose runtime check: does `v` inhabit this type?
+    ///
+    /// `Null` inhabits every reference type. Object identity vs class is
+    /// checked by the VM (which knows the heap), not here; a bare `Ref`
+    /// satisfies `Object`, `Bytes` and `Array`.
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (TypeSig::Any, _) => true,
+            (TypeSig::Void, Value::Null) => true,
+            (TypeSig::Void, _) => false,
+            (TypeSig::Bool, Value::Bool(_)) => true,
+            (TypeSig::Int, Value::Int(_)) => true,
+            (TypeSig::Float, Value::Float(_)) => true,
+            (TypeSig::Str, Value::Str(_)) => true,
+            (TypeSig::Bytes | TypeSig::Array | TypeSig::Object(_), Value::Ref(_) | Value::Null) => {
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for TypeSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeSig::Void => write!(f, "void"),
+            TypeSig::Bool => write!(f, "bool"),
+            TypeSig::Int => write!(f, "int"),
+            TypeSig::Float => write!(f, "float"),
+            TypeSig::Str => write!(f, "str"),
+            TypeSig::Bytes => write!(f, "byte[]"),
+            TypeSig::Array => write!(f, "arr"),
+            TypeSig::Object(name) => write!(f, "{name}"),
+            TypeSig::Any => write!(f, "any"),
+        }
+    }
+}
+
+/// A full method signature: `ret Class.name(params...)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodSig {
+    /// Declaring class name.
+    pub class: Arc<str>,
+    /// Method name.
+    pub name: Arc<str>,
+    /// Parameter types (excluding the receiver).
+    pub params: Vec<TypeSig>,
+    /// Return type.
+    pub ret: TypeSig,
+}
+
+impl fmt::Display for MethodSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}.{}(", self.ret, self.class, self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ObjId;
+
+    #[test]
+    fn admits_matches_kinds() {
+        assert!(TypeSig::Int.admits(&Value::Int(1)));
+        assert!(!TypeSig::Int.admits(&Value::Float(1.0)));
+        assert!(TypeSig::Any.admits(&Value::Null));
+        assert!(TypeSig::Bytes.admits(&Value::Ref(ObjId(0))));
+        assert!(TypeSig::object("Motor").admits(&Value::Null));
+        assert!(!TypeSig::Str.admits(&Value::Int(1)));
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for ty in [
+            TypeSig::Void,
+            TypeSig::Bool,
+            TypeSig::Int,
+            TypeSig::Float,
+            TypeSig::Str,
+            TypeSig::Bytes,
+            TypeSig::Array,
+            TypeSig::Any,
+            TypeSig::object("Motor"),
+        ] {
+            assert_eq!(TypeSig::parse(&ty.to_string()), Some(ty));
+        }
+        assert_eq!(TypeSig::parse(""), None);
+        assert_eq!(TypeSig::parse("  int "), Some(TypeSig::Int));
+    }
+
+    #[test]
+    fn display_forms() {
+        let sig = MethodSig {
+            class: Arc::from("Motor"),
+            name: Arc::from("rotate"),
+            params: vec![TypeSig::Int, TypeSig::Bytes],
+            ret: TypeSig::Void,
+        };
+        assert_eq!(sig.to_string(), "void Motor.rotate(int, byte[])");
+    }
+}

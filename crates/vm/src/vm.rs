@@ -1,0 +1,906 @@
+//! The VM facade: class registration, method resolution, invocation
+//! with join-point hooks, the sandbox, and reflection.
+
+use crate::class::{ClassDef, MethodBody, NativeCall, NativeFn};
+use crate::error::{exception_class, Limit, VmError, VmException};
+use crate::heap::Heap;
+use crate::hooks::{
+    ClassId, Dispatcher, FieldId, HookRegistry, MethodId, Outcome, HOOK_ENTRY, HOOK_EXIT,
+};
+use crate::jit;
+use crate::perm::Permissions;
+use crate::sys::{security_violation, SysFn, SysRegistry};
+use crate::types::{MethodSig, TypeSig};
+use crate::value::{ObjId, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Plant PROSE stubs when JIT-compiling methods. When `false` the VM
+    /// behaves like an unmodified runtime (the benchmark baseline).
+    pub prose_hooks: bool,
+    /// Maximum nested call depth.
+    pub max_call_depth: u32,
+    /// Echo `print` output to stdout in addition to capturing it.
+    pub echo_output: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        Self {
+            prose_hooks: true,
+            max_call_depth: 256,
+            echo_output: false,
+        }
+    }
+}
+
+impl VmConfig {
+    /// Configuration with stubs disabled (unmodified-JVM baseline).
+    pub fn without_hooks() -> Self {
+        Self {
+            prose_hooks: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters describing engine activity; used by benches and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VmStats {
+    /// Method invocations (bytecode and native).
+    pub invocations: u64,
+    /// Bytecode instructions executed.
+    pub bytecode_ops: u64,
+    /// Hook-flag checks performed by stubs.
+    pub hook_checks: u64,
+    /// Advice dispatches (hook fired into the AOP runtime).
+    pub advice_dispatches: u64,
+    /// Methods JIT-compiled.
+    pub compiled_methods: u64,
+}
+
+/// A resolved exception handler range.
+#[derive(Debug, Clone)]
+pub struct CompiledHandler {
+    /// First covered pc (inclusive).
+    pub start: u32,
+    /// One past the last covered pc.
+    pub end: u32,
+    /// Exception class caught (`"*"` for all).
+    pub class: Arc<str>,
+    /// Handler entry pc.
+    pub target: u32,
+}
+
+/// JIT output for a bytecode method.
+#[derive(Debug)]
+pub struct CompiledMethod {
+    /// The method this code belongs to.
+    pub mid: MethodId,
+    /// Resolved instructions.
+    pub ops: Vec<crate::op::CompiledOp>,
+    /// Resolved handler table.
+    pub handlers: Vec<CompiledHandler>,
+    /// Total local slots (`this` + params + extra).
+    pub nlocals: u16,
+    /// Whether PROSE stubs were planted at compile time.
+    pub stub: bool,
+}
+
+/// Compiled form of a method body.
+#[derive(Clone)]
+pub(crate) enum Compiled {
+    Bytecode(Arc<CompiledMethod>),
+    Native { f: NativeFn, stub: bool },
+}
+
+pub(crate) struct FieldRt {
+    pub(crate) name: Arc<str>,
+    pub(crate) ty: TypeSig,
+    pub(crate) fid: FieldId,
+    pub(crate) declared_in: ClassId,
+}
+
+pub(crate) struct ClassRt {
+    pub(crate) name: Arc<str>,
+    pub(crate) superclass: Option<ClassId>,
+    pub(crate) field_slots: Vec<FieldRt>,
+    pub(crate) field_by_name: HashMap<Arc<str>, u16>,
+    pub(crate) method_by_name: HashMap<Arc<str>, MethodId>,
+}
+
+pub(crate) struct MethodRt {
+    pub(crate) class: ClassId,
+    pub(crate) sig: MethodSig,
+    pub(crate) body: MethodBody,
+    pub(crate) compiled: Option<Compiled>,
+}
+
+/// Saved state for a nested advice execution; restore with
+/// [`Vm::end_advice`].
+#[derive(Debug)]
+pub struct AdviceScope {
+    saved_fuel: Option<u64>,
+}
+
+/// The managed runtime.
+///
+/// # Examples
+///
+/// ```
+/// use pmp_vm::prelude::*;
+///
+/// # fn main() -> Result<(), VmError> {
+/// let mut vm = Vm::new(VmConfig::default());
+/// let class = ClassDef::build("Greeter")
+///     .native("greet", [TypeSig::Str], TypeSig::Str, |_vm, call| {
+///         Ok(Value::str(format!("hello {}", call.str_arg(0)?)))
+///     })
+///     .done();
+/// vm.register_class(class)?;
+/// let out = vm.call("Greeter", "greet", Value::Null, vec![Value::str("world")])?;
+/// assert_eq!(out, Value::str("hello world"));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Vm {
+    classes: Vec<ClassRt>,
+    class_by_name: HashMap<Arc<str>, ClassId>,
+    methods: Vec<MethodRt>,
+    heap: Heap,
+    hooks: HookRegistry,
+    dispatcher: Option<Arc<dyn Dispatcher>>,
+    sys: SysRegistry,
+    config: VmConfig,
+    perm_stack: Vec<Permissions>,
+    advice_depth: u32,
+    depth: u32,
+    fuel: Option<u64>,
+    clock: Arc<dyn Fn() -> u64 + Send + Sync>,
+    stats: VmStats,
+    field_count: u32,
+    output: Vec<String>,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("classes", &self.classes.len())
+            .field("methods", &self.methods.len())
+            .field("heap", &self.heap.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new(VmConfig::default())
+    }
+}
+
+impl Vm {
+    /// Creates a VM and registers the built-in system operations
+    /// (`print`, `time.now`).
+    pub fn new(config: VmConfig) -> Self {
+        let mut vm = Self {
+            classes: Vec::new(),
+            class_by_name: HashMap::new(),
+            methods: Vec::new(),
+            heap: Heap::new(),
+            hooks: HookRegistry::new(),
+            dispatcher: None,
+            sys: SysRegistry::new(),
+            config,
+            perm_stack: vec![Permissions::all()],
+            advice_depth: 0,
+            depth: 0,
+            fuel: None,
+            clock: Arc::new(|| 0),
+            stats: VmStats::default(),
+            field_count: 0,
+            output: Vec::new(),
+        };
+        vm.register_builtin_sys();
+        vm
+    }
+
+    fn register_builtin_sys(&mut self) {
+        self.register_sys(
+            "print",
+            Some(crate::perm::Permission::Print),
+            Arc::new(|vm: &mut Vm, args: Vec<Value>| {
+                let line = args
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if vm.config.echo_output {
+                    println!("{line}");
+                }
+                vm.output.push(line);
+                Ok(Value::Null)
+            }),
+        );
+        self.register_sys(
+            "time.now",
+            Some(crate::perm::Permission::Time),
+            Arc::new(|vm: &mut Vm, _args| Ok(Value::Int(vm.now() as i64))),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration & plumbing
+    // ------------------------------------------------------------------
+
+    /// Current configuration.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Enables/disables PROSE stubs and discards all JIT output so the
+    /// next invocations recompile with the new setting.
+    pub fn set_prose_hooks(&mut self, enabled: bool) {
+        self.config.prose_hooks = enabled;
+        for m in &mut self.methods {
+            m.compiled = None;
+        }
+    }
+
+    /// Installs the AOP dispatcher (PROSE runtime).
+    pub fn set_dispatcher(&mut self, d: Arc<dyn Dispatcher>) {
+        self.dispatcher = Some(d);
+    }
+
+    /// Removes the dispatcher; hooks become inert.
+    pub fn clear_dispatcher(&mut self) {
+        self.dispatcher = None;
+    }
+
+    /// Installs the clock used by `time.now` (the platform wires the
+    /// simulated clock in here).
+    pub fn set_clock(&mut self, clock: Arc<dyn Fn() -> u64 + Send + Sync>) {
+        self.clock = clock;
+    }
+
+    /// Current clock reading (nanoseconds).
+    pub fn now(&self) -> u64 {
+        (self.clock)()
+    }
+
+    /// Registers (or replaces) a named system operation.
+    pub fn register_sys(
+        &mut self,
+        name: impl AsRef<str>,
+        perm: Option<crate::perm::Permission>,
+        f: SysFn,
+    ) {
+        self.sys.register(name, perm, f);
+        // Sys indices may have changed meaning only for new names;
+        // existing compiled code keeps valid indices because replacement
+        // preserves them.
+    }
+
+    /// The system-operation registry.
+    pub fn sys_registry(&self) -> &SysRegistry {
+        &self.sys
+    }
+
+    /// Captured `print` output (drains).
+    pub fn take_output(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// Resets engine counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = VmStats::default();
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut VmStats {
+        &mut self.stats
+    }
+
+    /// The hook-flag registry (the weaver flips these).
+    pub fn hooks(&self) -> &HookRegistry {
+        &self.hooks
+    }
+
+    /// Remaining fuel for sandboxed execution, if limited.
+    pub fn fuel(&self) -> Option<u64> {
+        self.fuel
+    }
+
+    /// Sets the fuel budget (`None` = unlimited).
+    pub fn set_fuel(&mut self, fuel: Option<u64>) {
+        self.fuel = fuel;
+    }
+
+    /// The heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The heap, mutably.
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    // ------------------------------------------------------------------
+    // Sandbox
+    // ------------------------------------------------------------------
+
+    /// The permission set of the code currently executing.
+    pub fn effective_perms(&self) -> Permissions {
+        *self.perm_stack.last().expect("perm stack never empty")
+    }
+
+    /// Enters an advice execution scope: hooks are suppressed (advice is
+    /// never itself intercepted — the paper's aspect isolation), the
+    /// given permissions apply, and the fuel budget limits runaway code.
+    pub fn begin_advice(&mut self, perms: Permissions, fuel: Option<u64>) -> AdviceScope {
+        self.advice_depth += 1;
+        self.perm_stack.push(perms);
+        let saved_fuel = self.fuel;
+        self.fuel = fuel;
+        AdviceScope { saved_fuel }
+    }
+
+    /// Leaves an advice scope started with [`Vm::begin_advice`].
+    pub fn end_advice(&mut self, scope: AdviceScope) {
+        self.advice_depth = self.advice_depth.saturating_sub(1);
+        if self.perm_stack.len() > 1 {
+            self.perm_stack.pop();
+        }
+        self.fuel = scope.saved_fuel;
+    }
+
+    /// `true` while advice code is executing.
+    pub fn in_advice(&self) -> bool {
+        self.advice_depth > 0
+    }
+
+    /// Whether hooks may fire right now (dispatcher installed, not
+    /// already inside advice).
+    pub(crate) fn hooks_live(&self) -> bool {
+        self.advice_depth == 0 && self.dispatcher.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Classes & reflection
+    // ------------------------------------------------------------------
+
+    /// Registers a class.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Link`] on duplicate names, unknown superclasses, or
+    /// duplicate members.
+    pub fn register_class(&mut self, def: ClassDef) -> Result<ClassId, VmError> {
+        let name: Arc<str> = Arc::from(def.name.as_str());
+        if self.class_by_name.contains_key(&name) {
+            return Err(VmError::link(format!("duplicate class {name:?}")));
+        }
+        let superclass = match &def.superclass {
+            None => None,
+            Some(s) => Some(
+                self.class_id(s)
+                    .ok_or_else(|| VmError::link(format!("unknown superclass {s:?}")))?,
+            ),
+        };
+        let cid = ClassId(self.classes.len() as u32);
+
+        // Field layout: inherited slots first, then declared.
+        let mut field_slots: Vec<FieldRt> = Vec::new();
+        let mut field_by_name: HashMap<Arc<str>, u16> = HashMap::new();
+        if let Some(sup) = superclass {
+            for f in &self.classes[sup.0 as usize].field_slots {
+                field_by_name.insert(f.name.clone(), field_slots.len() as u16);
+                field_slots.push(FieldRt {
+                    name: f.name.clone(),
+                    ty: f.ty.clone(),
+                    fid: f.fid,
+                    declared_in: f.declared_in,
+                });
+            }
+        }
+        for f in &def.fields {
+            let fname: Arc<str> = Arc::from(f.name.as_str());
+            if field_by_name.contains_key(&fname) {
+                return Err(VmError::link(format!(
+                    "duplicate field {}.{}",
+                    name, f.name
+                )));
+            }
+            let fid = FieldId(self.field_count);
+            self.field_count += 1;
+            self.hooks.ensure_field(fid);
+            field_by_name.insert(fname.clone(), field_slots.len() as u16);
+            field_slots.push(FieldRt {
+                name: fname,
+                ty: f.ty.clone(),
+                fid,
+                declared_in: cid,
+            });
+        }
+
+        // Method table: inherit, then declare/override.
+        let mut method_by_name: HashMap<Arc<str>, MethodId> = superclass
+            .map(|sup| self.classes[sup.0 as usize].method_by_name.clone())
+            .unwrap_or_default();
+        let mut declared: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for m in &def.methods {
+            if !declared.insert(m.name.as_str()) {
+                return Err(VmError::link(format!(
+                    "duplicate method {}.{}",
+                    name, m.name
+                )));
+            }
+            let mid = MethodId(self.methods.len() as u32);
+            self.hooks.ensure_method(mid);
+            let sig = MethodSig {
+                class: name.clone(),
+                name: Arc::from(m.name.as_str()),
+                params: m.params.clone(),
+                ret: m.ret.clone(),
+            };
+            method_by_name.insert(sig.name.clone(), mid);
+            self.methods.push(MethodRt {
+                class: cid,
+                sig,
+                body: m.body.clone(),
+                compiled: None,
+            });
+        }
+
+        self.class_by_name.insert(name.clone(), cid);
+        self.classes.push(ClassRt {
+            name,
+            superclass,
+            field_slots,
+            field_by_name,
+            method_by_name,
+        });
+        Ok(cid)
+    }
+
+    /// Resolves a class name.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.class_by_name.get(name).copied()
+    }
+
+    /// The name of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cid` was not produced by this VM.
+    pub fn class_name(&self, cid: ClassId) -> &str {
+        &self.classes[cid.0 as usize].name
+    }
+
+    /// Number of registered classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns `true` if `sub` is `sup` or a transitive subclass of it.
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.classes[c.0 as usize].superclass;
+        }
+        false
+    }
+
+    /// Looks up a method id by class and method name (virtual: includes
+    /// inherited methods).
+    pub fn method_id(&self, class: &str, method: &str) -> Option<MethodId> {
+        let cid = self.class_id(class)?;
+        self.resolve_virtual(cid, method)
+    }
+
+    /// The signature of a method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid` was not produced by this VM.
+    pub fn method_sig(&self, mid: MethodId) -> &MethodSig {
+        &self.methods[mid.0 as usize].sig
+    }
+
+    /// The declaring class of a method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid` was not produced by this VM.
+    pub fn method_class(&self, mid: MethodId) -> ClassId {
+        self.methods[mid.0 as usize].class
+    }
+
+    /// Iterates over every declared method `(id, signature)`.
+    pub fn methods(&self) -> impl Iterator<Item = (MethodId, &MethodSig)> {
+        self.methods
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MethodId(i as u32), &m.sig))
+    }
+
+    /// Iterates over every declared field
+    /// `(id, declaring class name, field name, type)`.
+    pub fn fields(&self) -> impl Iterator<Item = (FieldId, &str, &str, &TypeSig)> {
+        self.classes.iter().enumerate().flat_map(|(i, c)| {
+            c.field_slots
+                .iter()
+                .filter(move |f| f.declared_in == ClassId(i as u32))
+                .map(move |f| (f.fid, &*c.name, &*f.name, &f.ty))
+        })
+    }
+
+    pub(crate) fn method_rt(&self, mid: MethodId) -> &MethodRt {
+        &self.methods[mid.0 as usize]
+    }
+
+    pub(crate) fn install_compiled(&mut self, mid: MethodId, compiled: Compiled) {
+        self.stats.compiled_methods += 1;
+        self.methods[mid.0 as usize].compiled = Some(compiled);
+    }
+
+    /// Resolves `(slot, field id)` of `class.field`.
+    pub fn resolve_field(&self, class: &str, field: &str) -> Option<(u16, FieldId)> {
+        let cid = self.class_id(class)?;
+        let c = &self.classes[cid.0 as usize];
+        let slot = *c.field_by_name.get(field)?;
+        Some((slot, c.field_slots[slot as usize].fid))
+    }
+
+    /// Resolves a virtual method on a runtime class.
+    pub fn resolve_virtual(&self, cid: ClassId, method: &str) -> Option<MethodId> {
+        self.classes[cid.0 as usize].method_by_name.get(method).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates an instance of `cid` with type-default field values.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for valid ids; returns a link error for foreign ids.
+    pub fn alloc_instance(&mut self, cid: ClassId) -> Result<Value, VmError> {
+        let class = self
+            .classes
+            .get(cid.0 as usize)
+            .ok_or_else(|| VmError::link(format!("unknown class id {cid}")))?;
+        let fields: Vec<Value> = class
+            .field_slots
+            .iter()
+            .map(|f| default_value(&f.ty))
+            .collect();
+        Ok(Value::Ref(self.heap.alloc_object(cid, fields)))
+    }
+
+    /// Allocates an instance by class name.
+    ///
+    /// # Errors
+    ///
+    /// Link error for unknown classes.
+    pub fn new_object(&mut self, class: &str) -> Result<Value, VmError> {
+        let cid = self
+            .class_id(class)
+            .ok_or_else(|| VmError::link(format!("unknown class {class:?}")))?;
+        self.alloc_instance(cid)
+    }
+
+    /// Allocates a byte buffer from `bytes`.
+    pub fn new_buffer(&mut self, bytes: Vec<u8>) -> Value {
+        Value::Ref(self.heap.alloc_buffer_from(bytes))
+    }
+
+    /// Allocates an array from `values`.
+    pub fn new_array(&mut self, values: Vec<Value>) -> Value {
+        Value::Ref(self.heap.alloc_array_from(values))
+    }
+
+    /// Reads an object field by name.
+    ///
+    /// # Errors
+    ///
+    /// Link error for unknown fields; heap errors otherwise.
+    pub fn get_field(&self, obj: ObjId, class: &str, field: &str) -> Result<Value, VmError> {
+        let (slot, _) = self
+            .resolve_field(class, field)
+            .ok_or_else(|| VmError::link(format!("unknown field {class}.{field}")))?;
+        self.heap.field(obj, slot)
+    }
+
+    /// Writes an object field by name (bypasses hooks — reflective).
+    ///
+    /// # Errors
+    ///
+    /// Link error for unknown fields; heap errors otherwise.
+    pub fn set_field(
+        &mut self,
+        obj: ObjId,
+        class: &str,
+        field: &str,
+        value: Value,
+    ) -> Result<(), VmError> {
+        let (slot, _) = self
+            .resolve_field(class, field)
+            .ok_or_else(|| VmError::link(format!("unknown field {class}.{field}")))?;
+        self.heap.set_field(obj, slot, value)
+    }
+
+    // ------------------------------------------------------------------
+    // Invocation
+    // ------------------------------------------------------------------
+
+    /// Calls `class.method` with virtual dispatch: if `this` is an
+    /// object, its runtime class overrides `class`.
+    ///
+    /// # Errors
+    ///
+    /// Link errors for unknown targets, plus anything the method raises.
+    pub fn call(
+        &mut self,
+        class: &str,
+        method: &str,
+        this: Value,
+        args: Vec<Value>,
+    ) -> Result<Value, VmError> {
+        let cid = match &this {
+            Value::Ref(id) => self.heap.object_class(*id)?,
+            _ => self
+                .class_id(class)
+                .ok_or_else(|| VmError::link(format!("unknown class {class:?}")))?,
+        };
+        let mid = self.resolve_virtual(cid, method).ok_or_else(|| {
+            VmError::link(format!(
+                "no method {method:?} on class {}",
+                self.class_name(cid)
+            ))
+        })?;
+        self.invoke(mid, this, args)
+    }
+
+    /// Virtual call used by the interpreter's `CallV`: receiver must be
+    /// an object.
+    pub(crate) fn call_virtual(
+        &mut self,
+        method: &str,
+        recv: Value,
+        args: Vec<Value>,
+    ) -> Result<Value, VmError> {
+        let id = match &recv {
+            Value::Ref(id) => *id,
+            Value::Null => {
+                return Err(VmError::exception(
+                    exception_class::NULL_POINTER,
+                    format!("virtual call {method:?} on null"),
+                ))
+            }
+            other => {
+                return Err(VmError::exception(
+                    exception_class::TYPE,
+                    format!("virtual call {method:?} on {}", other.kind()),
+                ))
+            }
+        };
+        let cid = self.heap.object_class(id)?;
+        let mid = self.resolve_virtual(cid, method).ok_or_else(|| {
+            VmError::exception(
+                exception_class::TYPE,
+                format!("no method {method:?} on {}", self.class_name(cid)),
+            )
+        })?;
+        self.invoke(mid, recv, args)
+    }
+
+    /// Invokes a method by id. This is the join-point spine: entry/exit
+    /// stubs fire here when present and active.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the method raises, plus engine limits.
+    pub fn invoke(&mut self, mid: MethodId, this: Value, args: Vec<Value>) -> Result<Value, VmError> {
+        if self.depth >= self.config.max_call_depth {
+            return Err(VmError::Limit(Limit::CallDepth));
+        }
+        self.depth += 1;
+        let r = self.invoke_inner(mid, this, args);
+        self.depth -= 1;
+        r
+    }
+
+    fn invoke_inner(
+        &mut self,
+        mid: MethodId,
+        this: Value,
+        mut args: Vec<Value>,
+    ) -> Result<Value, VmError> {
+        if self.methods[mid.0 as usize].compiled.is_none() {
+            jit::compile(self, mid)?;
+        }
+        self.stats.invocations += 1;
+        let compiled = self.methods[mid.0 as usize]
+            .compiled
+            .clone()
+            .expect("just compiled");
+        let stub = match &compiled {
+            Compiled::Bytecode(c) => c.stub,
+            Compiled::Native { stub, .. } => *stub,
+        };
+        // The JIT-planted entry stub: one flag check on the fast path.
+        let hooks_live = stub && self.hooks_live();
+        let mut exit_args: Option<Vec<Value>> = None;
+        if hooks_live {
+            self.stats.hook_checks += 1;
+            if self.hooks.method_flags(mid) & HOOK_ENTRY != 0 {
+                let d = self.dispatcher.clone().expect("hooks_live implies dispatcher");
+                self.stats.advice_dispatches += 1;
+                d.method_entry(self, mid, &this, &mut args)?;
+            }
+            // Exit advice observes the (post-entry-advice) arguments;
+            // keep a copy only when the exit hook is active.
+            if self.hooks.method_flags(mid) & HOOK_EXIT != 0 {
+                exit_args = Some(args.clone());
+            }
+        }
+        let result = match &compiled {
+            Compiled::Native { f, .. } => f(
+                self,
+                NativeCall {
+                    this: this.clone(),
+                    args,
+                },
+            ),
+            Compiled::Bytecode(c) => {
+                let expected = self.methods[mid.0 as usize].sig.params.len();
+                if args.len() != expected {
+                    return Err(VmError::link(format!(
+                        "{}: expected {} args, got {}",
+                        self.methods[mid.0 as usize].sig,
+                        expected,
+                        args.len()
+                    )));
+                }
+                crate::interp::run(self, c, this.clone(), args)
+            }
+        };
+        // The exit stub.
+        let mut outcome = match result {
+            Ok(v) => Outcome::Returned(v),
+            Err(VmError::Exception(e)) => Outcome::Threw(e),
+            Err(other) => return Err(other),
+        };
+        if hooks_live && self.hooks.method_flags(mid) & HOOK_EXIT != 0 {
+            self.stats.hook_checks += 1;
+            let d = self.dispatcher.clone().expect("hooks_live implies dispatcher");
+            self.stats.advice_dispatches += 1;
+            let saved = exit_args.unwrap_or_default();
+            d.method_exit(self, mid, &this, &saved, &mut outcome)?;
+        }
+        match outcome {
+            Outcome::Returned(v) => Ok(v),
+            Outcome::Threw(e) => Err(e.into()),
+        }
+    }
+
+    pub(crate) fn call_sys(&mut self, sys: u32, args: Vec<Value>) -> Result<Value, VmError> {
+        let (perm, name, f) = {
+            let (entry, f) = self
+                .sys
+                .entry(sys)
+                .ok_or_else(|| VmError::link(format!("unknown sys index {sys}")))?;
+            (entry.perm, entry.name.clone(), f)
+        };
+        if let Some(p) = perm {
+            if !self.effective_perms().allows(p) {
+                return Err(security_violation(&name, p));
+            }
+        }
+        f(self, args)
+    }
+
+    /// Invokes a named system operation directly (native helpers).
+    ///
+    /// # Errors
+    ///
+    /// Link error for unknown names; `SecurityException` without the
+    /// required permission.
+    pub fn sys(&mut self, name: &str, args: Vec<Value>) -> Result<Value, VmError> {
+        let idx = self
+            .sys
+            .lookup(name)
+            .ok_or_else(|| VmError::link(format!("unknown sys op {name:?}")))?;
+        self.call_sys(idx, args)
+    }
+
+    // ------------------------------------------------------------------
+    // Hook dispatch helpers used by the interpreter
+    // ------------------------------------------------------------------
+
+    pub(crate) fn dispatch_field_get(
+        &mut self,
+        fid: FieldId,
+        obj: ObjId,
+        value: &mut Value,
+    ) -> Result<(), VmError> {
+        if let Some(d) = self.dispatcher.clone() {
+            self.stats.advice_dispatches += 1;
+            d.field_get(self, fid, obj, value)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn dispatch_field_set(
+        &mut self,
+        fid: FieldId,
+        obj: ObjId,
+        value: &mut Value,
+    ) -> Result<(), VmError> {
+        if let Some(d) = self.dispatcher.clone() {
+            self.stats.advice_dispatches += 1;
+            d.field_set(self, fid, obj, value)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn dispatch_exception_throw(
+        &mut self,
+        site: MethodId,
+        exc: &VmException,
+    ) -> Result<(), VmError> {
+        if let Some(d) = self.dispatcher.clone() {
+            self.stats.advice_dispatches += 1;
+            d.exception_throw(self, site, exc)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn dispatch_exception_catch(
+        &mut self,
+        site: MethodId,
+        exc: &VmException,
+    ) -> Result<(), VmError> {
+        if let Some(d) = self.dispatcher.clone() {
+            self.stats.advice_dispatches += 1;
+            d.exception_catch(self, site, exc)?;
+        }
+        Ok(())
+    }
+
+    /// Field metadata: `(declaring class name, field name)`.
+    pub fn field_info(&self, fid: FieldId) -> Option<(&str, &str)> {
+        for (i, c) in self.classes.iter().enumerate() {
+            for f in &c.field_slots {
+                if f.fid == fid && f.declared_in == ClassId(i as u32) {
+                    return Some((&c.name, &f.name));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The default value of a field of type `ty`.
+pub fn default_value(ty: &TypeSig) -> Value {
+    match ty {
+        TypeSig::Bool => Value::Bool(false),
+        TypeSig::Int => Value::Int(0),
+        TypeSig::Float => Value::Float(0.0),
+        TypeSig::Str => Value::str(""),
+        _ => Value::Null,
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based interpreter validation: random expression trees are
+//! compiled to bytecode and must evaluate exactly like the Rust
+//! reference (wrapping integer semantics).
+
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::class::ClassDef;
+use pmp_vm::op::Op;
+use pmp_vm::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self) -> i64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Expr::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Expr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            Expr::Xor(a, b) => a.eval() ^ b.eval(),
+            Expr::And(a, b) => a.eval() & b.eval(),
+            Expr::Or(a, b) => a.eval() | b.eval(),
+            Expr::Neg(a) => a.eval().wrapping_neg(),
+        }
+    }
+
+    fn emit(&self, b: &mut MethodBuilder) {
+        match self {
+            Expr::Const(v) => {
+                b.konst(*v);
+            }
+            Expr::Add(x, y) => {
+                x.emit(b);
+                y.emit(b);
+                b.op(Op::Add);
+            }
+            Expr::Sub(x, y) => {
+                x.emit(b);
+                y.emit(b);
+                b.op(Op::Sub);
+            }
+            Expr::Mul(x, y) => {
+                x.emit(b);
+                y.emit(b);
+                b.op(Op::Mul);
+            }
+            Expr::Xor(x, y) => {
+                x.emit(b);
+                y.emit(b);
+                b.op(Op::BitXor);
+            }
+            Expr::And(x, y) => {
+                x.emit(b);
+                y.emit(b);
+                b.op(Op::BitAnd);
+            }
+            Expr::Or(x, y) => {
+                x.emit(b);
+                y.emit(b);
+                b.op(Op::BitOr);
+            }
+            Expr::Neg(x) => {
+                x.emit(b);
+                b.op(Op::Neg);
+            }
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = any::<i64>().prop_map(Expr::Const);
+    leaf.prop_recursive(4, 64, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Expr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn run_expr(expr: &Expr, hooks: bool) -> i64 {
+    let mut vm = Vm::new(if hooks {
+        VmConfig::default()
+    } else {
+        VmConfig::without_hooks()
+    });
+    let mut b = MethodBuilder::new();
+    expr.emit(&mut b);
+    b.op(Op::RetVal);
+    let body = b.build();
+    vm.register_class(
+        ClassDef::build("E")
+            .method_body("eval", [], TypeSig::Int, body)
+            .done(),
+    )
+    .unwrap();
+    vm.call("E", "eval", Value::Null, vec![])
+        .unwrap()
+        .as_int()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prop_bytecode_matches_rust_semantics(expr in expr_strategy()) {
+        prop_assert_eq!(run_expr(&expr, true), expr.eval());
+    }
+
+    #[test]
+    fn prop_stubs_do_not_change_results(expr in expr_strategy()) {
+        prop_assert_eq!(run_expr(&expr, true), run_expr(&expr, false));
+    }
+
+    #[test]
+    fn prop_comparisons_match(a: i64, b: i64) {
+        let mut vm = Vm::new(VmConfig::default());
+        vm.register_class(
+            ClassDef::build("C")
+                .method("lt", [TypeSig::Int, TypeSig::Int], TypeSig::Bool, |m| {
+                    m.op(Op::Load(1)).op(Op::Load(2)).op(Op::Lt).op(Op::RetVal);
+                })
+                .method("ge", [TypeSig::Int, TypeSig::Int], TypeSig::Bool, |m| {
+                    m.op(Op::Load(1)).op(Op::Load(2)).op(Op::Ge).op(Op::RetVal);
+                })
+                .method("div", [TypeSig::Int, TypeSig::Int], TypeSig::Int, |m| {
+                    m.op(Op::Load(1)).op(Op::Load(2)).op(Op::Div).op(Op::RetVal);
+                })
+                .done(),
+        )
+        .unwrap();
+        let lt = vm.call("C", "lt", Value::Null, vec![a.into(), b.into()]).unwrap();
+        prop_assert_eq!(lt, Value::Bool(a < b));
+        let ge = vm.call("C", "ge", Value::Null, vec![a.into(), b.into()]).unwrap();
+        prop_assert_eq!(ge, Value::Bool(a >= b));
+        let div = vm.call("C", "div", Value::Null, vec![a.into(), b.into()]);
+        if b == 0 {
+            prop_assert!(div.is_err());
+        } else {
+            prop_assert_eq!(div.unwrap(), Value::Int(a.wrapping_div(b)));
+        }
+    }
+
+    #[test]
+    fn prop_shifts_mask_like_jvm(a: i64, s in 0i64..200) {
+        let mut vm = Vm::new(VmConfig::default());
+        vm.register_class(
+            ClassDef::build("S")
+                .method("shl", [TypeSig::Int, TypeSig::Int], TypeSig::Int, |m| {
+                    m.op(Op::Load(1)).op(Op::Load(2)).op(Op::Shl).op(Op::RetVal);
+                })
+                .done(),
+        )
+        .unwrap();
+        let got = vm.call("S", "shl", Value::Null, vec![a.into(), s.into()]).unwrap();
+        prop_assert_eq!(got, Value::Int(a.wrapping_shl(s as u32 & 63)));
+    }
+}

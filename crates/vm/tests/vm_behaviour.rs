@@ -1,0 +1,729 @@
+//! Cross-module behaviour tests for the managed runtime: programs,
+//! exceptions, inheritance, hooks, and the sandbox.
+
+use pmp_vm::class::NativeCall;
+use pmp_vm::hooks::{Dispatcher, Outcome, HOOK_ENTRY, HOOK_EXIT, HOOK_SET};
+use pmp_vm::prelude::*;
+use pmp_vm::{Limit, VmException};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn fresh_vm() -> Vm {
+    Vm::new(VmConfig::default())
+}
+
+fn math_class() -> ClassDef {
+    ClassDef::build("Math")
+        // abs(x): x < 0 ? -x : x
+        .method("abs", [TypeSig::Int], TypeSig::Int, |b| {
+            let neg = b.label();
+            b.op(Op::Load(1)).konst(0i64).op(Op::Lt);
+            b.jump_if(neg);
+            b.op(Op::Load(1)).op(Op::RetVal);
+            b.bind(neg);
+            b.op(Op::Load(1)).op(Op::Neg).op(Op::RetVal);
+        })
+        // sum(n): loop accumulating 0..n
+        .method("sum", [TypeSig::Int], TypeSig::Int, |b| {
+            b.locals(2);
+            let top = b.label();
+            let done = b.label();
+            b.konst(0i64).op(Op::Store(2));
+            b.konst(0i64).op(Op::Store(3));
+            b.bind(top);
+            b.op(Op::Load(3)).op(Op::Load(1)).op(Op::Lt);
+            b.jump_if_not(done);
+            b.op(Op::Load(2)).op(Op::Load(3)).op(Op::Add).op(Op::Store(2));
+            b.op(Op::Load(3)).konst(1i64).op(Op::Add).op(Op::Store(3));
+            b.jump(top);
+            b.bind(done);
+            b.op(Op::Load(2)).op(Op::RetVal);
+        })
+        // fib(n): recursion through static calls
+        .method("fib", [TypeSig::Int], TypeSig::Int, |b| {
+            let rec = b.label();
+            b.op(Op::Load(1)).konst(2i64).op(Op::Lt);
+            b.jump_if_not(rec);
+            b.op(Op::Load(1)).op(Op::RetVal);
+            b.bind(rec);
+            b.op(Op::Load(1)).konst(1i64).op(Op::Sub);
+            b.op(Op::CallStatic {
+                class: "Math".into(),
+                method: "fib".into(),
+                argc: 1,
+            });
+            b.op(Op::Load(1)).konst(2i64).op(Op::Sub);
+            b.op(Op::CallStatic {
+                class: "Math".into(),
+                method: "fib".into(),
+                argc: 1,
+            });
+            b.op(Op::Add).op(Op::RetVal);
+        })
+        .done()
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    let mut vm = fresh_vm();
+    vm.register_class(math_class()).unwrap();
+    let abs = vm
+        .call("Math", "abs", Value::Null, vec![Value::Int(-9)])
+        .unwrap();
+    assert_eq!(abs, Value::Int(9));
+    let sum = vm
+        .call("Math", "sum", Value::Null, vec![Value::Int(10)])
+        .unwrap();
+    assert_eq!(sum, Value::Int(45));
+    let fib = vm
+        .call("Math", "fib", Value::Null, vec![Value::Int(12)])
+        .unwrap();
+    assert_eq!(fib, Value::Int(144));
+}
+
+#[test]
+fn division_by_zero_is_catchable() {
+    let mut vm = fresh_vm();
+    let class = ClassDef::build("T")
+        .method("div", [TypeSig::Int, TypeSig::Int], TypeSig::Int, |b| {
+            b.op(Op::Load(1)).op(Op::Load(2)).op(Op::Div).op(Op::RetVal);
+        })
+        .method("safe_div", [TypeSig::Int, TypeSig::Int], TypeSig::Int, |b| {
+            let start = b.label();
+            let end = b.label();
+            let handler = b.label();
+            b.bind(start);
+            b.op(Op::Load(1)).op(Op::Load(2)).op(Op::Div).op(Op::RetVal);
+            b.bind(end);
+            b.bind(handler);
+            b.op(Op::Pop);
+            b.konst(-1i64).op(Op::RetVal);
+            b.guard(start, end, "ArithmeticException", handler);
+        })
+        .done();
+    vm.register_class(class).unwrap();
+    let err = vm
+        .call("T", "div", Value::Null, vec![1.into(), 0.into()])
+        .unwrap_err();
+    assert_eq!(
+        err.as_exception().unwrap().class.as_ref(),
+        "ArithmeticException"
+    );
+    let v = vm
+        .call("T", "safe_div", Value::Null, vec![1.into(), 0.into()])
+        .unwrap();
+    assert_eq!(v, Value::Int(-1));
+}
+
+#[test]
+fn explicit_throw_and_typed_handlers() {
+    let mut vm = fresh_vm();
+    let class = ClassDef::build("T")
+        .method("pick", [TypeSig::Int], TypeSig::Str, |b| {
+            let start = b.label();
+            let end = b.label();
+            let h_a = b.label();
+            let h_any = b.label();
+            let throw_b = b.label();
+            b.bind(start);
+            b.op(Op::Load(1)).konst(0i64).op(Op::Eq);
+            b.jump_if_not(throw_b);
+            b.konst("a-message").op(Op::Throw("ErrA".into()));
+            b.bind(throw_b);
+            b.konst("b-message").op(Op::Throw("ErrB".into()));
+            b.bind(end);
+            b.bind(h_a);
+            b.op(Op::Pop).konst("caught-a").op(Op::RetVal);
+            b.bind(h_any);
+            // handler receives the message on the stack
+            b.op(Op::RetVal);
+            b.guard(start, end, "ErrA", h_a);
+            b.guard(start, end, "*", h_any);
+        })
+        .done();
+    vm.register_class(class).unwrap();
+    let a = vm.call("T", "pick", Value::Null, vec![0.into()]).unwrap();
+    assert_eq!(a, Value::str("caught-a"));
+    let b = vm.call("T", "pick", Value::Null, vec![1.into()]).unwrap();
+    assert_eq!(b, Value::str("b-message"));
+}
+
+#[test]
+fn exceptions_propagate_through_nested_calls() {
+    let mut vm = fresh_vm();
+    let class = ClassDef::build("T")
+        .method("inner", [], TypeSig::Void, |b| {
+            b.konst("boom").op(Op::Throw("Kaboom".into()));
+        })
+        .method("outer", [], TypeSig::Str, |b| {
+            let start = b.label();
+            let end = b.label();
+            let h = b.label();
+            b.bind(start);
+            b.op(Op::CallStatic {
+                class: "T".into(),
+                method: "inner".into(),
+                argc: 0,
+            });
+            b.op(Op::Pop).op(Op::Ret);
+            b.bind(end);
+            b.bind(h);
+            b.op(Op::RetVal);
+            b.guard(start, end, "Kaboom", h);
+        })
+        .done();
+    vm.register_class(class).unwrap();
+    let v = vm.call("T", "outer", Value::Null, vec![]).unwrap();
+    assert_eq!(v, Value::str("boom"));
+}
+
+#[test]
+fn objects_fields_and_virtual_dispatch() {
+    let mut vm = fresh_vm();
+    vm.register_class(
+        ClassDef::build("Device")
+            .field("id", TypeSig::Int)
+            .method("describe", [], TypeSig::Str, |b| {
+                b.konst("generic device").op(Op::RetVal);
+            })
+            .method("ident", [], TypeSig::Int, |b| {
+                b.op(Op::Load(0))
+                    .op(Op::GetField {
+                        class: "Device".into(),
+                        field: "id".into(),
+                    })
+                    .op(Op::RetVal);
+            })
+            .done(),
+    )
+    .unwrap();
+    vm.register_class(
+        ClassDef::build("Motor")
+            .extends("Device")
+            .field("power", TypeSig::Int)
+            .method("describe", [], TypeSig::Str, |b| {
+                b.konst("motor").op(Op::RetVal);
+            })
+            .done(),
+    )
+    .unwrap();
+
+    let motor = vm.new_object("Motor").unwrap();
+    let obj = motor.as_ref_id().unwrap();
+    vm.set_field(obj, "Motor", "id", Value::Int(7)).unwrap();
+    vm.set_field(obj, "Motor", "power", Value::Int(3)).unwrap();
+
+    // Overridden method resolves on the runtime class.
+    let desc = vm
+        .call("Device", "describe", motor.clone(), vec![])
+        .unwrap();
+    assert_eq!(desc, Value::str("motor"));
+    // Inherited method sees inherited field layout.
+    let ident = vm.call("Motor", "ident", motor.clone(), vec![]).unwrap();
+    assert_eq!(ident, Value::Int(7));
+    assert!(vm.is_subclass(
+        vm.class_id("Motor").unwrap(),
+        vm.class_id("Device").unwrap()
+    ));
+    assert!(!vm.is_subclass(
+        vm.class_id("Device").unwrap(),
+        vm.class_id("Motor").unwrap()
+    ));
+}
+
+#[test]
+fn arrays_and_buffers() {
+    let mut vm = fresh_vm();
+    let class = ClassDef::build("T")
+        .method("rev", [TypeSig::Bytes], TypeSig::Bytes, |b| {
+            // Reverse a byte buffer into a new one.
+            b.locals(3); // 2: out, 3: i, 4: len
+            let top = b.label();
+            let done = b.label();
+            b.op(Op::Load(1)).op(Op::BufLen).op(Op::Store(4));
+            b.op(Op::Load(4)).op(Op::NewBuffer).op(Op::Store(2));
+            b.konst(0i64).op(Op::Store(3));
+            b.bind(top);
+            b.op(Op::Load(3)).op(Op::Load(4)).op(Op::Lt);
+            b.jump_if_not(done);
+            // out[len-1-i] = in[i]
+            b.op(Op::Load(2));
+            b.op(Op::Load(4)).konst(1i64).op(Op::Sub).op(Op::Load(3)).op(Op::Sub);
+            b.op(Op::Load(1)).op(Op::Load(3)).op(Op::BufGet);
+            b.op(Op::BufSet);
+            b.op(Op::Load(3)).konst(1i64).op(Op::Add).op(Op::Store(3));
+            b.jump(top);
+            b.bind(done);
+            b.op(Op::Load(2)).op(Op::RetVal);
+        })
+        .done();
+    vm.register_class(class).unwrap();
+    let buf = vm.new_buffer(vec![1, 2, 3, 4]);
+    let out = vm.call("T", "rev", Value::Null, vec![buf]).unwrap();
+    let id = out.as_ref_id().unwrap();
+    assert_eq!(vm.heap().buffer_bytes(id).unwrap(), &[4, 3, 2, 1]);
+
+    let arr = vm.new_array(vec![Value::Int(5), Value::str("x")]);
+    let id = arr.as_ref_id().unwrap();
+    assert_eq!(vm.heap().array_len(id).unwrap(), 2);
+    assert_eq!(vm.heap().array_get(id, 1).unwrap(), Value::str("x"));
+}
+
+#[test]
+fn call_depth_limit_is_enforced() {
+    let mut vm = Vm::new(VmConfig {
+        max_call_depth: 32,
+        ..VmConfig::default()
+    });
+    let class = ClassDef::build("T")
+        .method("spin", [], TypeSig::Void, |b| {
+            b.op(Op::CallStatic {
+                class: "T".into(),
+                method: "spin".into(),
+                argc: 0,
+            });
+            b.op(Op::Pop).op(Op::Ret);
+        })
+        .done();
+    vm.register_class(class).unwrap();
+    let err = vm.call("T", "spin", Value::Null, vec![]).unwrap_err();
+    assert_eq!(err, VmError::Limit(Limit::CallDepth));
+}
+
+#[test]
+fn fuel_limits_sandboxed_loops() {
+    let mut vm = fresh_vm();
+    let class = ClassDef::build("T")
+        .method("forever", [], TypeSig::Void, |b| {
+            let top = b.label();
+            b.bind(top);
+            b.jump(top);
+        })
+        .done();
+    vm.register_class(class).unwrap();
+    vm.set_fuel(Some(10_000));
+    let err = vm.call("T", "forever", Value::Null, vec![]).unwrap_err();
+    assert_eq!(err, VmError::Limit(Limit::Fuel));
+    vm.set_fuel(None);
+}
+
+#[test]
+fn sandbox_blocks_sys_ops_without_permission() {
+    let mut vm = fresh_vm();
+    let class = ClassDef::build("T")
+        .method("talk", [], TypeSig::Void, |b| {
+            b.konst("hello")
+                .op(Op::Sys {
+                    name: "print".into(),
+                    argc: 1,
+                })
+                .op(Op::Pop)
+                .op(Op::Ret);
+        })
+        .done();
+    vm.register_class(class).unwrap();
+
+    // Full permissions: works.
+    vm.call("T", "talk", Value::Null, vec![]).unwrap();
+    assert_eq!(vm.take_output(), vec!["hello".to_string()]);
+
+    // Restricted scope: SecurityException.
+    let scope = vm.begin_advice(Permissions::none(), None);
+    let err = vm.call("T", "talk", Value::Null, vec![]).unwrap_err();
+    vm.end_advice(scope);
+    assert_eq!(
+        err.as_exception().unwrap().class.as_ref(),
+        exception_class::SECURITY
+    );
+}
+
+#[test]
+fn native_methods_interoperate_with_bytecode() {
+    let mut vm = fresh_vm();
+    let counter = Arc::new(AtomicU64::new(0));
+    let c2 = counter.clone();
+    let class = ClassDef::build("T")
+        .native("bump", [], TypeSig::Int, move |_vm, _call: NativeCall| {
+            Ok(Value::Int(c2.fetch_add(1, Ordering::SeqCst) as i64))
+        })
+        .method("bump_twice", [], TypeSig::Int, |b| {
+            b.op(Op::CallStatic {
+                class: "T".into(),
+                method: "bump".into(),
+                argc: 0,
+            });
+            b.op(Op::Pop);
+            b.op(Op::CallStatic {
+                class: "T".into(),
+                method: "bump".into(),
+                argc: 0,
+            });
+            b.op(Op::RetVal);
+        })
+        .done();
+    vm.register_class(class).unwrap();
+    let v = vm.call("T", "bump_twice", Value::Null, vec![]).unwrap();
+    assert_eq!(v, Value::Int(1));
+    assert_eq!(counter.load(Ordering::SeqCst), 2);
+}
+
+/// Test dispatcher that records every event and can veto calls.
+#[derive(Default)]
+struct Recorder {
+    events: Mutex<Vec<String>>,
+    veto_method: Mutex<Option<String>>,
+}
+
+impl Dispatcher for Recorder {
+    fn method_entry(
+        &self,
+        vm: &mut Vm,
+        mid: MethodId,
+        _this: &Value,
+        args: &mut Vec<Value>,
+    ) -> Result<(), VmError> {
+        let sig = vm.method_sig(mid).to_string();
+        self.events.lock().unwrap().push(format!("entry {sig}"));
+        if let Some(veto) = &*self.veto_method.lock().unwrap() {
+            if sig.contains(veto.as_str()) {
+                return Err(VmError::exception("AccessDeniedException", "vetoed"));
+            }
+        }
+        // Demonstrate argument mutation: double the first int arg.
+        if let Some(Value::Int(i)) = args.first().cloned() {
+            args[0] = Value::Int(i * 2);
+        }
+        Ok(())
+    }
+
+    fn method_exit(
+        &self,
+        vm: &mut Vm,
+        mid: MethodId,
+        _this: &Value,
+        _args: &[Value],
+        outcome: &mut Outcome,
+    ) -> Result<(), VmError> {
+        let sig = vm.method_sig(mid).to_string();
+        self.events
+            .lock()
+            .unwrap()
+            .push(format!("exit {sig} {outcome:?}"));
+        if let Outcome::Returned(Value::Int(i)) = outcome {
+            *outcome = Outcome::Returned(Value::Int(*i + 1000));
+        }
+        Ok(())
+    }
+
+    fn field_get(
+        &self,
+        _vm: &mut Vm,
+        _fid: FieldId,
+        _obj: ObjId,
+        _value: &mut Value,
+    ) -> Result<(), VmError> {
+        Ok(())
+    }
+
+    fn field_set(
+        &self,
+        vm: &mut Vm,
+        fid: FieldId,
+        _obj: ObjId,
+        value: &mut Value,
+    ) -> Result<(), VmError> {
+        let (class, field) = vm.field_info(fid).unwrap();
+        self.events
+            .lock()
+            .unwrap()
+            .push(format!("set {class}.{field} = {value}"));
+        Ok(())
+    }
+
+    fn exception_throw(
+        &self,
+        _vm: &mut Vm,
+        _site: MethodId,
+        exc: &VmException,
+    ) -> Result<(), VmError> {
+        self.events
+            .lock()
+            .unwrap()
+            .push(format!("throw {}", exc.class));
+        Ok(())
+    }
+
+    fn exception_catch(
+        &self,
+        _vm: &mut Vm,
+        _site: MethodId,
+        exc: &VmException,
+    ) -> Result<(), VmError> {
+        self.events
+            .lock()
+            .unwrap()
+            .push(format!("catch {}", exc.class));
+        Ok(())
+    }
+}
+
+fn hooked_vm_with_recorder() -> (Vm, Arc<Recorder>) {
+    let mut vm = fresh_vm();
+    let rec = Arc::new(Recorder::default());
+    vm.set_dispatcher(rec.clone());
+    vm.register_class(
+        ClassDef::build("Svc")
+            .field("state", TypeSig::Int)
+            .method("twice", [TypeSig::Int], TypeSig::Int, |b| {
+                b.op(Op::Load(1)).konst(2i64).op(Op::Mul).op(Op::RetVal);
+            })
+            .method("store", [TypeSig::Int], TypeSig::Void, |b| {
+                b.op(Op::Load(0))
+                    .op(Op::Load(1))
+                    .op(Op::PutField {
+                        class: "Svc".into(),
+                        field: "state".into(),
+                    })
+                    .op(Op::Ret);
+            })
+            .done(),
+    )
+    .unwrap();
+    (vm, rec)
+}
+
+#[test]
+fn inactive_hooks_do_not_dispatch() {
+    let (mut vm, rec) = hooked_vm_with_recorder();
+    let out = vm
+        .call("Svc", "twice", Value::Null, vec![Value::Int(5)])
+        .unwrap();
+    assert_eq!(out, Value::Int(10));
+    assert!(rec.events.lock().unwrap().is_empty());
+    assert!(vm.stats().hook_checks > 0);
+    assert_eq!(vm.stats().advice_dispatches, 0);
+}
+
+#[test]
+fn entry_and_exit_hooks_fire_and_transform() {
+    let (mut vm, rec) = hooked_vm_with_recorder();
+    let mid = vm.method_id("Svc", "twice").unwrap();
+    vm.hooks().activate_method(mid, HOOK_ENTRY | HOOK_EXIT);
+    let out = vm
+        .call("Svc", "twice", Value::Null, vec![Value::Int(5)])
+        .unwrap();
+    // entry doubles the arg (5 -> 10), body doubles (20), exit adds 1000.
+    assert_eq!(out, Value::Int(1020));
+    let events = rec.events.lock().unwrap();
+    assert_eq!(events.len(), 2);
+    assert!(events[0].starts_with("entry int Svc.twice(int)"));
+    assert!(events[1].starts_with("exit int Svc.twice(int)"));
+}
+
+#[test]
+fn entry_hook_can_abort_call() {
+    let (mut vm, rec) = hooked_vm_with_recorder();
+    *rec.veto_method.lock().unwrap() = Some("twice".into());
+    let mid = vm.method_id("Svc", "twice").unwrap();
+    vm.hooks().activate_method(mid, HOOK_ENTRY);
+    let err = vm
+        .call("Svc", "twice", Value::Null, vec![Value::Int(5)])
+        .unwrap_err();
+    assert_eq!(
+        err.as_exception().unwrap().class.as_ref(),
+        "AccessDeniedException"
+    );
+}
+
+#[test]
+fn field_set_hook_observes_writes() {
+    let (mut vm, rec) = hooked_vm_with_recorder();
+    let (_, fid) = vm.resolve_field("Svc", "state").unwrap();
+    vm.hooks().activate_field(fid, HOOK_SET);
+    let obj = vm.new_object("Svc").unwrap();
+    vm.call("Svc", "store", obj, vec![Value::Int(42)]).unwrap();
+    let events = rec.events.lock().unwrap();
+    assert_eq!(events.as_slice(), ["set Svc.state = 42"]);
+}
+
+#[test]
+fn deactivating_hooks_stops_dispatch() {
+    let (mut vm, rec) = hooked_vm_with_recorder();
+    let mid = vm.method_id("Svc", "twice").unwrap();
+    vm.hooks().activate_method(mid, HOOK_ENTRY | HOOK_EXIT);
+    vm.call("Svc", "twice", Value::Null, vec![Value::Int(1)])
+        .unwrap();
+    vm.hooks().deactivate_method(mid, HOOK_ENTRY | HOOK_EXIT);
+    vm.call("Svc", "twice", Value::Null, vec![Value::Int(1)])
+        .unwrap();
+    assert_eq!(rec.events.lock().unwrap().len(), 2);
+}
+
+#[test]
+fn hooks_disabled_at_compile_time_never_check() {
+    let mut vm = Vm::new(VmConfig::without_hooks());
+    let rec = Arc::new(Recorder::default());
+    vm.set_dispatcher(rec.clone());
+    vm.register_class(
+        ClassDef::build("Svc")
+            .method("f", [], TypeSig::Int, |b| {
+                b.konst(1i64).op(Op::RetVal);
+            })
+            .done(),
+    )
+    .unwrap();
+    let mid = vm.method_id("Svc", "f").unwrap();
+    vm.hooks().activate_method(mid, HOOK_ENTRY | HOOK_EXIT);
+    let out = vm.call("Svc", "f", Value::Null, vec![]).unwrap();
+    // No stub was compiled in, so even active flags are inert.
+    assert_eq!(out, Value::Int(1));
+    assert_eq!(vm.stats().hook_checks, 0);
+    assert!(rec.events.lock().unwrap().is_empty());
+}
+
+#[test]
+fn recompilation_toggles_stub_presence() {
+    let (mut vm, _rec) = hooked_vm_with_recorder();
+    vm.call("Svc", "twice", Value::Null, vec![Value::Int(1)])
+        .unwrap();
+    assert!(vm.stats().hook_checks > 0);
+    vm.reset_stats();
+    vm.set_prose_hooks(false);
+    vm.call("Svc", "twice", Value::Null, vec![Value::Int(1)])
+        .unwrap();
+    assert_eq!(vm.stats().hook_checks, 0);
+    vm.reset_stats();
+    vm.set_prose_hooks(true);
+    vm.call("Svc", "twice", Value::Null, vec![Value::Int(1)])
+        .unwrap();
+    assert!(vm.stats().hook_checks > 0);
+}
+
+#[test]
+fn exception_joinpoints_fire() {
+    let (mut vm, rec) = hooked_vm_with_recorder();
+    vm.register_class(
+        ClassDef::build("E")
+            .method("boom", [], TypeSig::Void, |b| {
+                let s = b.label();
+                let e = b.label();
+                let h = b.label();
+                b.bind(s);
+                b.konst("x").op(Op::Throw("Kaboom".into()));
+                b.bind(e);
+                b.bind(h);
+                b.op(Op::Pop).op(Op::Ret);
+                b.guard(s, e, "*", h);
+            })
+            .done(),
+    )
+    .unwrap();
+    vm.hooks()
+        .activate_exception(pmp_vm::hooks::HOOK_THROW | pmp_vm::hooks::HOOK_CATCH);
+    vm.call("E", "boom", Value::Null, vec![]).unwrap();
+    let events = rec.events.lock().unwrap();
+    assert_eq!(events.as_slice(), ["throw Kaboom", "catch Kaboom"]);
+}
+
+#[test]
+fn stats_count_invocations_and_ops() {
+    let mut vm = fresh_vm();
+    vm.register_class(math_class()).unwrap();
+    vm.call("Math", "sum", Value::Null, vec![Value::Int(100)])
+        .unwrap();
+    let stats = vm.stats();
+    assert_eq!(stats.invocations, 1);
+    assert!(stats.bytecode_ops > 500);
+    assert_eq!(stats.compiled_methods, 1);
+}
+
+#[test]
+fn output_capture_via_print() {
+    let mut vm = fresh_vm();
+    vm.sys("print", vec![Value::str("a"), Value::Int(1)]).unwrap();
+    vm.sys("print", vec![Value::str("b")]).unwrap();
+    assert_eq!(vm.take_output(), vec!["a 1".to_string(), "b".to_string()]);
+    assert!(vm.take_output().is_empty());
+}
+
+#[test]
+fn unknown_targets_are_link_errors() {
+    let mut vm = fresh_vm();
+    assert!(matches!(
+        vm.call("Nope", "f", Value::Null, vec![]),
+        Err(VmError::Link(_))
+    ));
+    vm.register_class(ClassDef::build("A").done()).unwrap();
+    assert!(matches!(
+        vm.call("A", "missing", Value::Null, vec![]),
+        Err(VmError::Link(_))
+    ));
+    // Compile-time resolution failure for bad bytecode.
+    vm.register_class(
+        ClassDef::build("B")
+            .method("bad", [], TypeSig::Void, |b| {
+                b.op(Op::New("MissingClass".into())).op(Op::Ret);
+            })
+            .done(),
+    )
+    .unwrap();
+    assert!(matches!(
+        vm.call("B", "bad", Value::Null, vec![]),
+        Err(VmError::Link(_))
+    ));
+}
+
+#[test]
+fn arity_mismatch_rejected() {
+    let mut vm = fresh_vm();
+    vm.register_class(math_class()).unwrap();
+    assert!(matches!(
+        vm.call("Math", "abs", Value::Null, vec![]),
+        Err(VmError::Link(_))
+    ));
+}
+
+#[test]
+fn duplicate_definitions_rejected() {
+    let mut vm = fresh_vm();
+    vm.register_class(ClassDef::build("A").field("x", TypeSig::Int).done())
+        .unwrap();
+    assert!(vm.register_class(ClassDef::build("A").done()).is_err());
+    assert!(vm
+        .register_class(
+            ClassDef::build("B")
+                .field("x", TypeSig::Int)
+                .field("x", TypeSig::Int)
+                .done()
+        )
+        .is_err());
+    assert!(vm
+        .register_class(ClassDef::build("C").extends("Missing").done())
+        .is_err());
+}
+
+#[test]
+fn string_ops_and_conversions() {
+    let mut vm = fresh_vm();
+    let class = ClassDef::build("S")
+        .method("describe", [TypeSig::Int], TypeSig::Str, |b| {
+            b.konst("value=").op(Op::Load(1)).op(Op::Concat).op(Op::RetVal);
+        })
+        .method("parse", [TypeSig::Str], TypeSig::Int, |b| {
+            b.op(Op::Load(1)).op(Op::ToInt).op(Op::RetVal);
+        })
+        .done();
+    vm.register_class(class).unwrap();
+    let s = vm
+        .call("S", "describe", Value::Null, vec![Value::Int(8)])
+        .unwrap();
+    assert_eq!(s, Value::str("value=8"));
+    let i = vm
+        .call("S", "parse", Value::Null, vec![Value::str(" 42 ")])
+        .unwrap();
+    assert_eq!(i, Value::Int(42));
+    let err = vm
+        .call("S", "parse", Value::Null, vec![Value::str("nope")])
+        .unwrap_err();
+    assert_eq!(err.as_exception().unwrap().class.as_ref(), "TypeError");
+}

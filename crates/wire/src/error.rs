@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Error produced when decoding wire-format bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof,
+    /// A length prefix exceeded [`crate::MAX_LEN`].
+    LengthTooLarge {
+        /// The declared length.
+        declared: u64,
+    },
+    /// A varint used more than 10 bytes or overflowed 64 bits.
+    VarintOverflow,
+    /// A string field did not contain valid UTF-8.
+    InvalidUtf8,
+    /// An enum tag byte was not one of the expected values.
+    InvalidTag {
+        /// Name of the type being decoded.
+        type_name: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// Bytes remained in the input after the value was decoded.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+    /// A decoded value violated an invariant of its type.
+    Invalid {
+        /// Name of the type being decoded.
+        type_name: &'static str,
+        /// Human-readable description of the violation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::LengthTooLarge { declared } => {
+                write!(f, "declared length {declared} exceeds limit")
+            }
+            WireError::VarintOverflow => write!(f, "varint overflowed 64 bits"),
+            WireError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::InvalidTag { type_name, tag } => {
+                write!(f, "invalid tag {tag} while decoding {type_name}")
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            WireError::Invalid { type_name, reason } => {
+                write!(f, "invalid {type_name}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,153 @@
+//! Canonical binary wire codec for the pmp platform.
+//!
+//! Every message that crosses the simulated wireless network — and every
+//! byte sequence that gets signed by `pmp-crypto` — is produced by this
+//! codec. The paper's platform ships Java-serialised extension objects;
+//! here we use a small, explicit, *canonical* binary format instead, so
+//! that the same logical value always encodes to the same bytes (a
+//! requirement for signature verification).
+//!
+//! The format is deliberately simple:
+//!
+//! * fixed-width little-endian integers where the width is known,
+//! * LEB128 variable-length unsigned integers (`varu64`) for lengths and
+//!   counts, with zig-zag encoding for signed values,
+//! * length-prefixed UTF-8 for strings and length-prefixed raw bytes,
+//! * containers encode their element count followed by the elements.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmp_wire::{Wire, Writer, Reader};
+//!
+//! # fn main() -> Result<(), pmp_wire::WireError> {
+//! let v: Vec<String> = vec!["hall-a".into(), "hall-b".into()];
+//! let bytes = pmp_wire::to_bytes(&v);
+//! let back: Vec<String> = pmp_wire::from_bytes(&bytes)?;
+//! assert_eq!(v, back);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod reader;
+mod traits;
+mod writer;
+
+pub use error::WireError;
+pub use reader::Reader;
+pub use traits::Wire;
+pub use writer::Writer;
+
+/// Upper bound on any single length prefix (strings, byte blobs,
+/// collection counts). Guards against memory exhaustion when decoding
+/// hostile input received over the network.
+pub const MAX_LEN: usize = 1 << 26;
+
+/// Encodes a value to a fresh byte vector.
+///
+/// ```
+/// let bytes = pmp_wire::to_bytes(&42u32);
+/// assert_eq!(bytes, vec![42, 0, 0, 0]);
+/// ```
+pub fn to_bytes<T: Wire + ?Sized>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a value from a byte slice, requiring the slice to be fully
+/// consumed.
+///
+/// # Errors
+///
+/// Returns [`WireError::TrailingBytes`] if input remains after decoding,
+/// or any decode error produced by the value itself.
+pub fn from_bytes<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(from_bytes::<u8>(&to_bytes(&7u8)).unwrap(), 7);
+        assert_eq!(from_bytes::<u16>(&to_bytes(&999u16)).unwrap(), 999);
+        assert_eq!(from_bytes::<u32>(&to_bytes(&70000u32)).unwrap(), 70000);
+        assert_eq!(
+            from_bytes::<u64>(&to_bytes(&u64::MAX)).unwrap(),
+            u64::MAX
+        );
+        assert_eq!(from_bytes::<i64>(&to_bytes(&-42i64)).unwrap(), -42);
+        assert!(from_bytes::<bool>(&to_bytes(&true)).unwrap());
+        assert_eq!(from_bytes::<f64>(&to_bytes(&1.5f64)).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn roundtrip_string_and_bytes() {
+        let s = "hall-α-β".to_string();
+        assert_eq!(from_bytes::<String>(&to_bytes(&s)).unwrap(), s);
+        let b: Vec<u8> = vec![0, 1, 2, 255];
+        assert_eq!(from_bytes::<Vec<u8>>(&to_bytes(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let v = vec![Some(3u32), None, Some(9)];
+        assert_eq!(from_bytes::<Vec<Option<u32>>>(&to_bytes(&v)).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2);
+        assert_eq!(
+            from_bytes::<BTreeMap<String, u64>>(&to_bytes(&m)).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn canonical_map_encoding_is_order_independent() {
+        let mut m1 = BTreeMap::new();
+        m1.insert("z".to_string(), 1u32);
+        m1.insert("a".to_string(), 2);
+        let mut m2 = BTreeMap::new();
+        m2.insert("a".to_string(), 2u32);
+        m2.insert("z".to_string(), 1);
+        assert_eq!(to_bytes(&m1), to_bytes(&m2));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&5u8);
+        bytes.push(0);
+        assert!(matches!(
+            from_bytes::<u8>(&bytes),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&123456u32);
+        assert!(matches!(
+            from_bytes::<u32>(&bytes[..2]),
+            Err(WireError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // A varint length of u64::MAX must not cause allocation.
+        let mut w = Writer::new();
+        w.put_varu64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(from_bytes::<String>(&bytes).is_err());
+        assert!(from_bytes::<Vec<u8>>(&bytes).is_err());
+        assert!(from_bytes::<Vec<u64>>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+use crate::{WireError, MAX_LEN};
+
+/// Cursor-style decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Returns an error unless the input has been fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TrailingBytes`] when unread bytes remain.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::VarintOverflow`] if more than 10 bytes are used or the
+    /// value exceeds 64 bits.
+    pub fn get_varu64(&mut self) -> Result<u64, WireError> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            let part = u64::from(byte & 0x7f);
+            if shift >= 64 || (shift == 63 && part > 1) {
+                return Err(WireError::VarintOverflow);
+            }
+            result |= part << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zig-zag encoded signed varint.
+    pub fn get_vari64(&mut self) -> Result<i64, WireError> {
+        let z = self.get_varu64()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Reads a boolean byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::InvalidTag`] for any byte other than 0 or 1 — a
+    /// canonical format admits exactly one encoding per value.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::InvalidTag {
+                type_name: "bool",
+                tag,
+            }),
+        }
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length prefix, validating it against [`MAX_LEN`] and the
+    /// bytes actually remaining (so hostile lengths cannot force huge
+    /// allocations).
+    pub fn get_len(&mut self) -> Result<usize, WireError> {
+        let declared = self.get_varu64()?;
+        if declared > MAX_LEN as u64 {
+            return Err(WireError::LengthTooLarge { declared });
+        }
+        Ok(declared as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let len = self.get_len()?;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_len()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads exactly `n` raw bytes with no length prefix.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Writer;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0, 1, 127, 128, 16383, 16384, u64::MAX / 2, u64::MAX] {
+            let mut w = Writer::new();
+            w.put_varu64(v);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.get_varu64().unwrap(), v);
+            assert!(r.finish().is_ok());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // 11 continuation bytes encode > 64 bits.
+        let bytes = [0xff; 11];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_varu64(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn non_canonical_bool_rejected() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(r.get_bool(), Err(WireError::InvalidTag { .. })));
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            let mut w = Writer::new();
+            w.put_vari64(v);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.get_vari64().unwrap(), v);
+        }
+    }
+}

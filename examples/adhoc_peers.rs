@@ -1,0 +1,144 @@
+//! Symmetric ad-hoc mode (paper §2.1/§3.2): no base station — two
+//! devices meet, each one both *provides* and *receives* extensions,
+//! "creating an information system infrastructure in an entirely
+//! ad-hoc manner".
+//!
+//! ```bash
+//! cargo run --example adhoc_peers
+//! ```
+
+use pmp::crypto::{KeyPair, Principal};
+use pmp::discovery::Registrar;
+use pmp::extensions;
+use pmp::midas::{AdaptationService, ExtensionBase, ReceiverPolicy, SignedExtension};
+use pmp::net::prelude::*;
+use pmp::prose::Prose;
+use pmp::vm::prelude::*;
+
+const SEC: u64 = 1_000_000_000;
+
+struct Peer {
+    node: NodeId,
+    name: &'static str,
+    registrar: Registrar,
+    base: ExtensionBase,
+    receiver: AdaptationService,
+    vm: Vm,
+    prose: Prose,
+}
+
+fn make_peer(
+    sim: &mut Simulator,
+    name: &'static str,
+    pos: Position,
+    trusted: &[(&str, &KeyPair)],
+) -> Peer {
+    let node = sim.add_node(name, pos, 60.0);
+    let mut registrar = Registrar::new(node, format!("lookup:{name}"));
+    registrar.start(sim);
+    let mut base = ExtensionBase::new(node, node);
+    base.start(sim);
+    let mut policy = ReceiverPolicy::new();
+    for (signer, key) in trusted {
+        policy.trust.add(Principal::new(*signer, key.public_key()));
+        policy.set_signer_cap(
+            *signer,
+            Permissions::none()
+                .with(Permission::Print)
+                .with(Permission::Net)
+                .with(Permission::Time),
+        );
+    }
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("Radio")
+            .method("sendPacket", [TypeSig::Bytes], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .done(),
+    )
+    .unwrap();
+    let prose = Prose::attach(&mut vm);
+    let mut receiver = AdaptationService::new(node, name, policy);
+    receiver.start(sim);
+    Peer {
+        node,
+        name,
+        registrar,
+        base,
+        receiver,
+        vm,
+        prose,
+    }
+}
+
+fn pump(sim: &mut Simulator, peers: &mut [Peer], ns: u64) {
+    let until = sim.now().plus(ns);
+    loop {
+        match sim.peek_next() {
+            Some(t) if t <= until => {
+                sim.step();
+            }
+            _ => break,
+        }
+        for p in peers.iter_mut() {
+            for inc in sim.drain_inbox(p.node) {
+                p.registrar.handle(sim, &inc);
+                p.base.handle(sim, &inc);
+                p.receiver.handle(sim, &mut p.vm, &p.prose, &inc);
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut sim = Simulator::new(9);
+    let key_a = KeyPair::from_seed(b"peer-a");
+    let key_b = KeyPair::from_seed(b"peer-b");
+    let trusted = [("peer-a", &key_a), ("peer-b", &key_b)];
+
+    let mut a = make_peer(&mut sim, "peer-a", Position::new(0.0, 0.0), &trusted);
+    let mut b = make_peer(&mut sim, "peer-b", Position::new(10.0, 0.0), &trusted);
+
+    // Each peer carries something the other needs.
+    a.base.catalog.put(SignedExtension::seal(
+        "peer-a",
+        &key_a,
+        &extensions::encryption::package(0x42, 1),
+    ));
+    b.base.catalog.put(SignedExtension::seal(
+        "peer-b",
+        &key_b,
+        &extensions::agegate::package("* Radio.*(..)", 0, 1),
+    ));
+    println!("peer-a offers link encryption; peer-b offers an age-gate policy");
+
+    let mut peers = [a, b];
+    pump(&mut sim, &mut peers, 8 * SEC);
+    for p in &mut peers {
+        println!("{} now runs: {:?}", p.name, p.receiver.installed_ids());
+    }
+
+    // Peer B's radio is transparently encrypted with A's extension.
+    let radio = peers[1].vm.new_object("Radio").unwrap();
+    let buf = peers[1].vm.new_buffer(vec![0x00, 0x00]);
+    let id = buf.as_ref_id().unwrap();
+    peers[1]
+        .vm
+        .call("Radio", "sendPacket", radio, vec![buf])
+        .unwrap();
+    println!(
+        "peer-b sendPacket([0,0]) left the radio as {:02x?} — encrypted by peer-a's extension",
+        peers[1].vm.heap().buffer_bytes(id).unwrap()
+    );
+
+    // The community dissolves when the peers separate.
+    let b_node = peers[1].node;
+    sim.move_node(b_node, Position::new(400.0, 0.0));
+    pump(&mut sim, &mut peers, 12 * SEC);
+    println!(
+        "after separating: peer-b runs {:?} — peer-a's extension evaporated; \
+         only peer-b's own (self-leased over loopback) remains",
+        peers[1].receiver.installed_ids()
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: weave an aspect into a running application, watch it
+//! intercept, then unweave — the PROSE half of the platform in ~60
+//! lines.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use pmp::prose::prelude::*;
+use pmp::vm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A running application: a Motor class on the managed runtime.
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("Motor")
+            .field("position", TypeSig::Int)
+            .method("rotate", [TypeSig::Int], TypeSig::Void, |b| {
+                b.op(Op::Load(0));
+                b.op(Op::Load(0)).op(Op::GetField {
+                    class: "Motor".into(),
+                    field: "position".into(),
+                });
+                b.op(Op::Load(1)).op(Op::Add);
+                b.op(Op::PutField {
+                    class: "Motor".into(),
+                    field: "position".into(),
+                });
+                b.op(Op::Ret);
+            })
+            .done(),
+    )?;
+    let prose = Prose::attach(&mut vm);
+    let motor = vm.new_object("Motor")?;
+
+    // 2. The application runs, unobserved.
+    vm.call("Motor", "rotate", motor.clone(), vec![Value::Int(30)])?;
+    println!("before weaving: rotate(30) ran silently");
+
+    // 3. Weave a logging aspect at run time — the application is not
+    //    restarted, recompiled, or even aware.
+    let aspect = Aspect::build("trace")
+        .before("* Motor.*(..)", |ctx| {
+            if let JoinPoint::MethodEntry { sig, args, .. } = &ctx.jp {
+                println!("  [trace] {sig} called with {args:?}");
+            }
+            Ok(())
+        })
+        .done()?;
+    let id = prose.weave(&mut vm, aspect, WeaveOptions::default())?;
+    let info = prose.info(id).expect("woven");
+    println!(
+        "wove aspect {:?} covering {} join point(s)",
+        info.name, info.join_points
+    );
+
+    vm.call("Motor", "rotate", motor.clone(), vec![Value::Int(45)])?;
+    vm.call("Motor", "rotate", motor.clone(), vec![Value::Int(-15)])?;
+
+    // 4. Unweave: the extension was local in time.
+    prose.unweave(&mut vm, id, "demo over")?;
+    vm.call("Motor", "rotate", motor.clone(), vec![Value::Int(5)])?;
+    println!("after unweaving: rotate(5) ran silently again");
+
+    let pos = vm.call("Motor", "position", motor, vec![]);
+    // `position` was never declared — show the graceful error too.
+    println!("calling a missing method errors cleanly: {:?}", pos.err().map(|e| e.to_string()));
+    Ok(())
+}

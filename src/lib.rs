@@ -1,0 +1,31 @@
+//! # pmp — a Proactive Middleware Platform for Mobile Computing
+//!
+//! Umbrella crate re-exporting the whole platform: a Rust reproduction of
+//! the PROSE dynamic-AOP engine and the MIDAS extension-management
+//! middleware described in *A Proactive Middleware Platform for Mobile
+//! Computing* (Popovici, Frei, Alonso — Middleware 2003), together with
+//! every substrate the paper depends on (managed runtime, wireless network
+//! simulator, Jini-like discovery, crypto, robot hardware, storage).
+//!
+//! Start with [`core`]'s `Platform`, or run the examples:
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! cargo run --example production_hall
+//! cargo run --example plotter_monitoring
+//! cargo run --example adhoc_peers
+//! ```
+
+pub use pmp_core as core;
+pub use pmp_crypto as crypto;
+pub use pmp_discovery as discovery;
+pub use pmp_extensions as extensions;
+pub use pmp_midas as midas;
+pub use pmp_net as net;
+pub use pmp_prose as prose;
+pub use pmp_robot as robot;
+pub use pmp_spec as spec;
+pub use pmp_store as store;
+pub use pmp_tuplespace as tuplespace;
+pub use pmp_vm as vm;
+pub use pmp_wire as wire;

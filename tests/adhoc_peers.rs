@@ -1,0 +1,185 @@
+//! Symmetric (ad-hoc) mode: "if a mobile device is capable of
+//! receiving extensions, it should also be able to provide extensions
+//! to other nodes" (paper §2.1). Two peers, no base station: each hosts
+//! a registrar, an extension base, *and* an adaptation service; when
+//! they meet, they exchange extensions both ways.
+
+use pmp::crypto::{KeyPair, Principal};
+use pmp::discovery::Registrar;
+use pmp::extensions;
+use pmp::midas::{AdaptationService, ExtensionBase, ReceiverPolicy};
+use pmp::net::prelude::*;
+use pmp::prose::Prose;
+use pmp::vm::prelude::*;
+
+const SEC: u64 = 1_000_000_000;
+
+/// One fully symmetric peer.
+struct Peer {
+    node: NodeId,
+    registrar: Registrar,
+    base: ExtensionBase,
+    receiver: AdaptationService,
+    vm: Vm,
+    prose: Prose,
+}
+
+fn make_peer(
+    sim: &mut Simulator,
+    name: &str,
+    pos: Position,
+    own_key: &KeyPair,
+    trusted: &[(String, &KeyPair)],
+) -> Peer {
+    let node = sim.add_node(name, pos, 60.0);
+    let mut registrar = Registrar::new(node, format!("lookup:{name}"));
+    registrar.start(sim);
+    let mut base = ExtensionBase::new(node, node);
+    base.start(sim);
+    let _ = own_key;
+
+    let mut policy = ReceiverPolicy::new();
+    let cap = Permissions::none().with(Permission::Print).with(Permission::Net);
+    for (signer, key) in trusted {
+        policy.trust.add(Principal::new(signer.clone(), key.public_key()));
+        policy.set_signer_cap(signer.clone(), cap);
+    }
+
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("Radio")
+            .method("sendPacket", [TypeSig::Bytes], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .done(),
+    )
+    .unwrap();
+    vm.register_class(
+        ClassDef::build("Motor")
+            .method("rotate", [TypeSig::Int], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .done(),
+    )
+    .unwrap();
+    let prose = Prose::attach(&mut vm);
+    let mut receiver = AdaptationService::new(node, name, policy);
+    receiver.start(sim);
+
+    Peer {
+        node,
+        registrar,
+        base,
+        receiver,
+        vm,
+        prose,
+    }
+}
+
+fn pump(sim: &mut Simulator, peers: &mut [Peer], ns: u64) {
+    let until = sim.now().plus(ns);
+    loop {
+        match sim.peek_next() {
+            Some(t) if t <= until => {
+                sim.step();
+            }
+            _ => break,
+        }
+        for p in peers.iter_mut() {
+            for inc in sim.drain_inbox(p.node) {
+                p.registrar.handle(sim, &inc);
+                p.base.handle(sim, &inc);
+                p.receiver.handle(sim, &mut p.vm, &p.prose, &inc);
+            }
+        }
+    }
+}
+
+#[test]
+fn peers_exchange_extensions_both_ways() {
+    let mut sim = Simulator::new(51);
+    let key_a = KeyPair::from_seed(b"peer-a");
+    let key_b = KeyPair::from_seed(b"peer-b");
+    // Each peer trusts the *other* (and itself, harmlessly).
+    let trusted: Vec<(String, &KeyPair)> = vec![
+        ("peer-a".to_string(), &key_a),
+        ("peer-b".to_string(), &key_b),
+    ];
+    let mut a = make_peer(&mut sim, "peer-a", Position::new(0.0, 0.0), &key_a, &trusted);
+    let mut b = make_peer(&mut sim, "peer-b", Position::new(10.0, 0.0), &key_b, &trusted);
+
+    // Peer A offers encryption; peer B offers billing.
+    let enc = extensions::encryption::package(0x77, 1);
+    a.base.catalog.put(pmp::midas::SignedExtension::seal(
+        "peer-a", &key_a, &enc,
+    ));
+    let bill = extensions::billing::package("* Motor.*(..)", 1, 1);
+    b.base.catalog.put(pmp::midas::SignedExtension::seal(
+        "peer-b", &key_b, &bill,
+    ));
+
+    let mut peers = [a, b];
+    pump(&mut sim, &mut peers, 8 * SEC);
+
+    // Both directions adapted: A got billing from B, B got encryption
+    // from A.
+    assert!(
+        peers[0].receiver.is_installed("ext/billing"),
+        "peer A installed B's extension: {:?}",
+        peers[0].receiver.installed_ids()
+    );
+    assert!(
+        peers[1].receiver.is_installed("ext/encryption"),
+        "peer B installed A's extension: {:?}",
+        peers[1].receiver.installed_ids()
+    );
+    // And their own, delivered over loopback — a node is also a member
+    // of its own community.
+    assert!(peers[0].receiver.is_installed("ext/encryption"));
+    assert!(peers[1].receiver.is_installed("ext/billing"));
+
+    // The received encryption aspect really intercepts B's radio.
+    let radio = peers[1].vm.new_object("Radio").unwrap();
+    let buf = peers[1].vm.new_buffer(vec![0, 0, 0]);
+    let id = buf.as_ref_id().unwrap();
+    peers[1]
+        .vm
+        .call("Radio", "sendPacket", radio, vec![buf])
+        .unwrap();
+    assert_eq!(
+        peers[1].vm.heap().buffer_bytes(id).unwrap(),
+        &[0x77, 0x77, 0x77],
+        "B's outgoing packets are now encrypted with A's key"
+    );
+}
+
+#[test]
+fn separating_peers_dissolves_the_adhoc_community() {
+    let mut sim = Simulator::new(52);
+    let key_a = KeyPair::from_seed(b"peer-a");
+    let key_b = KeyPair::from_seed(b"peer-b");
+    let trusted: Vec<(String, &KeyPair)> = vec![
+        ("peer-a".to_string(), &key_a),
+        ("peer-b".to_string(), &key_b),
+    ];
+    let mut a = make_peer(&mut sim, "peer-a", Position::new(0.0, 0.0), &key_a, &trusted);
+    let b = make_peer(&mut sim, "peer-b", Position::new(10.0, 0.0), &key_b, &trusted);
+    a.base.set_lease(2 * SEC);
+    let enc = extensions::encryption::package(0x11, 1);
+    a.base.catalog.put(pmp::midas::SignedExtension::seal(
+        "peer-a", &key_a, &enc,
+    ));
+
+    let mut peers = [a, b];
+    pump(&mut sim, &mut peers, 6 * SEC);
+    assert!(peers[1].receiver.is_installed("ext/encryption"));
+
+    // The peers drift apart; leases lapse; the extension evaporates.
+    let b_node = peers[1].node;
+    sim.move_node(b_node, Position::new(500.0, 0.0));
+    pump(&mut sim, &mut peers, 12 * SEC);
+    assert!(
+        !peers[1].receiver.is_installed("ext/encryption"),
+        "extension withdrawn once the peers separated"
+    );
+}

@@ -1,0 +1,167 @@
+//! The paper's future work, implemented and tested: distributing signed
+//! extensions through a Linda-style tuple space instead of the
+//! base-push protocol (§4.6: "we are looking at tuple spaces to get a
+//! more flexible and expressive platform for distributing extensions").
+//!
+//! The base `out`s `("ext", id, version, signed-bytes)` tuples; a
+//! newcomer subscribes to `("ext", *, *, *)` and weaves whatever the
+//! space pushes — after the same trust verification and sandboxing as
+//! the MIDAS path.
+
+use pmp::crypto::{KeyPair, Principal};
+use pmp::extensions;
+use pmp::midas::{ReceiverPolicy, SignedExtension};
+use pmp::net::prelude::*;
+use pmp::prose::{Prose, WeaveOptions};
+use pmp::tuplespace::{Field, Pattern, PatternField, SpaceClient, SpaceEvent, Tuple, TupleSpace};
+use pmp::vm::prelude::*;
+
+const SEC: u64 = 1_000_000_000;
+
+fn ext_tuple(ext: &SignedExtension) -> Tuple {
+    let pkg = ext.open().expect("sealed by us");
+    Tuple::new(vec![
+        "ext".into(),
+        Field::Str(pkg.meta.id.clone()),
+        Field::Int(i64::from(pkg.meta.version)),
+        Field::Bytes(pmp_wire::to_bytes(ext)),
+    ])
+}
+
+fn ext_pattern() -> Pattern {
+    Pattern::new(vec![
+        PatternField::Exact("ext".into()),
+        PatternField::AnyStr,
+        PatternField::AnyInt,
+        PatternField::AnyBytes,
+    ])
+}
+
+#[test]
+fn extensions_flow_through_the_tuple_space() {
+    let mut sim = Simulator::new(61);
+    let space_node = sim.add_node("space", Position::new(0.0, 0.0), 60.0);
+    let device_node = sim.add_node("pda:1", Position::new(10.0, 0.0), 60.0);
+    let mut space = TupleSpace::new(space_node);
+    let mut client = SpaceClient::new(device_node, space_node);
+
+    // The hall authority publishes its extensions into the space.
+    let authority = KeyPair::from_seed(b"authority:space-hall");
+    let enc = extensions::encryption::package(0x3C, 1);
+    let sealed = SignedExtension::seal("authority:space-hall", &authority, &enc);
+    space.out_local(&mut sim, ext_tuple(&sealed));
+    assert_eq!(space.len(), 1);
+
+    // The device's application + receiver-side policy.
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("Radio")
+            .method("sendPacket", [TypeSig::Bytes], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .done(),
+    )
+    .unwrap();
+    let prose = Prose::attach(&mut vm);
+    let mut policy = ReceiverPolicy::new();
+    policy
+        .trust
+        .add(Principal::new("authority:space-hall", authority.public_key()));
+    policy.set_signer_cap("authority:space-hall", Permissions::none());
+
+    // Subscribe: present tuples are replayed, future ones pushed.
+    client.subscribe(&mut sim, ext_pattern());
+
+    let mut installed: Vec<String> = Vec::new();
+    let until = sim.now().plus(5 * SEC);
+    loop {
+        match sim.peek_next() {
+            Some(t) if t <= until => {
+                sim.step();
+            }
+            _ => break,
+        }
+        for inc in sim.drain_inbox(space_node) {
+            space.handle(&mut sim, &inc);
+        }
+        for inc in sim.drain_inbox(device_node) {
+            for ev in client.handle(&inc) {
+                let SpaceEvent::Notified { tuple, .. } = ev else {
+                    continue;
+                };
+                // Same pipeline as MIDAS: decode → verify trust → cap
+                // permissions → weave in the sandbox.
+                let Some(Field::Bytes(raw)) = tuple.get(3) else {
+                    continue;
+                };
+                let sealed: SignedExtension = pmp_wire::from_bytes(raw).unwrap();
+                let pkg = sealed
+                    .verify_and_open(&policy.trust)
+                    .expect("trusted signer");
+                let perms = policy.effective(sealed.signer(), &pkg.meta.permissions);
+                prose
+                    .weave(&mut vm, pkg.aspect.into(), WeaveOptions::sandboxed(perms))
+                    .expect("weave");
+                installed.push(pkg.meta.id);
+            }
+        }
+    }
+
+    assert_eq!(installed, vec!["ext/encryption".to_string()]);
+    // The extension delivered through the space really intercepts.
+    let radio = vm.new_object("Radio").unwrap();
+    let buf = vm.new_buffer(vec![0, 0]);
+    let id = buf.as_ref_id().unwrap();
+    vm.call("Radio", "sendPacket", radio, vec![buf]).unwrap();
+    assert_eq!(vm.heap().buffer_bytes(id).unwrap(), &[0x3C, 0x3C]);
+}
+
+#[test]
+fn untrusted_tuples_are_rejected_by_the_same_policy() {
+    let mut sim = Simulator::new(62);
+    let space_node = sim.add_node("space", Position::new(0.0, 0.0), 60.0);
+    let device_node = sim.add_node("pda:1", Position::new(10.0, 0.0), 60.0);
+    let mut space = TupleSpace::new(space_node);
+    let mut client = SpaceClient::new(device_node, space_node);
+
+    // Mallory floods the space with a forged extension.
+    let mallory = KeyPair::from_seed(b"mallory");
+    let evil = extensions::encryption::package(0xFF, 9);
+    let sealed = SignedExtension::seal("authority:space-hall", &mallory, &evil);
+    space.out_local(&mut sim, ext_tuple(&sealed));
+
+    let trusted = KeyPair::from_seed(b"authority:space-hall");
+    let mut policy = ReceiverPolicy::new();
+    policy
+        .trust
+        .add(Principal::new("authority:space-hall", trusted.public_key()));
+
+    client.subscribe(&mut sim, ext_pattern());
+    let mut rejections = 0;
+    let until = sim.now().plus(3 * SEC);
+    loop {
+        match sim.peek_next() {
+            Some(t) if t <= until => {
+                sim.step();
+            }
+            _ => break,
+        }
+        for inc in sim.drain_inbox(space_node) {
+            space.handle(&mut sim, &inc);
+        }
+        for inc in sim.drain_inbox(device_node) {
+            for ev in client.handle(&inc) {
+                if let SpaceEvent::Notified { tuple, .. } = ev {
+                    let Some(Field::Bytes(raw)) = tuple.get(3) else {
+                        continue;
+                    };
+                    let sealed: SignedExtension = pmp_wire::from_bytes(raw).unwrap();
+                    if sealed.verify_and_open(&policy.trust).is_err() {
+                        rejections += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(rejections, 1, "forged signature caught before weaving");
+}
