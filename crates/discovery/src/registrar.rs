@@ -4,6 +4,7 @@ use crate::lease::Lease;
 use crate::proto::{DiscoveryMsg, CHANNEL};
 use crate::service::{ServiceId, ServiceItem};
 use pmp_net::{Incoming, NodeId, SimTime, Simulator};
+use pmp_telemetry::Shared;
 use std::collections::HashMap;
 
 const ANNOUNCE_TAG: &str = "disc.announce";
@@ -33,6 +34,7 @@ pub struct Registrar {
     announce_token: Option<u64>,
     sweep_token: Option<u64>,
     events: Vec<RegistrarEvent>,
+    telemetry: Option<Shared>,
 }
 
 impl Registrar {
@@ -48,6 +50,34 @@ impl Registrar {
             announce_token: None,
             sweep_token: None,
             events: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Mirrors registrar activity into `shared` as
+    /// `discovery.registrar.*` counters and a live-services gauge.
+    pub fn attach_telemetry(&mut self, shared: &Shared) {
+        self.telemetry = Some(shared.clone());
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(s) = &self.telemetry {
+            s.inc(name);
+        }
+    }
+
+    fn update_live_gauge(&self) {
+        if let Some(s) = &self.telemetry {
+            // Scoped per registrar instance (like `net.channel.<name>.bytes`):
+            // several registrars share one platform registry, and a plain
+            // set-gauge under a common name would let an idle registrar's
+            // sweep overwrite its neighbour's live count.
+            let name = format!("discovery.registrar.{}.live_services", self.name);
+            let n = self.services.len() as i64;
+            s.with(|t| {
+                let g = t.registry.gauge(&name);
+                t.registry.set_gauge(g, n);
+            });
         }
     }
 
@@ -100,9 +130,11 @@ impl Registrar {
             .collect();
         for id in expired {
             if let Some((item, _)) = self.services.remove(&id) {
+                self.count("discovery.registrar.lease_expiries");
                 self.events.push(RegistrarEvent::Expired(item));
             }
         }
+        self.update_live_gauge();
     }
 
     /// Processes one inbox entry of the host node. Entries not addressed
@@ -148,6 +180,8 @@ impl Registrar {
                 item.provider = from.0;
                 let lease = Lease::grant(now, lease_ns);
                 self.services.insert(id, (item.clone(), lease));
+                self.count("discovery.registrar.registrations");
+                self.update_live_gauge();
                 self.events.push(RegistrarEvent::Registered(item));
                 let reply = DiscoveryMsg::Registered {
                     service: id,
@@ -157,6 +191,7 @@ impl Registrar {
                 sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&reply));
             }
             DiscoveryMsg::Renew { service, req } => {
+                self.count("discovery.registrar.renewals");
                 let ok = match self.services.get_mut(&service) {
                     Some((_, lease)) => lease.renew(now),
                     None => false,
@@ -164,6 +199,8 @@ impl Registrar {
                 if !ok {
                     // Lapsed entries are removed eagerly on failed renew.
                     if let Some((item, _)) = self.services.remove(&service) {
+                        self.count("discovery.registrar.lease_expiries");
+                        self.update_live_gauge();
                         self.events.push(RegistrarEvent::Expired(item));
                     }
                 }
@@ -172,10 +209,13 @@ impl Registrar {
             }
             DiscoveryMsg::Cancel { service } => {
                 if let Some((item, _)) = self.services.remove(&service) {
+                    self.count("discovery.registrar.cancellations");
+                    self.update_live_gauge();
                     self.events.push(RegistrarEvent::Cancelled(item));
                 }
             }
             DiscoveryMsg::Lookup { query, req } => {
+                self.count("discovery.registrar.lookups");
                 self.sweep(now);
                 let items: Vec<ServiceItem> = self
                     .services

@@ -84,7 +84,7 @@ mod tests {
     use pmp_prose::{Prose, WeaveOptions};
     use pmp_vm::perm::Permissions;
     use pmp_vm::prelude::*;
-    use parking_lot::Mutex;
+    use pmp_telemetry::sync::Mutex;
     use std::sync::Arc;
 
     fn service_vm() -> (Vm, Prose, Arc<Mutex<String>>) {
@@ -183,7 +183,7 @@ mod sensor_security_tests {
         register_robot_classes(&mut vm, &handle).unwrap();
         handle.lock().rcx.sensor_mut(Port::S2).set_value(55);
         register_session_blackboard(&mut vm);
-        let caller = Arc::new(parking_lot::Mutex::new(String::from("inspector:1")));
+        let caller = Arc::new(pmp_telemetry::sync::Mutex::new(String::from("inspector:1")));
         let c = caller.clone();
         vm.register_sys(
             "session.caller",

@@ -89,7 +89,7 @@ pub fn package(key: u8, version: u32) -> ExtensionPackage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use pmp_telemetry::sync::Mutex;
     use pmp_prose::{Prose, WeaveOptions};
     use pmp_vm::class::NativeCall;
     use pmp_vm::perm::Permissions;

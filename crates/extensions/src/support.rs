@@ -1,7 +1,7 @@
 //! Shared plumbing: the advice-parameter convention, class-name
 //! versioning, and host-side system operations extensions rely on.
 
-use parking_lot::Mutex;
+use pmp_telemetry::sync::Mutex;
 use pmp_vm::perm::Permission;
 use pmp_vm::prelude::{Value, Vm};
 use std::collections::HashMap;

@@ -7,6 +7,7 @@ use crate::package::SignedExtension;
 use crate::proto::{MidasMsg, CHANNEL};
 use pmp_discovery::{DiscoveryClient, DiscoveryEvent, ServiceQuery};
 use pmp_net::{Incoming, NodeId, Simulator};
+use pmp_telemetry::{Shared, Subsystem};
 use std::collections::HashMap;
 
 const SCAN_TAG: &str = "midas.scan";
@@ -73,6 +74,7 @@ pub struct ExtensionBase {
     events: Vec<BaseEvent>,
     /// Roaming records received from neighbours (node name → ext ids).
     pub roaming_cache: HashMap<String, Vec<String>>,
+    telemetry: Option<Shared>,
 }
 
 impl ExtensionBase {
@@ -94,6 +96,30 @@ impl ExtensionBase {
             started: false,
             events: Vec::new(),
             roaming_cache: HashMap::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Mirrors base activity into `shared` (`midas.base.*` counters,
+    /// `midas.ship` journal events); the inner discovery client is
+    /// attached too.
+    pub fn attach_telemetry(&mut self, shared: &Shared) {
+        self.discovery.attach_telemetry(shared);
+        self.telemetry = Some(shared.clone());
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(s) = &self.telemetry {
+            s.inc(name);
+        }
+    }
+
+    /// Records an extension leaving the base toward `to` (the "ship"
+    /// stage of the sign→ship→verify→weave distribution trail).
+    fn note_ship(&self, ext_id: &str, to: NodeId) {
+        if let Some(s) = &self.telemetry {
+            s.inc("midas.base.delivered");
+            s.event(Subsystem::Midas, "midas.ship", format!("{ext_id} -> n{}", to.0));
         }
     }
 
@@ -173,6 +199,7 @@ impl ExtensionBase {
                     grant,
                 };
                 self.send(sim, node, &msg);
+                self.note_ship(&id, node);
                 count += 1;
             }
         }
@@ -210,6 +237,7 @@ impl ExtensionBase {
                 grant,
             };
             self.send(sim, node, &msg);
+            self.note_ship(&id, node);
             if let Some(a) = self.adapted.get_mut(&name) {
                 a.grants.insert(id.clone(), grant);
             }
@@ -231,6 +259,7 @@ impl ExtensionBase {
                 reason: reason.to_string(),
             };
             self.send(sim, node, &msg);
+            self.count("midas.base.revocations");
         }
         for a in self.adapted.values_mut() {
             a.grants.remove(ext_id);
@@ -304,6 +333,7 @@ impl ExtensionBase {
                 for grant in grants {
                     let msg = MidasMsg::LeaseRenew { grant };
                     self.send(sim, node, &msg);
+                    self.count("midas.base.lease_renewals_sent");
                 }
             }
             // Departed nodes: mark, event, and roam.
@@ -366,7 +396,7 @@ impl ExtensionBase {
                         if let Some(ext) = self.catalog.get(&id).cloned() {
                             let fresh = self.fresh_grant();
                             if let Some(a) = self.adapted.get_mut(&name) {
-                                a.grants.insert(id, fresh);
+                                a.grants.insert(id.clone(), fresh);
                             }
                             let msg = MidasMsg::Deliver {
                                 ext,
@@ -374,6 +404,7 @@ impl ExtensionBase {
                                 grant: fresh,
                             };
                             self.send(sim, from, &msg);
+                            self.note_ship(&id, from);
                         }
                     }
                     return;
@@ -405,6 +436,7 @@ impl ExtensionBase {
                             grant,
                         };
                         self.send(sim, from, &msg);
+                        self.note_ship(&id, from);
                     }
                 }
             }

@@ -8,6 +8,7 @@ use crate::proto::{MidasMsg, CHANNEL};
 use pmp_discovery::{DiscoveryClient, DiscoveryEvent, Lease, ServiceItem};
 use pmp_net::{Incoming, NodeId, Simulator};
 use pmp_prose::{Aspect, AspectId, Prose, WeaveOptions};
+use pmp_telemetry::{Shared, Subsystem};
 use pmp_vm::Vm;
 use std::collections::{HashMap, HashSet};
 
@@ -84,6 +85,7 @@ pub struct AdaptationService {
     expiry_token: Option<u64>,
     started: bool,
     events: Vec<ReceiverEvent>,
+    telemetry: Option<Shared>,
 }
 
 impl AdaptationService {
@@ -102,6 +104,21 @@ impl AdaptationService {
             expiry_token: None,
             started: false,
             events: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Mirrors receiver activity into `shared`: `midas.receiver.*`
+    /// counters, verify/weave wall-time histograms, and the
+    /// verify/weave stages of the distribution trail in the journal.
+    pub fn attach_telemetry(&mut self, shared: &Shared) {
+        self.discovery.attach_telemetry(shared);
+        self.telemetry = Some(shared.clone());
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(s) = &self.telemetry {
+            s.inc(name);
         }
     }
 
@@ -222,6 +239,9 @@ impl AdaptationService {
                         known = true;
                     }
                 }
+                if known {
+                    self.count("midas.receiver.lease_renewals");
+                }
                 if !known {
                     // The base believes we hold this grant but we do not
                     // (its outage outlived our leases, or the delivery
@@ -260,6 +280,7 @@ impl AdaptationService {
     }
 
     fn nack(&mut self, sim: &mut Simulator, to: NodeId, ext_id: &str, grant: u64, reason: String) {
+        self.count("midas.receiver.rejected");
         self.events.push(ReceiverEvent::Rejected {
             ext_id: ext_id.to_string(),
             reason: reason.clone(),
@@ -287,15 +308,27 @@ impl AdaptationService {
         // 1. Trust and integrity (paper §3.2: verification of the
         //    originator before insertion).
         let signer = ext.signer().to_string();
-        let pkg = match ext.verify_and_open(&self.policy.trust) {
+        let verify_start = std::time::Instant::now();
+        let verified = ext.verify_and_open(&self.policy.trust);
+        if let Some(s) = &self.telemetry {
+            let ns = verify_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            s.record("midas.receiver.verify_ns", ns);
+        }
+        let pkg = match verified {
             Ok(pkg) => pkg,
             Err(reason) => {
                 let id = ext.open().map(|p| p.meta.id).unwrap_or_else(|_| "?".into());
+                if let Some(s) = &self.telemetry {
+                    s.event(Subsystem::Midas, "midas.verify", format!("{id} REJECTED: {reason}"));
+                }
                 self.nack(sim, from, &id, grant, reason);
                 return;
             }
         };
         let id = pkg.meta.id.clone();
+        if let Some(s) = &self.telemetry {
+            s.event(Subsystem::Midas, "midas.verify", format!("{id} ok (signer {signer})"));
+        }
 
         // 2. Version check: same or newer only.
         if let Some(existing) = self.installed.get_mut(&id) {
@@ -352,7 +385,18 @@ impl AdaptationService {
         // 4. Weave under the sandbox: requested ∩ policy cap.
         let perms = self.policy.effective(&signer, &pkg.meta.permissions);
         let aspect: Aspect = pkg.aspect.clone().into();
-        match prose.weave(vm, aspect, WeaveOptions::sandboxed(perms)) {
+        let weave_start = std::time::Instant::now();
+        let woven = prose.weave(vm, aspect, WeaveOptions::sandboxed(perms));
+        if let Some(s) = &self.telemetry {
+            let ns = weave_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            s.record("midas.receiver.weave_ns", ns);
+            s.event(
+                Subsystem::Midas,
+                "midas.weave",
+                format!("{id} {}", if woven.is_ok() { "ok" } else { "FAILED" }),
+            );
+        }
+        match woven {
             Ok(aspect_id) => {
                 for dep in &pkg.meta.requires {
                     if let Some(d) = self.installed.get_mut(dep) {
@@ -372,6 +416,7 @@ impl AdaptationService {
                         dependents: HashSet::new(),
                     },
                 );
+                self.count("midas.receiver.installed");
                 self.events.push(ReceiverEvent::Installed {
                     ext_id: id.clone(),
                     version: pkg.meta.version,
@@ -466,6 +511,7 @@ impl AdaptationService {
             };
             sim.send(self.node, inst.base, CHANNEL, pmp_wire::to_bytes(&msg));
         }
+        self.count("midas.receiver.removed");
         self.events.push(ReceiverEvent::Removed {
             ext_id: ext_id.to_string(),
             reason: reason.to_string(),
@@ -496,6 +542,7 @@ impl AdaptationService {
             .map(|(id, _)| id.clone())
             .collect();
         for id in expired {
+            self.count("midas.receiver.lease_expiries");
             self.uninstall(sim, vm, prose, &id, "lease expired", false);
         }
     }

@@ -31,6 +31,7 @@ pub mod clock;
 pub mod geo;
 pub mod link;
 pub mod node;
+pub mod rng;
 pub mod sim;
 pub mod trace;
 
@@ -38,6 +39,7 @@ pub use clock::{ClockHandle, SimTime};
 pub use geo::{Area, AreaId, Position};
 pub use link::LinkModel;
 pub use node::{Incoming, NodeId, SimNode};
+pub use rng::SimRng;
 pub use sim::Simulator;
 pub use trace::{NetStats, Trace, TraceEntry};
 

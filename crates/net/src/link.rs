@@ -1,8 +1,7 @@
 //! Wireless link model: latency, jitter, and loss.
 
 use crate::clock::SimTime;
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::SimRng;
 
 /// Parameters of the (shared) wireless medium.
 #[derive(Debug, Clone)]
@@ -51,12 +50,12 @@ impl LinkModel {
 
     /// Samples the delivery time for a message of `len` bytes sent at
     /// `now`, or `None` if the copy is lost.
-    pub fn sample(&self, now: SimTime, len: usize, rng: &mut StdRng) -> Option<SimTime> {
-        if self.loss_prob > 0.0 && rng.gen_bool(self.loss_prob.clamp(0.0, 1.0)) {
+    pub fn sample(&self, now: SimTime, len: usize, rng: &mut SimRng) -> Option<SimTime> {
+        if rng.chance(self.loss_prob.clamp(0.0, 1.0)) {
             return None;
         }
         let jitter = if self.jitter_ns > 0 {
-            rng.gen_range(0..self.jitter_ns)
+            rng.range_u64(self.jitter_ns)
         } else {
             0
         };
@@ -71,11 +70,10 @@ impl LinkModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn ideal_link_is_instant_and_lossless() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::new(1);
         let m = LinkModel::ideal();
         for len in [0usize, 10, 10_000] {
             let t = m.sample(SimTime::ZERO, len, &mut rng).unwrap();
@@ -85,7 +83,7 @@ mod tests {
 
     #[test]
     fn latency_scales_with_size() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::new(1);
         let m = LinkModel {
             jitter_ns: 0,
             ..LinkModel::default()
@@ -97,7 +95,7 @@ mod tests {
 
     #[test]
     fn full_loss_drops_everything() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::new(1);
         let m = LinkModel::lossy(1.0);
         for _ in 0..100 {
             assert!(m.sample(SimTime::ZERO, 8, &mut rng).is_none());
@@ -107,8 +105,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let m = LinkModel::default();
-        let mut r1 = StdRng::seed_from_u64(7);
-        let mut r2 = StdRng::seed_from_u64(7);
+        let mut r1 = SimRng::new(7);
+        let mut r2 = SimRng::new(7);
         for len in 0..50 {
             assert_eq!(
                 m.sample(SimTime::ZERO, len, &mut r1),

@@ -1,0 +1,115 @@
+//! A tiny deterministic RNG (splitmix64) for link-model sampling.
+//!
+//! The simulator's only randomness needs are "lose this copy with
+//! probability p" and "uniform jitter in `[0, n)`"; splitmix64 passes
+//! BigCrush-level bit-mixing for that purpose and keeps the workspace
+//! free of external dependencies. Same seed, same sequence, forever —
+//! the simulator's determinism guarantee rests on this.
+
+/// Deterministic pseudo-random generator (splitmix64).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed; equal seeds yield equal
+    /// sequences.
+    #[must_use]
+    pub fn new(seed: u64) -> SimRng {
+        SimRng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform float in `[0, 1)` (53 bits of precision).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`). `p <= 0`
+    /// never draws, so a lossless link consumes no randomness.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// A uniform value in `[0, n)` via Lemire's widening multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    #[inline]
+    pub fn range_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::new(43);
+        assert_ne!(SimRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut r = SimRng::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(1);
+        for _ in 0..100 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = SimRng::new(9);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits: {hits}");
+    }
+
+    #[test]
+    fn range_stays_in_bounds_and_covers() {
+        let mut r = SimRng::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = r.range_u64(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+}

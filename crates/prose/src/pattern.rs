@@ -262,7 +262,6 @@ impl fmt::Display for FieldPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::sync::Arc;
 
     fn sig(ret: TypeSig, class: &str, name: &str, params: Vec<TypeSig>) -> MethodSig {
@@ -379,30 +378,38 @@ mod tests {
         assert_eq!(p.to_string(), "void *.send*(byte[], ..)");
     }
 
-    proptest! {
-        #[test]
-        fn prop_literal_patterns_match_themselves(name in "[a-zA-Z0-9_]{0,20}") {
-            prop_assert!(NamePat::new(name.clone()).matches(&name));
-        }
+    // Property tests need the external `proptest` crate; the offline
+    // default build gates them behind the (empty) `proptest` feature.
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_wildcard_matches_everything(name in ".{0,40}") {
-            prop_assert!(NamePat::any().matches(&name));
-        }
+        proptest! {
+            #[test]
+            fn prop_literal_patterns_match_themselves(name in "[a-zA-Z0-9_]{0,20}") {
+                prop_assert!(NamePat::new(name.clone()).matches(&name));
+            }
 
-        #[test]
-        fn prop_star_prefix_suffix(name in "[a-z]{1,20}") {
-            let prefix = format!("{name}*");
-            let suffix = format!("*{name}");
-            let both = format!("*{name}*");
-            prop_assert!(NamePat::new(prefix).matches(&name));
-            prop_assert!(NamePat::new(suffix).matches(&name));
-            prop_assert!(NamePat::new(both).matches(&name));
-        }
+            #[test]
+            fn prop_wildcard_matches_everything(name in ".{0,40}") {
+                prop_assert!(NamePat::any().matches(&name));
+            }
 
-        #[test]
-        fn prop_glob_never_panics(pat in ".{0,20}", text in ".{0,40}") {
-            let _ = NamePat::new(pat).matches(&text);
+            #[test]
+            fn prop_star_prefix_suffix(name in "[a-z]{1,20}") {
+                let prefix = format!("{name}*");
+                let suffix = format!("*{name}");
+                let both = format!("*{name}*");
+                prop_assert!(NamePat::new(prefix).matches(&name));
+                prop_assert!(NamePat::new(suffix).matches(&name));
+                prop_assert!(NamePat::new(both).matches(&name));
+            }
+
+            #[test]
+            fn prop_glob_never_panics(pat in ".{0,20}", text in ".{0,40}") {
+                let _ = NamePat::new(pat).matches(&text);
+            }
         }
     }
 }

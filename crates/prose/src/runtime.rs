@@ -6,7 +6,7 @@ use crate::aspect::Aspect;
 use crate::crosscut::Crosscut;
 use crate::handle::AspectId;
 use crate::pattern::NamePat;
-use parking_lot::Mutex;
+use pmp_telemetry::sync::Mutex;
 use pmp_vm::hooks::{
     Dispatcher, FieldId, MethodId, Outcome, HOOK_CATCH, HOOK_ENTRY, HOOK_EXIT, HOOK_GET, HOOK_SET,
     HOOK_THROW,

@@ -6,6 +6,7 @@ use crate::aspect::{Aspect, AspectImpl};
 use crate::error::ProseError;
 use crate::handle::{AspectId, AspectInfo};
 use crate::runtime::{AdviceExec, AdviceRef, AspectRt, ErrorPolicy, ProseRuntime, Woven};
+use pmp_telemetry::Subsystem;
 use pmp_vm::perm::Permissions;
 use pmp_vm::value::Value;
 use pmp_vm::vm::Vm;
@@ -116,6 +117,19 @@ impl Prose {
         aspect: Aspect,
         opts: WeaveOptions,
     ) -> Result<AspectId, ProseError> {
+        let name = aspect.name.clone();
+        let start = std::time::Instant::now();
+        let result = self.weave_inner(vm, aspect, opts);
+        self.record_op(vm, "prose.weave.latency_ns", start, "prose.weave", &name);
+        result
+    }
+
+    fn weave_inner(
+        &self,
+        vm: &mut Vm,
+        aspect: Aspect,
+        opts: WeaveOptions,
+    ) -> Result<AspectId, ProseError> {
         let (instance, class_name) = match &aspect.implementation {
             AspectImpl::Native => (Value::Null, None),
             AspectImpl::Script(class) => {
@@ -219,6 +233,13 @@ impl Prose {
     ///
     /// [`ProseError::UnknownAspect`] if the id is not woven.
     pub fn unweave(&self, vm: &mut Vm, id: AspectId, reason: &str) -> Result<(), ProseError> {
+        let start = std::time::Instant::now();
+        let result = self.unweave_inner(vm, id, reason);
+        self.record_op(vm, "prose.unweave.latency_ns", start, "prose.unweave", reason);
+        result
+    }
+
+    fn unweave_inner(&self, vm: &mut Vm, id: AspectId, reason: &str) -> Result<(), ProseError> {
         let woven = self
             .rt
             .state
@@ -300,5 +321,27 @@ impl Prose {
     /// Drains the fault log recorded under [`ErrorPolicy::Isolate`].
     pub fn take_faults(&self) -> Vec<String> {
         std::mem::take(&mut self.rt.state.lock().faults)
+    }
+
+    /// Records one weave/unweave operation into the VM's telemetry:
+    /// wall-time latency histogram, the active-aspect gauge, and a
+    /// journal event naming the aspect (or reason).
+    fn record_op(
+        &self,
+        vm: &mut Vm,
+        histogram: &str,
+        start: std::time::Instant,
+        event: &str,
+        detail: &str,
+    ) {
+        let active = self.rt.state.lock().woven.len() as i64;
+        let dur = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let t = vm.telemetry_mut();
+        let h = t.registry.histogram(histogram);
+        t.registry.record(h, dur);
+        let g = t.registry.gauge("prose.aspects.active");
+        t.registry.set_gauge(g, active);
+        t.journal
+            .event(Subsystem::Prose, event, detail.to_string());
     }
 }

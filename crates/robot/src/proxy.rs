@@ -5,7 +5,7 @@
 
 use crate::device::Port;
 use crate::plotter::{Plotter, PEN_SWING};
-use parking_lot::Mutex;
+use pmp_telemetry::sync::Mutex;
 use pmp_vm::builder::MethodBuilder;
 use pmp_vm::class::ClassDef;
 use pmp_vm::op::Op;

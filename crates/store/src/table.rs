@@ -90,7 +90,6 @@ impl<T> Table<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn append_get_iterate() {
@@ -124,34 +123,42 @@ mod tests {
         assert_eq!(pos, [1, 3]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_ids_are_dense_and_stable(n in 0usize..100) {
-            let mut t = Table::new();
-            for i in 0..n {
-                let id = t.append(i as u64, i);
-                prop_assert_eq!(id, RecordId(i as u64));
-            }
-            prop_assert_eq!(t.len(), n);
-            for i in 0..n {
-                prop_assert_eq!(t.get(RecordId(i as u64)).unwrap().0, &i);
-            }
-        }
+    // Property tests need the external `proptest` crate; the offline
+    // default build gates them behind the (empty) `proptest` feature.
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_range_equals_filter(times in proptest::collection::vec(0u64..1000, 0..50),
-                                    from in 0u64..1000, width in 0u64..1000) {
-            let mut sorted = times.clone();
-            sorted.sort_unstable();
-            let mut t = Table::new();
-            for at in &sorted {
-                t.append(*at, *at);
+        proptest! {
+            #[test]
+            fn prop_ids_are_dense_and_stable(n in 0usize..100) {
+                let mut t = Table::new();
+                for i in 0..n {
+                    let id = t.append(i as u64, i);
+                    prop_assert_eq!(id, RecordId(i as u64));
+                }
+                prop_assert_eq!(t.len(), n);
+                for i in 0..n {
+                    prop_assert_eq!(t.get(RecordId(i as u64)).unwrap().0, &i);
+                }
             }
-            let to = from.saturating_add(width);
-            let via_range: Vec<u64> = t.range(from, to).map(|(_, _, r)| *r).collect();
-            let via_filter: Vec<u64> = sorted.iter().copied()
-                .filter(|x| *x >= from && *x < to).collect();
-            prop_assert_eq!(via_range, via_filter);
+
+            #[test]
+            fn prop_range_equals_filter(times in proptest::collection::vec(0u64..1000, 0..50),
+                                        from in 0u64..1000, width in 0u64..1000) {
+                let mut sorted = times.clone();
+                sorted.sort_unstable();
+                let mut t = Table::new();
+                for at in &sorted {
+                    t.append(*at, *at);
+                }
+                let to = from.saturating_add(width);
+                let via_range: Vec<u64> = t.range(from, to).map(|(_, _, r)| *r).collect();
+                let via_filter: Vec<u64> = sorted.iter().copied()
+                    .filter(|x| *x >= from && *x < to).collect();
+                prop_assert_eq!(via_range, via_filter);
+            }
         }
     }
 }

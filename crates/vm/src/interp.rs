@@ -131,7 +131,7 @@ pub(crate) fn run(
             }
             vm.set_fuel(Some(fuel - 1));
         }
-        vm.stats_mut().bytecode_ops += 1;
+        vm.count_bytecode_op();
         let op = match compiled.ops.get(pc) {
             Some(op) => op.clone(),
             // Falling off the end returns null, like an implicit `Ret`.

@@ -12,6 +12,7 @@ use crate::perm::Permissions;
 use crate::sys::{security_violation, SysFn, SysRegistry};
 use crate::types::{MethodSig, TypeSig};
 use crate::value::{ObjId, Value};
+use pmp_telemetry::{CounterId, Subsystem, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -48,18 +49,52 @@ impl VmConfig {
 }
 
 /// Counters describing engine activity; used by benches and tests.
+///
+/// Since the telemetry refactor this is a *view* over the VM's
+/// [`pmp_telemetry::Registry`] (metric names `vm.*`, see
+/// [`Vm::stats`]), kept for its convenient struct shape.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct VmStats {
     /// Method invocations (bytecode and native).
     pub invocations: u64,
     /// Bytecode instructions executed.
     pub bytecode_ops: u64,
-    /// Hook-flag checks performed by stubs.
+    /// Hook-flag checks performed by stubs: exactly one per planted
+    /// stub reached while hooks are live (one entry stub + one exit
+    /// stub per invocation), never one per hook-table probe.
     pub hook_checks: u64,
     /// Advice dispatches (hook fired into the AOP runtime).
     pub advice_dispatches: u64,
     /// Methods JIT-compiled.
     pub compiled_methods: u64,
+    /// Fuel consumed inside advice scopes (sandboxed advice only).
+    pub advice_fuel_used: u64,
+}
+
+/// Pre-registered ids of the VM's hot-path metrics, so the interpreter
+/// bumps plain array slots instead of doing name lookups.
+#[derive(Debug, Clone, Copy)]
+struct VmMetricIds {
+    invocations: CounterId,
+    bytecode_ops: CounterId,
+    hook_checks: CounterId,
+    advice_dispatches: CounterId,
+    compiled_methods: CounterId,
+    advice_fuel_used: CounterId,
+}
+
+impl VmMetricIds {
+    fn register(t: &mut Telemetry) -> VmMetricIds {
+        let r = &mut t.registry;
+        VmMetricIds {
+            invocations: r.counter("vm.interp.invocations"),
+            bytecode_ops: r.counter("vm.interp.bytecode_ops"),
+            hook_checks: r.counter("vm.hooks.checks"),
+            advice_dispatches: r.counter("vm.hooks.advice_dispatches"),
+            compiled_methods: r.counter("vm.jit.compiled_methods"),
+            advice_fuel_used: r.counter("vm.advice.fuel_used"),
+        }
+    }
 }
 
 /// A resolved exception handler range.
@@ -124,6 +159,9 @@ pub(crate) struct MethodRt {
 #[derive(Debug)]
 pub struct AdviceScope {
     saved_fuel: Option<u64>,
+    /// The fuel budget this scope started with, so `end_advice` can
+    /// attribute consumed fuel to `vm.advice.fuel_used`.
+    budget: Option<u64>,
 }
 
 /// The managed runtime.
@@ -160,7 +198,8 @@ pub struct Vm {
     depth: u32,
     fuel: Option<u64>,
     clock: Arc<dyn Fn() -> u64 + Send + Sync>,
-    stats: VmStats,
+    telemetry: Telemetry,
+    ids: VmMetricIds,
     field_count: u32,
     output: Vec<String>,
 }
@@ -186,6 +225,8 @@ impl Vm {
     /// Creates a VM and registers the built-in system operations
     /// (`print`, `time.now`).
     pub fn new(config: VmConfig) -> Self {
+        let mut telemetry = Telemetry::new();
+        let ids = VmMetricIds::register(&mut telemetry);
         let mut vm = Self {
             classes: Vec::new(),
             class_by_name: HashMap::new(),
@@ -200,7 +241,8 @@ impl Vm {
             depth: 0,
             fuel: None,
             clock: Arc::new(|| 0),
-            stats: VmStats::default(),
+            telemetry,
+            ids,
             field_count: 0,
             output: Vec::new(),
         };
@@ -263,6 +305,7 @@ impl Vm {
     /// Installs the clock used by `time.now` (the platform wires the
     /// simulated clock in here).
     pub fn set_clock(&mut self, clock: Arc<dyn Fn() -> u64 + Send + Sync>) {
+        self.telemetry.set_clock(clock.clone());
         self.clock = clock;
     }
 
@@ -294,18 +337,38 @@ impl Vm {
         std::mem::take(&mut self.output)
     }
 
-    /// Engine counters.
+    /// Engine counters, read back out of the telemetry registry.
     pub fn stats(&self) -> VmStats {
-        self.stats
+        let r = &self.telemetry.registry;
+        VmStats {
+            invocations: r.counter_get(self.ids.invocations),
+            bytecode_ops: r.counter_get(self.ids.bytecode_ops),
+            hook_checks: r.counter_get(self.ids.hook_checks),
+            advice_dispatches: r.counter_get(self.ids.advice_dispatches),
+            compiled_methods: r.counter_get(self.ids.compiled_methods),
+            advice_fuel_used: r.counter_get(self.ids.advice_fuel_used),
+        }
     }
 
-    /// Resets engine counters.
+    /// Resets engine counters (every metric in the registry, so no
+    /// `VmStats` field can be missed when new counters are added).
     pub fn reset_stats(&mut self) {
-        self.stats = VmStats::default();
+        self.telemetry.registry.reset();
     }
 
-    pub(crate) fn stats_mut(&mut self) -> &mut VmStats {
-        &mut self.stats
+    /// This VM's telemetry (registry + event journal).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// This VM's telemetry, mutably (other layers record into it).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    #[inline]
+    pub(crate) fn count_bytecode_op(&mut self) {
+        self.telemetry.registry.inc(self.ids.bytecode_ops);
     }
 
     /// The hook-flag registry (the weaver flips these).
@@ -350,7 +413,10 @@ impl Vm {
         self.perm_stack.push(perms);
         let saved_fuel = self.fuel;
         self.fuel = fuel;
-        AdviceScope { saved_fuel }
+        AdviceScope {
+            saved_fuel,
+            budget: fuel,
+        }
     }
 
     /// Leaves an advice scope started with [`Vm::begin_advice`].
@@ -358,6 +424,12 @@ impl Vm {
         self.advice_depth = self.advice_depth.saturating_sub(1);
         if self.perm_stack.len() > 1 {
             self.perm_stack.pop();
+        }
+        if let Some(budget) = scope.budget {
+            let used = budget.saturating_sub(self.fuel.unwrap_or(0));
+            self.telemetry
+                .registry
+                .add(self.ids.advice_fuel_used, used);
         }
         self.fuel = scope.saved_fuel;
     }
@@ -551,7 +623,11 @@ impl Vm {
     }
 
     pub(crate) fn install_compiled(&mut self, mid: MethodId, compiled: Compiled) {
-        self.stats.compiled_methods += 1;
+        self.telemetry.registry.inc(self.ids.compiled_methods);
+        if self.telemetry.journal.is_enabled(Subsystem::Vm) {
+            let sig = self.methods[mid.0 as usize].sig.to_string();
+            self.telemetry.journal.event(Subsystem::Vm, "vm.jit.compile", sig);
+        }
         self.methods[mid.0 as usize].compiled = Some(compiled);
     }
 
@@ -732,7 +808,7 @@ impl Vm {
         if self.methods[mid.0 as usize].compiled.is_none() {
             jit::compile(self, mid)?;
         }
-        self.stats.invocations += 1;
+        self.telemetry.registry.inc(self.ids.invocations);
         let compiled = self.methods[mid.0 as usize]
             .compiled
             .clone()
@@ -745,10 +821,10 @@ impl Vm {
         let hooks_live = stub && self.hooks_live();
         let mut exit_args: Option<Vec<Value>> = None;
         if hooks_live {
-            self.stats.hook_checks += 1;
+            self.telemetry.registry.inc(self.ids.hook_checks);
             if self.hooks.method_flags(mid) & HOOK_ENTRY != 0 {
                 let d = self.dispatcher.clone().expect("hooks_live implies dispatcher");
-                self.stats.advice_dispatches += 1;
+                self.telemetry.registry.inc(self.ids.advice_dispatches);
                 d.method_entry(self, mid, &this, &mut args)?;
             }
             // Exit advice observes the (post-entry-advice) arguments;
@@ -784,12 +860,17 @@ impl Vm {
             Err(VmError::Exception(e)) => Outcome::Threw(e),
             Err(other) => return Err(other),
         };
-        if hooks_live && self.hooks.method_flags(mid) & HOOK_EXIT != 0 {
-            self.stats.hook_checks += 1;
-            let d = self.dispatcher.clone().expect("hooks_live implies dispatcher");
-            self.stats.advice_dispatches += 1;
-            let saved = exit_args.unwrap_or_default();
-            d.method_exit(self, mid, &this, &saved, &mut outcome)?;
+        // The exit stub probes the hook table exactly once whenever
+        // hooks are live — the check happens (and is counted) even when
+        // the exit hook turns out to be inactive.
+        if hooks_live {
+            self.telemetry.registry.inc(self.ids.hook_checks);
+            if self.hooks.method_flags(mid) & HOOK_EXIT != 0 {
+                let d = self.dispatcher.clone().expect("hooks_live implies dispatcher");
+                self.telemetry.registry.inc(self.ids.advice_dispatches);
+                let saved = exit_args.unwrap_or_default();
+                d.method_exit(self, mid, &this, &saved, &mut outcome)?;
+            }
         }
         match outcome {
             Outcome::Returned(v) => Ok(v),
@@ -838,7 +919,7 @@ impl Vm {
         value: &mut Value,
     ) -> Result<(), VmError> {
         if let Some(d) = self.dispatcher.clone() {
-            self.stats.advice_dispatches += 1;
+            self.telemetry.registry.inc(self.ids.advice_dispatches);
             d.field_get(self, fid, obj, value)?;
         }
         Ok(())
@@ -851,7 +932,7 @@ impl Vm {
         value: &mut Value,
     ) -> Result<(), VmError> {
         if let Some(d) = self.dispatcher.clone() {
-            self.stats.advice_dispatches += 1;
+            self.telemetry.registry.inc(self.ids.advice_dispatches);
             d.field_set(self, fid, obj, value)?;
         }
         Ok(())
@@ -863,7 +944,7 @@ impl Vm {
         exc: &VmException,
     ) -> Result<(), VmError> {
         if let Some(d) = self.dispatcher.clone() {
-            self.stats.advice_dispatches += 1;
+            self.telemetry.registry.inc(self.ids.advice_dispatches);
             d.exception_throw(self, site, exc)?;
         }
         Ok(())
@@ -875,7 +956,7 @@ impl Vm {
         exc: &VmException,
     ) -> Result<(), VmError> {
         if let Some(d) = self.dispatcher.clone() {
-            self.stats.advice_dispatches += 1;
+            self.telemetry.registry.inc(self.ids.advice_dispatches);
             d.exception_catch(self, site, exc)?;
         }
         Ok(())

