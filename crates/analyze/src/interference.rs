@@ -1,0 +1,63 @@
+//! Bridge for pass 4 — aspect interference.
+//!
+//! The interference analyzer itself lives in
+//! [`pmp_prose::interference`], because it must read the weaver's live
+//! dispatch tables *after* a weave; this module converts its reports
+//! into the pipeline's common [`Finding`] currency so
+//! `midas::receiver` journals and thresholds all four passes
+//! uniformly.
+
+use crate::{Finding, Pass, Severity};
+use pmp_prose::interference::{Interference, InterferenceKind};
+
+/// Converts interference reports into findings. Shared field writes
+/// are warnings (the last-woven aspect silently wins); ambiguous
+/// ordering is informational (often benign, e.g. two monitors).
+pub fn findings(reports: &[Interference]) -> Vec<Finding> {
+    reports
+        .iter()
+        .map(|i| {
+            let severity = match i.kind {
+                InterferenceKind::SharedFieldWrite => Severity::Warning,
+                InterferenceKind::AmbiguousOrder => Severity::Info,
+            };
+            Finding::new(
+                severity,
+                Pass::Interference,
+                "",
+                None,
+                format!("{} at {}: {}", i.kind, i.site, i.detail),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_severities() {
+        let reports = vec![
+            Interference {
+                kind: InterferenceKind::SharedFieldWrite,
+                aspect_a: "a".into(),
+                aspect_b: "b".into(),
+                site: "Robot.state".into(),
+                detail: "both write".into(),
+            },
+            Interference {
+                kind: InterferenceKind::AmbiguousOrder,
+                aspect_a: "a".into(),
+                aspect_b: "b".into(),
+                site: "entry void Motor.rotate(int)".into(),
+                detail: "equal priority".into(),
+            },
+        ];
+        let f = findings(&reports);
+        assert_eq!(f[0].severity, Severity::Warning);
+        assert_eq!(f[1].severity, Severity::Info);
+        assert!(f.iter().all(|x| x.pass == Pass::Interference));
+        assert!(f[0].message.contains("Robot.state"));
+    }
+}

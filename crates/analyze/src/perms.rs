@@ -1,0 +1,297 @@
+//! Pass 2 — permission inference.
+//!
+//! Derives the least [`Permissions`] set an aspect can require: the
+//! union of the permissions gating every sys op reachable from its
+//! advice entry points (the bound advice methods, `init`, and the
+//! shutdown handler), walking intra-class calls (`CallStatic` naming
+//! the shipped class, `CallV` whose method name resolves on it)
+//! transitively. Field accesses and calls into application classes
+//! carry no permission of their own — the VM gates side effects at the
+//! sys-op boundary only.
+//!
+//! A package whose *declared* permission set does not cover the
+//! inferred one is rejected: its signer asked the user to grant less
+//! than the code actually needs, which at run time would surface as a
+//! confusing mid-advice `SecurityException` — or, worse, train
+//! operators to grant everything. Declared-but-unused permissions are
+//! reported below the rejection threshold, and sys ops unknown on the
+//! receiving node are warnings (they fail closed at link time).
+
+use crate::{Finding, Pass, Severity, SysPerm, SysResolver};
+use pmp_prose::{Aspect, PortableAspect, PortableMethod};
+use pmp_vm::op::Op;
+use pmp_vm::perm::Permissions;
+use std::collections::BTreeSet;
+
+/// The outcome of permission inference.
+#[derive(Debug, Clone, Default)]
+pub struct Inference {
+    /// The least permission set reachable advice can require.
+    pub required: Permissions,
+    /// Diagnostics (coverage errors, unknown sys ops, unused grants).
+    pub findings: Vec<Finding>,
+}
+
+/// Infers the least required permissions of `aspect` and checks them
+/// against `declared` (the package's `meta.permissions`).
+pub fn check_permissions(
+    aspect: &PortableAspect,
+    declared: Permissions,
+    resolver: &dyn SysResolver,
+) -> Inference {
+    let class = &aspect.class;
+
+    fn enqueue<'a>(
+        class: &'a pmp_prose::PortableClass,
+        name: &str,
+        queue: &mut Vec<&'a PortableMethod>,
+        seen: &mut BTreeSet<&'a str>,
+    ) {
+        if let Some(m) = class.methods.iter().find(|m| m.name == name) {
+            if seen.insert(&m.name) {
+                queue.push(m);
+            }
+        }
+    }
+
+    // Entry points: every bound advice method, the optional `init`
+    // constructor-advice, and the shutdown handler.
+    let mut queue: Vec<&PortableMethod> = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for b in &aspect.bindings {
+        enqueue(class, &b.method, &mut queue, &mut seen);
+    }
+    enqueue(class, "init", &mut queue, &mut seen);
+    enqueue(class, Aspect::SHUTDOWN_METHOD, &mut queue, &mut seen);
+
+    let mut required = Permissions::none();
+    let mut findings = Vec::new();
+    let mut unknown_sys = false;
+
+    while let Some(m) = queue.pop() {
+        for (pc, op) in m.body.ops.iter().enumerate() {
+            match op {
+                Op::Sys { name, .. } => match resolver.lookup(name) {
+                    SysPerm::Guarded(p) => required = required.with(p),
+                    SysPerm::Unguarded => {}
+                    SysPerm::Unknown => {
+                        unknown_sys = true;
+                        findings.push(Finding::new(
+                            Severity::Warning,
+                            Pass::Permissions,
+                            &m.name,
+                            Some(pc),
+                            format!("sys op {name:?} is not registered on this node"),
+                        ));
+                    }
+                },
+                Op::CallStatic {
+                    class: cname,
+                    method,
+                    ..
+                } if *cname == class.name => {
+                    enqueue(class, method, &mut queue, &mut seen);
+                }
+                Op::CallV { method, .. } => {
+                    // Dynamic dispatch may land on the shipped class
+                    // itself; include it conservatively.
+                    enqueue(class, method, &mut queue, &mut seen);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if !declared.covers(required) {
+        let missing: Vec<String> = required
+            .iter()
+            .filter(|p| !declared.allows(*p))
+            .map(|p| p.name().to_string())
+            .collect();
+        findings.push(Finding::new(
+            Severity::Error,
+            Pass::Permissions,
+            "",
+            None,
+            format!(
+                "advice requires undeclared permission(s) {{{}}} (declared {declared})",
+                missing.join(",")
+            ),
+        ));
+    } else if !unknown_sys {
+        // Only lint unused grants when every sys op resolved — an
+        // unknown op might be the one needing the extra grant.
+        let unused: Vec<String> = declared
+            .iter()
+            .filter(|p| !required.allows(*p))
+            .map(|p| p.name().to_string())
+            .collect();
+        if !unused.is_empty() {
+            findings.push(Finding::new(
+                Severity::Info,
+                Pass::Permissions,
+                "",
+                None,
+                format!(
+                    "declared permission(s) {{{}}} never used by reachable advice",
+                    unused.join(",")
+                ),
+            ));
+        }
+    }
+
+    Inference { required, findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_prose::{Crosscut, PortableBinding, PortableClass};
+    use pmp_vm::op::BytecodeBody;
+    use pmp_vm::perm::Permission;
+
+    fn resolver(name: &str) -> SysPerm {
+        match name {
+            "print" => SysPerm::Guarded(Permission::Print),
+            "net.send" => SysPerm::Guarded(Permission::Net),
+            "session.get" => SysPerm::Unguarded,
+            _ => SysPerm::Unknown,
+        }
+    }
+
+    fn method(name: &str, ops: Vec<Op>) -> PortableMethod {
+        PortableMethod {
+            name: name.into(),
+            params: vec!["any".into(); 5],
+            ret: "any".into(),
+            body: BytecodeBody {
+                extra_locals: 0,
+                ops,
+                handlers: vec![],
+            },
+        }
+    }
+
+    fn aspect(methods: Vec<PortableMethod>, bound: &str) -> PortableAspect {
+        PortableAspect {
+            name: "t".into(),
+            class: PortableClass {
+                name: "T".into(),
+                fields: vec![],
+                methods,
+            },
+            bindings: vec![PortableBinding {
+                crosscut: Crosscut::parse("before * X.*(..)").unwrap(),
+                method: bound.into(),
+                priority: 0,
+            }],
+        }
+    }
+
+    fn sys(name: &str) -> Op {
+        Op::Sys {
+            name: name.into(),
+            argc: 0,
+        }
+    }
+
+    #[test]
+    fn reachable_sys_ops_determine_required_set() {
+        let a = aspect(
+            vec![method("onCall", vec![sys("net.send"), Op::Pop, Op::Ret])],
+            "onCall",
+        );
+        let inf = check_permissions(&a, Permissions::none().with(Permission::Net), &resolver);
+        assert!(inf.required.allows(Permission::Net));
+        assert!(!inf.required.allows(Permission::Print));
+        assert!(inf.findings.is_empty(), "{:?}", inf.findings);
+    }
+
+    #[test]
+    fn undeclared_permission_is_an_error() {
+        let a = aspect(
+            vec![method("onCall", vec![sys("print"), Op::Pop, Op::Ret])],
+            "onCall",
+        );
+        let inf = check_permissions(&a, Permissions::none(), &resolver);
+        let errs: Vec<_> = inf
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .collect();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("print"));
+    }
+
+    #[test]
+    fn inference_walks_intra_class_calls() {
+        let a = aspect(
+            vec![
+                method(
+                    "onCall",
+                    vec![
+                        Op::CallStatic {
+                            class: "T".into(),
+                            method: "helper".into(),
+                            argc: 0,
+                        },
+                        Op::Pop,
+                        Op::Ret,
+                    ],
+                ),
+                method("helper", vec![sys("net.send"), Op::RetVal]),
+            ],
+            "onCall",
+        );
+        let inf = check_permissions(&a, Permissions::none(), &resolver);
+        assert!(inf.required.allows(Permission::Net));
+    }
+
+    #[test]
+    fn unbound_methods_do_not_contribute() {
+        let a = aspect(
+            vec![
+                method("onCall", vec![Op::Ret]),
+                method("dormant", vec![sys("net.send"), Op::Pop, Op::Ret]),
+            ],
+            "onCall",
+        );
+        let inf = check_permissions(&a, Permissions::none(), &resolver);
+        assert_eq!(inf.required, Permissions::none());
+    }
+
+    #[test]
+    fn unknown_sys_op_is_a_warning_not_an_error() {
+        let a = aspect(
+            vec![method("onCall", vec![sys("wat.wat"), Op::Pop, Op::Ret])],
+            "onCall",
+        );
+        let inf = check_permissions(&a, Permissions::none(), &resolver);
+        assert_eq!(inf.findings.len(), 1);
+        assert_eq!(inf.findings[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn unused_declared_permission_is_info() {
+        let a = aspect(vec![method("onCall", vec![Op::Ret])], "onCall");
+        let inf = check_permissions(
+            &a,
+            Permissions::none().with(Permission::Device),
+            &resolver,
+        );
+        assert_eq!(inf.findings.len(), 1);
+        assert_eq!(inf.findings[0].severity, Severity::Info);
+        assert!(inf.findings[0].message.contains("device"));
+    }
+
+    #[test]
+    fn unguarded_sys_ops_need_no_grant() {
+        let a = aspect(
+            vec![method("onCall", vec![sys("session.get"), Op::Pop, Op::Ret])],
+            "onCall",
+        );
+        let inf = check_permissions(&a, Permissions::none(), &resolver);
+        assert_eq!(inf.required, Permissions::none());
+        assert!(inf.findings.is_empty());
+    }
+}

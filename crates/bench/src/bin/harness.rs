@@ -26,6 +26,7 @@ fn main() {
     e8_monitoring_pipeline();
     e9_security();
     e10_conciseness();
+    e11_verification_cost();
     ablations();
 }
 
@@ -394,6 +395,99 @@ fn e10_conciseness() {
         let ops: usize = pkg.aspect.class.methods.iter().map(|m| m.body.ops.len()).sum();
         let wire = pmp_wire::to_bytes(&pkg).len();
         println!("| {} | {methods} | {ops} | {wire} |", pkg.meta.id);
+    }
+    println!();
+}
+
+/// E11 — admission-gate cost: the static analysis a receiver pays per
+/// delivered extension (absent from the paper, which admits on
+/// signature alone), next to the signature check it already pays.
+fn e11_verification_cost() {
+    use pmp_analyze::{perms, termination, verifier, AnalyzeOptions, Severity, SysPerm};
+    use pmp_crypto::{KeyPair, Principal, TrustStore};
+    use pmp_extensions::support::{register_session_blackboard, register_sink};
+    use pmp_midas::SignedExtension;
+    use pmp_vm::op::Op;
+    use pmp_vm::perm::{Permission, Permissions};
+    use pmp_vm::prelude::{Value, Vm, VmConfig};
+    use std::sync::Arc;
+
+    println!("## E11 — static-analysis admission gate: per-pass cost and verdict");
+    println!();
+    println!("| extension | verdict | sig verify (µs) | bytecode (µs) | perms (µs) | termination (µs) | gate total (µs) |");
+    println!("|---|---|---|---|---|---|---|");
+
+    // A VM wired like a platform node, so every sys op resolves.
+    let mut vm = Vm::new(VmConfig::default());
+    register_session_blackboard(&mut vm);
+    register_sink(&mut vm, "monitor.post", Some(Permission::Net));
+    register_sink(&mut vm, "replicate.post", Some(Permission::Net));
+    register_sink(&mut vm, "billing.charge", Some(Permission::Net));
+    register_sink(&mut vm, "persist.put", Some(Permission::Store));
+    vm.register_sys("session.caller", None, Arc::new(|_vm, _args| Ok(Value::Null)));
+
+    let authority = KeyPair::from_seed(b"bench:authority");
+    let mut trust = TrustStore::default();
+    trust.add(Principal::new("bench:authority", authority.public_key()));
+
+    let mut packages = vec![
+        pmp_extensions::monitoring::package(1),
+        pmp_extensions::session::package("* DrawingService.*(..)", 1),
+        pmp_extensions::access_control::package("* DrawingService.*(..)", &["op:1"], 1),
+        pmp_extensions::encryption::package(0x42, 1),
+        pmp_extensions::geofence::package(0, 0, 30, 30, 1),
+        pmp_extensions::billing::package("* Motor.*(..)", 2, 1),
+        pmp_extensions::persistence::package("Robot.state", 1),
+        pmp_extensions::transactions::package("* Svc.tx*(..)", "Svc", &["a", "b"], 1),
+        pmp_extensions::agegate::package("* Svc.*(..)", 1_000, 1),
+        pmp_extensions::replication::package(1),
+    ];
+    // A deliberately unsound package (underflowing advice) as the
+    // rejected control.
+    let mut evil = pmp_extensions::monitoring::package(1);
+    evil.meta.id = "ext/underflow".into();
+    if let Some(m) = evil.aspect.class.methods.first_mut() {
+        m.body.ops.insert(0, Op::Pop);
+    }
+    packages.push(evil);
+
+    for pkg in packages {
+        let declared = Permissions::from_names(pkg.meta.permissions.iter().map(String::as_str));
+        let reg = vm.sys_registry();
+        let resolver = |name: &str| match reg.lookup(name) {
+            Some(idx) => match reg.perm_of(idx) {
+                Some(p) => SysPerm::Guarded(p),
+                None => SysPerm::Unguarded,
+            },
+            None => SysPerm::Unknown,
+        };
+        let opts = AnalyzeOptions::default();
+
+        let sealed = SignedExtension::seal("bench:authority", &authority, &pkg);
+        let t_sig = measure_ns(200, || {
+            sealed.verify_and_open(&trust).unwrap();
+        }) / 1e3;
+        let t_ver = measure_ns(500, || {
+            verifier::verify_class(&pkg.aspect.class, &opts);
+        }) / 1e3;
+        let t_perm = measure_ns(500, || {
+            perms::check_permissions(&pkg.aspect, declared, &resolver);
+        }) / 1e3;
+        let t_term = measure_ns(500, || {
+            termination::check_class(&pkg.aspect.class, &opts);
+        }) / 1e3;
+
+        let report = pmp_analyze::analyze_aspect(&pkg.aspect, declared, &resolver, &opts);
+        let verdict = if report.rejects(Severity::Error) {
+            "REJECT"
+        } else {
+            "accept"
+        };
+        println!(
+            "| {} | {verdict} | {t_sig:.2} | {t_ver:.2} | {t_perm:.2} | {t_term:.2} | {:.2} |",
+            pkg.meta.id,
+            t_ver + t_perm + t_term
+        );
     }
     println!();
 }

@@ -35,6 +35,6 @@ pub mod receiver;
 pub use base::{BaseEvent, ExtensionBase};
 pub use catalog::Catalog;
 pub use package::{ExtensionMeta, ExtensionPackage, SignedExtension};
-pub use policy::ReceiverPolicy;
+pub use policy::{AnalysisPolicy, ReceiverPolicy};
 pub use proto::{MidasMsg, CHANNEL};
 pub use receiver::{AdaptationService, ReceiverEvent};

@@ -1,9 +1,39 @@
 //! Receiver-side security policy: which signers are trusted and how
 //! many permissions each may grant its extensions.
 
+use pmp_analyze::Severity;
 use pmp_crypto::TrustStore;
 use pmp_vm::perm::Permissions;
 use std::collections::HashMap;
+
+/// How the receiver runs the static-analysis admission gate
+/// (`pmp-analyze`) on verified packages, before weaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisPolicy {
+    /// Run the gate at all. Off reproduces the paper's behaviour:
+    /// cryptographic trust plus the run-time sandbox, nothing static.
+    pub enabled: bool,
+    /// Findings at or above this severity reject the package. The
+    /// default (`Error`) rejects malformed bytecode and undeclared
+    /// permissions while letting lints (unknown sys ops, fuel-bounded
+    /// loops) through; lower it to `Warning` for paranoid nodes.
+    pub reject_at: Severity,
+    /// Treat post-weave aspect interference (shared field writes,
+    /// equal-priority ordering) as fatal: the newcomer is unwoven
+    /// again and nacked. Off by default — interference is usually a
+    /// lint, not an attack.
+    pub reject_on_interference: bool,
+}
+
+impl Default for AnalysisPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            reject_at: Severity::Error,
+            reject_on_interference: false,
+        }
+    }
+}
 
 /// A receiver's policy: trust store plus per-signer permission caps.
 /// The effective permissions of an installed extension are
@@ -12,6 +42,8 @@ use std::collections::HashMap;
 pub struct ReceiverPolicy {
     /// Who may sign extensions for this node.
     pub trust: TrustStore,
+    /// The static-analysis admission gate.
+    pub analysis: AnalysisPolicy,
     default_cap: Permissions,
     per_signer: HashMap<String, Permissions>,
 }
@@ -70,6 +102,14 @@ mod tests {
         let eff = p.effective("other", &["net".into(), "print".into()]);
         assert!(!eff.allows(Permission::Net));
         assert!(eff.allows(Permission::Print));
+    }
+
+    #[test]
+    fn analysis_gate_defaults_to_rejecting_errors_only() {
+        let p = ReceiverPolicy::new();
+        assert!(p.analysis.enabled);
+        assert_eq!(p.analysis.reject_at, Severity::Error);
+        assert!(!p.analysis.reject_on_interference);
     }
 
     #[test]

@@ -2,13 +2,16 @@
 //! advertises the node, accepts signed extensions, weaves them with
 //! PROSE, tracks their leases, and withdraws them autonomously.
 
-use crate::package::SignedExtension;
+use crate::package::{ExtensionPackage, SignedExtension};
 use crate::policy::ReceiverPolicy;
 use crate::proto::{MidasMsg, CHANNEL};
+use pmp_analyze::{perms, termination, verifier};
+use pmp_analyze::{AnalysisReport, AnalyzeOptions, SysPerm};
 use pmp_discovery::{DiscoveryClient, DiscoveryEvent, Lease, ServiceItem};
 use pmp_net::{Incoming, NodeId, Simulator};
 use pmp_prose::{Aspect, AspectId, Prose, WeaveOptions};
 use pmp_telemetry::{Shared, Subsystem};
+use pmp_vm::perm::Permissions;
 use pmp_vm::Vm;
 use std::collections::{HashMap, HashSet};
 
@@ -119,6 +122,13 @@ impl AdaptationService {
     fn count(&self, name: &str) {
         if let Some(s) = &self.telemetry {
             s.inc(name);
+        }
+    }
+
+    fn record_ns(&self, name: &str, start: std::time::Instant) {
+        if let Some(s) = &self.telemetry {
+            let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            s.record(name, ns);
         }
     }
 
@@ -294,6 +304,127 @@ impl AdaptationService {
         sim.send(self.node, to, CHANNEL, pmp_wire::to_bytes(&msg));
     }
 
+    /// Runs the static passes of the admission gate (bytecode
+    /// verification, permission inference, termination) over a
+    /// signature-verified package, timing each pass. `Err` carries the
+    /// offending pass's name and the first finding at or above the
+    /// policy threshold.
+    fn analyze_package(
+        &mut self,
+        vm: &Vm,
+        pkg: &ExtensionPackage,
+    ) -> Result<(), (String, String)> {
+        let policy = self.policy.analysis;
+        if !policy.enabled {
+            return Ok(());
+        }
+        let declared = Permissions::from_names(pkg.meta.permissions.iter().map(String::as_str));
+        let reg = vm.sys_registry();
+        let resolver = |name: &str| match reg.lookup(name) {
+            Some(idx) => match reg.perm_of(idx) {
+                Some(p) => SysPerm::Guarded(p),
+                None => SysPerm::Unguarded,
+            },
+            None => SysPerm::Unknown,
+        };
+        // Everything this receiver weaves is sandboxed with finite
+        // fuel, so back-edges are bounded (pass 3 reports them as
+        // info, not warnings).
+        let opts = AnalyzeOptions::default();
+
+        let t = std::time::Instant::now();
+        let mut findings = verifier::verify_class(&pkg.aspect.class, &opts);
+        self.record_ns("midas.analyze.bytecode_ns", t);
+
+        let t = std::time::Instant::now();
+        let inference = perms::check_permissions(&pkg.aspect, declared, &resolver);
+        self.record_ns("midas.analyze.perms_ns", t);
+
+        let t = std::time::Instant::now();
+        findings.extend(termination::check_class(&pkg.aspect.class, &opts));
+        self.record_ns("midas.analyze.termination_ns", t);
+
+        let required = inference.required;
+        findings.extend(inference.findings);
+        let report = AnalysisReport { findings, required };
+
+        if let Some(f) = report.first_at(policy.reject_at) {
+            let mut detail = String::new();
+            if !f.method.is_empty() {
+                detail.push_str(&f.method);
+                if let Some(pc) = f.pc {
+                    detail.push_str(&format!(" @{pc}"));
+                }
+                detail.push_str(": ");
+            }
+            detail.push_str(&f.message);
+            return Err((f.pass.to_string(), detail));
+        }
+
+        self.count("midas.analyze.accepted");
+        if let Some(s) = &self.telemetry {
+            let summary = if report.findings.is_empty() {
+                "clean".to_string()
+            } else {
+                format!(
+                    "{} finding(s), worst {}",
+                    report.findings.len(),
+                    report.worst().expect("non-empty findings")
+                )
+            };
+            s.event(
+                Subsystem::Midas,
+                "midas.analyze",
+                format!("{} ok: {summary}", pkg.meta.id),
+            );
+        }
+        Ok(())
+    }
+
+    /// Pass 4 of the gate: interference of the newly woven aspect with
+    /// the ones already active, computed on the live dispatch tables.
+    /// Advisory by default (journal + counter); when the policy makes
+    /// interference fatal, the newcomer is unwoven again and the
+    /// offending report returned.
+    fn check_interference(
+        &mut self,
+        vm: &mut Vm,
+        prose: &Prose,
+        pkg: &ExtensionPackage,
+        aspect_id: AspectId,
+    ) -> Result<(), (String, String)> {
+        if !self.policy.analysis.enabled {
+            return Ok(());
+        }
+        let t = std::time::Instant::now();
+        let name = &pkg.aspect.name;
+        let reports: Vec<_> = prose
+            .interference_report(vm)
+            .into_iter()
+            .filter(|r| r.aspect_a == *name || r.aspect_b == *name)
+            .collect();
+        self.record_ns("midas.analyze.interference_ns", t);
+        if reports.is_empty() {
+            return Ok(());
+        }
+        if let Some(s) = &self.telemetry {
+            for f in pmp_analyze::interference::findings(&reports) {
+                s.inc("midas.analyze.interference");
+                s.event(
+                    Subsystem::Midas,
+                    "midas.analyze",
+                    format!("{} {}", pkg.meta.id, f),
+                );
+            }
+        }
+        if self.policy.analysis.reject_on_interference {
+            let _ = prose.unweave(vm, aspect_id, "interference rejected");
+            let first = &reports[0];
+            return Err(("interference".into(), first.detail.clone()));
+        }
+        Ok(())
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn try_install(
         &mut self,
@@ -306,14 +437,13 @@ impl AdaptationService {
         grant: u64,
     ) {
         // 1. Trust and integrity (paper §3.2: verification of the
-        //    originator before insertion).
+        //    originator before insertion). `verify_ns` is recorded on
+        //    the rejection path too — slow *failed* verifications are
+        //    exactly the ones worth seeing.
         let signer = ext.signer().to_string();
         let verify_start = std::time::Instant::now();
         let verified = ext.verify_and_open(&self.policy.trust);
-        if let Some(s) = &self.telemetry {
-            let ns = verify_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-            s.record("midas.receiver.verify_ns", ns);
-        }
+        self.record_ns("midas.receiver.verify_ns", verify_start);
         let pkg = match verified {
             Ok(pkg) => pkg,
             Err(reason) => {
@@ -330,7 +460,24 @@ impl AdaptationService {
             s.event(Subsystem::Midas, "midas.verify", format!("{id} ok (signer {signer})"));
         }
 
-        // 2. Version check: same or newer only.
+        // 2. Static analysis (the admission gate): a valid signature
+        //    says who shipped the code, not that the code is safe to
+        //    weave. Our VM has no JVM-style load-time verifier, so the
+        //    receiver runs one here.
+        if let Err((pass, detail)) = self.analyze_package(vm, &pkg) {
+            self.count("midas.analyze.rejected");
+            if let Some(s) = &self.telemetry {
+                s.event(
+                    Subsystem::Midas,
+                    "midas.analyze",
+                    format!("{id} REJECTED by {pass}: {detail}"),
+                );
+            }
+            self.nack(sim, from, &id, grant, format!("analysis: {pass}: {detail}"));
+            return;
+        }
+
+        // 3. Version check: same or newer only.
         if let Some(existing) = self.installed.get_mut(&id) {
             if existing.version > pkg.meta.version {
                 self.nack(sim, from, &id, grant, "version downgrade refused".into());
@@ -354,7 +501,7 @@ impl AdaptationService {
             self.uninstall(sim, vm, prose, &id, "upgraded", true);
         }
 
-        // 3. Implicit dependencies must be present (paper: the session
+        // 4. Implicit dependencies must be present (paper: the session
         //    management extension is automatically added first).
         let missing: Vec<String> = pkg
             .meta
@@ -382,14 +529,13 @@ impl AdaptationService {
             return;
         }
 
-        // 4. Weave under the sandbox: requested ∩ policy cap.
+        // 5. Weave under the sandbox: requested ∩ policy cap.
         let perms = self.policy.effective(&signer, &pkg.meta.permissions);
         let aspect: Aspect = pkg.aspect.clone().into();
         let weave_start = std::time::Instant::now();
         let woven = prose.weave(vm, aspect, WeaveOptions::sandboxed(perms));
+        self.record_ns("midas.receiver.weave_ns", weave_start);
         if let Some(s) = &self.telemetry {
-            let ns = weave_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-            s.record("midas.receiver.weave_ns", ns);
             s.event(
                 Subsystem::Midas,
                 "midas.weave",
@@ -398,6 +544,23 @@ impl AdaptationService {
         }
         match woven {
             Ok(aspect_id) => {
+                // 6. Pass 4 of the gate — interference against the
+                //    aspects already active, read off the live
+                //    dispatch tables the weave just rebuilt.
+                if let Err((pass, detail)) =
+                    self.check_interference(vm, prose, &pkg, aspect_id)
+                {
+                    self.count("midas.analyze.rejected");
+                    if let Some(s) = &self.telemetry {
+                        s.event(
+                            Subsystem::Midas,
+                            "midas.analyze",
+                            format!("{id} REJECTED by {pass}: {detail}"),
+                        );
+                    }
+                    self.nack(sim, from, &id, grant, format!("analysis: {pass}: {detail}"));
+                    return;
+                }
                 for dep in &pkg.meta.requires {
                     if let Some(d) = self.installed.get_mut(dep) {
                         d.dependents.insert(id.clone());

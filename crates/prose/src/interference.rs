@@ -1,0 +1,149 @@
+//! Pass 4 of the admission pipeline — aspect-interference analysis.
+//!
+//! Weaving is compositional in mechanism but not in meaning: two
+//! aspects that are each correct in isolation can interfere once both
+//! are active. The analyzer inspects the runtime's *live* dispatch
+//! tables (not the aspects' patterns — after a weave the tables are the
+//! ground truth of which advice fires where) and reports:
+//!
+//! * **shared field writes** — two aspects advise `set` on the same
+//!   concrete field: both may rewrite the stored value and the
+//!   last-woven aspect silently wins;
+//! * **ambiguous ordering** — two aspects advise the same join point
+//!   with the same advice kind at *equal* priority: their relative
+//!   order is an accident of weave order rather than a declared
+//!   contract (distinct priorities order deterministically and are not
+//!   flagged).
+//!
+//! Reports are advisory by default; `midas::policy` can escalate them
+//! to rejection (`reject_on_interference`), in which case the receiver
+//! unweaves the newcomer again.
+
+use crate::runtime::{AdviceRef, State};
+use pmp_vm::vm::Vm;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What kind of interference was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterferenceKind {
+    /// Two aspects advise `set` on the same field — both can rewrite
+    /// the stored value.
+    SharedFieldWrite,
+    /// Two aspects advise the same join point with the same advice
+    /// kind at equal priority — execution order is weave-order.
+    AmbiguousOrder,
+}
+
+impl fmt::Display for InterferenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InterferenceKind::SharedFieldWrite => "shared-field-write",
+            InterferenceKind::AmbiguousOrder => "ambiguous-order",
+        })
+    }
+}
+
+/// One detected interference between two woven aspects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interference {
+    /// What kind.
+    pub kind: InterferenceKind,
+    /// Name of the first (earlier-woven) aspect.
+    pub aspect_a: String,
+    /// Name of the second aspect.
+    pub aspect_b: String,
+    /// The contested join point (`Class.field` or a method signature).
+    pub site: String,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// Emits one record per unordered pair of distinct aspects advising
+/// `site`. For field-set sites every pair interferes; elsewhere only
+/// equal-priority pairs do.
+fn pairs(
+    out: &mut Vec<Interference>,
+    advisers: &[AdviceRef],
+    site: &str,
+    kind: InterferenceKind,
+) {
+    for (i, a) in advisers.iter().enumerate() {
+        for b in &advisers[i + 1..] {
+            if a.aspect.id == b.aspect.id {
+                continue;
+            }
+            let conflict = match kind {
+                InterferenceKind::SharedFieldWrite => true,
+                InterferenceKind::AmbiguousOrder => a.priority == b.priority,
+            };
+            if !conflict {
+                continue;
+            }
+            let detail = match kind {
+                InterferenceKind::SharedFieldWrite => format!(
+                    "aspects {:?} and {:?} both advise writes of {site}; the last-woven value wins",
+                    a.aspect.name, b.aspect.name
+                ),
+                InterferenceKind::AmbiguousOrder => format!(
+                    "aspects {:?} and {:?} advise {site} at equal priority {}; their order is weave-order",
+                    a.aspect.name, b.aspect.name, a.priority
+                ),
+            };
+            out.push(Interference {
+                kind,
+                aspect_a: a.aspect.name.clone(),
+                aspect_b: b.aspect.name.clone(),
+                site: site.to_string(),
+                detail,
+            });
+        }
+    }
+}
+
+/// Walks the dispatch tables and reports every interference.
+pub(crate) fn report(state: &State, vm: &Vm) -> Vec<Interference> {
+    let mut out = Vec::new();
+
+    // Field names resolve through the VM's field table.
+    let field_names: BTreeMap<u32, String> = vm
+        .fields()
+        .map(|(fid, class, field, _)| (fid.0, format!("{class}.{field}")))
+        .collect();
+    let field_site = |fid: u32| {
+        field_names
+            .get(&fid)
+            .cloned()
+            .unwrap_or_else(|| format!("field#{fid}"))
+    };
+
+    // Deterministic iteration: sort sites before pairing.
+    let mut field_sets: Vec<_> = state.field_set.iter().collect();
+    field_sets.sort_by_key(|(fid, _)| fid.0);
+    for (fid, advisers) in field_sets {
+        pairs(
+            &mut out,
+            advisers,
+            &field_site(fid.0),
+            InterferenceKind::SharedFieldWrite,
+        );
+    }
+
+    let mut field_gets: Vec<_> = state.field_get.iter().collect();
+    field_gets.sort_by_key(|(fid, _)| fid.0);
+    for (fid, advisers) in field_gets {
+        let site = format!("get {}", field_site(fid.0));
+        pairs(&mut out, advisers, &site, InterferenceKind::AmbiguousOrder);
+    }
+
+    for (label, table) in [("entry", &state.entry), ("exit", &state.exit)] {
+        let mut sites: Vec<_> = table.iter().collect();
+        sites.sort_by_key(|(mid, _)| mid.0);
+        for (mid, advisers) in sites {
+            let site = format!("{label} {}", vm.method_sig(*mid));
+            pairs(&mut out, advisers, &site, InterferenceKind::AmbiguousOrder);
+        }
+    }
+
+    out
+}

@@ -70,6 +70,7 @@ pub mod aspect;
 pub mod crosscut;
 pub mod error;
 pub mod handle;
+pub mod interference;
 pub mod parser;
 pub mod pattern;
 pub mod portable;
@@ -81,7 +82,8 @@ pub use aspect::{Aspect, AspectImpl, Binding, PortableClass, PortableMethod};
 pub use crosscut::Crosscut;
 pub use error::ProseError;
 pub use handle::{AspectId, AspectInfo};
-pub use portable::PortableAspect;
+pub use interference::{Interference, InterferenceKind};
+pub use portable::{PortableAspect, PortableBinding};
 pub use runtime::{ErrorPolicy, ProseRuntime};
 pub use weaver::{Prose, WeaveOptions, DEFAULT_SCRIPT_FUEL};
 

@@ -323,6 +323,16 @@ impl Prose {
         std::mem::take(&mut self.rt.state.lock().faults)
     }
 
+    /// Analyzes the live dispatch tables for aspect interference: two
+    /// active aspects writing the same field, or advising the same
+    /// join point with equal priority. Run after a weave (or
+    /// [`Prose::refresh`]) — the tables, not the patterns, are the
+    /// ground truth of what fires where.
+    pub fn interference_report(&self, vm: &Vm) -> Vec<crate::interference::Interference> {
+        let s = self.rt.state.lock();
+        crate::interference::report(&s, vm)
+    }
+
     /// Records one weave/unweave operation into the VM's telemetry:
     /// wall-time latency histogram, the active-aspect gauge, and a
     /// journal event naming the aspect (or reason).

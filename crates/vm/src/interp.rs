@@ -141,7 +141,18 @@ pub(crate) fn run(
         let step = exec_op(vm, compiled, &mut stack, &mut locals, op, pc, hooks_live);
         match step {
             Ok(Step::Next) => pc += 1,
-            Ok(Step::Jump(target)) => pc = target,
+            Ok(Step::Jump(target)) => {
+                // A jump must land on an instruction; sequential
+                // fall-off is an implicit `Ret`, but a wild jump is a
+                // link error (same rule as the JIT's `check_target`).
+                if target >= compiled.ops.len() {
+                    return Err(VmError::link(format!(
+                        "jump target {target} out of range (method has {} ops)",
+                        compiled.ops.len()
+                    )));
+                }
+                pc = target;
+            }
             Ok(Step::Return(v)) => return Ok(v),
             Err(VmError::Exception(exc)) => {
                 // Search this method's handler table for the faulting pc.
@@ -431,4 +442,82 @@ fn exec_op(
         CompiledOp::Nop => {}
     }
     Ok(Step::Next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassDef;
+    use crate::op::Op;
+    use crate::types::TypeSig;
+    use crate::vm::VmConfig;
+
+    /// Hand-builds a compiled body for a registered method, bypassing
+    /// the JIT's target validation.
+    fn compiled(vm: &Vm, ops: Vec<CompiledOp>) -> CompiledMethod {
+        let mid = vm.method_id("T", "m").unwrap();
+        CompiledMethod {
+            mid,
+            ops,
+            handlers: vec![],
+            nlocals: 1,
+            stub: false,
+        }
+    }
+
+    fn vm_with_method() -> Vm {
+        let mut vm = Vm::new(VmConfig::default());
+        vm.register_class(
+            ClassDef::build("T")
+                .method("m", [], TypeSig::Void, |b| {
+                    b.op(Op::Ret);
+                })
+                .done(),
+        )
+        .unwrap();
+        vm
+    }
+
+    #[test]
+    fn wild_jump_is_a_link_error_not_a_panic() {
+        let mut vm = vm_with_method();
+        let cm = compiled(&vm, vec![CompiledOp::Jump(99)]);
+        let err = run(&mut vm, &cm, Value::Null, vec![]).unwrap_err();
+        assert!(
+            matches!(&err, VmError::Link(msg) if msg.contains("jump target 99 out of range")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn conditional_wild_jump_is_a_link_error() {
+        let mut vm = vm_with_method();
+        let cm = compiled(
+            &vm,
+            vec![CompiledOp::Const(Value::Bool(true)), CompiledOp::JumpIf(7)],
+        );
+        let err = run(&mut vm, &cm, Value::Null, vec![]).unwrap_err();
+        assert!(matches!(&err, VmError::Link(msg) if msg.contains("out of range")));
+    }
+
+    #[test]
+    fn sequential_fall_off_is_still_an_implicit_ret() {
+        let mut vm = vm_with_method();
+        let cm = compiled(&vm, vec![CompiledOp::Nop]);
+        assert_eq!(run(&mut vm, &cm, Value::Null, vec![]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn in_range_jump_still_works() {
+        let mut vm = vm_with_method();
+        let cm = compiled(
+            &vm,
+            vec![
+                CompiledOp::Jump(2),
+                CompiledOp::Const(Value::Int(1)),
+                CompiledOp::Ret,
+            ],
+        );
+        assert_eq!(run(&mut vm, &cm, Value::Null, vec![]).unwrap(), Value::Null);
+    }
 }

@@ -16,6 +16,7 @@
 //! cargo run --example adhoc_peers
 //! ```
 
+pub use pmp_analyze as analyze;
 pub use pmp_core as core;
 pub use pmp_crypto as crypto;
 pub use pmp_discovery as discovery;
