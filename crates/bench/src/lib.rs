@@ -353,8 +353,10 @@ pub struct DistributionResult {
     pub messages: u64,
 }
 
-/// Measures time-to-adapted for `n` devices joining one hall at once.
-pub fn distribution_run(n: usize) -> DistributionResult {
+/// Builds the E6 world: one hall base with a billing catalog and `n`
+/// devices on a circle, all in range. Shared by [`distribution_run`]
+/// and the E12 driver-scaling runs so both pump the same event stream.
+pub fn distribution_world(n: usize) -> (Platform, Vec<MobId>) {
     let mut p = Platform::new(1000 + n as u64);
     p.add_area("hall", Position::new(0.0, 0.0), Position::new(100.0, 100.0));
     let base = p.add_base("hall", Position::new(50.0, 50.0), 150.0);
@@ -373,6 +375,12 @@ pub fn distribution_run(n: usize) -> DistributionResult {
                 .expect("device"),
         );
     }
+    (p, ids)
+}
+
+/// Measures time-to-adapted for `n` devices joining one hall at once.
+pub fn distribution_run(n: usize) -> DistributionResult {
+    let (mut p, ids) = distribution_world(n);
     let mut elapsed = 0u64;
     let step = SEC / 10;
     while elapsed < 120 * SEC {
@@ -443,6 +451,71 @@ pub fn revocation_run(lease_ns: u64) -> RevocationResult {
     RevocationResult {
         lease_s: lease_ns as f64 / 1e9,
         revocation_latency_s: p.now().since(departure) as f64 / 1e9,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E12 — driver scaling (wall-clock, digest-checked)
+// ---------------------------------------------------------------------
+
+/// Result of one E12 run: the E6 distribution workload executed under
+/// a chosen [`pmp_core::Driver`], with wall-clock cost and the two
+/// determinism digests (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverScalingResult {
+    /// Number of receiver nodes.
+    pub nodes: usize,
+    /// Wall-clock milliseconds spent pumping (world build excluded).
+    pub wall_ms: f64,
+    /// [`Platform::trace_digest`] after the run.
+    pub trace_digest: u64,
+    /// [`Platform::journal_digest`] after the run.
+    pub journal_digest: u64,
+    /// Whether every device finished adapting within the time budget.
+    pub all_adapted: bool,
+}
+
+/// Runs the E6 distribution workload under `driver`: `n` devices adapt
+/// at once — the busy epochs fan the crypto-verify, admission-analysis
+/// and weave work across all `n` cells — then a fixed 5 s settle tail
+/// keeps the steady-state renewal traffic in the measurement. The seed
+/// and schedule are identical across drivers, so digests must match.
+pub fn driver_scaling_run(
+    n: usize,
+    driver: Box<dyn pmp_core::Driver>,
+) -> DriverScalingResult {
+    let (mut p, ids) = distribution_world(n);
+    p.set_driver(driver);
+    p.sim.trace.set_logging(true);
+    let step = SEC / 10;
+    let started = std::time::Instant::now();
+    let mut elapsed = 0u64;
+    let mut adapted_at: Option<u64> = None;
+    while elapsed < 120 * SEC {
+        p.pump(step);
+        elapsed += step;
+        if adapted_at.is_none()
+            && ids
+                .iter()
+                .all(|id| p.node(*id).receiver.is_installed("ext/billing"))
+        {
+            adapted_at = Some(elapsed);
+        }
+        // A fixed settle tail after full adaptation: renewals and lease
+        // sweeps keep every cell mildly busy, and a *fixed* endpoint
+        // keeps the event stream identical across drivers.
+        if let Some(at) = adapted_at {
+            if elapsed >= at + 5 * SEC {
+                break;
+            }
+        }
+    }
+    DriverScalingResult {
+        nodes: n,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        trace_digest: p.trace_digest(),
+        journal_digest: p.journal_digest(),
+        all_adapted: adapted_at.is_some(),
     }
 }
 
@@ -530,5 +603,14 @@ mod tests {
         let r = revocation_run(2 * SEC);
         assert!(r.revocation_latency_s > 0.0);
         assert!(r.revocation_latency_s < 30.0);
+    }
+
+    #[test]
+    fn driver_scaling_digests_agree() {
+        let s = driver_scaling_run(3, Box::new(pmp_core::SerialDriver));
+        let p = driver_scaling_run(3, Box::new(pmp_core::ParallelDriver { threads: 3 }));
+        assert!(s.all_adapted && p.all_adapted);
+        assert_eq!(s.trace_digest, p.trace_digest);
+        assert_eq!(s.journal_digest, p.journal_digest);
     }
 }

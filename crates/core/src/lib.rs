@@ -20,11 +20,13 @@
 //! [`scenario::ProductionHalls`] builds the paper's two-hall world in
 //! one call; the `examples/` directory shows it in action.
 
+pub mod driver;
 pub mod node;
 pub mod platform;
 pub mod scenario;
 pub mod wiring;
 
+pub use driver::{Driver, NodeCell, ParallelDriver, SerialDriver};
 pub use node::{BaseStation, MobileNode};
 pub use platform::{BaseId, MobId, Platform, RpcOutcome};
 pub use scenario::{ProductionHalls, CORRIDOR, IN_HALL_A, IN_HALL_B};

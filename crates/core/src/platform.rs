@@ -2,14 +2,14 @@
 //! protocol stacks — the glue that turns the substrate crates into the
 //! paper's running system.
 
+use crate::driver::{flush_outbox, CellBody, CellState, Driver, NodeCell};
 use crate::node::{BaseStation, MobileNode};
-use crate::wiring::{AppMsg, RpcMsg, APP_CHANNEL, MIRROR_CHANNEL, RPC_CHANNEL};
-use pmp_midas::{ReceiverEvent, ReceiverPolicy};
-use pmp_net::{AreaId, Incoming, Position, SimTime, Simulator};
-use pmp_store::MovementRecord;
+use crate::wiring::{RpcMsg, RPC_CHANNEL};
+use pmp_midas::ReceiverPolicy;
+use pmp_net::{AreaId, Epoch, Position, SimTime, Simulator};
+use pmp_telemetry::PendingEvent;
 use pmp_vm::perm::Permissions;
-use pmp_vm::prelude::{Value, VmError};
-use std::sync::Arc;
+use pmp_vm::prelude::VmError;
 
 /// Index of a base station within a [`Platform`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,9 +55,13 @@ pub struct Platform {
     pub sim: Simulator,
     bases: Vec<BaseStation>,
     nodes: Vec<MobileNode>,
+    /// Per-cell runtime state, parallel to `bases` / `nodes`.
+    base_cells: Vec<CellState>,
+    node_cells: Vec<CellState>,
     next_req: u64,
     rpc_outcomes: Vec<RpcOutcome>,
     telemetry: pmp_telemetry::Shared,
+    driver: Box<dyn Driver>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -66,6 +70,7 @@ impl std::fmt::Debug for Platform {
             .field("bases", &self.bases.len())
             .field("nodes", &self.nodes.len())
             .field("now", &self.sim.now())
+            .field("driver", &self.driver.name())
             .finish()
     }
 }
@@ -86,10 +91,25 @@ impl Platform {
             sim,
             bases: Vec::new(),
             nodes: Vec::new(),
+            base_cells: Vec::new(),
+            node_cells: Vec::new(),
             next_req: 1,
             rpc_outcomes: Vec::new(),
             telemetry,
+            driver: crate::driver::driver_from_env(),
         }
+    }
+
+    /// Installs the epoch driver (serial is the default; `PMP_DRIVER=parallel`
+    /// selects the sharded driver at construction). Both drivers run the
+    /// same drain → compute → merge pipeline, so digests are identical.
+    pub fn set_driver(&mut self, driver: Box<dyn Driver>) {
+        self.driver = driver;
+    }
+
+    /// The active driver's name (`"serial"` / `"parallel"`).
+    pub fn driver_name(&self) -> &'static str {
+        self.driver.name()
     }
 
     /// The platform-wide telemetry (sim-clocked registry + journal):
@@ -98,12 +118,16 @@ impl Platform {
     /// metrics live in each node's own registry
     /// ([`MobileNode::vm`]'s `telemetry()`).
     pub fn telemetry(&self) -> &pmp_telemetry::Shared {
+        // Merge any cell-buffered journal events emitted since the last
+        // pump barrier (direct-path operations between pumps).
+        flush_cell_events(&self.telemetry, &self.base_cells, &self.node_cells);
         &self.telemetry
     }
 
     /// Renders the platform registry plus every node's VM registry as
     /// one text report — the per-scenario telemetry summary.
     pub fn render_telemetry(&self) -> String {
+        flush_cell_events(&self.telemetry, &self.base_cells, &self.node_cells);
         let mut out = String::new();
         out.push_str("== platform ==\n");
         out.push_str(&self.telemetry.render_table());
@@ -123,12 +147,14 @@ impl Platform {
     /// extension base start immediately.
     pub fn add_base(&mut self, hall: &str, pos: Position, range: f64) -> BaseId {
         let node = self.sim.add_node(format!("base:{hall}"), pos, range);
+        let cell = CellState::new(node, self.sim.now(), &self.telemetry);
         let mut station = BaseStation::build(node, hall, format!("seed:{hall}").as_bytes());
-        station.registrar.attach_telemetry(&self.telemetry);
-        station.base.attach_telemetry(&self.telemetry);
+        station.registrar.attach_sink(cell.sink.clone());
+        station.base.attach_sink(cell.sink.clone());
         station.registrar.start(&mut self.sim);
         station.base.start(&mut self.sim);
         self.bases.push(station);
+        self.base_cells.push(cell);
         BaseId(self.bases.len() - 1)
     }
 
@@ -153,12 +179,16 @@ impl Platform {
         with_robot: bool,
     ) -> Result<MobId, VmError> {
         let node = self.sim.add_node(name, pos, range);
-        let clock = self.sim.clock();
-        let clock_fn: Arc<dyn Fn() -> u64 + Send + Sync> = Arc::new(move || clock.now().0);
-        let mut mobile = MobileNode::build(node, name, policy, clock_fn, with_robot)?;
-        mobile.receiver.attach_telemetry(&self.telemetry);
+        // The node's whole stack (VM, robot, receiver events) reads the
+        // cell clock, not the global one: during an epoch the cell sees
+        // the timestamp of the event it is dispatching, wherever the
+        // other cells have got to.
+        let cell = CellState::new(node, self.sim.now(), &self.telemetry);
+        let mut mobile = MobileNode::build(node, name, policy, cell.clock_fn(), with_robot)?;
+        mobile.receiver.attach_sink(cell.sink.clone());
         mobile.receiver.start(&mut self.sim);
         self.nodes.push(mobile);
+        self.node_cells.push(cell);
         Ok(MobId(self.nodes.len() - 1))
     }
 
@@ -298,22 +328,29 @@ impl Platform {
         std::mem::take(&mut self.rpc_outcomes)
     }
 
-    /// Pumps the world for `ns` of simulated time, dispatching every
-    /// node's inbox and flushing outboxes.
+    /// Pumps the world for `ns` of simulated time: epoch by epoch, the
+    /// scheduler drains every event within the conservative lookahead
+    /// window, the active driver runs each busy node cell against its
+    /// batch, and the cells' effects merge back at the barrier in
+    /// `(time, cell rank, emission seq)` order (DESIGN.md §10).
     pub fn pump(&mut self, ns: u64) {
         let until = self.sim.now().plus(ns);
-        loop {
-            match self.sim.peek_next() {
-                Some(t) if t <= until => {
-                    self.sim.step();
-                }
-                _ => break,
-            }
-            self.dispatch_all();
+        // Outboxes may hold data queued by direct VM calls since the
+        // last pump; ship it before the first epoch.
+        self.preflush_outboxes();
+        while let Some(epoch) = self.sim.drain_epoch(until) {
+            self.run_epoch(epoch);
         }
         if self.sim.now() < until {
             self.sim.run_until(until);
         }
+        // Cells idle until their next event; park their clocks at the
+        // global time so direct calls between pumps read current time.
+        let now = self.sim.now();
+        for cell in self.base_cells.iter().chain(&self.node_cells) {
+            cell.clock.set(now);
+        }
+        flush_cell_events(&self.telemetry, &self.base_cells, &self.node_cells);
     }
 
     /// Pumps for `ms` milliseconds of simulated time.
@@ -326,180 +363,143 @@ impl Platform {
         self.sim.now()
     }
 
-    fn dispatch_all(&mut self) {
-        // Base stations.
-        for i in 0..self.bases.len() {
-            let node = self.bases[i].node;
-            let inbox = self.sim.drain_inbox(node);
-            for inc in inbox {
-                self.bases[i].registrar.handle(&mut self.sim, &inc);
-                let evs = self.bases[i].base.handle(&mut self.sim, &inc);
-                self.bases[i].events.extend(evs);
-                self.handle_base_app(i, &inc);
-            }
-        }
-        // Mobile nodes.
-        for i in 0..self.nodes.len() {
-            let node = self.nodes[i].node;
-            let inbox = self.sim.drain_inbox(node);
-            for inc in inbox {
-                {
-                    let n = &mut self.nodes[i];
-                    let evs = n.receiver.handle(&mut self.sim, &mut n.vm, &n.prose, &inc);
-                    for e in &evs {
-                        if let ReceiverEvent::Installed { base, .. } = e {
-                            n.home_base = Some(*base);
-                        }
-                    }
-                    n.events.extend(evs);
-                }
-                self.handle_node_channels(i, &inc);
-            }
-            self.flush_outbox(i);
-        }
+    /// Stable 64-bit digest of the network trace (enable
+    /// `sim.trace.set_logging(true)` first for per-delivery coverage).
+    #[must_use]
+    pub fn trace_digest(&self) -> u64 {
+        self.sim.trace_digest()
     }
 
-    fn handle_base_app(&mut self, i: usize, inc: &Incoming) {
-        let Incoming::Message {
-            channel, payload, ..
-        } = inc
-        else {
-            return;
-        };
-        if &**channel == RPC_CHANNEL {
-            if let Ok(RpcMsg::Reply { req, ok, value }) = pmp_wire::from_bytes::<RpcMsg>(payload) {
-                self.rpc_outcomes.push(RpcOutcome { req, ok, value });
-            }
-            return;
+    /// Stable 64-bit digest over the platform journal plus every
+    /// node-VM journal — the observable event history of a run.
+    #[must_use]
+    pub fn journal_digest(&self) -> u64 {
+        flush_cell_events(&self.telemetry, &self.base_cells, &self.node_cells);
+        let mut h = pmp_telemetry::Fnv64::new();
+        h.write_u64(self.telemetry.journal_digest());
+        h.write_u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            h.write_u64(n.vm.telemetry().journal.digest());
         }
-        if &**channel != APP_CHANNEL {
-            return;
-        }
-        let Ok(msg) = pmp_wire::from_bytes::<AppMsg>(payload) else {
-            return;
-        };
-        match msg {
-            AppMsg::Monitor { record } => {
-                self.bases[i].store.append(record);
-            }
-            AppMsg::Replicate { record } => {
-                self.bases[i].store.append(record.clone());
-                let routes = self.bases[i]
-                    .mirrors
-                    .get(&record.robot)
-                    .cloned()
-                    .unwrap_or_default();
-                let from = self.bases[i].node;
-                for (replica, num, den) in routes {
-                    let mut scaled = record.clone();
-                    for a in &mut scaled.args {
-                        *a = *a * num / den;
-                    }
-                    self.sim
-                        .send(from, replica, MIRROR_CHANNEL, pmp_wire::to_bytes(&scaled));
-                }
-            }
-            AppMsg::Charge {
-                robot,
-                reason,
-                amount,
-            } => {
-                self.bases[i].charges.push((robot, reason, amount));
-            }
-            AppMsg::Persist { robot, key, value } => {
-                self.bases[i].persisted.push((robot, key, value));
-            }
-        }
+        h.finish()
     }
 
-    fn handle_node_channels(&mut self, i: usize, inc: &Incoming) {
-        let Incoming::Message {
-            from,
-            channel,
-            payload,
+    /// Flushes every mobile node's outbox through its cell port at the
+    /// current time (rank order, so the merge stays deterministic).
+    fn preflush_outboxes(&mut self) {
+        let Platform {
+            sim,
+            nodes,
+            node_cells,
             ..
-        } = inc
-        else {
-            return;
-        };
-        if &**channel == MIRROR_CHANNEL {
-            if let Ok(record) = pmp_wire::from_bytes::<MovementRecord>(payload) {
-                let n = &mut self.nodes[i];
-                // Mirror application errors (frozen hardware etc.) are
-                // isolated: a broken replica must not wedge the pump.
-                let _ = pmp_extensions::replication::mirror_record(
-                    &mut n.vm, &n.motors, &record, 1, 1,
-                );
-            }
-            return;
+        } = self;
+        let now = sim.now();
+        let mut cmds = Vec::new();
+        for (node, cell) in nodes.iter_mut().zip(node_cells.iter_mut()) {
+            cell.clock.set(now);
+            flush_outbox(node, &mut cell.port);
+            cmds.extend(cell.port.drain());
         }
-        if &**channel != RPC_CHANNEL {
-            return;
-        }
-        let Ok(msg) = pmp_wire::from_bytes::<RpcMsg>(payload) else {
-            return;
-        };
-        match msg {
-            RpcMsg::Call {
-                caller,
-                class,
-                method,
-                args,
-                req,
-            } => {
-                let reply = {
-                    let n = &mut self.nodes[i];
-                    *n.wiring.caller.lock() = caller;
-                    let result = match n.services.get(&class).cloned() {
-                        Some(svc) => n.vm.call(
-                            &class,
-                            &method,
-                            svc,
-                            args.into_iter().map(Value::Int).collect(),
-                        ),
-                        None => Err(VmError::link(format!("no service {class:?}"))),
-                    };
-                    *n.wiring.caller.lock() = String::new();
-                    match result {
-                        Ok(v) => RpcMsg::Reply {
-                            req,
-                            ok: true,
-                            value: v.to_string(),
-                        },
-                        Err(e) => RpcMsg::Reply {
-                            req,
-                            ok: false,
-                            value: e.to_string(),
-                        },
-                    }
-                };
-                let node = self.nodes[i].node;
-                self.sim.send(node, *from, RPC_CHANNEL, pmp_wire::to_bytes(&reply));
-            }
-            RpcMsg::Reply { req, ok, value } => {
-                self.rpc_outcomes.push(RpcOutcome { req, ok, value });
-            }
-        }
+        sim.apply_cmds(cmds);
     }
 
-    fn flush_outbox(&mut self, i: usize) {
-        let msgs: Vec<AppMsg> = {
-            let n = &self.nodes[i];
-            let mut outbox = n.wiring.outbox.lock();
-            if outbox.is_empty() {
-                return;
-            }
-            // Without a home base the data stays queued locally
-            // ("first locally stored", §4.4).
-            if n.home_base.is_none() {
-                return;
-            }
-            outbox.drain(..).collect()
+    /// Runs one epoch: batch routing → driver compute → barrier merge.
+    fn run_epoch(&mut self, epoch: Epoch) {
+        let Platform {
+            sim,
+            bases,
+            nodes,
+            base_cells,
+            node_cells,
+            rpc_outcomes,
+            telemetry,
+            driver,
+            ..
+        } = self;
+
+        // Route each destination's batch to its cell, bases first —
+        // rank order fixes the merge order below.
+        let mut batches = epoch.batches;
+        let mut take = |node: pmp_net::NodeId| -> Vec<pmp_net::TimedIncoming> {
+            batches
+                .get_mut(node.0 as usize)
+                .map(std::mem::take)
+                .unwrap_or_default()
         };
-        let node = self.nodes[i].node;
-        let home = self.nodes[i].home_base.expect("checked above");
-        for m in msgs {
-            self.sim.send(node, home, APP_CHANNEL, pmp_wire::to_bytes(&m));
+        let mut cells: Vec<NodeCell<'_>> = Vec::new();
+        for (station, state) in bases.iter_mut().zip(base_cells.iter_mut()) {
+            let batch = take(station.node);
+            if !batch.is_empty() {
+                cells.push(NodeCell {
+                    body: CellBody::Base(station),
+                    state,
+                    batch,
+                    rpc: Vec::new(),
+                });
+            }
         }
+        for (node, state) in nodes.iter_mut().zip(node_cells.iter_mut()) {
+            let batch = take(node.node);
+            if !batch.is_empty() {
+                cells.push(NodeCell {
+                    body: CellBody::Mobile(node),
+                    state,
+                    batch,
+                    rpc: Vec::new(),
+                });
+            }
+        }
+        debug_assert!(
+            batches.iter().all(Vec::is_empty),
+            "epoch event addressed to a node the platform does not manage"
+        );
+        if cells.is_empty() {
+            return;
+        }
+
+        driver.compute(&mut cells);
+
+        // Barrier merge. Network commands: concatenating per-cell
+        // buffers in rank order and stable-sorting by time yields
+        // (time, rank, seq) — exactly the order a serial sweep over the
+        // window would have produced. Link randomness (loss, jitter) is
+        // sampled here, on this thread, so it cannot depend on the
+        // driver's scheduling.
+        let mut cmds = Vec::new();
+        for cell in &mut cells {
+            cmds.extend(cell.state.port.drain());
+        }
+        cmds.sort_by_key(pmp_net::NetCmd::at);
+        sim.apply_cmds(cmds);
+        // RPC outcomes: rank order within the epoch.
+        for cell in &mut cells {
+            rpc_outcomes.append(&mut cell.rpc);
+        }
+        drop(cells);
+        // Journal events: same (time, rank, seq) merge.
+        flush_cell_events(telemetry, base_cells, node_cells);
+    }
+}
+
+/// Merges cell-buffered journal events into the shared journal in
+/// `(time, cell rank, emission seq)` order.
+fn flush_cell_events(
+    telemetry: &pmp_telemetry::Shared,
+    base_cells: &[CellState],
+    node_cells: &[CellState],
+) {
+    let mut pending: Vec<PendingEvent> = Vec::new();
+    for cell in base_cells.iter().chain(node_cells) {
+        if !cell.sink.pending_is_empty() {
+            pending.extend(cell.sink.take_pending());
+        }
+    }
+    if pending.is_empty() {
+        return;
+    }
+    // Stable sort: within one timestamp, rank/emission order survives.
+    pending.sort_by_key(|e| e.at);
+    for e in pending {
+        telemetry.event_at(e.at, e.subsystem, &e.name, e.detail);
     }
 }

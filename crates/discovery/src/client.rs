@@ -3,7 +3,7 @@
 
 use crate::proto::{DiscoveryMsg, CHANNEL};
 use crate::service::{ServiceId, ServiceItem, ServiceQuery};
-use pmp_net::{Incoming, NodeId, SimTime, Simulator};
+use pmp_net::{Incoming, NetPort, NodeId, SimTime};
 use std::collections::HashMap;
 
 const RENEW_TAG: &str = "disc.renew";
@@ -89,7 +89,7 @@ pub struct DiscoveryClient {
     renew_token: Option<u64>,
     /// Token of the outstanding registrar-liveness timer.
     regcheck_token: Option<u64>,
-    telemetry: Option<pmp_telemetry::Shared>,
+    telemetry: Option<pmp_telemetry::Sink>,
 }
 
 impl DiscoveryClient {
@@ -111,7 +111,12 @@ impl DiscoveryClient {
     /// Mirrors client activity into `shared` as `discovery.client.*`
     /// counters (requests sent, lookup round-trips completed).
     pub fn attach_telemetry(&mut self, shared: &pmp_telemetry::Shared) {
-        self.telemetry = Some(shared.clone());
+        self.telemetry = Some(pmp_telemetry::Sink::direct(shared));
+    }
+
+    /// Routes telemetry through a per-cell [`pmp_telemetry::Sink`].
+    pub fn attach_sink(&mut self, sink: pmp_telemetry::Sink) {
+        self.telemetry = Some(sink);
     }
 
     fn count(&self, name: &str) {
@@ -121,7 +126,7 @@ impl DiscoveryClient {
     }
 
     /// Schedules the single renewal timer if none is outstanding.
-    fn ensure_renew_timer(&mut self, sim: &mut Simulator) {
+    fn ensure_renew_timer(&mut self, sim: &mut dyn NetPort) {
         if self.renew_token.is_some() {
             return;
         }
@@ -137,7 +142,7 @@ impl DiscoveryClient {
     }
 
     /// Starts the periodic registrar-liveness check. Idempotent.
-    pub fn start(&mut self, sim: &mut Simulator) {
+    pub fn start(&mut self, sim: &mut dyn NetPort) {
         if self.started {
             return;
         }
@@ -154,10 +159,13 @@ impl DiscoveryClient {
 
     /// Registrars currently believed alive, as `(node, name)`.
     pub fn known_registrars(&self) -> Vec<(NodeId, String)> {
-        self.registrars
+        let mut known: Vec<(NodeId, String)> = self
+            .registrars
             .iter()
             .map(|(n, k)| (*n, k.name.clone()))
-            .collect()
+            .collect();
+        known.sort_by(|a, b| (a.0 .0, &a.1).cmp(&(b.0 .0, &b.1)));
+        known
     }
 
     /// Registers `item` with `registrar` under a lease of `lease_ns`;
@@ -168,7 +176,7 @@ impl DiscoveryClient {
     /// [`DiscoveryEvent::Registered`].
     pub fn register(
         &mut self,
-        sim: &mut Simulator,
+        sim: &mut dyn NetPort,
         registrar: NodeId,
         item: ServiceItem,
         lease_ns: u64,
@@ -193,7 +201,7 @@ impl DiscoveryClient {
     }
 
     /// Cancels an active registration.
-    pub fn cancel(&mut self, sim: &mut Simulator, service: ServiceId) {
+    pub fn cancel(&mut self, sim: &mut dyn NetPort, service: ServiceId) {
         if let Some(idx) = self
             .registrations
             .iter()
@@ -207,7 +215,7 @@ impl DiscoveryClient {
 
     /// Sends a lookup to `registrar`; the result arrives as
     /// [`DiscoveryEvent::LookupDone`] with the returned request id.
-    pub fn lookup(&mut self, sim: &mut Simulator, registrar: NodeId, query: ServiceQuery) -> u64 {
+    pub fn lookup(&mut self, sim: &mut dyn NetPort, registrar: NodeId, query: ServiceQuery) -> u64 {
         self.count("discovery.client.lookups_sent");
         let req = self.fresh_req();
         let msg = DiscoveryMsg::Lookup { query, req };
@@ -216,7 +224,7 @@ impl DiscoveryClient {
     }
 
     /// Processes one inbox entry; returns surfaced events.
-    pub fn handle(&mut self, sim: &mut Simulator, incoming: &Incoming) -> Vec<DiscoveryEvent> {
+    pub fn handle(&mut self, sim: &mut dyn NetPort, incoming: &Incoming) -> Vec<DiscoveryEvent> {
         let mut events = Vec::new();
         match incoming {
             Incoming::Timer { token, .. } if Some(*token) == self.renew_token => {
@@ -225,7 +233,7 @@ impl DiscoveryClient {
                 self.ensure_renew_timer(sim);
             }
             Incoming::Timer { token, .. } if Some(*token) == self.regcheck_token => {
-                self.check_registrars(sim, &mut events);
+                self.check_registrars(sim.now(), &mut events);
                 self.regcheck_token =
                     Some(sim.set_timer(self.node, self.registrar_timeout_ns / 2, REGCHECK_TAG));
             }
@@ -246,7 +254,7 @@ impl DiscoveryClient {
 
     fn handle_msg(
         &mut self,
-        sim: &mut Simulator,
+        sim: &mut dyn NetPort,
         from: NodeId,
         msg: DiscoveryMsg,
         events: &mut Vec<DiscoveryEvent>,
@@ -312,7 +320,7 @@ impl DiscoveryClient {
         }
     }
 
-    fn renew_all(&mut self, sim: &mut Simulator, events: &mut Vec<DiscoveryEvent>) {
+    fn renew_all(&mut self, sim: &mut dyn NetPort, events: &mut Vec<DiscoveryEvent>) {
         let mut lost: Vec<usize> = Vec::new();
         for (idx, reg) in self.registrations.iter_mut().enumerate() {
             let Some(service) = reg.service else {
@@ -348,15 +356,16 @@ impl DiscoveryClient {
         }
     }
 
-    fn check_registrars(&mut self, sim: &Simulator, events: &mut Vec<DiscoveryEvent>) {
-        let now = sim.now();
+    fn check_registrars(&mut self, now: SimTime, events: &mut Vec<DiscoveryEvent>) {
         let timeout = self.registrar_timeout_ns;
-        let lost: Vec<NodeId> = self
+        let mut lost: Vec<NodeId> = self
             .registrars
             .iter()
             .filter(|(_, k)| k.announced && now.since(k.last_seen) > timeout)
             .map(|(n, _)| *n)
             .collect();
+        // Event order must not follow hash order.
+        lost.sort_by_key(|n| n.0);
         for node in lost {
             if let Some(k) = self.registrars.get_mut(&node) {
                 k.announced = false;

@@ -3,8 +3,8 @@
 use crate::lease::Lease;
 use crate::proto::{DiscoveryMsg, CHANNEL};
 use crate::service::{ServiceId, ServiceItem};
-use pmp_net::{Incoming, NodeId, SimTime, Simulator};
-use pmp_telemetry::Shared;
+use pmp_net::{Incoming, NetPort, NodeId, SimTime};
+use pmp_telemetry::{Shared, Sink};
 use std::collections::HashMap;
 
 const ANNOUNCE_TAG: &str = "disc.announce";
@@ -34,7 +34,7 @@ pub struct Registrar {
     announce_token: Option<u64>,
     sweep_token: Option<u64>,
     events: Vec<RegistrarEvent>,
-    telemetry: Option<Shared>,
+    telemetry: Option<Sink>,
 }
 
 impl Registrar {
@@ -57,7 +57,12 @@ impl Registrar {
     /// Mirrors registrar activity into `shared` as
     /// `discovery.registrar.*` counters and a live-services gauge.
     pub fn attach_telemetry(&mut self, shared: &Shared) {
-        self.telemetry = Some(shared.clone());
+        self.telemetry = Some(Sink::direct(shared));
+    }
+
+    /// Routes telemetry through a per-cell [`Sink`].
+    pub fn attach_sink(&mut self, sink: Sink) {
+        self.telemetry = Some(sink);
     }
 
     fn count(&self, name: &str) {
@@ -87,7 +92,7 @@ impl Registrar {
     }
 
     /// Starts announcing and lease sweeping. Idempotent.
-    pub fn start(&mut self, sim: &mut Simulator) {
+    pub fn start(&mut self, sim: &mut dyn NetPort) {
         if self.started {
             return;
         }
@@ -99,7 +104,7 @@ impl Registrar {
             Some(sim.set_timer(self.node, self.announce_interval_ns / 2, SWEEP_TAG));
     }
 
-    fn announce(&self, sim: &mut Simulator) {
+    fn announce(&self, sim: &mut dyn NetPort) {
         let msg = DiscoveryMsg::Announce {
             name: self.name.clone(),
         };
@@ -139,7 +144,7 @@ impl Registrar {
 
     /// Processes one inbox entry of the host node. Entries not addressed
     /// to the registrar (other channels, other timer tags) are ignored.
-    pub fn handle(&mut self, sim: &mut Simulator, incoming: &Incoming) {
+    pub fn handle(&mut self, sim: &mut dyn NetPort, incoming: &Incoming) {
         match incoming {
             Incoming::Timer { token, .. } if Some(*token) == self.announce_token => {
                 self.announce(sim);
@@ -166,7 +171,7 @@ impl Registrar {
         }
     }
 
-    fn handle_msg(&mut self, sim: &mut Simulator, from: NodeId, msg: DiscoveryMsg) {
+    fn handle_msg(&mut self, sim: &mut dyn NetPort, from: NodeId, msg: DiscoveryMsg) {
         let now = sim.now();
         match msg {
             DiscoveryMsg::Register {
@@ -217,12 +222,15 @@ impl Registrar {
             DiscoveryMsg::Lookup { query, req } => {
                 self.count("discovery.registrar.lookups");
                 self.sweep(now);
-                let items: Vec<ServiceItem> = self
+                let mut items: Vec<ServiceItem> = self
                     .services
                     .values()
                     .filter(|(item, _)| query.matches(item))
                     .map(|(item, _)| item.clone())
                     .collect();
+                // Stable result order: the items travel inside the
+                // reply payload, so hash order would be byte-observable.
+                items.sort_by(|a, b| (&a.name, a.provider).cmp(&(&b.name, b.provider)));
                 let reply = DiscoveryMsg::LookupResult { items, req };
                 sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&reply));
             }

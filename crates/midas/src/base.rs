@@ -6,8 +6,8 @@ use crate::catalog::Catalog;
 use crate::package::SignedExtension;
 use crate::proto::{MidasMsg, CHANNEL};
 use pmp_discovery::{DiscoveryClient, DiscoveryEvent, ServiceQuery};
-use pmp_net::{Incoming, NodeId, Simulator};
-use pmp_telemetry::{Shared, Subsystem};
+use pmp_net::{Incoming, NetPort, NodeId};
+use pmp_telemetry::{Shared, Sink, Subsystem};
 use std::collections::HashMap;
 
 const SCAN_TAG: &str = "midas.scan";
@@ -74,7 +74,7 @@ pub struct ExtensionBase {
     events: Vec<BaseEvent>,
     /// Roaming records received from neighbours (node name → ext ids).
     pub roaming_cache: HashMap<String, Vec<String>>,
-    telemetry: Option<Shared>,
+    telemetry: Option<Sink>,
 }
 
 impl ExtensionBase {
@@ -104,8 +104,14 @@ impl ExtensionBase {
     /// `midas.ship` journal events); the inner discovery client is
     /// attached too.
     pub fn attach_telemetry(&mut self, shared: &Shared) {
-        self.discovery.attach_telemetry(shared);
-        self.telemetry = Some(shared.clone());
+        self.attach_sink(Sink::direct(shared));
+    }
+
+    /// Routes telemetry through a per-cell [`Sink`] (sharded drivers
+    /// buffer journal events and merge them at the epoch barrier).
+    pub fn attach_sink(&mut self, sink: Sink) {
+        self.discovery.attach_sink(sink.clone());
+        self.telemetry = Some(sink);
     }
 
     fn count(&self, name: &str) {
@@ -139,7 +145,7 @@ impl ExtensionBase {
     }
 
     /// Starts scanning. Idempotent.
-    pub fn start(&mut self, sim: &mut Simulator) {
+    pub fn start(&mut self, sim: &mut dyn NetPort) {
         if self.started {
             return;
         }
@@ -172,7 +178,7 @@ impl ExtensionBase {
         g
     }
 
-    fn scan(&mut self, sim: &mut Simulator) {
+    fn scan(&mut self, sim: &mut dyn NetPort) {
         let req = self.discovery.lookup(
             sim,
             self.registrar,
@@ -181,11 +187,11 @@ impl ExtensionBase {
         self.pending_scan = Some(req);
     }
 
-    fn send(&self, sim: &mut Simulator, to: NodeId, msg: &MidasMsg) {
+    fn send(&self, sim: &mut dyn NetPort, to: NodeId, msg: &MidasMsg) {
         sim.send(self.node, to, CHANNEL, pmp_wire::to_bytes(msg));
     }
 
-    fn deliver_catalog(&mut self, sim: &mut Simulator, node: NodeId, node_name: &str) -> usize {
+    fn deliver_catalog(&mut self, sim: &mut dyn NetPort, node: NodeId, node_name: &str) -> usize {
         let order = self.catalog.delivery_order();
         let mut grants = HashMap::new();
         let mut count = 0;
@@ -218,16 +224,18 @@ impl ExtensionBase {
     /// [`MidasMsg::Replace`] to every adapted node that already holds an
     /// older instance — this is how "the local policy evolves" reaches
     /// robots already in the hall.
-    pub fn update_extension(&mut self, sim: &mut Simulator, ext: SignedExtension) {
+    pub fn update_extension(&mut self, sim: &mut dyn NetPort, ext: SignedExtension) {
         let Ok(pkg) = ext.open() else { return };
         let id = pkg.meta.id.clone();
         self.catalog.put(ext.clone());
-        let targets: Vec<(String, NodeId)> = self
+        let mut targets: Vec<(String, NodeId)> = self
             .adapted
             .iter()
             .filter(|(_, a)| a.present && a.grants.contains_key(&id))
             .map(|(name, a)| (name.clone(), a.node))
             .collect();
+        // Name order: replacement sends must not follow hash order.
+        targets.sort();
         for (name, node) in targets {
             let grant = self.fresh_grant();
             let msg = MidasMsg::Replace {
@@ -245,14 +253,16 @@ impl ExtensionBase {
     }
 
     /// Removes an extension from the catalog and revokes it everywhere.
-    pub fn revoke_extension(&mut self, sim: &mut Simulator, ext_id: &str, reason: &str) {
+    pub fn revoke_extension(&mut self, sim: &mut dyn NetPort, ext_id: &str, reason: &str) {
         self.catalog.remove(ext_id);
-        let targets: Vec<NodeId> = self
+        let mut targets: Vec<NodeId> = self
             .adapted
             .values()
             .filter(|a| a.present && a.grants.contains_key(ext_id))
             .map(|a| a.node)
             .collect();
+        // Node order: revocation sends must not follow hash order.
+        targets.sort_by_key(|n| n.0);
         for node in targets {
             let msg = MidasMsg::Revoke {
                 ext_id: ext_id.to_string(),
@@ -267,7 +277,7 @@ impl ExtensionBase {
     }
 
     /// Processes one inbox entry of the host node.
-    pub fn handle(&mut self, sim: &mut Simulator, incoming: &Incoming) -> Vec<BaseEvent> {
+    pub fn handle(&mut self, sim: &mut dyn NetPort, incoming: &Incoming) -> Vec<BaseEvent> {
         match incoming {
             Incoming::Timer { token, .. } if Some(*token) == self.scan_token => {
                 self.scan(sim);
@@ -294,7 +304,7 @@ impl ExtensionBase {
         std::mem::take(&mut self.events)
     }
 
-    fn handle_discovery(&mut self, sim: &mut Simulator, ev: DiscoveryEvent) {
+    fn handle_discovery(&mut self, sim: &mut dyn NetPort, ev: DiscoveryEvent) {
         if let DiscoveryEvent::LookupDone { req, items } = ev {
             if self.pending_scan != Some(req) {
                 return;
@@ -308,13 +318,15 @@ impl ExtensionBase {
                 present.insert(item.name.clone(), NodeId(item.provider));
             }
             // New nodes: deliver the catalog.
-            let new_nodes: Vec<(String, NodeId)> = present
+            let mut new_nodes: Vec<(String, NodeId)> = present
                 .iter()
                 .filter(|(name, _)| {
                     self.adapted.get(*name).is_none_or(|a| !a.present)
                 })
                 .map(|(n, id)| (n.clone(), *id))
                 .collect();
+            // Deliver in name order — catalog sends are observable.
+            new_nodes.sort();
             for (name, node) in new_nodes {
                 let delivered = self.deliver_catalog(sim, node, &name);
                 self.events.push(BaseEvent::NodeDiscovered {
@@ -323,12 +335,17 @@ impl ExtensionBase {
                 });
             }
             // Known nodes still present: keep their leases alive.
-            let renewals: Vec<(NodeId, Vec<u64>)> = self
+            let mut renewals: Vec<(NodeId, Vec<u64>)> = self
                 .adapted
                 .iter()
                 .filter(|(name, a)| a.present && present.contains_key(*name))
-                .map(|(_, a)| (a.node, a.grants.values().copied().collect()))
+                .map(|(_, a)| {
+                    let mut grants: Vec<u64> = a.grants.values().copied().collect();
+                    grants.sort_unstable();
+                    (a.node, grants)
+                })
                 .collect();
+            renewals.sort_by_key(|(n, _)| n.0);
             for (node, grants) in renewals {
                 for grant in grants {
                     let msg = MidasMsg::LeaseRenew { grant };
@@ -337,16 +354,20 @@ impl ExtensionBase {
                 }
             }
             // Departed nodes: mark, event, and roam.
-            let departed: Vec<String> = self
+            let mut departed: Vec<String> = self
                 .adapted
                 .iter()
                 .filter(|(name, a)| a.present && !present.contains_key(*name))
                 .map(|(name, _)| name.clone())
                 .collect();
+            departed.sort();
             for name in departed {
                 if let Some(a) = self.adapted.get_mut(&name) {
                     a.present = false;
-                    let ext_ids: Vec<String> = a.grants.keys().cloned().collect();
+                    let mut ext_ids: Vec<String> = a.grants.keys().cloned().collect();
+                    // Sorted: these ids travel inside the handoff
+                    // payload, so their order is byte-observable.
+                    ext_ids.sort();
                     let neighbors = self.neighbors.clone();
                     for nb in neighbors {
                         let msg = MidasMsg::RoamingHandoff {
@@ -361,7 +382,7 @@ impl ExtensionBase {
         }
     }
 
-    fn handle_midas(&mut self, sim: &mut Simulator, from: NodeId, msg: MidasMsg) {
+    fn handle_midas(&mut self, sim: &mut dyn NetPort, from: NodeId, msg: MidasMsg) {
         match msg {
             MidasMsg::Ack {
                 ext_id,

@@ -8,9 +8,9 @@ use crate::proto::{MidasMsg, CHANNEL};
 use pmp_analyze::{perms, termination, verifier};
 use pmp_analyze::{AnalysisReport, AnalyzeOptions, SysPerm};
 use pmp_discovery::{DiscoveryClient, DiscoveryEvent, Lease, ServiceItem};
-use pmp_net::{Incoming, NodeId, Simulator};
+use pmp_net::{Incoming, NetPort, NodeId};
 use pmp_prose::{Aspect, AspectId, Prose, WeaveOptions};
-use pmp_telemetry::{Shared, Subsystem};
+use pmp_telemetry::{Shared, Sink, Subsystem};
 use pmp_vm::perm::Permissions;
 use pmp_vm::Vm;
 use std::collections::{HashMap, HashSet};
@@ -88,7 +88,7 @@ pub struct AdaptationService {
     expiry_token: Option<u64>,
     started: bool,
     events: Vec<ReceiverEvent>,
-    telemetry: Option<Shared>,
+    telemetry: Option<Sink>,
 }
 
 impl AdaptationService {
@@ -115,8 +115,14 @@ impl AdaptationService {
     /// counters, verify/weave wall-time histograms, and the
     /// verify/weave stages of the distribution trail in the journal.
     pub fn attach_telemetry(&mut self, shared: &Shared) {
-        self.discovery.attach_telemetry(shared);
-        self.telemetry = Some(shared.clone());
+        self.attach_sink(Sink::direct(shared));
+    }
+
+    /// Routes telemetry through a per-cell [`Sink`] (sharded drivers
+    /// buffer journal events and merge them at the epoch barrier).
+    pub fn attach_sink(&mut self, sink: Sink) {
+        self.discovery.attach_sink(sink.clone());
+        self.telemetry = Some(sink);
     }
 
     fn count(&self, name: &str) {
@@ -138,7 +144,7 @@ impl AdaptationService {
     }
 
     /// Starts advertising and lease sweeping. Idempotent.
-    pub fn start(&mut self, sim: &mut Simulator) {
+    pub fn start(&mut self, sim: &mut dyn NetPort) {
         if self.started {
             return;
         }
@@ -147,7 +153,7 @@ impl AdaptationService {
         self.expiry_token = Some(sim.set_timer(self.node, self.expiry_check_ns, EXPIRY_TAG));
     }
 
-    fn advertise(&mut self, sim: &mut Simulator, registrar: NodeId) {
+    fn advertise(&mut self, sim: &mut dyn NetPort, registrar: NodeId) {
         let item = ServiceItem::new("midas.adaptation", self.name.clone(), self.node.0)
             .with_attr("vm", "pmp");
         self.discovery
@@ -174,7 +180,7 @@ impl AdaptationService {
     /// Processes one inbox entry.
     pub fn handle(
         &mut self,
-        sim: &mut Simulator,
+        sim: &mut dyn NetPort,
         vm: &mut Vm,
         prose: &Prose,
         incoming: &Incoming,
@@ -225,7 +231,7 @@ impl AdaptationService {
 
     fn handle_midas(
         &mut self,
-        sim: &mut Simulator,
+        sim: &mut dyn NetPort,
         vm: &mut Vm,
         prose: &Prose,
         from: NodeId,
@@ -289,7 +295,7 @@ impl AdaptationService {
         }
     }
 
-    fn nack(&mut self, sim: &mut Simulator, to: NodeId, ext_id: &str, grant: u64, reason: String) {
+    fn nack(&mut self, sim: &mut dyn NetPort, to: NodeId, ext_id: &str, grant: u64, reason: String) {
         self.count("midas.receiver.rejected");
         self.events.push(ReceiverEvent::Rejected {
             ext_id: ext_id.to_string(),
@@ -428,7 +434,7 @@ impl AdaptationService {
     #[allow(clippy::too_many_arguments)]
     fn try_install(
         &mut self,
-        sim: &mut Simulator,
+        sim: &mut dyn NetPort,
         vm: &mut Vm,
         prose: &Prose,
         from: NodeId,
@@ -599,7 +605,7 @@ impl AdaptationService {
         }
     }
 
-    fn retry_pending(&mut self, sim: &mut Simulator, vm: &mut Vm, prose: &Prose) {
+    fn retry_pending(&mut self, sim: &mut dyn NetPort, vm: &mut Vm, prose: &Prose) {
         // Retry queued installs whose dependencies may now be present;
         // loop until a fixpoint so chains resolve in one pass.
         loop {
@@ -635,7 +641,7 @@ impl AdaptationService {
     #[allow(clippy::too_many_arguments)]
     fn uninstall(
         &mut self,
-        sim: &mut Simulator,
+        sim: &mut dyn NetPort,
         vm: &mut Vm,
         prose: &Prose,
         ext_id: &str,
@@ -645,8 +651,11 @@ impl AdaptationService {
         let Some(inst) = self.installed.get(ext_id) else {
             return;
         };
-        // Cascade to dependents first (they rely on this extension).
-        let dependents: Vec<String> = inst.dependents.iter().cloned().collect();
+        // Cascade to dependents first (they rely on this extension),
+        // in id order — removal order is observable (unweave journal
+        // events, Removed reasons) and must not depend on hash order.
+        let mut dependents: Vec<String> = inst.dependents.iter().cloned().collect();
+        dependents.sort();
         for d in dependents {
             self.uninstall(
                 sim,
@@ -696,14 +705,18 @@ impl AdaptationService {
 
     /// Lease sweep: extensions whose base failed to renew are
     /// "immediately withdrawn from the system" (paper §3.2).
-    fn sweep(&mut self, sim: &mut Simulator, vm: &mut Vm, prose: &Prose) {
+    fn sweep(&mut self, sim: &mut dyn NetPort, vm: &mut Vm, prose: &Prose) {
         let now = sim.now();
-        let expired: Vec<String> = self
+        let mut expired: Vec<String> = self
             .installed
             .iter()
             .filter(|(_, i)| i.lease.expired(now))
             .map(|(id, _)| id.clone())
             .collect();
+        // Sweep in id order: which lease "expires first" within one
+        // sweep is observable through cascade reasons and must be
+        // hash-order independent.
+        expired.sort();
         for id in expired {
             self.count("midas.receiver.lease_expiries");
             self.uninstall(sim, vm, prose, &id, "lease expired", false);

@@ -66,7 +66,11 @@ impl ClockHandle {
         SimTime(self.0.load(Ordering::Relaxed))
     }
 
-    pub(crate) fn set(&self, t: SimTime) {
+    /// Sets the time. The simulator drives its own clock; this is
+    /// public so an execution driver can steer the *per-cell* clocks it
+    /// creates (each node cell sees the timestamp of the event it is
+    /// dispatching). Never call it on a simulator's own handle.
+    pub fn set(&self, t: SimTime) {
         self.0.store(t.0, Ordering::Relaxed);
     }
 }

@@ -31,6 +31,7 @@ pub mod clock;
 pub mod geo;
 pub mod link;
 pub mod node;
+pub mod port;
 pub mod rng;
 pub mod sim;
 pub mod trace;
@@ -39,8 +40,9 @@ pub use clock::{ClockHandle, SimTime};
 pub use geo::{Area, AreaId, Position};
 pub use link::LinkModel;
 pub use node::{Incoming, NodeId, SimNode};
+pub use port::{NetCmd, NetPort, PortBuf};
 pub use rng::SimRng;
-pub use sim::Simulator;
+pub use sim::{Epoch, Simulator, TimedIncoming};
 pub use trace::{NetStats, Trace, TraceEntry};
 
 /// Common imports for simulator users.
@@ -49,6 +51,7 @@ pub mod prelude {
     pub use crate::geo::{Area, AreaId, Position};
     pub use crate::link::LinkModel;
     pub use crate::node::{Incoming, NodeId};
-    pub use crate::sim::Simulator;
+    pub use crate::port::{NetCmd, NetPort, PortBuf};
+    pub use crate::sim::{Epoch, Simulator, TimedIncoming};
     pub use crate::trace::NetStats;
 }

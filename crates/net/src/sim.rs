@@ -5,11 +5,42 @@ use crate::clock::{ClockHandle, SimTime};
 use crate::geo::{Area, AreaId, Position};
 use crate::link::LinkModel;
 use crate::node::{Incoming, NodeId, SimNode};
+use crate::port::{NetCmd, NetPort};
 use crate::rng::SimRng;
 use crate::trace::{Trace, TraceEntry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
+
+/// One event routed to a node within an epoch, stamped with its
+/// simulated delivery instant so the cell's clock can be set per event.
+#[derive(Debug)]
+pub struct TimedIncoming {
+    /// The event's simulated time.
+    pub at: SimTime,
+    /// The event itself.
+    pub incoming: Incoming,
+}
+
+/// All events of one conservative lookahead window, partitioned by
+/// destination node. Produced by [`Simulator::drain_epoch`].
+#[derive(Debug)]
+pub struct Epoch {
+    /// First event time of the window (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive): `min(start + lookahead, until + 1)`.
+    pub end: SimTime,
+    /// Per-node event batches, indexed by `NodeId.0`. Within a batch
+    /// events are in global `(time, seq)` order.
+    pub batches: Vec<Vec<TimedIncoming>>,
+}
+
+impl Epoch {
+    /// Number of nodes with at least one event in this window.
+    pub fn busy_nodes(&self) -> usize {
+        self.batches.iter().filter(|b| !b.is_empty()).count()
+    }
+}
 
 #[derive(Debug)]
 enum Pending {
@@ -431,6 +462,212 @@ impl Simulator {
                 self.node_mut(node).pos = pos;
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded execution: epoch extraction and command merge
+    // ------------------------------------------------------------------
+
+    /// The conservative lookahead window, in nanoseconds: no message
+    /// sent at time `t` can arrive before `t + lookahead`, because the
+    /// link's base latency is the minimum of every sampled delay. Events
+    /// within one window are therefore causally independent across
+    /// nodes and may be dispatched concurrently.
+    pub fn lookahead(&self) -> u64 {
+        self.link.base_latency_ns.max(1)
+    }
+
+    /// Drains the next epoch: every queued event in
+    /// `[next_event_time, min(next_event_time + lookahead, until + 1))`,
+    /// partitioned by destination node. Returns `None` when the next
+    /// event lies beyond `until` (or the queue is idle).
+    ///
+    /// Scheduler-side effects stay here and stay serial: moves are
+    /// applied inline, deliveries are connectivity-checked and traced at
+    /// their own timestamps, and the global clock advances through the
+    /// window. Node-side dispatch is the driver's job.
+    pub fn drain_epoch(&mut self, until: SimTime) -> Option<Epoch> {
+        let start = self.peek_next()?;
+        if start > until {
+            return None;
+        }
+        let end = start.plus(self.lookahead()).min(until.plus(1));
+        let mut batches: Vec<Vec<TimedIncoming>> =
+            (0..self.nodes.len()).map(|_| Vec::new()).collect();
+        while let Some(at) = self.peek_next() {
+            if at >= end {
+                break;
+            }
+            self.clock.set(at);
+            let Reverse(entry) = self.queue.pop().expect("peeked");
+            match entry.pending {
+                Pending::Deliver {
+                    to,
+                    from,
+                    channel,
+                    payload,
+                    sent_at,
+                } => {
+                    if !self.connected(from, to) {
+                        self.trace.record_drop_range();
+                        continue;
+                    }
+                    self.trace.record_delivery(TraceEntry {
+                        at,
+                        from,
+                        to,
+                        channel: channel.to_string(),
+                        bytes: payload.len(),
+                    });
+                    batches[to.0 as usize].push(TimedIncoming {
+                        at,
+                        incoming: Incoming::Message {
+                            from,
+                            channel,
+                            payload,
+                            sent_at,
+                        },
+                    });
+                }
+                Pending::TimerFire { node, token, tag } => {
+                    self.trace.record_timer();
+                    batches[node.0 as usize].push(TimedIncoming {
+                        at,
+                        incoming: Incoming::Timer { token, tag },
+                    });
+                }
+                Pending::Move { node, pos } => {
+                    self.nodes[node.0 as usize].pos = pos;
+                }
+            }
+        }
+        Some(Epoch { start, end, batches })
+    }
+
+    /// Replays buffered node effects against the scheduler. The caller
+    /// passes commands in deterministic `(time, source rank, seq)`
+    /// order; loss and jitter are sampled *here*, so the RNG stream
+    /// depends only on that order — never on how many threads computed
+    /// the epoch.
+    pub fn apply_cmds(&mut self, cmds: impl IntoIterator<Item = NetCmd>) {
+        for cmd in cmds {
+            self.apply_cmd(cmd);
+        }
+    }
+
+    fn apply_cmd(&mut self, cmd: NetCmd) {
+        let now = self.now();
+        match cmd {
+            NetCmd::Send {
+                at,
+                from,
+                to,
+                channel,
+                payload,
+            } => {
+                self.trace.record_sent();
+                if !self.connected(from, to) {
+                    self.trace.record_drop_range();
+                    return;
+                }
+                match self.link.sample(at, payload.len(), &mut self.rng) {
+                    None => self.trace.record_drop_loss(),
+                    Some(deliver_at) => {
+                        let deliver_at = self.fifo_clamp(from, to, deliver_at);
+                        debug_assert!(
+                            deliver_at >= now,
+                            "lookahead violated: delivery {deliver_at:?} before now {now:?}"
+                        );
+                        self.push(
+                            deliver_at,
+                            Pending::Deliver {
+                                to,
+                                from,
+                                channel: Arc::from(channel.as_str()),
+                                payload,
+                                sent_at: at,
+                            },
+                        );
+                    }
+                }
+            }
+            NetCmd::Broadcast {
+                at,
+                from,
+                channel,
+                payload,
+            } => {
+                self.trace.record_broadcast();
+                let targets: Vec<NodeId> = self
+                    .node_ids()
+                    .into_iter()
+                    .filter(|&to| self.connected(from, to))
+                    .collect();
+                for to in targets {
+                    match self.link.sample(at, payload.len(), &mut self.rng) {
+                        None => self.trace.record_drop_loss(),
+                        Some(deliver_at) => {
+                            let deliver_at = self.fifo_clamp(from, to, deliver_at);
+                            self.push(
+                                deliver_at,
+                                Pending::Deliver {
+                                    to,
+                                    from,
+                                    channel: Arc::from(channel.as_str()),
+                                    payload: payload.clone(),
+                                    sent_at: at,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            NetCmd::Timer {
+                at,
+                node,
+                token,
+                delay_ns,
+                tag,
+            } => {
+                // A sub-lookahead delay could point inside the drained
+                // window; clamp to "now" so the clock stays monotonic
+                // (documented divergence — every real timer in the
+                // platform is orders of magnitude above the lookahead).
+                let fire_at = at.plus(delay_ns).max(now);
+                self.push(
+                    fire_at,
+                    Pending::TimerFire {
+                        node,
+                        token,
+                        tag: Arc::from(tag.as_str()),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Stable 64-bit digest of the delivery trace (counters plus the
+    /// per-delivery log when logging is enabled). See [`Trace::digest`].
+    pub fn trace_digest(&self) -> u64 {
+        self.trace.digest()
+    }
+}
+
+impl NetPort for Simulator {
+    fn now(&self) -> SimTime {
+        Simulator::now(self)
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, channel: &str, payload: Vec<u8>) -> bool {
+        Simulator::send(self, from, to, channel, payload)
+    }
+
+    fn broadcast(&mut self, from: NodeId, channel: &str, payload: Vec<u8>) -> usize {
+        Simulator::broadcast(self, from, channel, payload)
+    }
+
+    fn set_timer(&mut self, node: NodeId, delay_ns: u64, tag: &str) -> u64 {
+        Simulator::set_timer(self, node, delay_ns, tag)
     }
 }
 

@@ -169,6 +169,32 @@ impl Trace {
         &self.log
     }
 
+    /// Stable 64-bit FNV-1a digest over the aggregate counters and —
+    /// when logging is enabled — every delivery's `(at, from, to,
+    /// channel, bytes)` in order. The cross-driver determinism suite
+    /// enables logging and compares digests between the serial and
+    /// parallel engines; equal digests mean the byte-level delivery
+    /// sequence is identical.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = pmp_telemetry::Fnv64::new();
+        h.write_u64(self.stats.sent);
+        h.write_u64(self.stats.delivered);
+        h.write_u64(self.stats.dropped_range);
+        h.write_u64(self.stats.dropped_loss);
+        h.write_u64(self.stats.broadcasts);
+        h.write_u64(self.stats.timers);
+        h.write_u64(self.log.len() as u64);
+        for e in &self.log {
+            h.write_u64(e.at.0);
+            h.write_u64(u64::from(e.from.0));
+            h.write_u64(u64::from(e.to.0));
+            h.write_str(&e.channel);
+            h.write_u64(e.bytes as u64);
+        }
+        h.finish()
+    }
+
     /// Clears the log and zeroes the counters (attached telemetry is
     /// left untouched — its registry has its own `reset`).
     pub fn reset(&mut self) {

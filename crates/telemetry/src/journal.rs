@@ -174,6 +174,24 @@ impl Journal {
         self.push(at, sub, EventKind::Point, name.into(), detail.into());
     }
 
+    /// Appends a point event stamped with an explicit time instead of
+    /// the injected clock. Used by execution drivers that buffer events
+    /// per node cell during an epoch and merge them at the barrier in
+    /// deterministic `(time, cell, seq)` order — each buffered event
+    /// carries the cell-clock reading it was emitted at.
+    pub fn event_at(
+        &mut self,
+        at: u64,
+        sub: Subsystem,
+        name: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        if !self.is_enabled(sub) {
+            return;
+        }
+        self.push(at, sub, EventKind::Point, name.into(), detail.into());
+    }
+
     /// Opens a span. The begin event is journaled (subject to the
     /// enable mask); the token always measures, so `span_end` returns a
     /// duration even for disabled subsystems.
@@ -250,6 +268,36 @@ impl Journal {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.seq
+    }
+
+    /// Stable 64-bit FNV-1a digest over the journal's observable state:
+    /// total/dropped counts plus every retained event's `(seq, at,
+    /// subsystem, kind, name, detail)`. Two runs are journal-identical
+    /// iff their digests match (module hash collisions). Histogram
+    /// *values* never enter the journal, so wall-clock-measured
+    /// durations recorded via the registry don't perturb the digest —
+    /// span durations do, but those are sim-time and deterministic.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = crate::digest::Fnv64::new();
+        h.write_u64(self.seq);
+        h.write_u64(self.dropped);
+        for e in &self.buf {
+            h.write_u64(e.seq);
+            h.write_u64(e.at);
+            h.write_str(e.subsystem.name());
+            match &e.kind {
+                EventKind::SpanBegin => h.write_u64(0),
+                EventKind::SpanEnd { dur } => {
+                    h.write_u64(1);
+                    h.write_u64(*dur);
+                }
+                EventKind::Point => h.write_u64(2),
+            }
+            h.write_str(&e.name);
+            h.write_str(&e.detail);
+        }
+        h.finish()
     }
 
     /// Forgets all events and resets the drop counter; the enable mask

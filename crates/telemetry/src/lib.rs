@@ -26,13 +26,17 @@
 //! bump pre-registered ids; multi-party components (the simulator, the
 //! MIDAS base/receiver pair) share one via [`Shared`].
 
+pub mod digest;
 pub mod export;
 pub mod journal;
 pub mod registry;
+pub mod sink;
 pub mod sync;
 
+pub use digest::Fnv64;
 pub use journal::{Event, EventKind, Journal, SpanToken, Subsystem};
 pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Registry};
+pub use sink::{PendingEvent, Sink};
 
 use std::sync::Arc;
 
@@ -167,6 +171,18 @@ impl Shared {
     /// Appends a point event to the journal.
     pub fn event(&self, sub: Subsystem, name: &str, detail: impl Into<String>) {
         self.inner.lock().journal.event(sub, name, detail);
+    }
+
+    /// Appends a point event with an explicit timestamp (barrier merge
+    /// of buffered cell events; see [`sink::Sink`]).
+    pub fn event_at(&self, at: u64, sub: Subsystem, name: &str, detail: impl Into<String>) {
+        self.inner.lock().journal.event_at(at, sub, name, detail);
+    }
+
+    /// Stable digest of the journal (see [`Journal::digest`]).
+    #[must_use]
+    pub fn journal_digest(&self) -> u64 {
+        self.inner.lock().journal.digest()
     }
 
     /// The metrics rendered as an aligned text table.

@@ -1,0 +1,197 @@
+//! Per-cell telemetry sinks for sharded execution.
+//!
+//! Counter, gauge, and histogram updates are commutative — concurrent
+//! node cells may apply them straight to the platform's [`Shared`]
+//! registry in any interleaving and still reach the same totals. The
+//! journal is not: event order is observable (digests, exports, ring
+//! eviction), so under a parallel driver each cell's point events are
+//! buffered locally, stamped with the cell clock, and merged into the
+//! shared journal at the epoch barrier in deterministic
+//! `(time, cell rank, emission seq)` order.
+//!
+//! A [`Sink`] routes accordingly: metrics always go direct, events go
+//! direct too ([`Sink::direct`], the legacy single-threaded path) or
+//! into the cell buffer ([`Sink::buffered`], both engine drivers — the
+//! serial driver uses the same buffering so the two engines are
+//! journal-identical by construction).
+
+use crate::journal::Subsystem;
+use crate::{sync, Clock, Shared};
+use std::sync::Arc;
+
+/// A journal event captured in a cell buffer, waiting for the barrier
+/// merge. `at` is the cell-clock reading at emission time.
+#[derive(Debug, Clone)]
+pub struct PendingEvent {
+    /// Sim-time stamp from the cell clock.
+    pub at: u64,
+    /// Originating layer.
+    pub subsystem: Subsystem,
+    /// Event name.
+    pub name: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+#[derive(Clone)]
+struct Buffered {
+    clock: Clock,
+    pending: Arc<sync::Mutex<Vec<PendingEvent>>>,
+}
+
+/// A component-facing handle on the platform telemetry: metrics pass
+/// through to the [`Shared`] registry, journal events either pass
+/// through or buffer per cell (see module docs).
+#[derive(Clone)]
+pub struct Sink {
+    shared: Shared,
+    buffered: Option<Buffered>,
+}
+
+impl std::fmt::Debug for Sink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sink")
+            .field("shared", &self.shared)
+            .field("buffered", &self.buffered.is_some())
+            .finish()
+    }
+}
+
+impl Sink {
+    /// A pass-through sink: every call lands on `shared` immediately.
+    #[must_use]
+    pub fn direct(shared: &Shared) -> Sink {
+        Sink {
+            shared: shared.clone(),
+            buffered: None,
+        }
+    }
+
+    /// A cell sink: metrics pass through, events buffer locally stamped
+    /// by `clock` until [`Sink::take_pending`]. Clones share one buffer
+    /// — hand clones to every component of the same cell.
+    #[must_use]
+    pub fn buffered(shared: &Shared, clock: Clock) -> Sink {
+        Sink {
+            shared: shared.clone(),
+            buffered: Some(Buffered {
+                clock,
+                pending: Arc::new(sync::Mutex::new(Vec::new())),
+            }),
+        }
+    }
+
+    /// The underlying shared telemetry.
+    #[must_use]
+    pub fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    /// Whether events buffer per cell.
+    #[must_use]
+    pub fn is_buffered(&self) -> bool {
+        self.buffered.is_some()
+    }
+
+    /// Bumps a named counter by 1.
+    pub fn inc(&self, name: &str) {
+        self.shared.inc(name);
+    }
+
+    /// Bumps a named counter by `n`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.shared.add(name, n);
+    }
+
+    /// Records into a named histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        self.shared.record(name, value);
+    }
+
+    /// Runs `f` with the shared telemetry locked. Meant for metric
+    /// access (gauges); journal writes through this bypass the cell
+    /// buffer and must only happen on the direct path.
+    pub fn with<R>(&self, f: impl FnOnce(&mut crate::Telemetry) -> R) -> R {
+        self.shared.with(f)
+    }
+
+    /// Appends a point event: direct to the shared journal, or into the
+    /// cell buffer stamped with the cell clock.
+    pub fn event(&self, sub: Subsystem, name: &str, detail: impl Into<String>) {
+        match &self.buffered {
+            None => self.shared.event(sub, name, detail),
+            Some(b) => b.pending.lock().push(PendingEvent {
+                at: (b.clock)(),
+                subsystem: sub,
+                name: name.to_string(),
+                detail: detail.into(),
+            }),
+        }
+    }
+
+    /// Takes the buffered events in emission order (empty for a direct
+    /// sink). The driver merges them into the shared journal at the
+    /// epoch barrier.
+    #[must_use]
+    pub fn take_pending(&self) -> Vec<PendingEvent> {
+        match &self.buffered {
+            None => Vec::new(),
+            Some(b) => std::mem::take(&mut *b.pending.lock()),
+        }
+    }
+
+    /// `true` when the cell buffer holds no events.
+    #[must_use]
+    pub fn pending_is_empty(&self) -> bool {
+        match &self.buffered {
+            None => true,
+            Some(b) => b.pending.lock().is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn direct_sink_passes_through() {
+        let shared = Shared::new();
+        let s = Sink::direct(&shared);
+        s.inc("a.b");
+        s.event(Subsystem::Core, "e", "d");
+        assert_eq!(shared.counter_value("a.b"), 1);
+        assert_eq!(shared.with(|t| t.journal.len()), 1);
+        assert!(s.take_pending().is_empty());
+    }
+
+    #[test]
+    fn buffered_sink_holds_events_but_not_metrics() {
+        let shared = Shared::new();
+        let t = Arc::new(AtomicU64::new(7));
+        let t2 = t.clone();
+        let s = Sink::buffered(&shared, Arc::new(move || t2.load(Ordering::Relaxed)));
+        s.inc("a.b");
+        s.event(Subsystem::Midas, "e1", "");
+        t.store(9, Ordering::Relaxed);
+        s.event(Subsystem::Midas, "e2", "");
+        assert_eq!(shared.counter_value("a.b"), 1, "metrics go direct");
+        assert_eq!(shared.with(|t| t.journal.len()), 0, "events buffered");
+        let pending = s.take_pending();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].at, 7);
+        assert_eq!(pending[1].at, 9);
+        assert!(s.pending_is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let shared = Shared::new();
+        let s = Sink::buffered(&shared, Arc::new(|| 0));
+        let s2 = s.clone();
+        s.event(Subsystem::Vm, "a", "");
+        s2.event(Subsystem::Vm, "b", "");
+        assert_eq!(s.take_pending().len(), 2);
+    }
+}

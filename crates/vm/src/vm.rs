@@ -503,10 +503,11 @@ impl Vm {
             });
         }
 
-        // Method table: inherit, then declare/override.
-        let mut method_by_name: HashMap<Arc<str>, MethodId> = superclass
-            .map(|sup| self.classes[sup.0 as usize].method_by_name.clone())
-            .unwrap_or_default();
+        // Method table: own declarations only. Inherited methods are
+        // found by walking the superclass chain at resolution time
+        // (`resolve_virtual`), so loading a subclass costs O(own
+        // methods) instead of cloning the parent's whole table.
+        let mut method_by_name: HashMap<Arc<str>, MethodId> = HashMap::new();
         let mut declared: std::collections::HashSet<&str> = std::collections::HashSet::new();
         for m in &def.methods {
             if !declared.insert(m.name.as_str()) {
@@ -639,9 +640,19 @@ impl Vm {
         Some((slot, c.field_slots[slot as usize].fid))
     }
 
-    /// Resolves a virtual method on a runtime class.
+    /// Resolves a virtual method on a runtime class: nearest
+    /// declaration wins, walking up the superclass chain (overrides
+    /// shadow inherited methods).
     pub fn resolve_virtual(&self, cid: ClassId, method: &str) -> Option<MethodId> {
-        self.classes[cid.0 as usize].method_by_name.get(method).copied()
+        let mut cur = Some(cid);
+        while let Some(c) = cur {
+            let class = &self.classes[c.0 as usize];
+            if let Some(mid) = class.method_by_name.get(method) {
+                return Some(*mid);
+            }
+            cur = class.superclass;
+        }
+        None
     }
 
     // ------------------------------------------------------------------
@@ -823,7 +834,12 @@ impl Vm {
         if hooks_live {
             self.telemetry.registry.inc(self.ids.hook_checks);
             if self.hooks.method_flags(mid) & HOOK_ENTRY != 0 {
-                let d = self.dispatcher.clone().expect("hooks_live implies dispatcher");
+                // `hooks_live` implies a dispatcher, but a hostile or
+                // buggy advice could tear it down mid-call: fault as a
+                // link error rather than unwinding the interpreter.
+                let Some(d) = self.dispatcher.clone() else {
+                    return Err(VmError::link("entry hook fired with no dispatcher installed"));
+                };
                 self.telemetry.registry.inc(self.ids.advice_dispatches);
                 d.method_entry(self, mid, &this, &mut args)?;
             }
@@ -866,7 +882,9 @@ impl Vm {
         if hooks_live {
             self.telemetry.registry.inc(self.ids.hook_checks);
             if self.hooks.method_flags(mid) & HOOK_EXIT != 0 {
-                let d = self.dispatcher.clone().expect("hooks_live implies dispatcher");
+                let Some(d) = self.dispatcher.clone() else {
+                    return Err(VmError::link("exit hook fired with no dispatcher installed"));
+                };
                 self.telemetry.registry.inc(self.ids.advice_dispatches);
                 let saved = exit_args.unwrap_or_default();
                 d.method_exit(self, mid, &this, &saved, &mut outcome)?;
