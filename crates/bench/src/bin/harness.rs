@@ -28,6 +28,7 @@ fn main() {
     e10_conciseness();
     e11_verification_cost();
     e12_driver_scaling();
+    e13_durability();
     ablations();
 }
 
@@ -303,6 +304,42 @@ fn e9_security() {
 
 /// Ablations called out in DESIGN.md §3: the per-package delivery-path
 /// costs (signature verification, codec) and loss tolerance.
+/// E13 — DESIGN.md §11: the WAL write path, the group-commit batch
+/// size trade-off (simulated fsyncs vs CPU), and recovery time as a
+/// function of log length.
+fn e13_durability() {
+    println!("## E13 — durability: WAL append throughput, group commit, recovery");
+    println!();
+    println!("### E13a/b — append throughput vs group-commit batch (20k × 48-byte records)");
+    println!();
+    println!("| batch | syncs | wall (ms) | records/s | MB/s |");
+    println!("|---|---|---|---|---|");
+    for batch in [1usize, 8, 64, 256] {
+        let r = wal_append_run(20_000, 48, batch);
+        println!(
+            "| {} | {} | {:.1} | {:.0} | {:.1} |",
+            r.batch, r.syncs, r.wall_ms, r.records_per_s, r.mb_per_s
+        );
+    }
+    println!();
+    println!("### E13c — recovery time vs log length (batch 32, verified replay)");
+    println!();
+    println!("| records | recover (ms) | replayed | verified |");
+    println!("|---|---|---|---|");
+    for records in [1_000usize, 10_000, 100_000] {
+        let r = recovery_run(records);
+        assert!(r.verified, "E13c({records}): replay diverged from the writer");
+        println!(
+            "| {} | {:.1} | {} | {} |",
+            r.records,
+            r.recover_ms,
+            r.replayed,
+            if r.verified { "yes" } else { "NO" }
+        );
+    }
+    println!();
+}
+
 fn ablations() {
     println!("## Ablations — delivery-path costs and loss tolerance");
     println!();

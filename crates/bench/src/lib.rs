@@ -523,6 +523,130 @@ pub fn driver_scaling_run(
 // E6b — per-node message cost (derived from distribution runs)
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// E13 — durability (WAL throughput, group commit, recovery)
+// ---------------------------------------------------------------------
+
+/// A throwaway durable state for WAL benchmarks: folds every replayed
+/// payload into an FNV accumulator so replay cost includes apply work
+/// but no allocation-heavy model.
+#[derive(Debug, Default)]
+pub struct BenchLedger {
+    /// Number of records applied.
+    pub applied: u64,
+    digest: u64,
+}
+
+impl pmp_durable::Durable for BenchLedger {
+    fn namespace(&self) -> &'static str {
+        "bench.ledger"
+    }
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        pmp_wire::to_bytes(&(self.applied, self.digest))
+    }
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), pmp_durable::DurableError> {
+        let (applied, digest) = pmp_wire::from_bytes(bytes)?;
+        self.applied = applied;
+        self.digest = digest;
+        Ok(())
+    }
+    fn apply_record(&mut self, payload: &[u8]) -> Result<(), pmp_durable::DurableError> {
+        let mut h = pmp_telemetry::Fnv64::new();
+        h.write_u64(self.digest);
+        h.write(payload);
+        self.digest = h.finish();
+        self.applied += 1;
+        Ok(())
+    }
+}
+
+/// Builds a committed WAL of `records` payloads of `payload_bytes`
+/// each, group-committed every `batch` appends. Returns the engine and
+/// the in-memory state that produced it.
+pub fn wal_world(records: usize, payload_bytes: usize, batch: usize) -> (pmp_durable::DurableEngine, BenchLedger) {
+    let mut engine = pmp_durable::DurableEngine::new(pmp_durable::EngineConfig {
+        segment_bytes: 64 * 1024,
+        snapshot_every: 0,
+    });
+    let mut ledger = BenchLedger::default();
+    for i in 0..records {
+        let payload: Vec<u8> = (0..payload_bytes).map(|b| (i + b) as u8).collect();
+        pmp_durable::Durable::apply_record(&mut ledger, &payload).expect("apply");
+        engine.append("bench.ledger", payload);
+        if (i + 1) % batch.max(1) == 0 {
+            engine.commit();
+        }
+    }
+    engine.commit();
+    (engine, ledger)
+}
+
+/// One E13a/E13b measurement: appending + group-committing a fixed
+/// write load at a given batch size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalAppendResult {
+    /// Records per commit batch.
+    pub batch: usize,
+    /// Simulated fsyncs issued.
+    pub syncs: u64,
+    /// Wall-clock milliseconds for the whole load.
+    pub wall_ms: f64,
+    /// Appended records per wall-clock second.
+    pub records_per_s: f64,
+    /// Framed megabytes per wall-clock second.
+    pub mb_per_s: f64,
+}
+
+/// Appends `records` × `payload_bytes` at `batch`-sized group commits
+/// and reports throughput (E13a at one batch size; sweep `batch` for
+/// E13b).
+pub fn wal_append_run(records: usize, payload_bytes: usize, batch: usize) -> WalAppendResult {
+    let started = std::time::Instant::now();
+    let (engine, _) = wal_world(records, payload_bytes, batch);
+    let wall = started.elapsed().as_secs_f64();
+    WalAppendResult {
+        batch,
+        syncs: engine.disk().syncs(),
+        wall_ms: wall * 1e3,
+        records_per_s: records as f64 / wall,
+        mb_per_s: engine.disk().committed_bytes() as f64 / (1024.0 * 1024.0) / wall,
+    }
+}
+
+/// One E13c measurement: full recovery (snapshot scan + WAL replay)
+/// over a log of `records` records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryResult {
+    /// Records in the committed log.
+    pub records: usize,
+    /// Wall-clock milliseconds for [`pmp_durable::DurableEngine::recover`].
+    pub recover_ms: f64,
+    /// Records actually replayed.
+    pub replayed: u64,
+    /// Whether the image read back clean and the replayed state matched
+    /// the writer's.
+    pub verified: bool,
+}
+
+/// Crashes a `records`-long committed WAL and measures recovery.
+pub fn recovery_run(records: usize) -> RecoveryResult {
+    let (mut engine, ledger) = wal_world(records, 48, 32);
+    use pmp_durable::Durable;
+    engine.crash();
+    let mut restored = BenchLedger::default();
+    let started = std::time::Instant::now();
+    let report = engine.recover(&mut [&mut restored]);
+    let wall = started.elapsed().as_secs_f64();
+    RecoveryResult {
+        records,
+        recover_ms: wall * 1e3,
+        replayed: report.replayed,
+        verified: report.is_clean()
+            && restored.applied == ledger.applied
+            && restored.snapshot_bytes() == ledger.snapshot_bytes(),
+    }
+}
+
 /// Crude timer: median wall-clock nanoseconds per iteration of `f`.
 pub fn measure_ns(iters: u32, mut f: impl FnMut()) -> f64 {
     // Warm-up.

@@ -251,10 +251,10 @@ fn handle_base_app(
     };
     match msg {
         AppMsg::Monitor { record } => {
-            station.store.append(record);
+            station.record_movement(record);
         }
         AppMsg::Replicate { record } => {
-            station.store.append(record.clone());
+            station.record_movement(record.clone());
             let routes = station
                 .mirrors
                 .get(&record.robot)

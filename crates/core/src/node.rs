@@ -5,6 +5,7 @@
 use crate::wiring::{install_node_sys, NodeWiring};
 use pmp_crypto::{KeyPair, Principal};
 use pmp_discovery::Registrar;
+use pmp_durable::{Durable, DurableHub, RecoverReport};
 use pmp_midas::{
     AdaptationService, BaseEvent, ExtensionBase, ExtensionPackage, ReceiverEvent, ReceiverPolicy,
     SignedExtension,
@@ -12,7 +13,7 @@ use pmp_midas::{
 use pmp_net::NodeId;
 use pmp_prose::Prose;
 use pmp_robot::{new_handle, register_robot_classes, spawn_motor, spawn_plotter, Port, RobotHandle};
-use pmp_store::MovementStore;
+use pmp_store::{MovementRecord, MovementStore};
 use pmp_vm::class::ClassDef;
 use pmp_vm::prelude::{TypeSig, Value, Vm, VmConfig, VmError};
 use std::collections::HashMap;
@@ -209,6 +210,13 @@ pub struct BaseStation {
     pub mirrors: HashMap<String, Vec<(NodeId, i64, i64)>>,
     /// Accumulated base events.
     pub events: Vec<BaseEvent>,
+    /// The storage engine under this base: movement log + extension
+    /// base state are WAL'd through it and survive a crash.
+    pub durable: DurableHub,
+    /// Set while the base is down (between [`crate::Platform::crash_base`]
+    /// and [`crate::Platform::restart_base`]); a crashed base receives
+    /// no traffic.
+    pub crashed: bool,
     authority: KeyPair,
     principal_name: String,
 }
@@ -225,11 +233,25 @@ impl std::fmt::Debug for BaseStation {
 
 impl BaseStation {
     /// Builds a base station whose signing authority is derived from
-    /// `authority_seed`.
+    /// `authority_seed`, over a fresh storage engine.
     pub fn build(node: NodeId, name: impl Into<String>, authority_seed: &[u8]) -> BaseStation {
+        Self::build_with_hub(node, name, authority_seed, DurableHub::new())
+    }
+
+    /// Builds a base station over an existing storage engine — the
+    /// restart path: the hub (and its simulated disk) survives the
+    /// crash, the in-memory state machines are rebuilt fresh and then
+    /// recovered from it.
+    pub fn build_with_hub(
+        node: NodeId,
+        name: impl Into<String>,
+        authority_seed: &[u8],
+        durable: DurableHub,
+    ) -> BaseStation {
         let name = name.into();
         let registrar = Registrar::new(node, format!("lookup:{name}"));
-        let base = ExtensionBase::new(node, node);
+        let mut base = ExtensionBase::new(node, node);
+        base.attach_durable(durable.namespace(pmp_midas::durable::NAMESPACE));
         BaseStation {
             node,
             registrar,
@@ -239,10 +261,45 @@ impl BaseStation {
             charges: Vec::new(),
             mirrors: HashMap::new(),
             events: Vec::new(),
+            durable,
+            crashed: false,
             authority: KeyPair::from_seed(authority_seed),
             principal_name: format!("authority:{name}"),
             name,
         }
+    }
+
+    /// Appends a movement record to the hall database, WAL-logging it
+    /// first so it survives a crash once the epoch commits.
+    pub fn record_movement(&mut self, record: MovementRecord) {
+        self.durable.append(
+            pmp_store::durable::NAMESPACE,
+            MovementStore::wal_payload(&record),
+        );
+        self.store.append(record);
+    }
+
+    /// Snapshots the base's durable state (movement log + extension
+    /// base) and compacts the WAL.
+    pub fn checkpoint(&mut self) {
+        let hub = self.durable.clone();
+        hub.checkpoint(&[&self.store, &self.base]);
+    }
+
+    /// Recovers the movement store and extension base from the storage
+    /// engine's committed image.
+    pub fn recover(&mut self) -> RecoverReport {
+        let hub = self.durable.clone();
+        hub.recover(&mut [&mut self.store, &mut self.base])
+    }
+
+    /// A stable digest over the base's durable state — compare across
+    /// a crash/restart boundary to prove recovery was exact.
+    pub fn durable_digest(&self) -> u64 {
+        let mut h = pmp_telemetry::Fnv64::new();
+        h.write_u64(self.store.state_digest());
+        h.write_u64(self.base.state_digest());
+        h.finish()
     }
 
     /// The principal mobile nodes must trust to accept this hall's

@@ -149,6 +149,12 @@ impl Platform {
         let node = self.sim.add_node(format!("base:{hall}"), pos, range);
         let cell = CellState::new(node, self.sim.now(), &self.telemetry);
         let mut station = BaseStation::build(node, hall, format!("seed:{hall}").as_bytes());
+        // Engine telemetry goes direct: its journal events (snapshot/
+        // compact/recover) are emitted only at main-thread barriers, so
+        // both drivers see them at identical sequence points.
+        station
+            .durable
+            .attach_sink(pmp_telemetry::Sink::direct(&self.telemetry));
         station.registrar.attach_sink(cell.sink.clone());
         station.base.attach_sink(cell.sink.clone());
         station.registrar.start(&mut self.sim);
@@ -156,6 +162,53 @@ impl Platform {
         self.bases.push(station);
         self.base_cells.push(cell);
         BaseId(self.bases.len() - 1)
+    }
+
+    /// Kills a base station: its uncommitted WAL batch and unsynced
+    /// disk bytes are lost (exactly what a power cut would take), and
+    /// until [`Platform::restart_base`] the node answers nothing —
+    /// traffic addressed to it is dropped.
+    pub fn crash_base(&mut self, id: BaseId) {
+        let station = &mut self.bases[id.0];
+        station.crashed = true;
+        station.durable.crash();
+        self.telemetry.event(
+            pmp_telemetry::Subsystem::Durable,
+            "crash",
+            format!("base {}", station.name),
+        );
+    }
+
+    /// Brings a crashed base back: fresh registrar and extension base
+    /// over the surviving storage engine, state recovered from the
+    /// committed image. Receivers whose lease renewals now fail
+    /// re-advertise, and the recovered lease table lets the base renew
+    /// grants instead of re-delivering its catalog.
+    pub fn restart_base(&mut self, id: BaseId) -> pmp_durable::RecoverReport {
+        let old = &self.bases[id.0];
+        let (node, name) = (old.node, old.name.clone());
+        let hub = old.durable.clone();
+        // Mirror routes are operator configuration held for the base,
+        // not base memory — they survive the restart.
+        let mirrors = old.mirrors.clone();
+        let mut station =
+            BaseStation::build_with_hub(node, &name, format!("seed:{name}").as_bytes(), hub);
+        station.mirrors = mirrors;
+        let report = station.recover();
+        let cell = &self.base_cells[id.0];
+        station.registrar.attach_sink(cell.sink.clone());
+        station.base.attach_sink(cell.sink.clone());
+        station.registrar.start(&mut self.sim);
+        station.base.start(&mut self.sim);
+        self.bases[id.0] = station;
+        report
+    }
+
+    /// Snapshots a base's durable state and compacts its WAL now
+    /// (checkpoints also fire automatically once enough records commit;
+    /// see [`pmp_durable::EngineConfig::snapshot_every`]).
+    pub fn checkpoint_base(&mut self, id: BaseId) {
+        self.bases[id.0].checkpoint();
     }
 
     /// A receiver policy trusting the given bases' authorities, each
@@ -350,6 +403,18 @@ impl Platform {
         for cell in self.base_cells.iter().chain(&self.node_cells) {
             cell.clock.set(now);
         }
+        // Pump end is a quiescent barrier: commit anything appended by
+        // direct calls since the last epoch, and take any snapshot the
+        // engine's record budget asks for.
+        for station in &mut self.bases {
+            if station.crashed {
+                continue;
+            }
+            station.durable.commit();
+            if station.durable.should_checkpoint() {
+                station.checkpoint();
+            }
+        }
         flush_cell_events(&self.telemetry, &self.base_cells, &self.node_cells);
     }
 
@@ -429,7 +494,9 @@ impl Platform {
         let mut cells: Vec<NodeCell<'_>> = Vec::new();
         for (station, state) in bases.iter_mut().zip(base_cells.iter_mut()) {
             let batch = take(station.node);
-            if !batch.is_empty() {
+            // A crashed base is a powered-off machine: traffic addressed
+            // to it is taken off the wire and dropped.
+            if !batch.is_empty() && !station.crashed {
                 cells.push(NodeCell {
                     body: CellBody::Base(station),
                     state,
@@ -476,6 +543,14 @@ impl Platform {
             rpc_outcomes.append(&mut cell.rpc);
         }
         drop(cells);
+        // Group-commit each live base's WAL appends at the epoch
+        // barrier: one simulated fsync per base per epoch, and the same
+        // batch boundaries under either driver.
+        for station in bases.iter_mut() {
+            if !station.crashed {
+                station.durable.commit();
+            }
+        }
         // Journal events: same (time, rank, seq) merge.
         flush_cell_events(telemetry, base_cells, node_cells);
     }

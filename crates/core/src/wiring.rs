@@ -98,10 +98,7 @@ impl Wire for AppMsg {
                 value: r.get_str()?,
             },
             tag => {
-                return Err(WireError::InvalidTag {
-                    type_name: "AppMsg",
-                    tag,
-                })
+                return Err(r.bad_tag("AppMsg", tag))
             }
         })
     }
@@ -174,10 +171,7 @@ impl Wire for RpcMsg {
                 value: r.get_str()?,
             },
             tag => {
-                return Err(WireError::InvalidTag {
-                    type_name: "RpcMsg",
-                    tag,
-                })
+                return Err(r.bad_tag("RpcMsg", tag))
             }
         })
     }

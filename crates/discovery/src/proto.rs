@@ -158,10 +158,7 @@ impl Wire for DiscoveryMsg {
                 req: r.get_u64()?,
             },
             tag => {
-                return Err(WireError::InvalidTag {
-                    type_name: "DiscoveryMsg",
-                    tag,
-                })
+                return Err(r.bad_tag("DiscoveryMsg", tag))
             }
         })
     }

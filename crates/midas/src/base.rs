@@ -3,9 +3,11 @@
 //! them, and hands roaming nodes off to neighbour bases (paper §3.2).
 
 use crate::catalog::Catalog;
+use crate::durable::BaseWalOp;
 use crate::package::SignedExtension;
 use crate::proto::{MidasMsg, CHANNEL};
 use pmp_discovery::{DiscoveryClient, DiscoveryEvent, ServiceQuery};
+use pmp_durable::NamespaceHandle;
 use pmp_net::{Incoming, NetPort, NodeId};
 use pmp_telemetry::{Shared, Sink, Subsystem};
 use std::collections::HashMap;
@@ -48,10 +50,10 @@ pub enum BaseEvent {
 }
 
 #[derive(Debug)]
-struct AdaptedNode {
-    node: NodeId,
-    grants: HashMap<String, u64>,
-    present: bool,
+pub(crate) struct AdaptedNode {
+    pub(crate) node: NodeId,
+    pub(crate) grants: HashMap<String, u64>,
+    pub(crate) present: bool,
 }
 
 /// The extension-base state machine. Drive it by passing every
@@ -65,9 +67,9 @@ pub struct ExtensionBase {
     pub catalog: Catalog,
     lease_ns: u64,
     scan_interval_ns: u64,
-    adapted: HashMap<String, AdaptedNode>,
+    pub(crate) adapted: HashMap<String, AdaptedNode>,
     neighbors: Vec<NodeId>,
-    next_grant: u64,
+    pub(crate) next_grant: u64,
     pending_scan: Option<u64>,
     scan_token: Option<u64>,
     started: bool,
@@ -75,6 +77,7 @@ pub struct ExtensionBase {
     /// Roaming records received from neighbours (node name → ext ids).
     pub roaming_cache: HashMap<String, Vec<String>>,
     telemetry: Option<Sink>,
+    durable: Option<NamespaceHandle>,
 }
 
 impl ExtensionBase {
@@ -97,6 +100,20 @@ impl ExtensionBase {
             events: Vec::new(),
             roaming_cache: HashMap::new(),
             telemetry: None,
+            durable: None,
+        }
+    }
+
+    /// Logs every catalog and lease-table mutation to `handle`'s WAL
+    /// namespace, making the base crash-recoverable (see
+    /// [`crate::durable`]).
+    pub fn attach_durable(&mut self, handle: NamespaceHandle) {
+        self.durable = Some(handle);
+    }
+
+    fn log(&self, op: &BaseWalOp) {
+        if let Some(d) = &self.durable {
+            d.append(pmp_wire::to_bytes(op));
         }
     }
 
@@ -209,6 +226,11 @@ impl ExtensionBase {
                 count += 1;
             }
         }
+        self.log(&BaseWalOp::NodeAdapted {
+            name: node_name.to_string(),
+            node: node.0,
+            grants: grants.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        });
         self.adapted.insert(
             node_name.to_string(),
             AdaptedNode {
@@ -228,6 +250,7 @@ impl ExtensionBase {
         let Ok(pkg) = ext.open() else { return };
         let id = pkg.meta.id.clone();
         self.catalog.put(ext.clone());
+        self.log(&BaseWalOp::CatalogPut { ext: ext.clone() });
         let mut targets: Vec<(String, NodeId)> = self
             .adapted
             .iter()
@@ -249,12 +272,20 @@ impl ExtensionBase {
             if let Some(a) = self.adapted.get_mut(&name) {
                 a.grants.insert(id.clone(), grant);
             }
+            self.log(&BaseWalOp::GrantSet {
+                name,
+                ext_id: id.clone(),
+                grant,
+            });
         }
     }
 
     /// Removes an extension from the catalog and revokes it everywhere.
     pub fn revoke_extension(&mut self, sim: &mut dyn NetPort, ext_id: &str, reason: &str) {
         self.catalog.remove(ext_id);
+        self.log(&BaseWalOp::Revoked {
+            ext_id: ext_id.to_string(),
+        });
         let mut targets: Vec<NodeId> = self
             .adapted
             .values()
@@ -377,6 +408,10 @@ impl ExtensionBase {
                         self.send(sim, nb, &msg);
                     }
                 }
+                self.log(&BaseWalOp::Presence {
+                    name: name.clone(),
+                    present: false,
+                });
                 self.events.push(BaseEvent::NodeDeparted { node_name: name });
             }
         }
@@ -394,8 +429,16 @@ impl ExtensionBase {
                     // The receiver dropped this grant on purpose
                     // (implicit dep released, upgrade, revocation):
                     // stop renewing it.
-                    if let Some(a) = self.adapted.values_mut().find(|a| a.node == from) {
-                        a.grants.retain(|_, g| *g != grant);
+                    let dropped = self
+                        .adapted
+                        .iter_mut()
+                        .find(|(_, a)| a.node == from)
+                        .map(|(name, a)| {
+                            a.grants.retain(|_, g| *g != grant);
+                            name.clone()
+                        });
+                    if let Some(name) = dropped {
+                        self.log(&BaseWalOp::GrantDropped { name, grant });
                     }
                     return;
                 }
@@ -419,6 +462,11 @@ impl ExtensionBase {
                             if let Some(a) = self.adapted.get_mut(&name) {
                                 a.grants.insert(id.clone(), fresh);
                             }
+                            self.log(&BaseWalOp::GrantSet {
+                                name,
+                                ext_id: id.clone(),
+                                grant: fresh,
+                            });
                             let msg = MidasMsg::Deliver {
                                 ext,
                                 lease_ns: self.lease_ns,
@@ -448,8 +496,20 @@ impl ExtensionBase {
                 for id in self.catalog.closure_of(&ext_id) {
                     if let Some(ext) = self.catalog.get(&id).cloned() {
                         let grant = self.fresh_grant();
-                        if let Some(a) = self.adapted.values_mut().find(|a| a.node == from) {
-                            a.grants.insert(id.clone(), grant);
+                        let holder = self
+                            .adapted
+                            .iter_mut()
+                            .find(|(_, a)| a.node == from)
+                            .map(|(name, a)| {
+                                a.grants.insert(id.clone(), grant);
+                                name.clone()
+                            });
+                        if let Some(name) = holder {
+                            self.log(&BaseWalOp::GrantSet {
+                                name,
+                                ext_id: id.clone(),
+                                grant,
+                            });
                         }
                         let msg = MidasMsg::Deliver {
                             ext,
@@ -464,6 +524,10 @@ impl ExtensionBase {
             MidasMsg::RoamingHandoff { node_name, ext_ids } => {
                 self.roaming_cache
                     .insert(node_name.clone(), ext_ids.clone());
+                self.log(&BaseWalOp::Roamed {
+                    name: node_name.clone(),
+                    ext_ids: ext_ids.clone(),
+                });
                 self.events
                     .push(BaseEvent::HandoffReceived { node_name, ext_ids });
             }

@@ -27,6 +27,7 @@
 
 pub mod base;
 pub mod catalog;
+pub mod durable;
 pub mod package;
 pub mod policy;
 pub mod proto;

@@ -164,10 +164,7 @@ impl Wire for MidasMsg {
                 ext_ids: Vec::<String>::decode(r)?,
             },
             tag => {
-                return Err(WireError::InvalidTag {
-                    type_name: "MidasMsg",
-                    tag,
-                })
+                return Err(r.bad_tag("MidasMsg", tag))
             }
         })
     }

@@ -6,6 +6,7 @@
 //! Fig. 6). This crate is that database: a small in-memory append-only
 //! store with time/robot-indexed queries and replay cursors.
 
+pub mod durable;
 pub mod movement;
 pub mod table;
 

@@ -60,6 +60,12 @@ impl MovementStore {
         Self::default()
     }
 
+    /// Read-only view of the underlying table (insertion order), for
+    /// the durable snapshot encoder.
+    pub(crate) fn table(&self) -> &Table<MovementRecord> {
+        &self.table
+    }
+
     /// Appends a record; returns its id.
     pub fn append(&mut self, record: MovementRecord) -> RecordId {
         let robot = record.robot.clone();

@@ -28,11 +28,13 @@ pub enum Subsystem {
     Core,
     /// The benchmark harness (`pmp-bench`).
     Bench,
+    /// The storage engine (`pmp-durable`).
+    Durable,
 }
 
 impl Subsystem {
     /// Every subsystem, in export order.
-    pub const ALL: [Subsystem; 7] = [
+    pub const ALL: [Subsystem; 8] = [
         Subsystem::Vm,
         Subsystem::Prose,
         Subsystem::Midas,
@@ -40,6 +42,7 @@ impl Subsystem {
         Subsystem::Net,
         Subsystem::Core,
         Subsystem::Bench,
+        Subsystem::Durable,
     ];
 
     /// The lowercase display name (`"vm"`, `"prose"`, …).
@@ -53,6 +56,7 @@ impl Subsystem {
             Subsystem::Net => "net",
             Subsystem::Core => "core",
             Subsystem::Bench => "bench",
+            Subsystem::Durable => "durable",
         }
     }
 

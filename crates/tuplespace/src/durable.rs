@@ -1,0 +1,146 @@
+//! Crash-safety for the tuple space.
+//!
+//! The bag of tuples maps cleanly onto a WAL: `out` logs the deposited
+//! tuple, destructive `in` logs the removed index (positions are
+//! deterministic because matching scans in insertion order). Snapshots
+//! capture the bag wholesale in insertion order. Subscriptions are
+//! *not* durable — they reference live client request state, and
+//! clients re-subscribe after a restart.
+
+use crate::space::TupleSpace;
+use crate::tuple::Tuple;
+use pmp_durable::{Durable, DurableError};
+use pmp_wire::{Reader, Wire, WireError, Writer};
+
+/// The WAL namespace owned by the tuple space.
+pub const NAMESPACE: &str = "tuplespace.tuples";
+
+/// One logged mutation of the bag of tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceWalOp {
+    /// A tuple was deposited at the end of the bag.
+    Out {
+        /// The deposited tuple.
+        tuple: Tuple,
+    },
+    /// The tuple at `index` was destructively withdrawn.
+    Take {
+        /// Position in the bag at withdrawal time.
+        index: u64,
+    },
+}
+
+impl Wire for SpaceWalOp {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SpaceWalOp::Out { tuple } => {
+                w.put_u8(0);
+                tuple.encode(w);
+            }
+            SpaceWalOp::Take { index } => {
+                w.put_u8(1);
+                w.put_u64(*index);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => SpaceWalOp::Out {
+                tuple: Tuple::decode(r)?,
+            },
+            1 => SpaceWalOp::Take {
+                index: r.get_u64()?,
+            },
+            tag => return Err(r.bad_tag("SpaceWalOp", tag)),
+        })
+    }
+}
+
+impl Durable for TupleSpace {
+    fn namespace(&self) -> &'static str {
+        NAMESPACE
+    }
+
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        pmp_wire::to_bytes(&self.tuples)
+    }
+
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), DurableError> {
+        self.tuples = pmp_wire::from_bytes(bytes)?;
+        Ok(())
+    }
+
+    fn apply_record(&mut self, payload: &[u8]) -> Result<(), DurableError> {
+        match pmp_wire::from_bytes::<SpaceWalOp>(payload)? {
+            SpaceWalOp::Out { tuple } => self.tuples.push(tuple),
+            SpaceWalOp::Take { index } => {
+                let i = usize::try_from(index)
+                    .map_err(|_| DurableError::Invalid("take index out of range"))?;
+                if i >= self.tuples.len() {
+                    return Err(DurableError::Invalid("take index out of range"));
+                }
+                self.tuples.remove(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Field;
+    use pmp_net::NodeId;
+
+    fn tuple(tag: &str, n: i64) -> Tuple {
+        Tuple::new(vec![Field::Str(tag.into()), Field::Int(n)])
+    }
+
+    #[test]
+    fn replay_of_outs_and_takes_rebuilds_the_bag() {
+        let mut space = TupleSpace::new(NodeId(1));
+        let ops = [
+            SpaceWalOp::Out { tuple: tuple("a", 1) },
+            SpaceWalOp::Out { tuple: tuple("b", 2) },
+            SpaceWalOp::Out { tuple: tuple("c", 3) },
+            SpaceWalOp::Take { index: 1 },
+        ];
+        for op in &ops {
+            space.apply_record(&pmp_wire::to_bytes(op)).unwrap();
+        }
+        assert_eq!(space.len(), 2);
+        assert_eq!(space.tuples, vec![tuple("a", 1), tuple("c", 3)]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_the_digest() {
+        let mut live = TupleSpace::new(NodeId(1));
+        for n in 0..4 {
+            live.apply_record(&pmp_wire::to_bytes(&SpaceWalOp::Out {
+                tuple: tuple("t", n),
+            }))
+            .unwrap();
+        }
+        let mut restored = TupleSpace::new(NodeId(1));
+        restored.restore_snapshot(&live.snapshot_bytes()).unwrap();
+        assert_eq!(restored.state_digest(), live.state_digest());
+        assert_eq!(restored.tuples, live.tuples);
+    }
+
+    #[test]
+    fn bad_ops_error_instead_of_panicking() {
+        let mut space = TupleSpace::new(NodeId(1));
+        let take = SpaceWalOp::Take { index: 5 };
+        assert!(space.apply_record(&pmp_wire::to_bytes(&take)).is_err());
+        assert!(space.apply_record(&[9, 9]).is_err());
+        assert_eq!(
+            pmp_wire::from_bytes::<SpaceWalOp>(&[7]),
+            Err(WireError::InvalidTag {
+                type_name: "SpaceWalOp",
+                tag: 7,
+                offset: 0,
+            })
+        );
+    }
+}

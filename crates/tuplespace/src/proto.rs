@@ -124,10 +124,7 @@ impl Wire for SpaceMsg {
                 tuple: Tuple::decode(r)?,
             },
             tag => {
-                return Err(WireError::InvalidTag {
-                    type_name: "SpaceMsg",
-                    tag,
-                })
+                return Err(r.bad_tag("SpaceMsg", tag))
             }
         })
     }

@@ -63,10 +63,7 @@ impl Wire for Field {
             1 => Field::Str(r.get_str()?),
             2 => Field::Bytes(r.get_bytes()?),
             tag => {
-                return Err(WireError::InvalidTag {
-                    type_name: "Field",
-                    tag,
-                })
+                return Err(r.bad_tag("Field", tag))
             }
         })
     }
@@ -186,10 +183,7 @@ impl Wire for PatternField {
             3 => PatternField::AnyInt,
             4 => PatternField::AnyBytes,
             tag => {
-                return Err(WireError::InvalidTag {
-                    type_name: "PatternField",
-                    tag,
-                })
+                return Err(r.bad_tag("PatternField", tag))
             }
         })
     }

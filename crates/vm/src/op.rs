@@ -89,10 +89,7 @@ impl Wire for Const {
             3 => Const::Float(r.get_f64()?),
             4 => Const::Str(r.get_str()?),
             tag => {
-                return Err(WireError::InvalidTag {
-                    type_name: "Const",
-                    tag,
-                })
+                return Err(r.bad_tag("Const", tag))
             }
         })
     }
@@ -405,10 +402,7 @@ impl Wire for Op {
             },
             48 => Op::Nop,
             tag => {
-                return Err(WireError::InvalidTag {
-                    type_name: "Op",
-                    tag,
-                })
+                return Err(r.bad_tag("Op", tag))
             }
         })
     }

@@ -4,7 +4,10 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// The input ended before the value was complete.
-    UnexpectedEof,
+    UnexpectedEof {
+        /// Byte offset at which the failed read started.
+        offset: usize,
+    },
     /// A length prefix exceeded [`crate::MAX_LEN`].
     LengthTooLarge {
         /// The declared length.
@@ -20,6 +23,8 @@ pub enum WireError {
         type_name: &'static str,
         /// The offending tag.
         tag: u8,
+        /// Byte offset of the offending tag byte.
+        offset: usize,
     },
     /// Bytes remained in the input after the value was decoded.
     TrailingBytes {
@@ -38,14 +43,23 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
             WireError::LengthTooLarge { declared } => {
                 write!(f, "declared length {declared} exceeds limit")
             }
             WireError::VarintOverflow => write!(f, "varint overflowed 64 bits"),
             WireError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
-            WireError::InvalidTag { type_name, tag } => {
-                write!(f, "invalid tag {tag} while decoding {type_name}")
+            WireError::InvalidTag {
+                type_name,
+                tag,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "invalid tag {tag} at byte {offset} while decoding {type_name}"
+                )
             }
             WireError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after value")

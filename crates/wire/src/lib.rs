@@ -136,7 +136,7 @@ mod tests {
         let bytes = to_bytes(&123456u32);
         assert!(matches!(
             from_bytes::<u32>(&bytes[..2]),
-            Err(WireError::UnexpectedEof)
+            Err(WireError::UnexpectedEof { offset: 0 })
         ));
     }
 

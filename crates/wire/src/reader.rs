@@ -18,6 +18,22 @@ impl<'a> Reader<'a> {
         self.bytes.len() - self.pos
     }
 
+    /// Current byte offset from the start of the input.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Builds an [`WireError::InvalidTag`] for a tag byte just read,
+    /// carrying the byte offset of that tag (decoders call this right
+    /// after `get_u8`, so the tag sits one byte behind the cursor).
+    pub fn bad_tag(&self, type_name: &'static str, tag: u8) -> WireError {
+        WireError::InvalidTag {
+            type_name,
+            tag,
+            offset: self.pos.saturating_sub(1),
+        }
+    }
+
     /// Returns an error unless the input has been fully consumed.
     ///
     /// # Errors
@@ -35,7 +51,7 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
-            return Err(WireError::UnexpectedEof);
+            return Err(WireError::UnexpectedEof { offset: self.pos });
         }
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -101,10 +117,7 @@ impl<'a> Reader<'a> {
         match self.get_u8()? {
             0 => Ok(false),
             1 => Ok(true),
-            tag => Err(WireError::InvalidTag {
-                type_name: "bool",
-                tag,
-            }),
+            tag => Err(self.bad_tag("bool", tag)),
         }
     }
 
@@ -172,6 +185,35 @@ mod tests {
     fn non_canonical_bool_rejected() {
         let mut r = Reader::new(&[2]);
         assert!(matches!(r.get_bool(), Err(WireError::InvalidTag { .. })));
+    }
+
+    // -- Positioned errors (satellite: torn-tail reporting) --
+
+    #[test]
+    fn eof_error_carries_the_offset() {
+        let mut w = Writer::new();
+        w.put_u32(7);
+        w.put_str("abcdef");
+        let bytes = w.into_bytes();
+        // Cut inside the string body: the failed read starts at the
+        // string's payload, right after the 4-byte int + 1-byte length.
+        let mut r = Reader::new(&bytes[..7]);
+        r.get_u32().unwrap();
+        assert_eq!(r.get_str(), Err(WireError::UnexpectedEof { offset: 5 }));
+    }
+
+    #[test]
+    fn bad_tag_error_carries_the_offset() {
+        let mut r = Reader::new(&[0, 9]);
+        r.get_u8().unwrap();
+        assert_eq!(
+            r.get_bool(),
+            Err(WireError::InvalidTag {
+                type_name: "bool",
+                tag: 9,
+                offset: 1,
+            })
+        );
     }
 
     #[test]

@@ -138,10 +138,7 @@ impl<T: Wire> Wire for Option<T> {
         match r.get_u8()? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
-            tag => Err(WireError::InvalidTag {
-                type_name: "Option",
-                tag,
-            }),
+            tag => Err(r.bad_tag("Option", tag)),
         }
     }
 }

@@ -20,6 +20,7 @@ pub use pmp_analyze as analyze;
 pub use pmp_core as core;
 pub use pmp_crypto as crypto;
 pub use pmp_discovery as discovery;
+pub use pmp_durable as durable;
 pub use pmp_extensions as extensions;
 pub use pmp_midas as midas;
 pub use pmp_net as net;

@@ -190,6 +190,31 @@ fn telemetry_agrees_with_legacy_stats() {
     assert!(stats.hook_checks > 0, "adapted calls probed hooks: {stats:?}");
     assert!(stats.advice_dispatches > 0, "advice ran: {stats:?}");
 
+    // The base stations' storage engines journal their write path:
+    // every movement row in the hall database was first a WAL append,
+    // and the appends were group-committed at epoch barriers. The
+    // batch histogram's sample total must agree with the append count
+    // (each committed record belongs to exactly one batch).
+    let store_len = w.platform.base(w.base_a).store.len() as u64;
+    let appends = shared.counter_value("durable.wal.appends");
+    assert!(
+        appends >= store_len,
+        "every stored movement hit the WAL: {appends} < {store_len}"
+    );
+    assert!(shared.counter_value("durable.wal.commits") > 0);
+    shared.with(|t| {
+        let batch = t
+            .registry
+            .histogram_by_name("durable.commit.batch")
+            .expect("commit batches recorded");
+        assert_eq!(batch.sum(), appends, "batches partition the appends");
+        let append_ns = t
+            .registry
+            .histogram_by_name("durable.wal.append_ns")
+            .expect("append latency recorded");
+        assert_eq!(append_ns.count(), appends);
+    });
+
     // The journal carried the distribution trail and delivery events.
     let (ships, delivers) = shared.with(|t| {
         (
