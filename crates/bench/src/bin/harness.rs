@@ -29,6 +29,7 @@ fn main() {
     e11_verification_cost();
     e12_driver_scaling();
     e13_durability();
+    e14_chaos();
     ablations();
 }
 
@@ -335,6 +336,101 @@ fn e13_durability() {
             r.recover_ms,
             r.replayed,
             if r.verified { "yes" } else { "NO" }
+        );
+    }
+    println!();
+}
+
+/// E14 — DESIGN.md §12: chaos-harness throughput (full generate +
+/// execute + oracle cycles per second under each epoch driver) and the
+/// cost of delta-debug shrinking a failure to its kernel.
+fn e14_chaos() {
+    use pmp_chaos::{exec, gen, shrink, DriverKind, GenConfig, Op};
+    use std::time::Instant;
+
+    println!("## E14 — chaos harness: scenario throughput and shrink cost");
+    println!();
+    let cfg = GenConfig::default();
+    const SEEDS: u64 = 24;
+
+    println!(
+        "### E14a — seeded scenarios/sec (seeds 0..{SEEDS}, {} steps each, oracles on)",
+        cfg.steps
+    );
+    println!();
+    println!("| driver | scenarios | wall (ms) | scenarios/s | violations |");
+    println!("|---|---|---|---|---|");
+    for (label, kind) in [
+        ("serial", DriverKind::Serial),
+        ("parallel(3)", DriverKind::Parallel),
+    ] {
+        let t0 = Instant::now();
+        let mut violations = 0usize;
+        for seed in 0..SEEDS {
+            let sc = gen::generate(seed, &cfg);
+            violations += exec::run(&sc, kind).violations.len();
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(violations, 0, "E14a({label}): clean seeds turned red");
+        println!(
+            "| {label} | {SEEDS} | {wall_ms:.1} | {:.1} | {violations} |",
+            f64::from(SEEDS as u32) / (wall_ms / 1e3)
+        );
+    }
+    println!();
+
+    // Shrink cost against a structural predicate shaped like the real
+    // seed-20 kernel (crash → bit flip on the same base → restart), so
+    // every evaluation pays the full execute-and-check price the
+    // shrinker pays in anger without depending on a live bug.
+    println!("### E14b — ddmin shrink cost (crash/bit-flip/restart kernel predicate)");
+    println!();
+    println!("| seed | steps before | steps after | evals | wall (ms) |");
+    println!("|---|---|---|---|---|");
+    let has_kernel = |sc: &pmp_chaos::Scenario| {
+        let mut crash_at: Option<(u8, usize)> = None;
+        let mut flip_at: Option<(u8, usize)> = None;
+        for (i, s) in sc.steps.iter().enumerate() {
+            match s.op {
+                Op::CrashBase { base } if crash_at.is_none() => crash_at = Some((base, i)),
+                Op::InjectBitFlip { base, .. }
+                    if crash_at.is_some_and(|(b, j)| b == base && j < i)
+                        && flip_at.is_none() =>
+                {
+                    flip_at = Some((base, i));
+                }
+                Op::RestartBase { base }
+                    if flip_at.is_some_and(|(b, j)| b == base && j < i) =>
+                {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    };
+    let mut shrunk = 0;
+    for seed in 0..64u64 {
+        if shrunk == 4 {
+            break;
+        }
+        let sc = gen::generate(seed, &cfg);
+        if !has_kernel(&sc) {
+            continue;
+        }
+        shrunk += 1;
+        let t0 = Instant::now();
+        let mut evals_run = |s: &pmp_chaos::Scenario| {
+            // Execute for realism, then decide structurally.
+            let _ = exec::run(s, DriverKind::Serial);
+            has_kernel(s)
+        };
+        let (min, stats) = shrink::shrink(&sc, &mut evals_run, 2_000);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(has_kernel(&min), "E14b({seed}): shrink lost the kernel");
+        println!(
+            "| {seed} | {} | {} | {} | {wall_ms:.1} |",
+            stats.from_steps, stats.to_steps, stats.evals
         );
     }
     println!();

@@ -1,0 +1,232 @@
+//! Global invariants checked at epoch barriers.
+//!
+//! Each oracle states a property the platform must uphold *no matter
+//! what* the chaos script does — they are about the protocols, not the
+//! scenario. All of them are phrased with explicit slack windows so
+//! they stay sound under message latency, sweep granularity, and the
+//! executor's pump-slice quantum:
+//!
+//! | id               | property                                              |
+//! |------------------|-------------------------------------------------------|
+//! | `lease-liveness` | no advice stays active past lease lapse + sweep slack |
+//! | `departure`      | a long-uncovered node ends up with nothing installed  |
+//! | `cross-driver`   | serial and parallel runs are byte-identical           |
+//! | `durable-digest` | crash→restart reproduces the barrier-committed state  |
+//! | `conservation`   | installed − removed counters == Σ live installs       |
+//! | `grant-catalog`  | every lease-table grant names a catalogued extension  |
+//! | `recover-panic`  | `recover()` never panics, even on a corrupt image     |
+//!
+//! `durable-digest` compares against the digest captured after the
+//! pre-crash `commit()` the executor forces, so it asserts equality of
+//! *barrier-committed* state: what the WAL promised is exactly what
+//! recovery rebuilds. Torn-tail / bit-flip injections switch that
+//! restart to "must not panic, must report unclean" instead — the lost
+//! suffix is the fault's point.
+
+use crate::script::RADIO_RANGE;
+use pmp_core::{BaseId, MobId, Platform};
+use std::collections::BTreeSet;
+
+/// One invariant breach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which oracle fired (stable id, see module table).
+    pub invariant: &'static str,
+    /// Simulated ms at which the breach was observed.
+    pub at_ms: u64,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] t+{}ms: {}", self.invariant, self.at_ms, self.detail)
+    }
+}
+
+/// Extra observation delay the oracles must forgive: one pump slice
+/// plus scheduling/latency grace.
+const OBS_SLACK_MS: u64 = 500;
+/// How long past lease expiry an install may linger: one sweep period
+/// (500 ms) plus observation slack.
+const SWEEP_SLACK_MS: u64 = 500 + OBS_SLACK_MS;
+/// Renewal-in-flight grace for the departure oracle.
+const DEPART_SLACK_MS: u64 = 2_000;
+
+/// Cross-run oracle state the executor threads through the barriers.
+#[derive(Debug)]
+pub struct OracleState {
+    /// Lease duration bases grant, ms (from the topology).
+    pub lease_ms: u64,
+    /// Per-node: since when (ms) the node has been out of coverage,
+    /// `None` while covered.
+    pub uncovered_since: Vec<Option<u64>>,
+    /// Per-base: digest captured at the crash barrier, if down.
+    pub digest_at_crash: Vec<Option<u64>>,
+    /// Per-base: a disk fault was injected while down, so the next
+    /// restart skips the digest-equality check.
+    pub fault_injected: Vec<bool>,
+    /// Severed (node index, base index) radio pairs.
+    pub partitions: BTreeSet<(u8, u8)>,
+}
+
+impl OracleState {
+    /// Fresh state for `bases` bases and `nodes` initial nodes.
+    #[must_use]
+    pub fn new(lease_ms: u64, bases: usize, nodes: usize) -> OracleState {
+        OracleState {
+            lease_ms,
+            uncovered_since: vec![None; nodes],
+            digest_at_crash: vec![None; bases],
+            fault_injected: vec![false; bases],
+            partitions: BTreeSet::new(),
+        }
+    }
+}
+
+/// Runs every barrier oracle once, appending any breaches.
+pub fn check_barrier(
+    p: &Platform,
+    bases: &[BaseId],
+    nodes: &[MobId],
+    st: &mut OracleState,
+    now_ms: u64,
+    out: &mut Vec<Violation>,
+) {
+    lease_liveness(p, nodes, now_ms, out);
+    departure_revocation(p, bases, nodes, st, now_ms, out);
+    conservation(p, nodes, now_ms, out);
+    grant_catalog(p, bases, now_ms, out);
+}
+
+/// `lease-liveness`: every installed extension's lease deadline is in
+/// the recent past at worst — the sweep must have removed anything
+/// older than deadline + sweep period + slack.
+fn lease_liveness(p: &Platform, nodes: &[MobId], now_ms: u64, out: &mut Vec<Violation>) {
+    let now_ns = p.now().0;
+    for &m in nodes {
+        let node = p.node(m);
+        let sweep_ns = node.receiver.sweep_interval_ns();
+        for (ext_id, deadline_ns) in node.receiver.lease_deadlines() {
+            let limit = deadline_ns + sweep_ns + OBS_SLACK_MS * 1_000_000;
+            if now_ns > limit {
+                out.push(Violation {
+                    invariant: "lease-liveness",
+                    at_ms: now_ms,
+                    detail: format!(
+                        "{}: {ext_id} still installed {}ms past its lease deadline",
+                        node.name,
+                        (now_ns - deadline_ns) / 1_000_000
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether some live, unpartitioned base covers the node's position.
+fn covered(p: &Platform, bases: &[BaseId], node_idx: usize, m: MobId, st: &OracleState) -> bool {
+    let sim_node = p.sim.node(p.node(m).node);
+    if !sim_node.online {
+        return false;
+    }
+    let (nx, ny) = (sim_node.pos.x, sim_node.pos.y);
+    bases.iter().enumerate().any(|(j, &b)| {
+        let station = p.base(b);
+        if station.crashed {
+            return false;
+        }
+        if st.partitions.contains(&(node_idx as u8, j as u8)) {
+            return false;
+        }
+        let bpos = p.sim.node(station.node).pos;
+        let (dx, dy) = (bpos.x - nx, bpos.y - ny);
+        (dx * dx + dy * dy).sqrt() <= RADIO_RANGE
+    })
+}
+
+/// `departure`: once a node has been out of coverage longer than a full
+/// lease plus renewal/sweep slack, nothing may remain installed — the
+/// paper's "immediately withdrawn from the system" on departure.
+fn departure_revocation(
+    p: &Platform,
+    bases: &[BaseId],
+    nodes: &[MobId],
+    st: &mut OracleState,
+    now_ms: u64,
+    out: &mut Vec<Violation>,
+) {
+    for (i, &m) in nodes.iter().enumerate() {
+        if covered(p, bases, i, m, st) {
+            st.uncovered_since[i] = None;
+            continue;
+        }
+        let since = *st.uncovered_since[i].get_or_insert(now_ms);
+        let uncovered_for = now_ms - since;
+        let limit = st.lease_ms + SWEEP_SLACK_MS + DEPART_SLACK_MS;
+        if uncovered_for > limit {
+            let installed = p.node(m).receiver.installed_ids();
+            if !installed.is_empty() {
+                out.push(Violation {
+                    invariant: "departure",
+                    at_ms: now_ms,
+                    detail: format!(
+                        "{}: uncovered for {uncovered_for}ms but still holds {installed:?}",
+                        p.node(m).name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `conservation`: the telemetry counters and the live state agree —
+/// `midas.receiver.installed − midas.receiver.removed` equals the sum
+/// of currently-installed extensions over all nodes. Every install and
+/// removal path counts exactly once (upgrades count one of each), so
+/// any drift means a lost or double-counted transition.
+fn conservation(p: &Platform, nodes: &[MobId], now_ms: u64, out: &mut Vec<Violation>) {
+    let t = p.telemetry();
+    let installed = t.counter_value("midas.receiver.installed");
+    let removed = t.counter_value("midas.receiver.removed");
+    let live: u64 = nodes
+        .iter()
+        .map(|&m| p.node(m).receiver.installed_ids().len() as u64)
+        .sum();
+    if installed != removed + live {
+        out.push(Violation {
+            invariant: "conservation",
+            at_ms: now_ms,
+            detail: format!(
+                "installed={installed} removed={removed} but Σ live installs={live}"
+            ),
+        });
+    }
+}
+
+/// `grant-catalog`: a base never tracks a grant for an extension it no
+/// longer catalogues — revocation strips grants from every adapted
+/// entry atomically, and WAL replay reproduces that.
+fn grant_catalog(p: &Platform, bases: &[BaseId], now_ms: u64, out: &mut Vec<Violation>) {
+    for &b in bases {
+        let station = p.base(b);
+        if station.crashed {
+            continue;
+        }
+        let catalog: BTreeSet<String> = station.base.catalog.ids().into_iter().collect();
+        for (name, (_, _, grants)) in station.base.lease_table() {
+            for ext_id in grants.keys() {
+                if !catalog.contains(ext_id) {
+                    out.push(Violation {
+                        invariant: "grant-catalog",
+                        at_ms: now_ms,
+                        detail: format!(
+                            "{}: grant for {ext_id} held by {name} but not in catalog {catalog:?}",
+                            station.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The `.repro` format: a committed, replayable failure.
+//!
+//! A repro file is a magic line followed by the pmp-wire encoding of
+//! the (usually minimized) [`Scenario`]. The format is deliberately
+//! dumb: no compression, no metadata, no versioned envelope beyond the
+//! magic — the scenario encoding *is* the contract, and the decode-fuzz
+//! suite pins its error behaviour. `tests/chaos_repros.rs` replays
+//! every committed file under both drivers on every CI run.
+
+use crate::script::Scenario;
+use pmp_wire::{from_bytes, to_bytes};
+
+/// First bytes of every repro file (includes a trailing newline so the
+/// file starts with a readable line).
+pub const MAGIC: &[u8] = b"pmp-chaos-repro v1\n";
+
+/// Serializes a scenario into repro bytes.
+#[must_use]
+pub fn save(sc: &Scenario) -> Vec<u8> {
+    let mut out = Vec::from(MAGIC);
+    out.extend_from_slice(&to_bytes(sc));
+    out
+}
+
+/// Parses repro bytes back into a scenario. Rejects a missing magic,
+/// a decode failure, and trailing garbage — a repro that does not
+/// parse exactly is a repro that cannot be trusted.
+pub fn load(bytes: &[u8]) -> Result<Scenario, String> {
+    let body = bytes
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| "not a pmp-chaos repro (bad magic)".to_string())?;
+    let sc: Scenario =
+        from_bytes(body).map_err(|e| format!("repro body did not decode: {e}"))?;
+    // from_bytes already rejects trailing bytes; re-encode equality is
+    // the stronger self-check that the file is canonical.
+    if to_bytes(&sc) != body {
+        return Err("repro body is not in canonical encoding".to_string());
+    }
+    Ok(sc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn save_load_roundtrips() {
+        let sc = generate(5, &GenConfig::default());
+        let bytes = save(&sc);
+        assert_eq!(load(&bytes).unwrap(), sc);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load(b"something else").unwrap_err();
+        assert!(err.contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let sc = generate(5, &GenConfig::default());
+        let bytes = save(&sc);
+        let err = load(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(err.contains("did not decode"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let sc = generate(5, &GenConfig::default());
+        let mut bytes = save(&sc);
+        bytes.push(0);
+        assert!(load(&bytes).is_err());
+    }
+}

@@ -1,0 +1,582 @@
+//! The chaos script: an explicit, serializable event program.
+//!
+//! A [`Scenario`] is everything a chaos run needs — topology, catalogs,
+//! and a time-ordered list of [`Step`]s — with *no* hidden state. The
+//! generator compiles a seed into one, the executor replays it against
+//! the real [`pmp_core::Platform`], the shrinker deletes steps from it,
+//! and the `.repro` format is just its pmp-wire encoding behind a magic
+//! prefix. Every step is total: an op whose target does not exist (or
+//! whose precondition fails, like crashing an already-crashed base) is
+//! a no-op, so *any* subset of a valid script is itself valid — the
+//! property delta debugging rests on.
+
+use pmp_midas::ExtensionPackage;
+use pmp_wire::{wire_struct, Reader, Wire, WireError, Writer};
+
+/// Horizontal spacing between halls; hall `i` spans
+/// `[i*HALL_PITCH, i*HALL_PITCH + HALL_SIDE]` on the x axis.
+pub const HALL_PITCH: f64 = 150.0;
+/// Side length of a (square) hall.
+pub const HALL_SIDE: f64 = 60.0;
+/// Radio range of every base and mobile node.
+pub const RADIO_RANGE: f64 = 80.0;
+/// The corridor: out of every base's radio range.
+pub const CORRIDOR: (f64, f64) = (1000.0, 1000.0);
+/// Executor cap on the node population (AddRobot beyond this no-ops).
+pub const MAX_NODES: usize = 6;
+
+/// A complete chaos scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Seed for the platform's network RNG (link loss, jitter).
+    pub seed: u64,
+    /// The static world the steps run against.
+    pub topology: Topology,
+    /// Time-ordered event program (executor sorts stably by `at_ms`).
+    pub steps: Vec<Step>,
+    /// Quiet tail after the last step, for leases to lapse and
+    /// protocols to converge before final observables are read.
+    pub settle_ms: u32,
+}
+
+wire_struct!(Scenario {
+    seed: u64,
+    topology: Topology,
+    steps: Vec<Step>,
+    settle_ms: u32
+});
+
+/// The static world: halls, initial robots, catalogs, lease policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// Number of halls (1..=4), each with one base at its centre.
+    pub halls: u8,
+    /// Link loss probability in 1/1000 units (0 = ideal radio).
+    pub loss_per_mille: u16,
+    /// Robots present at t=0; robot `i` starts in hall `i % halls`.
+    pub robots: u8,
+    /// Per-hall extension catalog, published at t=0 through the WAL.
+    pub catalogs: Vec<Vec<CatalogEntry>>,
+    /// Lease duration every base grants, in milliseconds.
+    pub lease_ms: u32,
+    /// Whether consecutive bases get a wired backhaul (roaming
+    /// handoffs work) or stand alone.
+    pub link_neighbors: bool,
+}
+
+wire_struct!(Topology {
+    halls: u8,
+    loss_per_mille: u16,
+    robots: u8,
+    catalogs: Vec<Vec<CatalogEntry>>,
+    lease_ms: u32,
+    link_neighbors: bool
+});
+
+/// One catalog line: which extension, at which version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// The extension kind.
+    pub kind: ExtKind,
+    /// Package version (bases upgrade in place on re-publish).
+    pub version: u32,
+}
+
+wire_struct!(CatalogEntry {
+    kind: ExtKind,
+    version: u32
+});
+
+/// One timed event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Simulated milliseconds from t=0.
+    pub at_ms: u32,
+    /// What happens.
+    pub op: Op,
+}
+
+wire_struct!(Step { at_ms: u32, op: Op });
+
+/// The chaos vocabulary. Node/base operands are indices into the
+/// platform's node/base tables; out-of-range or precondition-failing
+/// ops are no-ops (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Teleport a node into a hall (a roam).
+    MoveToHall {
+        /// Node index.
+        node: u8,
+        /// Destination hall.
+        hall: u8,
+    },
+    /// Teleport a node out of every base's range (a departure).
+    MoveToCorridor {
+        /// Node index.
+        node: u8,
+    },
+    /// Radio silence on/off for a node.
+    SetOnline {
+        /// Node index.
+        node: u8,
+        /// New radio state.
+        online: bool,
+    },
+    /// A new robot joins, starting in `hall`.
+    AddRobot {
+        /// Hall to join in.
+        hall: u8,
+    },
+    /// Power-fail a base: in-memory state gone, disk survives.
+    CrashBase {
+        /// Base index.
+        base: u8,
+    },
+    /// Rebuild a crashed base from its disk (recovery).
+    RestartBase {
+        /// Base index.
+        base: u8,
+    },
+    /// Snapshot a live base's durable state and compact its WAL.
+    CheckpointBase {
+        /// Base index.
+        base: u8,
+    },
+    /// Publish (or upgrade) an extension in a base's catalog.
+    Publish {
+        /// Base index.
+        base: u8,
+        /// Which extension.
+        kind: ExtKind,
+        /// New version.
+        version: u32,
+    },
+    /// Revoke an extension: out of the catalog, all grants void.
+    Revoke {
+        /// Base index.
+        base: u8,
+        /// Which extension.
+        kind: ExtKind,
+    },
+    /// Remote `DrawingService.moveTo(x, y)` call from a base to a node.
+    Rpc {
+        /// Calling base index.
+        base: u8,
+        /// Target node index.
+        node: u8,
+        /// Plotter x.
+        x: u8,
+        /// Plotter y.
+        y: u8,
+    },
+    /// While a base is down, chop bytes off its newest WAL segment
+    /// (simulates a torn final write). No-op on a live base.
+    InjectTornTail {
+        /// Base index (must be crashed).
+        base: u8,
+        /// Bytes to drop from the tail.
+        drop: u8,
+    },
+    /// While a base is down, flip one bit of its newest WAL segment.
+    /// No-op on a live base.
+    InjectBitFlip {
+        /// Base index (must be crashed).
+        base: u8,
+        /// Byte offset (clamped to the segment by the executor).
+        offset: u16,
+    },
+    /// Sever the radio path between one node and one base.
+    Partition {
+        /// Node index.
+        node: u8,
+        /// Base index.
+        base: u8,
+    },
+    /// Restore a severed path.
+    Heal {
+        /// Node index.
+        node: u8,
+        /// Base index.
+        base: u8,
+    },
+}
+
+impl Wire for Op {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Op::MoveToHall { node, hall } => {
+                w.put_u8(0);
+                w.put_u8(*node);
+                w.put_u8(*hall);
+            }
+            Op::MoveToCorridor { node } => {
+                w.put_u8(1);
+                w.put_u8(*node);
+            }
+            Op::SetOnline { node, online } => {
+                w.put_u8(2);
+                w.put_u8(*node);
+                w.put_bool(*online);
+            }
+            Op::AddRobot { hall } => {
+                w.put_u8(3);
+                w.put_u8(*hall);
+            }
+            Op::CrashBase { base } => {
+                w.put_u8(4);
+                w.put_u8(*base);
+            }
+            Op::RestartBase { base } => {
+                w.put_u8(5);
+                w.put_u8(*base);
+            }
+            Op::CheckpointBase { base } => {
+                w.put_u8(6);
+                w.put_u8(*base);
+            }
+            Op::Publish {
+                base,
+                kind,
+                version,
+            } => {
+                w.put_u8(7);
+                w.put_u8(*base);
+                kind.encode(w);
+                w.put_u32(*version);
+            }
+            Op::Revoke { base, kind } => {
+                w.put_u8(8);
+                w.put_u8(*base);
+                kind.encode(w);
+            }
+            Op::Rpc { base, node, x, y } => {
+                w.put_u8(9);
+                w.put_u8(*base);
+                w.put_u8(*node);
+                w.put_u8(*x);
+                w.put_u8(*y);
+            }
+            Op::InjectTornTail { base, drop } => {
+                w.put_u8(10);
+                w.put_u8(*base);
+                w.put_u8(*drop);
+            }
+            Op::InjectBitFlip { base, offset } => {
+                w.put_u8(11);
+                w.put_u8(*base);
+                w.put_u16(*offset);
+            }
+            Op::Partition { node, base } => {
+                w.put_u8(12);
+                w.put_u8(*node);
+                w.put_u8(*base);
+            }
+            Op::Heal { node, base } => {
+                w.put_u8(13);
+                w.put_u8(*node);
+                w.put_u8(*base);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => Op::MoveToHall {
+                node: r.get_u8()?,
+                hall: r.get_u8()?,
+            },
+            1 => Op::MoveToCorridor { node: r.get_u8()? },
+            2 => Op::SetOnline {
+                node: r.get_u8()?,
+                online: r.get_bool()?,
+            },
+            3 => Op::AddRobot { hall: r.get_u8()? },
+            4 => Op::CrashBase { base: r.get_u8()? },
+            5 => Op::RestartBase { base: r.get_u8()? },
+            6 => Op::CheckpointBase { base: r.get_u8()? },
+            7 => Op::Publish {
+                base: r.get_u8()?,
+                kind: ExtKind::decode(r)?,
+                version: r.get_u32()?,
+            },
+            8 => Op::Revoke {
+                base: r.get_u8()?,
+                kind: ExtKind::decode(r)?,
+            },
+            9 => Op::Rpc {
+                base: r.get_u8()?,
+                node: r.get_u8()?,
+                x: r.get_u8()?,
+                y: r.get_u8()?,
+            },
+            10 => Op::InjectTornTail {
+                base: r.get_u8()?,
+                drop: r.get_u8()?,
+            },
+            11 => Op::InjectBitFlip {
+                base: r.get_u8()?,
+                offset: r.get_u16()?,
+            },
+            12 => Op::Partition {
+                node: r.get_u8()?,
+                base: r.get_u8()?,
+            },
+            13 => Op::Heal {
+                node: r.get_u8()?,
+                base: r.get_u8()?,
+            },
+            tag => return Err(r.bad_tag("Op", tag)),
+        })
+    }
+}
+
+/// The extensions chaos runs distribute. All declared permissions fall
+/// inside the receivers' `Print|Net|Time|Store` cap, so every one of
+/// them is installable when its dependencies are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExtKind {
+    /// Session management (implicit dependency of access control).
+    Session,
+    /// Access control — `requires: ext/session`.
+    AccessControl,
+    /// Hardware monitoring (`net`).
+    Monitoring,
+    /// Per-call billing (`net`).
+    Billing,
+    /// Geofence on plotter movement.
+    Geofence,
+}
+
+/// Every kind, in wire-tag order.
+pub const ALL_KINDS: [ExtKind; 5] = [
+    ExtKind::Session,
+    ExtKind::AccessControl,
+    ExtKind::Monitoring,
+    ExtKind::Billing,
+    ExtKind::Geofence,
+];
+
+impl ExtKind {
+    /// The package's extension id.
+    #[must_use]
+    pub fn ext_id(self) -> &'static str {
+        match self {
+            ExtKind::Session => pmp_extensions::session::ID,
+            ExtKind::AccessControl => pmp_extensions::access_control::ID,
+            ExtKind::Monitoring => "ext/monitoring",
+            ExtKind::Billing => pmp_extensions::billing::ID,
+            ExtKind::Geofence => pmp_extensions::geofence::ID,
+        }
+    }
+
+    /// Builds the concrete package at `version`, with the same
+    /// crosscuts the production-hall scenario uses.
+    #[must_use]
+    pub fn package(self, version: u32) -> ExtensionPackage {
+        match self {
+            ExtKind::Session => {
+                pmp_extensions::session::package("* DrawingService.*(..)", version)
+            }
+            ExtKind::AccessControl => pmp_extensions::access_control::package(
+                "* DrawingService.*(..)",
+                &["operator:1", "operator:2"],
+                version,
+            ),
+            ExtKind::Monitoring => pmp_extensions::monitoring::package(version),
+            ExtKind::Billing => pmp_extensions::billing::package("* Motor.*(..)", 2, version),
+            ExtKind::Geofence => pmp_extensions::geofence::package(0, 0, 40, 40, version),
+        }
+    }
+}
+
+impl Wire for ExtKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            ExtKind::Session => 0,
+            ExtKind::AccessControl => 1,
+            ExtKind::Monitoring => 2,
+            ExtKind::Billing => 3,
+            ExtKind::Geofence => 4,
+        });
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => ExtKind::Session,
+            1 => ExtKind::AccessControl,
+            2 => ExtKind::Monitoring,
+            3 => ExtKind::Billing,
+            4 => ExtKind::Geofence,
+            tag => return Err(r.bad_tag("ExtKind", tag)),
+        })
+    }
+}
+
+impl Scenario {
+    /// Pretty one-line-per-step rendering for failure reports.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let t = &self.topology;
+        let _ = writeln!(
+            out,
+            "seed={} halls={} robots={} loss={}‰ lease={}ms linked={} settle={}ms",
+            self.seed,
+            t.halls,
+            t.robots,
+            t.loss_per_mille,
+            t.lease_ms,
+            t.link_neighbors,
+            self.settle_ms
+        );
+        for (i, cat) in t.catalogs.iter().enumerate() {
+            let items: Vec<String> = cat
+                .iter()
+                .map(|e| format!("{}@v{}", e.kind.ext_id(), e.version))
+                .collect();
+            let _ = writeln!(out, "  hall-{i}: [{}]", items.join(", "));
+        }
+        for s in &self.steps {
+            let _ = writeln!(out, "  t+{:>6}ms {:?}", s.at_ms, s.op);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_wire::{from_bytes, to_bytes};
+
+    fn sample() -> Scenario {
+        Scenario {
+            seed: 42,
+            topology: Topology {
+                halls: 2,
+                loss_per_mille: 50,
+                robots: 2,
+                catalogs: vec![
+                    vec![
+                        CatalogEntry {
+                            kind: ExtKind::Session,
+                            version: 1,
+                        },
+                        CatalogEntry {
+                            kind: ExtKind::AccessControl,
+                            version: 1,
+                        },
+                    ],
+                    vec![CatalogEntry {
+                        kind: ExtKind::Billing,
+                        version: 3,
+                    }],
+                ],
+                lease_ms: 3000,
+                link_neighbors: true,
+            },
+            steps: vec![
+                Step {
+                    at_ms: 500,
+                    op: Op::MoveToHall { node: 0, hall: 1 },
+                },
+                Step {
+                    at_ms: 900,
+                    op: Op::CrashBase { base: 0 },
+                },
+                Step {
+                    at_ms: 1400,
+                    op: Op::InjectTornTail { base: 0, drop: 7 },
+                },
+                Step {
+                    at_ms: 2000,
+                    op: Op::RestartBase { base: 0 },
+                },
+                Step {
+                    at_ms: 2500,
+                    op: Op::Publish {
+                        base: 1,
+                        kind: ExtKind::Geofence,
+                        version: 2,
+                    },
+                },
+            ],
+            settle_ms: 8000,
+        }
+    }
+
+    #[test]
+    fn scenario_roundtrips_on_the_wire() {
+        let sc = sample();
+        assert_eq!(from_bytes::<Scenario>(&to_bytes(&sc)).unwrap(), sc);
+    }
+
+    #[test]
+    fn every_op_roundtrips() {
+        let ops = vec![
+            Op::MoveToHall { node: 1, hall: 2 },
+            Op::MoveToCorridor { node: 0 },
+            Op::SetOnline {
+                node: 3,
+                online: false,
+            },
+            Op::AddRobot { hall: 1 },
+            Op::CrashBase { base: 0 },
+            Op::RestartBase { base: 0 },
+            Op::CheckpointBase { base: 1 },
+            Op::Publish {
+                base: 0,
+                kind: ExtKind::Monitoring,
+                version: 9,
+            },
+            Op::Revoke {
+                base: 0,
+                kind: ExtKind::Session,
+            },
+            Op::Rpc {
+                base: 1,
+                node: 2,
+                x: 10,
+                y: 20,
+            },
+            Op::InjectTornTail { base: 0, drop: 255 },
+            Op::InjectBitFlip {
+                base: 1,
+                offset: 4096,
+            },
+            Op::Partition { node: 0, base: 1 },
+            Op::Heal { node: 0, base: 1 },
+        ];
+        for op in ops {
+            assert_eq!(from_bytes::<Op>(&to_bytes(&op)).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_rejected_with_offsets() {
+        assert_eq!(
+            from_bytes::<Op>(&[200, 0, 0]),
+            Err(WireError::InvalidTag {
+                type_name: "Op",
+                tag: 200,
+                offset: 0,
+            })
+        );
+        assert_eq!(
+            from_bytes::<ExtKind>(&[7]),
+            Err(WireError::InvalidTag {
+                type_name: "ExtKind",
+                tag: 7,
+                offset: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn render_names_the_world_and_every_step() {
+        let text = sample().render();
+        assert!(text.contains("seed=42"));
+        assert!(text.contains("hall-0: [ext/session@v1, ext/access-control@v1]"));
+        assert!(text.contains("CrashBase"));
+    }
+}

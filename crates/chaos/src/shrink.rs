@@ -1,0 +1,195 @@
+//! Delta-debugging shrinker for failing scenarios.
+//!
+//! Classic ddmin over the step list (Zeller's algorithm: try dropping
+//! chunks at coarse granularity, refine on failure to make progress),
+//! followed by a catalog-minimization pass that tries deleting catalog
+//! lines one at a time. Step totality (see [`crate::exec`]) guarantees
+//! every candidate is a valid scenario, so the predicate is the only
+//! arbiter.
+//!
+//! The predicate is caller-supplied: callers should pin it to the
+//! *original* failure (same invariant id) so the shrinker cannot
+//! slide onto a different bug mid-minimization.
+
+use crate::script::Scenario;
+
+/// Shrink accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Predicate evaluations spent.
+    pub evals: u64,
+    /// Steps in the original scenario.
+    pub from_steps: usize,
+    /// Steps in the minimized scenario.
+    pub to_steps: usize,
+}
+
+/// Minimizes `sc` while `fails` keeps returning true, spending at most
+/// `max_evals` predicate calls. Returns the smallest failing scenario
+/// found and the spend. `sc` itself must fail the predicate — callers
+/// check that before shrinking.
+pub fn shrink(
+    sc: &Scenario,
+    fails: &mut dyn FnMut(&Scenario) -> bool,
+    max_evals: u64,
+) -> (Scenario, ShrinkStats) {
+    let mut best = sc.clone();
+    let mut stats = ShrinkStats {
+        evals: 0,
+        from_steps: sc.steps.len(),
+        to_steps: sc.steps.len(),
+    };
+
+    ddmin_steps(&mut best, fails, max_evals, &mut stats);
+    minimize_catalogs(&mut best, fails, max_evals, &mut stats);
+    // Step deletion can unlock further catalog deletions and vice
+    // versa; one more steps pass is cheap on the now-small script.
+    ddmin_steps(&mut best, fails, max_evals, &mut stats);
+
+    stats.to_steps = best.steps.len();
+    (best, stats)
+}
+
+fn ddmin_steps(
+    best: &mut Scenario,
+    fails: &mut dyn FnMut(&Scenario) -> bool,
+    max_evals: u64,
+    stats: &mut ShrinkStats,
+) {
+    let mut granularity = 2usize;
+    while best.steps.len() > 1 && granularity <= best.steps.len() {
+        let chunk = best.steps.len().div_ceil(granularity);
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.steps.len() {
+            if stats.evals >= max_evals {
+                return;
+            }
+            let end = (start + chunk).min(best.steps.len());
+            let mut candidate = best.clone();
+            candidate.steps.drain(start..end);
+            stats.evals += 1;
+            if fails(&candidate) {
+                *best = candidate;
+                progressed = true;
+                // Same start index now points at the next chunk.
+            } else {
+                start = end;
+            }
+        }
+        if progressed {
+            granularity = 2;
+        } else {
+            granularity *= 2;
+        }
+    }
+    // Final singles pass (granularity == len is approximated above;
+    // this catches stragglers when len is small).
+    let mut i = 0;
+    while i < best.steps.len() {
+        if stats.evals >= max_evals {
+            return;
+        }
+        let mut candidate = best.clone();
+        candidate.steps.remove(i);
+        stats.evals += 1;
+        if fails(&candidate) {
+            *best = candidate;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn minimize_catalogs(
+    best: &mut Scenario,
+    fails: &mut dyn FnMut(&Scenario) -> bool,
+    max_evals: u64,
+    stats: &mut ShrinkStats,
+) {
+    for hall in 0..best.topology.catalogs.len() {
+        let mut i = 0;
+        while i < best.topology.catalogs[hall].len() {
+            if stats.evals >= max_evals {
+                return;
+            }
+            let mut candidate = best.clone();
+            candidate.topology.catalogs[hall].remove(i);
+            stats.evals += 1;
+            if fails(&candidate) {
+                *best = candidate;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::script::Op;
+
+    /// A synthetic predicate: "fails" iff the script still contains a
+    /// CrashBase for base 0 AND a Partition op. ddmin must reduce to
+    /// exactly those two steps.
+    #[test]
+    fn ddmin_reduces_to_the_failure_kernel() {
+        let sc = generate(11, &GenConfig::default());
+        let has_kernel = |s: &Scenario| {
+            let crash = s
+                .steps
+                .iter()
+                .any(|st| matches!(st.op, Op::CrashBase { base: 0 }));
+            let part = s
+                .steps
+                .iter()
+                .any(|st| matches!(st.op, Op::Partition { .. }));
+            crash && part
+        };
+        // Make sure the generated script actually has the kernel; if
+        // not, plant it.
+        let mut sc = sc;
+        if !has_kernel(&sc) {
+            sc.steps.push(crate::script::Step {
+                at_ms: 100,
+                op: Op::CrashBase { base: 0 },
+            });
+            sc.steps.push(crate::script::Step {
+                at_ms: 200,
+                op: Op::Partition { node: 0, base: 0 },
+            });
+        }
+        let mut pred = |s: &Scenario| has_kernel(s);
+        let (min, stats) = shrink(&sc, &mut pred, 10_000);
+        assert_eq!(min.steps.len(), 2, "kernel is two steps: {:?}", min.steps);
+        assert!(has_kernel(&min));
+        assert!(stats.evals > 0);
+        assert_eq!(stats.from_steps, sc.steps.len());
+        assert_eq!(stats.to_steps, 2);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let sc = generate(12, &GenConfig::default());
+        let mut pred1 = |s: &Scenario| s.steps.len() >= 3;
+        let mut pred2 = |s: &Scenario| s.steps.len() >= 3;
+        let (a, _) = shrink(&sc, &mut pred1, 10_000);
+        let (b, _) = shrink(&sc, &mut pred2, 10_000);
+        assert_eq!(a, b);
+        assert_eq!(a.steps.len(), 3);
+    }
+
+    #[test]
+    fn eval_budget_is_respected() {
+        let sc = generate(13, &GenConfig::default());
+        let mut evals = 0u64;
+        let mut pred = |_: &Scenario| {
+            evals += 1;
+            true
+        };
+        let (_, stats) = shrink(&sc, &mut pred, 5);
+        assert!(stats.evals <= 7, "close to the budget, got {}", stats.evals);
+    }
+}

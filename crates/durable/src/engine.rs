@@ -437,6 +437,18 @@ impl DurableEngine {
         self.since_snapshot = report.replayed;
         report.next_seq = next_seq;
 
+        // A corrupt record or a lost segment stays on disk, and replay
+        // always stops at the first anomaly — so without compaction the
+        // *next* recovery would stall at the same spot and silently
+        // discard everything committed after this one. Snapshot the
+        // recovered image immediately: the checkpoint supersedes the
+        // poisoned log and recovery stays idempotent.
+        if report.corrupt.is_some() || !report.missing_segments.is_empty() {
+            let recovered: Vec<&dyn Durable> =
+                states.iter().map(|s| &**s as &dyn Durable).collect();
+            self.checkpoint(&recovered);
+        }
+
         if let Some(sink) = &self.sink {
             sink.inc("durable.recover.count");
             sink.record("durable.recover_ms", start.elapsed().as_millis() as u64);
@@ -613,6 +625,46 @@ mod tests {
         let corrupt = report.corrupt.expect("corruption reported");
         assert_eq!(corrupt.offset, frame, "offset names the frame start");
         assert_eq!(restored.values, vec![1], "replay stopped before the flip");
+    }
+
+    /// Found by the chaos harness (seed 20): a corrupt record used to
+    /// stay on disk after recovery, so the *next* recovery stalled at
+    /// the same offset and silently dropped everything committed since.
+    /// Recovery must compact the poisoned log away.
+    #[test]
+    fn recovery_after_corruption_is_idempotent() {
+        let mut engine = DurableEngine::default();
+        let mut ledger = Ledger::default();
+        for v in [1, 2, 3] {
+            append_value(&mut engine, &mut ledger, v);
+        }
+        engine.commit();
+        let seg = engine.segments().pop().unwrap();
+        let frame = engine.disk().len(&seg) / 3;
+        assert!(engine.disk_mut().inject_bit_flip(&seg, frame + 6));
+
+        // First recovery: stops at the flip, keeps the prefix, and
+        // checkpoints it so the corrupt segment is gone.
+        let mut restored = Ledger::default();
+        let report = engine.recover(&mut [&mut restored]);
+        assert!(report.corrupt.is_some());
+        assert_eq!(restored.values, vec![1]);
+        assert!(
+            engine.segments().is_empty(),
+            "poisoned log compacted at recovery"
+        );
+
+        // Life goes on: new records commit after the recovery.
+        append_value(&mut engine, &mut restored, 9);
+        engine.commit();
+        engine.crash();
+
+        // Second recovery must see a clean image including the new
+        // record — not re-trip over the old corruption.
+        let mut again = Ledger::default();
+        let report = engine.recover(&mut [&mut again]);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(again.values, vec![1, 9]);
     }
 
     #[test]

@@ -172,6 +172,26 @@ impl AdaptationService {
         self.installed.contains_key(ext_id)
     }
 
+    /// Absolute lease deadline (sim-time ns) per installed extension,
+    /// sorted by id. Oracles use this to bound how long an extension
+    /// may outlive its lease: one sweep interval after the deadline the
+    /// sweep must have withdrawn it.
+    pub fn lease_deadlines(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .installed
+            .iter()
+            .map(|(id, inst)| (id.clone(), inst.lease.expires.0))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The lease-sweep period: the slack an oracle must grant before
+    /// calling a still-installed, lapsed extension a violation.
+    pub fn sweep_interval_ns(&self) -> u64 {
+        self.expiry_check_ns
+    }
+
     /// The node's advertised name.
     pub fn name(&self) -> &str {
         &self.name

@@ -1,0 +1,290 @@
+//! Lease-sweep cascade ordering (ISSUE 5 satellite).
+//!
+//! When a node departs, every lease it holds stops being renewed at
+//! once, so one expiry sweep withdraws *all* of its extensions — the
+//! paper's "immediately withdrawn from the system". The removal order
+//! is observable (unweave shutdown notifications, `Removed` reasons,
+//! journal events) and is part of the deterministic-replay contract:
+//! sweeps process expired ids in sorted order, cascades remove
+//! dependents before the extension they rely on, and implicit
+//! dependencies leave only after their last dependent.
+
+use pmp_crypto::{KeyPair, Principal};
+use pmp_discovery::Registrar;
+use pmp_midas::{
+    AdaptationService, BaseEvent, ExtensionBase, ExtensionMeta, ExtensionPackage, ReceiverEvent,
+    ReceiverPolicy, SignedExtension,
+};
+use pmp_net::prelude::*;
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod, Prose};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::prelude::*;
+
+fn noop_aspect(aspect_name: &str, class_name: &str) -> PortableAspect {
+    let mut body = MethodBuilder::new();
+    body.op(Op::Ret);
+    let class = PortableClass {
+        name: class_name.into(),
+        fields: vec![],
+        methods: vec![PortableMethod {
+            name: "onCall".into(),
+            params: vec![
+                "any".into(),
+                "str".into(),
+                "any".into(),
+                "any".into(),
+                "any".into(),
+            ],
+            ret: "any".into(),
+            body: body.build(),
+        }],
+    };
+    let aspect = Aspect::script(
+        aspect_name,
+        class,
+        vec![(
+            Crosscut::parse("before * Motor.*(..)").unwrap(),
+            "onCall".into(),
+            0,
+        )],
+    );
+    PortableAspect::try_from(&aspect).unwrap()
+}
+
+fn package(
+    id: &str,
+    requires: Vec<String>,
+    implicit: bool,
+    aspect: PortableAspect,
+) -> ExtensionPackage {
+    ExtensionPackage {
+        meta: ExtensionMeta {
+            id: id.into(),
+            version: 1,
+            description: format!("{id} extension"),
+            requires,
+            permissions: vec!["print".into()],
+            implicit,
+        },
+        aspect,
+    }
+}
+
+struct World {
+    sim: Simulator,
+    base_node: NodeId,
+    registrar: Registrar,
+    base: ExtensionBase,
+    robot_node: NodeId,
+    vm: Vm,
+    prose: Prose,
+    receiver: AdaptationService,
+    receiver_events: Vec<ReceiverEvent>,
+    base_events: Vec<BaseEvent>,
+    authority: KeyPair,
+}
+
+fn world() -> World {
+    let mut sim = Simulator::new(91);
+    sim.add_area("hall-a", Position::new(0.0, 0.0), Position::new(50.0, 50.0));
+    let base_node = sim.add_node("base:hall-a", Position::new(25.0, 25.0), 60.0);
+    let robot_node = sim.add_node("robot:1:1", Position::new(30.0, 25.0), 60.0);
+
+    let mut registrar = Registrar::new(base_node, "lookup:hall-a");
+    registrar.start(&mut sim);
+    let mut base = ExtensionBase::new(base_node, base_node);
+    base.start(&mut sim);
+
+    let authority = KeyPair::from_seed(b"authority:hall-a");
+    let mut policy = ReceiverPolicy::new();
+    policy
+        .trust
+        .add(Principal::new("authority:hall-a", authority.public_key()));
+    policy.set_signer_cap(
+        "authority:hall-a",
+        Permissions::none().with(Permission::Print),
+    );
+
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("Motor")
+            .method("rotate", [TypeSig::Int], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .done(),
+    )
+    .unwrap();
+    let prose = Prose::attach(&mut vm);
+    let mut receiver = AdaptationService::new(robot_node, "robot:1:1", policy);
+    receiver.start(&mut sim);
+
+    World {
+        sim,
+        base_node,
+        registrar,
+        base,
+        robot_node,
+        vm,
+        prose,
+        receiver,
+        receiver_events: Vec::new(),
+        base_events: Vec::new(),
+        authority,
+    }
+}
+
+impl World {
+    fn publish(&mut self, pkg: &ExtensionPackage) {
+        let sealed = SignedExtension::seal("authority:hall-a", &self.authority, pkg);
+        self.base.catalog.put(sealed);
+    }
+
+    fn pump(&mut self, ns: u64) {
+        let until = self.sim.now().plus(ns);
+        loop {
+            match self.sim.peek_next() {
+                Some(t) if t <= until => {
+                    self.sim.step();
+                }
+                _ => break,
+            }
+            for inc in self.sim.drain_inbox(self.base_node) {
+                self.registrar.handle(&mut self.sim, &inc);
+                self.base_events
+                    .extend(self.base.handle(&mut self.sim, &inc));
+            }
+            for inc in self.sim.drain_inbox(self.robot_node) {
+                self.receiver_events.extend(self.receiver.handle(
+                    &mut self.sim,
+                    &mut self.vm,
+                    &self.prose,
+                    &inc,
+                ));
+            }
+        }
+    }
+
+    fn removals(&self) -> Vec<(String, String)> {
+        self.receiver_events
+            .iter()
+            .filter_map(|e| match e {
+                ReceiverEvent::Removed { ext_id, reason } => {
+                    Some((ext_id.clone(), reason.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+const SEC: u64 = 1_000_000_000;
+
+/// Two dependents of one implicit dependency plus an unrelated
+/// extension, all lapsing in the same sweep. The sweep walks expired
+/// ids in sorted order, and the implicit dependency leaves only after
+/// its *last* dependent — with the bookkeeping reason, not a second
+/// "lease expired".
+#[test]
+fn simultaneous_departure_sweeps_in_sorted_order_and_releases_implicit_deps_last() {
+    let mut w = world();
+    w.publish(&package(
+        "hall-a/session",
+        vec![],
+        true,
+        noop_aspect("session", "SessionC1"),
+    ));
+    w.publish(&package(
+        "hall-a/access-a",
+        vec!["hall-a/session".into()],
+        false,
+        noop_aspect("access-a", "AccessCA"),
+    ));
+    w.publish(&package(
+        "hall-a/access-b",
+        vec!["hall-a/session".into()],
+        false,
+        noop_aspect("access-b", "AccessCB"),
+    ));
+    w.publish(&package(
+        "hall-a/zz-monitor",
+        vec![],
+        false,
+        noop_aspect("zz-monitor", "MonCZ"),
+    ));
+    w.pump(5 * SEC);
+    assert_eq!(
+        w.receiver.installed_ids(),
+        vec![
+            "hall-a/access-a",
+            "hall-a/access-b",
+            "hall-a/session",
+            "hall-a/zz-monitor"
+        ]
+    );
+    // The accessor the chaos oracle drives: one deadline per install,
+    // sorted, all in the future.
+    let now = w.sim.now().0;
+    let deadlines = w.receiver.lease_deadlines();
+    assert_eq!(deadlines.len(), 4);
+    assert!(deadlines.windows(2).all(|p| p[0].0 < p[1].0));
+    assert!(deadlines.iter().all(|(_, at)| *at > now));
+
+    // Depart: renewals stop, every lease lapses in the same window.
+    w.sim.move_node(w.robot_node, Position::new(500.0, 500.0));
+    w.pump(10 * SEC);
+
+    assert!(w.receiver.installed_ids().is_empty());
+    assert!(w.receiver.lease_deadlines().is_empty());
+    assert_eq!(
+        w.removals(),
+        vec![
+            ("hall-a/access-a".into(), "lease expired".into()),
+            ("hall-a/access-b".into(), "lease expired".into()),
+            ("hall-a/session".into(), "no longer required".into()),
+            ("hall-a/zz-monitor".into(), "lease expired".into()),
+        ]
+    );
+}
+
+/// When the dependency's id sorts *before* its dependent, the sweep
+/// reaches the dependency first and must cascade: the dependent goes
+/// first (it relies on the dependency) with a cascade reason, then the
+/// dependency itself with "lease expired" — and the dependent is not
+/// swept a second time.
+#[test]
+fn cascade_removes_dependents_before_the_expired_dependency() {
+    let mut w = world();
+    // Explicit (non-implicit) dependency whose id sorts first.
+    w.publish(&package(
+        "hall-a/a-core",
+        vec![],
+        false,
+        noop_aspect("a-core", "CoreC1"),
+    ));
+    w.publish(&package(
+        "hall-a/z-audit",
+        vec!["hall-a/a-core".into()],
+        false,
+        noop_aspect("z-audit", "AuditC1"),
+    ));
+    w.pump(5 * SEC);
+    assert_eq!(
+        w.receiver.installed_ids(),
+        vec!["hall-a/a-core", "hall-a/z-audit"]
+    );
+
+    w.sim.move_node(w.robot_node, Position::new(500.0, 500.0));
+    w.pump(10 * SEC);
+
+    assert!(w.receiver.installed_ids().is_empty());
+    assert_eq!(
+        w.removals(),
+        vec![
+            (
+                "hall-a/z-audit".into(),
+                "dependency hall-a/a-core removed".into()
+            ),
+            ("hall-a/a-core".into(), "lease expired".into()),
+        ]
+    );
+}

@@ -841,7 +841,9 @@ impl Vm {
                     return Err(VmError::link("entry hook fired with no dispatcher installed"));
                 };
                 self.telemetry.registry.inc(self.ids.advice_dispatches);
-                d.method_entry(self, mid, &this, &mut args)?;
+                catch_hook_panic("method_entry", || {
+                    d.method_entry(self, mid, &this, &mut args)
+                })?;
             }
             // Exit advice observes the (post-entry-advice) arguments;
             // keep a copy only when the exit hook is active.
@@ -887,7 +889,9 @@ impl Vm {
                 };
                 self.telemetry.registry.inc(self.ids.advice_dispatches);
                 let saved = exit_args.unwrap_or_default();
-                d.method_exit(self, mid, &this, &saved, &mut outcome)?;
+                catch_hook_panic("method_exit", || {
+                    d.method_exit(self, mid, &this, &saved, &mut outcome)
+                })?;
             }
         }
         match outcome {
@@ -938,7 +942,7 @@ impl Vm {
     ) -> Result<(), VmError> {
         if let Some(d) = self.dispatcher.clone() {
             self.telemetry.registry.inc(self.ids.advice_dispatches);
-            d.field_get(self, fid, obj, value)?;
+            catch_hook_panic("field_get", || d.field_get(self, fid, obj, value))?;
         }
         Ok(())
     }
@@ -951,7 +955,7 @@ impl Vm {
     ) -> Result<(), VmError> {
         if let Some(d) = self.dispatcher.clone() {
             self.telemetry.registry.inc(self.ids.advice_dispatches);
-            d.field_set(self, fid, obj, value)?;
+            catch_hook_panic("field_set", || d.field_set(self, fid, obj, value))?;
         }
         Ok(())
     }
@@ -963,7 +967,7 @@ impl Vm {
     ) -> Result<(), VmError> {
         if let Some(d) = self.dispatcher.clone() {
             self.telemetry.registry.inc(self.ids.advice_dispatches);
-            d.exception_throw(self, site, exc)?;
+            catch_hook_panic("exception_throw", || d.exception_throw(self, site, exc))?;
         }
         Ok(())
     }
@@ -975,7 +979,7 @@ impl Vm {
     ) -> Result<(), VmError> {
         if let Some(d) = self.dispatcher.clone() {
             self.telemetry.registry.inc(self.ids.advice_dispatches);
-            d.exception_catch(self, site, exc)?;
+            catch_hook_panic("exception_catch", || d.exception_catch(self, site, exc))?;
         }
         Ok(())
     }
@@ -990,6 +994,30 @@ impl Vm {
             }
         }
         None
+    }
+}
+
+/// Runs one dispatcher callback, converting an escaping panic into a
+/// [`VmError`] link fault. Advice is foreign code woven in at runtime;
+/// a bug in it must fault the intercepted call — observable, isolable
+/// by PROSE error policy — rather than unwind the interpreter and take
+/// the whole node down. The VM may be left mid-advice (depth counters,
+/// partially-applied effects); that is the same contract as any advice
+/// error, and the chaos harness leans on this totality.
+fn catch_hook_panic<R>(
+    site: &'static str,
+    f: impl FnOnce() -> Result<R, VmError>,
+) -> Result<R, VmError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(VmError::link(format!("{site} advice panicked: {msg}")))
+        }
     }
 }
 

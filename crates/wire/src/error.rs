@@ -7,6 +7,10 @@ pub enum WireError {
     UnexpectedEof {
         /// Byte offset at which the failed read started.
         offset: usize,
+        /// Number of bytes the read required.
+        needed: usize,
+        /// Number of bytes actually remaining.
+        have: usize,
     },
     /// A length prefix exceeded [`crate::MAX_LEN`].
     LengthTooLarge {
@@ -43,8 +47,15 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::UnexpectedEof { offset } => {
-                write!(f, "unexpected end of input at byte {offset}")
+            WireError::UnexpectedEof {
+                offset,
+                needed,
+                have,
+            } => {
+                write!(
+                    f,
+                    "unexpected end of input at byte {offset}: needed {needed} bytes, have {have}"
+                )
             }
             WireError::LengthTooLarge { declared } => {
                 write!(f, "declared length {declared} exceeds limit")

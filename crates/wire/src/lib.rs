@@ -136,7 +136,11 @@ mod tests {
         let bytes = to_bytes(&123456u32);
         assert!(matches!(
             from_bytes::<u32>(&bytes[..2]),
-            Err(WireError::UnexpectedEof { offset: 0 })
+            Err(WireError::UnexpectedEof {
+                offset: 0,
+                needed: 4,
+                have: 2,
+            })
         ));
     }
 

@@ -51,7 +51,11 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
-            return Err(WireError::UnexpectedEof { offset: self.pos });
+            return Err(WireError::UnexpectedEof {
+                offset: self.pos,
+                needed: n,
+                have: self.remaining(),
+            });
         }
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -199,7 +203,14 @@ mod tests {
         // string's payload, right after the 4-byte int + 1-byte length.
         let mut r = Reader::new(&bytes[..7]);
         r.get_u32().unwrap();
-        assert_eq!(r.get_str(), Err(WireError::UnexpectedEof { offset: 5 }));
+        assert_eq!(
+            r.get_str(),
+            Err(WireError::UnexpectedEof {
+                offset: 5,
+                needed: 6,
+                have: 2,
+            })
+        );
     }
 
     #[test]

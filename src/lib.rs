@@ -17,6 +17,7 @@
 //! ```
 
 pub use pmp_analyze as analyze;
+pub use pmp_chaos as chaos;
 pub use pmp_core as core;
 pub use pmp_crypto as crypto;
 pub use pmp_discovery as discovery;
