@@ -30,7 +30,90 @@ fn main() {
     e12_driver_scaling();
     e13_durability();
     e14_chaos();
+    e15_tracing_overhead();
     ablations();
+}
+
+/// E15 — DESIGN.md §13: wall-clock cost of causal tracing on the
+/// workloads it instruments. Envelopes always carry their 16 context
+/// bytes, so the two legs replay identical network events — the
+/// digests printed prove it — and the delta is purely the span
+/// mint/drain/collect machinery. Target: ≤3%.
+fn e15_tracing_overhead() {
+    println!("## E15 — tracing overhead: identical workloads, tracer off vs on (target ≤3%)");
+    println!();
+    // Row 1: the E2 hot path. Dispatch carries zero tracing
+    // instrumentation by design (interception is detected from the
+    // existing dispatch counter at epoch barriers), so the delta here
+    // is the regression guard for that claim.
+    let (mut d_off, mut d_on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        // Interleave the legs so drift (thermal, allocator layout)
+        // hits both; min-of-3 medians is the stable statistic for a
+        // pure-CPU microbench.
+        d_off = d_off.min(dispatch_overhead_ns(false));
+        d_on = d_on.min(dispatch_overhead_ns(true));
+    }
+    println!("| workload | off | on | overhead |");
+    println!("|---|---|---|---|");
+    println!(
+        "| E2 woven dispatch (ns/call) | {d_off:.0} | {d_on:.0} | {:+.1}% |",
+        (d_on / d_off - 1.0) * 100.0
+    );
+
+    // Rows 2–3: wall-clock workloads, interleaved best-of-5 per leg
+    // (single runs of these few-ms workloads swing by ±15%, and
+    // alternating legs keeps host-noise spikes from biasing one side).
+    let best_pair = |run: &dyn Fn(bool) -> TraceOverheadResult| {
+        let (mut off, mut on) = (run(false), run(true));
+        for _ in 0..4 {
+            let o = run(false);
+            let n = run(true);
+            assert_eq!(o.trace_digest, off.trace_digest, "E15 repeat diverged");
+            assert_eq!(n.trace_digest, on.trace_digest, "E15 repeat diverged");
+            if o.wall_ms < off.wall_ms {
+                off = o;
+            }
+            if n.wall_ms < on.wall_ms {
+                on = n;
+            }
+        }
+        (off, on)
+    };
+    let rows: [(&str, &dyn Fn(bool) -> TraceOverheadResult); 2] = [
+        ("E6 distribution (64 nodes, traced publish, ms)", &|on| {
+            distribution_overhead_run(64, on)
+        }),
+        ("worst case: every op traced (400 RPCs, ms)", &|on| {
+            traced_rpc_overhead_run(400, on)
+        }),
+    ];
+    for (label, run) in rows {
+        let (off, on) = best_pair(run);
+        assert_eq!(off.spans_retained, 0, "E15({label}): untraced leg minted spans");
+        assert!(on.spans_retained > 0, "E15({label}): traced leg traced nothing");
+        println!(
+            "| {label} | {:.1} | {:.1} | {:+.1}% ({} spans, digests {}) |",
+            off.wall_ms,
+            on.wall_ms,
+            (on.wall_ms / off.wall_ms - 1.0) * 100.0,
+            on.spans_retained,
+            if on.trace_digest == off.trace_digest {
+                "match"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+    println!();
+    println!(
+        "The worst-case row is the per-span cost ceiling, not a workload \
+         target: every ~20 µs operation mints an `rpc.call` root span \
+         that rides the WAL with full movement-record durability \
+         (~3 µs/span). The ≤3% target applies to the E2/E6 rows, where \
+         spans mint at adaptation events rather than per operation."
+    );
+    println!();
 }
 
 /// E1 — §4.6: "an overhead of about 7% (measured using a SPECjvm

@@ -647,6 +647,121 @@ pub fn recovery_run(records: usize) -> RecoveryResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// E15 — tracing overhead (identical workloads, tracer off vs on)
+// ---------------------------------------------------------------------
+
+/// Result of one E15 workload leg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceOverheadResult {
+    /// Wall-clock milliseconds for the workload.
+    pub wall_ms: f64,
+    /// Spans retained by the platform collector at the end — zero when
+    /// tracing is off, the proof that the traced leg actually traced.
+    pub spans_retained: usize,
+    /// Network trace digest: both legs must produce the same value,
+    /// since envelopes carry their 16 context bytes either way and the
+    /// link model therefore samples identically.
+    pub trace_digest: u64,
+}
+
+/// E15a — the E2 hot path under platform tracing: ns per woven
+/// `DrawingService.moveTo` dispatch on the adapted hall-A robot, with
+/// platform tracing off vs on. By design the dispatch path carries no
+/// tracing instrumentation — interception spans are detected from the
+/// existing dispatch counter at epoch barriers — so this row pins that
+/// claim: enabling tracing must not move per-dispatch cost.
+pub fn dispatch_overhead_ns(tracing: bool) -> f64 {
+    let mut w = pmp_core::scenario::ProductionHalls::build(97);
+    w.platform.set_tracing(tracing);
+    w.platform.pump(6 * SEC);
+    let node = w.platform.node_mut(w.robot);
+    // RPC dispatch sets the session caller before invoking the
+    // service; the access-control advice reads it. Same here.
+    *node.wiring.caller.lock() = "operator:1".to_string();
+    let svc = node.services["DrawingService"].clone();
+    // `position` reads through the same woven session/access-control
+    // advice as `moveTo` but leaves the canvas and outbox untouched,
+    // so per-call cost stays flat across the 16 samples.
+    measure_ns(5_000, || {
+        node.vm
+            .call("DrawingService", "position", svc.clone(), vec![])
+            .expect("woven dispatch");
+    })
+}
+
+/// E15c — the worst-case traced-operation stress row: every operation
+/// is a remote `moveTo` that mints its own `rpc.call` root span, so
+/// the full per-span cost (mint, barrier drain, flight-ring mirror,
+/// WAL append, collector absorb) lands on a ~20 µs baseline op. This
+/// is the *ceiling* of tracing cost, not a typical workload: spans
+/// ride the same WAL with the same durability as movement records.
+pub fn traced_rpc_overhead_run(calls: usize, tracing: bool) -> TraceOverheadResult {
+    let mut w = pmp_core::scenario::ProductionHalls::build(97);
+    w.platform.set_tracing(tracing);
+    w.platform.pump(6 * SEC);
+    let t0 = std::time::Instant::now();
+    for i in 0..calls {
+        w.platform.rpc(
+            w.base_a,
+            w.robot,
+            "operator:1",
+            "DrawingService",
+            "moveTo",
+            vec![(i % 20) as i64, 3],
+        );
+        w.platform.pump(SEC / 20);
+    }
+    TraceOverheadResult {
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        spans_retained: w.platform.collector_stats().0,
+        trace_digest: w.platform.trace_digest(),
+    }
+}
+
+/// E15b — the E6 distribution workload with a *traced* publish: one
+/// hall base publishes billing through the traced path, `n` devices
+/// adapt, and the wall clock covers the whole time-to-all-adapted
+/// loop (ship/verify/weave spans mint and drain when tracing is on).
+pub fn distribution_overhead_run(n: usize, tracing: bool) -> TraceOverheadResult {
+    let mut p = Platform::new(1000 + n as u64);
+    p.set_tracing(tracing);
+    p.add_area("hall", Position::new(0.0, 0.0), Position::new(100.0, 100.0));
+    let base = p.add_base("hall", Position::new(50.0, 50.0), 150.0);
+    p.publish_extension(base, &pmp_extensions::billing::package("* Motor.*(..)", 1, 1));
+
+    let cap = Permissions::none().with(Permission::Net);
+    let policy = p.trusting_policy(&[base], cap);
+    let mut ids: Vec<MobId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let angle = (i as f64) * std::f64::consts::TAU / (n as f64);
+        let pos = Position::new(50.0 + 30.0 * angle.cos(), 50.0 + 30.0 * angle.sin());
+        ids.push(
+            p.add_device(&format!("pda:{i}"), pos, 150.0, policy.clone())
+                .expect("device"),
+        );
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut elapsed = 0u64;
+    let step = SEC / 10;
+    while elapsed < 120 * SEC {
+        p.pump(step);
+        elapsed += step;
+        if ids
+            .iter()
+            .all(|id| p.node(*id).receiver.is_installed("ext/billing"))
+        {
+            break;
+        }
+    }
+    TraceOverheadResult {
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        spans_retained: p.collector_stats().0,
+        trace_digest: p.trace_digest(),
+    }
+}
+
 /// Crude timer: median wall-clock nanoseconds per iteration of `f`.
 pub fn measure_ns(iters: u32, mut f: impl FnMut()) -> f64 {
     // Warm-up.

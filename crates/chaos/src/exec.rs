@@ -52,6 +52,11 @@ pub struct RunReport {
     pub trace: u64,
     /// Journal digest (platform + per-node VM journals).
     pub journal: u64,
+    /// Span digest over every trace span the run produced.
+    pub span_digest: u64,
+    /// Per-node flight-recorder dumps (bases first, then mobiles, in
+    /// rank order) for the `.repro` artifact.
+    pub flight: Vec<(u32, Vec<pmp_trace::FlightEntry>)>,
     /// Invariant breaches, in observation order.
     pub violations: Vec<Violation>,
     /// Canonical end-of-run state, one line per fact.
@@ -143,6 +148,7 @@ fn build(sc: &Scenario, driver: DriverKind) -> World {
         })),
     }
     p.sim.trace.set_logging(true);
+    p.set_tracing(true);
 
     let halls = usize::from(t.halls.max(1));
     let mut bases = Vec::with_capacity(halls);
@@ -478,10 +484,14 @@ pub fn run(sc: &Scenario, driver: DriverKind) -> RunReport {
     }
 
     let observables = observables(&mut w);
+    let span_digest = w.p.span_digest();
+    let flight = w.p.flight_dump();
     RunReport {
         driver: driver.name(),
         trace: w.p.trace_digest(),
         journal: w.p.journal_digest(),
+        span_digest,
+        flight,
         violations: w.violations,
         observables,
         aborted: w.aborted,
@@ -519,6 +529,16 @@ pub fn run_cross(sc: &Scenario) -> CrossReport {
             ),
         });
     }
+    if serial.span_digest != parallel.span_digest {
+        violations.push(Violation {
+            invariant: "cross-driver",
+            at_ms: end_ms,
+            detail: format!(
+                "span digest diverged: serial {:#018x} vs parallel {:#018x}",
+                serial.span_digest, parallel.span_digest
+            ),
+        });
+    }
     if serial.observables != parallel.observables {
         let detail = serial
             .observables
@@ -535,14 +555,24 @@ pub fn run_cross(sc: &Scenario) -> CrossReport {
             detail,
         });
     }
-    if serial.violations != parallel.violations {
+    // Perf-SLO oracles read wall-clock histograms, so their outcomes
+    // may legitimately differ between the two runs; every other oracle
+    // must agree exactly.
+    let sv: Vec<_> = serial
+        .violations
+        .iter()
+        .filter(|v| !v.invariant.starts_with("perf."))
+        .collect();
+    let pv: Vec<_> = parallel
+        .violations
+        .iter()
+        .filter(|v| !v.invariant.starts_with("perf."))
+        .collect();
+    if sv != pv {
         violations.push(Violation {
             invariant: "cross-driver",
             at_ms: end_ms,
-            detail: format!(
-                "oracle outcomes diverged: serial {:?} vs parallel {:?}",
-                serial.violations, parallel.violations
-            ),
+            detail: format!("oracle outcomes diverged: serial {sv:?} vs parallel {pv:?}"),
         });
     }
     CrossReport {

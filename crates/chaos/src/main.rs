@@ -163,8 +163,15 @@ fn main() {
             );
             print!("{}", min.render());
             if let Some(dir) = &args.write_repro {
+                // Re-run the minimized scenario once to capture the
+                // flight-recorder dumps at the moment of failure, so
+                // the artifact carries what each node saw (v2 format).
+                let flight = catch_unwind(AssertUnwindSafe(|| {
+                    exec::run(&min, args.driver.unwrap_or(DriverKind::Serial)).flight
+                }))
+                .unwrap_or_default();
                 let file = format!("{dir}/seed-{seed}.repro");
-                match std::fs::write(&file, repro::save(&min)) {
+                match std::fs::write(&file, repro::save_with_flight(&min, &flight)) {
                     Ok(()) => println!("  wrote {file}"),
                     Err(e) => println!("  could not write {file}: {e}"),
                 }

@@ -15,6 +15,13 @@
 //! | `conservation`   | installed − removed counters == Σ live installs       |
 //! | `grant-catalog`  | every lease-table grant names a catalogued extension  |
 //! | `recover-panic`  | `recover()` never panics, even on a corrupt image     |
+//! | `perf.adapt-p99` | verify/weave p99 stays under a generous wall ceiling  |
+//! | `trace.ring-growth` | flight rings and the collector never exceed caps   |
+//!
+//! The `perf.*` oracles read wall-clock histograms, so they are the one
+//! family the cross-driver comparison ignores (the executor filters
+//! them out of the serial-vs-parallel violation diff); everything else
+//! is pure sim-state and must agree byte for byte.
 //!
 //! `durable-digest` compares against the digest captured after the
 //! pre-crash `commit()` the executor forces, so it asserts equality of
@@ -97,6 +104,67 @@ pub fn check_barrier(
     departure_revocation(p, bases, nodes, st, now_ms, out);
     conservation(p, nodes, now_ms, out);
     grant_catalog(p, bases, now_ms, out);
+    adapt_latency_slo(p, now_ms, out);
+    ring_growth(p, now_ms, out);
+}
+
+/// Wall-clock ceiling for the `perf.adapt-p99` oracle: verify and
+/// weave are microsecond-scale operations, so a p99 past a quarter
+/// second means the platform is pathologically slow, not merely a
+/// noisy host.
+const ADAPT_P99_CEILING_NS: u64 = 250_000_000;
+
+/// `perf.adapt-p99`: the 99th-percentile wall-clock latency of the
+/// receiver's verify and weave stages stays under a deliberately
+/// generous ceiling. Unlike every other oracle this reads real time,
+/// so the executor excludes `perf.*` breaches from the cross-driver
+/// violation comparison.
+fn adapt_latency_slo(p: &Platform, now_ms: u64, out: &mut Vec<Violation>) {
+    for name in ["midas.receiver.verify_ns", "midas.receiver.weave_ns"] {
+        let sample = p.telemetry().with(|t| {
+            t.registry
+                .histogram_by_name(name)
+                .map(|h| (h.count(), h.p99()))
+        });
+        if let Some((count, p99)) = sample {
+            if count > 0 && p99 > ADAPT_P99_CEILING_NS {
+                out.push(Violation {
+                    invariant: "perf.adapt-p99",
+                    at_ms: now_ms,
+                    detail: format!(
+                        "{name}: p99 {}µs over {} samples exceeds {}ms ceiling",
+                        p99 / 1_000,
+                        count,
+                        ADAPT_P99_CEILING_NS / 1_000_000
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `trace.ring-growth`: tracing memory is strictly bounded — every
+/// flight ring holds at most its capacity and the collector never
+/// retains more spans than its cap. A breach means the eviction logic
+/// regressed and tracing could grow without bound on a long run.
+fn ring_growth(p: &Platform, now_ms: u64, out: &mut Vec<Violation>) {
+    for (node, len, cap) in p.flight_stats() {
+        if len > cap {
+            out.push(Violation {
+                invariant: "trace.ring-growth",
+                at_ms: now_ms,
+                detail: format!("node {node}: flight ring holds {len} entries, cap {cap}"),
+            });
+        }
+    }
+    let (retained, cap) = p.collector_stats();
+    if retained > cap {
+        out.push(Violation {
+            invariant: "trace.ring-growth",
+            at_ms: now_ms,
+            detail: format!("collector retains {retained} spans, cap {cap}"),
+        });
+    }
 }
 
 /// `lease-liveness`: every installed extension's lease deadline is in

@@ -26,6 +26,7 @@ use pmp_midas::ReceiverEvent;
 use pmp_net::{ClockHandle, Incoming, NetPort, NodeId, PortBuf, SimTime, TimedIncoming};
 use pmp_store::MovementRecord;
 use pmp_telemetry::{Shared, Sink};
+use pmp_trace::{Traced, Tracer};
 use pmp_vm::prelude::{Value, VmError};
 use std::sync::Arc;
 
@@ -38,6 +39,10 @@ pub(crate) struct CellState {
     pub(crate) clock: ClockHandle,
     pub(crate) port: PortBuf,
     pub(crate) sink: Sink,
+    /// The cell's span factory + flight recorder (see `pmp-trace`).
+    /// Cloned into the stack's components; spans are drained at the
+    /// epoch barrier in rank order.
+    pub(crate) tracer: Tracer,
 }
 
 impl CellState {
@@ -50,6 +55,7 @@ impl CellState {
             port: PortBuf::new(node, clock.clone()),
             clock,
             sink,
+            tracer: Tracer::new(node.0),
         }
     }
 
@@ -88,7 +94,13 @@ impl NodeCell<'_> {
                     dispatch_base(station, &mut self.state.port, &mut self.rpc, &item.incoming);
                 }
                 CellBody::Mobile(node) => {
-                    dispatch_mobile(node, &mut self.state.port, &mut self.rpc, &item.incoming);
+                    dispatch_mobile(
+                        node,
+                        &mut self.state.port,
+                        &mut self.rpc,
+                        &item.incoming,
+                        Some(&self.state.tracer),
+                    );
                 }
             }
         }
@@ -211,6 +223,7 @@ pub(crate) fn dispatch_mobile(
     port: &mut PortBuf,
     rpc: &mut Vec<RpcOutcome>,
     inc: &Incoming,
+    tracer: Option<&Tracer>,
 ) {
     let evs = node
         .receiver
@@ -222,6 +235,11 @@ pub(crate) fn dispatch_mobile(
     }
     node.events.extend(evs);
     handle_node_channels(node, port, rpc, inc);
+    // Any advice dispatch this event caused closes armed
+    // first-interception watches (the `midas.intercept` leaf span).
+    if let Some(t) = tracer {
+        t.poll_interception(port.now().0, node.vm.stats().advice_dispatches);
+    }
     flush_outbox(node, port);
 }
 
@@ -238,7 +256,11 @@ fn handle_base_app(
         return;
     };
     if &**channel == RPC_CHANNEL {
-        if let Ok(RpcMsg::Reply { req, ok, value }) = pmp_wire::from_bytes::<RpcMsg>(payload) {
+        if let Ok(Traced {
+            msg: RpcMsg::Reply { req, ok, value },
+            ..
+        }) = pmp_wire::from_bytes::<Traced<RpcMsg>>(payload)
+        {
             rpc.push(RpcOutcome { req, ok, value });
         }
         return;
@@ -314,10 +336,11 @@ fn handle_node_channels(
     if &**channel != RPC_CHANNEL {
         return;
     }
-    let Ok(msg) = pmp_wire::from_bytes::<RpcMsg>(payload) else {
+    let Ok(env) = pmp_wire::from_bytes::<Traced<RpcMsg>>(payload) else {
         return;
     };
-    match msg {
+    let ctx = env.ctx;
+    match env.msg {
         RpcMsg::Call {
             caller,
             class,
@@ -348,7 +371,7 @@ fn handle_node_channels(
                     value: e.to_string(),
                 },
             };
-            port.send(node.node, *from, RPC_CHANNEL, pmp_wire::to_bytes(&reply));
+            port.send(node.node, *from, RPC_CHANNEL, ctx.wrap(&reply));
         }
         RpcMsg::Reply { req, ok, value } => {
             rpc.push(RpcOutcome { req, ok, value });

@@ -213,6 +213,10 @@ pub struct BaseStation {
     /// The storage engine under this base: movement log + extension
     /// base state are WAL'd through it and survive a crash.
     pub durable: DurableHub,
+    /// Bounded ring of recent spans and events observed at this base
+    /// (the flight recorder), WAL'd so a post-crash `.repro` still
+    /// carries the moments before the fault.
+    pub flight: pmp_trace::FlightRecorder,
     /// Set while the base is down (between [`crate::Platform::crash_base`]
     /// and [`crate::Platform::restart_base`]); a crashed base receives
     /// no traffic.
@@ -262,6 +266,7 @@ impl BaseStation {
             mirrors: HashMap::new(),
             events: Vec::new(),
             durable,
+            flight: pmp_trace::FlightRecorder::new(pmp_trace::DEFAULT_FLIGHT_CAP),
             crashed: false,
             authority: KeyPair::from_seed(authority_seed),
             principal_name: format!("authority:{name}"),
@@ -279,18 +284,42 @@ impl BaseStation {
         self.store.append(record);
     }
 
-    /// Snapshots the base's durable state (movement log + extension
-    /// base) and compacts the WAL.
-    pub fn checkpoint(&mut self) {
-        let hub = self.durable.clone();
-        hub.checkpoint(&[&self.store, &self.base]);
+    /// Appends one span or journal event to the flight recorder,
+    /// WAL-logged so the ring survives a crash (a batch of one; see
+    /// [`BaseStation::note_flight_batch`]).
+    pub fn note_flight(&mut self, entry: pmp_trace::FlightEntry) {
+        self.note_flight_batch(vec![entry]);
     }
 
-    /// Recovers the movement store and extension base from the storage
-    /// engine's committed image.
+    /// Appends an epoch's worth of flight entries as **one** WAL
+    /// record, mirroring the engine's group-commit discipline: per-span
+    /// framing cost is paid once per node per barrier, not per span.
+    /// Flight records are also weightless — they commit and replay like
+    /// any other record but never advance the snapshot cadence, so
+    /// trace chatter cannot force extra full-state snapshots.
+    pub fn note_flight_batch(&mut self, entries: Vec<pmp_trace::FlightEntry>) {
+        if entries.is_empty() {
+            return;
+        }
+        self.durable
+            .append_weightless(pmp_trace::FLIGHT_NAMESPACE, pmp_wire::to_bytes(&entries));
+        for entry in entries {
+            self.flight.record(entry);
+        }
+    }
+
+    /// Snapshots the base's durable state (movement log + extension
+    /// base + flight recorder) and compacts the WAL.
+    pub fn checkpoint(&mut self) {
+        let hub = self.durable.clone();
+        hub.checkpoint(&[&self.store, &self.base, &self.flight]);
+    }
+
+    /// Recovers the movement store, extension base, and flight recorder
+    /// from the storage engine's committed image.
     pub fn recover(&mut self) -> RecoverReport {
         let hub = self.durable.clone();
-        hub.recover(&mut [&mut self.store, &mut self.base])
+        hub.recover(&mut [&mut self.store, &mut self.base, &mut self.flight])
     }
 
     /// A stable digest over the base's durable state — compare across
@@ -299,6 +328,7 @@ impl BaseStation {
         let mut h = pmp_telemetry::Fnv64::new();
         h.write_u64(self.store.state_digest());
         h.write_u64(self.base.state_digest());
+        h.write_u64(self.flight.state_digest());
         h.finish()
     }
 

@@ -62,6 +62,10 @@ pub struct Platform {
     rpc_outcomes: Vec<RpcOutcome>,
     telemetry: pmp_telemetry::Shared,
     driver: Box<dyn Driver>,
+    /// Base-tier span collector, fed from every cell tracer at epoch
+    /// barriers (see `pmp-trace`).
+    collector: pmp_trace::Collector,
+    tracing: bool,
 }
 
 impl std::fmt::Debug for Platform {
@@ -97,7 +101,25 @@ impl Platform {
             rpc_outcomes: Vec::new(),
             telemetry,
             driver: crate::driver::driver_from_env(),
+            collector: pmp_trace::Collector::default(),
+            tracing: false,
         }
+    }
+
+    /// Turns causal span tracing on or off for every node cell. Off by
+    /// default: contexts still travel in the wire envelopes (16 nil
+    /// bytes), but no spans are minted and the collector stays empty.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        for cell in self.base_cells.iter().chain(&self.node_cells) {
+            cell.tracer.set_enabled(on);
+        }
+    }
+
+    /// Whether span tracing is enabled.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     /// Installs the epoch driver (serial is the default; `PMP_DRIVER=parallel`
@@ -157,6 +179,8 @@ impl Platform {
             .attach_sink(pmp_telemetry::Sink::direct(&self.telemetry));
         station.registrar.attach_sink(cell.sink.clone());
         station.base.attach_sink(cell.sink.clone());
+        station.base.attach_tracer(cell.tracer.clone());
+        cell.tracer.set_enabled(self.tracing);
         station.registrar.start(&mut self.sim);
         station.base.start(&mut self.sim);
         self.bases.push(station);
@@ -198,6 +222,7 @@ impl Platform {
         let cell = &self.base_cells[id.0];
         station.registrar.attach_sink(cell.sink.clone());
         station.base.attach_sink(cell.sink.clone());
+        station.base.attach_tracer(cell.tracer.clone());
         station.registrar.start(&mut self.sim);
         station.base.start(&mut self.sim);
         self.bases[id.0] = station;
@@ -239,6 +264,8 @@ impl Platform {
         let cell = CellState::new(node, self.sim.now(), &self.telemetry);
         let mut mobile = MobileNode::build(node, name, policy, cell.clock_fn(), with_robot)?;
         mobile.receiver.attach_sink(cell.sink.clone());
+        mobile.receiver.attach_tracer(cell.tracer.clone());
+        cell.tracer.set_enabled(self.tracing);
         mobile.receiver.start(&mut self.sim);
         self.nodes.push(mobile);
         self.node_cells.push(cell);
@@ -314,9 +341,21 @@ impl Platform {
             "midas.sign",
             format!("{} by {}", pkg.meta.id, sealed.signer()),
         );
+        // The adaptation's trace roots here: publish → sign, then the
+        // base mints one ship child per delivery, the receivers verify/
+        // weave children of those, and the first interception closes it.
+        let now = self.sim.now().0;
+        let tracer = &self.base_cells[base.0].tracer;
+        let root = tracer.root(now, "midas.publish", &pkg.meta.id);
+        let sign_ctx = tracer.child(
+            root,
+            now,
+            "midas.sign",
+            &format!("{} by {}", pkg.meta.id, sealed.signer()),
+        );
         self.bases[base.0]
             .base
-            .update_extension(&mut self.sim, sealed);
+            .update_extension_traced(&mut self.sim, sealed, sign_ctx);
     }
 
     /// Revokes an extension hall-wide: removed from the catalog and
@@ -372,7 +411,12 @@ impl Platform {
         };
         let from = self.bases[base.0].node;
         let to = self.nodes[target.0].node;
-        self.sim.send(from, to, RPC_CHANNEL, pmp_wire::to_bytes(&msg));
+        let ctx = self.base_cells[base.0].tracer.root(
+            self.sim.now().0,
+            "rpc.call",
+            &format!("{class}.{method} -> n{}", to.0),
+        );
+        self.sim.send(from, to, RPC_CHANNEL, ctx.wrap(&msg));
         req
     }
 
@@ -403,9 +447,10 @@ impl Platform {
         for cell in self.base_cells.iter().chain(&self.node_cells) {
             cell.clock.set(now);
         }
-        // Pump end is a quiescent barrier: commit anything appended by
-        // direct calls since the last epoch, and take any snapshot the
-        // engine's record budget asks for.
+        // Pump end is a quiescent barrier: drain spans minted by direct
+        // calls since the last epoch, commit anything appended, and
+        // take any snapshot the engine's record budget asks for.
+        self.drain_spans_now();
         for station in &mut self.bases {
             if station.crashed {
                 continue;
@@ -479,6 +524,7 @@ impl Platform {
             rpc_outcomes,
             telemetry,
             driver,
+            collector,
             ..
         } = self;
 
@@ -543,6 +589,10 @@ impl Platform {
             rpc_outcomes.append(&mut cell.rpc);
         }
         drop(cells);
+        // Spans drain in rank order (bases first) into the collector;
+        // base spans are mirrored into the durable flight ring before
+        // the commit below so they ride the same group fsync.
+        drain_spans(collector, bases, base_cells, node_cells);
         // Group-commit each live base's WAL appends at the epoch
         // barrier: one simulated fsync per base per epoch, and the same
         // batch boundaries under either driver.
@@ -553,6 +603,124 @@ impl Platform {
         }
         // Journal events: same (time, rank, seq) merge.
         flush_cell_events(telemetry, base_cells, node_cells);
+    }
+
+    /// Drains every cell tracer into the collector immediately (the
+    /// same thing epoch barriers do; needed before reading traces when
+    /// spans were minted by direct calls since the last pump).
+    fn drain_spans_now(&mut self) {
+        let Platform {
+            bases,
+            base_cells,
+            node_cells,
+            collector,
+            ..
+        } = self;
+        drain_spans(collector, bases, base_cells, node_cells);
+    }
+
+    /// The span collector (drained up to date). Trace ids, trees, and
+    /// critical paths read off this.
+    pub fn collector(&mut self) -> &pmp_trace::Collector {
+        self.drain_spans_now();
+        &self.collector
+    }
+
+    /// Stable order-independent digest over every retained span — the
+    /// cross-driver trace-equality check.
+    #[must_use]
+    pub fn span_digest(&mut self) -> u64 {
+        self.drain_spans_now();
+        self.collector.digest()
+    }
+
+    /// One trace rendered as an indented tree.
+    #[must_use]
+    pub fn render_trace(&mut self, trace_id: u64) -> String {
+        self.drain_spans_now();
+        self.collector.render_tree(trace_id)
+    }
+
+    /// Every retained trace rendered as an indented tree, in trace-id
+    /// order (canonical — no map-iteration order leaks in).
+    #[must_use]
+    pub fn render_traces(&mut self) -> String {
+        self.drain_spans_now();
+        let mut out = String::new();
+        for id in self.collector.trace_ids() {
+            out.push_str(&self.collector.render_tree(id));
+        }
+        out
+    }
+
+    /// One trace's critical path with per-hop latencies.
+    #[must_use]
+    pub fn render_critical_path(&mut self, trace_id: u64) -> String {
+        self.drain_spans_now();
+        self.collector.render_critical_path(trace_id)
+    }
+
+    /// Every node's flight ring, `(node id, entries oldest first)` —
+    /// bases (their durable rings) then mobiles, in rank order. This is
+    /// what chaos `.repro` artifacts attach.
+    #[must_use]
+    pub fn flight_dump(&mut self) -> Vec<(u32, Vec<pmp_trace::FlightEntry>)> {
+        self.drain_spans_now();
+        let mut out = Vec::new();
+        for station in &self.bases {
+            out.push((station.node.0, station.flight.snapshot()));
+        }
+        for (node, cell) in self.nodes.iter().zip(&self.node_cells) {
+            out.push((node.node.0, cell.tracer.flight_snapshot()));
+        }
+        out
+    }
+
+    /// Per-node `(node id, retained, capacity)` of every flight ring —
+    /// the ring-growth oracle's raw numbers.
+    #[must_use]
+    pub fn flight_stats(&self) -> Vec<(u32, usize, usize)> {
+        let mut out = Vec::new();
+        for station in &self.bases {
+            out.push((station.node.0, station.flight.len(), station.flight.cap()));
+        }
+        for (node, cell) in self.nodes.iter().zip(&self.node_cells) {
+            let (len, cap, _) = cell.tracer.flight_stats();
+            out.push((node.node.0, len, cap));
+        }
+        out
+    }
+
+    /// `(retained spans, cap)` of the collector.
+    #[must_use]
+    pub fn collector_stats(&self) -> (usize, usize) {
+        (self.collector.retained(), self.collector.cap())
+    }
+}
+
+/// Drains every cell tracer in rank order (bases first, then mobiles)
+/// into the collector, mirroring base spans into their durable flight
+/// rings on the way.
+fn drain_spans(
+    collector: &mut pmp_trace::Collector,
+    bases: &mut [BaseStation],
+    base_cells: &[CellState],
+    node_cells: &[CellState],
+) {
+    for (station, cell) in bases.iter_mut().zip(base_cells) {
+        let spans = cell.tracer.drain();
+        if !station.crashed && !spans.is_empty() {
+            station.note_flight_batch(
+                spans
+                    .iter()
+                    .map(|s| pmp_trace::FlightEntry::Span(s.clone()))
+                    .collect(),
+            );
+        }
+        collector.absorb(spans);
+    }
+    for cell in node_cells {
+        collector.absorb(cell.tracer.drain());
     }
 }
 

@@ -195,7 +195,7 @@ impl DiscoveryClient {
             lease_ns,
             req,
         };
-        sim.send(self.node, registrar, CHANNEL, pmp_wire::to_bytes(&msg));
+        sim.send(self.node, registrar, CHANNEL, pmp_trace::TraceCtx::NIL.wrap(&msg));
         self.ensure_renew_timer(sim);
         req
     }
@@ -209,7 +209,7 @@ impl DiscoveryClient {
         {
             let reg = self.registrations.remove(idx);
             let msg = DiscoveryMsg::Cancel { service };
-            sim.send(self.node, reg.registrar, CHANNEL, pmp_wire::to_bytes(&msg));
+            sim.send(self.node, reg.registrar, CHANNEL, pmp_trace::TraceCtx::NIL.wrap(&msg));
         }
     }
 
@@ -219,7 +219,7 @@ impl DiscoveryClient {
         self.count("discovery.client.lookups_sent");
         let req = self.fresh_req();
         let msg = DiscoveryMsg::Lookup { query, req };
-        sim.send(self.node, registrar, CHANNEL, pmp_wire::to_bytes(&msg));
+        sim.send(self.node, registrar, CHANNEL, pmp_trace::TraceCtx::NIL.wrap(&msg));
         req
     }
 
@@ -243,8 +243,8 @@ impl DiscoveryClient {
                 payload,
                 ..
             } if &**channel == CHANNEL => {
-                if let Ok(msg) = pmp_wire::from_bytes::<DiscoveryMsg>(payload) {
-                    self.handle_msg(sim, *from, msg, &mut events);
+                if let Ok(env) = pmp_wire::from_bytes::<pmp_trace::Traced<DiscoveryMsg>>(payload) {
+                    self.handle_msg(sim, *from, env.msg, &mut events);
                 }
             }
             _ => {}
@@ -331,7 +331,7 @@ impl DiscoveryClient {
                     lease_ns: reg.lease_ns,
                     req: reg.req,
                 };
-                sim.send(self.node, reg.registrar, CHANNEL, pmp_wire::to_bytes(&msg));
+                sim.send(self.node, reg.registrar, CHANNEL, pmp_trace::TraceCtx::NIL.wrap(&msg));
                 continue;
             };
             // Two unanswered renewals ⇒ the registrar is unreachable and
@@ -343,7 +343,7 @@ impl DiscoveryClient {
             reg.outstanding += 1;
             let req = 0; // renewals correlate by service id
             let msg = DiscoveryMsg::Renew { service, req };
-            sim.send(self.node, reg.registrar, CHANNEL, pmp_wire::to_bytes(&msg));
+            sim.send(self.node, reg.registrar, CHANNEL, pmp_trace::TraceCtx::NIL.wrap(&msg));
         }
         for idx in lost.into_iter().rev() {
             let reg = self.registrations.remove(idx);

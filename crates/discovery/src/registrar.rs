@@ -5,6 +5,7 @@ use crate::proto::{DiscoveryMsg, CHANNEL};
 use crate::service::{ServiceId, ServiceItem};
 use pmp_net::{Incoming, NetPort, NodeId, SimTime};
 use pmp_telemetry::{Shared, Sink};
+use pmp_trace::{TraceCtx, Traced};
 use std::collections::HashMap;
 
 const ANNOUNCE_TAG: &str = "disc.announce";
@@ -108,7 +109,7 @@ impl Registrar {
         let msg = DiscoveryMsg::Announce {
             name: self.name.clone(),
         };
-        sim.broadcast(self.node, CHANNEL, pmp_wire::to_bytes(&msg));
+        sim.broadcast(self.node, CHANNEL, TraceCtx::NIL.wrap(&msg));
     }
 
     /// Number of live registrations.
@@ -162,16 +163,16 @@ impl Registrar {
                 payload,
                 ..
             } if &**channel == CHANNEL => {
-                let Ok(msg) = pmp_wire::from_bytes::<DiscoveryMsg>(payload) else {
+                let Ok(env) = pmp_wire::from_bytes::<Traced<DiscoveryMsg>>(payload) else {
                     return; // malformed traffic is dropped
                 };
-                self.handle_msg(sim, *from, msg);
+                self.handle_msg(sim, *from, env.msg, env.ctx);
             }
             _ => {}
         }
     }
 
-    fn handle_msg(&mut self, sim: &mut dyn NetPort, from: NodeId, msg: DiscoveryMsg) {
+    fn handle_msg(&mut self, sim: &mut dyn NetPort, from: NodeId, msg: DiscoveryMsg, ctx: TraceCtx) {
         let now = sim.now();
         match msg {
             DiscoveryMsg::Register {
@@ -193,7 +194,7 @@ impl Registrar {
                     lease_ns,
                     req,
                 };
-                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&reply));
+                sim.send(self.node, from, CHANNEL, ctx.wrap(&reply));
             }
             DiscoveryMsg::Renew { service, req } => {
                 self.count("discovery.registrar.renewals");
@@ -210,7 +211,7 @@ impl Registrar {
                     }
                 }
                 let reply = DiscoveryMsg::RenewAck { service, ok, req };
-                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&reply));
+                sim.send(self.node, from, CHANNEL, ctx.wrap(&reply));
             }
             DiscoveryMsg::Cancel { service } => {
                 if let Some((item, _)) = self.services.remove(&service) {
@@ -232,7 +233,7 @@ impl Registrar {
                 // reply payload, so hash order would be byte-observable.
                 items.sort_by(|a, b| (&a.name, a.provider).cmp(&(&b.name, b.provider)));
                 let reply = DiscoveryMsg::LookupResult { items, req };
-                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&reply));
+                sim.send(self.node, from, CHANNEL, ctx.wrap(&reply));
             }
             // Client-bound messages are ignored by the registrar.
             DiscoveryMsg::Announce { .. }

@@ -151,6 +151,7 @@ pub struct DurableEngine {
     segment: u64,
     segment_len: usize,
     buffered: Vec<WalRecord>,
+    buffered_weightless: u64,
     since_snapshot: u64,
     sink: Option<Sink>,
 }
@@ -172,6 +173,7 @@ impl DurableEngine {
             segment: 1,
             segment_len: 0,
             buffered: Vec::new(),
+            buffered_weightless: 0,
             since_snapshot: 0,
             sink: None,
         }
@@ -230,6 +232,16 @@ impl DurableEngine {
         seq
     }
 
+    /// Like [`DurableEngine::append`], but the record does not advance
+    /// the snapshot cadence. For high-rate bounded diagnostics (the
+    /// trace flight ring): the record still commits, replays, and is
+    /// compacted away by checkpoints, but its chatter never forces an
+    /// extra full-state snapshot of its own.
+    pub fn append_weightless(&mut self, ns: &str, payload: Vec<u8>) -> u64 {
+        self.buffered_weightless += 1;
+        self.append(ns, payload)
+    }
+
     /// Group commit: frames every buffered record into the log and
     /// issues a single sync. Returns the batch size (0 = no-op).
     pub fn commit(&mut self) -> usize {
@@ -249,7 +261,7 @@ impl DurableEngine {
             self.segment_len += frame.len();
         }
         self.disk.sync();
-        self.since_snapshot += n as u64;
+        self.since_snapshot += n as u64 - std::mem::take(&mut self.buffered_weightless);
         if let Some(sink) = &self.sink {
             sink.inc("durable.wal.commits");
             sink.record("durable.commit.batch", n as u64);
@@ -317,6 +329,7 @@ impl DurableEngine {
     /// unsynced disk bytes vanish. The committed image survives.
     pub fn crash(&mut self) {
         self.buffered.clear();
+        self.buffered_weightless = 0;
         self.disk.crash();
     }
 
@@ -326,6 +339,7 @@ impl DurableEngine {
         let start = Instant::now();
         let mut report = RecoverReport::default();
         self.buffered.clear();
+        self.buffered_weightless = 0;
         self.disk.crash();
 
         // Newest snapshot that reads back clean wins; corrupt ones are
@@ -738,6 +752,33 @@ mod tests {
         assert!(engine.should_checkpoint());
         engine.checkpoint(&[&ledger]);
         assert!(!engine.should_checkpoint());
+    }
+
+    #[test]
+    fn weightless_appends_commit_and_replay_without_advancing_cadence() {
+        let mut engine = DurableEngine::new(EngineConfig {
+            segment_bytes: 8192,
+            snapshot_every: 2,
+        });
+        let mut ledger = Ledger::default();
+        // Two weightless records commit fine but leave the hint cold.
+        for v in [1u64, 2] {
+            ledger.values.push(v);
+            engine.append_weightless("test.ledger", pmp_wire::to_bytes(&v));
+        }
+        assert_eq!(engine.commit(), 2);
+        assert!(!engine.should_checkpoint(), "weightless records trip no checkpoint");
+        // A weighted pair still trips it as before.
+        append_value(&mut engine, &mut ledger, 3);
+        append_value(&mut engine, &mut ledger, 4);
+        engine.commit();
+        assert!(engine.should_checkpoint());
+        // Durability is unaffected: everything replays.
+        engine.crash();
+        let mut restored = Ledger::default();
+        let report = engine.recover(&mut [&mut restored]);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(restored, ledger);
     }
 
     #[test]

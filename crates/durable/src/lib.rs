@@ -163,6 +163,12 @@ impl DurableHub {
         self.inner.lock().append(ns, payload)
     }
 
+    /// Buffers a record that does not advance the snapshot cadence
+    /// (see [`DurableEngine::append_weightless`]).
+    pub fn append_weightless(&self, ns: &str, payload: Vec<u8>) -> u64 {
+        self.inner.lock().append_weightless(ns, payload)
+    }
+
     /// Group-commits the buffered batch; returns the batch size.
     pub fn commit(&self) -> usize {
         self.inner.lock().commit()

@@ -10,6 +10,7 @@ use pmp_discovery::{DiscoveryClient, DiscoveryEvent, ServiceQuery};
 use pmp_durable::NamespaceHandle;
 use pmp_net::{Incoming, NetPort, NodeId};
 use pmp_telemetry::{Shared, Sink, Subsystem};
+use pmp_trace::{TraceCtx, Traced, Tracer};
 use std::collections::HashMap;
 
 const SCAN_TAG: &str = "midas.scan";
@@ -78,6 +79,11 @@ pub struct ExtensionBase {
     pub roaming_cache: HashMap<String, Vec<String>>,
     telemetry: Option<Sink>,
     durable: Option<NamespaceHandle>,
+    tracer: Option<Tracer>,
+    /// Root context of the publish that last put each extension in the
+    /// catalog, so every later ship of it (catalog delivery, dependency
+    /// request, redelivery) joins the same adaptation span tree.
+    publish_ctx: HashMap<String, TraceCtx>,
 }
 
 impl ExtensionBase {
@@ -101,7 +107,15 @@ impl ExtensionBase {
             roaming_cache: HashMap::new(),
             telemetry: None,
             durable: None,
+            tracer: None,
+            publish_ctx: HashMap::new(),
         }
+    }
+
+    /// Attaches the host cell's span factory; ship spans are minted
+    /// through it.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Logs every catalog and lease-table mutation to `handle`'s WAL
@@ -138,12 +152,28 @@ impl ExtensionBase {
     }
 
     /// Records an extension leaving the base toward `to` (the "ship"
-    /// stage of the sign→ship→verify→weave distribution trail).
-    fn note_ship(&self, ext_id: &str, to: NodeId) {
+    /// stage of the sign→ship→verify→weave distribution trail), and
+    /// mints the `midas.ship` span under the extension's publish root.
+    /// Returns the context the shipped message must carry.
+    fn note_ship(&self, sim: &dyn NetPort, ext_id: &str, to: NodeId) -> TraceCtx {
         if let Some(s) = &self.telemetry {
             s.inc("midas.base.delivered");
             s.event(Subsystem::Midas, "midas.ship", format!("{ext_id} -> n{}", to.0));
         }
+        let Some(t) = &self.tracer else {
+            return TraceCtx::NIL;
+        };
+        let parent = self
+            .publish_ctx
+            .get(ext_id)
+            .copied()
+            .unwrap_or(TraceCtx::NIL);
+        t.child(
+            parent,
+            sim.now().0,
+            "midas.ship",
+            &format!("{ext_id} -> n{}", to.0),
+        )
     }
 
     /// Overrides the extension lease duration (ns).
@@ -204,8 +234,8 @@ impl ExtensionBase {
         self.pending_scan = Some(req);
     }
 
-    fn send(&self, sim: &mut dyn NetPort, to: NodeId, msg: &MidasMsg) {
-        sim.send(self.node, to, CHANNEL, pmp_wire::to_bytes(msg));
+    fn send(&self, sim: &mut dyn NetPort, to: NodeId, msg: &MidasMsg, ctx: TraceCtx) {
+        sim.send(self.node, to, CHANNEL, ctx.wrap(msg));
     }
 
     fn deliver_catalog(&mut self, sim: &mut dyn NetPort, node: NodeId, node_name: &str) -> usize {
@@ -221,8 +251,8 @@ impl ExtensionBase {
                     lease_ns: self.lease_ns,
                     grant,
                 };
-                self.send(sim, node, &msg);
-                self.note_ship(&id, node);
+                let ctx = self.note_ship(sim, &id, node);
+                self.send(sim, node, &msg, ctx);
                 count += 1;
             }
         }
@@ -247,8 +277,26 @@ impl ExtensionBase {
     /// older instance — this is how "the local policy evolves" reaches
     /// robots already in the hall.
     pub fn update_extension(&mut self, sim: &mut dyn NetPort, ext: SignedExtension) {
+        self.update_extension_traced(sim, ext, TraceCtx::NIL);
+    }
+
+    /// [`ExtensionBase::update_extension`] with the publish's trace
+    /// context: every ship of this extension — now and later — becomes
+    /// a child of `ctx`, so the whole adaptation reconstructs as one
+    /// span tree.
+    pub fn update_extension_traced(
+        &mut self,
+        sim: &mut dyn NetPort,
+        ext: SignedExtension,
+        ctx: TraceCtx,
+    ) {
         let Ok(pkg) = ext.open() else { return };
         let id = pkg.meta.id.clone();
+        if ctx.is_nil() {
+            self.publish_ctx.remove(&id);
+        } else {
+            self.publish_ctx.insert(id.clone(), ctx);
+        }
         self.catalog.put(ext.clone());
         self.log(&BaseWalOp::CatalogPut { ext: ext.clone() });
         let mut targets: Vec<(String, NodeId)> = self
@@ -267,8 +315,8 @@ impl ExtensionBase {
                 lease_ns: self.lease_ns,
                 grant,
             };
-            self.send(sim, node, &msg);
-            self.note_ship(&id, node);
+            let ship = self.note_ship(sim, &id, node);
+            self.send(sim, node, &msg, ship);
             if let Some(a) = self.adapted.get_mut(&name) {
                 a.grants.insert(id.clone(), grant);
             }
@@ -283,6 +331,7 @@ impl ExtensionBase {
     /// Removes an extension from the catalog and revokes it everywhere.
     pub fn revoke_extension(&mut self, sim: &mut dyn NetPort, ext_id: &str, reason: &str) {
         self.catalog.remove(ext_id);
+        self.publish_ctx.remove(ext_id);
         self.log(&BaseWalOp::Revoked {
             ext_id: ext_id.to_string(),
         });
@@ -299,7 +348,7 @@ impl ExtensionBase {
                 ext_id: ext_id.to_string(),
                 reason: reason.to_string(),
             };
-            self.send(sim, node, &msg);
+            self.send(sim, node, &msg, TraceCtx::NIL);
             self.count("midas.base.revocations");
         }
         for a in self.adapted.values_mut() {
@@ -321,8 +370,8 @@ impl ExtensionBase {
                 payload,
                 ..
             } if &**channel == CHANNEL => {
-                if let Ok(msg) = pmp_wire::from_bytes::<MidasMsg>(payload) {
-                    self.handle_midas(sim, *from, msg);
+                if let Ok(env) = pmp_wire::from_bytes::<Traced<MidasMsg>>(payload) {
+                    self.handle_midas(sim, *from, env.msg);
                 }
             }
             other => {
@@ -380,7 +429,7 @@ impl ExtensionBase {
             for (node, grants) in renewals {
                 for grant in grants {
                     let msg = MidasMsg::LeaseRenew { grant };
-                    self.send(sim, node, &msg);
+                    self.send(sim, node, &msg, TraceCtx::NIL);
                     self.count("midas.base.lease_renewals_sent");
                 }
             }
@@ -405,7 +454,7 @@ impl ExtensionBase {
                             node_name: name.clone(),
                             ext_ids: ext_ids.clone(),
                         };
-                        self.send(sim, nb, &msg);
+                        self.send(sim, nb, &msg, TraceCtx::NIL);
                     }
                 }
                 self.log(&BaseWalOp::Presence {
@@ -472,8 +521,8 @@ impl ExtensionBase {
                                 lease_ns: self.lease_ns,
                                 grant: fresh,
                             };
-                            self.send(sim, from, &msg);
-                            self.note_ship(&id, from);
+                            let ship = self.note_ship(sim, &id, from);
+                            self.send(sim, from, &msg, ship);
                         }
                     }
                     return;
@@ -516,8 +565,8 @@ impl ExtensionBase {
                             lease_ns: self.lease_ns,
                             grant,
                         };
-                        self.send(sim, from, &msg);
-                        self.note_ship(&id, from);
+                        let ship = self.note_ship(sim, &id, from);
+                        self.send(sim, from, &msg, ship);
                     }
                 }
             }

@@ -11,6 +11,7 @@ use pmp_discovery::{DiscoveryClient, DiscoveryEvent, Lease, ServiceItem};
 use pmp_net::{Incoming, NetPort, NodeId};
 use pmp_prose::{Aspect, AspectId, Prose, WeaveOptions};
 use pmp_telemetry::{Shared, Sink, Subsystem};
+use pmp_trace::{TraceCtx, Traced, Tracer};
 use pmp_vm::perm::Permissions;
 use pmp_vm::Vm;
 use std::collections::{HashMap, HashSet};
@@ -69,6 +70,7 @@ struct PendingInstall {
     lease_ns: u64,
     grant: u64,
     from: NodeId,
+    ctx: TraceCtx,
 }
 
 /// The adaptation-service state machine. Drive it by passing every
@@ -89,6 +91,7 @@ pub struct AdaptationService {
     started: bool,
     events: Vec<ReceiverEvent>,
     telemetry: Option<Sink>,
+    tracer: Option<Tracer>,
 }
 
 impl AdaptationService {
@@ -108,6 +111,7 @@ impl AdaptationService {
             started: false,
             events: Vec::new(),
             telemetry: None,
+            tracer: None,
         }
     }
 
@@ -123,6 +127,20 @@ impl AdaptationService {
     pub fn attach_sink(&mut self, sink: Sink) {
         self.discovery.attach_sink(sink.clone());
         self.telemetry = Some(sink);
+    }
+
+    /// Mints verify/weave spans (and arms first-interception watches)
+    /// on this node's [`Tracer`]. Without one, contexts still flow
+    /// through the receiver but no spans are recorded.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn span_child(&self, parent: TraceCtx, now: u64, name: &str, detail: &str) -> TraceCtx {
+        match &self.tracer {
+            Some(t) => t.child(parent, now, name, detail),
+            None => TraceCtx::NIL,
+        }
     }
 
     fn count(&self, name: &str) {
@@ -217,8 +235,8 @@ impl AdaptationService {
                 payload,
                 ..
             } if &**channel == CHANNEL => {
-                if let Ok(msg) = pmp_wire::from_bytes::<MidasMsg>(payload) {
-                    self.handle_midas(sim, vm, prose, *from, msg);
+                if let Ok(env) = pmp_wire::from_bytes::<Traced<MidasMsg>>(payload) {
+                    self.handle_midas(sim, vm, prose, *from, env.msg, env.ctx);
                 }
             }
             other => {
@@ -256,6 +274,7 @@ impl AdaptationService {
         prose: &Prose,
         from: NodeId,
         msg: MidasMsg,
+        ctx: TraceCtx,
     ) {
         match msg {
             MidasMsg::Deliver {
@@ -263,7 +282,7 @@ impl AdaptationService {
                 lease_ns,
                 grant,
             } => {
-                self.try_install(sim, vm, prose, from, ext, lease_ns, grant);
+                self.try_install(sim, vm, prose, from, ext, lease_ns, grant, ctx);
                 self.retry_pending(sim, vm, prose);
             }
             MidasMsg::LeaseRenew { grant } => {
@@ -288,7 +307,7 @@ impl AdaptationService {
                         ok: false,
                         reason: "unknown grant".into(),
                     };
-                    sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&msg));
+                    sim.send(self.node, from, CHANNEL, ctx.wrap(&msg));
                 }
             }
             MidasMsg::Revoke { ext_id, reason } => {
@@ -305,7 +324,7 @@ impl AdaptationService {
                 if self.installed.contains_key(&old_id) {
                     self.uninstall(sim, vm, prose, &old_id, "replaced by newer policy", true);
                 }
-                self.try_install(sim, vm, prose, from, ext, lease_ns, grant);
+                self.try_install(sim, vm, prose, from, ext, lease_ns, grant, ctx);
                 self.retry_pending(sim, vm, prose);
             }
             // Base-bound messages are ignored by the receiver.
@@ -315,7 +334,16 @@ impl AdaptationService {
         }
     }
 
-    fn nack(&mut self, sim: &mut dyn NetPort, to: NodeId, ext_id: &str, grant: u64, reason: String) {
+    #[allow(clippy::too_many_arguments)]
+    fn nack(
+        &mut self,
+        sim: &mut dyn NetPort,
+        to: NodeId,
+        ext_id: &str,
+        grant: u64,
+        reason: String,
+        ctx: TraceCtx,
+    ) {
         self.count("midas.receiver.rejected");
         self.events.push(ReceiverEvent::Rejected {
             ext_id: ext_id.to_string(),
@@ -327,7 +355,7 @@ impl AdaptationService {
             ok: false,
             reason,
         };
-        sim.send(self.node, to, CHANNEL, pmp_wire::to_bytes(&msg));
+        sim.send(self.node, to, CHANNEL, ctx.wrap(&msg));
     }
 
     /// Runs the static passes of the admission gate (bytecode
@@ -461,6 +489,7 @@ impl AdaptationService {
         ext: SignedExtension,
         lease_ns: u64,
         grant: u64,
+        ctx: TraceCtx,
     ) {
         // 1. Trust and integrity (paper §3.2: verification of the
         //    originator before insertion). `verify_ns` is recorded on
@@ -477,7 +506,13 @@ impl AdaptationService {
                 if let Some(s) = &self.telemetry {
                     s.event(Subsystem::Midas, "midas.verify", format!("{id} REJECTED: {reason}"));
                 }
-                self.nack(sim, from, &id, grant, reason);
+                self.span_child(
+                    ctx,
+                    sim.now().0,
+                    "midas.verify",
+                    &format!("{id} REJECTED: {reason}"),
+                );
+                self.nack(sim, from, &id, grant, reason, ctx);
                 return;
             }
         };
@@ -485,6 +520,12 @@ impl AdaptationService {
         if let Some(s) = &self.telemetry {
             s.event(Subsystem::Midas, "midas.verify", format!("{id} ok (signer {signer})"));
         }
+        let verify_ctx = self.span_child(
+            ctx,
+            sim.now().0,
+            "midas.verify",
+            &format!("{id} ok (signer {signer})"),
+        );
 
         // 2. Static analysis (the admission gate): a valid signature
         //    says who shipped the code, not that the code is safe to
@@ -499,14 +540,14 @@ impl AdaptationService {
                     format!("{id} REJECTED by {pass}: {detail}"),
                 );
             }
-            self.nack(sim, from, &id, grant, format!("analysis: {pass}: {detail}"));
+            self.nack(sim, from, &id, grant, format!("analysis: {pass}: {detail}"), ctx);
             return;
         }
 
         // 3. Version check: same or newer only.
         if let Some(existing) = self.installed.get_mut(&id) {
             if existing.version > pkg.meta.version {
-                self.nack(sim, from, &id, grant, "version downgrade refused".into());
+                self.nack(sim, from, &id, grant, "version downgrade refused".into(), ctx);
                 return;
             }
             if existing.version == pkg.meta.version {
@@ -520,7 +561,7 @@ impl AdaptationService {
                     ok: true,
                     reason: String::new(),
                 };
-                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&msg));
+                sim.send(self.node, from, CHANNEL, ctx.wrap(&msg));
                 return;
             }
             // Newer version: replace in place.
@@ -544,13 +585,14 @@ impl AdaptationService {
                 let msg = MidasMsg::RequestDep {
                     ext_id: dep.clone(),
                 };
-                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&msg));
+                sim.send(self.node, from, CHANNEL, ctx.wrap(&msg));
             }
             self.pending.push(PendingInstall {
                 ext,
                 lease_ns,
                 grant,
                 from,
+                ctx,
             });
             return;
         }
@@ -568,6 +610,12 @@ impl AdaptationService {
                 format!("{id} {}", if woven.is_ok() { "ok" } else { "FAILED" }),
             );
         }
+        let weave_ctx = self.span_child(
+            verify_ctx,
+            sim.now().0,
+            "midas.weave",
+            &format!("{id} {}", if woven.is_ok() { "ok" } else { "FAILED" }),
+        );
         match woven {
             Ok(aspect_id) => {
                 // 6. Pass 4 of the gate — interference against the
@@ -584,8 +632,16 @@ impl AdaptationService {
                             format!("{id} REJECTED by {pass}: {detail}"),
                         );
                     }
-                    self.nack(sim, from, &id, grant, format!("analysis: {pass}: {detail}"));
+                    self.nack(sim, from, &id, grant, format!("analysis: {pass}: {detail}"), ctx);
                     return;
+                }
+                // Arm the first-interception watch: the next advice
+                // dispatch past this baseline closes the adaptation's
+                // span tree with a `midas.intercept` leaf.
+                if let Some(t) = &self.tracer {
+                    if !weave_ctx.is_nil() {
+                        t.watch_interception(weave_ctx, &id, vm.stats().advice_dispatches);
+                    }
                 }
                 for dep in &pkg.meta.requires {
                     if let Some(d) = self.installed.get_mut(dep) {
@@ -617,10 +673,10 @@ impl AdaptationService {
                     ok: true,
                     reason: String::new(),
                 };
-                sim.send(self.node, from, CHANNEL, pmp_wire::to_bytes(&msg));
+                sim.send(self.node, from, CHANNEL, ctx.wrap(&msg));
             }
             Err(e) => {
-                self.nack(sim, from, &id, grant, format!("weave failed: {e}"));
+                self.nack(sim, from, &id, grant, format!("weave failed: {e}"), ctx);
             }
         }
     }
@@ -648,7 +704,7 @@ impl AdaptationService {
             }
             for idx in ready.into_iter().rev() {
                 let p = self.pending.remove(idx);
-                self.try_install(sim, vm, prose, p.from, p.ext, p.lease_ns, p.grant);
+                self.try_install(sim, vm, prose, p.from, p.ext, p.lease_ns, p.grant, p.ctx);
             }
         }
     }
@@ -701,7 +757,7 @@ impl AdaptationService {
                 ok: false,
                 reason: "released".into(),
             };
-            sim.send(self.node, inst.base, CHANNEL, pmp_wire::to_bytes(&msg));
+            sim.send(self.node, inst.base, CHANNEL, TraceCtx::NIL.wrap(&msg));
         }
         self.count("midas.receiver.removed");
         self.events.push(ReceiverEvent::Removed {

@@ -420,7 +420,7 @@ fn version_downgrade_refused() {
         w.base_node,
         w.robot_node,
         pmp_midas::CHANNEL,
-        pmp_wire::to_bytes(&msg),
+        pmp_trace::TraceCtx::NIL.wrap(&msg),
     );
     w.pump(2_000_000_000);
     assert!(w.receiver_events.iter().any(|e| matches!(
@@ -547,7 +547,7 @@ fn missing_dependency_is_requested_and_resolved() {
         w.base_node,
         w.robot_node,
         pmp_midas::CHANNEL,
-        pmp_wire::to_bytes(&msg),
+        pmp_trace::TraceCtx::NIL.wrap(&msg),
     );
     w.pump(4_000_000_000);
 

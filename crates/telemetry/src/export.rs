@@ -138,6 +138,9 @@ pub fn to_json_lines(t: &Telemetry) -> String {
             json_escape(&e.name),
             json_escape(&e.detail)
         );
+        if e.span_id != 0 {
+            let _ = write!(out, ",\"span\":{}", e.span_id);
+        }
         if let EventKind::SpanEnd { dur } = e.kind {
             let _ = write!(out, ",\"dur\":{dur}");
         }
@@ -298,5 +301,94 @@ mod tests {
         assert_eq!(f["type"], "span_end");
         assert_eq!(f["dur"], "0");
         assert_eq!(f["detail"], "aspect=a1");
+    }
+
+    // -- Span trees + dynamic gauge names (satellite: coverage) --
+
+    /// Builds the same telemetry twice; used for byte-equality checks.
+    fn span_tree_telemetry() -> Telemetry {
+        let mut t = Telemetry::new();
+        // A nested "tree" of spans: outer weave, inner verify, plus an
+        // interleaved sibling — exactly the shape exporters must keep
+        // matchable.
+        let outer = t.journal.span_begin(Subsystem::Prose, "prose.weave");
+        let inner = t.journal.span_begin(Subsystem::Midas, "midas.verify");
+        t.journal.span_end(inner, "ext/monitoring");
+        let sibling = t.journal.span_begin(Subsystem::Midas, "midas.analyze");
+        t.journal.span_end(sibling, "");
+        t.journal.span_end(outer, "aspect=a1");
+        // Dynamic instance-embedded gauge names, as the simulator mints
+        // per-channel (`net.channel.<name>.*`) metrics lazily.
+        for ch in ["midas", "rpc", "tuplespace"] {
+            let g = t.registry.gauge(&format!("net.channel.{ch}.queue"));
+            t.registry.set_gauge(g, 2);
+            let c = t.registry.counter(&format!("net.channel.{ch}.bytes"));
+            t.registry.add(c, 640);
+        }
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trips_span_trees_with_matching_ids() {
+        let t = span_tree_telemetry();
+        let text = t.to_json_lines();
+        let events: Vec<BTreeMap<String, String>> = text
+            .lines()
+            .map(parse_line)
+            .filter(|f| f["type"].starts_with("span_"))
+            .collect();
+        assert_eq!(events.len(), 6, "three begin/end pairs");
+        // Every end's span id resolves to exactly one earlier begin of
+        // the same name — the tree reconstructs from the export alone.
+        for end in events.iter().filter(|f| f["type"] == "span_end") {
+            let matching: Vec<_> = events
+                .iter()
+                .filter(|b| {
+                    b["type"] == "span_begin"
+                        && b["span"] == end["span"]
+                        && b["name"] == end["name"]
+                })
+                .collect();
+            assert_eq!(matching.len(), 1, "unpaired span_end: {end:?}");
+        }
+        // The interleaved sibling does not steal the inner pair's id.
+        let verify_ids: Vec<&String> = events
+            .iter()
+            .filter(|f| f["name"] == "midas.verify")
+            .map(|f| &f["span"])
+            .collect();
+        assert_eq!(verify_ids[0], verify_ids[1]);
+    }
+
+    #[test]
+    fn jsonl_round_trips_dynamic_channel_gauges() {
+        let t = span_tree_telemetry();
+        let text = t.to_json_lines();
+        let fields: Vec<BTreeMap<String, String>> =
+            text.lines().map(parse_line).collect();
+        for ch in ["midas", "rpc", "tuplespace"] {
+            let gauge = fields
+                .iter()
+                .find(|f| f["name"] == format!("net.channel.{ch}.queue"))
+                .unwrap_or_else(|| panic!("gauge for {ch} exported"));
+            assert_eq!(gauge["type"], "gauge");
+            assert_eq!(gauge["value"], "2");
+            let counter = fields
+                .iter()
+                .find(|f| f["name"] == format!("net.channel.{ch}.bytes"))
+                .unwrap();
+            assert_eq!(counter["value"], "640");
+        }
+    }
+
+    #[test]
+    fn identical_runs_export_identical_bytes() {
+        let a = span_tree_telemetry().to_json_lines();
+        let b = span_tree_telemetry().to_json_lines();
+        assert_eq!(a, b, "canonical output: same state, same bytes");
+        assert_eq!(
+            render_table(&span_tree_telemetry().registry),
+            render_table(&span_tree_telemetry().registry)
+        );
     }
 }

@@ -90,6 +90,10 @@ pub struct Event {
     pub subsystem: Subsystem,
     /// Entry kind.
     pub kind: EventKind,
+    /// Span id shared by a `span_begin`/`span_end` pair (0 for point
+    /// events), so exporters and consumers can match the two halves
+    /// even with other spans interleaved.
+    pub span_id: u64,
     /// Event name, dot-scoped like metrics (`"midas.verify"`).
     pub name: String,
     /// Free-form detail (extension id, node, byte count, …).
@@ -104,6 +108,11 @@ pub struct SpanToken {
     subsystem: Subsystem,
     name: String,
     start: u64,
+    span_id: u64,
+    /// Whether the begin event actually entered the journal; the end
+    /// event is emitted iff it did, so a subsystem toggled between
+    /// begin and end can never produce an unpaired half.
+    journaled: bool,
 }
 
 /// The ring-buffered event journal.
@@ -113,6 +122,7 @@ pub struct Journal {
     buf: VecDeque<Event>,
     mask: u32,
     seq: u64,
+    next_span: u64,
     dropped: u64,
     clock: Option<Clock>,
 }
@@ -138,6 +148,7 @@ impl Journal {
             buf: VecDeque::new(),
             mask: u32::MAX,
             seq: 0,
+            next_span: 0,
             dropped: 0,
             clock: None,
         }
@@ -175,7 +186,7 @@ impl Journal {
             return;
         }
         let at = self.now();
-        self.push(at, sub, EventKind::Point, name.into(), detail.into());
+        self.push(at, sub, EventKind::Point, 0, name.into(), detail.into());
     }
 
     /// Appends a point event stamped with an explicit time instead of
@@ -193,35 +204,52 @@ impl Journal {
         if !self.is_enabled(sub) {
             return;
         }
-        self.push(at, sub, EventKind::Point, name.into(), detail.into());
+        self.push(at, sub, EventKind::Point, 0, name.into(), detail.into());
     }
 
     /// Opens a span. The begin event is journaled (subject to the
     /// enable mask); the token always measures, so `span_end` returns a
-    /// duration even for disabled subsystems.
+    /// duration even for disabled subsystems. Each pair shares a fresh
+    /// span id (never 0), carried on both events.
     pub fn span_begin(&mut self, sub: Subsystem, name: impl Into<String>) -> SpanToken {
         let name = name.into();
         let start = self.now();
-        if self.is_enabled(sub) {
-            self.push(start, sub, EventKind::SpanBegin, name.clone(), String::new());
+        self.next_span += 1;
+        let span_id = self.next_span;
+        let journaled = self.is_enabled(sub);
+        if journaled {
+            self.push(
+                start,
+                sub,
+                EventKind::SpanBegin,
+                span_id,
+                name.clone(),
+                String::new(),
+            );
         }
         SpanToken {
             subsystem: sub,
             name,
             start,
+            span_id,
+            journaled,
         }
     }
 
     /// Closes a span, journaling the end event; returns the sim-time
-    /// duration.
+    /// duration. The end event is emitted iff the matching begin was
+    /// (not merely "iff the subsystem is enabled *now*"): toggling a
+    /// subsystem mid-span can therefore never leave an unmatched
+    /// `span_end` — or an unmatched `span_begin` — in the journal.
     pub fn span_end(&mut self, token: SpanToken, detail: impl Into<String>) -> u64 {
         let now = self.now();
         let dur = now.saturating_sub(token.start);
-        if self.is_enabled(token.subsystem) {
+        if token.journaled {
             self.push(
                 now,
                 token.subsystem,
                 EventKind::SpanEnd { dur },
+                token.span_id,
                 token.name,
                 detail.into(),
             );
@@ -229,7 +257,15 @@ impl Journal {
         dur
     }
 
-    fn push(&mut self, at: u64, sub: Subsystem, kind: EventKind, name: String, detail: String) {
+    fn push(
+        &mut self,
+        at: u64,
+        sub: Subsystem,
+        kind: EventKind,
+        span_id: u64,
+        name: String,
+        detail: String,
+    ) {
         if self.buf.len() == self.cap {
             self.buf.pop_front();
             self.dropped += 1;
@@ -239,6 +275,7 @@ impl Journal {
             at,
             subsystem: sub,
             kind,
+            span_id,
             name,
             detail,
         });
@@ -289,6 +326,7 @@ impl Journal {
         for e in &self.buf {
             h.write_u64(e.seq);
             h.write_u64(e.at);
+            h.write_u64(e.span_id);
             h.write_str(e.subsystem.name());
             match &e.kind {
                 EventKind::SpanBegin => h.write_u64(0),
@@ -309,6 +347,7 @@ impl Journal {
     pub fn clear(&mut self) {
         self.buf.clear();
         self.seq = 0;
+        self.next_span = 0;
         self.dropped = 0;
     }
 }
@@ -383,6 +422,50 @@ mod tests {
         let dur = j.span_end(span, "");
         assert_eq!(dur, 0);
         assert!(j.is_empty());
+    }
+
+    // -- Span pairing (satellite: masked begins never leak an end) --
+
+    #[test]
+    fn begin_and_end_share_a_span_id() {
+        let mut j = Journal::new(8);
+        let a = j.span_begin(Subsystem::Midas, "midas.verify");
+        let b = j.span_begin(Subsystem::Prose, "prose.weave");
+        j.span_end(b, "");
+        j.span_end(a, "");
+        let ids: Vec<(u64, EventKind)> =
+            j.events().map(|e| (e.span_id, e.kind.clone())).collect();
+        assert_eq!(ids[0].0, 1, "first pair gets span id 1");
+        assert_eq!(ids[1].0, 2);
+        assert_eq!(ids[2].0, 2, "interleaved end matches its begin");
+        assert_eq!(ids[3].0, 1);
+        assert!(ids.iter().all(|(id, _)| *id != 0), "span events never id 0");
+        j.event(Subsystem::Core, "point", "");
+        assert_eq!(j.events().last().unwrap().span_id, 0, "points carry 0");
+    }
+
+    #[test]
+    fn masked_begin_suppresses_the_end() {
+        // Disabled at begin, re-enabled before end: previously the end
+        // was emitted with no begin; now the pair is dropped whole.
+        let mut j = Journal::new(8);
+        j.set_enabled(Subsystem::Midas, false);
+        let span = j.span_begin(Subsystem::Midas, "midas.verify");
+        j.set_enabled(Subsystem::Midas, true);
+        j.span_end(span, "late enable");
+        assert!(j.is_empty(), "no unmatched span_end");
+    }
+
+    #[test]
+    fn journaled_begin_forces_the_end() {
+        // Enabled at begin, disabled before end: the end still lands,
+        // so the begin is never left dangling either.
+        let mut j = Journal::new(8);
+        let span = j.span_begin(Subsystem::Midas, "midas.verify");
+        j.set_enabled(Subsystem::Midas, false);
+        j.span_end(span, "");
+        let kinds: Vec<EventKind> = j.events().map(|e| e.kind.clone()).collect();
+        assert_eq!(kinds, vec![EventKind::SpanBegin, EventKind::SpanEnd { dur: 0 }]);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod sync;
 
 pub use digest::Fnv64;
 pub use journal::{Event, EventKind, Journal, SpanToken, Subsystem};
-pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Registry};
+pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Registry, MISSES_COUNTER};
 pub use sink::{PendingEvent, Sink};
 
 use std::sync::Arc;

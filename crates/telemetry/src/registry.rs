@@ -8,6 +8,11 @@
 //! paths.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The pseudo-counter name under which by-name read misses are
+/// tallied; see [`Registry::counter_value`].
+pub const MISSES_COUNTER: &str = "telemetry.registry.misses";
 
 /// Handle to a registered counter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -177,6 +182,16 @@ pub struct Registry {
     gauges: Vec<(String, i64)>,
     histograms: Vec<(String, Histogram)>,
     index: HashMap<String, Slot>,
+    /// By-name reads of names never registered. A typo'd
+    /// `counter_value("vm.hooks.checkz")` silently reads 0, which makes
+    /// a misspelled assertion pass vacuously; debug builds tally (and
+    /// log, once per name) such reads here. Atomic because the read
+    /// paths take `&self`. Not exported — it is reachable only through
+    /// [`MISSES_COUNTER`], keeping render/export bytes unchanged.
+    misses: AtomicU64,
+    // Only read under `debug_assertions` (see `note_miss`).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    warned: std::sync::Mutex<std::collections::HashSet<String>>,
 }
 
 impl Registry {
@@ -288,21 +303,57 @@ impl Registry {
         &self.histograms[id.0 as usize].1
     }
 
-    /// Value of the counter `name`, or 0 when unregistered.
+    /// Records (debug builds only) a by-name read of a name that was
+    /// never registered: bumps the miss tally and logs once per name.
+    fn note_miss(&self, name: &str) {
+        #[cfg(debug_assertions)]
+        {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let mut warned = self.warned.lock().unwrap_or_else(|e| e.into_inner());
+            if warned.insert(name.to_string()) {
+                eprintln!("pmp-telemetry: read of unregistered metric {name:?}");
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = name;
+    }
+
+    /// Unregistered-name reads observed so far (always 0 in release
+    /// builds).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Value of the counter `name`, or 0 when unregistered. In debug
+    /// builds, reads of names never registered are logged and counted;
+    /// the tally itself reads back as the pseudo-counter
+    /// [`MISSES_COUNTER`].
     #[must_use]
     pub fn counter_value(&self, name: &str) -> u64 {
         match self.index.get(name) {
             Some(Slot::Counter(i)) => self.counters[*i as usize].1,
-            _ => 0,
+            Some(_) => 0,
+            None if name == MISSES_COUNTER => self.misses(),
+            None => {
+                self.note_miss(name);
+                0
+            }
         }
     }
 
-    /// Value of the gauge `name`, or 0 when unregistered.
+    /// Value of the gauge `name`, or 0 when unregistered (misses are
+    /// logged and counted in debug builds, like
+    /// [`Registry::counter_value`]).
     #[must_use]
     pub fn gauge_value(&self, name: &str) -> i64 {
         match self.index.get(name) {
             Some(Slot::Gauge(i)) => self.gauges[*i as usize].1,
-            _ => 0,
+            Some(_) => 0,
+            None => {
+                self.note_miss(name);
+                0
+            }
         }
     }
 
@@ -336,7 +387,8 @@ impl Registry {
         self.index.is_empty()
     }
 
-    /// Zeroes every metric; registrations (names and ids) survive.
+    /// Zeroes every metric (and the miss tally); registrations (names
+    /// and ids) survive.
     pub fn reset(&mut self) {
         for c in &mut self.counters {
             c.1 = 0;
@@ -347,6 +399,7 @@ impl Registry {
         for h in &mut self.histograms {
             h.1.reset();
         }
+        self.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -458,6 +511,34 @@ mod tests {
         assert_eq!(h.p90(), 127);
         // p99 lands in the slow bucket, clamped to max.
         assert_eq!(h.p99(), 1_000_000);
+    }
+
+    // -- Unregistered-name reads (satellite: debug miss check) --
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn unregistered_reads_are_tallied_in_debug() {
+        let mut r = Registry::new();
+        r.counter("vm.hooks.checks");
+        assert_eq!(r.counter_value("vm.hooks.checks"), 0);
+        assert_eq!(r.misses(), 0, "registered reads are not misses");
+        assert_eq!(r.counter_value("vm.hooks.checkz"), 0);
+        assert_eq!(r.gauge_value("vm.hooks.checkz"), 0);
+        assert_eq!(r.misses(), 2);
+        // The tally reads back through the normal counter path without
+        // counting itself as a miss.
+        assert_eq!(r.counter_value(MISSES_COUNTER), 2);
+        assert_eq!(r.misses(), 2);
+        r.reset();
+        assert_eq!(r.counter_value(MISSES_COUNTER), 0);
+    }
+
+    #[test]
+    fn kind_mismatch_reads_zero_without_a_miss() {
+        let mut r = Registry::new();
+        r.gauge("p.aspects.active");
+        assert_eq!(r.counter_value("p.aspects.active"), 0);
+        assert_eq!(r.misses(), 0, "the name exists, just as another kind");
     }
 
     #[test]

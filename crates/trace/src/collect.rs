@@ -1,0 +1,348 @@
+//! The base-tier trace collector: span trees, critical paths, exports.
+
+use crate::span::SpanRecord;
+use pmp_telemetry::Fnv64;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default cap on retained spans.
+pub const DEFAULT_COLLECT_CAP: usize = 4096;
+
+/// Absorbs spans drained from every node cell at epoch barriers and
+/// reconstructs them into per-trace trees. Storage is bounded: once
+/// `cap` spans are retained, the oldest *trace* is evicted whole (a
+/// partial tree is worse than no tree) and counted.
+#[derive(Debug)]
+pub struct Collector {
+    cap: usize,
+    /// trace id → spans in absorb order.
+    traces: BTreeMap<u64, Vec<SpanRecord>>,
+    /// trace ids in first-seen order, for whole-trace eviction.
+    order: Vec<u64>,
+    retained: usize,
+    evicted_traces: u64,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new(DEFAULT_COLLECT_CAP)
+    }
+}
+
+impl Collector {
+    /// An empty collector retaining at most `cap` spans.
+    #[must_use]
+    pub fn new(cap: usize) -> Collector {
+        Collector {
+            cap: cap.max(1),
+            traces: BTreeMap::new(),
+            order: Vec::new(),
+            retained: 0,
+            evicted_traces: 0,
+        }
+    }
+
+    /// Absorbs one barrier's worth of drained spans.
+    pub fn absorb(&mut self, spans: Vec<SpanRecord>) {
+        for s in spans {
+            if !self.traces.contains_key(&s.trace_id) {
+                self.order.push(s.trace_id);
+            }
+            self.traces.entry(s.trace_id).or_default().push(s);
+            self.retained += 1;
+        }
+        while self.retained > self.cap && self.order.len() > 1 {
+            let oldest = self.order.remove(0);
+            if let Some(spans) = self.traces.remove(&oldest) {
+                self.retained -= spans.len();
+                self.evicted_traces += 1;
+            }
+        }
+    }
+
+    /// Retained span count (≤ cap unless a single trace overflows it).
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.retained
+    }
+
+    /// The retention cap.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Whole traces evicted so far.
+    #[must_use]
+    pub fn evicted_traces(&self) -> u64 {
+        self.evicted_traces
+    }
+
+    /// Ids of the retained traces, ascending.
+    #[must_use]
+    pub fn trace_ids(&self) -> Vec<u64> {
+        self.traces.keys().copied().collect()
+    }
+
+    /// The spans of one trace, canonically ordered by
+    /// `(start, span_id)`.
+    #[must_use]
+    pub fn spans_of(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let mut spans = self.traces.get(&trace_id).cloned().unwrap_or_default();
+        spans.sort_by_key(|s| (s.start, s.span_id));
+        spans
+    }
+
+    /// Renders one trace as an indented text tree. Children sort by
+    /// `(start, span_id)`; each line shows the span, its node, its
+    /// sim-time, and the latency since its parent (the hop cost).
+    #[must_use]
+    pub fn render_tree(&self, trace_id: u64) -> String {
+        let spans = self.spans_of(trace_id);
+        if spans.is_empty() {
+            return format!("trace {trace_id:#x}: <no spans>\n");
+        }
+        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        let mut by_id: BTreeMap<u64, &SpanRecord> = BTreeMap::new();
+        for s in &spans {
+            by_id.insert(s.span_id, s);
+        }
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        for s in &spans {
+            if s.parent_id != 0 && by_id.contains_key(&s.parent_id) {
+                children.entry(s.parent_id).or_default().push(s);
+            } else {
+                roots.push(s);
+            }
+        }
+        let mut out = format!("trace {trace_id:#x} ({} spans)\n", spans.len());
+        fn walk(
+            out: &mut String,
+            s: &SpanRecord,
+            parent_start: Option<u64>,
+            depth: usize,
+            children: &BTreeMap<u64, Vec<&SpanRecord>>,
+        ) {
+            let indent = "  ".repeat(depth);
+            let hop = match parent_start {
+                None => String::new(),
+                Some(p) => format!(" (+{} us)", s.start.saturating_sub(p) / 1_000),
+            };
+            let _ = writeln!(
+                out,
+                "{indent}{} [n{}] @{} us{hop}{}{}",
+                s.name,
+                s.node,
+                s.start / 1_000,
+                if s.detail.is_empty() { "" } else { " " },
+                s.detail
+            );
+            if let Some(kids) = children.get(&s.span_id) {
+                for k in kids {
+                    walk(out, k, Some(s.start), depth + 1, children);
+                }
+            }
+        }
+        for r in roots {
+            walk(&mut out, r, None, 1, &children);
+        }
+        out
+    }
+
+    /// The critical path of one trace: the root-to-leaf chain ending at
+    /// the latest-starting reachable span (ties broken by smaller span
+    /// id). Returns the chain root-first.
+    #[must_use]
+    pub fn critical_path(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let spans = self.spans_of(trace_id);
+        let by_id: BTreeMap<u64, &SpanRecord> =
+            spans.iter().map(|s| (s.span_id, s)).collect();
+        // The latest-starting span whose ancestry reaches a root.
+        let mut best: Option<&SpanRecord> = None;
+        for s in &spans {
+            let better = match best {
+                None => true,
+                Some(b) => (s.start, std::cmp::Reverse(s.span_id))
+                    > (b.start, std::cmp::Reverse(b.span_id)),
+            };
+            if better {
+                best = Some(s);
+            }
+        }
+        let mut chain = Vec::new();
+        let mut cur = best;
+        while let Some(s) = cur {
+            chain.push(s.clone());
+            cur = by_id.get(&s.parent_id).copied();
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Renders the critical path as one line per hop with deltas.
+    #[must_use]
+    pub fn render_critical_path(&self, trace_id: u64) -> String {
+        let chain = self.critical_path(trace_id);
+        let mut out = format!("critical path of trace {trace_id:#x}:\n");
+        let mut prev: Option<u64> = None;
+        for s in &chain {
+            let hop = match prev {
+                None => String::new(),
+                Some(p) => format!(" (+{} us)", s.start.saturating_sub(p) / 1_000),
+            };
+            let _ = writeln!(out, "  {} [n{}] @{} us{hop}", s.name, s.node, s.start / 1_000);
+            prev = Some(s.start);
+        }
+        let total = chain
+            .last()
+            .map(|l| l.start.saturating_sub(chain[0].start))
+            .unwrap_or(0);
+        let _ = writeln!(out, "  total: {} us over {} spans", total / 1_000, chain.len());
+        out
+    }
+
+    /// Every retained span as canonical JSON lines (traces ascending,
+    /// spans by `(start, span_id)`): same state, same bytes.
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for id in self.trace_ids() {
+            for s in self.spans_of(id) {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"span\",\"trace\":{},\"span\":{},\"parent\":{},\"node\":{},\"start\":{},\"end\":{},\"name\":\"{}\",\"detail\":\"{}\"}}",
+                    s.trace_id,
+                    s.span_id,
+                    s.parent_id,
+                    s.node,
+                    s.start,
+                    s.end,
+                    pmp_telemetry::export::json_escape(&s.name),
+                    pmp_telemetry::export::json_escape(&s.detail),
+                );
+            }
+        }
+        out
+    }
+
+    /// Stable FNV-1a digest over every retained span in canonical
+    /// order, plus the eviction counter. Byte-identical traces ⇒ equal
+    /// digests, and this is what the cross-driver chaos oracle pins.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.evicted_traces);
+        for id in self.trace_ids() {
+            for s in self.spans_of(id) {
+                s.hash_into(&mut h);
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: u64, node: u32, start: u64, name: &str) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: id,
+            parent_id: parent,
+            node,
+            start,
+            end: start,
+            name: name.into(),
+            detail: String::new(),
+        }
+    }
+
+    fn publish_chain() -> Vec<SpanRecord> {
+        let t = (1u64 << 32) | 1;
+        vec![
+            span(t, t, 0, 1, 0, "midas.publish"),
+            span(t, (1u64 << 32) | 2, t, 1, 0, "midas.sign"),
+            span(t, (1u64 << 32) | 3, t, 1, 10_000, "midas.ship"),
+            span(t, (3u64 << 32) | 1, (1u64 << 32) | 3, 3, 2_000_000, "midas.verify"),
+            span(
+                t,
+                (3u64 << 32) | 2,
+                (3u64 << 32) | 1,
+                3,
+                2_000_000,
+                "midas.weave",
+            ),
+            span(
+                t,
+                (3u64 << 32) | 3,
+                (3u64 << 32) | 2,
+                3,
+                5_000_000,
+                "midas.intercept",
+            ),
+        ]
+    }
+
+    #[test]
+    fn tree_renders_every_hop_in_order() {
+        let mut c = Collector::default();
+        c.absorb(publish_chain());
+        let tree = c.render_tree((1u64 << 32) | 1);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].contains("6 spans"));
+        assert!(lines[1].contains("midas.publish"));
+        assert!(tree.contains("midas.intercept"));
+        let verify_idx = lines.iter().position(|l| l.contains("midas.verify")).unwrap();
+        assert!(lines[verify_idx].contains("(+1990 us)"), "hop latency shown: {tree}");
+    }
+
+    #[test]
+    fn critical_path_follows_the_adaptation_chain() {
+        let mut c = Collector::default();
+        c.absorb(publish_chain());
+        let names: Vec<String> = c
+            .critical_path((1u64 << 32) | 1)
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["midas.publish", "midas.ship", "midas.verify", "midas.weave", "midas.intercept"]
+        );
+        let render = c.render_critical_path((1u64 << 32) | 1);
+        assert!(render.contains("total: 5000 us over 5 spans"), "{render}");
+    }
+
+    #[test]
+    fn digest_ignores_absorb_order() {
+        let mut a = Collector::default();
+        let mut b = Collector::default();
+        let chain = publish_chain();
+        a.absorb(chain.clone());
+        let mut rev = chain;
+        rev.reverse();
+        b.absorb(rev);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.to_json_lines(), b.to_json_lines());
+    }
+
+    #[test]
+    fn eviction_drops_whole_oldest_traces() {
+        let mut c = Collector::new(4);
+        let t1 = (1u64 << 32) | 1;
+        let t2 = (2u64 << 32) | 1;
+        c.absorb(vec![
+            span(t1, t1, 0, 1, 0, "a"),
+            span(t1, (1u64 << 32) | 2, t1, 1, 1, "b"),
+            span(t1, (1u64 << 32) | 3, t1, 1, 2, "c"),
+        ]);
+        c.absorb(vec![
+            span(t2, t2, 0, 2, 5, "d"),
+            span(t2, (2u64 << 32) | 2, t2, 2, 6, "e"),
+        ]);
+        assert_eq!(c.trace_ids(), vec![t2], "t1 evicted whole");
+        assert_eq!(c.retained(), 2);
+        assert_eq!(c.evicted_traces(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Span records and flight-recorder entries.
+
+use pmp_wire::{wire_struct, Reader, Wire, WireError, Writer};
+
+/// One finished span. Spans are *instant* — `start == end` in sim-time
+/// — because within a node cell sim-time does not advance; the latency
+/// structure of a trace lives in the start-time deltas between parent
+/// and child spans (the network hops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to (the root span's id).
+    pub trace_id: u64,
+    /// This span's id: `(node << 32) | seq`, seq starting at 1.
+    pub span_id: u64,
+    /// The causing span's id (0 for a root).
+    pub parent_id: u64,
+    /// The node the span was recorded on.
+    pub node: u32,
+    /// Sim-time (ns) the span was recorded at.
+    pub start: u64,
+    /// Sim-time (ns) the span ended at (== `start` today).
+    pub end: u64,
+    /// Dot-scoped name, like metrics (`"midas.verify"`).
+    pub name: String,
+    /// Free-form detail (extension id, target node, …).
+    pub detail: String,
+}
+
+wire_struct!(SpanRecord {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    node: u32,
+    start: u64,
+    end: u64,
+    name: String,
+    detail: String
+});
+
+impl SpanRecord {
+    /// The node a span id was minted on.
+    #[must_use]
+    pub fn node_of(span_id: u64) -> u32 {
+        (span_id >> 32) as u32
+    }
+
+    /// Feeds this span's canonical fields into `h`.
+    pub fn hash_into(&self, h: &mut pmp_telemetry::Fnv64) {
+        h.write_u64(self.trace_id);
+        h.write_u64(self.span_id);
+        h.write_u64(self.parent_id);
+        h.write_u64(u64::from(self.node));
+        h.write_u64(self.start);
+        h.write_u64(self.end);
+        h.write_str(&self.name);
+        h.write_str(&self.detail);
+    }
+}
+
+/// One flight-recorder entry: a span recorded on the node, or a journal
+/// point event mirrored into the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightEntry {
+    /// A span recorded on this node.
+    Span(SpanRecord),
+    /// A journal-style point event.
+    Event {
+        /// Sim-time (ns).
+        at: u64,
+        /// Event name.
+        name: String,
+        /// Free-form detail.
+        detail: String,
+    },
+}
+
+impl Wire for FlightEntry {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            FlightEntry::Span(s) => {
+                w.put_u8(0);
+                s.encode(w);
+            }
+            FlightEntry::Event { at, name, detail } => {
+                w.put_u8(1);
+                w.put_u64(*at);
+                w.put_str(name);
+                w.put_str(detail);
+            }
+        }
+    }
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => FlightEntry::Span(SpanRecord::decode(r)?),
+            1 => FlightEntry::Event {
+                at: r.get_u64()?,
+                name: r.get_str()?,
+                detail: r.get_str()?,
+            },
+            tag => return Err(r.bad_tag("FlightEntry", tag)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span() -> SpanRecord {
+        SpanRecord {
+            trace_id: (2u64 << 32) | 1,
+            span_id: (5u64 << 32) | 3,
+            parent_id: (2u64 << 32) | 1,
+            node: 5,
+            start: 1_000,
+            end: 1_000,
+            name: "midas.verify".into(),
+            detail: "ext/monitoring".into(),
+        }
+    }
+
+    #[test]
+    fn span_roundtrips_and_decomposes() {
+        let s = span();
+        let bytes = pmp_wire::to_bytes(&s);
+        assert_eq!(pmp_wire::from_bytes::<SpanRecord>(&bytes).unwrap(), s);
+        assert_eq!(SpanRecord::node_of(s.span_id), 5);
+    }
+
+    #[test]
+    fn flight_entries_roundtrip() {
+        let entries = vec![
+            FlightEntry::Span(span()),
+            FlightEntry::Event {
+                at: 7,
+                name: "midas.ship".into(),
+                detail: "ext/monitoring -> n3".into(),
+            },
+        ];
+        for e in entries {
+            let bytes = pmp_wire::to_bytes(&e);
+            assert_eq!(pmp_wire::from_bytes::<FlightEntry>(&bytes).unwrap(), e);
+        }
+    }
+}

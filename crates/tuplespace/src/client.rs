@@ -44,7 +44,12 @@ impl SpaceClient {
     }
 
     fn send(&self, sim: &mut Simulator, msg: &SpaceMsg) {
-        sim.send(self.node, self.space, CHANNEL, pmp_wire::to_bytes(msg));
+        sim.send(
+            self.node,
+            self.space,
+            CHANNEL,
+            pmp_trace::TraceCtx::NIL.wrap(msg),
+        );
     }
 
     /// Linda `out`: deposits a tuple.
@@ -94,10 +99,10 @@ impl SpaceClient {
         if &**channel != CHANNEL {
             return Vec::new();
         }
-        let Ok(msg) = pmp_wire::from_bytes::<SpaceMsg>(payload) else {
+        let Ok(env) = pmp_wire::from_bytes::<pmp_trace::Traced<SpaceMsg>>(payload) else {
             return Vec::new();
         };
-        match msg {
+        match env.msg {
             SpaceMsg::Result { req, tuple } => vec![SpaceEvent::Result { req, tuple }],
             SpaceMsg::Notify { sub, tuple } => vec![SpaceEvent::Notified { sub, tuple }],
             _ => Vec::new(),

@@ -5,6 +5,7 @@ use crate::proto::{SpaceMsg, CHANNEL};
 use crate::tuple::{Pattern, Tuple};
 use pmp_durable::NamespaceHandle;
 use pmp_net::{Incoming, NodeId, Simulator};
+use pmp_trace::{TraceCtx, Traced};
 
 #[derive(Debug)]
 struct Subscription {
@@ -60,13 +61,19 @@ impl TupleSpace {
     /// Deposits a tuple locally (host-side `out`, no network hop) and
     /// pushes notifications to matching subscribers.
     pub fn out_local(&mut self, sim: &mut Simulator, tuple: Tuple) {
+        self.out_with(sim, tuple, TraceCtx::NIL);
+    }
+
+    /// `out` with the depositing request's trace context: notifications
+    /// triggered by the deposit inherit its causal position.
+    fn out_with(&mut self, sim: &mut Simulator, tuple: Tuple, ctx: TraceCtx) {
         for s in &self.subs {
             if s.pattern.matches(&tuple) {
                 let msg = SpaceMsg::Notify {
                     sub: s.sub,
                     tuple: tuple.clone(),
                 };
-                sim.send(self.node, s.owner, CHANNEL, pmp_wire::to_bytes(&msg));
+                sim.send(self.node, s.owner, CHANNEL, ctx.wrap(&msg));
             }
         }
         self.log(&SpaceWalOp::Out {
@@ -93,15 +100,16 @@ impl TupleSpace {
         if &**channel != CHANNEL {
             return;
         }
-        let Ok(msg) = pmp_wire::from_bytes::<SpaceMsg>(payload) else {
+        let Ok(env) = pmp_wire::from_bytes::<Traced<SpaceMsg>>(payload) else {
             return;
         };
-        match msg {
-            SpaceMsg::Out { tuple } => self.out_local(sim, tuple),
+        let ctx = env.ctx;
+        match env.msg {
+            SpaceMsg::Out { tuple } => self.out_with(sim, tuple, ctx),
             SpaceMsg::Rd { pattern, req } => {
                 let tuple = self.find(&pattern).map(|i| self.tuples[i].clone());
                 let reply = SpaceMsg::Result { req, tuple };
-                sim.send(self.node, *from, CHANNEL, pmp_wire::to_bytes(&reply));
+                sim.send(self.node, *from, CHANNEL, ctx.wrap(&reply));
             }
             SpaceMsg::In { pattern, req } => {
                 let tuple = self.find(&pattern).map(|i| {
@@ -109,7 +117,7 @@ impl TupleSpace {
                     self.tuples.remove(i)
                 });
                 let reply = SpaceMsg::Result { req, tuple };
-                sim.send(self.node, *from, CHANNEL, pmp_wire::to_bytes(&reply));
+                sim.send(self.node, *from, CHANNEL, ctx.wrap(&reply));
             }
             SpaceMsg::Subscribe { pattern, sub } => {
                 // Replay matching existing tuples, then remember.
@@ -118,7 +126,7 @@ impl TupleSpace {
                         sub,
                         tuple: t.clone(),
                     };
-                    sim.send(self.node, *from, CHANNEL, pmp_wire::to_bytes(&msg));
+                    sim.send(self.node, *from, CHANNEL, ctx.wrap(&msg));
                 }
                 self.subs.push(Subscription {
                     owner: *from,
