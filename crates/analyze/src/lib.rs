@@ -31,8 +31,18 @@
 //!
 //! Every pass emits structured [`Finding`]s; the receiver's policy maps
 //! a [`Severity`] threshold to accept/reject.
+//!
+//! Beyond admission, the crate also houses the *weave-time optimizer*
+//! ([`opt`], over [`cfg`] and [`lattice`]): after a package passes the
+//! gate, the base may run interprocedural constant propagation,
+//! dead-code elimination, CHA devirtualisation, and hook-check
+//! hoisting over the advice bodies, re-verifying the optimized result
+//! with the same [`verifier`] (translation validation) before shipping.
 
+pub mod cfg;
 pub mod interference;
+pub mod lattice;
+pub mod opt;
 pub mod perms;
 pub mod termination;
 pub mod verifier;

@@ -1,0 +1,183 @@
+//! Class-hierarchy-analysis devirtualisation.
+//!
+//! Shipped advice classes are *leaf* classes: [`pmp_prose::PortableClass`]
+//! has no superclass field, so the hierarchy below the shipped class is
+//! closed by construction. When the abstract lattice proves a `CallV`
+//! receiver is [`AbsVal::SelfRef`] — the aspect instance itself — the
+//! dynamic dispatch can only ever resolve on the shipped class, and the
+//! call is rewritten to [`Op::CallDirect`], which the JIT resolves to a
+//! direct method id with no run-time class lookup.
+//!
+//! The rewrite is gated on a *matching sibling*: the named method must
+//! exist on the class with the call's exact arity, otherwise the
+//! admission verifier's `CallDirect` arity check (and the JIT's link
+//! step) would reject the optimized body that plain `CallV` would have
+//! accepted — dispatch errors must stay run-time errors.
+
+use crate::lattice::{analyze_method, AbsVal};
+use pmp_prose::PortableClass;
+use pmp_vm::op::Op;
+
+/// Rewrites provably-monomorphic `CallV` ops in `class.methods[midx]`
+/// to `CallDirect`. Returns the number of call sites devirtualised.
+pub fn devirtualize(class: &mut PortableClass, midx: usize) -> usize {
+    let params = class.methods[midx].params.len();
+    let Some(states) = analyze_method(&class.methods[midx].body, params) else {
+        return 0;
+    };
+
+    let class_name = class.name.clone();
+    let siblings: Vec<(String, usize)> = class
+        .methods
+        .iter()
+        .map(|m| (m.name.clone(), m.params.len()))
+        .collect();
+
+    let body = &mut class.methods[midx].body;
+    let mut rewritten = 0;
+    for (pc, state) in states.iter().enumerate() {
+        let Op::CallV { method, argc } = &body.ops[pc] else {
+            continue;
+        };
+        let Some(state) = state.as_ref() else {
+            continue; // unreachable — DCE will take it
+        };
+        // Receiver sits below the arguments: stack[len - 1 - argc].
+        let ridx = match state.stack.len().checked_sub(*argc as usize + 1) {
+            Some(i) => i,
+            None => continue,
+        };
+        if state.stack[ridx] != AbsVal::SelfRef {
+            continue;
+        }
+        if !siblings
+            .iter()
+            .any(|(n, p)| n == method && *p == *argc as usize)
+        {
+            continue;
+        }
+        body.ops[pc] = Op::CallDirect {
+            class: class_name.clone(),
+            method: method.clone(),
+            argc: *argc,
+        };
+        rewritten += 1;
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_prose::PortableMethod;
+    use pmp_vm::op::{BytecodeBody, Const};
+
+    fn method(name: &str, nparams: usize, ops: Vec<Op>) -> PortableMethod {
+        PortableMethod {
+            name: name.into(),
+            params: vec!["any".into(); nparams],
+            ret: "any".into(),
+            body: BytecodeBody {
+                extra_locals: 0,
+                ops,
+                handlers: vec![],
+            },
+        }
+    }
+
+    fn class(methods: Vec<PortableMethod>) -> PortableClass {
+        PortableClass {
+            name: "A".into(),
+            fields: vec![],
+            methods,
+        }
+    }
+
+    #[test]
+    fn self_call_is_devirtualised() {
+        let mut c = class(vec![
+            method(
+                "onCall",
+                0,
+                vec![
+                    Op::Load(0),
+                    Op::Const(Const::Int(1)),
+                    Op::CallV {
+                        method: "helper".into(),
+                        argc: 1,
+                    },
+                    Op::RetVal,
+                ],
+            ),
+            method("helper", 1, vec![Op::Load(1), Op::RetVal]),
+        ]);
+        assert_eq!(devirtualize(&mut c, 0), 1);
+        assert_eq!(
+            c.methods[0].body.ops[2],
+            Op::CallDirect {
+                class: "A".into(),
+                method: "helper".into(),
+                argc: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_stays_virtual() {
+        // Receiver is a parameter, not `this` — could be any class.
+        let mut c = class(vec![
+            method(
+                "onCall",
+                1,
+                vec![
+                    Op::Load(1),
+                    Op::CallV {
+                        method: "poke".into(),
+                        argc: 0,
+                    },
+                    Op::RetVal,
+                ],
+            ),
+            method("poke", 0, vec![Op::Ret]),
+        ]);
+        assert_eq!(devirtualize(&mut c, 0), 0);
+        assert!(matches!(c.methods[0].body.ops[1], Op::CallV { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_stays_virtual() {
+        let mut c = class(vec![
+            method(
+                "onCall",
+                0,
+                vec![
+                    Op::Load(0),
+                    Op::CallV {
+                        method: "helper".into(),
+                        argc: 0, // helper takes 1
+                    },
+                    Op::RetVal,
+                ],
+            ),
+            method("helper", 1, vec![Op::Load(1), Op::RetVal]),
+        ]);
+        assert_eq!(devirtualize(&mut c, 0), 0);
+    }
+
+    #[test]
+    fn missing_sibling_stays_virtual() {
+        let mut c = class(vec![method(
+            "onCall",
+            0,
+            vec![
+                Op::Load(0),
+                Op::CallV {
+                    method: "ghost".into(),
+                    argc: 0,
+                },
+                Op::RetVal,
+            ],
+        )]);
+        assert_eq!(devirtualize(&mut c, 0), 0);
+    }
+}

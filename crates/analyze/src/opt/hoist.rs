@@ -1,0 +1,208 @@
+//! Hook-check hoisting for provably pure advice paths.
+//!
+//! Advice bodies always execute inside `begin_advice`, where the VM
+//! suppresses join-point dispatch (`hooks_live()` is false while
+//! `advice_depth > 0`). The per-call stub check is therefore pure
+//! overhead for advice code — but the VM flag that elides it
+//! (`Vm::hoist_hooks`) is only set for methods this analysis *proves*
+//! could never need a hook even outside advice context, as a static
+//! belt on top of the dynamic suppression:
+//!
+//! - no `Sys` ops (observable effects stay instrumentable);
+//! - no `Throw` ops and no exception handlers (throw/catch join
+//!   points stay live);
+//! - field access only on the aspect instance itself (receiver proven
+//!   [`AbsVal::SelfRef`] by the lattice);
+//! - calls only to sibling methods that are themselves hoistable,
+//!   computed as a greatest fixpoint (mutual recursion is fine).
+
+use crate::lattice::{analyze_method, AbsVal};
+use pmp_prose::{PortableClass, PortableMethod};
+use std::collections::BTreeSet;
+
+/// Returns the names of `class`'s methods whose hook checks may be
+/// hoisted, in sorted order.
+pub fn hoistable_methods(class: &PortableClass) -> Vec<String> {
+    let mut candidates: BTreeSet<&str> =
+        class.methods.iter().map(|m| m.name.as_str()).collect();
+    loop {
+        let demoted: Vec<&str> = candidates
+            .iter()
+            .filter(|name| {
+                let m = class
+                    .methods
+                    .iter()
+                    .find(|m| m.name == **name)
+                    .expect("candidate from class");
+                !method_ok(class, m, &candidates)
+            })
+            .copied()
+            .collect();
+        if demoted.is_empty() {
+            return candidates.iter().map(|s| (*s).to_string()).collect();
+        }
+        for d in demoted {
+            candidates.remove(d);
+        }
+    }
+}
+
+fn method_ok(class: &PortableClass, m: &PortableMethod, candidates: &BTreeSet<&str>) -> bool {
+    use pmp_vm::op::Op;
+    if !m.body.handlers.is_empty() {
+        return false; // a catch would be a suppressed join point
+    }
+    let Some(states) = analyze_method(&m.body, m.params.len()) else {
+        return false;
+    };
+    // Receiver of an op popping `argc + 1` sits at stack[len - 1 - argc].
+    let recv_is_self = |pc: usize, argc: usize| {
+        states[pc].as_ref().is_some_and(|s| {
+            s.stack
+                .len()
+                .checked_sub(argc + 1)
+                .is_some_and(|i| s.stack[i] == AbsVal::SelfRef)
+        })
+    };
+    m.body.ops.iter().enumerate().all(|(pc, op)| match op {
+        Op::Sys { .. } | Op::Throw(_) => false,
+        Op::GetField { .. } => recv_is_self(pc, 0),
+        Op::PutField { .. } => recv_is_self(pc, 1),
+        Op::CallV { method, argc } => {
+            recv_is_self(pc, *argc as usize) && candidates.contains(method.as_str())
+        }
+        Op::CallDirect { class: c, method, argc } => {
+            *c == class.name
+                && recv_is_self(pc, *argc as usize)
+                && candidates.contains(method.as_str())
+        }
+        Op::CallStatic { class: c, method, .. } => {
+            *c == class.name && candidates.contains(method.as_str())
+        }
+        _ => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_vm::op::{BytecodeBody, Const, HandlerDef, Op};
+
+    fn method(name: &str, ops: Vec<Op>) -> PortableMethod {
+        PortableMethod {
+            name: name.into(),
+            params: vec![],
+            ret: "any".into(),
+            body: BytecodeBody {
+                extra_locals: 0,
+                ops,
+                handlers: vec![],
+            },
+        }
+    }
+
+    fn class(methods: Vec<PortableMethod>) -> PortableClass {
+        PortableClass {
+            name: "A".into(),
+            fields: vec![],
+            methods,
+        }
+    }
+
+    #[test]
+    fn pure_self_contained_methods_are_hoistable() {
+        let c = class(vec![
+            method(
+                "m",
+                vec![
+                    Op::Load(0),
+                    Op::GetField {
+                        class: "A".into(),
+                        field: "n".into(),
+                    },
+                    Op::RetVal,
+                ],
+            ),
+            method("nop", vec![Op::Ret]),
+        ]);
+        assert_eq!(hoistable_methods(&c), vec!["m", "nop"]);
+    }
+
+    #[test]
+    fn sys_ops_block_hoisting() {
+        let c = class(vec![method(
+            "m",
+            vec![
+                Op::Sys {
+                    name: "print".into(),
+                    argc: 0,
+                },
+                Op::Pop,
+                Op::Ret,
+            ],
+        )]);
+        assert!(hoistable_methods(&c).is_empty());
+    }
+
+    #[test]
+    fn call_to_impure_sibling_demotes_transitively() {
+        let c = class(vec![
+            method(
+                "m",
+                vec![
+                    Op::Load(0),
+                    Op::CallV {
+                        method: "noisy".into(),
+                        argc: 0,
+                    },
+                    Op::Pop,
+                    Op::Ret,
+                ],
+            ),
+            method(
+                "noisy",
+                vec![
+                    Op::Sys {
+                        name: "print".into(),
+                        argc: 0,
+                    },
+                    Op::Pop,
+                    Op::Ret,
+                ],
+            ),
+            method("quiet", vec![Op::Ret]),
+        ]);
+        assert_eq!(hoistable_methods(&c), vec!["quiet"]);
+    }
+
+    #[test]
+    fn field_access_on_foreign_object_blocks_hoisting() {
+        let c = class(vec![method(
+            "m",
+            vec![
+                Op::New("B".into()),
+                Op::GetField {
+                    class: "B".into(),
+                    field: "x".into(),
+                },
+                Op::RetVal,
+            ],
+        )]);
+        assert!(hoistable_methods(&c).is_empty());
+    }
+
+    #[test]
+    fn handlers_block_hoisting() {
+        let mut m = method(
+            "m",
+            vec![Op::Const(Const::Int(1)), Op::Pop, Op::Ret, Op::Pop, Op::Ret],
+        );
+        m.body.handlers.push(HandlerDef {
+            start: 0,
+            end: 2,
+            class: "*".into(),
+            target: 3,
+        });
+        assert!(hoistable_methods(&class(vec![m])).is_empty());
+    }
+}

@@ -97,6 +97,15 @@ pub fn check_permissions(
                     // itself; include it conservatively.
                     enqueue(class, method, &mut queue, &mut seen);
                 }
+                Op::CallDirect {
+                    class: cname,
+                    method,
+                    ..
+                } if *cname == class.name => {
+                    // Devirtualised call within the shipped class:
+                    // statically resolved, same as `CallStatic`.
+                    enqueue(class, method, &mut queue, &mut seen);
+                }
                 _ => {}
             }
         }

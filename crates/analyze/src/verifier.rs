@@ -73,7 +73,7 @@ fn effect(op: &Op) -> (u32, u32, Flow) {
         Op::RetVal => (1, 0, Flow::Exit),
         Op::GetField { .. } => (1, 1, Flow::Next),
         Op::PutField { .. } => (2, 0, Flow::Next),
-        Op::CallV { argc, .. } => (u32::from(*argc) + 1, 1, Flow::Next),
+        Op::CallV { argc, .. } | Op::CallDirect { argc, .. } => (u32::from(*argc) + 1, 1, Flow::Next),
         Op::CallStatic { argc, .. } | Op::Sys { argc, .. } => (u32::from(*argc), 1, Flow::Next),
         Op::NewArray | Op::ArrLen | Op::NewBuffer | Op::BufLen => (1, 1, Flow::Next),
         Op::ArrGet | Op::BufGet => (2, 1, Flow::Next),
@@ -280,6 +280,35 @@ fn check_arity(class: &PortableClass, method: &PortableMethod) -> Vec<Finding> {
                     }
                 }
             }
+            // A devirtualised call naming the shipped class must hit an
+            // existing sibling with matching arity — same rule as
+            // `CallStatic`, since its dispatch is equally static.
+            Op::CallDirect {
+                class: cname,
+                method: mname,
+                argc,
+            } if *cname == class.name => match sibling(mname) {
+                None => findings.push(Finding::new(
+                    Severity::Error,
+                    Pass::Bytecode,
+                    &method.name,
+                    Some(pc),
+                    format!("direct call to unknown method {cname}.{mname}"),
+                )),
+                Some(target) if target.params.len() != usize::from(*argc) => {
+                    findings.push(Finding::new(
+                        Severity::Error,
+                        Pass::Bytecode,
+                        &method.name,
+                        Some(pc),
+                        format!(
+                            "direct call to {cname}.{mname} passes {argc} args, method takes {}",
+                            target.params.len()
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            },
             _ => {}
         }
     }

@@ -13,6 +13,10 @@ use pmp_spec::Size;
 const SEC: u64 = 1_000_000_000;
 
 fn main() {
+    if std::env::args().any(|a| a == "--dump-opt-report") {
+        dump_opt_reports();
+        return;
+    }
     println!("# pmp experiment harness");
     println!();
     println!("(build: {})", if cfg!(debug_assertions) { "DEBUG — use --release for meaningful absolute times" } else { "release" });
@@ -31,7 +35,94 @@ fn main() {
     e13_durability();
     e14_chaos();
     e15_tracing_overhead();
+    e16_weave_opt();
     ablations();
+}
+
+/// `--dump-opt-report`: prints the deterministic weave-time
+/// optimization report for every shipped extension package (what a
+/// base logs under [`pmp_midas::ShipMode::Optimized`]).
+fn dump_opt_reports() {
+    let packages: Vec<(&str, pmp_midas::ExtensionPackage)> = vec![
+        ("monitoring", pmp_extensions::monitoring::package(1)),
+        ("session", pmp_extensions::session::package("* DrawingService.*(..)", 1)),
+        (
+            "access-control",
+            pmp_extensions::access_control::package("* DrawingService.*(..)", &["op:1"], 1),
+        ),
+        ("encryption", pmp_extensions::encryption::package(0x42, 1)),
+        ("geofence", pmp_extensions::geofence::package(0, 0, 30, 30, 1)),
+        ("billing", pmp_extensions::billing::package("* Motor.*(..)", 2, 1)),
+        ("persistence", pmp_extensions::persistence::package("Robot.state", 1)),
+        (
+            "transactions",
+            pmp_extensions::transactions::package("* Svc.tx*(..)", "Svc", &["a", "b"], 1),
+        ),
+        ("agegate", pmp_extensions::agegate::package("* Svc.*(..)", 1_000, 1)),
+        ("replication", pmp_extensions::replication::package(1)),
+        ("bench guard (E16)", pmp_bench::guard_package()),
+    ];
+    println!("# weave-time optimization reports");
+    println!();
+    for (label, pkg) in packages {
+        let (_, report) = pmp_midas::optimize_package(&pkg);
+        println!("## {label} ({})", pkg.meta.id);
+        println!();
+        println!("```");
+        print!("{report}");
+        println!("```");
+        println!();
+    }
+}
+
+/// E16 — DESIGN.md §14: the weave-time optimizer on the E2 workload.
+/// The guard package's advice is authored with a constant guard and a
+/// virtual rate-limit probe; shipped as authored it pays the full
+/// script-advice dispatch, shipped optimized it collapses to a bare
+/// `Ret` with hooks hoisted. Target: optimized shipped-script advice
+/// within 2× of native advice.
+fn e16_weave_opt() {
+    println!("## E16 — weave-time optimization of shipped advice (target: optimized ≤ 2× native)");
+    println!();
+    // Interleaved min-of-3 (like E15's dispatch row) so drift hits all
+    // legs equally.
+    let mut base = f64::INFINITY;
+    let mut native = f64::INFINITY;
+    let mut original = f64::INFINITY;
+    let mut optimized = f64::INFINITY;
+    for _ in 0..3 {
+        let (mut vm, obj) = ping_vm(PingMode::NoStubs);
+        base = base.min(measure_ns(20_000, || ping_once(&mut vm, &obj)));
+        let (mut vm, obj) = ping_vm(PingMode::NativeAdvice);
+        native = native.min(measure_ns(20_000, || ping_once(&mut vm, &obj)));
+        let (mut vm, obj) = ping_vm_shipped(false);
+        original = original.min(measure_ns(20_000, || ping_once(&mut vm, &obj)));
+        let (mut vm, obj) = ping_vm_shipped(true);
+        optimized = optimized.min(measure_ns(20_000, || ping_once(&mut vm, &obj)));
+    }
+    let native_add = native - base;
+    println!("| configuration | ns/call | advice cost vs no-stubs | vs native advice |");
+    println!("|---|---|---|---|");
+    println!("| no stubs (baseline) | {base:.0} | — | — |");
+    println!("| native do-nothing advice | {native:.0} | {native_add:+.0} ns | 1.0× |");
+    for (label, ns) in [
+        ("guard advice, shipped as authored", original),
+        ("guard advice, shipped optimized", optimized),
+    ] {
+        let add = ns - base;
+        println!(
+            "| {label} | {ns:.0} | {add:+.0} ns | {:.1}× |",
+            add / native_add
+        );
+    }
+    let (_, report) = pmp_midas::optimize_package(&pmp_bench::guard_package());
+    println!();
+    println!("Optimization report for the guard package:");
+    println!();
+    println!("```");
+    print!("{report}");
+    println!("```");
+    println!();
 }
 
 /// E15 — DESIGN.md §13: wall-clock cost of causal tracing on the

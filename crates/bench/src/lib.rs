@@ -762,6 +762,127 @@ pub fn distribution_overhead_run(n: usize, tracing: bool) -> TraceOverheadResult
     }
 }
 
+// ---------------------------------------------------------------------
+// E16 — weave-time optimization of shipped advice
+// ---------------------------------------------------------------------
+
+/// A shipped extension whose before-advice is written the way a real
+/// extension author would write a guard: a constant arithmetic check,
+/// a rate-limit probe through a virtual call on a sibling method, and
+/// a fall-through return. Every op is resolvable at weave time — the
+/// optimizer devirtualises the `limit` call, folds the guard, inlines
+/// the constant summary, and DCE collapses `onCall` to a bare `Ret`,
+/// with both methods proved hoistable — so the Original-vs-Optimized
+/// gap on this package is the cost of shipping advice as authored.
+pub fn guard_package() -> pmp_midas::ExtensionPackage {
+    use pmp_vm::op::{BytecodeBody, Const};
+    let advice = BytecodeBody {
+        extra_locals: 0,
+        ops: vec![
+            Op::Const(Const::Int(6)),
+            Op::Const(Const::Int(7)),
+            Op::Mul, // 42
+            Op::Const(Const::Int(40)),
+            Op::Const(Const::Int(2)),
+            Op::Add, // 42
+            Op::Eq,  // true: the guard is satisfied
+            Op::JumpIfNot(11),
+            Op::Load(0),
+            Op::CallV {
+                method: "limit".into(),
+                argc: 0,
+            },
+            Op::Pop,
+            Op::Ret,
+        ],
+        handlers: vec![],
+    };
+    let limit = BytecodeBody {
+        extra_locals: 0,
+        ops: vec![Op::Const(Const::Int(9)), Op::RetVal],
+        handlers: vec![],
+    };
+    let class = PortableClass {
+        name: "GuardAspect".into(),
+        fields: vec![],
+        methods: vec![
+            PortableMethod {
+                name: "onCall".into(),
+                params: vec!["any".into(); 5],
+                ret: "any".into(),
+                body: advice,
+            },
+            PortableMethod {
+                name: "limit".into(),
+                params: vec![],
+                ret: "int".into(),
+                body: limit,
+            },
+        ],
+    };
+    let aspect = Aspect::script(
+        "guard",
+        class,
+        vec![(
+            Crosscut::parse("before * Ping.*(..)").expect("pattern"),
+            "onCall".into(),
+            0,
+        )],
+    );
+    pmp_midas::ExtensionPackage {
+        meta: pmp_midas::ExtensionMeta {
+            id: "bench/guard".into(),
+            version: 1,
+            description: "constant-guard advice for E16".into(),
+            requires: vec![],
+            permissions: vec![],
+            implicit: false,
+        },
+        aspect: pmp_prose::PortableAspect::try_from(&aspect).expect("portable"),
+    }
+}
+
+/// A `Ping` VM with [`guard_package`] woven the way a receiver would
+/// install it: as shipped when `optimize` is false (the paper's
+/// behaviour), or through the base-side optimizer plus receiver-side
+/// hook hoisting when true ([`pmp_midas::ShipMode::Optimized`]).
+pub fn ping_vm_shipped(optimize: bool) -> (Vm, Value) {
+    let mut vm = Vm::new(VmConfig::default());
+    vm.register_class(
+        ClassDef::build("Ping")
+            .method("ping", [], TypeSig::Void, |b| {
+                b.op(Op::Ret);
+            })
+            .done(),
+    )
+    .expect("register");
+    let prose = Prose::attach(&mut vm);
+    let pkg = guard_package();
+    let pkg = if optimize {
+        let (optimized, report) = pmp_midas::optimize_package(&pkg);
+        assert!(report.all_validated(), "E16 package must optimize clean");
+        optimized
+    } else {
+        pkg
+    };
+    prose
+        .weave(
+            &mut vm,
+            pkg.aspect.clone().into(),
+            WeaveOptions::sandboxed(Permissions::none()),
+        )
+        .expect("weave");
+    if optimize {
+        // Receivers recompute hoisting locally from the shipped class;
+        // they never trust the base's report.
+        for m in pmp_analyze::opt::hoist::hoistable_methods(&pkg.aspect.class) {
+            vm.hoist_hooks(&pkg.aspect.class.name, &m);
+        }
+    }
+    let obj = vm.new_object("Ping").expect("object");
+    (vm, obj)
+}
+
 /// Crude timer: median wall-clock nanoseconds per iteration of `f`.
 pub fn measure_ns(iters: u32, mut f: impl FnMut()) -> f64 {
     // Warm-up.
@@ -800,6 +921,22 @@ mod tests {
                 expect_dispatch,
                 "{mode:?}"
             );
+        }
+    }
+
+    #[test]
+    fn guard_package_collapses_and_both_legs_run() {
+        let (opt, report) = pmp_midas::optimize_package(&guard_package());
+        assert!(report.all_validated());
+        assert_eq!(opt.aspect.class.methods[0].body.ops, vec![Op::Ret]);
+        assert_eq!(
+            pmp_analyze::opt::hoist::hoistable_methods(&opt.aspect.class),
+            vec!["limit".to_string(), "onCall".to_string()]
+        );
+        for optimize in [false, true] {
+            let (mut vm, obj) = ping_vm_shipped(optimize);
+            ping_once(&mut vm, &obj);
+            assert!(vm.stats().advice_dispatches > 0, "optimize={optimize}");
         }
     }
 

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod differential;
 pub mod exec;
 pub mod gen;
 pub mod oracle;
@@ -33,6 +34,7 @@ pub mod repro;
 pub mod script;
 pub mod shrink;
 
+pub use differential::differential_check;
 pub use exec::{run, run_cross, CrossReport, DriverKind, RunReport};
 pub use gen::{generate, GenConfig};
 pub use oracle::Violation;

@@ -66,6 +66,12 @@ pub struct Platform {
     /// barriers (see `pmp-trace`).
     collector: pmp_trace::Collector,
     tracing: bool,
+    /// Whether bases run the weave-time optimizer before sealing
+    /// published extensions.
+    ship_mode: pmp_midas::ShipMode,
+    /// Optimization reports from every publish, in publish order
+    /// (`(extension id, report)`).
+    opt_reports: Vec<(String, pmp_midas::OptReport)>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -103,7 +109,21 @@ impl Platform {
             driver: crate::driver::driver_from_env(),
             collector: pmp_trace::Collector::default(),
             tracing: false,
+            ship_mode: pmp_midas::ShipMode::default(),
+            opt_reports: Vec::new(),
         }
+    }
+
+    /// Chooses whether bases ship published extensions optimized
+    /// (default) or exactly as authored.
+    pub fn set_ship_mode(&mut self, mode: pmp_midas::ShipMode) {
+        self.ship_mode = mode;
+    }
+
+    /// Optimization reports of every [`Platform::publish_extension`]
+    /// so far, in publish order.
+    pub fn opt_reports(&self) -> &[(String, pmp_midas::OptReport)] {
+        &self.opt_reports
     }
 
     /// Turns causal span tracing on or off for every node cell. Off by
@@ -332,6 +352,35 @@ impl Platform {
     /// nodes already adapted receive a live replacement
     /// ([`pmp_midas::base::ExtensionBase::update_extension`]).
     pub fn publish_extension(&mut self, base: BaseId, pkg: &pmp_midas::ExtensionPackage) {
+        // Weave-time optimization at the base, between admission and
+        // shipping: smaller, devirtualised advice bodies go over the
+        // air; receivers re-verify whatever arrives.
+        let pkg = &match self.ship_mode {
+            pmp_midas::ShipMode::Original => pkg.clone(),
+            pmp_midas::ShipMode::Optimized => {
+                let opt_start = std::time::Instant::now();
+                let (optimized, report) = pmp_midas::optimize_package(pkg);
+                let ns = opt_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                self.telemetry.record("analyze.opt.ns", ns);
+                self.telemetry
+                    .record("analyze.opt.removed_ops", report.total_removed() as u64);
+                self.telemetry
+                    .record("analyze.opt.hoistable", report.hoisted.len() as u64);
+                self.telemetry.event(
+                    pmp_telemetry::Subsystem::Midas,
+                    "analyze.opt",
+                    format!(
+                        "{}: -{} ops, {} hoistable, validated {}",
+                        pkg.meta.id,
+                        report.total_removed(),
+                        report.hoisted.len(),
+                        report.all_validated(),
+                    ),
+                );
+                self.opt_reports.push((pkg.meta.id.clone(), report));
+                optimized
+            }
+        };
         let sign_start = std::time::Instant::now();
         let sealed = self.bases[base.0].seal(pkg);
         let ns = sign_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;

@@ -1,0 +1,146 @@
+//! Golden weave-time optimization reports for every shipped extension
+//! package.
+//!
+//! The reports are deterministic by construction (the optimizer is a
+//! pure function of the package bytes), so the full rendered report is
+//! pinned here, pass by pass. Two things these goldens guard:
+//!
+//! * the optimizer stays *sound* on real packages — the shipped
+//!   extensions read live join-point state, so their bodies must come
+//!   through untouched (a sudden "improvement" here means the
+//!   optimizer started folding something observable);
+//! * the reports stay *stable* — a base journals them, and the
+//!   `--dump-opt-report` harness output is diffable across commits.
+//!
+//! Every optimized package must also re-pass the admission verifier
+//! (translation validation holds end to end, not just per method).
+
+use pmp_analyze::{AnalyzeOptions, Severity};
+use pmp_extensions as ext;
+use pmp_midas::{optimize_package, ExtensionPackage};
+
+fn packages() -> Vec<ExtensionPackage> {
+    vec![
+        ext::monitoring::package(1),
+        ext::session::package("* DrawingService.*(..)", 1),
+        ext::access_control::package("* DrawingService.*(..)", &["op:1"], 1),
+        ext::encryption::package(0x42, 1),
+        ext::geofence::package(0, 0, 30, 30, 1),
+        ext::billing::package("* Motor.*(..)", 2, 1),
+        ext::persistence::package("Robot.state", 1),
+        ext::transactions::package("* Svc.tx*(..)", "Svc", &["a", "b"], 1),
+        ext::agegate::package("* Svc.*(..)", 1_000, 1),
+        ext::replication::package(1),
+    ]
+}
+
+/// The pinned report for each package id.
+const GOLDEN: &[(&str, &str)] = &[
+    (
+        "ext/monitoring",
+        "class HwMonitoring_monitoring_v1\n\
+         \x20 ANYMETHOD: 33 -> 33 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 hoist: -\n",
+    ),
+    (
+        "ext/session",
+        "class SessionMgmt_v1\n\
+         \x20 capture: 5 -> 5 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 hoist: -\n",
+    ),
+    (
+        "ext/access-control",
+        "class AccessControl_v1\n\
+         \x20 check: 13 -> 13 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 hoist: -\n",
+    ),
+    (
+        "ext/encryption",
+        "class LinkEncryption_v1\n\
+         \x20 transform: 27 -> 27 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 hoist: transform\n",
+    ),
+    (
+        "ext/geofence",
+        "class Geofence_v1\n\
+         \x20 check: 30 -> 30 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 hoist: -\n",
+    ),
+    (
+        "ext/billing",
+        "class Billing_v1\n\
+         \x20 tick: 7 -> 7 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 onShutdown: 8 -> 8 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 hoist: tick\n",
+    ),
+    (
+        "ext/persistence",
+        "class OrthogonalPersistence_v1\n\
+         \x20 onWrite: 5 -> 5 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 hoist: -\n",
+    ),
+    (
+        "ext/transactions",
+        "class AdHocTx_v1\n\
+         \x20 begin: 9 -> 9 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 end: 13 -> 13 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 hoist: -\n",
+    ),
+    (
+        "ext/age-gate",
+        "class AgeGate_v1\n\
+         \x20 init: 4 -> 4 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 gate: 10 -> 10 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 hoist: -\n",
+    ),
+    (
+        "ext/replication",
+        "class HwMonitoring_replication_v1\n\
+         \x20 ANYMETHOD: 33 -> 33 ops (devirt 0, fold 0, branch 0, inline 0, dce 0)\n\
+         \x20 hoist: -\n",
+    ),
+];
+
+#[test]
+fn optimization_reports_match_goldens() {
+    let packages = packages();
+    assert_eq!(packages.len(), GOLDEN.len(), "golden table out of sync");
+    for pkg in &packages {
+        let (_, report) = optimize_package(pkg);
+        let (_, expected) = GOLDEN
+            .iter()
+            .find(|(id, _)| *id == pkg.meta.id)
+            .unwrap_or_else(|| panic!("no golden for {}", pkg.meta.id));
+        assert_eq!(
+            report.to_string(),
+            *expected,
+            "{}: optimization report drifted",
+            pkg.meta.id
+        );
+    }
+}
+
+#[test]
+fn every_package_optimizes_clean_and_reverifies() {
+    for pkg in &packages() {
+        let (optimized, report) = optimize_package(pkg);
+        assert!(
+            report.all_validated(),
+            "{}: a method failed translation validation:\n{report}",
+            pkg.meta.id
+        );
+        // The optimized class must re-pass the same admission checks a
+        // receiver runs on arrival.
+        let findings =
+            pmp_analyze::verifier::verify_class(&optimized.aspect.class, &AnalyzeOptions::default());
+        let errors: Vec<_> = findings
+            .iter()
+            .filter(|f| f.severity >= Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "{}: optimized class fails the verifier: {errors:?}",
+            pkg.meta.id
+        );
+    }
+}

@@ -28,6 +28,7 @@
 pub mod base;
 pub mod catalog;
 pub mod durable;
+pub mod optimize;
 pub mod package;
 pub mod policy;
 pub mod proto;
@@ -35,6 +36,7 @@ pub mod receiver;
 
 pub use base::{BaseEvent, ExtensionBase};
 pub use catalog::Catalog;
+pub use optimize::{optimize_package, OptReport, ShipMode};
 pub use package::{ExtensionMeta, ExtensionPackage, SignedExtension};
 pub use policy::{AnalysisPolicy, ReceiverPolicy};
 pub use proto::{MidasMsg, CHANNEL};

@@ -635,6 +635,16 @@ impl AdaptationService {
                     self.nack(sim, from, &id, grant, format!("analysis: {pass}: {detail}"), ctx);
                     return;
                 }
+                // Hook-check hoisting: recompute which advice methods
+                // the purity analysis proves can never need a join
+                // point of their own, and elide their JIT stub checks.
+                // Recomputed locally from the shipped class — the
+                // receiver never trusts the base's optimization report.
+                for m in pmp_analyze::opt::hoist::hoistable_methods(&pkg.aspect.class) {
+                    if vm.hoist_hooks(&pkg.aspect.class.name, &m) {
+                        self.count("midas.receiver.hoisted");
+                    }
+                }
                 // Arm the first-interception watch: the next advice
                 // dispatch past this baseline closes the adaptation's
                 // span tree with a `midas.intercept` leaf.

@@ -49,7 +49,26 @@ pub(crate) struct AspectRt {
 #[derive(Clone)]
 pub(crate) enum AdviceExec {
     Native(NativeAdviceFn),
-    Script { method: Arc<str> },
+    Script {
+        method: Arc<str>,
+        /// Pre-resolved dispatch: the advice method id plus its
+        /// parameter-load mask (bit *i* set ⇔ the body loads local
+        /// slot *i*), computed once at weave time so each dispatch
+        /// skips the name lookup and can skip materialising join-point
+        /// arguments the advice never reads. `None` falls back to
+        /// per-dispatch resolution.
+        resolved: Option<(MethodId, u64)>,
+    },
+}
+
+/// Resolves a script advice method against `vm` for the fast path.
+pub(crate) fn resolve_script(
+    vm: &Vm,
+    class: Option<&str>,
+    method: &str,
+) -> Option<(MethodId, u64)> {
+    let mid = vm.method_id(class?, method)?;
+    Some((mid, vm.param_load_mask(mid)))
 }
 
 #[derive(Clone)]
@@ -129,6 +148,7 @@ impl ProseRuntime {
                     crate::advice::AdviceBody::Native(f) => AdviceExec::Native(f.clone()),
                     crate::advice::AdviceBody::Script { method } => AdviceExec::Script {
                         method: method.clone(),
+                        resolved: resolve_script(vm, rt.class.as_deref(), method),
                     },
                 };
                 let aref = AdviceRef {
@@ -237,7 +257,9 @@ impl ProseRuntime {
                 let mut ctx = AdviceCtx { vm, jp };
                 f(&mut ctx)
             }
-            AdviceExec::Script { method } => run_script_advice(vm, &aref.aspect, method, jp),
+            AdviceExec::Script { method, resolved } => {
+                run_script_advice(vm, &aref.aspect, method, *resolved, jp)
+            }
         };
         vm.end_advice(scope);
         match result {
@@ -301,20 +323,39 @@ fn run_script_advice(
     vm: &mut Vm,
     aspect: &AspectRt,
     method: &str,
+    resolved: Option<(MethodId, u64)>,
     jp: JoinPoint<'_>,
 ) -> Result<(), VmError> {
-    let class = aspect
-        .class
-        .as_deref()
-        .ok_or_else(|| VmError::link("script advice without aspect class"))?;
-    let mid = vm
-        .method_id(class, method)
-        .ok_or_else(|| VmError::link(format!("missing advice method {class}.{method}")))?;
+    let (mid, mask) = match resolved {
+        Some(r) => r,
+        None => {
+            let class = aspect
+                .class
+                .as_deref()
+                .ok_or_else(|| VmError::link("script advice without aspect class"))?;
+            resolve_script(vm, Some(class), method).ok_or_else(|| {
+                VmError::link(format!("missing advice method {class}.{method}"))
+            })?
+        }
+    };
+    // Advice parameter *i* (1-based, after `this`) lives in local slot
+    // *i*; a slot the body never loads can receive `null` instead of a
+    // freshly materialised description string or argument array — the
+    // body has no way to observe the difference.
+    let uses = |slot: u64| mask & (1 << slot) != 0;
     let instance = aspect.instance.clone();
     match jp {
         JoinPoint::MethodEntry { sig, this, args } => {
-            let arr = vm.new_array(args.clone());
-            let desc = Value::str(format!("{}.{}", sig.class, sig.name));
+            let arr = if uses(3) {
+                vm.new_array(args.clone())
+            } else {
+                Value::Null
+            };
+            let desc = if uses(2) {
+                Value::str(format!("{}.{}", sig.class, sig.name))
+            } else {
+                Value::Null
+            };
             vm.invoke(
                 mid,
                 instance,
@@ -334,8 +375,16 @@ fn run_script_advice(
             args,
             outcome,
         } => {
-            let arr = vm.new_array(args.to_vec());
-            let desc = Value::str(format!("{}.{}", sig.class, sig.name));
+            let arr = if uses(3) {
+                vm.new_array(args.to_vec())
+            } else {
+                Value::Null
+            };
+            let desc = if uses(2) {
+                Value::str(format!("{}.{}", sig.class, sig.name))
+            } else {
+                Value::Null
+            };
             let (retv, exc) = match &*outcome {
                 Outcome::Returned(v) => (v.clone(), Value::Null),
                 Outcome::Threw(e) => (Value::Null, Value::str(&*e.class)),
@@ -360,7 +409,11 @@ fn run_script_advice(
             obj,
             value,
         } => {
-            let desc = Value::str(format!("{c}.{field}"));
+            let desc = if uses(2) {
+                Value::str(format!("{c}.{field}"))
+            } else {
+                Value::Null
+            };
             let ret = vm.invoke(
                 mid,
                 instance,
@@ -372,7 +425,11 @@ fn run_script_advice(
             Ok(())
         }
         JoinPoint::ExceptionThrow { site, exc } | JoinPoint::ExceptionCatch { site, exc } => {
-            let desc = Value::str(format!("{}.{}", site.class, site.name));
+            let desc = if uses(2) {
+                Value::str(format!("{}.{}", site.class, site.name))
+            } else {
+                Value::Null
+            };
             vm.invoke(
                 mid,
                 instance,

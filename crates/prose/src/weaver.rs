@@ -254,6 +254,11 @@ impl Prose {
                 AdviceBody::Native(f) => AdviceExec::Native(f.clone()),
                 AdviceBody::Script { method } => AdviceExec::Script {
                     method: method.clone(),
+                    resolved: crate::runtime::resolve_script(
+                        vm,
+                        woven.rt.class.as_deref(),
+                        method,
+                    ),
                 },
             };
             let aref = AdviceRef {

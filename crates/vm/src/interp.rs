@@ -145,9 +145,11 @@ pub(crate) fn run(
                 // A jump must land on an instruction; sequential
                 // fall-off is an implicit `Ret`, but a wild jump is a
                 // link error (same rule as the JIT's `check_target`).
+                // Anchored at the *jumping instruction's* offset, the
+                // same pc the JIT and the analyze verifier report.
                 if target >= compiled.ops.len() {
                     return Err(VmError::link(format!(
-                        "jump target {target} out of range (method has {} ops)",
+                        "jump target {target} out of range @{pc} (method has {} ops)",
                         compiled.ops.len()
                     )));
                 }
@@ -334,6 +336,25 @@ fn exec_op(
             let ret = vm.invoke(mid, Value::Null, args)?;
             stack.push(ret);
         }
+        CompiledOp::CallDirect { mid, argc } => {
+            // Devirtualised `CallV`: the optimizer proved the receiver's
+            // class, so skip the heap class lookup + name resolution and
+            // invoke the resolved method with the receiver as `this`.
+            let n = argc as usize;
+            if stack.len() < n + 1 {
+                return Err(VmError::link("operand stack underflow"));
+            }
+            let args = stack.split_off(stack.len() - n);
+            let recv = pop(stack)?;
+            if recv == Value::Null {
+                return Err(VmError::exception(
+                    exception_class::NULL_POINTER,
+                    "null receiver",
+                ));
+            }
+            let ret = vm.invoke(mid, recv, args)?;
+            stack.push(ret);
+        }
         CompiledOp::NewArray => {
             let len = pop_int(stack)?;
             let len = usize::try_from(len).map_err(|_| {
@@ -487,6 +508,40 @@ mod tests {
             matches!(&err, VmError::Link(msg) if msg.contains("jump target 99 out of range")),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn wild_jump_error_names_the_jumping_instruction_offset() {
+        // Interpreter and JIT must report the *same* offset for the
+        // same wild jump: the pc of the jumping instruction. Here the
+        // jump sits at pc 1 (after a Nop).
+        let mut vm = vm_with_method();
+        let cm = compiled(&vm, vec![CompiledOp::Nop, CompiledOp::Jump(99)]);
+        let interp_err = run(&mut vm, &cm, Value::Null, vec![]).unwrap_err();
+        let interp_msg = match &interp_err {
+            VmError::Link(m) => m.clone(),
+            other => panic!("expected link error, got {other:?}"),
+        };
+        assert!(interp_msg.contains("jump target 99 out of range @1"), "{interp_msg}");
+
+        // The JIT rejects the same body at compile time, anchored at
+        // the same offset.
+        let mut vm = Vm::new(VmConfig::default());
+        vm.register_class(
+            ClassDef::build("W")
+                .method("m", [], TypeSig::Void, |b| {
+                    b.op(Op::Nop).op(Op::Jump(99)).op(Op::Ret);
+                })
+                .done(),
+        )
+        .unwrap();
+        let obj = vm.new_object("W").unwrap();
+        let jit_err = vm.call("W", "m", obj, vec![]).unwrap_err();
+        let jit_msg = match &jit_err {
+            VmError::Link(m) => m.clone(),
+            other => panic!("expected link error, got {other:?}"),
+        };
+        assert!(jit_msg.contains("@1: jump target 99 out of range"), "{jit_msg}");
     }
 
     #[test]

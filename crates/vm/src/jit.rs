@@ -19,7 +19,10 @@ use std::sync::Arc;
 
 pub(crate) fn compile(vm: &mut Vm, mid: MethodId) -> Result<(), VmError> {
     let body = vm.method_rt(mid).body.clone();
-    let stub = vm.config().prose_hooks;
+    // Hook-check hoisting: the weave-time analyzer may prove a method
+    // needs no entry/exit stub (see `Vm::hoist_hooks`); such methods
+    // compile stub-free even on a hook-carrying VM.
+    let stub = vm.config().prose_hooks && !vm.method_rt(mid).hoisted;
     let compiled = match body {
         MethodBody::Native(f) => Compiled::Native { f, stub },
         MethodBody::Bytecode(b) => {
@@ -131,6 +134,22 @@ fn resolve_op(vm: &Vm, mid: MethodId, pc: usize, op: &Op, len: u32) -> Result<Co
                 VmError::link(format!("{}: unknown method {class}.{method}", ctx()))
             })?;
             CompiledOp::CallStatic {
+                mid: target,
+                argc: *argc,
+            }
+        }
+        Op::CallDirect {
+            class,
+            method,
+            argc,
+        } => {
+            let cid = vm
+                .class_id(class)
+                .ok_or_else(|| VmError::link(format!("{}: unknown class {class:?}", ctx())))?;
+            let target = vm.resolve_virtual(cid, method).ok_or_else(|| {
+                VmError::link(format!("{}: unknown method {class}.{method}", ctx()))
+            })?;
+            CompiledOp::CallDirect {
                 mid: target,
                 argc: *argc,
             }

@@ -191,6 +191,19 @@ pub enum Op {
         /// Number of arguments.
         argc: u8,
     },
+    /// `obj a1..aN -> ret` devirtualised call: like [`Op::CallV`] but the
+    /// receiver's class is statically known, so dispatch resolves to a
+    /// direct method id at JIT time and skips the run-time class lookup.
+    /// Emitted only by the weave-time optimizer when class-hierarchy
+    /// analysis proves the receiver is exactly an instance of `class`.
+    CallDirect {
+        /// The receiver's statically proven class.
+        class: String,
+        /// Method name.
+        method: String,
+        /// Number of arguments (excluding receiver).
+        argc: u8,
+    },
     /// `len -> ref` allocate an array of nulls.
     NewArray,
     /// `arr idx -> v`
@@ -331,6 +344,16 @@ impl Wire for Op {
                 w.put_u8(*argc);
             }
             Op::Nop => w.put_u8(48),
+            Op::CallDirect {
+                class,
+                method,
+                argc,
+            } => {
+                w.put_u8(49);
+                w.put_str(class);
+                w.put_str(method);
+                w.put_u8(*argc);
+            }
         }
     }
 
@@ -401,6 +424,11 @@ impl Wire for Op {
                 argc: r.get_u8()?,
             },
             48 => Op::Nop,
+            49 => Op::CallDirect {
+                class: r.get_str()?,
+                method: r.get_str()?,
+                argc: r.get_u8()?,
+            },
             tag => {
                 return Err(r.bad_tag("Op", tag))
             }
@@ -542,6 +570,14 @@ pub enum CompiledOp {
         /// Number of arguments.
         argc: u8,
     },
+    /// See [`Op::CallDirect`] — resolved to a direct method id; the
+    /// receiver is popped and passed as `this` without a class lookup.
+    CallDirect {
+        /// Target method.
+        mid: crate::hooks::MethodId,
+        /// Number of arguments (excluding receiver).
+        argc: u8,
+    },
     /// See [`Op::NewArray`].
     NewArray,
     /// See [`Op::ArrGet`].
@@ -643,6 +679,11 @@ mod tests {
                 class: "Math".into(),
                 method: "abs".into(),
                 argc: 1,
+            },
+            Op::CallDirect {
+                class: "Motor".into(),
+                method: "rotate".into(),
+                argc: 2,
             },
             Op::NewArray,
             Op::ArrGet,

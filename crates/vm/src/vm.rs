@@ -152,6 +152,12 @@ pub(crate) struct MethodRt {
     pub(crate) sig: MethodSig,
     pub(crate) body: MethodBody,
     pub(crate) compiled: Option<Compiled>,
+    /// Hook-check hoisting: when set, the JIT skips planting the PROSE
+    /// entry/exit stubs even on a hook-carrying VM. Set only via
+    /// [`Vm::hoist_hooks`] for methods the weave-time analyzer proved
+    /// are never join points that matter (pure advice bodies — they run
+    /// inside `begin_advice`, where hooks are suppressed anyway).
+    pub(crate) hoisted: bool,
 }
 
 /// Saved state for a nested advice execution; restore with
@@ -530,6 +536,7 @@ impl Vm {
                 sig,
                 body: m.body.clone(),
                 compiled: None,
+                hoisted: false,
             });
         }
 
@@ -638,6 +645,43 @@ impl Vm {
         let c = &self.classes[cid.0 as usize];
         let slot = *c.field_by_name.get(field)?;
         Some((slot, c.field_slots[slot as usize].fid))
+    }
+
+    /// Marks `class.method` as hook-hoisted: its next compilation skips
+    /// the PROSE entry/exit stubs entirely, removing the per-call hook
+    /// check. Callers must have *proved* the method needs no stubs
+    /// (pmp-analyze's hoisting pass does); existing JIT output is
+    /// discarded so the flag takes effect on the next invocation.
+    /// Returns `true` if the method existed.
+    pub fn hoist_hooks(&mut self, class: &str, method: &str) -> bool {
+        let Some(mid) = self.method_id(class, method) else {
+            return false;
+        };
+        let m = &mut self.methods[mid.0 as usize];
+        m.hoisted = true;
+        m.compiled = None;
+        true
+    }
+
+    /// Which of the first 64 local slots (`this` = bit 0, param `i` =
+    /// bit `i`) a bytecode body may read, as a bitmask. Native methods
+    /// conservatively read everything. Advice dispatch uses this to
+    /// skip materialising arguments the advice never looks at.
+    pub fn param_load_mask(&self, mid: MethodId) -> u64 {
+        match &self.methods[mid.0 as usize].body {
+            MethodBody::Native(_) => u64::MAX,
+            MethodBody::Bytecode(b) => {
+                let mut mask = 0u64;
+                for op in &b.ops {
+                    if let crate::op::Op::Load(i) = op {
+                        if *i < 64 {
+                            mask |= 1 << i;
+                        }
+                    }
+                }
+                mask
+            }
+        }
     }
 
     /// Resolves a virtual method on a runtime class: nearest
