@@ -36,7 +36,44 @@ fn main() {
     e14_chaos();
     e15_tracing_overhead();
     e16_weave_opt();
+    e17_federation();
     ablations();
+}
+
+/// E17 — the federated base fabric: directory-tier lookup scaling
+/// (worst-case leaf-to-leaf path through the registrar tree) and the
+/// re-delivery-free roaming handoff between replicated halls.
+fn e17_federation() {
+    use pmp_bench::{fed_handoff_run, fed_lookup_run};
+
+    println!("## E17 — federated base fabric (directory lookups + roaming handoff)");
+    println!();
+    println!("Lookup scaling: a 4-ary registrar tree over N bases; the query starts");
+    println!("at the deepest leftmost leaf, the service lives at the deepest rightmost");
+    println!("leaf. Hops must grow O(log N), never O(N) — no flat broadcast.");
+    println!();
+    println!("| bases | hops (worst-case path) | sim latency (ms) | found |");
+    println!("|---|---|---|---|");
+    for bases in [4usize, 16, 64, 256, 1024] {
+        let r = fed_lookup_run(bases, 4);
+        println!(
+            "| {} | {} | {:.1} | {} |",
+            r.bases, r.hops, r.latency_ms, r.found
+        );
+    }
+    println!();
+    let h = fed_handoff_run();
+    println!("Roaming handoff between federated halls (production-halls world,");
+    println!("catalogs converged by anti-entropy before the roam):");
+    println!();
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| extensions installed at roam time | {} |", h.roamed_exts);
+    println!("| grants migrated (rebound in place) | {} |", h.migrated);
+    println!("| re-`Deliver` messages for the roamed set | {} |", h.redelivered);
+    println!("| movement records at the adopting base | {} |", h.movements);
+    println!("| adoption latency after the move (sim ms) | {:.0} |", h.adopt_ms);
+    println!();
 }
 
 /// `--dump-opt-report`: prints the deterministic weave-time
@@ -354,7 +391,7 @@ fn e6_distribution() {
     println!();
     println!("| nodes | time to all adapted (sim s) | total messages | msgs/node |");
     println!("|---|---|---|---|");
-    for n in [1usize, 2, 4, 8, 16, 32] {
+    for n in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
         let r = distribution_run(n);
         println!(
             "| {} | {:.2} | {} | {:.0} |",

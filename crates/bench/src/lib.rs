@@ -524,6 +524,166 @@ pub fn driver_scaling_run(
 // ---------------------------------------------------------------------
 
 // ---------------------------------------------------------------------
+// E17 — federated base fabric (directory lookups + roaming handoff)
+// ---------------------------------------------------------------------
+
+/// Result of one federated-lookup scaling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedLookupResult {
+    /// Number of bases in the federation.
+    pub bases: usize,
+    /// Registrar-to-registrar hops the query took.
+    pub hops: u16,
+    /// Whether the service was found.
+    pub found: bool,
+    /// Simulated milliseconds from query to answer.
+    pub latency_ms: f64,
+}
+
+/// Builds a federation of `bases` base stations wired into a
+/// `branching`-ary registrar tree, registers one service at the deepest
+/// rightmost leaf, and issues a federated lookup from the deepest
+/// *leftmost* leaf — the longest tree path, so the measured hop count
+/// is the worst case for that federation size. Lookup cost must stay
+/// O(log bases): the directory tier routes over tree edges only, never
+/// a flat broadcast.
+pub fn fed_lookup_run(bases: usize, branching: usize) -> FedLookupResult {
+    use pmp_core::BaseId;
+    use pmp_discovery::{DiscoveryEvent, ServiceItem, ServiceQuery};
+
+    let mut p = Platform::new(9_000 + bases as u64);
+    let side = (bases as f64).sqrt().ceil().max(1.0) as usize;
+    let span = (side * 20 + 20) as f64;
+    p.add_area("fab", Position::new(0.0, 0.0), Position::new(span, span));
+    for i in 0..bases {
+        let x = ((i % side) * 20 + 10) as f64;
+        let y = ((i / side) * 20 + 10) as f64;
+        // Tiny radios: everything interesting rides the wired tree.
+        p.add_base("fab", Position::new(x, y), 4.0);
+    }
+    p.federate_tree(branching);
+
+    let target = BaseId(bases - 1);
+    let provider = p.base(target).node;
+    p.register_service(
+        target,
+        ServiceItem::new("print", "laser", provider.0),
+        3_600 * SEC,
+    );
+    // Registration + DirAdvertise propagation up the tree.
+    p.pump(3 * SEC);
+
+    let mut origin = 1usize.min(bases.saturating_sub(1));
+    while origin * branching + 1 < bases {
+        origin = origin * branching + 1;
+    }
+    let origin = BaseId(origin);
+    let t0 = p.now().0;
+    let req = p.fed_lookup(origin, ServiceQuery::of_type("print"));
+    let mut result = FedLookupResult {
+        bases,
+        hops: 0,
+        found: false,
+        latency_ms: f64::NAN,
+    };
+    let step = SEC / 1_000; // 1 ms pumps: latency resolution
+    for _ in 0..5_000 {
+        p.pump(step);
+        let done = p.take_discoveries(origin).into_iter().find_map(|e| match e {
+            DiscoveryEvent::FedLookupDone { req: r, items, hops } if r == req => {
+                Some((items, hops))
+            }
+            _ => None,
+        });
+        if let Some((items, hops)) = done {
+            result.hops = hops;
+            result.found = !items.is_empty();
+            result.latency_ms = (p.now().0 - t0) as f64 / 1e6;
+            break;
+        }
+    }
+    result
+}
+
+/// Result of the federated roaming-handoff run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedHandoffResult {
+    /// Extensions installed on the robot when it roamed.
+    pub roamed_exts: usize,
+    /// Grants rebound in place by the adopting base (migrated leases).
+    pub migrated: u64,
+    /// `Deliver` messages sent anywhere in the federation during the
+    /// roam — the zero-re-delivery claim.
+    pub redelivered: u64,
+    /// Movement-history records for the robot visible at the adopting
+    /// base after migration.
+    pub movements: usize,
+    /// Simulated milliseconds from the move until the adopting base
+    /// held every lease.
+    pub adopt_ms: f64,
+}
+
+/// Runs the production-halls roaming scenario with the two halls fully
+/// federated (neighbours + replicas): the robot adapts and works in
+/// hall A, then roams to hall B. Because the halls replicate catalogs
+/// and lease tables, hall B adopts the robot by rebinding every grant
+/// in place — the paper's roaming algorithm with **zero** re-`Deliver`
+/// messages — and the movement history follows over the backhaul.
+pub fn fed_handoff_run() -> FedHandoffResult {
+    use pmp_core::scenario::{ProductionHalls, IN_HALL_B};
+
+    let mut w = ProductionHalls::build(77);
+    w.platform.federate_bases(w.base_a, w.base_b);
+    // Adapt + anti-entropy: the two catalogs converge before the roam.
+    w.platform.pump(10 * SEC);
+    for (x0, y0, x1, y1) in [(0, 0, 12, 0), (12, 0, 12, 12)] {
+        w.platform.rpc(
+            w.base_a,
+            w.robot,
+            "operator:1",
+            "DrawingService",
+            "drawLine",
+            vec![x0, y0, x1, y1],
+        );
+        w.platform.pump(SEC);
+    }
+    w.platform.pump(3 * SEC);
+
+    let roamed_exts = w.platform.node(w.robot).receiver.installed_ids().len();
+    let b_node = w.platform.base(w.base_b).node;
+    let tel = w.platform.telemetry().clone();
+    let migrated0 = tel.counter_value("midas.base.migrated");
+    let delivered0 = tel.counter_value("midas.base.delivered");
+
+    w.platform.move_node(w.robot, IN_HALL_B);
+    let t0 = w.platform.now().0;
+    let mut adopt_ms = f64::NAN;
+    for _ in 0..600 {
+        w.platform.pump(SEC / 10);
+        let node = w.platform.node(w.robot);
+        let ids = node.receiver.installed_ids();
+        let all_at_b = !ids.is_empty()
+            && ids
+                .iter()
+                .all(|id| node.receiver.lease_holder(id) == Some(b_node));
+        if all_at_b {
+            adopt_ms = (w.platform.now().0 - t0) as f64 / 1e6;
+            break;
+        }
+    }
+    // Settle: movement export and lease renewals drain.
+    w.platform.pump(3 * SEC);
+
+    FedHandoffResult {
+        roamed_exts,
+        migrated: tel.counter_value("midas.base.migrated") - migrated0,
+        redelivered: tel.counter_value("midas.base.delivered") - delivered0,
+        movements: w.platform.base(w.base_b).store.by_robot("robot:1:1").len(),
+        adopt_ms,
+    }
+}
+
+// ---------------------------------------------------------------------
 // E13 — durability (WAL throughput, group commit, recovery)
 // ---------------------------------------------------------------------
 

@@ -190,7 +190,8 @@ fn build(sc: &Scenario, driver: DriverKind) -> World {
         nodes.push(m);
     }
 
-    let st = OracleState::new(u64::from(t.lease_ms), bases.len(), nodes.len());
+    let mut st = OracleState::new(u64::from(t.lease_ms), bases.len(), nodes.len());
+    st.loss_free = t.loss_per_mille == 0;
     World {
         p,
         bases,
@@ -249,6 +250,7 @@ fn apply(w: &mut World, op: &Op) {
                 if let Ok(m) = w.p.add_robot(&name, slot(h, k), RADIO_RANGE, policy) {
                     w.nodes.push(m);
                     w.st.uncovered_since.push(None);
+                    w.st.grant_state.push(Default::default());
                 }
             }
         }
@@ -348,6 +350,44 @@ fn apply(w: &mut World, op: &Op) {
             let (nid, bid) = (w.p.node(m).node, w.p.base(b).node);
             w.p.sim.heal(nid, bid);
             w.st.partitions.remove(&(node, base));
+        }
+        Op::LinkBases { a, b } => {
+            let (Some(&ba), Some(&bb)) = (
+                w.bases.get(usize::from(a)),
+                w.bases.get(usize::from(b)),
+            ) else {
+                return;
+            };
+            if a != b {
+                w.p.federate_bases(ba, bb);
+                w.st.fed_pairs.insert((a.min(b), a.max(b)));
+            }
+        }
+        Op::PartitionBases { a, b } => {
+            let (Some(&ba), Some(&bb)) = (
+                w.bases.get(usize::from(a)),
+                w.bases.get(usize::from(b)),
+            ) else {
+                return;
+            };
+            if a != b {
+                let (na, nb) = (w.p.base(ba).node, w.p.base(bb).node);
+                w.p.sim.partition(na, nb);
+                w.st.base_partitions.insert((a.min(b), a.max(b)));
+            }
+        }
+        Op::HealBases { a, b } => {
+            let (Some(&ba), Some(&bb)) = (
+                w.bases.get(usize::from(a)),
+                w.bases.get(usize::from(b)),
+            ) else {
+                return;
+            };
+            if a != b {
+                let (na, nb) = (w.p.base(ba).node, w.p.base(bb).node);
+                w.p.sim.heal(na, nb);
+                w.st.base_partitions.remove(&(a.min(b), a.max(b)));
+            }
         }
     }
 }

@@ -172,13 +172,25 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Scenario {
                     .map_or_else(|| hall_of(&mut rng), |i| i as u8),
                 offset: rng.range_u64(2048) as u16,
             },
-            86..=92 => Op::Partition {
+            86..=90 => Op::Partition {
                 node: pick_node(&mut rng, node_count),
                 base: hall_of(&mut rng),
             },
-            _ => Op::Heal {
+            91..=93 => Op::Heal {
                 node: pick_node(&mut rng, node_count),
                 base: hall_of(&mut rng),
+            },
+            94..=96 => Op::LinkBases {
+                a: hall_of(&mut rng),
+                b: hall_of(&mut rng),
+            },
+            97..=98 => Op::PartitionBases {
+                a: hall_of(&mut rng),
+                b: hall_of(&mut rng),
+            },
+            _ => Op::HealBases {
+                a: hall_of(&mut rng),
+                b: hall_of(&mut rng),
             },
         };
         steps.push(Step { at_ms, op });

@@ -68,4 +68,61 @@ mod tests {
         );
         assert_eq!(cross.serial.observables, cross.parallel.observables);
     }
+
+    /// Cross-driver determinism with the federation enabled: a
+    /// handcrafted scenario that links two halls, lets a robot roam
+    /// across the federated pair, and partitions/heals the backhaul
+    /// must produce byte-identical digests under both drivers with no
+    /// oracle violations.
+    #[test]
+    fn federation_scenario_is_cross_driver_deterministic() {
+        let sc = Scenario {
+            seed: 77,
+            topology: Topology {
+                halls: 2,
+                loss_per_mille: 0,
+                robots: 2,
+                catalogs: vec![
+                    vec![CatalogEntry {
+                        kind: ExtKind::Monitoring,
+                        version: 1,
+                    }],
+                    vec![CatalogEntry {
+                        kind: ExtKind::Geofence,
+                        version: 1,
+                    }],
+                ],
+                lease_ms: 2_000,
+                link_neighbors: false,
+            },
+            steps: vec![
+                Step {
+                    at_ms: 500,
+                    op: Op::LinkBases { a: 0, b: 1 },
+                },
+                Step {
+                    at_ms: 4_000,
+                    op: Op::MoveToHall { node: 0, hall: 1 },
+                },
+                Step {
+                    at_ms: 6_000,
+                    op: Op::PartitionBases { a: 0, b: 1 },
+                },
+                Step {
+                    at_ms: 7_500,
+                    op: Op::HealBases { a: 0, b: 1 },
+                },
+            ],
+            settle_ms: 8_000,
+        };
+        let cross = run_cross(&sc);
+        assert!(
+            cross.violations.is_empty(),
+            "federated scenario must be clean: {:?}",
+            cross.violations
+        );
+        assert_eq!(cross.serial.trace, cross.parallel.trace);
+        assert_eq!(cross.serial.journal, cross.parallel.journal);
+        assert_eq!(cross.serial.observables, cross.parallel.observables);
+    }
 }

@@ -32,7 +32,8 @@
 
 use crate::script::RADIO_RANGE;
 use pmp_core::{BaseId, MobId, Platform};
-use std::collections::BTreeSet;
+use pmp_midas::ReceiverEvent;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One invariant breach.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +76,16 @@ pub struct OracleState {
     pub fault_injected: Vec<bool>,
     /// Severed (node index, base index) radio pairs.
     pub partitions: BTreeSet<(u8, u8)>,
+    /// Federated (replica-linked) base pairs, `(min, max)` indices.
+    pub fed_pairs: BTreeSet<(u8, u8)>,
+    /// Severed inter-base paths, `(min, max)` indices.
+    pub base_partitions: BTreeSet<(u8, u8)>,
+    /// Whether the radio is loss-free — the handoff-migration oracle
+    /// is only sound when `GrantTransfer` cannot be dropped.
+    pub loss_free: bool,
+    /// Per-node: last observed `(lease holder, installs seen, version)`
+    /// for every installed extension, keyed by ext id.
+    pub grant_state: Vec<BTreeMap<String, (u32, u64, u32)>>,
 }
 
 impl OracleState {
@@ -87,6 +98,10 @@ impl OracleState {
             digest_at_crash: vec![None; bases],
             fault_injected: vec![false; bases],
             partitions: BTreeSet::new(),
+            fed_pairs: BTreeSet::new(),
+            base_partitions: BTreeSet::new(),
+            loss_free: true,
+            grant_state: vec![BTreeMap::new(); nodes],
         }
     }
 }
@@ -104,6 +119,7 @@ pub fn check_barrier(
     departure_revocation(p, bases, nodes, st, now_ms, out);
     conservation(p, nodes, now_ms, out);
     grant_catalog(p, bases, now_ms, out);
+    grant_survives_handoff(p, bases, nodes, st, now_ms, out);
     adapt_latency_slo(p, now_ms, out);
     ring_growth(p, now_ms, out);
 }
@@ -272,29 +288,112 @@ fn conservation(p: &Platform, nodes: &[MobId], now_ms: u64, out: &mut Vec<Violat
     }
 }
 
-/// `grant-catalog`: a base never tracks a grant for an extension it no
-/// longer catalogues — revocation strips grants from every adapted
-/// entry atomically, and WAL replay reproduces that.
+/// `grant-catalog`: a base never tracks a grant for an extension it
+/// cannot serve — its own catalog, or a foreign package adopted with a
+/// roaming handoff. Revocation strips grants from every adapted entry
+/// atomically, and WAL replay reproduces that.
 fn grant_catalog(p: &Platform, bases: &[BaseId], now_ms: u64, out: &mut Vec<Violation>) {
     for &b in bases {
         let station = p.base(b);
         if station.crashed {
             continue;
         }
-        let catalog: BTreeSet<String> = station.base.catalog.ids().into_iter().collect();
+        let mut served: BTreeSet<String> = station.base.catalog.ids().into_iter().collect();
+        served.extend(station.base.foreign_ids());
         for (name, (_, _, grants)) in station.base.lease_table() {
             for ext_id in grants.keys() {
-                if !catalog.contains(ext_id) {
+                if !served.contains(ext_id) {
                     out.push(Violation {
                         invariant: "grant-catalog",
                         at_ms: now_ms,
                         detail: format!(
-                            "{}: grant for {ext_id} held by {name} but not in catalog {catalog:?}",
+                            "{}: grant for {ext_id} held by {name} but not in catalog/foreign {served:?}",
                             station.name
                         ),
                     });
                 }
             }
         }
+    }
+}
+
+/// `grant-survives-handoff`: when a node's installed extension changes
+/// lease holder between two *federated* bases, the move must be a
+/// grant migration, not a remove-and-redeliver — the install count for
+/// that extension must not grow across the handoff (same version, no
+/// upgrade in flight). Only sound on a loss-free radio with no
+/// partitions touching the node: a dropped `GrantTransfer` degrades to
+/// legitimate redelivery.
+fn grant_survives_handoff(
+    p: &Platform,
+    bases: &[BaseId],
+    nodes: &[MobId],
+    st: &mut OracleState,
+    now_ms: u64,
+    out: &mut Vec<Violation>,
+) {
+    if !st.loss_free || st.fed_pairs.is_empty() {
+        return;
+    }
+    let base_idx_of = |node: u32| -> Option<u8> {
+        bases
+            .iter()
+            .position(|&b| p.base(b).node.0 == node)
+            .map(|i| i as u8)
+    };
+    for (i, &m) in nodes.iter().enumerate() {
+        let node = p.node(m);
+        let quarantined = st.partitions.iter().any(|&(n, _)| usize::from(n) == i);
+        // Install count + latest version per extension, from the
+        // receiver's accumulated event log (chaos never drains it).
+        let mut installs: BTreeMap<String, (u64, u32)> = BTreeMap::new();
+        for e in &node.events {
+            if let ReceiverEvent::Installed {
+                ext_id, version, ..
+            } = e
+            {
+                let ent = installs.entry(ext_id.clone()).or_insert((0, 0));
+                ent.0 += 1;
+                ent.1 = *version;
+            }
+        }
+        let mut next: BTreeMap<String, (u32, u64, u32)> = BTreeMap::new();
+        for ext_id in node.receiver.installed_ids() {
+            let Some(holder) = node.receiver.lease_holder(&ext_id) else {
+                continue;
+            };
+            let (count, ver) = installs.get(&ext_id).copied().unwrap_or((0, 0));
+            if let Some(&(old_holder, old_count, old_ver)) =
+                st.grant_state[i].get(&ext_id)
+            {
+                let (Some(from), Some(to)) =
+                    (base_idx_of(old_holder), base_idx_of(holder.0))
+                else {
+                    next.insert(ext_id, (holder.0, count, ver));
+                    continue;
+                };
+                let pair = (from.min(to), from.max(to));
+                let migratable = from != to
+                    && st.fed_pairs.contains(&pair)
+                    && !st.base_partitions.contains(&pair)
+                    && !p.base(bases[usize::from(from)]).crashed
+                    && !p.base(bases[usize::from(to)]).crashed
+                    && !quarantined;
+                if migratable && count > old_count && ver == old_ver {
+                    out.push(Violation {
+                        invariant: "grant-survives-handoff",
+                        at_ms: now_ms,
+                        detail: format!(
+                            "{}: {ext_id} moved base {from} -> {to} (federated) by \
+                             redelivery ({old_count} -> {count} installs) instead of \
+                             grant migration",
+                            node.name
+                        ),
+                    });
+                }
+            }
+            next.insert(ext_id, (holder.0, count, ver));
+        }
+        st.grant_state[i] = next;
     }
 }

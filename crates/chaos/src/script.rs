@@ -199,6 +199,30 @@ pub enum Op {
         /// Base index.
         base: u8,
     },
+    /// Federate two bases: roaming neighbours *and* replicas over a
+    /// wired backhaul — catalog/lease anti-entropy plus migratable
+    /// (zero-re-deliver) handoffs. Self-pairs are no-ops.
+    LinkBases {
+        /// First base index.
+        a: u8,
+        /// Second base index.
+        b: u8,
+    },
+    /// Sever the inter-base path (backhaul included): handoffs and
+    /// anti-entropy between the pair stop until healed.
+    PartitionBases {
+        /// First base index.
+        a: u8,
+        /// Second base index.
+        b: u8,
+    },
+    /// Restore a severed inter-base path.
+    HealBases {
+        /// First base index.
+        a: u8,
+        /// Second base index.
+        b: u8,
+    },
 }
 
 impl Wire for Op {
@@ -276,6 +300,21 @@ impl Wire for Op {
                 w.put_u8(*node);
                 w.put_u8(*base);
             }
+            Op::LinkBases { a, b } => {
+                w.put_u8(14);
+                w.put_u8(*a);
+                w.put_u8(*b);
+            }
+            Op::PartitionBases { a, b } => {
+                w.put_u8(15);
+                w.put_u8(*a);
+                w.put_u8(*b);
+            }
+            Op::HealBases { a, b } => {
+                w.put_u8(16);
+                w.put_u8(*a);
+                w.put_u8(*b);
+            }
         }
     }
 
@@ -324,6 +363,18 @@ impl Wire for Op {
             13 => Op::Heal {
                 node: r.get_u8()?,
                 base: r.get_u8()?,
+            },
+            14 => Op::LinkBases {
+                a: r.get_u8()?,
+                b: r.get_u8()?,
+            },
+            15 => Op::PartitionBases {
+                a: r.get_u8()?,
+                b: r.get_u8()?,
+            },
+            16 => Op::HealBases {
+                a: r.get_u8()?,
+                b: r.get_u8()?,
             },
             tag => return Err(r.bad_tag("Op", tag)),
         })
@@ -546,6 +597,9 @@ mod tests {
             },
             Op::Partition { node: 0, base: 1 },
             Op::Heal { node: 0, base: 1 },
+            Op::LinkBases { a: 0, b: 1 },
+            Op::PartitionBases { a: 1, b: 2 },
+            Op::HealBases { a: 1, b: 2 },
         ];
         for op in ops {
             assert_eq!(from_bytes::<Op>(&to_bytes(&op)).unwrap(), op);

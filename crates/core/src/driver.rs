@@ -22,7 +22,7 @@
 use crate::node::{BaseStation, MobileNode};
 use crate::platform::RpcOutcome;
 use crate::wiring::{AppMsg, RpcMsg, APP_CHANNEL, MIRROR_CHANNEL, RPC_CHANNEL};
-use pmp_midas::ReceiverEvent;
+use pmp_midas::{BaseEvent, MidasMsg, ReceiverEvent};
 use pmp_net::{ClockHandle, Incoming, NetPort, NodeId, PortBuf, SimTime, TimedIncoming};
 use pmp_store::MovementRecord;
 use pmp_telemetry::{Shared, Sink};
@@ -211,9 +211,65 @@ pub(crate) fn dispatch_base(
     inc: &Incoming,
 ) {
     station.registrar.handle(port, inc);
+    let found = station.lookup.handle(port, inc);
+    station.discoveries.extend(found);
     let evs = station.base.handle(port, inc);
+    handle_base_federation(station, port, &evs);
     station.events.extend(evs);
     handle_base_app(station, port, rpc, inc);
+}
+
+/// Roaming side-effects that live above the extension base: when a node
+/// departs, its movement history follows it to every neighbour base (the
+/// paper's §4.5 data travels with the robot), and an incoming
+/// [`BaseEvent::MovementImport`] is folded into the local movement store
+/// — deduplicated by issue time so histories bouncing between bases
+/// converge instead of growing.
+fn handle_base_federation(station: &mut BaseStation, port: &mut dyn NetPort, evs: &[BaseEvent]) {
+    for e in evs {
+        match e {
+            BaseEvent::NodeDeparted { node_name } => {
+                let records: Vec<Vec<u8>> = station
+                    .store
+                    .by_robot(node_name)
+                    .into_iter()
+                    .map(pmp_wire::to_bytes)
+                    .collect();
+                if records.is_empty() {
+                    continue;
+                }
+                let msg = MidasMsg::MovementExport {
+                    node_name: node_name.clone(),
+                    records,
+                };
+                for nb in station.base.neighbors().to_vec() {
+                    port.send(
+                        station.node,
+                        nb,
+                        pmp_midas::CHANNEL,
+                        pmp_trace::TraceCtx::NIL.wrap(&msg),
+                    );
+                }
+            }
+            BaseEvent::MovementImport { node_name, records } => {
+                let seen: std::collections::HashSet<u64> = station
+                    .store
+                    .by_robot(node_name)
+                    .iter()
+                    .map(|r| r.issued_at)
+                    .collect();
+                for raw in records {
+                    let Ok(rec) = pmp_wire::from_bytes::<MovementRecord>(raw) else {
+                        continue;
+                    };
+                    if rec.robot == *node_name && !seen.contains(&rec.issued_at) {
+                        station.record_movement(rec);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Feeds one incoming event through a mobile node's stack, then flushes
@@ -229,8 +285,12 @@ pub(crate) fn dispatch_mobile(
         .receiver
         .handle(port, &mut node.vm, &node.prose, inc);
     for e in &evs {
-        if let ReceiverEvent::Installed { base, .. } = e {
-            node.home_base = Some(*base);
+        match e {
+            ReceiverEvent::Installed { base, .. } => node.home_base = Some(*base),
+            // A roaming handoff rebound this node's grants in place: the
+            // adopting base is its home now, without any re-delivery.
+            ReceiverEvent::Rebound { base, .. } => node.home_base = Some(*base),
+            _ => {}
         }
     }
     node.events.extend(evs);

@@ -198,6 +198,13 @@ pub struct BaseStation {
     pub name: String,
     /// The Jini-like lookup service.
     pub registrar: Registrar,
+    /// The base's own discovery client, used to issue *federated*
+    /// lookups into the registrar tree (entered at the local registrar
+    /// via loopback).
+    pub lookup: pmp_discovery::DiscoveryClient,
+    /// Discovery events surfaced by [`BaseStation::lookup`] — federated
+    /// lookup results land here.
+    pub discoveries: Vec<pmp_discovery::DiscoveryEvent>,
     /// The MIDAS extension base.
     pub base: ExtensionBase,
     /// The hall database (movement logs).
@@ -259,6 +266,8 @@ impl BaseStation {
         BaseStation {
             node,
             registrar,
+            lookup: pmp_discovery::DiscoveryClient::new(node),
+            discoveries: Vec::new(),
             base,
             store: MovementStore::new(),
             persisted: Vec::new(),

@@ -72,6 +72,14 @@ pub struct Platform {
     /// Optimization reports from every publish, in publish order
     /// (`(extension id, report)`).
     opt_reports: Vec<(String, pmp_midas::OptReport)>,
+    /// Federation topology, as base-index pairs. Like mirror routes,
+    /// this is operator configuration — held by the platform so
+    /// [`Platform::restart_base`] can re-wire a freshly rebuilt station.
+    fed_neighbors: Vec<(usize, usize)>,
+    /// Replication links (catalog + lease-table anti-entropy), symmetric.
+    fed_replicas: Vec<(usize, usize)>,
+    /// Registrar-tree edges: `(child base, parent base)`.
+    fed_parents: Vec<(usize, usize)>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -111,6 +119,9 @@ impl Platform {
             tracing: false,
             ship_mode: pmp_midas::ShipMode::default(),
             opt_reports: Vec::new(),
+            fed_neighbors: Vec::new(),
+            fed_replicas: Vec::new(),
+            fed_parents: Vec::new(),
         }
     }
 
@@ -238,6 +249,30 @@ impl Platform {
         let mut station =
             BaseStation::build_with_hub(node, &name, format!("seed:{name}").as_bytes(), hub);
         station.mirrors = mirrors;
+        // Federation topology is operator configuration too: re-wire the
+        // fresh base/registrar from the platform's records so handoffs,
+        // anti-entropy, and directory routing resume after the restart.
+        for &(x, y) in &self.fed_neighbors {
+            if x == id.0 {
+                station.base.add_neighbor(self.bases[y].node);
+            } else if y == id.0 {
+                station.base.add_neighbor(self.bases[x].node);
+            }
+        }
+        for &(x, y) in &self.fed_replicas {
+            if x == id.0 {
+                station.base.add_replica(self.bases[y].node);
+            } else if y == id.0 {
+                station.base.add_replica(self.bases[x].node);
+            }
+        }
+        for &(c, p) in &self.fed_parents {
+            if c == id.0 {
+                station.registrar.set_parent(self.bases[p].node);
+            } else if p == id.0 {
+                station.registrar.add_child(self.bases[c].node);
+            }
+        }
         let report = station.recover();
         let cell = &self.base_cells[id.0];
         station.registrar.attach_sink(cell.sink.clone());
@@ -415,13 +450,100 @@ impl Platform {
             .revoke_extension(&mut self.sim, ext_id, reason);
     }
 
-    /// Makes two bases roaming neighbours (both directions): when a node
-    /// departs one, the other receives a handoff record (paper §3.2's
-    /// "simple roaming algorithm").
+    /// Makes two bases roaming neighbours (both directions) over a
+    /// wired backhaul segment: when a node departs one, the other
+    /// receives a handoff record — grants, leases, and (via the driver)
+    /// movement history — regardless of radio range (paper §3.2's
+    /// roaming algorithm, federated).
     pub fn link_bases(&mut self, a: BaseId, b: BaseId) {
         let (na, nb) = (self.bases[a.0].node, self.bases[b.0].node);
         self.bases[a.0].base.add_neighbor(nb);
         self.bases[b.0].base.add_neighbor(na);
+        self.sim.add_wired_link(na, nb);
+        let pair = (a.0.min(b.0), a.0.max(b.0));
+        if !self.fed_neighbors.contains(&pair) {
+            self.fed_neighbors.push(pair);
+        }
+    }
+
+    /// Makes two bases replicas of each other: on top of the neighbour
+    /// handoff path, each base anti-entropies its catalog
+    /// (digest → pull → push over the WAL'd catalog ops) and mirrors
+    /// its lease table into the other's roaming cache, so either side
+    /// can adopt the other's nodes without re-delivery.
+    pub fn replicate_bases(&mut self, a: BaseId, b: BaseId) {
+        let (na, nb) = (self.bases[a.0].node, self.bases[b.0].node);
+        self.bases[a.0].base.add_replica(nb);
+        self.bases[b.0].base.add_replica(na);
+        self.sim.add_wired_link(na, nb);
+        let pair = (a.0.min(b.0), a.0.max(b.0));
+        if !self.fed_replicas.contains(&pair) {
+            self.fed_replicas.push(pair);
+        }
+    }
+
+    /// Full federation between two bases: roaming neighbours *and*
+    /// replicas (see [`Platform::link_bases`] and
+    /// [`Platform::replicate_bases`]).
+    pub fn federate_bases(&mut self, a: BaseId, b: BaseId) {
+        self.link_bases(a, b);
+        self.replicate_bases(a, b);
+    }
+
+    /// Wires `child`'s registrar under `parent`'s in the directory tree
+    /// (wired backhaul between them): service lookups entered anywhere
+    /// in the tree route hop-by-hop toward whichever registrar holds a
+    /// match (see `pmp-discovery`'s directory tier).
+    pub fn set_directory_parent(&mut self, child: BaseId, parent: BaseId) {
+        let (nc, np) = (self.bases[child.0].node, self.bases[parent.0].node);
+        self.bases[child.0].registrar.set_parent(np);
+        self.bases[parent.0].registrar.add_child(nc);
+        self.sim.add_wired_link(nc, np);
+        if !self.fed_parents.contains(&(child.0, parent.0)) {
+            self.fed_parents.push((child.0, parent.0));
+        }
+    }
+
+    /// Builds a `branching`-ary registrar tree over every base added so
+    /// far (base 0 is the root): the directory tier for federated
+    /// lookups. Lookup cost is then O(log_branching(bases)) hops.
+    pub fn federate_tree(&mut self, branching: usize) {
+        let branching = branching.max(2);
+        for i in 1..self.bases.len() {
+            let parent = (i - 1) / branching;
+            self.set_directory_parent(BaseId(i), BaseId(parent));
+        }
+    }
+
+    /// Issues a federated service lookup from `base`: the query enters
+    /// the directory tier at the base's own registrar (loopback) and
+    /// routes through the registrar tree. The answer arrives as
+    /// [`pmp_discovery::DiscoveryEvent::FedLookupDone`] in
+    /// [`Platform::take_discoveries`] after pumping.
+    pub fn fed_lookup(&mut self, base: BaseId, query: pmp_discovery::ServiceQuery) -> u64 {
+        let node = self.bases[base.0].node;
+        self.bases[base.0].lookup.fed_lookup(&mut self.sim, node, query)
+    }
+
+    /// Drains the discovery events surfaced at `base` (federated lookup
+    /// results land here).
+    pub fn take_discoveries(&mut self, base: BaseId) -> Vec<pmp_discovery::DiscoveryEvent> {
+        std::mem::take(&mut self.bases[base.0].discoveries)
+    }
+
+    /// Registers a service item at `base`'s own registrar (loopback),
+    /// making it reachable from every other base through the directory
+    /// tier's federated lookups.
+    pub fn register_service(
+        &mut self,
+        base: BaseId,
+        item: pmp_discovery::ServiceItem,
+        lease_ns: u64,
+    ) -> u64 {
+        let node = self.bases[base.0].node;
+        self.bases[base.0]
+            .lookup
+            .register(&mut self.sim, node, item, lease_ns)
     }
 
     /// Routes movements of `source_robot` (as observed by `base`) to a

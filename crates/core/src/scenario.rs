@@ -48,11 +48,11 @@ impl ProductionHalls {
         );
         let base_a = p.add_base("hall-a", Position::new(30.0, 30.0), 80.0);
         let base_b = p.add_base("hall-b", Position::new(180.0, 30.0), 80.0);
-        // The halls are 150 m apart but the bases have 80 m radios; give
-        // them a wired backhaul for roaming handoffs by linking them as
-        // neighbours (handoff messages ride the same channel; out-of-
-        // range sends are simply lost, as between real bases without
-        // backhaul).
+        // The halls are 150 m apart but the bases have 80 m radios:
+        // linking them as roaming neighbours also lays a wired backhaul
+        // segment between them, so handoff records cross the distance
+        // the radios cannot. (Radio traffic to out-of-range nodes is
+        // still simply lost.)
         p.link_bases(base_a, base_b);
 
         // Hall A catalog.

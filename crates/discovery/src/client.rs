@@ -49,6 +49,15 @@ pub enum DiscoveryEvent {
         /// Matching services.
         items: Vec<ServiceItem>,
     },
+    /// A federated lookup completed.
+    FedLookupDone {
+        /// The request id returned by [`DiscoveryClient::fed_lookup`].
+        req: u64,
+        /// Matching services.
+        items: Vec<ServiceItem>,
+        /// Registrar-to-registrar hops the query took to be answered.
+        hops: u16,
+    },
 }
 
 #[derive(Debug)]
@@ -223,6 +232,28 @@ impl DiscoveryClient {
         req
     }
 
+    /// Sends a *federated* lookup: the query enters the directory tier
+    /// at `registrar` and is routed through the registrar tree; the
+    /// answering registrar replies straight back here. The result
+    /// arrives as [`DiscoveryEvent::FedLookupDone`].
+    pub fn fed_lookup(
+        &mut self,
+        sim: &mut dyn NetPort,
+        registrar: NodeId,
+        query: ServiceQuery,
+    ) -> u64 {
+        self.count("discovery.client.fed_lookups_sent");
+        let req = self.fresh_req();
+        let msg = DiscoveryMsg::FedLookup {
+            query,
+            origin: self.node.0,
+            path: Vec::new(),
+            req,
+        };
+        sim.send(self.node, registrar, CHANNEL, pmp_trace::TraceCtx::NIL.wrap(&msg));
+        req
+    }
+
     /// Processes one inbox entry; returns surfaced events.
     pub fn handle(&mut self, sim: &mut dyn NetPort, incoming: &Incoming) -> Vec<DiscoveryEvent> {
         let mut events = Vec::new();
@@ -312,11 +343,27 @@ impl DiscoveryClient {
                 self.count("discovery.client.lookup_roundtrips");
                 events.push(DiscoveryEvent::LookupDone { req, items });
             }
+            DiscoveryMsg::FedLookupResult {
+                items,
+                hops,
+                origin,
+                req,
+                ..
+            } => {
+                // In-transit relays are the co-located registrar's
+                // business; only the origin's client consumes.
+                if origin == self.node.0 {
+                    self.count("discovery.client.fed_lookup_roundtrips");
+                    events.push(DiscoveryEvent::FedLookupDone { req, items, hops });
+                }
+            }
             // Registrar-bound messages are ignored by the client.
             DiscoveryMsg::Register { .. }
             | DiscoveryMsg::Renew { .. }
             | DiscoveryMsg::Cancel { .. }
-            | DiscoveryMsg::Lookup { .. } => {}
+            | DiscoveryMsg::Lookup { .. }
+            | DiscoveryMsg::DirAdvertise { .. }
+            | DiscoveryMsg::FedLookup { .. } => {}
         }
     }
 

@@ -18,12 +18,14 @@
 //! node's inbox each simulation step and feeds entries to `handle`.
 
 pub mod client;
+pub mod directory;
 pub mod lease;
 pub mod proto;
 pub mod registrar;
 pub mod service;
 
 pub use client::{DiscoveryClient, DiscoveryEvent};
+pub use directory::{Directory, MAX_HOPS};
 pub use lease::Lease;
 pub use proto::{DiscoveryMsg, CHANNEL};
 pub use registrar::{Registrar, RegistrarEvent};

@@ -67,6 +67,42 @@ pub enum DiscoveryMsg {
         /// Echoed correlation id.
         req: u64,
     },
+    /// Child registrar → parent registrar: the sorted set of service
+    /// types reachable anywhere in the child's subtree. Sent only when
+    /// the set changes, so a quiet federation is silent.
+    DirAdvertise {
+        /// Sorted, deduplicated service-type names.
+        types: Vec<String>,
+    },
+    /// A lookup routed through the directory tier instead of answered
+    /// by one flat registrar.
+    FedLookup {
+        /// The query.
+        query: ServiceQuery,
+        /// Node id of the original requester.
+        origin: u32,
+        /// Registrar nodes traversed so far (each forwarder pushes
+        /// itself); the reply retraces this stack, since only tree
+        /// edges are guaranteed reachable (wired backhaul).
+        path: Vec<u32>,
+        /// Correlation id minted by the origin.
+        req: u64,
+    },
+    /// Federated lookup results, routed back along the reverse of the
+    /// query's path; the entry registrar makes the final radio hop to
+    /// the origin node.
+    FedLookupResult {
+        /// Matching items (with assigned ids).
+        items: Vec<ServiceItem>,
+        /// Forwarding steps the query took before being answered.
+        hops: u16,
+        /// Node id of the original requester.
+        origin: u32,
+        /// Remaining return path (last element is the next stop).
+        path: Vec<u32>,
+        /// Echoed correlation id.
+        req: u64,
+    },
 }
 
 impl Wire for DiscoveryMsg {
@@ -121,6 +157,36 @@ impl Wire for DiscoveryMsg {
                 items.encode(w);
                 w.put_u64(*req);
             }
+            DiscoveryMsg::DirAdvertise { types } => {
+                w.put_u8(8);
+                types.encode(w);
+            }
+            DiscoveryMsg::FedLookup {
+                query,
+                origin,
+                path,
+                req,
+            } => {
+                w.put_u8(9);
+                query.encode(w);
+                w.put_u32(*origin);
+                path.encode(w);
+                w.put_u64(*req);
+            }
+            DiscoveryMsg::FedLookupResult {
+                items,
+                hops,
+                origin,
+                path,
+                req,
+            } => {
+                w.put_u8(10);
+                items.encode(w);
+                w.put_u16(*hops);
+                w.put_u32(*origin);
+                path.encode(w);
+                w.put_u64(*req);
+            }
         }
     }
 
@@ -155,6 +221,22 @@ impl Wire for DiscoveryMsg {
             },
             7 => DiscoveryMsg::LookupResult {
                 items: Vec::<ServiceItem>::decode(r)?,
+                req: r.get_u64()?,
+            },
+            8 => DiscoveryMsg::DirAdvertise {
+                types: Vec::<String>::decode(r)?,
+            },
+            9 => DiscoveryMsg::FedLookup {
+                query: ServiceQuery::decode(r)?,
+                origin: r.get_u32()?,
+                path: Vec::<u32>::decode(r)?,
+                req: r.get_u64()?,
+            },
+            10 => DiscoveryMsg::FedLookupResult {
+                items: Vec::<ServiceItem>::decode(r)?,
+                hops: r.get_u16()?,
+                origin: r.get_u32()?,
+                path: Vec::<u32>::decode(r)?,
                 req: r.get_u64()?,
             },
             tag => {
@@ -203,6 +285,22 @@ mod tests {
             DiscoveryMsg::LookupResult {
                 items: vec![ServiceItem::new("midas.adaptation", "robot", 1)],
                 req: 11,
+            },
+            DiscoveryMsg::DirAdvertise {
+                types: vec!["midas.adaptation".into(), "print".into()],
+            },
+            DiscoveryMsg::FedLookup {
+                query: ServiceQuery::of_type("print"),
+                origin: 3,
+                path: vec![4, 1],
+                req: 12,
+            },
+            DiscoveryMsg::FedLookupResult {
+                items: vec![ServiceItem::new("print", "laser", 9)],
+                hops: 3,
+                origin: 3,
+                path: vec![4],
+                req: 12,
             },
         ];
         for m in msgs {

@@ -1,12 +1,13 @@
 //! The lookup service (Jini registrar) hosted by a base station.
 
+use crate::directory::{Directory, MAX_HOPS};
 use crate::lease::Lease;
 use crate::proto::{DiscoveryMsg, CHANNEL};
 use crate::service::{ServiceId, ServiceItem};
 use pmp_net::{Incoming, NetPort, NodeId, SimTime};
 use pmp_telemetry::{Shared, Sink};
 use pmp_trace::{TraceCtx, Traced};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 const ANNOUNCE_TAG: &str = "disc.announce";
 const SWEEP_TAG: &str = "disc.sweep";
@@ -36,6 +37,9 @@ pub struct Registrar {
     sweep_token: Option<u64>,
     events: Vec<RegistrarEvent>,
     telemetry: Option<Sink>,
+    /// Federation state: place in the registrar tree plus the routes
+    /// learned from child advertisements.
+    directory: Directory,
 }
 
 impl Registrar {
@@ -52,6 +56,47 @@ impl Registrar {
             sweep_token: None,
             events: Vec::new(),
             telemetry: None,
+            directory: Directory::new(),
+        }
+    }
+
+    /// Wires this registrar under `parent` in the federation tree.
+    /// The reachable-type advert is pushed on the next mutation (or
+    /// sweep), so late federation still converges.
+    pub fn set_parent(&mut self, parent: NodeId) {
+        self.directory.set_parent(parent);
+    }
+
+    /// Registers `child` as a federated subtree (idempotent).
+    pub fn add_child(&mut self, child: NodeId) {
+        self.directory.add_child(child);
+    }
+
+    /// Read-only view of the federation state.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Service types held locally (not counting routed subtrees).
+    fn local_types(&self) -> BTreeSet<String> {
+        self.services
+            .values()
+            .map(|(item, _)| item.service_type.clone())
+            .collect()
+    }
+
+    /// Pushes a fresh advert to the parent iff the reachable-type set
+    /// changed since the last push. No-op for unfederated registrars.
+    fn maybe_advertise(&mut self, sim: &mut dyn NetPort) {
+        if self.directory.parent().is_none() {
+            return;
+        }
+        let local = self.local_types();
+        if let Some(types) = self.directory.advert_if_changed(local) {
+            let parent = self.directory.parent().expect("checked above");
+            self.count("discovery.registrar.adverts_sent");
+            let msg = DiscoveryMsg::DirAdvertise { types };
+            sim.send(self.node, parent, CHANNEL, TraceCtx::NIL.wrap(&msg));
         }
     }
 
@@ -154,6 +199,7 @@ impl Registrar {
             }
             Incoming::Timer { token, .. } if Some(*token) == self.sweep_token => {
                 self.sweep(sim.now());
+                self.maybe_advertise(sim);
                 self.sweep_token =
                     Some(sim.set_timer(self.node, self.announce_interval_ns / 2, SWEEP_TAG));
             }
@@ -195,6 +241,7 @@ impl Registrar {
                     req,
                 };
                 sim.send(self.node, from, CHANNEL, ctx.wrap(&reply));
+                self.maybe_advertise(sim);
             }
             DiscoveryMsg::Renew { service, req } => {
                 self.count("discovery.registrar.renewals");
@@ -212,12 +259,16 @@ impl Registrar {
                 }
                 let reply = DiscoveryMsg::RenewAck { service, ok, req };
                 sim.send(self.node, from, CHANNEL, ctx.wrap(&reply));
+                if !ok {
+                    self.maybe_advertise(sim);
+                }
             }
             DiscoveryMsg::Cancel { service } => {
                 if let Some((item, _)) = self.services.remove(&service) {
                     self.count("discovery.registrar.cancellations");
                     self.update_live_gauge();
                     self.events.push(RegistrarEvent::Cancelled(item));
+                    self.maybe_advertise(sim);
                 }
             }
             DiscoveryMsg::Lookup { query, req } => {
@@ -235,11 +286,106 @@ impl Registrar {
                 let reply = DiscoveryMsg::LookupResult { items, req };
                 sim.send(self.node, from, CHANNEL, ctx.wrap(&reply));
             }
+            DiscoveryMsg::DirAdvertise { types } => {
+                self.count("discovery.registrar.adverts_in");
+                if self.directory.learn(from, &types) {
+                    // Reachability changed: propagate up the tree.
+                    self.maybe_advertise(sim);
+                }
+            }
+            DiscoveryMsg::FedLookup {
+                query,
+                origin,
+                mut path,
+                req,
+            } => {
+                self.count("discovery.registrar.fed_lookups");
+                self.sweep(now);
+                let hops = path.len() as u16;
+                let mut items: Vec<ServiceItem> = self
+                    .services
+                    .values()
+                    .filter(|(item, _)| query.matches(item))
+                    .map(|(item, _)| item.clone())
+                    .collect();
+                items.sort_by(|a, b| (&a.name, a.provider).cmp(&(&b.name, b.provider)));
+                if !items.is_empty() || hops >= MAX_HOPS {
+                    // Answer (or give up): the reply retraces the path
+                    // stack — only tree edges are guaranteed reachable.
+                    self.send_fed_result(sim, items, hops, origin, path, req, ctx);
+                    return;
+                }
+                // Nothing local: route down a subtree advertising the
+                // queried type, else up to the parent. Never bounce the
+                // query straight back where it came from.
+                let down = query
+                    .service_type
+                    .as_deref()
+                    .and_then(|ty| self.directory.route_for(ty, from));
+                let next = down.or_else(|| self.directory.parent().filter(|p| *p != from));
+                match next {
+                    Some(next) => {
+                        path.push(self.node.0);
+                        let fwd = DiscoveryMsg::FedLookup {
+                            query,
+                            origin,
+                            path,
+                            req,
+                        };
+                        sim.send(self.node, next, CHANNEL, ctx.wrap(&fwd));
+                    }
+                    None => {
+                        self.send_fed_result(sim, Vec::new(), hops, origin, path, req, ctx);
+                    }
+                }
+            }
+            DiscoveryMsg::FedLookupResult {
+                items,
+                hops,
+                origin,
+                path,
+                req,
+            } => {
+                // A reply in transit: relay it one step back along the
+                // recorded path. A reply that already reached the
+                // origin node is the co-located client's business.
+                if origin != self.node.0 {
+                    self.send_fed_result(sim, items, hops, origin, path, req, ctx);
+                }
+            }
             // Client-bound messages are ignored by the registrar.
             DiscoveryMsg::Announce { .. }
             | DiscoveryMsg::Registered { .. }
             | DiscoveryMsg::RenewAck { .. }
             | DiscoveryMsg::LookupResult { .. } => {}
         }
+    }
+
+    /// Sends a [`DiscoveryMsg::FedLookupResult`] one step toward the
+    /// origin: to the last registrar on the return path, or — when the
+    /// path is exhausted — over the final radio hop to the origin.
+    #[allow(clippy::too_many_arguments)]
+    fn send_fed_result(
+        &self,
+        sim: &mut dyn NetPort,
+        items: Vec<ServiceItem>,
+        hops: u16,
+        origin: u32,
+        mut path: Vec<u32>,
+        req: u64,
+        ctx: TraceCtx,
+    ) {
+        let next = match path.pop() {
+            Some(prev) => NodeId(prev),
+            None => NodeId(origin),
+        };
+        let reply = DiscoveryMsg::FedLookupResult {
+            items,
+            hops,
+            origin,
+            path,
+            req,
+        };
+        sim.send(self.node, next, CHANNEL, ctx.wrap(&reply));
     }
 }

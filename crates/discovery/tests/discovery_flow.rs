@@ -207,6 +207,118 @@ fn queries_filter_by_type_and_attrs() {
     assert!(items.is_empty());
 }
 
+/// A three-registrar tree (root over two leaves, 1 km apart, wired
+/// backhaul on the tree edges): a robot in leaf A's hall finds a
+/// service held by leaf B without any flat broadcast — the query is
+/// routed A → root → B and the answer retraces the path.
+#[test]
+fn fed_lookup_routes_through_the_registrar_tree() {
+    let mut sim = Simulator::new(42);
+    let root_n = sim.add_node("root", Position::new(500.0, 1000.0), 60.0);
+    let leaf_a = sim.add_node("leaf-a", Position::new(0.0, 0.0), 60.0);
+    let leaf_b = sim.add_node("leaf-b", Position::new(1000.0, 0.0), 60.0);
+    let robot = sim.add_node("robot", Position::new(10.0, 0.0), 60.0);
+    let printer = sim.add_node("printer", Position::new(990.0, 0.0), 60.0);
+    sim.add_wired_link(root_n, leaf_a);
+    sim.add_wired_link(root_n, leaf_b);
+
+    let mut root = Registrar::new(root_n, "lookup:root");
+    let mut reg_a = Registrar::new(leaf_a, "lookup:hall-a");
+    let mut reg_b = Registrar::new(leaf_b, "lookup:hall-b");
+    reg_a.set_parent(root_n);
+    reg_b.set_parent(root_n);
+    root.add_child(leaf_a);
+    root.add_child(leaf_b);
+    let mut robot_client = DiscoveryClient::new(robot);
+    let mut printer_client = DiscoveryClient::new(printer);
+    for r in [&mut root, &mut reg_a, &mut reg_b] {
+        r.start(&mut sim);
+    }
+    robot_client.start(&mut sim);
+    printer_client.start(&mut sim);
+    printer_client.register(
+        &mut sim,
+        leaf_b,
+        ServiceItem::new("print", "laser", printer.0),
+        60_000_000_000,
+    );
+
+    let mut events = Vec::new();
+    let mut asked = false;
+    let until = sim.now().plus(6_000_000_000);
+    loop {
+        match sim.peek_next() {
+            Some(t) if t <= until => {
+                sim.step();
+            }
+            _ => break,
+        }
+        for inc in sim.drain_inbox(root_n) {
+            root.handle(&mut sim, &inc);
+        }
+        for inc in sim.drain_inbox(leaf_a) {
+            reg_a.handle(&mut sim, &inc);
+        }
+        for inc in sim.drain_inbox(leaf_b) {
+            reg_b.handle(&mut sim, &inc);
+        }
+        for inc in sim.drain_inbox(printer) {
+            printer_client.handle(&mut sim, &inc);
+        }
+        for inc in sim.drain_inbox(robot) {
+            events.extend(robot_client.handle(&mut sim, &inc));
+        }
+        // Give registration + adverts ~2 s to settle, then ask once.
+        if !asked && sim.now().0 > 2_000_000_000 {
+            asked = true;
+            robot_client.fed_lookup(&mut sim, leaf_a, ServiceQuery::of_type("print"));
+        }
+    }
+
+    let (items, hops) = events
+        .iter()
+        .find_map(|e| match e {
+            DiscoveryEvent::FedLookupDone { items, hops, .. } => Some((items.clone(), *hops)),
+            _ => None,
+        })
+        .expect("federated lookup answered");
+    assert_eq!(items.len(), 1);
+    assert_eq!(items[0].name, "laser");
+    assert_eq!(hops, 2, "leaf-a -> root -> leaf-b");
+
+    // A local federated hit is answered with zero hops.
+    robot_client.register(
+        &mut sim,
+        leaf_a,
+        ServiceItem::new("midas.adaptation", "robot", robot.0),
+        60_000_000_000,
+    );
+    let mut events = Vec::new();
+    let mut asked = false;
+    let until = sim.now().plus(4_000_000_000);
+    loop {
+        match sim.peek_next() {
+            Some(t) if t <= until => {
+                sim.step();
+            }
+            _ => break,
+        }
+        for inc in sim.drain_inbox(leaf_a) {
+            reg_a.handle(&mut sim, &inc);
+        }
+        for inc in sim.drain_inbox(robot) {
+            events.extend(robot_client.handle(&mut sim, &inc));
+        }
+        if !asked && sim.now().0 > until.0 - 2_000_000_000 {
+            asked = true;
+            robot_client.fed_lookup(&mut sim, leaf_a, ServiceQuery::of_type("midas.adaptation"));
+        }
+    }
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, DiscoveryEvent::FedLookupDone { hops: 0, items, .. } if items.len() == 1)));
+}
+
 #[test]
 fn reentering_range_rediscovers_registrar() {
     let mut w = world();

@@ -9,9 +9,9 @@ use crate::proto::{MidasMsg, CHANNEL};
 use pmp_discovery::{DiscoveryClient, DiscoveryEvent, ServiceQuery};
 use pmp_durable::NamespaceHandle;
 use pmp_net::{Incoming, NetPort, NodeId};
-use pmp_telemetry::{Shared, Sink, Subsystem};
+use pmp_telemetry::{Fnv64, Shared, Sink, Subsystem};
 use pmp_trace::{TraceCtx, Traced, Tracer};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 const SCAN_TAG: &str = "midas.scan";
 
@@ -48,6 +48,38 @@ pub enum BaseEvent {
         /// Extensions it held at the neighbour.
         ext_ids: Vec<String>,
     },
+    /// A roaming node arrived with a migratable handoff record: its
+    /// grants were rebound in place (zero re-`Deliver` messages for the
+    /// roamed set) and only catalog entries it lacked were delivered.
+    NodeMigrated {
+        /// The node's name.
+        node_name: String,
+        /// Grants rebound via [`MidasMsg::GrantTransfer`].
+        rebound: usize,
+        /// Local catalog entries it did not hold, delivered normally.
+        delivered: usize,
+    },
+    /// A peer base exported a departed node's movement history; the
+    /// host should merge the records into its context store.
+    MovementImport {
+        /// The node's name.
+        node_name: String,
+        /// Opaque store records in arrival order.
+        records: Vec<Vec<u8>>,
+    },
+}
+
+/// One roaming node's migrated state, received from a peer base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoamEntry {
+    /// Network id of the base that sent the handoff.
+    pub from: u32,
+    /// Extension id → the grant the node held at that base.
+    pub grants: BTreeMap<String, u64>,
+    /// Signed packages behind those grants.
+    pub exts: Vec<SignedExtension>,
+    /// FIFO admission sequence, for capacity eviction.
+    pub seq: u64,
 }
 
 #[derive(Debug)]
@@ -75,8 +107,21 @@ pub struct ExtensionBase {
     scan_token: Option<u64>,
     started: bool,
     events: Vec<BaseEvent>,
-    /// Roaming records received from neighbours (node name → ext ids).
-    pub roaming_cache: HashMap<String, Vec<String>>,
+    /// Roaming records received from peer bases, bounded by
+    /// [`ExtensionBase::set_roam_cap`]; entries are evicted FIFO at
+    /// capacity and dropped when the node is adopted or re-registers.
+    pub roaming_cache: BTreeMap<String, RoamEntry>,
+    /// Next FIFO sequence for roaming admissions.
+    pub(crate) roam_seq: u64,
+    roam_cap: usize,
+    /// Packages adopted from handoffs that are not part of this base's
+    /// own catalog: needed for renewal-failure redelivery and onward
+    /// handoffs, but never delivered to newcomers.
+    pub(crate) foreign: BTreeMap<String, SignedExtension>,
+    /// Peer bases receiving catalog anti-entropy and lease-table sync.
+    replicas: Vec<NodeId>,
+    /// Digest of the last lease table pushed to replicas.
+    last_lease_sync: u64,
     telemetry: Option<Sink>,
     durable: Option<NamespaceHandle>,
     tracer: Option<Tracer>,
@@ -104,7 +149,12 @@ impl ExtensionBase {
             scan_token: None,
             started: false,
             events: Vec::new(),
-            roaming_cache: HashMap::new(),
+            roaming_cache: BTreeMap::new(),
+            roam_seq: 0,
+            roam_cap: 64,
+            foreign: BTreeMap::new(),
+            replicas: Vec::new(),
+            last_lease_sync: 0,
             telemetry: None,
             durable: None,
             tracer: None,
@@ -188,7 +238,250 @@ impl ExtensionBase {
 
     /// Registers a neighbour base for roaming handoffs.
     pub fn add_neighbor(&mut self, base: NodeId) {
-        self.neighbors.push(base);
+        if !self.neighbors.contains(&base) {
+            self.neighbors.push(base);
+        }
+    }
+
+    /// Neighbour bases, in registration order.
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// Registers a replica peer: this base pushes catalog anti-entropy
+    /// digests and lease-table syncs to it. Opt-in and directional —
+    /// call on both bases for symmetric replication. Unlike neighbours
+    /// (handoff-only), replicas converge toward the same catalog, so
+    /// only federate bases meant to serve the same policy.
+    pub fn add_replica(&mut self, base: NodeId) {
+        if !self.replicas.contains(&base) {
+            self.replicas.push(base);
+        }
+    }
+
+    /// Ids of foreign packages held for migrated grants (sorted): not
+    /// part of this base's catalog, kept for redelivery and onward
+    /// handoffs.
+    pub fn foreign_ids(&self) -> Vec<String> {
+        self.foreign.keys().cloned().collect()
+    }
+
+    /// Replica peers, in registration order.
+    pub fn replicas(&self) -> &[NodeId] {
+        &self.replicas
+    }
+
+    /// Overrides the roaming-table capacity (default 64 entries).
+    pub fn set_roam_cap(&mut self, cap: usize) {
+        self.roam_cap = cap.max(1);
+    }
+
+    /// Admits a roaming record: assigns its FIFO sequence, logs it, and
+    /// evicts the oldest entries while over capacity.
+    pub(crate) fn roam_insert(&mut self, name: &str, mut entry: RoamEntry) {
+        entry.seq = self.roam_seq;
+        self.roam_seq += 1;
+        self.log(&BaseWalOp::RoamState {
+            name: name.to_string(),
+            from: entry.from,
+            grants: entry.grants.clone(),
+            exts: entry.exts.clone(),
+            seq: entry.seq,
+        });
+        self.roaming_cache.insert(name.to_string(), entry);
+        while self.roaming_cache.len() > self.roam_cap {
+            let oldest = self
+                .roaming_cache
+                .iter()
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(n, _)| n.clone());
+            let Some(n) = oldest else { break };
+            self.roaming_cache.remove(&n);
+            self.log(&BaseWalOp::RoamDrop { name: n });
+            self.count("midas.base.roam_evicted");
+        }
+    }
+
+    /// Drops a roaming record (the node was adopted or re-registered).
+    fn roam_drop(&mut self, name: &str) {
+        if self.roaming_cache.remove(name).is_some() {
+            self.log(&BaseWalOp::RoamDrop {
+                name: name.to_string(),
+            });
+        }
+    }
+
+    /// FNV-64 over the sorted `(id, version)` catalog inventory — the
+    /// anti-entropy probe replicas compare before exchanging entries.
+    #[must_use]
+    pub fn catalog_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for (id, version) in self.catalog_inventory() {
+            h.write_str(&id);
+            h.write_u64(u64::from(version));
+        }
+        h.finish()
+    }
+
+    /// Sorted `(id, version)` pairs for every catalogued extension.
+    fn catalog_inventory(&self) -> Vec<(String, u32)> {
+        self.catalog
+            .ids()
+            .into_iter()
+            .map(|id| {
+                let version = self
+                    .catalog
+                    .get(&id)
+                    .and_then(|e| e.open().ok())
+                    .map_or(0, |p| p.meta.version);
+                (id, version)
+            })
+            .collect()
+    }
+
+    /// The live lease table (present nodes only), sorted by name.
+    fn lease_entries(&self) -> Vec<(String, u32, BTreeMap<String, u64>)> {
+        let mut entries: Vec<(String, u32, BTreeMap<String, u64>)> = self
+            .adapted
+            .iter()
+            .filter(|(_, a)| a.present)
+            .map(|(name, a)| {
+                (
+                    name.clone(),
+                    a.node.0,
+                    a.grants.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                )
+            })
+            .collect();
+        entries.sort();
+        entries
+    }
+
+    /// Pushes replication traffic to every replica peer: a catalog
+    /// digest each scan (cheap; matching digests end the exchange) and
+    /// the lease table only when it changed since the last push.
+    fn sync_replicas(&mut self, sim: &mut dyn NetPort) {
+        if self.replicas.is_empty() {
+            return;
+        }
+        let digest = self.catalog_digest();
+        let replicas = self.replicas.clone();
+        for r in &replicas {
+            self.send(sim, *r, &MidasMsg::CatalogDigest { digest }, TraceCtx::NIL);
+        }
+        let entries = self.lease_entries();
+        let mut h = Fnv64::new();
+        for (name, node, grants) in &entries {
+            h.write_str(name);
+            h.write_u64(u64::from(*node));
+            for (id, g) in grants {
+                h.write_str(id);
+                h.write_u64(*g);
+            }
+        }
+        let lease_digest = h.finish();
+        if lease_digest != self.last_lease_sync {
+            self.last_lease_sync = lease_digest;
+            for r in &replicas {
+                let msg = MidasMsg::LeaseSync {
+                    entries: entries.clone(),
+                };
+                self.send(sim, *r, &msg, TraceCtx::NIL);
+            }
+        }
+    }
+
+    /// Adopts a roaming node from its migrated handoff record: every
+    /// grant it held at the previous base is rebound in place with one
+    /// [`MidasMsg::GrantTransfer`] — zero re-`Deliver` messages for the
+    /// roamed set — and only local catalog entries it lacks are
+    /// delivered. Returns `(rebound, delivered)`.
+    fn adopt_roamer(
+        &mut self,
+        sim: &mut dyn NetPort,
+        node: NodeId,
+        name: &str,
+        entry: &RoamEntry,
+    ) -> (usize, usize) {
+        // Keep the signed packages behind migrated grants reachable
+        // for renewal-failure redelivery and onward handoffs.
+        for ext in &entry.exts {
+            let Ok(pkg) = ext.open() else { continue };
+            let id = pkg.meta.id;
+            if self.catalog.get(&id).is_none() && !self.foreign.contains_key(&id) {
+                self.log(&BaseWalOp::ForeignPut { ext: ext.clone() });
+                self.foreign.insert(id, ext.clone());
+            }
+        }
+        // Rebind the migrated grants. A grant is adopted when this base
+        // serves the extension itself, or when the record came from a
+        // replica (one federated administrative domain — catalogs
+        // converge by anti-entropy anyway). Foreign grants from a mere
+        // roaming neighbour are *not* adopted: the paper's locality of
+        // adaptations means the old hall's policy lapses with its
+        // leases. Either way a rebind requires the signed package in
+        // hand (catalog or foreign): a grant this base cannot redeliver
+        // on a renewal failure would be a dangling promise — shadow
+        // lease entries synced without packages (or revoked locally
+        // since) simply lapse. BTreeMap order keeps the wire payload
+        // byte-stable.
+        let federated = self.replicas.iter().any(|r| r.0 == entry.from);
+        let mut grants = HashMap::new();
+        let mut rebinds = Vec::new();
+        for (id, old) in &entry.grants {
+            let servable = self.catalog.get(id).is_some()
+                || (federated && self.foreign.contains_key(id));
+            if !servable {
+                continue;
+            }
+            let fresh = self.fresh_grant();
+            grants.insert(id.clone(), fresh);
+            rebinds.push((id.clone(), *old, fresh));
+            self.count("midas.base.migrated");
+        }
+        let rebound = rebinds.len();
+        if rebound > 0 {
+            let msg = MidasMsg::GrantTransfer {
+                node_name: name.to_string(),
+                rebinds,
+                lease_ns: self.lease_ns,
+            };
+            self.send(sim, node, &msg, TraceCtx::NIL);
+        }
+        // Deliver only what the local catalog adds on top.
+        let mut delivered = 0;
+        for id in self.catalog.delivery_order() {
+            if grants.contains_key(&id) {
+                continue;
+            }
+            let Some(ext) = self.catalog.get(&id).cloned() else {
+                continue;
+            };
+            let grant = self.fresh_grant();
+            grants.insert(id.clone(), grant);
+            let msg = MidasMsg::Deliver {
+                ext,
+                lease_ns: self.lease_ns,
+                grant,
+            };
+            let ctx = self.note_ship(sim, &id, node);
+            self.send(sim, node, &msg, ctx);
+            delivered += 1;
+        }
+        self.log(&BaseWalOp::NodeAdapted {
+            name: name.to_string(),
+            node: node.0,
+            grants: grants.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        });
+        self.adapted.insert(
+            name.to_string(),
+            AdaptedNode {
+                node,
+                grants,
+                present: true,
+            },
+        );
+        (rebound, delivered)
     }
 
     /// Starts scanning. Idempotent.
@@ -361,6 +654,7 @@ impl ExtensionBase {
         match incoming {
             Incoming::Timer { token, .. } if Some(*token) == self.scan_token => {
                 self.scan(sim);
+                self.sync_replicas(sim);
                 self.scan_token =
                     Some(sim.set_timer(self.node, self.scan_interval_ns, SCAN_TAG));
             }
@@ -408,11 +702,23 @@ impl ExtensionBase {
             // Deliver in name order — catalog sends are observable.
             new_nodes.sort();
             for (name, node) in new_nodes {
-                let delivered = self.deliver_catalog(sim, node, &name);
-                self.events.push(BaseEvent::NodeDiscovered {
-                    node_name: name,
-                    delivered,
-                });
+                if let Some(entry) = self.roaming_cache.get(&name).cloned() {
+                    // The node roamed here with a migratable record:
+                    // take over its leases instead of re-delivering.
+                    let (rebound, delivered) = self.adopt_roamer(sim, node, &name, &entry);
+                    self.roam_drop(&name);
+                    self.events.push(BaseEvent::NodeMigrated {
+                        node_name: name,
+                        rebound,
+                        delivered,
+                    });
+                } else {
+                    let delivered = self.deliver_catalog(sim, node, &name);
+                    self.events.push(BaseEvent::NodeDiscovered {
+                        node_name: name,
+                        delivered,
+                    });
+                }
             }
             // Known nodes still present: keep their leases alive.
             let mut renewals: Vec<(NodeId, Vec<u64>)> = self
@@ -442,19 +748,39 @@ impl ExtensionBase {
                 .collect();
             departed.sort();
             for name in departed {
-                if let Some(a) = self.adapted.get_mut(&name) {
+                let handoff = self.adapted.get_mut(&name).map(|a| {
                     a.present = false;
-                    let mut ext_ids: Vec<String> = a.grants.keys().cloned().collect();
-                    // Sorted: these ids travel inside the handoff
+                    // Sorted map: the grants travel inside the handoff
                     // payload, so their order is byte-observable.
-                    ext_ids.sort();
+                    a.grants
+                        .iter()
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect::<BTreeMap<String, u64>>()
+                });
+                if let Some(grants) = handoff {
+                    // Migratable handoff: the leases *and* the signed
+                    // packages behind them, so the adopting base can
+                    // take over without re-delivering anything.
+                    let mut exts = Vec::new();
+                    for id in grants.keys() {
+                        let ext = self
+                            .catalog
+                            .get(id)
+                            .cloned()
+                            .or_else(|| self.foreign.get(id).cloned());
+                        if let Some(ext) = ext {
+                            exts.push(ext);
+                        }
+                    }
                     let neighbors = self.neighbors.clone();
                     for nb in neighbors {
-                        let msg = MidasMsg::RoamingHandoff {
+                        let msg = MidasMsg::HandoffState {
                             node_name: name.clone(),
-                            ext_ids: ext_ids.clone(),
+                            grants: grants.clone(),
+                            exts: exts.clone(),
                         };
                         self.send(sim, nb, &msg, TraceCtx::NIL);
+                        self.count("midas.base.handoffs_sent");
                     }
                 }
                 self.log(&BaseWalOp::Presence {
@@ -506,7 +832,12 @@ impl ExtensionBase {
                                 .map(|(id, _)| (name.clone(), id.clone()))
                         });
                     if let Some((name, id)) = stale {
-                        if let Some(ext) = self.catalog.get(&id).cloned() {
+                        let ext = self
+                            .catalog
+                            .get(&id)
+                            .cloned()
+                            .or_else(|| self.foreign.get(&id).cloned());
+                        if let Some(ext) = ext {
                             let fresh = self.fresh_grant();
                             if let Some(a) = self.adapted.get_mut(&name) {
                                 a.grants.insert(id.clone(), fresh);
@@ -571,20 +902,163 @@ impl ExtensionBase {
                 }
             }
             MidasMsg::RoamingHandoff { node_name, ext_ids } => {
-                self.roaming_cache
-                    .insert(node_name.clone(), ext_ids.clone());
-                self.log(&BaseWalOp::Roamed {
-                    name: node_name.clone(),
-                    ext_ids: ext_ids.clone(),
-                });
+                // Legacy handoff: ids only, no grants to migrate.
+                // Grant 0 never matches a live lease, so adoption falls
+                // back to the unknown-grant redelivery path.
+                if self.adapted.get(&node_name).is_some_and(|a| a.present) {
+                    return;
+                }
+                let grants: BTreeMap<String, u64> =
+                    ext_ids.iter().map(|id| (id.clone(), 0)).collect();
+                self.roam_insert(
+                    &node_name,
+                    RoamEntry {
+                        from: from.0,
+                        grants,
+                        exts: Vec::new(),
+                        seq: 0,
+                    },
+                );
+                self.count("midas.base.handoffs_received");
                 self.events
                     .push(BaseEvent::HandoffReceived { node_name, ext_ids });
+            }
+            MidasMsg::HandoffState {
+                node_name,
+                grants,
+                exts,
+            } => {
+                // A node we are actively serving did not roam anywhere.
+                if self.adapted.get(&node_name).is_some_and(|a| a.present) {
+                    return;
+                }
+                let ext_ids: Vec<String> = grants.keys().cloned().collect();
+                self.roam_insert(
+                    &node_name,
+                    RoamEntry {
+                        from: from.0,
+                        grants,
+                        exts,
+                        seq: 0,
+                    },
+                );
+                self.count("midas.base.handoffs_received");
+                self.events
+                    .push(BaseEvent::HandoffReceived { node_name, ext_ids });
+            }
+            MidasMsg::MovementExport { node_name, records } => {
+                self.events
+                    .push(BaseEvent::MovementImport { node_name, records });
+            }
+            MidasMsg::CatalogDigest { digest } => {
+                if digest != self.catalog_digest() {
+                    let have = self.catalog_inventory();
+                    self.send(sim, from, &MidasMsg::CatalogPull { have }, TraceCtx::NIL);
+                }
+            }
+            MidasMsg::CatalogPull { have } => {
+                let held: BTreeMap<String, u32> = have.into_iter().collect();
+                let mut exts = Vec::new();
+                for (id, version) in self.catalog_inventory() {
+                    if held.get(&id).is_none_or(|v| *v < version) {
+                        if let Some(ext) = self.catalog.get(&id).cloned() {
+                            exts.push(ext);
+                        }
+                    }
+                }
+                if !exts.is_empty() {
+                    self.send(sim, from, &MidasMsg::CatalogPush { exts }, TraceCtx::NIL);
+                }
+            }
+            MidasMsg::CatalogPush { exts } => {
+                let mut merged = false;
+                for ext in exts {
+                    let Ok(pkg) = ext.open() else { continue };
+                    let id = pkg.meta.id;
+                    let before = self
+                        .catalog
+                        .get(&id)
+                        .and_then(|e| e.open().ok())
+                        .map(|p| p.meta.version);
+                    if before.is_some_and(|v| v >= pkg.meta.version) {
+                        continue;
+                    }
+                    self.catalog.put(ext.clone());
+                    self.log(&BaseWalOp::CatalogPut { ext });
+                    self.foreign.remove(&id);
+                    self.count("midas.base.replicated");
+                    merged = true;
+                }
+                if merged {
+                    // Replicated policy reaches robots already here.
+                    let mut names: Vec<String> = self
+                        .adapted
+                        .iter()
+                        .filter(|(_, a)| a.present)
+                        .map(|(n, _)| n.clone())
+                        .collect();
+                    names.sort();
+                    for name in names {
+                        let node = self.adapted[&name].node;
+                        for id in self.catalog.delivery_order() {
+                            if self.adapted[&name].grants.contains_key(&id) {
+                                continue;
+                            }
+                            let Some(ext) = self.catalog.get(&id).cloned() else {
+                                continue;
+                            };
+                            let grant = self.fresh_grant();
+                            if let Some(a) = self.adapted.get_mut(&name) {
+                                a.grants.insert(id.clone(), grant);
+                            }
+                            self.log(&BaseWalOp::GrantSet {
+                                name: name.clone(),
+                                ext_id: id.clone(),
+                                grant,
+                            });
+                            let msg = MidasMsg::Deliver {
+                                ext,
+                                lease_ns: self.lease_ns,
+                                grant,
+                            };
+                            let ship = self.note_ship(sim, &id, node);
+                            self.send(sim, node, &msg, ship);
+                        }
+                    }
+                }
+            }
+            MidasMsg::LeaseSync { entries } => {
+                // Shadow lease table: nodes a replica is serving become
+                // adoptable here without redelivery if it dies. No
+                // event — this is background replication.
+                for (name, _node, grants) in entries {
+                    if self.adapted.get(&name).is_some_and(|a| a.present) {
+                        continue;
+                    }
+                    let (exts, unchanged) = match self.roaming_cache.get(&name) {
+                        Some(e) if e.from == from.0 => (e.exts.clone(), e.grants == grants),
+                        _ => (Vec::new(), false),
+                    };
+                    if unchanged {
+                        continue;
+                    }
+                    self.roam_insert(
+                        &name,
+                        RoamEntry {
+                            from: from.0,
+                            grants,
+                            exts,
+                            seq: 0,
+                        },
+                    );
+                }
             }
             // Receiver-bound messages are ignored by the base.
             MidasMsg::Deliver { .. }
             | MidasMsg::LeaseRenew { .. }
             | MidasMsg::Revoke { .. }
-            | MidasMsg::Replace { .. } => {}
+            | MidasMsg::Replace { .. }
+            | MidasMsg::GrantTransfer { .. } => {}
         }
     }
 }

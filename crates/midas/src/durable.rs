@@ -13,7 +13,7 @@
 //! again. The lease table surviving is what lets the restarted base
 //! *renew* grants instead of re-delivering the whole catalog.
 
-use crate::base::{AdaptedNode, ExtensionBase};
+use crate::base::{AdaptedNode, ExtensionBase, RoamEntry};
 use crate::catalog::Catalog;
 use crate::package::SignedExtension;
 use pmp_durable::{Durable, DurableError};
@@ -70,11 +70,40 @@ pub enum BaseWalOp {
         present: bool,
     },
     /// A neighbour handed us a roaming node's extension list.
+    /// Legacy op, superseded by [`BaseWalOp::RoamState`]; replaying it
+    /// builds a grant-less record (adoption falls back to redelivery).
     Roamed {
         /// The roaming node's name.
         name: String,
         /// Extensions it held at the neighbour.
         ext_ids: Vec<String>,
+    },
+    /// A roaming record was admitted or refreshed (handoff or lease
+    /// sync), with the migratable grants and packages.
+    RoamState {
+        /// The roaming node's name.
+        name: String,
+        /// Network id of the base that sent the record.
+        from: u32,
+        /// Extension id → the grant the node held there.
+        grants: BTreeMap<String, u64>,
+        /// Signed packages behind those grants.
+        exts: Vec<SignedExtension>,
+        /// FIFO admission sequence.
+        seq: u64,
+    },
+    /// A roaming record left the table (adopted, re-registered, or
+    /// evicted at capacity). Evictions are logged explicitly so replay
+    /// never re-runs capacity policy.
+    RoamDrop {
+        /// The roaming node's name.
+        name: String,
+    },
+    /// A migrated package outside our own catalog was retained for
+    /// redelivery and onward handoffs.
+    ForeignPut {
+        /// The signed package.
+        ext: SignedExtension,
     },
 }
 
@@ -120,6 +149,28 @@ impl Wire for BaseWalOp {
                 w.put_str(name);
                 ext_ids.encode(w);
             }
+            BaseWalOp::RoamState {
+                name,
+                from,
+                grants,
+                exts,
+                seq,
+            } => {
+                w.put_u8(7);
+                w.put_str(name);
+                w.put_u32(*from);
+                grants.encode(w);
+                exts.encode(w);
+                w.put_u64(*seq);
+            }
+            BaseWalOp::RoamDrop { name } => {
+                w.put_u8(8);
+                w.put_str(name);
+            }
+            BaseWalOp::ForeignPut { ext } => {
+                w.put_u8(9);
+                ext.encode(w);
+            }
         }
     }
 
@@ -153,6 +204,19 @@ impl Wire for BaseWalOp {
                 name: r.get_str()?,
                 ext_ids: Vec::decode(r)?,
             },
+            7 => BaseWalOp::RoamState {
+                name: r.get_str()?,
+                from: r.get_u32()?,
+                grants: BTreeMap::decode(r)?,
+                exts: Vec::<SignedExtension>::decode(r)?,
+                seq: r.get_u64()?,
+            },
+            8 => BaseWalOp::RoamDrop {
+                name: r.get_str()?,
+            },
+            9 => BaseWalOp::ForeignPut {
+                ext: SignedExtension::decode(r)?,
+            },
             tag => return Err(r.bad_tag("BaseWalOp", tag)),
         })
     }
@@ -172,20 +236,40 @@ wire_struct!(AdaptedSnap {
     grants: BTreeMap<String, u64>,
 });
 
+/// One roaming record's durable form.
+#[derive(Debug, Clone, PartialEq)]
+struct RoamSnap {
+    from: u32,
+    grants: BTreeMap<String, u64>,
+    exts: Vec<SignedExtension>,
+    seq: u64,
+}
+
+wire_struct!(RoamSnap {
+    from: u32,
+    grants: BTreeMap<String, u64>,
+    exts: Vec<SignedExtension>,
+    seq: u64,
+});
+
 /// The base's full durable state in canonical (sorted) form.
 #[derive(Debug, Clone, PartialEq)]
 struct BaseSnapshot {
     next_grant: u64,
     catalog: BTreeMap<String, SignedExtension>,
     adapted: BTreeMap<String, AdaptedSnap>,
-    roaming: BTreeMap<String, Vec<String>>,
+    roaming: BTreeMap<String, RoamSnap>,
+    foreign: BTreeMap<String, SignedExtension>,
+    roam_seq: u64,
 }
 
 wire_struct!(BaseSnapshot {
     next_grant: u64,
     catalog: BTreeMap<String, SignedExtension>,
     adapted: BTreeMap<String, AdaptedSnap>,
-    roaming: BTreeMap<String, Vec<String>>,
+    roaming: BTreeMap<String, RoamSnap>,
+    foreign: BTreeMap<String, SignedExtension>,
+    roam_seq: u64,
 });
 
 impl ExtensionBase {
@@ -242,8 +326,20 @@ impl Durable for ExtensionBase {
             roaming: self
                 .roaming_cache
                 .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        RoamSnap {
+                            from: v.from,
+                            grants: v.grants.clone(),
+                            exts: v.exts.clone(),
+                            seq: v.seq,
+                        },
+                    )
+                })
                 .collect(),
+            foreign: self.foreign.clone(),
+            roam_seq: self.roam_seq,
         };
         pmp_wire::to_bytes(&snap)
     }
@@ -268,7 +364,23 @@ impl Durable for ExtensionBase {
                 )
             })
             .collect();
-        self.roaming_cache = snap.roaming.into_iter().collect();
+        self.roaming_cache = snap
+            .roaming
+            .into_iter()
+            .map(|(name, r)| {
+                (
+                    name,
+                    RoamEntry {
+                        from: r.from,
+                        grants: r.grants,
+                        exts: r.exts,
+                        seq: r.seq,
+                    },
+                )
+            })
+            .collect();
+        self.foreign = snap.foreign;
+        self.roam_seq = snap.roam_seq;
         self.next_grant = snap.next_grant;
         Ok(())
     }
@@ -325,7 +437,47 @@ impl Durable for ExtensionBase {
                 a.present = present;
             }
             BaseWalOp::Roamed { name, ext_ids } => {
-                self.roaming_cache.insert(name, ext_ids);
+                // Legacy record: no migratable grants (grant 0 never
+                // matches a live lease → redelivery fallback).
+                let seq = self.roam_seq;
+                self.roam_seq += 1;
+                self.roaming_cache.insert(
+                    name,
+                    RoamEntry {
+                        from: 0,
+                        grants: ext_ids.into_iter().map(|id| (id, 0)).collect(),
+                        exts: Vec::new(),
+                        seq,
+                    },
+                );
+            }
+            BaseWalOp::RoamState {
+                name,
+                from,
+                grants,
+                exts,
+                seq,
+            } => {
+                // Literal replay: evictions were logged explicitly, so
+                // capacity policy never re-runs here.
+                self.roam_seq = self.roam_seq.max(seq + 1);
+                self.roaming_cache.insert(
+                    name,
+                    RoamEntry {
+                        from,
+                        grants,
+                        exts,
+                        seq,
+                    },
+                );
+            }
+            BaseWalOp::RoamDrop { name } => {
+                self.roaming_cache.remove(&name);
+            }
+            BaseWalOp::ForeignPut { ext } => {
+                if let Ok(pkg) = ext.open() {
+                    self.foreign.insert(pkg.meta.id, ext);
+                }
             }
         }
         Ok(())
@@ -393,6 +545,17 @@ mod tests {
                 name: "robot:2:2".into(),
                 ext_ids: vec!["mon".into()],
             },
+            BaseWalOp::RoamState {
+                name: "robot:3:3".into(),
+                from: 9,
+                grants: [("mon".to_string(), 5u64)].into(),
+                exts: vec![ext("mon", 1)],
+                seq: 4,
+            },
+            BaseWalOp::RoamDrop {
+                name: "robot:2:2".into(),
+            },
+            BaseWalOp::ForeignPut { ext: ext("ctx", 1) },
             BaseWalOp::Revoked {
                 ext_id: "acl".into(),
             },
@@ -434,6 +597,14 @@ mod tests {
         assert_eq!(grants["mon"], 3);
         assert_eq!(replayed.next_grant, 4, "recovered past the max grant");
         assert_eq!(replayed.catalog.ids(), ["mon"]);
+        // Roaming table: robot:2:2 dropped, robot:3:3 admitted with its
+        // migratable grants; the FIFO sequence recovered past it.
+        assert!(!replayed.roaming_cache.contains_key("robot:2:2"));
+        let roam = &replayed.roaming_cache["robot:3:3"];
+        assert_eq!(roam.from, 9);
+        assert_eq!(roam.grants["mon"], 5);
+        assert_eq!(roam.exts.len(), 1);
+        assert_eq!(replayed.roam_seq, 5, "recovered past the max seq");
 
         let mut restored = fresh_base();
         restored

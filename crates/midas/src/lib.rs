@@ -34,7 +34,7 @@ pub mod policy;
 pub mod proto;
 pub mod receiver;
 
-pub use base::{BaseEvent, ExtensionBase};
+pub use base::{BaseEvent, ExtensionBase, RoamEntry};
 pub use catalog::Catalog;
 pub use optimize::{optimize_package, OptReport, ShipMode};
 pub use package::{ExtensionMeta, ExtensionPackage, SignedExtension};

@@ -2,6 +2,7 @@
 
 use crate::package::SignedExtension;
 use pmp_wire::{Reader, Wire, WireError, Writer};
+use std::collections::BTreeMap;
 
 /// Channel name for all MIDAS traffic.
 pub const CHANNEL: &str = "midas";
@@ -63,12 +64,72 @@ pub enum MidasMsg {
         ext_id: String,
     },
     /// Base → base: a node this base had adapted left towards your
-    /// area (the paper's "simple roaming algorithm").
+    /// area (the paper's "simple roaming algorithm"). Legacy form:
+    /// carries only extension ids, so the target must re-deliver
+    /// everything. Superseded by [`MidasMsg::HandoffState`].
     RoamingHandoff {
         /// The roaming node's advertised name.
         node_name: String,
         /// Extensions it held here.
         ext_ids: Vec<String>,
+    },
+    /// Base → base: full roaming handoff — the departing node's lease
+    /// grants *and* the signed packages behind them, so the adopting
+    /// base can take over the leases with zero re-`Deliver` messages.
+    HandoffState {
+        /// The roaming node's advertised name.
+        node_name: String,
+        /// Extension id → grant the node held at the sender.
+        grants: BTreeMap<String, u64>,
+        /// Signed packages for those grants (the adopting base may not
+        /// catalogue them; it still needs them for fallback redelivery
+        /// and onward handoffs).
+        exts: Vec<SignedExtension>,
+    },
+    /// Base → receiver: your installed extensions now lease from this
+    /// base — swap each old grant for a fresh local one, no reinstall.
+    GrantTransfer {
+        /// The node's advertised name (as the handoff recorded it).
+        node_name: String,
+        /// `(ext_id, old_grant, new_grant)` per migrated extension.
+        rebinds: Vec<(String, u64, u64)>,
+        /// Lease duration for the rebound grants (ns).
+        lease_ns: u64,
+    },
+    /// Base → base: a departed node's movement history, as opaque
+    /// store records — the fabric moves context, it does not interpret
+    /// it.
+    MovementExport {
+        /// The node's advertised name.
+        node_name: String,
+        /// Encoded movement records in arrival order.
+        records: Vec<Vec<u8>>,
+    },
+    /// Base → replica: anti-entropy probe — a digest of the sender's
+    /// catalog. Matching digests end the exchange silently.
+    CatalogDigest {
+        /// FNV-64 over the sorted `(id, version)` catalog entries.
+        digest: u64,
+    },
+    /// Replica → base: digests differed; here is what I hold, send me
+    /// what I am missing.
+    CatalogPull {
+        /// Sorted `(id, version)` pairs the sender already holds.
+        have: Vec<(String, u32)>,
+    },
+    /// Base → replica: catalog entries the peer lacks (or holds older
+    /// versions of).
+    CatalogPush {
+        /// The missing/newer signed packages.
+        exts: Vec<SignedExtension>,
+    },
+    /// Base → replica: the sender's live lease table (present nodes
+    /// only), so a replica can adopt those nodes without redelivery if
+    /// the sender crashes. Sent only when the table changes.
+    LeaseSync {
+        /// `(node name, network id, ext id → grant)` per present node,
+        /// sorted by name.
+        entries: Vec<(String, u32, BTreeMap<String, u64>)>,
     },
 }
 
@@ -127,6 +188,47 @@ impl Wire for MidasMsg {
                 w.put_str(node_name);
                 ext_ids.encode(w);
             }
+            MidasMsg::HandoffState {
+                node_name,
+                grants,
+                exts,
+            } => {
+                w.put_u8(7);
+                w.put_str(node_name);
+                grants.encode(w);
+                exts.encode(w);
+            }
+            MidasMsg::GrantTransfer {
+                node_name,
+                rebinds,
+                lease_ns,
+            } => {
+                w.put_u8(8);
+                w.put_str(node_name);
+                rebinds.encode(w);
+                w.put_u64(*lease_ns);
+            }
+            MidasMsg::MovementExport { node_name, records } => {
+                w.put_u8(9);
+                w.put_str(node_name);
+                records.encode(w);
+            }
+            MidasMsg::CatalogDigest { digest } => {
+                w.put_u8(10);
+                w.put_u64(*digest);
+            }
+            MidasMsg::CatalogPull { have } => {
+                w.put_u8(11);
+                have.encode(w);
+            }
+            MidasMsg::CatalogPush { exts } => {
+                w.put_u8(12);
+                exts.encode(w);
+            }
+            MidasMsg::LeaseSync { entries } => {
+                w.put_u8(13);
+                entries.encode(w);
+            }
         }
     }
 
@@ -162,6 +264,32 @@ impl Wire for MidasMsg {
             6 => MidasMsg::RoamingHandoff {
                 node_name: r.get_str()?,
                 ext_ids: Vec::<String>::decode(r)?,
+            },
+            7 => MidasMsg::HandoffState {
+                node_name: r.get_str()?,
+                grants: BTreeMap::decode(r)?,
+                exts: Vec::<SignedExtension>::decode(r)?,
+            },
+            8 => MidasMsg::GrantTransfer {
+                node_name: r.get_str()?,
+                rebinds: Vec::<(String, u64, u64)>::decode(r)?,
+                lease_ns: r.get_u64()?,
+            },
+            9 => MidasMsg::MovementExport {
+                node_name: r.get_str()?,
+                records: Vec::<Vec<u8>>::decode(r)?,
+            },
+            10 => MidasMsg::CatalogDigest {
+                digest: r.get_u64()?,
+            },
+            11 => MidasMsg::CatalogPull {
+                have: Vec::<(String, u32)>::decode(r)?,
+            },
+            12 => MidasMsg::CatalogPush {
+                exts: Vec::<SignedExtension>::decode(r)?,
+            },
+            13 => MidasMsg::LeaseSync {
+                entries: Vec::<(String, u32, BTreeMap<String, u64>)>::decode(r)?,
             },
             tag => {
                 return Err(r.bad_tag("MidasMsg", tag))
@@ -232,6 +360,34 @@ mod tests {
             MidasMsg::RoamingHandoff {
                 node_name: "robot:1:1".into(),
                 ext_ids: vec!["m".into()],
+            },
+            MidasMsg::HandoffState {
+                node_name: "robot:1:1".into(),
+                grants: [("m".to_string(), 4u64)].into(),
+                exts: vec![signed()],
+            },
+            MidasMsg::GrantTransfer {
+                node_name: "robot:1:1".into(),
+                rebinds: vec![("m".into(), 4, 11)],
+                lease_ns: 9,
+            },
+            MidasMsg::MovementExport {
+                node_name: "robot:1:1".into(),
+                records: vec![vec![1, 2, 3], vec![]],
+            },
+            MidasMsg::CatalogDigest { digest: 0xfeed },
+            MidasMsg::CatalogPull {
+                have: vec![("m".into(), 1)],
+            },
+            MidasMsg::CatalogPush {
+                exts: vec![signed()],
+            },
+            MidasMsg::LeaseSync {
+                entries: vec![(
+                    "robot:1:1".into(),
+                    7,
+                    [("m".to_string(), 4u64)].into(),
+                )],
             },
         ];
         for m in msgs {

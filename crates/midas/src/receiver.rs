@@ -50,6 +50,15 @@ pub enum ReceiverEvent {
         /// The missing dependency id.
         ext_id: String,
     },
+    /// A new base took over this node's leases after roaming: the
+    /// listed extensions' grants were swapped in place — nothing was
+    /// reinstalled or rewoven.
+    Rebound {
+        /// The adopting base.
+        base: NodeId,
+        /// Rebound extension ids, sorted.
+        ext_ids: Vec<String>,
+    },
 }
 
 #[derive(Debug)]
@@ -215,6 +224,23 @@ impl AdaptationService {
         &self.name
     }
 
+    /// `(extension id, grant)` per installed extension, sorted by id.
+    /// Federation oracles compare these across a roaming handoff.
+    pub fn grants(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .installed
+            .iter()
+            .map(|(id, i)| (id.clone(), i.grant))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The base currently holding an installed extension's lease.
+    pub fn lease_holder(&self, ext_id: &str) -> Option<NodeId> {
+        self.installed.get(ext_id).map(|i| i.base)
+    }
+
     /// Processes one inbox entry.
     pub fn handle(
         &mut self,
@@ -327,10 +353,62 @@ impl AdaptationService {
                 self.try_install(sim, vm, prose, from, ext, lease_ns, grant, ctx);
                 self.retry_pending(sim, vm, prose);
             }
+            MidasMsg::GrantTransfer {
+                node_name,
+                rebinds,
+                lease_ns,
+            } => {
+                if node_name != self.name {
+                    return;
+                }
+                let now = sim.now();
+                let mut rebound = Vec::new();
+                for (ext_id, old, new) in rebinds {
+                    let matched = self
+                        .installed
+                        .get_mut(&ext_id)
+                        .filter(|i| i.grant == old)
+                        .map(|i| {
+                            i.grant = new;
+                            i.base = from;
+                            i.lease = Lease::grant(now, lease_ns);
+                        })
+                        .is_some();
+                    if matched {
+                        self.count("midas.receiver.rebound");
+                        rebound.push(ext_id);
+                    } else {
+                        // We do not hold that grant (legacy handoff,
+                        // lost delivery, or the lease lapsed en route):
+                        // ask the adopting base to redeliver under its
+                        // fresh grant.
+                        let msg = MidasMsg::Ack {
+                            ext_id,
+                            grant: new,
+                            ok: false,
+                            reason: "unknown grant".into(),
+                        };
+                        sim.send(self.node, from, CHANNEL, ctx.wrap(&msg));
+                    }
+                }
+                if !rebound.is_empty() {
+                    rebound.sort();
+                    self.events.push(ReceiverEvent::Rebound {
+                        base: from,
+                        ext_ids: rebound,
+                    });
+                }
+            }
             // Base-bound messages are ignored by the receiver.
             MidasMsg::Ack { .. }
             | MidasMsg::RequestDep { .. }
-            | MidasMsg::RoamingHandoff { .. } => {}
+            | MidasMsg::RoamingHandoff { .. }
+            | MidasMsg::HandoffState { .. }
+            | MidasMsg::MovementExport { .. }
+            | MidasMsg::CatalogDigest { .. }
+            | MidasMsg::CatalogPull { .. }
+            | MidasMsg::CatalogPush { .. }
+            | MidasMsg::LeaseSync { .. } => {}
         }
     }
 

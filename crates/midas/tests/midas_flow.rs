@@ -493,6 +493,152 @@ fn roaming_handoff_reaches_neighbour_base() {
     assert!(nb_base.roaming_cache.contains_key("robot:1:1"));
 }
 
+/// The full roaming algorithm: a robot adapted in hall A drives into
+/// hall B. Hall B holds the handoff record (grants + packages), so when
+/// the robot registers there its lease is *migrated* — one
+/// `GrantTransfer`, zero re-`Deliver` messages for the roamed set — and
+/// only hall B's own catalog entry is delivered on top.
+#[test]
+fn roaming_migration_rebinds_grants_without_redelivery() {
+    let mut w = world();
+    w.base.set_lease(20_000_000_000); // survive the transit
+    let base_b = w.sim.add_node("base:hall-b", Position::new(500.0, 25.0), 60.0);
+    // The halls are far apart; the handoff rides the wired backhaul.
+    w.sim.add_wired_link(w.base_node, base_b);
+    let mut reg_b = Registrar::new(base_b, "lookup:hall-b");
+    reg_b.start(&mut w.sim);
+    let mut nb_base = ExtensionBase::new(base_b, base_b);
+    nb_base.start(&mut w.sim);
+    w.base.add_neighbor(base_b);
+    // Federated halls (one administrative domain): hall B adopts hall
+    // A's foreign grants instead of letting their leases lapse.
+    w.base.add_replica(base_b);
+    nb_base.add_replica(w.base_node);
+
+    let pkg = package("hall-a/monitoring", 1, vec![], false, monitoring_aspect("MonM"));
+    let sealed = w.seal(&pkg);
+    w.base.catalog.put(sealed);
+    // Hall B distributes its own policy on top.
+    let local = package("hall-b/local", 1, vec![], false, noop_aspect("local", "LocB"));
+    let sealed_local = w.seal(&local);
+    nb_base.catalog.put(sealed_local);
+
+    w.pump(5_000_000_000);
+    assert!(w.receiver.is_installed("hall-a/monitoring"));
+
+    // Drive out of hall A through the uncovered corridor: hall A
+    // detects the departure and hands the robot's state to hall B
+    // before the robot gets there.
+    w.sim.move_node(w.robot_node, Position::new(250.0, 500.0));
+    let mut nb_events = Vec::new();
+    let mut arrived = false;
+    let until = w.sim.now().plus(18_000_000_000);
+    loop {
+        match w.sim.peek_next() {
+            Some(t) if t <= until => {
+                w.sim.step();
+            }
+            _ => break,
+        }
+        for inc in w.sim.drain_inbox(w.base_node) {
+            w.registrar.handle(&mut w.sim, &inc);
+            w.base_events.extend(w.base.handle(&mut w.sim, &inc));
+        }
+        for inc in w.sim.drain_inbox(base_b) {
+            reg_b.handle(&mut w.sim, &inc);
+            nb_events.extend(nb_base.handle(&mut w.sim, &inc));
+        }
+        for inc in w.sim.drain_inbox(w.robot_node) {
+            w.receiver_events.extend(w.receiver.handle(
+                &mut w.sim,
+                &mut w.vm,
+                &w.prose,
+                &inc,
+            ));
+        }
+        // Once hall B holds the handoff record, the robot arrives.
+        if !arrived && nb_base.roaming_cache.contains_key("robot:1:1") {
+            arrived = true;
+            w.sim.move_node(w.robot_node, Position::new(505.0, 25.0));
+        }
+    }
+    assert!(arrived, "hall B received the handoff record");
+
+    // The lease moved: the handoff record was adopted (grants rebound
+    // in place), not redelivered.
+    assert!(nb_events.iter().any(|e| matches!(
+        e,
+        BaseEvent::NodeMigrated { node_name, rebound, .. }
+            if node_name == "robot:1:1" && *rebound >= 1
+    )));
+    assert!(w.receiver_events.iter().any(|e| matches!(
+        e,
+        ReceiverEvent::Rebound { base, ext_ids }
+            if *base == base_b && ext_ids.contains(&"hall-a/monitoring".to_string())
+    )));
+    // The roamed extension was installed exactly once (in hall A) and
+    // never removed: zero re-`Deliver` for the roamed set.
+    let installs = w
+        .receiver_events
+        .iter()
+        .filter(|e| matches!(e, ReceiverEvent::Installed { ext_id, .. } if ext_id == "hall-a/monitoring"))
+        .count();
+    assert_eq!(installs, 1, "migration must not re-deliver");
+    assert!(!w.receiver_events.iter().any(|e| matches!(
+        e,
+        ReceiverEvent::Removed { ext_id, .. } if ext_id == "hall-a/monitoring"
+    )));
+    assert!(w.receiver.is_installed("hall-a/monitoring"));
+    assert_eq!(
+        w.receiver.lease_holder("hall-a/monitoring"),
+        Some(base_b),
+        "the lease now belongs to hall B"
+    );
+    // Hall B's own policy arrived the normal way.
+    assert!(w.receiver.is_installed("hall-b/local"));
+    // The roam record was consumed by the adoption.
+    assert!(!nb_base.roaming_cache.contains_key("robot:1:1"));
+
+    // Hall B keeps the migrated lease alive.
+    let deadline_before = w
+        .receiver
+        .lease_deadlines()
+        .iter()
+        .find(|(id, _)| id == "hall-a/monitoring")
+        .map(|(_, d)| *d)
+        .unwrap();
+    let mut renew_until = w.sim.now().plus(6_000_000_000);
+    loop {
+        match w.sim.peek_next() {
+            Some(t) if t <= renew_until => {
+                w.sim.step();
+            }
+            _ => break,
+        }
+        for inc in w.sim.drain_inbox(base_b) {
+            reg_b.handle(&mut w.sim, &inc);
+            nb_base.handle(&mut w.sim, &inc);
+        }
+        for inc in w.sim.drain_inbox(w.robot_node) {
+            w.receiver.handle(&mut w.sim, &mut w.vm, &w.prose, &inc);
+        }
+    }
+    renew_until = w.sim.now();
+    let _ = renew_until;
+    let deadline_after = w
+        .receiver
+        .lease_deadlines()
+        .iter()
+        .find(|(id, _)| id == "hall-a/monitoring")
+        .map(|(_, d)| *d)
+        .unwrap();
+    assert!(
+        deadline_after > deadline_before,
+        "hall B renews the migrated grant"
+    );
+    assert!(w.receiver.is_installed("hall-a/monitoring"));
+}
+
 #[test]
 fn reentering_hall_readapts() {
     let mut w = world();
@@ -570,4 +716,97 @@ fn missing_dependency_is_requested_and_resolved() {
         .collect();
     let pos = |id: &str| installs.iter().position(|x| *x == id).unwrap();
     assert!(pos("hall-a/session") < pos("hall-a/access-control"));
+}
+
+/// Catalog anti-entropy and lease-table sync between replica bases:
+/// hall A's catalog entry reaches hall B via digest → pull → push, and
+/// hall B shadows hall A's lease table so it could adopt hall A's
+/// robots without redelivery.
+#[test]
+fn replicas_converge_catalogs_and_shadow_lease_tables() {
+    let mut w = world();
+    let base_b = w.sim.add_node("base:hall-b", Position::new(500.0, 25.0), 60.0);
+    w.sim.add_wired_link(w.base_node, base_b);
+    let mut nb_base = ExtensionBase::new(base_b, base_b);
+    nb_base.start(&mut w.sim);
+    w.base.add_replica(base_b);
+    nb_base.add_replica(w.base_node);
+
+    let pkg = package("hall-a/monitoring", 1, vec![], false, monitoring_aspect("MonAE"));
+    let sealed = w.seal(&pkg);
+    w.base.catalog.put(sealed);
+
+    let until = w.sim.now().plus(6_000_000_000);
+    loop {
+        match w.sim.peek_next() {
+            Some(t) if t <= until => {
+                w.sim.step();
+            }
+            _ => break,
+        }
+        for inc in w.sim.drain_inbox(w.base_node) {
+            w.registrar.handle(&mut w.sim, &inc);
+            w.base_events.extend(w.base.handle(&mut w.sim, &inc));
+        }
+        for inc in w.sim.drain_inbox(base_b) {
+            nb_base.handle(&mut w.sim, &inc);
+        }
+        for inc in w.sim.drain_inbox(w.robot_node) {
+            w.receiver_events.extend(w.receiver.handle(
+                &mut w.sim,
+                &mut w.vm,
+                &w.prose,
+                &inc,
+            ));
+        }
+    }
+
+    // Anti-entropy replicated the catalog entry.
+    assert_eq!(nb_base.catalog.ids(), ["hall-a/monitoring"]);
+    assert_eq!(nb_base.catalog_digest(), w.base.catalog_digest());
+    // The lease table was shadowed: hall B can adopt robot:1:1 with
+    // the exact grants hall A issued.
+    let shadow = nb_base
+        .roaming_cache
+        .get("robot:1:1")
+        .expect("lease sync shadowed the adapted robot");
+    assert_eq!(shadow.from, w.base_node.0);
+    assert_eq!(
+        shadow.grants.iter().map(|(k, v)| (k.clone(), *v)).collect::<Vec<_>>(),
+        w.receiver.grants(),
+        "shadow grants match the robot's live grants"
+    );
+}
+
+/// The roaming table is bounded: at capacity the oldest record is
+/// evicted FIFO, so a base flooded with handoffs cannot grow without
+/// limit (the unbounded `roaming_cache` this replaces).
+#[test]
+fn roaming_cache_is_bounded_with_fifo_eviction() {
+    let mut w = world();
+    w.base.set_roam_cap(2);
+    let peer = w.sim.add_node("base:peer", Position::new(20.0, 25.0), 60.0);
+    for i in 0..3 {
+        let mut grants = std::collections::BTreeMap::new();
+        grants.insert("hall-x/mon".to_string(), 10 + i);
+        let msg = pmp_midas::MidasMsg::HandoffState {
+            node_name: format!("wanderer:{i}"),
+            grants,
+            exts: vec![],
+        };
+        w.sim.send(
+            peer,
+            w.base_node,
+            pmp_midas::CHANNEL,
+            pmp_trace::TraceCtx::NIL.wrap(&msg),
+        );
+        w.pump(100_000_000);
+    }
+    assert_eq!(w.base.roaming_cache.len(), 2, "capped at 2");
+    assert!(
+        !w.base.roaming_cache.contains_key("wanderer:0"),
+        "oldest record evicted first"
+    );
+    assert!(w.base.roaming_cache.contains_key("wanderer:1"));
+    assert!(w.base.roaming_cache.contains_key("wanderer:2"));
 }

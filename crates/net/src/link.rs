@@ -65,6 +65,17 @@ impl LinkModel {
             .saturating_add(jitter);
         Some(now.plus(latency))
     }
+
+    /// Delivery time over a *wired* backhaul segment: same base and
+    /// per-byte latency as the radio, but no jitter and no loss — and
+    /// crucially no RNG draw, so federation traffic never perturbs the
+    /// radio's loss-sampling stream.
+    pub fn sample_wired(&self, now: SimTime, len: usize) -> SimTime {
+        let latency = self
+            .base_latency_ns
+            .saturating_add(self.per_byte_ns.saturating_mul(len as u64));
+        now.plus(latency)
+    }
 }
 
 #[cfg(test)]

@@ -118,6 +118,11 @@ pub struct Simulator {
     rng: SimRng,
     link: LinkModel,
     partitions: HashSet<(NodeId, NodeId)>,
+    /// Wired backhaul segments (both directions): unicast sends between
+    /// these pairs ignore radio range and are never lost, modelling the
+    /// LAN that connects federated base stations. Partitions still cut
+    /// them (a backhaul switch can fail too).
+    wired: HashSet<(NodeId, NodeId)>,
     /// Per-pair FIFO enforcement: a later send between the same two
     /// nodes never overtakes an earlier one (single-channel radio
     /// between one pair behaves like a FIFO link).
@@ -145,6 +150,7 @@ impl Simulator {
             rng: SimRng::new(seed),
             link,
             partitions: HashSet::new(),
+            wired: HashSet::new(),
             fifo: std::collections::HashMap::new(),
             trace: Trace::default(),
         }
@@ -266,6 +272,20 @@ impl Simulator {
         self.partitions.remove(&(b, a));
     }
 
+    /// Adds a wired backhaul segment between two nodes (both
+    /// directions): their unicast sends ignore radio range and loss,
+    /// like the LAN linking federated base stations. Broadcasts stay
+    /// radio-only, and partitions still sever the pair.
+    pub fn add_wired_link(&mut self, a: NodeId, b: NodeId) {
+        self.wired.insert((a, b));
+        self.wired.insert((b, a));
+    }
+
+    /// Whether `a` and `b` share a wired backhaul segment.
+    pub fn is_wired(&self, a: NodeId, b: NodeId) -> bool {
+        self.wired.contains(&(a, b))
+    }
+
     // ------------------------------------------------------------------
     // Communication
     // ------------------------------------------------------------------
@@ -280,7 +300,14 @@ impl Simulator {
         }
         let f = self.node(from);
         let t = self.node(to);
-        f.online && t.online && f.pos.distance(t.pos) <= f.radio_range
+        if !(f.online && t.online) {
+            return false;
+        }
+        // Wired backhaul: range does not apply.
+        if self.wired.contains(&(from, to)) {
+            return true;
+        }
+        f.pos.distance(t.pos) <= f.radio_range
     }
 
     /// Sends a unicast message. Returns `true` if the copy was queued
@@ -293,7 +320,14 @@ impl Simulator {
             return false;
         }
         let now = self.now();
-        match self.link.sample(now, payload.len(), &mut self.rng) {
+        // Wired segments are reliable and jitter-free, and sample no
+        // RNG — backhaul traffic cannot shift the radio's loss stream.
+        let sampled = if self.wired.contains(&(from, to)) {
+            Some(self.link.sample_wired(now, payload.len()))
+        } else {
+            self.link.sample(now, payload.len(), &mut self.rng)
+        };
+        match sampled {
             None => {
                 self.trace.record_drop_loss();
                 false
@@ -719,6 +753,55 @@ mod tests {
         sim.step();
         assert!(sim.drain_inbox(b).is_empty());
         assert_eq!(sim.trace.stats.dropped_range, 1);
+    }
+
+    #[test]
+    fn wired_link_ignores_range_and_loss() {
+        let mut sim = Simulator::with_link(7, LinkModel::lossy(1.0));
+        let a = sim.add_node("base-a", Position::new(0.0, 0.0), 50.0);
+        let b = sim.add_node("base-b", Position::new(1000.0, 0.0), 50.0);
+        assert!(!sim.send(a, b, "c", vec![1]), "radio: out of range");
+        sim.add_wired_link(a, b);
+        assert!(sim.is_wired(a, b) && sim.is_wired(b, a));
+        // Reliable despite a 100%-loss radio, and despite the distance.
+        assert!(sim.send(a, b, "c", vec![2]));
+        sim.run_for(5_000_000);
+        assert_eq!(sim.drain_inbox(b).len(), 1);
+    }
+
+    #[test]
+    fn wired_link_is_still_severed_by_partitions() {
+        let mut sim = Simulator::with_link(7, LinkModel::ideal());
+        let a = sim.add_node("base-a", Position::new(0.0, 0.0), 50.0);
+        let b = sim.add_node("base-b", Position::new(1000.0, 0.0), 50.0);
+        sim.add_wired_link(a, b);
+        sim.partition(a, b);
+        assert!(!sim.send(a, b, "c", vec![1]));
+        sim.heal(a, b);
+        assert!(sim.send(a, b, "c", vec![2]));
+    }
+
+    #[test]
+    fn wired_sends_do_not_perturb_the_radio_rng() {
+        // Two identical lossy worlds; one also exchanges wired traffic.
+        // The radio messages must meet identical fates in both.
+        let build = |wired_chatter: bool| {
+            let mut sim = Simulator::with_link(11, LinkModel::lossy(0.5));
+            let a = sim.add_node("a", Position::new(0.0, 0.0), 50.0);
+            let b = sim.add_node("b", Position::new(10.0, 0.0), 50.0);
+            let w1 = sim.add_node("w1", Position::new(0.0, 500.0), 50.0);
+            let w2 = sim.add_node("w2", Position::new(500.0, 500.0), 50.0);
+            sim.add_wired_link(w1, w2);
+            let mut fates = Vec::new();
+            for i in 0..32u8 {
+                if wired_chatter {
+                    sim.send(w1, w2, "backhaul", vec![i]);
+                }
+                fates.push(sim.send(a, b, "radio", vec![i]));
+            }
+            fates
+        };
+        assert_eq!(build(false), build(true));
     }
 
     #[test]

@@ -87,8 +87,10 @@ impl Wire for Crosscut {
         w.put_str(&self.to_string());
     }
     fn decode(r: &mut Reader) -> Result<Self, WireError> {
-        let s = r.get_str()?;
-        Crosscut::parse(&s).map_err(|_| WireError::Invalid {
+        // Borrowed read: the textual form is only parsed, never stored,
+        // so this hot per-delivery path allocates nothing for it.
+        let s = r.read_str()?;
+        Crosscut::parse(s).map_err(|_| WireError::Invalid {
             type_name: "Crosscut",
             reason: "unparseable crosscut text",
         })

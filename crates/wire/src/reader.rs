@@ -141,17 +141,34 @@ impl<'a> Reader<'a> {
         Ok(declared as usize)
     }
 
-    /// Reads a length-prefixed UTF-8 string.
-    pub fn get_str(&mut self) -> Result<String, WireError> {
+    /// Reads a length-prefixed UTF-8 string, borrowing from the input.
+    ///
+    /// The zero-copy twin of [`Reader::get_str`]: validation happens on
+    /// the borrowed slice, so hot decode paths that only *inspect* the
+    /// string (pattern parsing, tag matching, digesting) never allocate.
+    pub fn read_str(&mut self) -> Result<&'a str, WireError> {
         let len = self.get_len()?;
         let raw = self.take(len)?;
-        String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
+        std::str::from_utf8(raw).map_err(|_| WireError::InvalidUtf8)
     }
 
-    /// Reads length-prefixed raw bytes.
-    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+    /// Reads length-prefixed raw bytes, borrowing from the input — the
+    /// zero-copy twin of [`Reader::get_bytes`].
+    pub fn read_raw(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.get_len()?;
-        Ok(self.take(len)?.to_vec())
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (owned). Prefer
+    /// [`Reader::read_str`] when a borrow suffices.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        self.read_str().map(str::to_owned)
+    }
+
+    /// Reads length-prefixed raw bytes (owned). Prefer
+    /// [`Reader::read_raw`] when a borrow suffices.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        self.read_raw().map(<[u8]>::to_vec)
     }
 
     /// Reads exactly `n` raw bytes with no length prefix.
@@ -225,6 +242,31 @@ mod tests {
                 offset: 1,
             })
         );
+    }
+
+    #[test]
+    fn borrowed_reads_match_owned() {
+        let mut w = Writer::new();
+        w.put_str("hello");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.read_str().unwrap(), "hello");
+        assert_eq!(r.read_raw().unwrap(), &[1, 2, 3]);
+        assert!(r.finish().is_ok());
+        // Owned variants decode the same bytes to the same values.
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn borrowed_str_rejects_invalid_utf8() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.read_str(), Err(WireError::InvalidUtf8));
     }
 
     #[test]
