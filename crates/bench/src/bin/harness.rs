@@ -37,7 +37,45 @@ fn main() {
     e15_tracing_overhead();
     e16_weave_opt();
     e17_federation();
+    e18_stream();
     ablations();
+}
+
+/// E18 — pmp-stream fan-out: serialize-once encoding under growing
+/// subscriber counts. The full ≥1M-subscriber run lives in the
+/// dedicated `loadgen` binary; this section sweeps moderate scales so
+/// the harness stays quick.
+fn e18_stream() {
+    use pmp_bench::stream_fanout_run;
+
+    println!("## E18 — stream fan-out (rev-streamed state, serialize-once)");
+    println!();
+    println!("One base, N live subscribers on `store.movements`, 4 drawing bursts,");
+    println!("every subscriber drained after each burst. `encoded` must not move");
+    println!("with N — each committed delta is wire-encoded exactly once and fanned");
+    println!("out as buffer clones. For the million-subscriber row run:");
+    println!("`cargo run -p pmp-bench --release --bin loadgen`.");
+    println!();
+    println!("| subscribers | encoded | deliveries | updates/s | amortized B/update | p99 drain (ns) |");
+    println!("|---|---|---|---|---|---|");
+    let control = stream_fanout_run(1, 4);
+    for n in [1_000usize, 10_000, 100_000] {
+        let r = stream_fanout_run(n, 4);
+        assert_eq!(
+            r.encoded, control.encoded,
+            "serialize-once violated at {n} subscribers"
+        );
+        println!(
+            "| {} | {} | {} | {:.0} | {:.4} | {} |",
+            r.subscribers,
+            r.encoded,
+            r.deliveries,
+            r.updates_per_s,
+            r.amortized_bytes_per_update,
+            r.p99_drain_ns
+        );
+    }
+    println!();
 }
 
 /// E17 — the federated base fabric: directory-tier lookup scaling

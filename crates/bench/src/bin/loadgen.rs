@@ -1,0 +1,94 @@
+//! pmp-stream load generator: one base, N synthetic subscribers, a
+//! fixed traffic schedule, full fan-out after every burst (EXPERIMENTS
+//! E18).
+//!
+//! ```bash
+//! cargo run -p pmp-bench --release --bin loadgen -- --subscribers 1000000 --rounds 6
+//! ```
+//!
+//! Besides the throughput numbers, the run *proves* the serialize-once
+//! claim: a control run with a single subscriber executes the identical
+//! simulated schedule, and the hub's `encoded` / `encoded_bytes`
+//! counters — plus the platform-wide `stream.delta.encoded` telemetry
+//! counter — must match the main run exactly. If encoding scaled with
+//! subscriber count, this binary exits non-zero.
+
+use pmp_bench::stream_fanout_run;
+
+fn main() {
+    let mut subscribers: usize = 1_000_000;
+    let mut rounds: usize = 6;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--subscribers" => {
+                subscribers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--subscribers N");
+            }
+            "--rounds" => {
+                rounds = args.next().and_then(|v| v.parse().ok()).expect("--rounds N");
+            }
+            other => {
+                eprintln!("unknown arg {other}; usage: loadgen [--subscribers N] [--rounds N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("# pmp-stream loadgen — {subscribers} subscribers, {rounds} rounds");
+    println!(
+        "(build: {})",
+        if cfg!(debug_assertions) {
+            "DEBUG — use --release for meaningful absolute times"
+        } else {
+            "release"
+        }
+    );
+    println!();
+
+    // Control: same world, same schedule, one subscriber. Encoding work
+    // must be identical — that is the serialize-once guarantee.
+    let control = stream_fanout_run(1, rounds);
+    let r = stream_fanout_run(subscribers, rounds);
+
+    assert_eq!(
+        r.encoded, control.encoded,
+        "serialize-once violated: hub encoded {} deltas at {} subscribers vs {} at 1",
+        r.encoded, subscribers, control.encoded
+    );
+    assert_eq!(
+        r.encoded_bytes, control.encoded_bytes,
+        "serialize-once violated: encoded_bytes scaled with subscriber count"
+    );
+    assert_eq!(
+        r.telemetry_encoded, control.telemetry_encoded,
+        "serialize-once violated: stream.delta.encoded telemetry scaled with subscriber count"
+    );
+    assert_eq!(
+        r.deliveries,
+        control.deliveries * subscribers as u64,
+        "every subscriber must see the identical delta sequence"
+    );
+
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| subscribers | {} |", r.subscribers);
+    println!("| deltas encoded (once each) | {} |", r.encoded);
+    println!("| bytes encoded | {} |", r.encoded_bytes);
+    println!("| deliveries (fan-out) | {} |", r.deliveries);
+    println!("| bytes delivered | {} |", r.delivered_bytes);
+    println!("| fan-out wall time (s) | {:.3} |", r.fanout_wall_s);
+    println!("| sustained updates/s | {:.0} |", r.updates_per_s);
+    println!(
+        "| amortized encode bytes/update | {:.6} |",
+        r.amortized_bytes_per_update
+    );
+    println!("| p99 per-subscriber drain (ns) | {} |", r.p99_drain_ns);
+    println!();
+    println!(
+        "serialize-once: OK (encoded {} == control {}, telemetry {} == {})",
+        r.encoded, control.encoded, r.telemetry_encoded, control.telemetry_encoded
+    );
+}

@@ -1043,6 +1043,114 @@ pub fn ping_vm_shipped(optimize: bool) -> (Vm, Value) {
     (vm, obj)
 }
 
+// ---------------------------------------------------------------------
+// E18 — pmp-stream fan-out (rev-streamed state, snapshot resync)
+// ---------------------------------------------------------------------
+
+/// Result of one stream fan-out load run (DESIGN.md §16, EXPERIMENTS.md
+/// E18): one base, `subscribers` cursors on its movement namespace, a
+/// fixed RPC traffic schedule, every cursor drained after every burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamFanoutResult {
+    /// Synthetic subscribers attached to the base.
+    pub subscribers: usize,
+    /// Deltas the base's hub wire-encoded into its rings — once per
+    /// committed WAL record, *independent of subscriber count* (the
+    /// serialize-once claim; compare across runs).
+    pub encoded: u64,
+    /// Bytes wire-encoded (same once-per-record independence).
+    pub encoded_bytes: u64,
+    /// Platform-wide `stream.delta.encoded` telemetry delta over the
+    /// run — the counter the serialize-once assertion reads.
+    pub telemetry_encoded: u64,
+    /// Per-subscriber delta deliveries (each a `Bytes` clone of an
+    /// already-encoded buffer, never a re-serialization).
+    pub deliveries: u64,
+    /// Bytes handed to subscribers across all deliveries.
+    pub delivered_bytes: u64,
+    /// Wall-clock seconds spent in the drain (fan-out) loops only.
+    pub fanout_wall_s: f64,
+    /// Sustained deliveries per wall-clock second of fan-out.
+    pub updates_per_s: f64,
+    /// Encoding cost amortized over deliveries:
+    /// `encoded_bytes / deliveries`.
+    pub amortized_bytes_per_update: f64,
+    /// 99th-percentile wall-clock nanoseconds of one subscriber's
+    /// drain call, over ≤2048 sampled cursors per burst.
+    pub p99_drain_ns: u64,
+}
+
+/// Runs the E18 load: a production-halls world, `subscribers` live
+/// cursors on hall A's `store.movements` namespace, then `rounds`
+/// drawing RPCs — each producing a burst of WAL-logged movement
+/// records — with a full fan-out (every cursor drained) after each
+/// burst. The simulated schedule is identical for every subscriber
+/// count, so `encoded` / `encoded_bytes` / `telemetry_encoded` must
+/// not move with `subscribers`: that *is* the serialize-once proof.
+pub fn stream_fanout_run(subscribers: usize, rounds: usize) -> StreamFanoutResult {
+    let mut w = pmp_core::scenario::ProductionHalls::build(41);
+    w.platform.pump(6 * SEC);
+    let subs: Vec<pmp_core::StreamSub> = (0..subscribers)
+        .map(|_| w.platform.subscribe_live(w.base_a, "store.movements"))
+        .collect();
+    let tel = w.platform.telemetry().clone();
+    let tel0 = tel.counter_value("stream.delta.encoded");
+    let stats0 = w.platform.stream_stats(w.base_a);
+
+    let mut deliveries = 0u64;
+    let mut delivered_bytes = 0u64;
+    let mut fanout_wall = 0f64;
+    let mut samples: Vec<u64> = Vec::new();
+    let sample_every = (subscribers / 2_048).max(1);
+    for round in 0..rounds {
+        let x = (round % 12) as i64;
+        w.platform.rpc(
+            w.base_a,
+            w.robot,
+            "operator:1",
+            "DrawingService",
+            "drawLine",
+            vec![x, 0, x + 8, 4],
+        );
+        w.platform.pump(SEC);
+        let t0 = std::time::Instant::now();
+        for (i, &sub) in subs.iter().enumerate() {
+            let sampled = i % sample_every == 0;
+            let s0 = if sampled {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
+            for ev in w.platform.drain_updates(sub) {
+                deliveries += 1;
+                delivered_bytes += ev.bytes().len() as u64;
+            }
+            if let Some(s0) = s0 {
+                samples.push(s0.elapsed().as_nanos() as u64);
+            }
+        }
+        fanout_wall += t0.elapsed().as_secs_f64();
+    }
+
+    let stats = w.platform.stream_stats(w.base_a);
+    let encoded = stats.encoded - stats0.encoded;
+    let encoded_bytes = stats.encoded_bytes - stats0.encoded_bytes;
+    samples.sort_unstable();
+    let p99 = samples[(samples.len() * 99) / 100..].first().copied().unwrap_or(0);
+    StreamFanoutResult {
+        subscribers,
+        encoded,
+        encoded_bytes,
+        telemetry_encoded: tel.counter_value("stream.delta.encoded") - tel0,
+        deliveries,
+        delivered_bytes,
+        fanout_wall_s: fanout_wall,
+        updates_per_s: deliveries as f64 / fanout_wall.max(f64::EPSILON),
+        amortized_bytes_per_update: encoded_bytes as f64 / (deliveries as f64).max(1.0),
+        p99_drain_ns: p99,
+    }
+}
+
 /// Crude timer: median wall-clock nanoseconds per iteration of `f`.
 pub fn measure_ns(iters: u32, mut f: impl FnMut()) -> f64 {
     // Warm-up.
@@ -1148,5 +1256,17 @@ mod tests {
         assert!(s.all_adapted && p.all_adapted);
         assert_eq!(s.trace_digest, p.trace_digest);
         assert_eq!(s.journal_digest, p.journal_digest);
+    }
+
+    #[test]
+    fn stream_fanout_serializes_once() {
+        let control = stream_fanout_run(1, 2);
+        let r = stream_fanout_run(64, 2);
+        assert!(control.encoded > 0, "the schedule must commit deltas");
+        assert_eq!(r.encoded, control.encoded);
+        assert_eq!(r.encoded_bytes, control.encoded_bytes);
+        assert_eq!(r.telemetry_encoded, control.telemetry_encoded);
+        assert_eq!(r.deliveries, control.deliveries * 64);
+        assert!(r.delivered_bytes >= r.encoded_bytes);
     }
 }

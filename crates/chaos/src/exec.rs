@@ -14,9 +14,10 @@
 //!   past the node table) are no-ops, so the shrinker may delete any
 //!   subset of steps and still have a meaningful script.
 
-use crate::oracle::{check_barrier, OracleState, Violation};
+use crate::oracle::{check_barrier, stream_resync, OracleState, StreamMirror, Violation};
 use crate::script::{
-    Op, Scenario, Step, CORRIDOR, HALL_PITCH, HALL_SIDE, MAX_NODES, RADIO_RANGE,
+    Op, Scenario, Step, CORRIDOR, HALL_PITCH, HALL_SIDE, MAX_NODES, MAX_SUBS, RADIO_RANGE,
+    STREAM_NAMESPACES,
 };
 use pmp_core::{BaseId, MobId, ParallelDriver, Platform, SerialDriver};
 use pmp_net::{LinkModel, Position};
@@ -209,6 +210,7 @@ fn pump_to(w: &mut World, target_ms: u64) {
         let step = SLICE_MS.min(target_ms - w.now_ms);
         w.p.pump_millis(step);
         w.now_ms += step;
+        stream_resync(&mut w.p, &w.bases, &mut w.st, w.now_ms, &mut w.violations);
         check_barrier(
             &w.p,
             &w.bases,
@@ -387,6 +389,24 @@ fn apply(w: &mut World, op: &Op) {
                 let (na, nb) = (w.p.base(ba).node, w.p.base(bb).node);
                 w.p.sim.heal(na, nb);
                 w.st.base_partitions.remove(&(a.min(b), a.max(b)));
+            }
+        }
+        Op::Subscribe { base, ns } => {
+            let Some(&b) = w.bases.get(usize::from(base)) else {
+                return;
+            };
+            if w.st.subscribers.len() < MAX_SUBS {
+                let ns = STREAM_NAMESPACES[usize::from(ns) % STREAM_NAMESPACES.len()];
+                let sub = w.p.subscribe(b, ns);
+                w.st.subscribers.push(StreamMirror::new(base, ns, sub));
+            }
+        }
+        Op::DropSubscriber { sub } => {
+            if let Some(s) = w.st.subscribers.get_mut(usize::from(sub)) {
+                if s.live {
+                    s.live = false;
+                    w.p.drop_subscription(s.sub);
+                }
             }
         }
     }

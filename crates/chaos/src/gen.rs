@@ -10,7 +10,10 @@
 //! no-ops. Every still-crashed base gets a restart appended at the
 //! end, so final-state oracles always run against a live world.
 
-use crate::script::{CatalogEntry, ExtKind, Op, Scenario, Step, Topology, ALL_KINDS, MAX_NODES};
+use crate::script::{
+    CatalogEntry, ExtKind, Op, Scenario, Step, Topology, ALL_KINDS, MAX_NODES, MAX_SUBS,
+    STREAM_NAMESPACES,
+};
 use pmp_net::SimRng;
 use std::collections::BTreeMap;
 
@@ -85,6 +88,7 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Scenario {
     // The generator's model of the evolving world.
     let mut crashed = vec![false; usize::from(halls)];
     let mut node_count = u64::from(robots);
+    let mut sub_count: u64 = 0;
     let mut versions: BTreeMap<(u8, ExtKind), u32> = BTreeMap::new();
     for (i, cat) in catalogs.iter().enumerate() {
         for e in cat {
@@ -102,18 +106,18 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Scenario {
         let hall_of = |rng: &mut SimRng| rng.range_u64(u64::from(halls)) as u8;
         let kind_of = |rng: &mut SimRng| ALL_KINDS[rng.range_u64(ALL_KINDS.len() as u64) as usize];
         let op = match rng.range_u64(100) {
-            0..=17 => Op::MoveToHall {
+            0..=14 => Op::MoveToHall {
                 node: pick_node(&mut rng, node_count),
                 hall: hall_of(&mut rng),
             },
-            18..=26 => Op::MoveToCorridor {
+            15..=22 => Op::MoveToCorridor {
                 node: pick_node(&mut rng, node_count),
             },
-            27..=33 => Op::SetOnline {
+            23..=29 => Op::SetOnline {
                 node: pick_node(&mut rng, node_count),
                 online: rng.chance(0.5),
             },
-            34..=37 => {
+            30..=33 => {
                 if node_count < MAX_NODES as u64 {
                     node_count += 1;
                 }
@@ -121,12 +125,12 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Scenario {
                     hall: hall_of(&mut rng),
                 }
             }
-            38..=43 => {
+            34..=39 => {
                 let base = hall_of(&mut rng);
                 crashed[usize::from(base)] = true;
                 Op::CrashBase { base }
             }
-            44..=50 => {
+            40..=46 => {
                 let base = crashed
                     .iter()
                     .position(|&c| c)
@@ -134,10 +138,10 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Scenario {
                 crashed[usize::from(base)] = false;
                 Op::RestartBase { base }
             }
-            51..=54 => Op::CheckpointBase {
+            47..=50 => Op::CheckpointBase {
                 base: hall_of(&mut rng),
             },
-            55..=63 => {
+            51..=58 => {
                 let base = hall_of(&mut rng);
                 let kind = kind_of(&mut rng);
                 let v = versions.entry((base, kind)).or_insert(0);
@@ -148,49 +152,65 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Scenario {
                     version: *v,
                 }
             }
-            64..=69 => Op::Revoke {
+            59..=64 => Op::Revoke {
                 base: hall_of(&mut rng),
                 kind: kind_of(&mut rng),
             },
-            70..=77 => Op::Rpc {
+            65..=72 => Op::Rpc {
                 base: hall_of(&mut rng),
                 node: pick_node(&mut rng, node_count),
                 x: rng.range_u64(60) as u8,
                 y: rng.range_u64(60) as u8,
             },
-            78..=81 => Op::InjectTornTail {
+            73..=76 => Op::InjectTornTail {
                 base: crashed
                     .iter()
                     .position(|&c| c)
                     .map_or_else(|| hall_of(&mut rng), |i| i as u8),
                 drop: 1 + rng.range_u64(40) as u8,
             },
-            82..=85 => Op::InjectBitFlip {
+            77..=80 => Op::InjectBitFlip {
                 base: crashed
                     .iter()
                     .position(|&c| c)
                     .map_or_else(|| hall_of(&mut rng), |i| i as u8),
                 offset: rng.range_u64(2048) as u16,
             },
-            86..=90 => Op::Partition {
+            81..=85 => Op::Partition {
                 node: pick_node(&mut rng, node_count),
                 base: hall_of(&mut rng),
             },
-            91..=93 => Op::Heal {
+            86..=88 => Op::Heal {
                 node: pick_node(&mut rng, node_count),
                 base: hall_of(&mut rng),
             },
-            94..=96 => Op::LinkBases {
+            89..=91 => Op::LinkBases {
                 a: hall_of(&mut rng),
                 b: hall_of(&mut rng),
             },
-            97..=98 => Op::PartitionBases {
+            92..=93 => Op::PartitionBases {
                 a: hall_of(&mut rng),
                 b: hall_of(&mut rng),
             },
-            _ => Op::HealBases {
+            94 => Op::HealBases {
                 a: hall_of(&mut rng),
                 b: hall_of(&mut rng),
+            },
+            95..=97 => {
+                if sub_count < MAX_SUBS as u64 {
+                    sub_count += 1;
+                }
+                Op::Subscribe {
+                    base: hall_of(&mut rng),
+                    ns: rng.range_u64(STREAM_NAMESPACES.len() as u64) as u8,
+                }
+            }
+            _ => Op::DropSubscriber {
+                sub: if sub_count == 0 {
+                    0
+                } else {
+                    rng.range_u64(sub_count) as u8
+                },
             },
         };
         steps.push(Step { at_ms, op });

@@ -125,4 +125,99 @@ mod tests {
         assert_eq!(cross.serial.journal, cross.parallel.journal);
         assert_eq!(cross.serial.observables, cross.parallel.observables);
     }
+
+    /// The `stream-resync` oracle under the full failure vocabulary:
+    /// subscribers on all three namespaces attached before traffic, a
+    /// late one attached *after* a checkpoint (the compacted WAL forces
+    /// the snapshot bootstrap path), a crash → restart in the middle
+    /// (forced resync), and a drop at the end — all clean, under both
+    /// drivers, byte for byte.
+    #[test]
+    fn stream_subscribers_survive_crash_restart_and_checkpoint() {
+        let step = |at_ms, op| Step { at_ms, op };
+        let sc = Scenario {
+            seed: 91,
+            topology: Topology {
+                halls: 2,
+                loss_per_mille: 0,
+                robots: 1,
+                catalogs: vec![
+                    vec![CatalogEntry {
+                        kind: ExtKind::Monitoring,
+                        version: 1,
+                    }],
+                    vec![CatalogEntry {
+                        kind: ExtKind::Geofence,
+                        version: 1,
+                    }],
+                ],
+                lease_ms: 2_000,
+                link_neighbors: false,
+            },
+            steps: vec![
+                step(300, Op::Subscribe { base: 0, ns: 0 }),
+                step(320, Op::Subscribe { base: 0, ns: 1 }),
+                step(340, Op::Subscribe { base: 0, ns: 2 }),
+                step(
+                    2_000,
+                    Op::Rpc {
+                        base: 0,
+                        node: 0,
+                        x: 12,
+                        y: 8,
+                    },
+                ),
+                step(
+                    2_600,
+                    Op::Publish {
+                        base: 0,
+                        kind: ExtKind::Geofence,
+                        version: 1,
+                    },
+                ),
+                step(3_000, Op::CheckpointBase { base: 0 }),
+                step(3_500, Op::Subscribe { base: 0, ns: 1 }),
+                step(4_000, Op::CrashBase { base: 0 }),
+                step(5_000, Op::RestartBase { base: 0 }),
+                step(
+                    6_000,
+                    Op::Rpc {
+                        base: 0,
+                        node: 0,
+                        x: 20,
+                        y: 4,
+                    },
+                ),
+                step(6_500, Op::DropSubscriber { sub: 0 }),
+            ],
+            settle_ms: 6_000,
+        };
+        let cross = run_cross(&sc);
+        assert!(
+            cross.violations.is_empty(),
+            "stream chaos scenario must be clean: {:?}",
+            cross.violations
+        );
+        assert_eq!(cross.serial.trace, cross.parallel.trace);
+        assert_eq!(cross.serial.observables, cross.parallel.observables);
+    }
+
+    /// Generated scenarios now carry Subscribe/DropSubscriber ops; a
+    /// seed sweep must never trip the `stream-resync` oracle, whatever
+    /// combination of loss, partitions, crashes, and disk faults the
+    /// generator emits around them.
+    #[test]
+    fn stream_resync_oracle_holds_over_a_seed_sweep() {
+        let cfg = GenConfig::default();
+        for seed in 0..12 {
+            let sc = generate(seed, &cfg);
+            let report = run(&sc, DriverKind::Serial);
+            let stream: Vec<_> = report
+                .violations
+                .iter()
+                .filter(|v| v.invariant == "stream-resync")
+                .collect();
+            assert!(stream.is_empty(), "seed {seed}: {stream:?}\n{}", sc.render());
+        }
+    }
 }

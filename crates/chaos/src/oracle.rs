@@ -17,6 +17,7 @@
 //! | `recover-panic`  | `recover()` never panics, even on a corrupt image     |
 //! | `perf.adapt-p99` | verify/weave p99 stays under a generous wall ceiling  |
 //! | `trace.ring-growth` | flight rings and the collector never exceed caps   |
+//! | `stream-resync`  | every live subscriber converges to the publisher      |
 //!
 //! The `perf.*` oracles read wall-clock histograms, so they are the one
 //! family the cross-driver comparison ignores (the executor filters
@@ -31,7 +32,8 @@
 //! suffix is the fault's point.
 
 use crate::script::RADIO_RANGE;
-use pmp_core::{BaseId, MobId, Platform};
+use pmp_core::{BaseId, MobId, Platform, StreamEvent, StreamSub};
+use pmp_durable::Durable;
 use pmp_midas::ReceiverEvent;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -86,6 +88,61 @@ pub struct OracleState {
     /// Per-node: last observed `(lease holder, installs seen, version)`
     /// for every installed extension, keyed by ext id.
     pub grant_state: Vec<BTreeMap<String, (u32, u64, u32)>>,
+    /// Stream subscribers attached by `Op::Subscribe`, in creation
+    /// order (dropped ones stay, marked dead, so indices are stable).
+    pub subscribers: Vec<StreamMirror>,
+}
+
+/// One chaos stream subscriber: a platform cursor plus the mirror
+/// replica the `stream-resync` oracle rebuilds purely from drained
+/// events. Mirrors are constructed with placeholder identity (node
+/// ids, ring caps at their defaults) — sound because every
+/// [`Durable::state_digest`] hashes only the canonical snapshot
+/// encoding, which WAL replay fully determines.
+pub struct StreamMirror {
+    /// Base index the cursor is attached to.
+    pub base: u8,
+    /// Namespace followed (one of [`crate::script::STREAM_NAMESPACES`]).
+    pub ns: &'static str,
+    /// The platform-side cursor.
+    pub sub: StreamSub,
+    /// False once dropped by `Op::DropSubscriber`.
+    pub live: bool,
+    mirror: Box<dyn Durable>,
+}
+
+impl std::fmt::Debug for StreamMirror {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamMirror")
+            .field("base", &self.base)
+            .field("ns", &self.ns)
+            .field("live", &self.live)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamMirror {
+    /// A fresh mirror for `ns` on `base`, tracking cursor `sub`.
+    #[must_use]
+    pub fn new(base: u8, ns: &'static str, sub: StreamSub) -> StreamMirror {
+        let mirror: Box<dyn Durable> = match ns {
+            "midas.base" => Box::new(pmp_midas::ExtensionBase::new(
+                pmp_net::NodeId(0),
+                pmp_net::NodeId(0),
+            )),
+            "trace.flight" => Box::new(pmp_trace::FlightRecorder::new(
+                pmp_trace::DEFAULT_FLIGHT_CAP,
+            )),
+            _ => Box::new(pmp_store::MovementStore::new()),
+        };
+        StreamMirror {
+            base,
+            ns,
+            sub,
+            live: true,
+            mirror,
+        }
+    }
 }
 
 impl OracleState {
@@ -102,6 +159,75 @@ impl OracleState {
             base_partitions: BTreeSet::new(),
             loss_free: true,
             grant_state: vec![BTreeMap::new(); nodes],
+            subscribers: Vec::new(),
+        }
+    }
+}
+
+/// `stream-resync`: drains every live subscriber at the barrier,
+/// applies the events to its mirror, and requires the mirror's digest
+/// to equal the publisher's for that namespace — i.e. after any
+/// crash/restart/checkpoint/partition sequence the tiered
+/// ring / log-bootstrap / snapshot protocol always re-converges, with
+/// no lost, duplicated, or reordered delta. Skipped while the base is
+/// down (drains are empty by contract; the forced post-restart
+/// snapshot resync re-anchors the mirror at the next barrier).
+///
+/// Runs before [`check_barrier`] in the executor because it needs the
+/// platform mutably (cursor drains advance hub state); it perturbs
+/// nothing any other oracle or digest observes.
+pub fn stream_resync(
+    p: &mut Platform,
+    bases: &[BaseId],
+    st: &mut OracleState,
+    now_ms: u64,
+    out: &mut Vec<Violation>,
+) {
+    for (i, s) in st.subscribers.iter_mut().enumerate() {
+        if !s.live {
+            continue;
+        }
+        let Some(&b) = bases.get(usize::from(s.base)) else {
+            continue;
+        };
+        if p.base(b).crashed {
+            continue;
+        }
+        for ev in p.drain_updates(s.sub) {
+            let applied = match &ev {
+                StreamEvent::Delta { bytes, .. } => s.mirror.apply_record(bytes),
+                StreamEvent::Snapshot { bytes, .. } => s.mirror.restore_snapshot(bytes),
+            };
+            if let Err(e) = applied {
+                out.push(Violation {
+                    invariant: "stream-resync",
+                    at_ms: now_ms,
+                    detail: format!(
+                        "subscriber {i} (base {} ns {}): event at rev {} failed to apply: {e}",
+                        s.base,
+                        s.ns,
+                        ev.rev()
+                    ),
+                });
+            }
+        }
+        let station = p.base(b);
+        let want = match s.ns {
+            "midas.base" => station.base.state_digest(),
+            "trace.flight" => station.flight.state_digest(),
+            _ => station.store.state_digest(),
+        };
+        let got = s.mirror.state_digest();
+        if got != want {
+            out.push(Violation {
+                invariant: "stream-resync",
+                at_ms: now_ms,
+                detail: format!(
+                    "subscriber {i} (base {} ns {}): mirror digest {got:#018x} \
+                     != publisher {want:#018x} after drain",
+                    s.base, s.ns
+                ),
+            });
         }
     }
 }

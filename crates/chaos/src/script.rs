@@ -24,6 +24,12 @@ pub const RADIO_RANGE: f64 = 80.0;
 pub const CORRIDOR: (f64, f64) = (1000.0, 1000.0);
 /// Executor cap on the node population (AddRobot beyond this no-ops).
 pub const MAX_NODES: usize = 6;
+/// Executor cap on stream subscribers (Subscribe beyond this no-ops).
+pub const MAX_SUBS: usize = 8;
+
+/// The durable namespaces a chaos subscriber may follow, in wire
+/// order: `Op::Subscribe::ns` indexes this table (mod its length).
+pub const STREAM_NAMESPACES: [&str; 3] = ["store.movements", "midas.base", "trace.flight"];
 
 /// A complete chaos scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -223,6 +229,22 @@ pub enum Op {
         /// Second base index.
         b: u8,
     },
+    /// Attach a rev-stream subscriber to a base's durable namespace.
+    /// The executor mirrors every drained event and the
+    /// `stream-resync` oracle holds the mirror to the publisher's
+    /// state digest at every barrier. No-op past [`MAX_SUBS`].
+    Subscribe {
+        /// Base index.
+        base: u8,
+        /// Index into [`STREAM_NAMESPACES`] (mod its length).
+        ns: u8,
+    },
+    /// Detach a subscriber created by an earlier `Subscribe` (index in
+    /// creation order). Out-of-range or already-dropped: no-op.
+    DropSubscriber {
+        /// Subscriber index.
+        sub: u8,
+    },
 }
 
 impl Wire for Op {
@@ -315,6 +337,15 @@ impl Wire for Op {
                 w.put_u8(*a);
                 w.put_u8(*b);
             }
+            Op::Subscribe { base, ns } => {
+                w.put_u8(17);
+                w.put_u8(*base);
+                w.put_u8(*ns);
+            }
+            Op::DropSubscriber { sub } => {
+                w.put_u8(18);
+                w.put_u8(*sub);
+            }
         }
     }
 
@@ -376,6 +407,11 @@ impl Wire for Op {
                 a: r.get_u8()?,
                 b: r.get_u8()?,
             },
+            17 => Op::Subscribe {
+                base: r.get_u8()?,
+                ns: r.get_u8()?,
+            },
+            18 => Op::DropSubscriber { sub: r.get_u8()? },
             tag => return Err(r.bad_tag("Op", tag)),
         })
     }
@@ -600,6 +636,8 @@ mod tests {
             Op::LinkBases { a: 0, b: 1 },
             Op::PartitionBases { a: 1, b: 2 },
             Op::HealBases { a: 1, b: 2 },
+            Op::Subscribe { base: 0, ns: 2 },
+            Op::DropSubscriber { sub: 3 },
         ];
         for op in ops {
             assert_eq!(from_bytes::<Op>(&to_bytes(&op)).unwrap(), op);

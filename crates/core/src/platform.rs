@@ -5,11 +5,14 @@
 use crate::driver::{flush_outbox, CellBody, CellState, Driver, NodeCell};
 use crate::node::{BaseStation, MobileNode};
 use crate::wiring::{RpcMsg, RPC_CHANNEL};
+use pmp_durable::{Durable, WalRecord};
 use pmp_midas::ReceiverPolicy;
 use pmp_net::{AreaId, Epoch, Position, SimTime, Simulator};
+use pmp_stream::{StreamConfig, StreamEvent, StreamHub, StreamSource, StreamStats, SubscriberId};
 use pmp_telemetry::PendingEvent;
 use pmp_vm::perm::Permissions;
 use pmp_vm::prelude::VmError;
+use std::sync::{Arc, Mutex};
 
 /// Index of a base station within a [`Platform`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +21,40 @@ pub struct BaseId(pub usize);
 /// Index of a mobile node within a [`Platform`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MobId(pub usize);
+
+/// Handle naming one stream subscription: a cursor on one base's
+/// fan-out hub (see [`Platform::subscribe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSub {
+    base: usize,
+    id: SubscriberId,
+}
+
+/// [`StreamSource`] over one base station: the committed WAL serves
+/// tier-1 gap bootstrap, the live durable states serve tier-2
+/// snapshots. Valid at barriers, where in-memory state and committed
+/// log agree.
+struct BaseSource<'a> {
+    station: &'a BaseStation,
+}
+
+impl StreamSource for BaseSource<'_> {
+    fn full_log(&self) -> Option<Vec<WalRecord>> {
+        self.station.durable.wal_tail(1)
+    }
+
+    fn snapshot(&self, ns: &str) -> Option<Vec<u8>> {
+        if ns == pmp_store::durable::NAMESPACE {
+            Some(self.station.store.snapshot_bytes())
+        } else if ns == pmp_midas::durable::NAMESPACE {
+            Some(self.station.base.snapshot_bytes())
+        } else if ns == pmp_trace::FLIGHT_NAMESPACE {
+            Some(self.station.flight.snapshot_bytes())
+        } else {
+            None
+        }
+    }
+}
 
 /// A completed remote call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +117,19 @@ pub struct Platform {
     fed_replicas: Vec<(usize, usize)>,
     /// Registrar-tree edges: `(child base, parent base)`.
     fed_parents: Vec<(usize, usize)>,
+    /// Per-base fan-out hub (parallel to `bases`): every committed WAL
+    /// record is published here as a rev-stamped delta at the same
+    /// barrier that committed it.
+    streams: Vec<StreamHub>,
+    /// Per-base commit-tap buffers (parallel to `bases`): the engine's
+    /// commit tap pushes each committed batch here under the engine
+    /// lock; the platform drains them into the hubs at barriers.
+    stream_taps: Vec<Arc<Mutex<Vec<WalRecord>>>>,
+    /// Internal catalog-stream forwarders for replicated bases:
+    /// `(source base, replica base, cursor on source hub)`. Deltas that
+    /// decode as catalog puts are forwarded over the simulated network
+    /// as [`pmp_midas::MidasMsg::StreamDelta`].
+    fed_stream_subs: Vec<(usize, usize, SubscriberId)>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -122,6 +172,9 @@ impl Platform {
             fed_neighbors: Vec::new(),
             fed_replicas: Vec::new(),
             fed_parents: Vec::new(),
+            streams: Vec::new(),
+            stream_taps: Vec::new(),
+            fed_stream_subs: Vec::new(),
         }
     }
 
@@ -214,6 +267,17 @@ impl Platform {
         cell.tracer.set_enabled(self.tracing);
         station.registrar.start(&mut self.sim);
         station.base.start(&mut self.sim);
+        // Every committed WAL batch is mirrored into a per-base tap
+        // buffer; at the same barrier that ran the commit, the platform
+        // drains it into the base's fan-out hub (one rev per record per
+        // namespace, encoded once).
+        let tap: Arc<Mutex<Vec<WalRecord>>> = Arc::default();
+        let sink = Arc::clone(&tap);
+        station.durable.set_commit_tap(Box::new(move |batch| {
+            sink.lock().unwrap().extend_from_slice(batch);
+        }));
+        self.streams.push(StreamHub::new(StreamConfig::default()));
+        self.stream_taps.push(tap);
         self.bases.push(station);
         self.base_cells.push(cell);
         BaseId(self.bases.len() - 1)
@@ -281,6 +345,17 @@ impl Platform {
         station.registrar.start(&mut self.sim);
         station.base.start(&mut self.sim);
         self.bases[id.0] = station;
+        // Streams: recovery may have rolled history back (a truncated
+        // torn tail, a checkpoint-on-anomaly), so drop anything the tap
+        // buffered before the crash, re-align publisher revs with the
+        // recovered log, and force every cursor through snapshot
+        // resync. Subscribers converge on the recovered state without
+        // ever seeing a rev go backwards unannounced.
+        self.stream_taps[id.0].lock().unwrap().clear();
+        let Platform { bases, streams, .. } = self;
+        streams[id.0].rebase(&BaseSource {
+            station: &bases[id.0],
+        });
         report
     }
 
@@ -289,6 +364,69 @@ impl Platform {
     /// see [`pmp_durable::EngineConfig::snapshot_every`]).
     pub fn checkpoint_base(&mut self, id: BaseId) {
         self.bases[id.0].checkpoint();
+    }
+
+    /// Subscribes to a base's durable namespace from scratch: the first
+    /// drain replays the namespace's full history — as deltas when the
+    /// ring or committed log still covers it, as one canonical snapshot
+    /// otherwise — and every later drain returns exactly the deltas
+    /// committed since. Namespaces are the base's durable stores:
+    /// `"store.movements"`, `"midas.base"`, `"trace.flight"`.
+    pub fn subscribe(&mut self, base: BaseId, ns: &str) -> StreamSub {
+        StreamSub {
+            base: base.0,
+            id: self.streams[base.0].subscribe(ns),
+        }
+    }
+
+    /// Subscribes at the head: only records committed after this call
+    /// are streamed.
+    pub fn subscribe_live(&mut self, base: BaseId, ns: &str) -> StreamSub {
+        StreamSub {
+            base: base.0,
+            id: self.streams[base.0].subscribe_live(ns),
+        }
+    }
+
+    /// Drains a subscription's pending updates. Call between pumps —
+    /// publication happens at epoch barriers, so what you get is
+    /// exactly the committed record stream up to the last barrier,
+    /// byte-identical under either driver. While the base is crashed
+    /// this returns nothing (the publisher is powered off with it).
+    pub fn drain_updates(&mut self, sub: StreamSub) -> Vec<StreamEvent> {
+        let Platform { bases, streams, .. } = self;
+        let station = &bases[sub.base];
+        if station.crashed {
+            return Vec::new();
+        }
+        streams[sub.base].drain(sub.id, &BaseSource { station })
+    }
+
+    /// Retires a subscription; its cursor is freed and later drains
+    /// return nothing.
+    pub fn drop_subscription(&mut self, sub: StreamSub) {
+        self.streams[sub.base].drop_subscriber(sub.id);
+    }
+
+    /// Fan-out counters for one base's hub — `encoded` counts each
+    /// delta once at publish (independent of subscriber count), while
+    /// `delivered` counts every per-subscriber delivery.
+    #[must_use]
+    pub fn stream_stats(&self, base: BaseId) -> StreamStats {
+        self.streams[base.0].stats()
+    }
+
+    /// Current head rev of a base's namespace stream.
+    #[must_use]
+    pub fn stream_head_rev(&self, base: BaseId, ns: &str) -> u64 {
+        self.streams[base.0].head_rev(ns)
+    }
+
+    /// Live subscriber count on a base's hub (internal federation
+    /// forwarders included).
+    #[must_use]
+    pub fn stream_subscribers(&self, base: BaseId) -> usize {
+        self.streams[base.0].live_subscribers()
     }
 
     /// A receiver policy trusting the given bases' authorities, each
@@ -479,6 +617,15 @@ impl Platform {
         let pair = (a.0.min(b.0), a.0.max(b.0));
         if !self.fed_replicas.contains(&pair) {
             self.fed_replicas.push(pair);
+            // Anti-entropy rides the stream: each side's catalog
+            // namespace gets a live internal cursor whose deltas are
+            // forwarded to the other base at every barrier. The timer
+            // digest → pull → push exchange stays as the resync anchor
+            // for anything the stream loses to partitions or crashes.
+            let sa = self.streams[a.0].subscribe_live(pmp_midas::durable::NAMESPACE);
+            self.fed_stream_subs.push((a.0, b.0, sa));
+            let sb = self.streams[b.0].subscribe_live(pmp_midas::durable::NAMESPACE);
+            self.fed_stream_subs.push((b.0, a.0, sb));
         }
     }
 
@@ -631,6 +778,16 @@ impl Platform {
                 station.checkpoint();
             }
         }
+        let Platform {
+            sim,
+            bases,
+            streams,
+            stream_taps,
+            fed_stream_subs,
+            telemetry,
+            ..
+        } = self;
+        publish_and_forward(sim, bases, streams, stream_taps, fed_stream_subs, telemetry);
         flush_cell_events(&self.telemetry, &self.base_cells, &self.node_cells);
     }
 
@@ -696,6 +853,9 @@ impl Platform {
             telemetry,
             driver,
             collector,
+            streams,
+            stream_taps,
+            fed_stream_subs,
             ..
         } = self;
 
@@ -772,6 +932,10 @@ impl Platform {
                 station.durable.commit();
             }
         }
+        // Publish the freshly committed batches to each base's fan-out
+        // hub and forward catalog deltas to replicas — on this thread,
+        // in rank order, so streams are identical under either driver.
+        publish_and_forward(sim, bases, streams, stream_taps, fed_stream_subs, telemetry);
         // Journal events: same (time, rank, seq) merge.
         flush_cell_events(telemetry, base_cells, node_cells);
     }
@@ -866,6 +1030,66 @@ impl Platform {
     #[must_use]
     pub fn collector_stats(&self) -> (usize, usize) {
         (self.collector.retained(), self.collector.cap())
+    }
+}
+
+/// Barrier-time stream step, always on the merge thread: drain each
+/// live base's commit-tap buffer into its fan-out hub (assigning revs,
+/// encoding each delta once), then walk the federation forwarders and
+/// ship freshly published catalog puts to replica bases as
+/// [`pmp_midas::MidasMsg::StreamDelta`] over the simulated network —
+/// subject to the same loss, partitions, and crashes as any traffic.
+fn publish_and_forward(
+    sim: &mut Simulator,
+    bases: &mut [BaseStation],
+    streams: &mut [StreamHub],
+    stream_taps: &[Arc<Mutex<Vec<WalRecord>>>],
+    fed_stream_subs: &[(usize, usize, SubscriberId)],
+    telemetry: &pmp_telemetry::Shared,
+) {
+    for (i, station) in bases.iter().enumerate() {
+        if station.crashed {
+            // Committed-but-unpublished records of a crashed base stay
+            // in the tap until the restart rebase reconciles them.
+            continue;
+        }
+        let batch = std::mem::take(&mut *stream_taps[i].lock().unwrap());
+        if batch.is_empty() {
+            continue;
+        }
+        telemetry.add("stream.delta.encoded", batch.len() as u64);
+        streams[i].publish_batch(&batch);
+    }
+    for &(src, dst, sub) in fed_stream_subs {
+        if bases[src].crashed {
+            continue;
+        }
+        let events = streams[src].drain(sub, &BaseSource {
+            station: &bases[src],
+        });
+        let (from, to) = (bases[src].node, bases[dst].node);
+        for ev in events {
+            // Forwarders never replay snapshots over the wire: after a
+            // source restart the cursor's forced resync is swallowed
+            // here and the digest exchange re-anchors the replica.
+            let StreamEvent::Delta { rev, bytes } = ev else {
+                continue;
+            };
+            let Ok(op) = pmp_wire::from_bytes::<pmp_midas::durable::BaseWalOp>(&bytes) else {
+                continue;
+            };
+            // Only this base's own catalog puts travel: forwarding
+            // foreign or lease bookkeeping ops would echo replicated
+            // state back and forth.
+            if matches!(op, pmp_midas::durable::BaseWalOp::CatalogPut { .. }) {
+                telemetry.inc("stream.fed.forwarded");
+                let msg = pmp_midas::MidasMsg::StreamDelta {
+                    rev,
+                    delta: bytes.to_vec(),
+                };
+                sim.send(from, to, pmp_midas::CHANNEL, pmp_trace::TraceCtx::NIL.wrap(&msg));
+            }
+        }
     }
 }
 

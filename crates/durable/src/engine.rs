@@ -38,7 +38,7 @@
 //! byte-identical between the serial and parallel drivers.
 
 use crate::disk::SimDisk;
-use crate::record::{decode_framed, decode_record, encode_framed, encode_record, WalRecord};
+use crate::record::{decode_framed, decode_record, encode_framed, encode_record_into, WalRecord};
 use crate::Durable;
 use pmp_telemetry::{Sink, Subsystem};
 use pmp_wire::wire_struct;
@@ -141,9 +141,14 @@ fn segment_number(file: &str) -> Option<u64> {
         .ok()
 }
 
+/// Observer invoked with every batch the engine commits, after the
+/// sync that makes the batch durable. Recovery replay never re-enters
+/// the tap (it does not commit), so an observer sees each committed
+/// record exactly once per engine lifetime.
+pub type CommitTap = Box<dyn FnMut(&[WalRecord]) + Send>;
+
 /// The storage engine. Single-owner; share one through
 /// [`crate::DurableHub`].
-#[derive(Debug)]
 pub struct DurableEngine {
     disk: SimDisk,
     cfg: EngineConfig,
@@ -154,6 +159,23 @@ pub struct DurableEngine {
     buffered_weightless: u64,
     since_snapshot: u64,
     sink: Option<Sink>,
+    tap: Option<CommitTap>,
+}
+
+impl std::fmt::Debug for DurableEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableEngine")
+            .field("disk", &self.disk)
+            .field("cfg", &self.cfg)
+            .field("next_seq", &self.next_seq)
+            .field("segment", &self.segment)
+            .field("segment_len", &self.segment_len)
+            .field("buffered", &self.buffered)
+            .field("buffered_weightless", &self.buffered_weightless)
+            .field("since_snapshot", &self.since_snapshot)
+            .field("tap", &self.tap.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for DurableEngine {
@@ -176,6 +198,7 @@ impl DurableEngine {
             buffered_weightless: 0,
             since_snapshot: 0,
             sink: None,
+            tap: None,
         }
     }
 
@@ -183,6 +206,16 @@ impl DurableEngine {
     /// path, journal events for snapshot/compact/recover).
     pub fn attach_sink(&mut self, sink: Sink) {
         self.sink = Some(sink);
+    }
+
+    /// Installs (or replaces) the commit observer. See [`CommitTap`].
+    pub fn set_commit_tap(&mut self, tap: CommitTap) {
+        self.tap = Some(tap);
+    }
+
+    /// Removes the commit observer.
+    pub fn clear_commit_tap(&mut self) {
+        self.tap = None;
     }
 
     /// The underlying simulated disk (fault injection, inspection).
@@ -244,29 +277,89 @@ impl DurableEngine {
 
     /// Group commit: frames every buffered record into the log and
     /// issues a single sync. Returns the batch size (0 = no-op).
+    ///
+    /// The whole batch is framed into one buffer via the reserve/patch
+    /// writer path — no per-record allocation — and flushed with one
+    /// disk append per touched segment.
     pub fn commit(&mut self) -> usize {
         if self.buffered.is_empty() {
             return 0;
         }
         let batch = std::mem::take(&mut self.buffered);
         let n = batch.len();
+        let mut w = pmp_wire::Writer::with_capacity(batch.iter().map(|r| r.payload.len() + r.ns.len() + 24).sum());
+        let mut seg_start = 0;
         for rec in &batch {
-            let mut frame = Vec::new();
-            encode_record(rec, &mut frame);
-            if self.segment_len > 0 && self.segment_len + frame.len() > self.cfg.segment_bytes {
+            let frame_start = w.mark();
+            encode_record_into(rec, &mut w);
+            let frame_len = w.mark() - frame_start;
+            if self.segment_len > 0 && self.segment_len + frame_len > self.cfg.segment_bytes {
+                // Flush the frames accumulated for the closing segment,
+                // then roll; the frame just written opens the new one.
+                if frame_start > seg_start {
+                    self.disk.append(
+                        &segment_file(self.segment),
+                        &w.as_bytes()[seg_start..frame_start],
+                    );
+                }
                 self.segment += 1;
                 self.segment_len = 0;
+                seg_start = frame_start;
             }
-            self.disk.append(&segment_file(self.segment), &frame);
-            self.segment_len += frame.len();
+            self.segment_len += frame_len;
         }
+        self.disk
+            .append(&segment_file(self.segment), w.bytes_from(seg_start));
         self.disk.sync();
         self.since_snapshot += n as u64 - std::mem::take(&mut self.buffered_weightless);
         if let Some(sink) = &self.sink {
             sink.inc("durable.wal.commits");
             sink.record("durable.commit.batch", n as u64);
         }
+        if let Some(tap) = &mut self.tap {
+            tap(&batch);
+        }
         n
+    }
+
+    /// The committed WAL records with `seq >= since_seq`, in order —
+    /// the short-gap bootstrap path for a late stream subscriber.
+    ///
+    /// Returns `None` when the log cannot prove contiguous coverage of
+    /// `[since_seq, committed horizon)`: compaction dropped the range,
+    /// a segment is missing, or a frame fails to read back. Callers
+    /// must then fall back to a full snapshot. `Some(vec![])` means the
+    /// caller is already at the horizon.
+    #[must_use]
+    pub fn wal_tail(&self, since_seq: u64) -> Option<Vec<WalRecord>> {
+        let committed_next = self.next_seq - self.buffered.len() as u64;
+        if since_seq >= committed_next {
+            return Some(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut expect = since_seq;
+        for seg in self.segments() {
+            let bytes = self.disk.read(&seg).unwrap_or(&[]);
+            let mut offset = 0;
+            loop {
+                match decode_record(bytes, offset) {
+                    Ok(None) => break,
+                    Ok(Some((rec, next))) => {
+                        offset = next;
+                        if rec.seq < since_seq {
+                            continue;
+                        }
+                        if rec.seq != expect {
+                            return None; // gap: compacted or lost
+                        }
+                        expect = rec.seq + 1;
+                        out.push(rec);
+                    }
+                    Err(_) => return None, // torn/corrupt: not servable
+                }
+            }
+        }
+        (expect == committed_next).then_some(out)
     }
 
     /// Whether enough records have committed since the last snapshot
@@ -779,6 +872,90 @@ mod tests {
         let report = engine.recover(&mut [&mut restored]);
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(restored, ledger);
+    }
+
+    #[test]
+    fn commit_tap_sees_each_committed_batch_exactly_once() {
+        use std::sync::{Arc, Mutex};
+        let mut engine = DurableEngine::default();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        engine.set_commit_tap(Box::new(move |batch| {
+            sink.lock().unwrap().extend(batch.iter().map(|r| r.seq));
+        }));
+        let mut ledger = Ledger::default();
+        append_value(&mut engine, &mut ledger, 1);
+        append_value(&mut engine, &mut ledger, 2);
+        engine.commit();
+        engine.commit(); // empty: no tap call
+        append_value(&mut engine, &mut ledger, 3);
+        engine.checkpoint(&[&ledger]); // flushes through commit
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 3]);
+
+        // Recovery replays without re-entering the tap.
+        engine.crash();
+        let mut restored = Ledger::default();
+        engine.recover(&mut [&mut restored]);
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wal_tail_serves_short_gaps_and_refuses_compacted_ones() {
+        let mut engine = DurableEngine::new(EngineConfig {
+            segment_bytes: 64, // force several segments
+            snapshot_every: 0,
+        });
+        let mut ledger = Ledger::default();
+        for v in 1..=6 {
+            append_value(&mut engine, &mut ledger, v);
+        }
+        engine.commit();
+
+        // Everything from seq 1, a suffix from seq 4, nothing from the
+        // horizon — all servable from the log, even across segments.
+        let all = engine.wal_tail(1).expect("full tail");
+        assert_eq!(all.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5, 6]);
+        let tail = engine.wal_tail(4).expect("suffix tail");
+        assert_eq!(tail.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(engine.wal_tail(7), Some(Vec::new()));
+
+        // Uncommitted appends never stream out of the tail.
+        append_value(&mut engine, &mut ledger, 7);
+        assert_eq!(engine.wal_tail(7), Some(Vec::new()));
+        engine.commit();
+        assert_eq!(engine.wal_tail(7).expect("now committed").len(), 1);
+
+        // The crossover: checkpoint compacts the log, so a gap that
+        // reaches behind the snapshot horizon is no longer servable —
+        // the caller must fall back to snapshot bytes — while the
+        // horizon itself still answers empty.
+        engine.checkpoint(&[&ledger]);
+        assert_eq!(engine.wal_tail(4), None, "compacted range refused");
+        assert_eq!(engine.wal_tail(engine.next_seq()), Some(Vec::new()));
+        for v in [8, 9] {
+            append_value(&mut engine, &mut ledger, v);
+        }
+        engine.commit();
+        let fresh = engine.wal_tail(8).expect("post-checkpoint tail");
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(engine.wal_tail(4), None, "pre-snapshot range stays dead");
+    }
+
+    #[test]
+    fn wal_tail_refuses_a_log_with_a_missing_segment() {
+        let mut engine = DurableEngine::new(EngineConfig {
+            segment_bytes: 32,
+            snapshot_every: 0,
+        });
+        let mut ledger = Ledger::default();
+        for v in 0..12 {
+            append_value(&mut engine, &mut ledger, v);
+            engine.commit();
+        }
+        let segs = engine.segments();
+        assert!(segs.len() >= 3);
+        assert!(engine.disk_mut().inject_remove(&segs[1]));
+        assert_eq!(engine.wal_tail(1), None);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod engine;
 pub mod record;
 
 pub use disk::SimDisk;
-pub use engine::{Anomaly, DurableEngine, EngineConfig, RecoverReport};
+pub use engine::{Anomaly, CommitTap, DurableEngine, EngineConfig, RecoverReport};
 pub use record::{FrameError, WalRecord};
 
 use pmp_telemetry::{sync, Fnv64, Sink};
@@ -147,6 +147,20 @@ impl DurableHub {
     /// Routes engine telemetry through `sink`.
     pub fn attach_sink(&self, sink: Sink) {
         self.inner.lock().attach_sink(sink);
+    }
+
+    /// Installs the engine's commit observer (see
+    /// [`engine::CommitTap`]): called with every batch right after the
+    /// sync that makes it durable.
+    pub fn set_commit_tap(&self, tap: CommitTap) {
+        self.inner.lock().set_commit_tap(tap);
+    }
+
+    /// The committed WAL suffix from `since_seq` (see
+    /// [`DurableEngine::wal_tail`]); `None` when not servable.
+    #[must_use]
+    pub fn wal_tail(&self, since_seq: u64) -> Option<Vec<WalRecord>> {
+        self.inner.lock().wal_tail(since_seq)
     }
 
     /// An append handle bound to one namespace.

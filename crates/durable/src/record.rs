@@ -191,6 +191,23 @@ pub fn encode_record(rec: &WalRecord, out: &mut Vec<u8>) {
     encode_framed(&pmp_wire::to_bytes(rec), out);
 }
 
+/// Appends a framed [`WalRecord`] directly into `w` — the
+/// allocation-free encode path. The length prefix is reserved and
+/// patched in place instead of encoding the body into an intermediate
+/// `Vec` first; byte-for-byte identical to [`encode_record`].
+pub fn encode_record_into(rec: &WalRecord, w: &mut pmp_wire::Writer) {
+    use pmp_wire::Wire;
+    let frame_start = w.mark();
+    let slot = w.reserve_u32();
+    rec.encode(w);
+    let body_len = w.mark() - slot - 4;
+    debug_assert!(body_len <= MAX_FRAME_BODY);
+    w.patch_u32(slot, body_len as u32);
+    let mut h = Crc32::new();
+    h.update(w.bytes_from(frame_start));
+    w.put_u32(h.finish());
+}
+
 /// Reads the framed [`WalRecord`] starting at `offset`; `Ok(None)` at
 /// the exact end of input.
 ///
@@ -286,5 +303,16 @@ mod tests {
     #[test]
     fn empty_input_is_a_clean_end() {
         assert_eq!(decode_record(&[], 0).unwrap(), None);
+    }
+
+    #[test]
+    fn into_writer_framing_is_byte_identical_to_the_vec_path() {
+        let mut w = pmp_wire::Writer::new();
+        let mut vecs = Vec::new();
+        for seq in 1..=4 {
+            encode_record_into(&sample(seq), &mut w);
+            encode_record(&sample(seq), &mut vecs);
+        }
+        assert_eq!(w.as_bytes(), &vecs[..]);
     }
 }

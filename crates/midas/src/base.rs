@@ -122,6 +122,11 @@ pub struct ExtensionBase {
     replicas: Vec<NodeId>,
     /// Digest of the last lease table pushed to replicas.
     last_lease_sync: u64,
+    /// Last stream rev seen per sender network id — advisory gap
+    /// tracking for [`MidasMsg::StreamDelta`]; application itself is
+    /// version-gated, so a gap only bumps a counter while the scan-tick
+    /// digest exchange repairs the miss.
+    stream_revs: BTreeMap<u32, u64>,
     telemetry: Option<Sink>,
     durable: Option<NamespaceHandle>,
     tracer: Option<Tracer>,
@@ -155,6 +160,7 @@ impl ExtensionBase {
             foreign: BTreeMap::new(),
             replicas: Vec::new(),
             last_lease_sync: 0,
+            stream_revs: BTreeMap::new(),
             telemetry: None,
             durable: None,
             tracer: None,
@@ -591,6 +597,10 @@ impl ExtensionBase {
             self.publish_ctx.insert(id.clone(), ctx);
         }
         self.catalog.put(ext.clone());
+        // A catalog entry supersedes any foreign copy of the same
+        // package; the WAL replay of `CatalogPut` applies the same
+        // removal, so live state and recovery stay digest-identical.
+        self.foreign.remove(&id);
         self.log(&BaseWalOp::CatalogPut { ext: ext.clone() });
         let mut targets: Vec<(String, NodeId)> = self
             .adapted
@@ -792,6 +802,67 @@ impl ExtensionBase {
         }
     }
 
+    /// Merges replicated catalog entries (version-gated) and delivers
+    /// anything new to nodes already present — the shared apply path of
+    /// [`MidasMsg::CatalogPush`] and [`MidasMsg::StreamDelta`].
+    fn merge_replicated(&mut self, sim: &mut dyn NetPort, exts: Vec<SignedExtension>) {
+        let mut merged = false;
+        for ext in exts {
+            let Ok(pkg) = ext.open() else { continue };
+            let id = pkg.meta.id;
+            let before = self
+                .catalog
+                .get(&id)
+                .and_then(|e| e.open().ok())
+                .map(|p| p.meta.version);
+            if before.is_some_and(|v| v >= pkg.meta.version) {
+                continue;
+            }
+            self.catalog.put(ext.clone());
+            self.log(&BaseWalOp::CatalogPut { ext });
+            self.foreign.remove(&id);
+            self.count("midas.base.replicated");
+            merged = true;
+        }
+        if merged {
+            // Replicated policy reaches robots already here.
+            let mut names: Vec<String> = self
+                .adapted
+                .iter()
+                .filter(|(_, a)| a.present)
+                .map(|(n, _)| n.clone())
+                .collect();
+            names.sort();
+            for name in names {
+                let node = self.adapted[&name].node;
+                for id in self.catalog.delivery_order() {
+                    if self.adapted[&name].grants.contains_key(&id) {
+                        continue;
+                    }
+                    let Some(ext) = self.catalog.get(&id).cloned() else {
+                        continue;
+                    };
+                    let grant = self.fresh_grant();
+                    if let Some(a) = self.adapted.get_mut(&name) {
+                        a.grants.insert(id.clone(), grant);
+                    }
+                    self.log(&BaseWalOp::GrantSet {
+                        name: name.clone(),
+                        ext_id: id.clone(),
+                        grant,
+                    });
+                    let msg = MidasMsg::Deliver {
+                        ext,
+                        lease_ns: self.lease_ns,
+                        grant,
+                    };
+                    let ship = self.note_ship(sim, &id, node);
+                    self.send(sim, node, &msg, ship);
+                }
+            }
+        }
+    }
+
     fn handle_midas(&mut self, sim: &mut dyn NetPort, from: NodeId, msg: MidasMsg) {
         match msg {
             MidasMsg::Ack {
@@ -971,60 +1042,28 @@ impl ExtensionBase {
                 }
             }
             MidasMsg::CatalogPush { exts } => {
-                let mut merged = false;
-                for ext in exts {
-                    let Ok(pkg) = ext.open() else { continue };
-                    let id = pkg.meta.id;
-                    let before = self
-                        .catalog
-                        .get(&id)
-                        .and_then(|e| e.open().ok())
-                        .map(|p| p.meta.version);
-                    if before.is_some_and(|v| v >= pkg.meta.version) {
-                        continue;
-                    }
-                    self.catalog.put(ext.clone());
-                    self.log(&BaseWalOp::CatalogPut { ext });
-                    self.foreign.remove(&id);
-                    self.count("midas.base.replicated");
-                    merged = true;
+                self.merge_replicated(sim, exts);
+            }
+            MidasMsg::StreamDelta { rev, delta } => {
+                // Steady-state anti-entropy riding the rev stream: the
+                // delta is the sender's own catalog WAL record, applied
+                // through the same version-gated merge as a pull-based
+                // CatalogPush. Rev tracking is advisory — a gap means a
+                // lost or reordered delivery, repaired by the next
+                // digest exchange, so it only bumps a counter here.
+                let last = self.stream_revs.get(&from.0).copied().unwrap_or(0);
+                if rev != last + 1 {
+                    self.count("midas.base.stream_gaps");
                 }
-                if merged {
-                    // Replicated policy reaches robots already here.
-                    let mut names: Vec<String> = self
-                        .adapted
-                        .iter()
-                        .filter(|(_, a)| a.present)
-                        .map(|(n, _)| n.clone())
-                        .collect();
-                    names.sort();
-                    for name in names {
-                        let node = self.adapted[&name].node;
-                        for id in self.catalog.delivery_order() {
-                            if self.adapted[&name].grants.contains_key(&id) {
-                                continue;
-                            }
-                            let Some(ext) = self.catalog.get(&id).cloned() else {
-                                continue;
-                            };
-                            let grant = self.fresh_grant();
-                            if let Some(a) = self.adapted.get_mut(&name) {
-                                a.grants.insert(id.clone(), grant);
-                            }
-                            self.log(&BaseWalOp::GrantSet {
-                                name: name.clone(),
-                                ext_id: id.clone(),
-                                grant,
-                            });
-                            let msg = MidasMsg::Deliver {
-                                ext,
-                                lease_ns: self.lease_ns,
-                                grant,
-                            };
-                            let ship = self.note_ship(sim, &id, node);
-                            self.send(sim, node, &msg, ship);
-                        }
-                    }
+                if rev > last {
+                    self.stream_revs.insert(from.0, rev);
+                }
+                let Ok(op) = pmp_wire::from_bytes::<BaseWalOp>(&delta) else {
+                    return;
+                };
+                if let BaseWalOp::CatalogPut { ext } = op {
+                    self.count("midas.base.stream_applied");
+                    self.merge_replicated(sim, vec![ext]);
                 }
             }
             MidasMsg::LeaseSync { entries } => {

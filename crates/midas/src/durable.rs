@@ -388,6 +388,14 @@ impl Durable for ExtensionBase {
     fn apply_record(&mut self, payload: &[u8]) -> Result<(), DurableError> {
         match pmp_wire::from_bytes::<BaseWalOp>(payload)? {
             BaseWalOp::CatalogPut { ext } => {
+                // Mirror the live transition exactly: a catalog insert
+                // supersedes any foreign copy of the same package (the
+                // replica-merge path removes it, and recovery must not
+                // resurrect it — found by the chaos `durable-digest`
+                // oracle, kernel pinned in `tests/repros/seed-181.repro`).
+                if let Ok(pkg) = ext.open() {
+                    self.foreign.remove(&pkg.meta.id);
+                }
                 self.catalog.put(ext);
             }
             BaseWalOp::Revoked { ext_id } => {

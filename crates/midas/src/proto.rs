@@ -131,6 +131,19 @@ pub enum MidasMsg {
         /// sorted by name.
         entries: Vec<(String, u32, BTreeMap<String, u64>)>,
     },
+    /// Base → replica: one committed catalog WAL record riding the
+    /// rev-stream (pmp-stream) — steady-state anti-entropy without
+    /// waiting for the scan-tick digest exchange. The delta bytes are
+    /// the sender's `BaseWalOp` payload verbatim; application is
+    /// version-gated, so loss or reordering costs nothing but latency
+    /// (the digest → pull → push exchange remains the convergence
+    /// anchor).
+    StreamDelta {
+        /// The sender's per-namespace stream revision of this record.
+        rev: u64,
+        /// The encoded `BaseWalOp` exactly as the sender logged it.
+        delta: Vec<u8>,
+    },
 }
 
 impl Wire for MidasMsg {
@@ -229,6 +242,11 @@ impl Wire for MidasMsg {
                 w.put_u8(13);
                 entries.encode(w);
             }
+            MidasMsg::StreamDelta { rev, delta } => {
+                w.put_u8(14);
+                w.put_u64(*rev);
+                w.put_bytes(delta);
+            }
         }
     }
 
@@ -290,6 +308,10 @@ impl Wire for MidasMsg {
             },
             13 => MidasMsg::LeaseSync {
                 entries: Vec::<(String, u32, BTreeMap<String, u64>)>::decode(r)?,
+            },
+            14 => MidasMsg::StreamDelta {
+                rev: r.get_u64()?,
+                delta: r.get_bytes()?,
             },
             tag => {
                 return Err(r.bad_tag("MidasMsg", tag))
@@ -388,6 +410,10 @@ mod tests {
                     7,
                     [("m".to_string(), 4u64)].into(),
                 )],
+            },
+            MidasMsg::StreamDelta {
+                rev: 12,
+                delta: vec![0, 9, 9],
             },
         ];
         for m in msgs {

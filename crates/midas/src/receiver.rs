@@ -408,7 +408,8 @@ impl AdaptationService {
             | MidasMsg::CatalogDigest { .. }
             | MidasMsg::CatalogPull { .. }
             | MidasMsg::CatalogPush { .. }
-            | MidasMsg::LeaseSync { .. } => {}
+            | MidasMsg::LeaseSync { .. }
+            | MidasMsg::StreamDelta { .. } => {}
         }
     }
 

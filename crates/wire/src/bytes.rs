@@ -1,0 +1,166 @@
+//! Cheap-to-clone shared byte slices.
+//!
+//! [`Bytes`] is the borrowed-*write* counterpart of the reader's
+//! borrowed `read_str`/`read_raw` path: an encoder produces one
+//! canonical buffer, freezes it into an `Arc`-backed [`Bytes`], and
+//! every consumer afterwards holds a refcounted view — cloning is a
+//! pointer bump, slicing is arithmetic, and no consumer can mutate the
+//! bytes out from under another. The stream fan-out layer relies on
+//! this to serialize each delta exactly once regardless of how many
+//! subscribers drain it.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte slice.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty slice (no allocation is shared).
+    #[must_use]
+    pub fn empty() -> Bytes {
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Takes ownership of a buffer without copying it.
+    #[must_use]
+    pub fn from_vec(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Copies a borrowed slice into a fresh shared buffer.
+    #[must_use]
+    pub fn copy_from(b: &[u8]) -> Bytes {
+        Bytes::from_vec(b.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view sharing the same backing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, exactly like
+    /// slice indexing.
+    #[must_use]
+    pub fn slice(&self, start: usize, end: usize) -> Bytes {
+        assert!(start <= end && end <= self.len(), "Bytes::slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// The viewed bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// How many views (including this one) share the backing buffer.
+    #[must_use]
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_and_slice_share_one_allocation() {
+        let b = Bytes::from_vec(vec![1, 2, 3, 4, 5]);
+        let head = b.slice(0, 2);
+        let tail = b.slice(2, 5);
+        assert_eq!(&*head, &[1, 2]);
+        assert_eq!(&*tail, &[3, 4, 5]);
+        assert_eq!(b.ref_count(), 3);
+        drop(head);
+        assert_eq!(b.ref_count(), 2);
+    }
+
+    #[test]
+    fn clone_is_refcount_not_copy() {
+        let b = Bytes::from_vec(vec![9; 64]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b.ref_count(), 2);
+        assert!(std::ptr::eq(b.as_slice().as_ptr(), c.as_slice().as_ptr()));
+    }
+
+    #[test]
+    fn empty_and_bounds() {
+        let e = Bytes::empty();
+        assert!(e.is_empty());
+        let b = Bytes::copy_from(&[1, 2, 3]);
+        let whole = b.slice(0, 3);
+        assert_eq!(whole, b);
+        let nested = whole.slice(1, 2);
+        assert_eq!(&*nested, &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_past_end_panics() {
+        let _ = Bytes::copy_from(&[1]).slice(0, 2);
+    }
+}

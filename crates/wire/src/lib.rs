@@ -29,11 +29,13 @@
 //! # }
 //! ```
 
+mod bytes;
 mod error;
 mod reader;
 mod traits;
 mod writer;
 
+pub use bytes::Bytes;
 pub use error::WireError;
 pub use reader::Reader;
 pub use traits::Wire;

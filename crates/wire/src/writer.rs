@@ -112,6 +112,57 @@ impl Writer {
     pub fn put_raw(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }
+
+    /// Current write position, for [`Writer::bytes_from`] /
+    /// [`Writer::patch_u32`] bookkeeping.
+    #[must_use]
+    pub fn mark(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Reserves a 4-byte little-endian `u32` slot (written as zeros)
+    /// and returns its offset for a later [`Writer::patch_u32`].
+    ///
+    /// This is the allocation-free framing path: instead of encoding a
+    /// body into an intermediate `Vec` to learn its length, callers
+    /// reserve the prefix, encode the body in place, and patch the slot
+    /// with `mark() - slot - 4`.
+    pub fn reserve_u32(&mut self) -> usize {
+        let at = self.buf.len();
+        self.buf.extend_from_slice(&[0; 4]);
+        at
+    }
+
+    /// Overwrites a previously reserved 4-byte slot with `v`,
+    /// little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` was not obtained from [`Writer::reserve_u32`] (or
+    /// an equivalent in-bounds offset with 4 bytes of room).
+    pub fn patch_u32(&mut self, at: usize, v: u32) {
+        self.buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Borrows everything written since `mark` (exclusive of nothing —
+    /// `bytes_from(0)` is the whole buffer).
+    #[must_use]
+    pub fn bytes_from(&self, mark: usize) -> &[u8] {
+        &self.buf[mark..]
+    }
+
+    /// Drops everything written since `mark`.
+    pub fn truncate_to(&mut self, mark: usize) {
+        self.buf.truncate(mark);
+    }
+
+    /// Consumes the writer into a shared, cheap-to-clone [`Bytes`]
+    /// view — the borrowed-write path: encode once, fan out by
+    /// refcount.
+    #[must_use]
+    pub fn freeze(self) -> crate::Bytes {
+        crate::Bytes::from_vec(self.buf)
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +202,78 @@ mod tests {
         let mut w2 = Writer::new();
         w2.put_f64(-f64::NAN);
         assert_eq!(w1.as_bytes(), w2.as_bytes());
+    }
+
+    #[test]
+    fn reserve_patch_matches_two_pass_encoding() {
+        // Length-prefix a body without the intermediate Vec...
+        let mut w = Writer::new();
+        let slot = w.reserve_u32();
+        let body_start = w.mark();
+        w.put_str("hall-a");
+        w.put_u64(42);
+        let body_len = (w.mark() - body_start) as u32;
+        w.patch_u32(slot, body_len);
+        // ...and compare against the naive encode-then-prefix path.
+        let mut body = Writer::new();
+        body.put_str("hall-a");
+        body.put_u64(42);
+        let mut naive = Writer::new();
+        naive.put_u32(body.len() as u32);
+        naive.put_raw(body.as_bytes());
+        assert_eq!(w.as_bytes(), naive.as_bytes());
+        assert_eq!(w.bytes_from(body_start), body.as_bytes());
+    }
+
+    #[test]
+    fn truncate_to_discards_a_partial_frame() {
+        let mut w = Writer::new();
+        w.put_u32(7);
+        let mark = w.mark();
+        w.put_str("doomed");
+        w.truncate_to(mark);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn freeze_shares_without_copying() {
+        let mut w = Writer::new();
+        w.put_str("once");
+        let encoded = w.as_bytes().to_vec();
+        let b = w.freeze();
+        let views: Vec<crate::Bytes> = (0..8).map(|_| b.clone()).collect();
+        assert_eq!(b.ref_count(), 9);
+        for v in &views {
+            assert_eq!(&**v, &encoded[..]);
+        }
+    }
+
+    /// The encode path must stay allocation-lean enough that framing
+    /// throughput is disk-shaped, not allocator-shaped. The floor is
+    /// deliberately loose (debug builds, shared CI hosts) — it exists
+    /// to catch an accidental per-record `Vec` creeping back in, which
+    /// costs an order of magnitude, not percents.
+    #[test]
+    fn encode_throughput_floor() {
+        const RECORDS: usize = 20_000;
+        const PAYLOAD: usize = 64;
+        let payload = [0xabu8; PAYLOAD];
+        let mut w = Writer::with_capacity(RECORDS * (PAYLOAD + 16));
+        let start = std::time::Instant::now();
+        for i in 0..RECORDS {
+            let slot = w.reserve_u32();
+            let body = w.mark();
+            w.put_u64(i as u64);
+            w.put_raw(&payload);
+            let len = (w.mark() - body) as u32;
+            w.patch_u32(slot, len);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let mb = w.len() as f64 / (1024.0 * 1024.0);
+        assert!(
+            mb / secs > 8.0,
+            "framed encode ran at {:.1} MB/s — a per-record allocation regression?",
+            mb / secs
+        );
     }
 }

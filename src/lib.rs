@@ -29,6 +29,7 @@ pub use pmp_prose as prose;
 pub use pmp_robot as robot;
 pub use pmp_spec as spec;
 pub use pmp_store as store;
+pub use pmp_stream as stream;
 pub use pmp_telemetry as telemetry;
 pub use pmp_trace as trace;
 pub use pmp_tuplespace as tuplespace;
