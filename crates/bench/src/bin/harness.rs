@@ -38,6 +38,7 @@ fn main() {
     e16_weave_opt();
     e17_federation();
     e18_stream();
+    e19_semantics_soak();
     ablations();
 }
 
@@ -75,6 +76,168 @@ fn e18_stream() {
             r.p99_drain_ns
         );
     }
+    println!();
+}
+
+/// E19 — DESIGN.md §17: configurable invocation semantics under link
+/// loss, and the soak mode's perf oracles catching an injected
+/// latency regression and shrinking it to its kernel.
+fn e19_semantics_soak() {
+    use pmp_chaos::{exec, shrink, soak, DriverKind, Op, Scenario, SoakConfig};
+    use pmp_core::rpc::InvocationSemantics;
+    use pmp_core::Platform;
+    use pmp_net::{LinkModel, Position};
+    use pmp_vm::perm::Permissions;
+    use std::time::Instant;
+
+    println!("## E19 — invocation semantics + soak-mode perf oracles");
+    println!();
+
+    // ── E19a: the semantics matrix at 20 % loss ─────────────────────
+    // Same world, same 40-call script; only the semantics knob moves.
+    // `dups` counts executions beyond the first per request — the
+    // at-most-once row must read 0 whatever the radio drops.
+    println!("### E19a — 40 calls per cell at 20% link loss (seed 402)");
+    println!();
+    println!("| semantics | delivered | delivery % | total execs | duplicate execs | dedup hits |");
+    println!("|---|---|---|---|---|---|");
+    const CALLS: u64 = 40;
+    let run_cell = |sem: InvocationSemantics| {
+        let mut p = Platform::with_link(402, LinkModel::lossy(0.20));
+        p.add_area("hall", Position::new(0.0, 0.0), Position::new(60.0, 60.0));
+        let base = p.add_base("hall", Position::new(30.0, 30.0), 80.0);
+        let policy = p.trusting_policy(&[base], Permissions::all());
+        let robot = p
+            .add_robot("robot:1:1", Position::new(40.0, 30.0), 80.0, policy)
+            .expect("robot");
+        p.pump(3 * SEC);
+        let mut reqs = Vec::new();
+        for i in 0..CALLS {
+            reqs.push(p.rpc_with(
+                base,
+                robot,
+                "operator:1",
+                "DrawingService",
+                "moveTo",
+                vec![i as i64, 1],
+                sem,
+            ));
+            p.pump(SEC / 4);
+        }
+        p.pump(20 * SEC);
+        let delivered = p
+            .take_rpc_outcomes()
+            .iter()
+            .filter(|o| o.ok)
+            .count();
+        let node = p.node(robot);
+        let execs: Vec<u32> = reqs.iter().map(|&r| node.rpc_server.executions(r)).collect();
+        let total: u32 = execs.iter().sum();
+        let dups: u32 = execs.iter().map(|&n| n.saturating_sub(1)).sum();
+        (delivered, total, dups, node.rpc_server.dedup.hits)
+    };
+    for sem in [
+        InvocationSemantics::Maybe,
+        InvocationSemantics::AtMostOnce,
+        InvocationSemantics::AtLeastOnce,
+    ] {
+        let (delivered, total, dups, hits) = run_cell(sem);
+        let pct = 100.0 * delivered as f64 / CALLS as f64;
+        println!("| {sem} | {delivered}/{CALLS} | {pct:.1} | {total} | {dups} | {hits} |");
+        match sem {
+            InvocationSemantics::AtMostOnce => {
+                assert_eq!(dups, 0, "E19a: at-most-once duplicated an execution");
+                assert!(
+                    pct >= 99.9,
+                    "E19a: at-most-once delivery {pct:.2}% under bounded loss"
+                );
+            }
+            InvocationSemantics::AtLeastOnce => assert!(
+                pct >= 99.9,
+                "E19a: at-least-once delivery {pct:.2}% under bounded loss"
+            ),
+            InvocationSemantics::Maybe => {}
+        }
+    }
+    println!();
+    println!("(`maybe` rides the ledger-less legacy path, so its exec columns read 0;");
+    println!("its delivery column is the real fire-and-forget loss rate.)");
+    println!();
+
+    // ── E19b: soak mode catches a 2× latency regression ─────────────
+    // A 60-simulated-second soak (~114 semantic calls, ~28 hostile
+    // publishes, checkpoints, stream subscribers) with `SlowLinks{2}`
+    // injected at half-horizon. The clean twin must be green; the
+    // regressed twin must trip `perf.soak-rpc-p99`, and ddmin must
+    // shrink the failure to its kernel.
+    println!("### E19b — 60 sim-s soak, 2x link-latency regression at t+30s (seed 5)");
+    println!();
+    let mut cfg = SoakConfig::ci();
+    let clean = soak::soak(5, &cfg);
+    cfg.slow_link = Some((cfg.horizon_ms / 2, 2));
+    let regressed = soak::soak(5, &cfg);
+
+    println!("| run | driver | steps | perf violations | wall (ms) |");
+    println!("|---|---|---|---|---|");
+    let mut regressed_red = false;
+    for (label, sc) in [("clean", &clean), ("regressed", &regressed)] {
+        for (dname, driver) in [
+            ("serial", DriverKind::Serial),
+            ("parallel(3)", DriverKind::Parallel),
+        ] {
+            let t0 = Instant::now();
+            let report = exec::run(sc, driver);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let perf = report
+                .violations
+                .iter()
+                .filter(|v| v.invariant.starts_with("perf."))
+                .count();
+            println!(
+                "| {label} | {dname} | {} | {perf} | {wall_ms:.1} |",
+                sc.steps.len()
+            );
+            match label {
+                "clean" => assert_eq!(
+                    report.violations.len(),
+                    0,
+                    "E19b: clean soak turned red: {:?}",
+                    report.violations
+                ),
+                _ => {
+                    assert!(perf > 0, "E19b: regression escaped the perf oracles");
+                    regressed_red = true;
+                }
+            }
+        }
+    }
+    assert!(regressed_red);
+    println!();
+
+    let t0 = Instant::now();
+    let mut pred = |s: &Scenario| {
+        exec::run(s, DriverKind::Serial)
+            .violations
+            .iter()
+            .any(|v| v.invariant == "perf.soak-rpc-p99")
+    };
+    let (min, stats) = shrink::shrink(&regressed, &mut pred, 2_000);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        stats.to_steps <= 10,
+        "E19b: shrink stalled at {} steps",
+        stats.to_steps
+    );
+    assert!(
+        min.steps.iter().any(|s| matches!(s.op, Op::SlowLinks { .. })),
+        "E19b: shrink lost the regression step"
+    );
+    println!(
+        "ddmin: {} -> {} steps in {} evals ({wall_ms:.1} ms); kernel retains the",
+        stats.from_steps, stats.to_steps, stats.evals
+    );
+    println!("`SlowLinks` injection plus one probe call — pinned as");
+    println!("`tests/repros/soak-slowlinks-p99.redrepro`.");
     println!();
 }
 

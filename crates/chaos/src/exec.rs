@@ -14,13 +14,21 @@
 //!   past the node table) are no-ops, so the shrinker may delete any
 //!   subset of steps and still have a meaningful script.
 
-use crate::oracle::{check_barrier, stream_resync, OracleState, StreamMirror, Violation};
+use crate::oracle::{
+    check_barrier, stream_resync, OracleState, StreamMirror, Violation, HOSTILE_PREFIX,
+};
 use crate::script::{
     Op, Scenario, Step, CORRIDOR, HALL_PITCH, HALL_SIDE, MAX_NODES, MAX_SUBS, RADIO_RANGE,
     STREAM_NAMESPACES,
 };
-use pmp_core::{BaseId, MobId, ParallelDriver, Platform, SerialDriver};
+use pmp_core::rpc::InvocationSemantics;
+use pmp_core::{BaseId, MobId, ParallelDriver, Platform, RpcOutcome, SerialDriver};
+use pmp_crypto::KeyPair;
+use pmp_midas::{ExtensionMeta, ExtensionPackage, SignedExtension};
 use pmp_net::{LinkModel, Position};
+use pmp_prose::{Aspect, Crosscut, PortableAspect, PortableClass, PortableMethod};
+use pmp_vm::builder::MethodBuilder;
+use pmp_vm::op::Op as VmOp;
 use pmp_vm::perm::{Permission, Permissions};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -108,6 +116,10 @@ struct World {
     nodes: Vec<MobId>,
     st: OracleState,
     violations: Vec<Violation>,
+    /// RPC outcomes drained at every slice (the throughput oracle
+    /// needs them per barrier); rendered once at end of run in the
+    /// same request-id order the old end-only drain produced.
+    rpc_outcomes: Vec<RpcOutcome>,
     now_ms: u64,
     aborted: bool,
 }
@@ -193,12 +205,14 @@ fn build(sc: &Scenario, driver: DriverKind) -> World {
 
     let mut st = OracleState::new(u64::from(t.lease_ms), bases.len(), nodes.len());
     st.loss_free = t.loss_per_mille == 0;
+    st.baseline_latency_ns = p.sim.link_model().base_latency_ns;
     World {
         p,
         bases,
         nodes,
         st,
         violations: Vec::new(),
+        rpc_outcomes: Vec::new(),
         now_ms: 0,
         aborted: false,
     }
@@ -210,6 +224,10 @@ fn pump_to(w: &mut World, target_ms: u64) {
         let step = SLICE_MS.min(target_ms - w.now_ms);
         w.p.pump_millis(step);
         w.now_ms += step;
+        for o in w.p.take_rpc_outcomes() {
+            w.st.rpc_resolved.insert(o.req);
+            w.rpc_outcomes.push(o);
+        }
         stream_resync(&mut w.p, &w.bases, &mut w.st, w.now_ms, &mut w.violations);
         check_barrier(
             &w.p,
@@ -226,18 +244,21 @@ fn apply(w: &mut World, op: &Op) {
     let halls = w.bases.len();
     match *op {
         Op::MoveToHall { node, hall } => {
+            w.st.radio_quiet = false;
             if let Some(&m) = w.nodes.get(usize::from(node)) {
                 let h = usize::from(hall) % halls;
                 w.p.move_node(m, slot(h, usize::from(node)));
             }
         }
         Op::MoveToCorridor { node } => {
+            w.st.radio_quiet = false;
             if let Some(&m) = w.nodes.get(usize::from(node)) {
                 let k = usize::from(node) as f64;
                 w.p.move_node(m, Position::new(CORRIDOR.0 + 5.0 * k, CORRIDOR.1));
             }
         }
         Op::SetOnline { node, online } => {
+            w.st.radio_quiet = false;
             if let Some(&m) = w.nodes.get(usize::from(node)) {
                 let nid = w.p.node(m).node;
                 w.p.sim.set_online(nid, online);
@@ -257,6 +278,7 @@ fn apply(w: &mut World, op: &Op) {
             }
         }
         Op::CrashBase { base } => {
+            w.st.radio_quiet = false;
             if let Some(&b) = w.bases.get(usize::from(base)) {
                 if !w.p.base(b).crashed {
                     // Force the pending batch down before the power cut
@@ -332,6 +354,7 @@ fn apply(w: &mut World, op: &Op) {
             });
         }
         Op::Partition { node, base } => {
+            w.st.radio_quiet = false;
             let (Some(&m), Some(&b)) = (
                 w.nodes.get(usize::from(node)),
                 w.bases.get(usize::from(base)),
@@ -409,6 +432,164 @@ fn apply(w: &mut World, op: &Op) {
                 }
             }
         }
+        Op::RpcSem {
+            base,
+            node,
+            sem,
+            x,
+            y,
+        } => {
+            let (Some(&b), Some(&m)) = (
+                w.bases.get(usize::from(base)),
+                w.nodes.get(usize::from(node)),
+            ) else {
+                return;
+            };
+            if !w.p.base(b).crashed {
+                let semantics = match sem % 3 {
+                    0 => InvocationSemantics::Maybe,
+                    1 => InvocationSemantics::AtMostOnce,
+                    _ => InvocationSemantics::AtLeastOnce,
+                };
+                let req = w.p.rpc_with(
+                    b,
+                    m,
+                    "operator:1",
+                    "DrawingService",
+                    "moveTo",
+                    vec![i64::from(x), i64::from(y)],
+                    semantics,
+                );
+                // Maybe calls may legitimately never resolve under
+                // loss; only semantic calls carry the resolution
+                // guarantee the throughput oracle enforces.
+                if semantics != InvocationSemantics::Maybe {
+                    w.st.rpc_issued.push((w.now_ms, req, base));
+                }
+            }
+        }
+        Op::AdversarialPublish {
+            base,
+            attack,
+            version,
+        } => {
+            if let Some(&b) = w.bases.get(usize::from(base)) {
+                if !w.p.base(b).crashed {
+                    let sealed = hostile_package(&w.p, b, attack, version.max(1));
+                    w.p.publish_sealed(b, sealed);
+                }
+            }
+        }
+        Op::SlowLinks { mult } => {
+            w.p.sim.scale_link_latency(u32::from(mult.max(1)));
+        }
+    }
+}
+
+/// Builds one hostile [`SignedExtension`] for the MIDAS admission gate
+/// to repel. `attack % 5` selects the vector; every payload targets a
+/// different gate stage, and every id carries [`HOSTILE_PREFIX`] so
+/// the `adversarial-containment` oracle can spot an escape:
+///
+/// * `0` **forged** — a clean package sealed by the hall authority,
+///   then one payload byte flipped: the signature check must fail.
+/// * `1` **sneaky** — bytecode calls the guarded `print` syscall but
+///   the manifest declares no permissions: permission-inference must
+///   reject before weaving (declaring *more* than the cap is not an
+///   attack — the sandbox silently clamps to `requested ∩ cap`).
+/// * `2` **underflow** — structurally unsound bytecode (pop on an
+///   empty stack): the verifier must reject.
+/// * `3` **rogue** — sealed by a keypair no receiver trusts: the
+///   signature check must fail on the unknown signer.
+/// * `4` **meddle** — validly signed, capability-clean, but its
+///   crosscut blankets `DrawingService` to pressure the interference
+///   analyzer; installation is the expected (contained) outcome.
+fn hostile_package(p: &Platform, b: BaseId, attack: u8, version: u32) -> SignedExtension {
+    let aspect = |class_name: &str, ops: Vec<VmOp>| -> PortableAspect {
+        let mut body = MethodBuilder::new();
+        for op in ops {
+            body.op(op);
+        }
+        let class = PortableClass {
+            name: class_name.into(),
+            fields: vec![],
+            methods: vec![PortableMethod {
+                name: "onCall".into(),
+                params: vec!["any".into(); 5],
+                ret: "any".into(),
+                body: body.build(),
+            }],
+        };
+        let aspect = Aspect::script(
+            class_name,
+            class,
+            vec![(
+                Crosscut::parse("before * DrawingService.*(..)").expect("static crosscut"),
+                "onCall".into(),
+                0,
+            )],
+        );
+        PortableAspect::try_from(&aspect).expect("hostile aspect is portable")
+    };
+    let package = |id: &str, permissions: Vec<String>, a: PortableAspect| ExtensionPackage {
+        meta: ExtensionMeta {
+            id: id.into(),
+            version,
+            description: format!("{id} adversarial probe"),
+            requires: vec![],
+            permissions,
+            implicit: false,
+        },
+        aspect: a,
+    };
+    let print_call = vec![
+        VmOp::Load(2),
+        VmOp::Sys {
+            name: "print".into(),
+            argc: 1,
+        },
+        VmOp::Pop,
+        VmOp::Ret,
+    ];
+    match attack % 5 {
+        0 => {
+            let pkg = package(
+                &format!("{HOSTILE_PREFIX}forged"),
+                vec!["print".into()],
+                aspect("HostForged", print_call),
+            );
+            let mut sealed = p.base(b).seal(&pkg);
+            let mid = sealed.blob.payload.len() / 2;
+            sealed.blob.payload[mid] ^= 1;
+            sealed
+        }
+        1 => p.base(b).seal(&package(
+            &format!("{HOSTILE_PREFIX}sneaky"),
+            vec![],
+            aspect("HostSneaky", print_call),
+        )),
+        2 => p.base(b).seal(&package(
+            &format!("{HOSTILE_PREFIX}underflow"),
+            vec!["print".into()],
+            aspect("HostUnderflow", vec![VmOp::Pop, VmOp::Ret]),
+        )),
+        3 => {
+            let rogue = KeyPair::from_seed(b"authority:rogue");
+            SignedExtension::seal(
+                "authority:rogue",
+                &rogue,
+                &package(
+                    &format!("{HOSTILE_PREFIX}rogue"),
+                    vec!["print".into()],
+                    aspect("HostRogue", print_call),
+                ),
+            )
+        }
+        _ => p.base(b).seal(&package(
+            &format!("{HOSTILE_PREFIX}meddle"),
+            vec![],
+            aspect("HostMeddle", vec![VmOp::Ret]),
+        )),
     }
 }
 
@@ -442,6 +623,9 @@ fn restart(w: &mut World, idx: usize, b: BaseId) {
     let expected = w.st.digest_at_crash[idx];
     w.st.fault_injected[idx] = false;
     w.st.digest_at_crash[idx] = None;
+    // Recovered calls re-arm their retry timers now; the throughput
+    // oracle's resolution clock restarts here for this base.
+    w.st.base_restart_ms[idx] = w.now_ms;
 
     let outcome = catch_unwind(AssertUnwindSafe(|| w.p.restart_base(b)));
     let report = match outcome {
@@ -516,7 +700,8 @@ fn observables(w: &mut World) -> Vec<String> {
             station.store.len(),
         ));
     }
-    let mut rpcs = w.p.take_rpc_outcomes();
+    let mut rpcs = std::mem::take(&mut w.rpc_outcomes);
+    rpcs.extend(w.p.take_rpc_outcomes());
     rpcs.sort_by_key(|o| o.req);
     for o in rpcs {
         out.push(format!("rpc req={} ok={} value={}", o.req, o.ok, o.value));

@@ -152,13 +152,27 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Scenario {
                     version: *v,
                 }
             }
-            59..=64 => Op::Revoke {
+            59..=62 => Op::Revoke {
                 base: hall_of(&mut rng),
                 kind: kind_of(&mut rng),
             },
-            65..=72 => Op::Rpc {
+            63..=64 => Op::AdversarialPublish {
+                base: hall_of(&mut rng),
+                attack: rng.range_u64(5) as u8,
+                version: 1 + rng.range_u64(3) as u32,
+            },
+            65..=68 => Op::Rpc {
                 base: hall_of(&mut rng),
                 node: pick_node(&mut rng, node_count),
+                x: rng.range_u64(60) as u8,
+                y: rng.range_u64(60) as u8,
+            },
+            // Never SlowLinks: a generated latency regression would
+            // turn every loss-free sweep seed perf-red by design.
+            69..=72 => Op::RpcSem {
+                base: hall_of(&mut rng),
+                node: pick_node(&mut rng, node_count),
+                sem: rng.range_u64(3) as u8,
                 x: rng.range_u64(60) as u8,
                 y: rng.range_u64(60) as u8,
             },

@@ -33,6 +33,7 @@ pub mod oracle;
 pub mod repro;
 pub mod script;
 pub mod shrink;
+pub mod soak;
 
 pub use differential::differential_check;
 pub use exec::{run, run_cross, CrossReport, DriverKind, RunReport};
@@ -41,6 +42,7 @@ pub use oracle::Violation;
 pub use repro::{load, save};
 pub use script::{CatalogEntry, ExtKind, Op, Scenario, Step, Topology};
 pub use shrink::{shrink, ShrinkStats};
+pub use soak::{soak, SoakConfig};
 
 #[cfg(test)]
 mod tests {

@@ -13,7 +13,7 @@
 //! process exits 1 if any seed failed.
 
 use pmp_chaos::{
-    exec, gen, repro, script::Scenario, shrink, DriverKind, GenConfig,
+    exec, gen, repro, script::Scenario, shrink, soak, DriverKind, GenConfig, SoakConfig,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -25,12 +25,15 @@ struct Args {
     do_shrink: bool,
     write_repro: Option<String>,
     quiet: bool,
+    soak_secs: Option<u32>,
+    soak_slow: Option<u8>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pmp-chaos [--seed N | --sweep FROM TO | --replay FILE]...\n\
          \x20      [--driver serial|parallel|both] [--gen-steps N]\n\
+         \x20      [--soak SECS] [--soak-slow MULT]\n\
          \x20      [--shrink] [--write-repro DIR] [--quiet]"
     );
     std::process::exit(2)
@@ -45,6 +48,8 @@ fn parse_args() -> Args {
         do_shrink: false,
         write_repro: None,
         quiet: false,
+        soak_secs: None,
+        soak_slow: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -73,6 +78,8 @@ fn parse_args() -> Args {
                 }
             }
             "--gen-steps" => args.gen_steps = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--soak" => args.soak_secs = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--soak-slow" => args.soak_slow = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
             "--shrink" => args.do_shrink = true,
             "--write-repro" => args.write_repro = Some(next(&mut i)),
             "--quiet" => args.quiet = true,
@@ -148,7 +155,16 @@ fn main() {
     }
 
     for &seed in &args.seeds {
-        let sc = gen::generate(seed, &cfg);
+        let sc = if let Some(secs) = args.soak_secs {
+            let mut scfg = SoakConfig::ci();
+            scfg.horizon_ms = secs.saturating_mul(1_000);
+            // Inject the latency regression halfway through the load
+            // phase, so the oracle sees a clean baseline first.
+            scfg.slow_link = args.soak_slow.map(|m| (scfg.horizon_ms / 2, m));
+            soak::soak(seed, &scfg)
+        } else {
+            gen::generate(seed, &cfg)
+        };
         let (violations, trace, journal) = run_checked(&sc, args.driver);
         let label = format!("seed {seed}");
         let failed = !violations.is_empty();
@@ -170,7 +186,16 @@ fn main() {
                     exec::run(&min, args.driver.unwrap_or(DriverKind::Serial)).flight
                 }))
                 .unwrap_or_default();
-                let file = format!("{dir}/seed-{seed}.repro");
+                // Perf regressions are *supposed* to fail forever:
+                // pin them as .redrepro so the green-replay suite
+                // (which globs only .repro) skips them and a
+                // dedicated red-assertion test owns them instead.
+                let ext = if target.starts_with("[perf.") {
+                    "redrepro"
+                } else {
+                    "repro"
+                };
+                let file = format!("{dir}/seed-{seed}.{ext}");
                 match std::fs::write(&file, repro::save_with_flight(&min, &flight)) {
                     Ok(()) => println!("  wrote {file}"),
                     Err(e) => println!("  could not write {file}: {e}"),

@@ -245,6 +245,47 @@ pub enum Op {
         /// Subscriber index.
         sub: u8,
     },
+    /// Remote `DrawingService.moveTo(x, y)` call with explicit
+    /// invocation semantics (DESIGN.md §17): `sem % 3` selects
+    /// maybe / at-most-once / at-least-once. Semantic calls retry on
+    /// per-base timers and always resolve (reply or timeout outcome),
+    /// which the `perf.soak-throughput` oracle relies on.
+    RpcSem {
+        /// Calling base index.
+        base: u8,
+        /// Target node index.
+        node: u8,
+        /// Semantics selector (`% 3`): 0 maybe, 1 at-most-once,
+        /// 2 at-least-once.
+        sem: u8,
+        /// Plotter x.
+        x: u8,
+        /// Plotter y.
+        y: u8,
+    },
+    /// Publish a hostile package through the MIDAS admission gate:
+    /// `attack % 4` selects tampered-signature / over-privileged /
+    /// verifier-rejecting / rogue-signer (see
+    /// [`crate::exec`] for the concrete payloads). The
+    /// `adversarial-containment` oracle asserts no such package is
+    /// ever installed on a node.
+    AdversarialPublish {
+        /// Base index to publish through.
+        base: u8,
+        /// Attack selector (`% 4`).
+        attack: u8,
+        /// Package version (re-publishes upgrade in place).
+        version: u32,
+    },
+    /// Multiply every link-latency parameter (base, per-byte, jitter)
+    /// by `mult` from this point on — a simulated-time performance
+    /// regression for the `perf.soak-rpc-p99` oracle to catch. The
+    /// generator never emits this op; it exists for soak scenarios and
+    /// pinned perf repros.
+    SlowLinks {
+        /// Latency multiplier (clamped to ≥ 1).
+        mult: u8,
+    },
 }
 
 impl Wire for Op {
@@ -346,6 +387,34 @@ impl Wire for Op {
                 w.put_u8(18);
                 w.put_u8(*sub);
             }
+            Op::RpcSem {
+                base,
+                node,
+                sem,
+                x,
+                y,
+            } => {
+                w.put_u8(19);
+                w.put_u8(*base);
+                w.put_u8(*node);
+                w.put_u8(*sem);
+                w.put_u8(*x);
+                w.put_u8(*y);
+            }
+            Op::AdversarialPublish {
+                base,
+                attack,
+                version,
+            } => {
+                w.put_u8(20);
+                w.put_u8(*base);
+                w.put_u8(*attack);
+                w.put_u32(*version);
+            }
+            Op::SlowLinks { mult } => {
+                w.put_u8(21);
+                w.put_u8(*mult);
+            }
         }
     }
 
@@ -412,6 +481,19 @@ impl Wire for Op {
                 ns: r.get_u8()?,
             },
             18 => Op::DropSubscriber { sub: r.get_u8()? },
+            19 => Op::RpcSem {
+                base: r.get_u8()?,
+                node: r.get_u8()?,
+                sem: r.get_u8()?,
+                x: r.get_u8()?,
+                y: r.get_u8()?,
+            },
+            20 => Op::AdversarialPublish {
+                base: r.get_u8()?,
+                attack: r.get_u8()?,
+                version: r.get_u32()?,
+            },
+            21 => Op::SlowLinks { mult: r.get_u8()? },
             tag => return Err(r.bad_tag("Op", tag)),
         })
     }
@@ -638,6 +720,19 @@ mod tests {
             Op::HealBases { a: 1, b: 2 },
             Op::Subscribe { base: 0, ns: 2 },
             Op::DropSubscriber { sub: 3 },
+            Op::RpcSem {
+                base: 0,
+                node: 1,
+                sem: 2,
+                x: 5,
+                y: 6,
+            },
+            Op::AdversarialPublish {
+                base: 1,
+                attack: 3,
+                version: 4,
+            },
+            Op::SlowLinks { mult: 2 },
         ];
         for op in ops {
             assert_eq!(from_bytes::<Op>(&to_bytes(&op)).unwrap(), op);

@@ -216,7 +216,70 @@ pub(crate) fn dispatch_base(
     let evs = station.base.handle(port, inc);
     handle_base_federation(station, port, &evs);
     station.events.extend(evs);
+    handle_rpc_retry(station, port, rpc, inc);
     handle_base_app(station, port, rpc, inc);
+}
+
+/// Drives the caller-side retransmission schedule: a fired `rpc.retry`
+/// timer either re-sends the outstanding call with the *same* request
+/// id (dedup is keyed on it) and arms the next backoff step, or — once
+/// the attempt budget is spent — resolves the call as a failed
+/// outcome. Runs inside the cell, so retries are sharded and merged
+/// exactly like any other network effect.
+fn handle_rpc_retry(
+    station: &mut BaseStation,
+    port: &mut dyn NetPort,
+    rpc: &mut Vec<RpcOutcome>,
+    inc: &Incoming,
+) {
+    let Incoming::Timer { token, tag } = inc else {
+        return;
+    };
+    if &**tag != crate::rpc::RPC_RETRY_TAG {
+        return;
+    }
+    let Some(req) = station.rpc.take_timer(*token) else {
+        return;
+    };
+    let cfg = *station.rpc.config();
+    let Some(call) = station.rpc.get(req) else {
+        return; // resolved before the timer fired
+    };
+    if call.attempts >= cfg.max_attempts {
+        let attempts = call.attempts;
+        station.rpc.exhausted += 1;
+        station.rpc.resolve(req);
+        rpc.push(RpcOutcome {
+            req,
+            ok: false,
+            value: format!("rpc timeout after {attempts} attempts"),
+            at: port.now().0,
+        });
+        return;
+    }
+    let Some(attempts) = station.rpc.note_attempt(req) else {
+        return;
+    };
+    let call = station.rpc.get(req).expect("attempt noted on live call");
+    let msg = RpcMsg::CallSem {
+        caller: call.caller.clone(),
+        class: call.class.clone(),
+        method: call.method.clone(),
+        args: call.args.clone(),
+        req,
+        sem: call.sem,
+        attempt: attempts,
+    };
+    let target = NodeId(call.target);
+    port.send(
+        station.node,
+        target,
+        RPC_CHANNEL,
+        pmp_trace::TraceCtx::NIL.wrap(&msg),
+    );
+    let delay = crate::rpc::backoff_delay(&cfg, req, attempts);
+    let token = port.set_timer(station.node, delay, crate::rpc::RPC_RETRY_TAG);
+    station.rpc.arm(token, req);
 }
 
 /// Roaming side-effects that live above the extension base: when a node
@@ -321,7 +384,27 @@ fn handle_base_app(
             ..
         }) = pmp_wire::from_bytes::<Traced<RpcMsg>>(payload)
         {
-            rpc.push(RpcOutcome { req, ok, value });
+            if station.rpc.is_outstanding(req) {
+                // First reply to an engine-tracked call wins.
+                station.rpc.resolve(req);
+                rpc.push(RpcOutcome {
+                    req,
+                    ok,
+                    value,
+                    at: port.now().0,
+                });
+            } else if !station.rpc.recently_resolved(req) {
+                // A legacy (maybe-semantics) call the engine never
+                // tracked: surface it exactly as before. Replies to
+                // recently-resolved ids are late duplicates from
+                // retransmission — dropped.
+                rpc.push(RpcOutcome {
+                    req,
+                    ok,
+                    value,
+                    at: port.now().0,
+                });
+            }
         }
         return;
     }
@@ -408,34 +491,69 @@ fn handle_node_channels(
             args,
             req,
         } => {
-            *node.wiring.caller.lock() = caller;
-            let result = match node.services.get(&class).cloned() {
-                Some(svc) => node.vm.call(
-                    &class,
-                    &method,
-                    svc,
-                    args.into_iter().map(Value::Int).collect(),
-                ),
-                None => Err(VmError::link(format!("no service {class:?}"))),
-            };
-            *node.wiring.caller.lock() = String::new();
-            let reply = match result {
-                Ok(v) => RpcMsg::Reply {
-                    req,
-                    ok: true,
-                    value: v.to_string(),
-                },
-                Err(e) => RpcMsg::Reply {
-                    req,
-                    ok: false,
-                    value: e.to_string(),
-                },
-            };
+            let (ok, value) = execute_service_call(node, caller, &class, &method, args);
+            let reply = RpcMsg::Reply { req, ok, value };
+            port.send(node.node, *from, RPC_CHANNEL, ctx.wrap(&reply));
+        }
+        RpcMsg::CallSem {
+            caller,
+            class,
+            method,
+            args,
+            req,
+            sem,
+            attempt: _,
+        } => {
+            use crate::rpc::InvocationSemantics as Sem;
+            // At-most-once: a duplicate whose id is cached is answered
+            // from the dedup table without touching the service.
+            if sem == Sem::AtMostOnce {
+                if let Some((ok, value)) = node.rpc_server.dedup.lookup(req).cloned() {
+                    node.rpc_server.dedup.hits += 1;
+                    let reply = RpcMsg::Reply { req, ok, value };
+                    port.send(node.node, *from, RPC_CHANNEL, ctx.wrap(&reply));
+                    return;
+                }
+            }
+            let (ok, value) = execute_service_call(node, caller, &class, &method, args);
+            node.rpc_server.note_execution(req, sem);
+            if sem == Sem::AtMostOnce {
+                node.rpc_server.dedup.insert(req, ok, value.clone());
+            }
+            let reply = RpcMsg::Reply { req, ok, value };
             port.send(node.node, *from, RPC_CHANNEL, ctx.wrap(&reply));
         }
         RpcMsg::Reply { req, ok, value } => {
-            rpc.push(RpcOutcome { req, ok, value });
+            rpc.push(RpcOutcome {
+                req,
+                ok,
+                value,
+                at: port.now().0,
+            });
         }
+    }
+}
+
+/// Runs one service invocation on the node's VM with `session.caller`
+/// bound for the duration; returns `(ok, display value)`.
+fn execute_service_call(
+    node: &mut MobileNode,
+    caller: String,
+    class: &str,
+    method: &str,
+    args: Vec<i64>,
+) -> (bool, String) {
+    *node.wiring.caller.lock() = caller;
+    let result = match node.services.get(class).cloned() {
+        Some(svc) => node
+            .vm
+            .call(class, method, svc, args.into_iter().map(Value::Int).collect()),
+        None => Err(VmError::link(format!("no service {class:?}"))),
+    };
+    *node.wiring.caller.lock() = String::new();
+    match result {
+        Ok(v) => (true, v.to_string()),
+        Err(e) => (false, e.to_string()),
     }
 }
 

@@ -46,6 +46,9 @@ pub struct MobileNode {
     pub events: Vec<ReceiverEvent>,
     /// Where app traffic is sent (the base that adapted us last).
     pub home_base: Option<NodeId>,
+    /// Server-side RPC state: the at-most-once dedup table plus the
+    /// execution ledger the duplicate-execution oracle reads.
+    pub rpc_server: crate::rpc::RpcServer,
 }
 
 impl std::fmt::Debug for MobileNode {
@@ -181,6 +184,7 @@ impl MobileNode {
             services,
             events: Vec::new(),
             home_base: None,
+            rpc_server: crate::rpc::RpcServer::default(),
         })
     }
 
@@ -228,6 +232,10 @@ pub struct BaseStation {
     /// and [`crate::Platform::restart_base`]); a crashed base receives
     /// no traffic.
     pub crashed: bool,
+    /// Caller-side RPC call table: outstanding semantic calls and
+    /// their retransmission bookkeeping, durable under `"rpc.calls"`
+    /// so a restarted base resumes retrying with the same request ids.
+    pub rpc: crate::rpc::RpcEngine,
     authority: KeyPair,
     principal_name: String,
 }
@@ -263,6 +271,8 @@ impl BaseStation {
         let registrar = Registrar::new(node, format!("lookup:{name}"));
         let mut base = ExtensionBase::new(node, node);
         base.attach_durable(durable.namespace(pmp_midas::durable::NAMESPACE));
+        let mut rpc = crate::rpc::RpcEngine::new();
+        rpc.attach(durable.namespace(crate::rpc::RPC_CALLS_NAMESPACE));
         BaseStation {
             node,
             registrar,
@@ -277,6 +287,7 @@ impl BaseStation {
             durable,
             flight: pmp_trace::FlightRecorder::new(pmp_trace::DEFAULT_FLIGHT_CAP),
             crashed: false,
+            rpc,
             authority: KeyPair::from_seed(authority_seed),
             principal_name: format!("authority:{name}"),
             name,
@@ -318,17 +329,22 @@ impl BaseStation {
     }
 
     /// Snapshots the base's durable state (movement log + extension
-    /// base + flight recorder) and compacts the WAL.
+    /// base + flight recorder + RPC call table) and compacts the WAL.
     pub fn checkpoint(&mut self) {
         let hub = self.durable.clone();
-        hub.checkpoint(&[&self.store, &self.base, &self.flight]);
+        hub.checkpoint(&[&self.store, &self.base, &self.flight, &self.rpc]);
     }
 
-    /// Recovers the movement store, extension base, and flight recorder
-    /// from the storage engine's committed image.
+    /// Recovers the movement store, extension base, flight recorder,
+    /// and RPC call table from the storage engine's committed image.
     pub fn recover(&mut self) -> RecoverReport {
         let hub = self.durable.clone();
-        hub.recover(&mut [&mut self.store, &mut self.base, &mut self.flight])
+        hub.recover(&mut [
+            &mut self.store,
+            &mut self.base,
+            &mut self.flight,
+            &mut self.rpc,
+        ])
     }
 
     /// A stable digest over the base's durable state — compare across
@@ -338,6 +354,7 @@ impl BaseStation {
         h.write_u64(self.store.state_digest());
         h.write_u64(self.base.state_digest());
         h.write_u64(self.flight.state_digest());
+        h.write_u64(self.rpc.state_digest());
         h.finish()
     }
 

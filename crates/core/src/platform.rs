@@ -65,6 +65,11 @@ pub struct RpcOutcome {
     pub ok: bool,
     /// Display form of the result (or the error text).
     pub value: String,
+    /// Simulated time the outcome was observed at the caller's base.
+    /// Outcomes merge at the epoch barrier sorted by `(at, req)`, so
+    /// their order is a pure function of the simulation — not of which
+    /// driver or thread count ran the cells.
+    pub at: u64,
 }
 
 /// The proactive middleware platform over one simulated world.
@@ -97,6 +102,14 @@ pub struct Platform {
     node_cells: Vec<CellState>,
     next_req: u64,
     rpc_outcomes: Vec<RpcOutcome>,
+    /// Retry/timeout tuning applied to every base's RPC engine
+    /// (operator configuration; re-applied on restart).
+    rpc_cfg: crate::rpc::RpcConfig,
+    /// Issue time per in-flight request id, for the `rpc.latency_ns`
+    /// histogram recorded at outcome merge. Bounded: entries leave on
+    /// outcome, and the oldest are shed past a fixed cap (lost
+    /// maybe-calls never produce outcomes).
+    rpc_issue_at: std::collections::BTreeMap<u64, u64>,
     telemetry: pmp_telemetry::Shared,
     driver: Box<dyn Driver>,
     /// Base-tier span collector, fed from every cell tracer at epoch
@@ -163,6 +176,8 @@ impl Platform {
             node_cells: Vec::new(),
             next_req: 1,
             rpc_outcomes: Vec::new(),
+            rpc_cfg: crate::rpc::RpcConfig::default(),
+            rpc_issue_at: std::collections::BTreeMap::new(),
             telemetry,
             driver: crate::driver::driver_from_env(),
             collector: pmp_trace::Collector::default(),
@@ -255,6 +270,7 @@ impl Platform {
         let node = self.sim.add_node(format!("base:{hall}"), pos, range);
         let cell = CellState::new(node, self.sim.now(), &self.telemetry);
         let mut station = BaseStation::build(node, hall, format!("seed:{hall}").as_bytes());
+        station.rpc.set_config(self.rpc_cfg);
         // Engine telemetry goes direct: its journal events (snapshot/
         // compact/recover) are emitted only at main-thread barriers, so
         // both drivers see them at identical sequence points.
@@ -313,6 +329,7 @@ impl Platform {
         let mut station =
             BaseStation::build_with_hub(node, &name, format!("seed:{name}").as_bytes(), hub);
         station.mirrors = mirrors;
+        station.rpc.set_config(self.rpc_cfg);
         // Federation topology is operator configuration too: re-wire the
         // fresh base/registrar from the platform's records so handoffs,
         // anti-entropy, and directory routing resume after the restart.
@@ -344,6 +361,18 @@ impl Platform {
         station.base.attach_tracer(cell.tracer.clone());
         station.registrar.start(&mut self.sim);
         station.base.start(&mut self.sim);
+        // Calls that were outstanding at the crash survived in the
+        // recovered `"rpc.calls"` table; re-arm their retransmission
+        // timers under the *same* request ids. The servers' dedup
+        // tables make this safe for at-most-once calls — a resend of a
+        // request that executed before the crash is answered from
+        // cache, never re-executed.
+        for req in station.rpc.rearm_tokens() {
+            let attempts = station.rpc.get(req).map_or(1, |c| c.attempts);
+            let delay = crate::rpc::backoff_delay(&self.rpc_cfg, req, attempts);
+            let token = self.sim.set_timer(node, delay, crate::rpc::RPC_RETRY_TAG);
+            station.rpc.arm(token, req);
+        }
         self.bases[id.0] = station;
         // Streams: recovery may have rolled history back (a truncated
         // torn tail, a checkpoint-on-anomaly), so drop anything the tap
@@ -734,8 +763,105 @@ impl Platform {
             "rpc.call",
             &format!("{class}.{method} -> n{}", to.0),
         );
+        self.note_rpc_issue(req);
         self.sim.send(from, to, RPC_CHANNEL, ctx.wrap(&msg));
         req
+    }
+
+    /// Issues a remote service call with explicit invocation semantics
+    /// (DESIGN.md §17). [`InvocationSemantics::Maybe`](crate::rpc::InvocationSemantics::Maybe)
+    /// behaves exactly like [`Platform::rpc`]: one transmission, no
+    /// retries. The other two register the call with `base`'s durable
+    /// RPC engine, which retransmits on a deterministic exponential
+    /// backoff until the first reply or the attempt budget resolves it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rpc_with(
+        &mut self,
+        base: BaseId,
+        target: MobId,
+        caller: &str,
+        class: &str,
+        method: &str,
+        args: Vec<i64>,
+        sem: crate::rpc::InvocationSemantics,
+    ) -> u64 {
+        if sem == crate::rpc::InvocationSemantics::Maybe {
+            return self.rpc(base, target, caller, class, method, args);
+        }
+        let req = self.next_req;
+        self.next_req += 1;
+        let from = self.bases[base.0].node;
+        let to = self.nodes[target.0].node;
+        let now = self.sim.now().0;
+        let msg = RpcMsg::CallSem {
+            caller: caller.to_string(),
+            class: class.to_string(),
+            method: method.to_string(),
+            args: args.clone(),
+            req,
+            sem,
+            attempt: 1,
+        };
+        let ctx = self.base_cells[base.0].tracer.root(
+            now,
+            "rpc.call",
+            &format!("{class}.{method} [{sem}] -> n{}", to.0),
+        );
+        let station = &mut self.bases[base.0];
+        station.rpc.issue(
+            req,
+            crate::rpc::PendingCall {
+                target: to.0,
+                sem,
+                caller: caller.to_string(),
+                class: class.to_string(),
+                method: method.to_string(),
+                args,
+                attempts: 1,
+                issued_at: now,
+            },
+        );
+        self.note_rpc_issue(req);
+        self.sim.send(from, to, RPC_CHANNEL, ctx.wrap(&msg));
+        let delay = crate::rpc::backoff_delay(&self.rpc_cfg, req, 1);
+        let token = self.sim.set_timer(from, delay, crate::rpc::RPC_RETRY_TAG);
+        self.bases[base.0].rpc.arm(token, req);
+        req
+    }
+
+    /// Replaces the platform-wide RPC retry tuning, on every existing
+    /// base and every base added later.
+    pub fn set_rpc_config(&mut self, cfg: crate::rpc::RpcConfig) {
+        self.rpc_cfg = cfg;
+        for station in &mut self.bases {
+            station.rpc.set_config(cfg);
+        }
+    }
+
+    /// The RPC retry tuning in force.
+    #[must_use]
+    pub fn rpc_config(&self) -> crate::rpc::RpcConfig {
+        self.rpc_cfg
+    }
+
+    /// Records the issue time of `req` for the `rpc.latency_ns`
+    /// histogram, shedding the oldest entries past a fixed cap.
+    fn note_rpc_issue(&mut self, req: u64) {
+        self.rpc_issue_at.insert(req, self.sim.now().0);
+        while self.rpc_issue_at.len() > 4_096 {
+            self.rpc_issue_at.pop_first();
+        }
+    }
+
+    /// Ships an already-sealed extension from `base` to its hall —
+    /// the door through which the chaos harness drives *hostile*
+    /// packages (tampered signatures, foreign signers) at the MIDAS
+    /// admission gate. Normal publishes go through
+    /// [`Platform::publish_extension`], which optimizes and seals with
+    /// the hall authority.
+    pub fn publish_sealed(&mut self, base: BaseId, sealed: pmp_midas::SignedExtension) {
+        let Platform { sim, bases, .. } = self;
+        bases[base.0].base.update_extension(sim, sealed);
     }
 
     /// Drains completed remote calls.
@@ -850,6 +976,7 @@ impl Platform {
             base_cells,
             node_cells,
             rpc_outcomes,
+            rpc_issue_at,
             telemetry,
             driver,
             collector,
@@ -915,10 +1042,29 @@ impl Platform {
         }
         cmds.sort_by_key(pmp_net::NetCmd::at);
         sim.apply_cmds(cmds);
-        // RPC outcomes: rank order within the epoch.
+        // RPC outcomes: merged sorted by (observation time, request
+        // id). Epochs are disjoint time windows, so per-epoch sorting
+        // keeps the accumulated vector globally ordered — and the
+        // order is driver-invariant, where the old rank-order append
+        // depended on which cell held each outcome.
+        let mut epoch_rpc: Vec<RpcOutcome> = Vec::new();
         for cell in &mut cells {
-            rpc_outcomes.append(&mut cell.rpc);
+            epoch_rpc.append(&mut cell.rpc);
         }
+        epoch_rpc.sort_by_key(|o| (o.at, o.req));
+        for o in &epoch_rpc {
+            if let Some(issued) = rpc_issue_at.remove(&o.req) {
+                // Only successful calls feed the latency histogram: a
+                // timeout outcome lands at the end of the full backoff
+                // schedule (seconds), which is a delivery fact, not a
+                // latency sample — it would drown the p99 the soak SLO
+                // oracle watches.
+                if o.ok {
+                    telemetry.record("rpc.latency_ns", o.at.saturating_sub(issued));
+                }
+            }
+        }
+        rpc_outcomes.append(&mut epoch_rpc);
         drop(cells);
         // Spans drain in rank order (bases first) into the collector;
         // base spans are mirrored into the durable flight ring before

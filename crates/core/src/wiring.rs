@@ -129,6 +129,27 @@ pub enum RpcMsg {
         /// Display form of the return value, or the error text.
         value: String,
     },
+    /// A call carrying explicit invocation semantics (see
+    /// [`crate::rpc::InvocationSemantics`]). A separate wire tag keeps
+    /// the legacy `Call`/`Reply` encodings byte-identical, so every
+    /// pinned trace from before the semantics work still replays.
+    CallSem {
+        /// Caller identity.
+        caller: String,
+        /// Service class name.
+        class: String,
+        /// Method name.
+        method: String,
+        /// Integer arguments.
+        args: Vec<i64>,
+        /// Correlation id (stable across retransmissions).
+        req: u64,
+        /// The requested delivery/execution guarantee.
+        sem: crate::rpc::InvocationSemantics,
+        /// 1-based attempt counter, for observability only — the
+        /// server keys dedup on `req`, never on the attempt.
+        attempt: u32,
+    },
 }
 
 impl Wire for RpcMsg {
@@ -154,6 +175,24 @@ impl Wire for RpcMsg {
                 w.put_bool(*ok);
                 w.put_str(value);
             }
+            RpcMsg::CallSem {
+                caller,
+                class,
+                method,
+                args,
+                req,
+                sem,
+                attempt,
+            } => {
+                w.put_u8(2);
+                w.put_str(caller);
+                w.put_str(class);
+                w.put_str(method);
+                args.encode(w);
+                w.put_u64(*req);
+                sem.encode(w);
+                w.put_u32(*attempt);
+            }
         }
     }
     fn decode(r: &mut Reader) -> Result<Self, WireError> {
@@ -169,6 +208,15 @@ impl Wire for RpcMsg {
                 req: r.get_u64()?,
                 ok: r.get_bool()?,
                 value: r.get_str()?,
+            },
+            2 => RpcMsg::CallSem {
+                caller: r.get_str()?,
+                class: r.get_str()?,
+                method: r.get_str()?,
+                args: Vec::<i64>::decode(r)?,
+                req: r.get_u64()?,
+                sem: crate::rpc::InvocationSemantics::decode(r)?,
+                attempt: r.get_u32()?,
             },
             tag => {
                 return Err(r.bad_tag("RpcMsg", tag))

@@ -286,6 +286,23 @@ impl Simulator {
         self.wired.contains(&(a, b))
     }
 
+    /// Multiplies every latency component of the link model by
+    /// `mult` (base latency, per-byte cost, and jitter; loss is
+    /// untouched). Models a degraded radio environment — the chaos
+    /// harness uses it to inject latency regressions that the soak
+    /// perf oracles must catch. `mult = 1` is a no-op.
+    pub fn scale_link_latency(&mut self, mult: u32) {
+        let m = u64::from(mult.max(1));
+        self.link.base_latency_ns = self.link.base_latency_ns.saturating_mul(m);
+        self.link.per_byte_ns = self.link.per_byte_ns.saturating_mul(m);
+        self.link.jitter_ns = self.link.jitter_ns.saturating_mul(m);
+    }
+
+    /// The link model currently in force.
+    pub fn link_model(&self) -> &LinkModel {
+        &self.link
+    }
+
     // ------------------------------------------------------------------
     // Communication
     // ------------------------------------------------------------------

@@ -210,3 +210,64 @@ fn serial_runs_are_repeatable() {
     let b = run_production(Box::new(SerialDriver));
     a.assert_matches(&b);
 }
+
+/// RPC outcomes merge at the epoch barrier sorted by
+/// `(observation time, request id)` — never by which cell (and hence
+/// which driver rank) happened to hold them. A burst of concurrent
+/// semantic calls under loss lands replies on the base in arbitrary
+/// cell order; the drained outcome *sequence* must still be identical
+/// under both drivers and monotone in `(at, req)`.
+fn run_outcome_order(driver: Box<dyn Driver>) -> (Fingerprint, Vec<(u64, u64)>) {
+    use pmp::core::rpc::InvocationSemantics;
+    let name = driver.name();
+    let mut p = Platform::with_link(55, LinkModel::lossy(0.20));
+    p.set_driver(driver);
+    p.sim.trace.set_logging(true);
+    p.add_area("hall", Position::new(0.0, 0.0), Position::new(60.0, 60.0));
+    let base = p.add_base("hall", Position::new(30.0, 30.0), 80.0);
+    let policy = p.trusting_policy(&[base], Permissions::all());
+    let robot = p
+        .add_robot("robot:5:1", Position::new(40.0, 30.0), 80.0, policy)
+        .expect("robot");
+    p.pump(3 * SEC);
+    // A burst of in-flight calls, mixed semantics, no pump between
+    // them: their replies race and their merge order is the thing
+    // under test.
+    for i in 0..8i64 {
+        let sem = if i % 2 == 0 {
+            InvocationSemantics::AtMostOnce
+        } else {
+            InvocationSemantics::AtLeastOnce
+        };
+        p.rpc_with(
+            base,
+            robot,
+            "operator:1",
+            "DrawingService",
+            "moveTo",
+            vec![i, i],
+            sem,
+        );
+    }
+    p.pump(25 * SEC);
+    let outcomes = p.take_rpc_outcomes();
+    let keys: Vec<(u64, u64)> = outcomes.iter().map(|o| (o.at, o.req)).collect();
+    let obs = outcomes
+        .iter()
+        .map(|o| format!("req={} ok={} at={}", o.req, o.ok, o.at))
+        .collect();
+    (fingerprint(name, &p, obs), keys)
+}
+
+#[test]
+fn rpc_outcome_order_is_driver_invariant_and_time_sorted() {
+    let (serial, serial_keys) = run_outcome_order(Box::new(SerialDriver));
+    let (parallel, parallel_keys) = run_outcome_order(Box::new(ParallelDriver::default()));
+    serial.assert_matches(&parallel);
+    assert_eq!(serial_keys, parallel_keys);
+    assert!(
+        serial_keys.windows(2).all(|w| w[0] <= w[1]),
+        "outcomes must be sorted by (at, req): {serial_keys:?}"
+    );
+    assert!(!serial_keys.is_empty());
+}
